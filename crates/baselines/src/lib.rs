@@ -1,0 +1,31 @@
+//! Baseline cross-shard protocols the paper compares against.
+//!
+//! * **AHL** (Dang et al., SIGMOD'19) — sharded permissioned blockchain whose
+//!   cross-shard transactions are coordinated by a *reference committee*
+//!   running two-phase commit.  As in the paper's own evaluation we implement
+//!   only the cross-shard consensus path and run it without trusted hardware;
+//!   internal transactions use the same Paxos/PBFT machinery as Saguaro.  The
+//!   committee is a single fixed domain, so it concentrates every
+//!   cross-shard transaction (this is exactly the bottleneck Figures 7c/8c
+//!   show) and sits far from most shards over a wide area (Figure 10).
+//!
+//! * **SharPer** (Amiri et al., SIGMOD'21) — sharded permissioned blockchain
+//!   whose cross-shard transactions run a *flattened* consensus protocol
+//!   among all nodes of the involved shards; no coordinator, but the
+//!   consensus messages crisscross the wide-area links between the shards
+//!   (quadratically many for BFT), which is what makes it lose to
+//!   coordinator-based designs when domains are far apart.
+//!
+//! Both baselines reuse the same substrate as Saguaro (internal consensus,
+//! ledgers, execution, the network/CPU simulator) so performance differences
+//! in the reproduced figures come from protocol structure, not
+//! implementation quality.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod messages;
+pub mod node;
+
+pub use messages::{BaselineMsg, BaselineRole};
+pub use node::BaselineNode;

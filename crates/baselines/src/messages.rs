@@ -1,0 +1,209 @@
+//! Wire messages of the baseline deployments.
+
+use saguaro_consensus::ConsensusMsg;
+use saguaro_net::MessageMeta;
+use saguaro_types::{DomainId, SeqNo, Transaction, TxId};
+
+/// Which protocol a baseline deployment runs and which role a node plays.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BaselineRole {
+    /// An AHL shard replica.
+    AhlShard,
+    /// An AHL reference-committee replica.
+    AhlCommittee,
+    /// A SharPer shard replica (flattened cross-shard consensus).
+    SharperShard,
+}
+
+/// Commands ordered by a baseline domain's internal consensus.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BCmd {
+    /// Commit an internal transaction.
+    Internal(Transaction),
+    /// Reference committee: order a cross-shard transaction (AHL).
+    CommitteeOrder(Transaction),
+    /// Shard: prepare/lock a cross-shard transaction (AHL 2PC phase 1).
+    ShardPrepare(Transaction),
+    /// Shard: commit a cross-shard transaction after the decision (AHL 2PC
+    /// phase 2) or after flattened consensus (SharPer).
+    ShardCommit(Transaction),
+}
+
+impl saguaro_consensus::Command for BCmd {
+    fn digest(&self) -> saguaro_crypto::Digest {
+        let (tag, tx): (&[u8], &Transaction) = match self {
+            BCmd::Internal(t) => (b"internal", t),
+            BCmd::CommitteeOrder(t) => (b"committee", t),
+            BCmd::ShardPrepare(t) => (b"prepare", t),
+            BCmd::ShardCommit(t) => (b"commit", t),
+        };
+        saguaro_crypto::sha256::sha256_parts(&[b"baseline-cmd", tag, &tx.id.0.to_be_bytes()])
+    }
+}
+
+/// Messages exchanged in a baseline deployment.
+#[derive(Clone, Debug)]
+pub enum BaselineMsg {
+    /// Client → shard primary.
+    ClientRequest(Transaction),
+    /// Shard/committee → client.
+    Reply {
+        /// The transaction the reply concerns.
+        tx_id: TxId,
+        /// Whether it committed.
+        committed: bool,
+    },
+    /// Intra-domain consensus traffic.
+    Consensus(ConsensusMsg<BCmd>),
+
+    // ---------------- AHL (reference committee + 2PC) ----------------
+    /// Shard primary → committee nodes: coordinate this cross-shard
+    /// transaction.
+    CrossSubmit {
+        /// The cross-shard transaction.
+        tx: Transaction,
+    },
+    /// Committee primary → shard nodes: phase-1 prepare.
+    TwoPcPrepare {
+        /// The cross-shard transaction.
+        tx: Transaction,
+        /// Signatures in the attached certificate.
+        cert_sigs: usize,
+    },
+    /// Shard primary → committee nodes: phase-1 vote.
+    TwoPcVote {
+        /// The transaction voted on.
+        tx_id: TxId,
+        /// The voting shard.
+        domain: DomainId,
+        /// Whether the shard can commit.
+        ok: bool,
+        /// Signatures in the attached certificate.
+        cert_sigs: usize,
+    },
+    /// Committee primary → shard nodes: phase-2 decision.
+    TwoPcDecision {
+        /// The transaction decided.
+        tx_id: TxId,
+        /// Commit or abort.
+        commit: bool,
+        /// Signatures in the attached certificate.
+        cert_sigs: usize,
+    },
+
+    // ---------------- SharPer (flattened consensus) ----------------
+    /// Leader (initiator shard primary) → every node of every involved
+    /// shard: accept this cross-shard transaction at this cross-shard
+    /// sequence number.
+    FlatAccept {
+        /// The cross-shard transaction.
+        tx: Transaction,
+        /// Cross-shard sequence number assigned by the leader.
+        seq: SeqNo,
+        /// The leader's shard.
+        leader_domain: DomainId,
+    },
+    /// BFT only: every node of every involved shard echoes the accept to
+    /// every other node (the all-to-all phase that makes flattened BFT heavy
+    /// over wide-area links).
+    FlatEcho {
+        /// The transaction echoed.
+        tx_id: TxId,
+        /// The echoing node's shard.
+        domain: DomainId,
+    },
+    /// Node → leader: vote for the accept.
+    FlatVote {
+        /// The transaction voted for.
+        tx_id: TxId,
+        /// The voter's shard.
+        domain: DomainId,
+    },
+    /// Leader → every node of every involved shard: the transaction is
+    /// committed.
+    FlatCommit {
+        /// The committed transaction.
+        tx_id: TxId,
+        /// Signatures in the attached certificate.
+        cert_sigs: usize,
+    },
+
+    /// Internal progress timer (primary failure handling).
+    ProgressTimer,
+}
+
+impl MessageMeta for BaselineMsg {
+    fn wire_bytes(&self) -> usize {
+        match self {
+            BaselineMsg::ClientRequest(tx) => tx.payload_bytes(),
+            BaselineMsg::Reply { .. } => 96,
+            BaselineMsg::Consensus(m) => match m {
+                ConsensusMsg::Paxos(_) => 240,
+                ConsensusMsg::Pbft(_) => 280,
+            },
+            BaselineMsg::CrossSubmit { tx } => tx.payload_bytes() + 48,
+            BaselineMsg::TwoPcPrepare { tx, cert_sigs } => tx.payload_bytes() + 64 + 40 * cert_sigs,
+            BaselineMsg::TwoPcVote { cert_sigs, .. } => 112 + 40 * cert_sigs,
+            BaselineMsg::TwoPcDecision { cert_sigs, .. } => 96 + 40 * cert_sigs,
+            BaselineMsg::FlatAccept { tx, .. } => tx.payload_bytes() + 72,
+            BaselineMsg::FlatEcho { .. } | BaselineMsg::FlatVote { .. } => 112,
+            BaselineMsg::FlatCommit { cert_sigs, .. } => 96 + 40 * cert_sigs,
+            BaselineMsg::ProgressTimer => 0,
+        }
+    }
+
+    fn signatures(&self) -> usize {
+        match self {
+            BaselineMsg::Consensus(m) => m.signature_count(),
+            BaselineMsg::TwoPcPrepare { cert_sigs, .. }
+            | BaselineMsg::TwoPcVote { cert_sigs, .. }
+            | BaselineMsg::TwoPcDecision { cert_sigs, .. }
+            | BaselineMsg::FlatCommit { cert_sigs, .. } => 1 + cert_sigs,
+            BaselineMsg::ProgressTimer => 0,
+            _ => 1,
+        }
+    }
+
+    fn is_payload(&self) -> bool {
+        matches!(self, BaselineMsg::ClientRequest(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saguaro_consensus::Command;
+    use saguaro_types::{ClientId, Operation};
+
+    fn tx(id: u64) -> Transaction {
+        Transaction::internal(TxId(id), ClientId(0), DomainId::new(1, 0), Operation::Noop)
+    }
+
+    #[test]
+    fn command_digests_distinguish_phases() {
+        let a = BCmd::ShardPrepare(tx(1));
+        let b = BCmd::ShardCommit(tx(1));
+        let c = BCmd::ShardCommit(tx(2));
+        assert_ne!(a.digest(), b.digest());
+        assert_ne!(b.digest(), c.digest());
+    }
+
+    #[test]
+    fn message_sizes_are_sane() {
+        assert!(BaselineMsg::ClientRequest(tx(1)).wire_bytes() > 100);
+        assert!(
+            BaselineMsg::TwoPcPrepare {
+                tx: tx(1),
+                cert_sigs: 3
+            }
+            .wire_bytes()
+                > BaselineMsg::TwoPcPrepare {
+                    tx: tx(1),
+                    cert_sigs: 1
+                }
+                .wire_bytes()
+        );
+        assert_eq!(BaselineMsg::ProgressTimer.wire_bytes(), 0);
+        assert!(BaselineMsg::ClientRequest(tx(1)).is_payload());
+    }
+}

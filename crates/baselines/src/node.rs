@@ -1,0 +1,523 @@
+//! The baseline replica node (AHL shard / AHL committee / SharPer shard).
+
+use crate::messages::{BCmd, BaselineMsg, BaselineRole};
+use saguaro_consensus::{ConsensusMsg, ConsensusReplica, Step};
+use saguaro_core::exec::execute_in_domain;
+use saguaro_hierarchy::HierarchyTree;
+use saguaro_ledger::{BlockchainState, LinearLedger, TxStatus};
+use saguaro_net::{Actor, Addr, Context, TimerId};
+use saguaro_types::{
+    DomainId, FailureModel, MultiSeq, NodeId, QuorumSpec, SeqNo, Transaction, TxId,
+};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// Counters the experiment harness reads after a baseline run.
+#[derive(Clone, Debug, Default)]
+pub struct BaselineStats {
+    /// Internal transactions committed by this node.
+    pub internal_committed: u64,
+    /// Cross-shard transactions committed by this node.
+    pub cross_committed: u64,
+    /// Cross-shard transactions aborted.
+    pub cross_aborted: u64,
+}
+
+#[derive(Debug)]
+struct AhlCoordEntry {
+    tx: Transaction,
+    votes: BTreeSet<DomainId>,
+    decided: bool,
+}
+
+#[derive(Debug, Default)]
+struct FlatEntry {
+    /// Votes per shard (CFT) or post-echo votes per shard (BFT).
+    votes: BTreeMap<DomainId, BTreeSet<NodeId>>,
+    /// Echoes per shard (BFT pre-commit phase).
+    echoes: BTreeMap<DomainId, BTreeSet<NodeId>>,
+    committed: bool,
+}
+
+/// A replica of a baseline (AHL or SharPer) deployment.
+pub struct BaselineNode {
+    id: NodeId,
+    role: BaselineRole,
+    tree: Arc<HierarchyTree>,
+    quorum: QuorumSpec,
+    peers: Vec<NodeId>,
+    consensus: ConsensusReplica<BCmd>,
+    /// The committee domain used by AHL deployments.
+    committee: DomainId,
+    ledger: LinearLedger,
+    state: BlockchainState,
+    reply_to: HashMap<TxId, saguaro_types::ClientId>,
+    // AHL committee bookkeeping.
+    coordinating: HashMap<TxId, AhlCoordEntry>,
+    // SharPer leader bookkeeping.
+    flattened: HashMap<TxId, FlatEntry>,
+    flat_seq: SeqNo,
+    /// Cross-shard transactions seen in a prepare/accept, kept so later
+    /// phases can re-propose them locally.
+    prepared_cache: HashMap<TxId, Transaction>,
+    /// Statistics for the harness.
+    pub stats: BaselineStats,
+}
+
+impl BaselineNode {
+    /// Creates a baseline replica.  `committee` names the AHL reference
+    /// committee domain (ignored for SharPer shards).
+    pub fn new(
+        id: NodeId,
+        role: BaselineRole,
+        tree: Arc<HierarchyTree>,
+        committee: DomainId,
+    ) -> Self {
+        let cfg = tree.config(id.domain).expect("domain exists");
+        let quorum = cfg.quorum;
+        let peers = tree.nodes_of(id.domain).expect("domain has nodes");
+        let consensus = ConsensusReplica::new(id, peers.clone(), quorum);
+        Self {
+            id,
+            role,
+            tree,
+            quorum,
+            peers,
+            consensus,
+            committee,
+            ledger: LinearLedger::new(id.domain),
+            state: BlockchainState::new(),
+            reply_to: HashMap::new(),
+            coordinating: HashMap::new(),
+            flattened: HashMap::new(),
+            flat_seq: 0,
+            prepared_cache: HashMap::new(),
+            stats: BaselineStats::default(),
+        }
+    }
+
+    /// Seeds an account balance before the run.
+    pub fn seed_account(&mut self, key: impl Into<String>, balance: u64) {
+        self.state.put(key, balance);
+    }
+
+    /// The node's role in the deployment.
+    pub fn role(&self) -> BaselineRole {
+        self.role
+    }
+
+    /// Counters for the harness.
+    pub fn stats(&self) -> &BaselineStats {
+        &self.stats
+    }
+
+    /// Read-only ledger access (tests).
+    pub fn ledger(&self) -> &LinearLedger {
+        &self.ledger
+    }
+
+    /// Read-only state access (tests).
+    pub fn blockchain_state(&self) -> &BlockchainState {
+        &self.state
+    }
+
+    fn is_primary(&self) -> bool {
+        self.consensus.is_primary()
+    }
+
+    fn domain(&self) -> DomainId {
+        self.id.domain
+    }
+
+    fn cert_sigs(&self) -> usize {
+        self.quorum.certificate_size()
+    }
+
+    fn other_peers(&self) -> Vec<NodeId> {
+        self.peers.iter().copied().filter(|p| *p != self.id).collect()
+    }
+
+    fn nodes_of(&self, d: DomainId) -> Vec<NodeId> {
+        self.tree.nodes_of(d).unwrap_or_default()
+    }
+
+    fn propose(&mut self, cmd: BCmd, ctx: &mut Context<'_, BaselineMsg>) {
+        let steps = self.consensus.propose(cmd);
+        self.drive(steps, ctx);
+    }
+
+    fn drive(&mut self, steps: Vec<Step<BCmd, ConsensusMsg<BCmd>>>, ctx: &mut Context<'_, BaselineMsg>) {
+        for step in steps {
+            match step {
+                Step::Send { to, msg } => ctx.send(to, BaselineMsg::Consensus(msg)),
+                Step::Broadcast { msg } => {
+                    ctx.multicast(self.other_peers(), BaselineMsg::Consensus(msg));
+                }
+                Step::Deliver { command, .. } => self.apply(command, ctx),
+                Step::ViewChanged { .. } => {}
+            }
+        }
+    }
+
+    fn reply(&mut self, tx_id: TxId, committed: bool, ctx: &mut Context<'_, BaselineMsg>) {
+        let Some(client) = self.reply_to.remove(&tx_id) else {
+            return;
+        };
+        let should_send = match self.quorum.model {
+            FailureModel::Crash => self.is_primary(),
+            FailureModel::Byzantine => true,
+        };
+        if should_send {
+            ctx.send(Addr::Client(client), BaselineMsg::Reply { tx_id, committed });
+        }
+    }
+
+    fn execute_and_commit(&mut self, tx: &Transaction, cross: bool, ctx: &mut Context<'_, BaselineMsg>) {
+        if self.ledger.contains(tx.id) {
+            return;
+        }
+        let domain = self.domain();
+        let _ = execute_in_domain(&mut self.state, &tx.op, domain);
+        if cross {
+            let mut seq = MultiSeq::new();
+            seq.set(domain, self.ledger.reserve_seq());
+            self.ledger
+                .append_cross_domain(tx.clone(), seq, TxStatus::Committed);
+            self.stats.cross_committed += 1;
+        } else {
+            self.ledger.append_internal(tx.clone(), TxStatus::Committed);
+            self.stats.internal_committed += 1;
+        }
+        self.reply(tx.id, true, ctx);
+    }
+
+    fn apply(&mut self, cmd: BCmd, ctx: &mut Context<'_, BaselineMsg>) {
+        match cmd {
+            BCmd::Internal(tx) => self.execute_and_commit(&tx, false, ctx),
+            BCmd::CommitteeOrder(tx) => self.apply_committee_order(tx, ctx),
+            BCmd::ShardPrepare(tx) => self.apply_shard_prepare(tx, ctx),
+            BCmd::ShardCommit(tx) => self.execute_and_commit(&tx, true, ctx),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Client request handling
+    // ------------------------------------------------------------------
+
+    fn handle_request(&mut self, tx: Transaction, ctx: &mut Context<'_, BaselineMsg>) {
+        self.reply_to.insert(tx.id, tx.client);
+        if !self.is_primary() {
+            ctx.send(self.consensus.primary(), BaselineMsg::ClientRequest(tx));
+            return;
+        }
+        if !tx.kind.is_cross_domain() {
+            self.propose(BCmd::Internal(tx), ctx);
+            return;
+        }
+        match self.role {
+            BaselineRole::AhlShard | BaselineRole::AhlCommittee => {
+                // Forward to the reference committee for 2PC coordination.
+                ctx.multicast(self.nodes_of(self.committee), BaselineMsg::CrossSubmit { tx });
+            }
+            BaselineRole::SharperShard => self.start_flattened(tx, ctx),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // AHL: reference committee + 2PC
+    // ------------------------------------------------------------------
+
+    fn on_cross_submit(&mut self, tx: Transaction, ctx: &mut Context<'_, BaselineMsg>) {
+        if self.role != BaselineRole::AhlCommittee || !self.is_primary() {
+            return;
+        }
+        if self.coordinating.contains_key(&tx.id) {
+            return;
+        }
+        self.propose(BCmd::CommitteeOrder(tx), ctx);
+    }
+
+    fn apply_committee_order(&mut self, tx: Transaction, ctx: &mut Context<'_, BaselineMsg>) {
+        self.coordinating.entry(tx.id).or_insert(AhlCoordEntry {
+            tx: tx.clone(),
+            votes: BTreeSet::new(),
+            decided: false,
+        });
+        if self.is_primary() {
+            let cert_sigs = self.cert_sigs();
+            for d in tx.involved_domains() {
+                ctx.multicast(
+                    self.nodes_of(d),
+                    BaselineMsg::TwoPcPrepare {
+                        tx: tx.clone(),
+                        cert_sigs,
+                    },
+                );
+            }
+        }
+    }
+
+    fn on_two_pc_prepare(&mut self, tx: Transaction, ctx: &mut Context<'_, BaselineMsg>) {
+        if !self.is_primary() || self.role == BaselineRole::AhlCommittee {
+            return;
+        }
+        if self.ledger.contains(tx.id) {
+            return;
+        }
+        self.propose(BCmd::ShardPrepare(tx), ctx);
+    }
+
+    fn apply_shard_prepare(&mut self, tx: Transaction, ctx: &mut Context<'_, BaselineMsg>) {
+        // The shard ordered (locked) the transaction; its primary votes.
+        self.prepared_cache.insert(tx.id, tx.clone());
+        if self.is_primary() {
+            let cert_sigs = self.cert_sigs();
+            ctx.multicast(
+                self.nodes_of(self.committee),
+                BaselineMsg::TwoPcVote {
+                    tx_id: tx.id,
+                    domain: self.domain(),
+                    ok: true,
+                    cert_sigs,
+                },
+            );
+        }
+    }
+
+    fn on_two_pc_vote(
+        &mut self,
+        tx_id: TxId,
+        domain: DomainId,
+        ok: bool,
+        ctx: &mut Context<'_, BaselineMsg>,
+    ) {
+        if self.role != BaselineRole::AhlCommittee {
+            return;
+        }
+        let (ready, tx) = {
+            let Some(entry) = self.coordinating.get_mut(&tx_id) else {
+                return;
+            };
+            if entry.decided || !ok {
+                return;
+            }
+            entry.votes.insert(domain);
+            let ready = entry
+                .tx
+                .involved_domains()
+                .iter()
+                .all(|d| entry.votes.contains(d));
+            if ready {
+                entry.decided = true;
+            }
+            (ready, entry.tx.clone())
+        };
+        if ready && self.is_primary() {
+            let cert_sigs = self.cert_sigs();
+            for d in tx.involved_domains() {
+                ctx.multicast(
+                    self.nodes_of(d),
+                    BaselineMsg::TwoPcDecision {
+                        tx_id,
+                        commit: true,
+                        cert_sigs,
+                    },
+                );
+            }
+        }
+    }
+
+    fn on_two_pc_decision(&mut self, tx_id: TxId, commit: bool, ctx: &mut Context<'_, BaselineMsg>) {
+        if self.role == BaselineRole::AhlCommittee {
+            return;
+        }
+        if !commit {
+            self.stats.cross_aborted += 1;
+            self.reply(tx_id, false, ctx);
+            return;
+        }
+        // The shard already ordered the transaction in phase 1; the primary
+        // now orders the commit so every replica executes it.
+        if self.is_primary() {
+            if let Some(entry) = self.ledger.get(tx_id) {
+                let tx = entry.tx.clone();
+                self.propose(BCmd::ShardCommit(tx), ctx);
+            } else if let Some(tx) = self.pending_prepared(tx_id) {
+                self.propose(BCmd::ShardCommit(tx), ctx);
+            }
+        }
+    }
+
+    /// Finds the transaction of a prepared-but-not-committed cross-shard
+    /// transaction (cached when the shard ordered the phase-1 prepare).
+    fn pending_prepared(&self, tx_id: TxId) -> Option<Transaction> {
+        self.prepared_cache.get(&tx_id).cloned()
+    }
+
+    // ------------------------------------------------------------------
+    // SharPer: flattened cross-shard consensus
+    // ------------------------------------------------------------------
+
+    fn start_flattened(&mut self, tx: Transaction, ctx: &mut Context<'_, BaselineMsg>) {
+        self.flat_seq += 1;
+        let seq = self.flat_seq;
+        self.flattened.entry(tx.id).or_default();
+        let leader_domain = self.domain();
+        for d in tx.involved_domains() {
+            ctx.multicast(
+                self.nodes_of(d),
+                BaselineMsg::FlatAccept {
+                    tx: tx.clone(),
+                    seq,
+                    leader_domain,
+                },
+            );
+        }
+    }
+
+    fn on_flat_accept(
+        &mut self,
+        tx: Transaction,
+        _seq: SeqNo,
+        leader_domain: DomainId,
+        ctx: &mut Context<'_, BaselineMsg>,
+    ) {
+        self.prepared_cache.insert(tx.id, tx.clone());
+        let leader_primary = NodeId::new(leader_domain, 0);
+        match self.quorum.model {
+            FailureModel::Crash => {
+                // CFT: vote straight back to the leader.
+                ctx.send(
+                    leader_primary,
+                    BaselineMsg::FlatVote {
+                        tx_id: tx.id,
+                        domain: self.domain(),
+                    },
+                );
+            }
+            FailureModel::Byzantine => {
+                // BFT: all-to-all echo across every involved shard first.
+                for d in tx.involved_domains() {
+                    ctx.multicast(
+                        self.nodes_of(d),
+                        BaselineMsg::FlatEcho {
+                            tx_id: tx.id,
+                            domain: self.domain(),
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn on_flat_echo(&mut self, tx_id: TxId, domain: DomainId, from: Addr, ctx: &mut Context<'_, BaselineMsg>) {
+        let Some(node) = from.as_node() else { return };
+        let Some(tx) = self.prepared_cache.get(&tx_id).cloned() else {
+            return;
+        };
+        let quorum = self.quorum.commit_quorum();
+        let entry = self.flattened.entry(tx_id).or_default();
+        entry.echoes.entry(domain).or_default().insert(node);
+        let all_quorate = tx
+            .involved_domains()
+            .iter()
+            .all(|d| entry.echoes.get(d).map(BTreeSet::len).unwrap_or(0) >= quorum);
+        if all_quorate && !entry.committed {
+            // Vote to the leader (the primary of the first involved domain in
+            // SharPer's deterministic leader assignment — here the initiator,
+            // recorded as the lowest involved domain's primary).
+            let leader = NodeId::new(tx.involved_domains()[0], 0);
+            ctx.send(
+                leader,
+                BaselineMsg::FlatVote {
+                    tx_id,
+                    domain: self.domain(),
+                },
+            );
+        }
+    }
+
+    fn on_flat_vote(&mut self, tx_id: TxId, domain: DomainId, from: Addr, ctx: &mut Context<'_, BaselineMsg>) {
+        let Some(node) = from.as_node() else { return };
+        let Some(tx) = self.prepared_cache.get(&tx_id).cloned() else {
+            return;
+        };
+        let needed_per_shard = match self.quorum.model {
+            FailureModel::Crash => self.quorum.commit_quorum(),
+            // After the echo phase each shard only needs one quorate reporter.
+            FailureModel::Byzantine => 1,
+        };
+        let (ready, involved) = {
+            let entry = self.flattened.entry(tx_id).or_default();
+            if entry.committed {
+                return;
+            }
+            entry.votes.entry(domain).or_default().insert(node);
+            let involved = tx.involved_domains();
+            let ready = involved
+                .iter()
+                .all(|d| entry.votes.get(d).map(BTreeSet::len).unwrap_or(0) >= needed_per_shard);
+            if ready {
+                entry.committed = true;
+            }
+            (ready, involved)
+        };
+        if ready {
+            let cert_sigs = self.cert_sigs();
+            for d in involved {
+                ctx.multicast(self.nodes_of(d), BaselineMsg::FlatCommit { tx_id, cert_sigs });
+            }
+        }
+    }
+
+    fn on_flat_commit(&mut self, tx_id: TxId, ctx: &mut Context<'_, BaselineMsg>) {
+        if !self.is_primary() {
+            return;
+        }
+        if let Some(tx) = self.prepared_cache.get(&tx_id).cloned() {
+            self.propose(BCmd::ShardCommit(tx), ctx);
+        }
+    }
+}
+
+impl Actor<BaselineMsg> for BaselineNode {
+    fn on_message(&mut self, from: Addr, msg: BaselineMsg, ctx: &mut Context<'_, BaselineMsg>) {
+        match msg {
+            BaselineMsg::ClientRequest(tx) => self.handle_request(tx, ctx),
+            BaselineMsg::Consensus(m) => {
+                if let Some(node) = from.as_node() {
+                    let steps = self.consensus.on_message(node, m);
+                    self.drive(steps, ctx);
+                }
+            }
+            BaselineMsg::CrossSubmit { tx } => self.on_cross_submit(tx, ctx),
+            BaselineMsg::TwoPcPrepare { tx, .. } => self.on_two_pc_prepare(tx, ctx),
+            BaselineMsg::TwoPcVote {
+                tx_id, domain, ok, ..
+            } => self.on_two_pc_vote(tx_id, domain, ok, ctx),
+            BaselineMsg::TwoPcDecision { tx_id, commit, .. } => {
+                self.on_two_pc_decision(tx_id, commit, ctx)
+            }
+            BaselineMsg::FlatAccept {
+                tx,
+                seq,
+                leader_domain,
+            } => self.on_flat_accept(tx, seq, leader_domain, ctx),
+            BaselineMsg::FlatEcho { tx_id, domain } => self.on_flat_echo(tx_id, domain, from, ctx),
+            BaselineMsg::FlatVote { tx_id, domain } => self.on_flat_vote(tx_id, domain, from, ctx),
+            BaselineMsg::FlatCommit { tx_id, .. } => self.on_flat_commit(tx_id, ctx),
+            BaselineMsg::Reply { .. } | BaselineMsg::ProgressTimer => {}
+        }
+    }
+
+    fn as_any(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn on_timer(&mut self, _id: TimerId, msg: BaselineMsg, ctx: &mut Context<'_, BaselineMsg>) {
+        if let BaselineMsg::ProgressTimer = msg {
+            let steps = self.consensus.on_progress_timeout();
+            self.drive(steps, ctx);
+        }
+    }
+}

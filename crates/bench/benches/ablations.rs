@@ -1,0 +1,50 @@
+//! Criterion bench for the DESIGN.md ablations: LCA vs fixed-root
+//! coordinator and contention sensitivity of the optimistic protocol.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use saguaro_sim::{experiment, ExperimentSpec, ProtocolKind};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(4));
+
+    group.bench_function("lca_coordinator_100pct_cross", |b| {
+        b.iter(|| {
+            let spec = ExperimentSpec::new(ProtocolKind::SaguaroCoordinator)
+                .quick()
+                .cross_domain(1.0)
+                .load(600.0);
+            experiment::run(&spec).throughput_tps
+        })
+    });
+    group.bench_function("fixed_root_coordinator_100pct_cross", |b| {
+        b.iter(|| {
+            let spec = ExperimentSpec::new(ProtocolKind::Ahl)
+                .quick()
+                .cross_domain(1.0)
+                .load(600.0);
+            experiment::run(&spec).throughput_tps
+        })
+    });
+    for contention in [0.1, 0.9] {
+        group.bench_function(
+            format!("optimistic_contention_{}pct", (contention * 100.0) as u32),
+            |b| {
+                b.iter(|| {
+                    let spec = ExperimentSpec::new(ProtocolKind::SaguaroOptimistic)
+                        .quick()
+                        .cross_domain(0.8)
+                        .contention(contention)
+                        .load(600.0);
+                    experiment::run(&spec).throughput_tps
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

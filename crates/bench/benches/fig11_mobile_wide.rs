@@ -1,0 +1,29 @@
+//! Criterion bench for Figure 11: mobile devices over the wide-area
+//! placement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use saguaro_hierarchy::Placement;
+use saguaro_sim::{experiment, ExperimentSpec, ProtocolKind};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_mobile_wide");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(4));
+    for mobile in [0.2, 1.0] {
+        group.bench_function(format!("mobile_{}pct", (mobile * 100.0) as u32), |b| {
+            b.iter(|| {
+                let spec = ExperimentSpec::new(ProtocolKind::SaguaroCoordinator)
+                    .placed(Placement::WideArea)
+                    .quick()
+                    .mobile(mobile)
+                    .load(500.0);
+                experiment::run(&spec).throughput_tps
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench for Figure 12: crash-only fault-tolerance scalability
+//! (domain sizes 3, 5 and 9).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use saguaro_hierarchy::Placement;
+use saguaro_sim::{experiment, ExperimentSpec, ProtocolKind};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_ft_cft");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(4));
+    for faults in [1usize, 2, 4] {
+        group.bench_function(format!("f{faults}"), |b| {
+            b.iter(|| {
+                let spec = ExperimentSpec::new(ProtocolKind::SaguaroCoordinator)
+                    .placed(Placement::SingleRegion)
+                    .with_faults(faults)
+                    .quick()
+                    .cross_domain(0.10)
+                    .load(800.0);
+                experiment::run(&spec).throughput_tps
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

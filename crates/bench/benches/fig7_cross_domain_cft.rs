@@ -1,0 +1,32 @@
+//! Criterion bench for Figure 7: one representative run per curve family
+//! (coordinator, optimistic, AHL, SharPer) at 20 % cross-domain, crash-only,
+//! nearby regions.  The full sweep is produced by the `figure7` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use saguaro_sim::{experiment, ExperimentSpec, ProtocolKind};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_cross_domain_cft");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(4));
+    for proto in [
+        ProtocolKind::SaguaroCoordinator,
+        ProtocolKind::SaguaroOptimistic,
+        ProtocolKind::Ahl,
+        ProtocolKind::Sharper,
+    ] {
+        group.bench_function(proto.label(), |b| {
+            b.iter(|| {
+                let spec = ExperimentSpec::new(proto).quick().cross_domain(0.2).load(800.0);
+                let m = experiment::run(&spec);
+                assert!(m.committed > 0);
+                m.throughput_tps
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench for Figure 8: Byzantine domains, 20 % cross-domain.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use saguaro_sim::{experiment, ExperimentSpec, ProtocolKind};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_cross_domain_bft");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(4));
+    for proto in [
+        ProtocolKind::SaguaroCoordinator,
+        ProtocolKind::SaguaroOptimistic,
+        ProtocolKind::Ahl,
+        ProtocolKind::Sharper,
+    ] {
+        group.bench_function(proto.label(), |b| {
+            b.iter(|| {
+                let spec = ExperimentSpec::new(proto)
+                    .byzantine()
+                    .quick()
+                    .cross_domain(0.2)
+                    .load(600.0);
+                experiment::run(&spec).throughput_tps
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

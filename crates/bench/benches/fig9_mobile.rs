@@ -1,0 +1,27 @@
+//! Criterion bench for Figure 9: mobile devices at 0 % and 100 % mobility,
+//! crash-only domains, nearby regions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use saguaro_sim::{experiment, ExperimentSpec, ProtocolKind};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_mobile");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(4));
+    for mobile in [0.0, 1.0] {
+        group.bench_function(format!("mobile_{}pct", (mobile * 100.0) as u32), |b| {
+            b.iter(|| {
+                let spec = ExperimentSpec::new(ProtocolKind::SaguaroCoordinator)
+                    .quick()
+                    .mobile(mobile)
+                    .load(600.0);
+                experiment::run(&spec).throughput_tps
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

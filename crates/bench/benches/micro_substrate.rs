@@ -1,0 +1,90 @@
+//! Microbenchmarks of the substrate: SHA-256, Merkle trees, signature
+//! verification and the internal consensus state machines.  These catch
+//! regressions in the building blocks underneath the figure benches.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use saguaro_consensus::{Command, ConsensusReplica, Step};
+use saguaro_crypto::{sha256, KeyPair, MerkleTree};
+use saguaro_types::{DomainId, FailureModel, NodeId, QuorumSpec};
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_crypto");
+    group.sample_size(20);
+    let payload = vec![0u8; 1024];
+    group.bench_function("sha256_1k", |b| b.iter(|| sha256(&payload)));
+
+    let leaves: Vec<Vec<u8>> = (0..256).map(|i| format!("tx-{i}").into_bytes()).collect();
+    group.bench_function("merkle_256_leaves", |b| {
+        b.iter(|| MerkleTree::from_leaves(&leaves).root())
+    });
+
+    let kp = KeyPair::for_node(NodeId::new(DomainId::new(1, 0), 0));
+    let digest = sha256(b"message");
+    group.bench_function("sign_verify", |b| {
+        b.iter(|| {
+            let s = kp.sign(&digest);
+            assert!(saguaro_crypto::sign::verify(&s, &digest));
+        })
+    });
+    group.finish();
+}
+
+fn bench_consensus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_consensus");
+    group.sample_size(20);
+    for (model, n) in [(FailureModel::Crash, 3u16), (FailureModel::Byzantine, 4)] {
+        group.bench_function(format!("{model:?}_commit_100"), |b| {
+            b.iter(|| {
+                let d = DomainId::new(1, 0);
+                let nodes: Vec<NodeId> = (0..n).map(|i| NodeId::new(d, i)).collect();
+                let quorum = QuorumSpec::for_size(model, n as usize);
+                let mut reps: Vec<ConsensusReplica<Vec<u8>>> = nodes
+                    .iter()
+                    .map(|id| ConsensusReplica::new(*id, nodes.clone(), quorum))
+                    .collect();
+                let mut queue: Vec<(usize, NodeId, _)> = Vec::new();
+                let mut delivered = 0usize;
+                for i in 0..100u8 {
+                    let steps = reps[0].propose(vec![i]);
+                    route(&nodes, 0, steps, &mut queue, &mut delivered);
+                }
+                while let Some((to, from, msg)) = queue.pop() {
+                    let steps = reps[to].on_message(from, msg);
+                    route(&nodes, to, steps, &mut queue, &mut delivered);
+                }
+                assert!(delivered >= 100 * nodes.len());
+                delivered
+            })
+        });
+    }
+    group.finish();
+}
+
+fn route<C: Command, M: Clone>(
+    nodes: &[NodeId],
+    origin: usize,
+    steps: Vec<Step<C, M>>,
+    queue: &mut Vec<(usize, NodeId, M)>,
+    delivered: &mut usize,
+) {
+    for step in steps {
+        match step {
+            Step::Send { to, msg } => {
+                let idx = nodes.iter().position(|n| *n == to).expect("known node");
+                queue.push((idx, nodes[origin], msg));
+            }
+            Step::Broadcast { msg } => {
+                for (i, _) in nodes.iter().enumerate() {
+                    if i != origin {
+                        queue.push((i, nodes[origin], msg.clone()));
+                    }
+                }
+            }
+            Step::Deliver { .. } => *delivered += 1,
+            Step::ViewChanged { .. } => {}
+        }
+    }
+}
+
+criterion_group!(benches, bench_crypto, bench_consensus);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Ablation studies listed in DESIGN.md: LCA vs fixed-root coordinator and
+//! the effect of contention on the optimistic protocol.
+
+use saguaro_bench::{emit, options_from_args};
+use saguaro_sim::figures::{ablation_contention, ablation_lca_vs_root, render_table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let options = options_from_args(&args);
+    emit(
+        "ablation-lca",
+        render_table(
+            "Ablation: LCA coordinator vs fixed root coordinator (100% cross-domain)",
+            &ablation_lca_vs_root(&options),
+        ),
+    );
+    emit(
+        "ablation-contention",
+        render_table(
+            "Ablation: contention sensitivity of the optimistic protocol (80% cross-domain)",
+            &ablation_contention(&options),
+        ),
+    );
+}

@@ -1,0 +1,24 @@
+//! Regenerates Figure 10: scalability over wide-area domains (seven far-apart
+//! regions, 90 % internal / 10 % cross-domain).
+
+use saguaro_bench::{emit, options_from_args};
+use saguaro_sim::figures::{figure10, render_table};
+use saguaro_types::FailureModel;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let options = options_from_args(&args);
+    for (model, label) in [
+        (FailureModel::Crash, "(a) crash-only"),
+        (FailureModel::Byzantine, "(b) Byzantine"),
+    ] {
+        let series = figure10(model, &options);
+        emit(
+            "figure10",
+            render_table(
+                &format!("Figure 10{label} wide area, 10% cross-domain"),
+                &series,
+            ),
+        );
+    }
+}

@@ -1,0 +1,21 @@
+//! Regenerates Figure 11: performance with mobile devices over the wide-area
+//! placement.
+
+use saguaro_bench::{emit, options_from_args};
+use saguaro_sim::figures::{figure11, render_table};
+use saguaro_types::FailureModel;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let options = options_from_args(&args);
+    for (model, label) in [
+        (FailureModel::Crash, "(a) crash-only"),
+        (FailureModel::Byzantine, "(b) Byzantine"),
+    ] {
+        let series = figure11(model, &options);
+        emit(
+            "figure11",
+            render_table(&format!("Figure 11{label} mobile devices, wide area"), &series),
+        );
+    }
+}

@@ -1,0 +1,21 @@
+//! Regenerates Figure 12: fault-tolerance scalability with crash-only domains
+//! of 5 (f = 2) and 9 (f = 4) replicas, single region, 90/10 workload.
+
+use saguaro_bench::{emit, options_from_args};
+use saguaro_sim::figures::{figure_ft, render_table};
+use saguaro_types::FailureModel;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let options = options_from_args(&args);
+    for (faults, label) in [(2, "(a) |p| = 5"), (4, "(b) |p| = 9")] {
+        let series = figure_ft(FailureModel::Crash, faults, &options);
+        emit(
+            "figure12",
+            render_table(
+                &format!("Figure 12{label} crash-only fault-tolerance scalability"),
+                &series,
+            ),
+        );
+    }
+}

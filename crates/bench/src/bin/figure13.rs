@@ -1,0 +1,21 @@
+//! Regenerates Figure 13: fault-tolerance scalability with Byzantine domains
+//! of 7 (f = 2) and 13 (f = 4) replicas, single region, 90/10 workload.
+
+use saguaro_bench::{emit, options_from_args};
+use saguaro_sim::figures::{figure_ft, render_table};
+use saguaro_types::FailureModel;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let options = options_from_args(&args);
+    for (faults, label) in [(2, "(a) |p| = 7"), (4, "(b) |p| = 13")] {
+        let series = figure_ft(FailureModel::Byzantine, faults, &options);
+        emit(
+            "figure13",
+            render_table(
+                &format!("Figure 13{label} Byzantine fault-tolerance scalability"),
+                &series,
+            ),
+        );
+    }
+}

@@ -1,0 +1,21 @@
+//! Regenerates Figure 7: cross-domain transactions over crash-only domains in
+//! nearby regions — 20 %, 80 % and 100 % cross-domain sub-figures, six curves
+//! each (AHL, SharPer, Coordinator, Opt-10/50/90 %C).
+
+use saguaro_bench::{emit, options_from_args};
+use saguaro_sim::figures::{figure7, render_table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let options = options_from_args(&args);
+    for (pct, label) in [(0.2, "(a) 20%"), (0.8, "(b) 80%"), (1.0, "(c) 100%")] {
+        let series = figure7(pct, &options);
+        emit(
+            "figure7",
+            render_table(
+                &format!("Figure 7{label} cross-domain, crash-only, nearby regions"),
+                &series,
+            ),
+        );
+    }
+}

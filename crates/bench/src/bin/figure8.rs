@@ -1,0 +1,20 @@
+//! Regenerates Figure 8: cross-domain transactions over Byzantine domains in
+//! nearby regions.
+
+use saguaro_bench::{emit, options_from_args};
+use saguaro_sim::figures::{figure8, render_table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let options = options_from_args(&args);
+    for (pct, label) in [(0.2, "(a) 20%"), (0.8, "(b) 80%"), (1.0, "(c) 100%")] {
+        let series = figure8(pct, &options);
+        emit(
+            "figure8",
+            render_table(
+                &format!("Figure 8{label} cross-domain, Byzantine, nearby regions"),
+                &series,
+            ),
+        );
+    }
+}

@@ -1,0 +1,21 @@
+//! Regenerates Figure 9: performance with mobile devices (0/20/80/100 %
+//! mobile clients) over nearby regions, crash-only and Byzantine domains.
+
+use saguaro_bench::{emit, options_from_args};
+use saguaro_sim::figures::{figure9, render_table};
+use saguaro_types::FailureModel;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let options = options_from_args(&args);
+    for (model, label) in [
+        (FailureModel::Crash, "(a) crash-only"),
+        (FailureModel::Byzantine, "(b) Byzantine"),
+    ] {
+        let series = figure9(model, &options);
+        emit(
+            "figure9",
+            render_table(&format!("Figure 9{label} mobile devices, nearby regions"), &series),
+        );
+    }
+}

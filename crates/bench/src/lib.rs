@@ -1,0 +1,58 @@
+//! Helpers shared by the figure binaries and the Criterion benches.
+//!
+//! Every figure of the paper's evaluation (7–13) has:
+//!
+//! * a binary (`cargo run --release -p saguaro-bench --bin figure7`) that
+//!   regenerates the full latency-vs-throughput series and prints it as a
+//!   table, and
+//! * a Criterion bench (`cargo bench -p saguaro-bench`) that measures one
+//!   representative configuration so regressions in protocol cost show up in
+//!   CI without re-running the whole sweep.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use saguaro_sim::figures::FigureOptions;
+
+/// Parses the common command-line options of the figure binaries.
+///
+/// `--quick` shrinks the measurement windows and the load grid so a figure
+/// regenerates in seconds (used by CI); `--seed N` changes the RNG seed.
+pub fn options_from_args(args: &[String]) -> FigureOptions {
+    let quick = args.iter().any(|a| a == "--quick");
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    let mut options = if quick {
+        FigureOptions::smoke()
+    } else {
+        FigureOptions::default()
+    };
+    options.seed = seed;
+    options
+}
+
+/// Prints a rendered figure table to stdout with a separating banner.
+pub fn emit(title: &str, table: String) {
+    println!("{}", "=".repeat(78));
+    println!("{table}");
+    let _ = title;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_flag_and_seed_are_parsed() {
+        let opts = options_from_args(&["--quick".into(), "--seed".into(), "7".into()]);
+        assert!(opts.quick);
+        assert_eq!(opts.seed, 7);
+        let opts = options_from_args(&[]);
+        assert!(!opts.quick);
+        assert_eq!(opts.seed, 42);
+    }
+}

@@ -1,0 +1,245 @@
+//! A dispatch wrapper over the two internal consensus protocols.
+//!
+//! Higher layers (the Saguaro node, the baselines, the experiment harness)
+//! hold one [`ConsensusReplica`] per domain member and do not care whether
+//! the domain is crash-only or Byzantine: proposing, message handling and
+//! timeouts are forwarded to the protocol selected by the domain's failure
+//! model, and wire messages travel as [`ConsensusMsg`].
+
+use crate::interface::{Command, Step};
+use crate::paxos::{PaxosMsg, PaxosReplica};
+use crate::pbft::{PbftMsg, PbftReplica};
+use saguaro_types::{FailureModel, NodeId, QuorumSpec, SeqNo};
+
+/// Wire message of either protocol.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConsensusMsg<C> {
+    /// A Multi-Paxos message (crash-only domains).
+    Paxos(PaxosMsg<C>),
+    /// A PBFT message (Byzantine domains).
+    Pbft(PbftMsg<C>),
+}
+
+impl<C> ConsensusMsg<C> {
+    /// Number of signatures a receiver has to verify for this message.
+    ///
+    /// Crash-only domains exchange unsigned messages inside the domain; BFT
+    /// messages carry one signature each (view changes carry certificates,
+    /// approximated as `1 + prepared entries`).
+    pub fn signature_count(&self) -> usize {
+        match self {
+            ConsensusMsg::Paxos(_) => 0,
+            ConsensusMsg::Pbft(m) => match m {
+                PbftMsg::ViewChange { prepared, .. } => 1 + prepared.len(),
+                PbftMsg::NewView { log, .. } => 1 + log.len(),
+                _ => 1,
+            },
+        }
+    }
+}
+
+/// A replica of one domain running whichever protocol the domain's failure
+/// model requires.
+#[derive(Clone, Debug)]
+pub enum ConsensusReplica<C> {
+    /// Multi-Paxos replica.
+    Paxos(PaxosReplica<C>),
+    /// PBFT replica.
+    Pbft(PbftReplica<C>),
+}
+
+impl<C: Command> ConsensusReplica<C> {
+    /// Creates the appropriate replica for a domain with the given quorum
+    /// specification.
+    pub fn new(me: NodeId, replicas: Vec<NodeId>, quorum: QuorumSpec) -> Self {
+        match quorum.model {
+            FailureModel::Crash => Self::Paxos(PaxosReplica::new(me, replicas, quorum)),
+            FailureModel::Byzantine => Self::Pbft(PbftReplica::new(me, replicas, quorum)),
+        }
+    }
+
+    /// The current view number.
+    pub fn view(&self) -> u64 {
+        match self {
+            Self::Paxos(r) => r.view(),
+            Self::Pbft(r) => r.view(),
+        }
+    }
+
+    /// The primary of the current view.
+    pub fn primary(&self) -> NodeId {
+        match self {
+            Self::Paxos(r) => r.primary(),
+            Self::Pbft(r) => r.primary(),
+        }
+    }
+
+    /// True if this replica is the primary of the current view.
+    pub fn is_primary(&self) -> bool {
+        match self {
+            Self::Paxos(r) => r.is_primary(),
+            Self::Pbft(r) => r.is_primary(),
+        }
+    }
+
+    /// Last delivered sequence number.
+    pub fn last_delivered(&self) -> SeqNo {
+        match self {
+            Self::Paxos(r) => r.last_delivered(),
+            Self::Pbft(r) => r.last_delivered(),
+        }
+    }
+
+    /// Proposes a command (no-op on non-primaries).
+    pub fn propose(&mut self, cmd: C) -> Vec<Step<C, ConsensusMsg<C>>> {
+        match self {
+            Self::Paxos(r) => wrap(r.propose(cmd), ConsensusMsg::Paxos),
+            Self::Pbft(r) => wrap(r.propose(cmd), ConsensusMsg::Pbft),
+        }
+    }
+
+    /// Handles a wire message from a peer replica.  Messages of the wrong
+    /// protocol (which a Byzantine peer could fabricate) are ignored.
+    pub fn on_message(&mut self, from: NodeId, msg: ConsensusMsg<C>) -> Vec<Step<C, ConsensusMsg<C>>> {
+        match (self, msg) {
+            (Self::Paxos(r), ConsensusMsg::Paxos(m)) => wrap(r.on_message(from, m), ConsensusMsg::Paxos),
+            (Self::Pbft(r), ConsensusMsg::Pbft(m)) => wrap(r.on_message(from, m), ConsensusMsg::Pbft),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Progress timeout: suspect the primary if this replica is a backup.
+    pub fn on_progress_timeout(&mut self) -> Vec<Step<C, ConsensusMsg<C>>> {
+        match self {
+            Self::Paxos(r) => wrap(r.on_progress_timeout(), ConsensusMsg::Paxos),
+            Self::Pbft(r) => wrap(r.on_progress_timeout(), ConsensusMsg::Pbft),
+        }
+    }
+}
+
+fn wrap<C, M, W>(steps: Vec<Step<C, M>>, f: impl Fn(M) -> W) -> Vec<Step<C, W>> {
+    steps
+        .into_iter()
+        .map(|s| match s {
+            Step::Send { to, msg } => Step::Send { to, msg: f(msg) },
+            Step::Broadcast { msg } => Step::Broadcast { msg: f(msg) },
+            Step::Deliver { seq, command } => Step::Deliver { seq, command },
+            Step::ViewChanged { view, primary } => Step::ViewChanged { view, primary },
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saguaro_types::DomainId;
+    use std::collections::VecDeque;
+
+    type Cmd = Vec<u8>;
+
+    fn domain(model: FailureModel, n: u16) -> (Vec<NodeId>, Vec<ConsensusReplica<Cmd>>) {
+        let d = DomainId::new(1, 0);
+        let nodes: Vec<NodeId> = (0..n).map(|i| NodeId::new(d, i)).collect();
+        let quorum = QuorumSpec::for_size(model, n as usize);
+        let reps = nodes
+            .iter()
+            .map(|id| ConsensusReplica::new(*id, nodes.clone(), quorum))
+            .collect();
+        (nodes, reps)
+    }
+
+    fn drive(nodes: &[NodeId], reps: &mut [ConsensusReplica<Cmd>], initial: Vec<(usize, Vec<Step<Cmd, ConsensusMsg<Cmd>>>)>) -> Vec<Vec<Cmd>> {
+        let mut delivered = vec![Vec::new(); reps.len()];
+        let mut queue: VecDeque<(usize, NodeId, ConsensusMsg<Cmd>)> = VecDeque::new();
+        let idx = |id: NodeId| nodes.iter().position(|n| *n == id).unwrap();
+        let handle = |o: usize,
+                          steps: Vec<Step<Cmd, ConsensusMsg<Cmd>>>,
+                          q: &mut VecDeque<(usize, NodeId, ConsensusMsg<Cmd>)>,
+                          del: &mut Vec<Vec<Cmd>>| {
+            for s in steps {
+                match s {
+                    Step::Send { to, msg } => q.push_back((idx(to), nodes[o], msg)),
+                    Step::Broadcast { msg } => {
+                        for i in 0..nodes.len() {
+                            if i != o {
+                                q.push_back((i, nodes[o], msg.clone()));
+                            }
+                        }
+                    }
+                    Step::Deliver { command, .. } => del[o].push(command),
+                    Step::ViewChanged { .. } => {}
+                }
+            }
+        };
+        for (o, s) in initial {
+            handle(o, s, &mut queue, &mut delivered);
+        }
+        while let Some((to, from, msg)) = queue.pop_front() {
+            let steps = reps[to].on_message(from, msg);
+            handle(to, steps, &mut queue, &mut delivered);
+        }
+        delivered
+    }
+
+    #[test]
+    fn selects_protocol_from_failure_model() {
+        let (_n, reps) = domain(FailureModel::Crash, 3);
+        assert!(matches!(reps[0], ConsensusReplica::Paxos(_)));
+        let (_n, reps) = domain(FailureModel::Byzantine, 4);
+        assert!(matches!(reps[0], ConsensusReplica::Pbft(_)));
+    }
+
+    #[test]
+    fn both_protocols_commit_through_the_wrapper() {
+        for (model, n) in [(FailureModel::Crash, 3u16), (FailureModel::Byzantine, 4)] {
+            let (nodes, mut reps) = domain(model, n);
+            assert!(reps[0].is_primary());
+            assert_eq!(reps[0].primary(), nodes[0]);
+            let steps = reps[0].propose(b"hello".to_vec());
+            let delivered = drive(&nodes, &mut reps, vec![(0, steps)]);
+            for d in &delivered {
+                assert_eq!(d, &vec![b"hello".to_vec()]);
+            }
+            assert!(reps.iter().all(|r| r.last_delivered() == 1));
+            assert_eq!(reps[0].view(), 0);
+        }
+    }
+
+    #[test]
+    fn cross_protocol_messages_are_ignored() {
+        let (_nodes, mut reps) = domain(FailureModel::Crash, 3);
+        let bogus = ConsensusMsg::Pbft(PbftMsg::Prepare {
+            view: 0,
+            seq: 1,
+            digest: saguaro_crypto::sha256(b"x"),
+        });
+        assert!(reps[1]
+            .on_message(NodeId::new(DomainId::new(1, 0), 0), bogus)
+            .is_empty());
+    }
+
+    #[test]
+    fn signature_counts_differ_between_models() {
+        let paxos: ConsensusMsg<Cmd> = ConsensusMsg::Paxos(PaxosMsg::Learn { view: 0, seq: 1 });
+        let pbft: ConsensusMsg<Cmd> = ConsensusMsg::Pbft(PbftMsg::Commit {
+            view: 0,
+            seq: 1,
+            digest: saguaro_crypto::sha256(b"x"),
+        });
+        assert_eq!(paxos.signature_count(), 0);
+        assert_eq!(pbft.signature_count(), 1);
+        let vc: ConsensusMsg<Cmd> = ConsensusMsg::Pbft(PbftMsg::ViewChange {
+            new_view: 1,
+            prepared: vec![(1, 0, b"c".to_vec()), (2, 0, b"d".to_vec())],
+            checkpoint: 0,
+        });
+        assert_eq!(vc.signature_count(), 3);
+    }
+
+    #[test]
+    fn timeout_dispatches_to_active_protocol() {
+        let (_nodes, mut reps) = domain(FailureModel::Byzantine, 4);
+        assert!(reps[0].on_progress_timeout().is_empty());
+        assert!(!reps[1].on_progress_timeout().is_empty());
+    }
+}

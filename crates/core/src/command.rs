@@ -1,0 +1,208 @@
+//! Commands ordered by a domain's internal consensus.
+//!
+//! Every decision a domain takes — committing an internal transaction,
+//! agreeing to participate in a cross-domain transaction, accepting a child
+//! block, extracting a mobile device's state — goes through the domain's
+//! internal consensus protocol.  This enum is the command type those
+//! protocols order.
+
+use saguaro_crypto::sha256::sha256_parts;
+use saguaro_crypto::Digest;
+use saguaro_ledger::Block;
+use saguaro_types::{ClientId, DomainId, MultiSeq, SeqNo, Transaction, TxId};
+
+/// A command ordered by the internal consensus of one domain.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Cmd {
+    /// Commit an internal client transaction (height-1 domains).
+    Internal(Transaction),
+    /// Coordinator (LCA) domain: agree to coordinate cross-domain transaction
+    /// `tx`, assigning it coordinator sequence number `coord_seq`.
+    CoordPrepare {
+        /// The cross-domain transaction.
+        tx: Transaction,
+        /// Sequence number assigned by the coordinator primary.
+        coord_seq: SeqNo,
+    },
+    /// Participant domain: agree to order cross-domain transaction `tx`
+    /// locally (the *prepared* phase of Algorithm 1).
+    CrossPrepare {
+        /// The cross-domain transaction.
+        tx: Transaction,
+        /// The coordinator's sequence number (nc).
+        coord_seq: SeqNo,
+    },
+    /// Coordinator domain: agree that `tx` is committed with the final
+    /// multi-part sequence number.
+    CoordCommit {
+        /// The transaction being committed.
+        tx_id: TxId,
+        /// Concatenated sequence numbers from every involved domain.
+        seqs: MultiSeq,
+        /// False when the coordinator decided to abort instead.
+        commit: bool,
+    },
+    /// Participant domain: optimistically order and execute a cross-domain
+    /// transaction without coordination (Section 6).
+    OptimisticCross(Transaction),
+    /// Height-2+ domain: incorporate a block received from a child domain.
+    ChildBlock {
+        /// The child domain that produced the block.
+        child: DomainId,
+        /// The block itself.
+        block: Block,
+    },
+    /// Local domain of a mobile device: extract and lock the device's state
+    /// (Algorithm 2, `GenerateState`).
+    MobileExtract {
+        /// The roaming device.
+        device: ClientId,
+        /// The remote domain that asked for the state.
+        remote: DomainId,
+        /// The request that triggered the state query (for reply routing).
+        trigger: TxId,
+    },
+    /// Remote domain of a mobile device: install the received state and
+    /// commit the triggering transaction.
+    MobileInstall {
+        /// The roaming device.
+        device: ClientId,
+        /// The device's state entries as extracted by its local domain.
+        entries: Vec<(String, u64)>,
+        /// The transaction to execute once the state is installed.
+        tx: Transaction,
+    },
+}
+
+impl Cmd {
+    /// The client transaction this command carries, if any.
+    pub fn transaction(&self) -> Option<&Transaction> {
+        match self {
+            Cmd::Internal(tx)
+            | Cmd::CoordPrepare { tx, .. }
+            | Cmd::CrossPrepare { tx, .. }
+            | Cmd::OptimisticCross(tx)
+            | Cmd::MobileInstall { tx, .. } => Some(tx),
+            _ => None,
+        }
+    }
+
+    /// A short tag used in digests and debugging.
+    fn tag(&self) -> &'static str {
+        match self {
+            Cmd::Internal(_) => "internal",
+            Cmd::CoordPrepare { .. } => "coord-prepare",
+            Cmd::CrossPrepare { .. } => "cross-prepare",
+            Cmd::CoordCommit { .. } => "coord-commit",
+            Cmd::OptimisticCross(_) => "optimistic",
+            Cmd::ChildBlock { .. } => "child-block",
+            Cmd::MobileExtract { .. } => "mobile-extract",
+            Cmd::MobileInstall { .. } => "mobile-install",
+        }
+    }
+}
+
+impl saguaro_consensus::Command for Cmd {
+    fn digest(&self) -> Digest {
+        let detail: Vec<u8> = match self {
+            Cmd::Internal(tx) | Cmd::OptimisticCross(tx) => tx.id.0.to_be_bytes().to_vec(),
+            Cmd::CoordPrepare { tx, coord_seq } => {
+                let mut v = tx.id.0.to_be_bytes().to_vec();
+                v.extend_from_slice(&coord_seq.to_be_bytes());
+                v
+            }
+            Cmd::CrossPrepare { tx, coord_seq } => {
+                let mut v = tx.id.0.to_be_bytes().to_vec();
+                v.extend_from_slice(&coord_seq.to_be_bytes());
+                v
+            }
+            Cmd::CoordCommit { tx_id, seqs, commit } => {
+                let mut v = tx_id.0.to_be_bytes().to_vec();
+                for (d, s) in seqs.iter() {
+                    v.push(d.height);
+                    v.extend_from_slice(&d.index.to_be_bytes());
+                    v.extend_from_slice(&s.to_be_bytes());
+                }
+                v.push(*commit as u8);
+                v
+            }
+            Cmd::ChildBlock { child, block } => {
+                let mut v = vec![child.height];
+                v.extend_from_slice(&child.index.to_be_bytes());
+                v.extend_from_slice(block.header.digest().as_ref());
+                v
+            }
+            Cmd::MobileExtract {
+                device,
+                remote,
+                trigger,
+            } => {
+                let mut v = device.0.to_be_bytes().to_vec();
+                v.push(remote.height);
+                v.extend_from_slice(&remote.index.to_be_bytes());
+                v.extend_from_slice(&trigger.0.to_be_bytes());
+                v
+            }
+            Cmd::MobileInstall { device, tx, .. } => {
+                let mut v = device.0.to_be_bytes().to_vec();
+                v.extend_from_slice(&tx.id.0.to_be_bytes());
+                v
+            }
+        };
+        sha256_parts(&[b"saguaro-cmd", self.tag().as_bytes(), &detail])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saguaro_consensus::Command;
+    use saguaro_types::Operation;
+
+    fn tx(id: u64) -> Transaction {
+        Transaction::internal(TxId(id), ClientId(0), DomainId::new(1, 0), Operation::Noop)
+    }
+
+    #[test]
+    fn different_commands_have_different_digests() {
+        let a = Cmd::Internal(tx(1));
+        let b = Cmd::Internal(tx(2));
+        let c = Cmd::OptimisticCross(tx(1));
+        let d = Cmd::CoordPrepare {
+            tx: tx(1),
+            coord_seq: 3,
+        };
+        assert_ne!(a.digest(), b.digest());
+        assert_ne!(a.digest(), c.digest());
+        assert_ne!(a.digest(), d.digest());
+        assert_eq!(a.digest(), Cmd::Internal(tx(1)).digest());
+    }
+
+    #[test]
+    fn coord_commit_digest_covers_decision() {
+        let seqs = MultiSeq::from_parts(vec![(DomainId::new(1, 0), 4)]);
+        let commit = Cmd::CoordCommit {
+            tx_id: TxId(1),
+            seqs: seqs.clone(),
+            commit: true,
+        };
+        let abort = Cmd::CoordCommit {
+            tx_id: TxId(1),
+            seqs,
+            commit: false,
+        };
+        assert_ne!(commit.digest(), abort.digest());
+    }
+
+    #[test]
+    fn transaction_accessor() {
+        assert!(Cmd::Internal(tx(1)).transaction().is_some());
+        assert!(Cmd::CoordCommit {
+            tx_id: TxId(1),
+            seqs: MultiSeq::new(),
+            commit: true
+        }
+        .transaction()
+        .is_none());
+    }
+}

@@ -1,0 +1,131 @@
+//! Protocol configuration knobs.
+
+use saguaro_ledger::AbstractionFn;
+use saguaro_types::Duration;
+
+/// How cross-domain transactions are processed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrossDomainMode {
+    /// Coordinator-based protocol (Algorithm 1): the LCA domain coordinates a
+    /// prepare / prepared / commit exchange.
+    Coordinator,
+    /// Optimistic protocol (Section 6): each involved domain orders and
+    /// executes independently; ancestors detect inconsistencies lazily.
+    Optimistic,
+}
+
+/// Static protocol parameters shared by every node of a deployment.
+#[derive(Clone, Debug)]
+pub struct ProtocolConfig {
+    /// Cross-domain processing mode.
+    pub cross_mode: CrossDomainMode,
+    /// Length of a height-1 round (time between `block` messages to the
+    /// parent).  Higher levels double this per level, as in Figure 4 where
+    /// "the time interval of height-2 domains is twice the height-1 domains".
+    pub round_interval: Duration,
+    /// The optimistic protocol uses a shorter round so inconsistencies are
+    /// detected earlier ("the predefined time interval for completion of
+    /// rounds is smaller").
+    pub optimistic_round_interval: Duration,
+    /// Timeout after which a coordinator aborts and retries a cross-domain
+    /// transaction that has not gathered all prepared messages (deadlock
+    /// resolution).  Staggered per domain by `deadlock_stagger`.
+    pub cross_domain_timeout: Duration,
+    /// Additional per-domain-index stagger added to `cross_domain_timeout` so
+    /// two deadlocked coordinators do not retry in lockstep.
+    pub deadlock_stagger: Duration,
+    /// Timeout after which a participant queries the coordinator for a
+    /// missing commit message.
+    pub commit_query_timeout: Duration,
+    /// Abstraction function applied to state updates before propagation.
+    pub abstraction: AbstractionFn,
+    /// Number of rounds after which an optimistic cross-domain transaction
+    /// that is still missing from some involved domain is considered aborted.
+    pub optimistic_abort_rounds: u64,
+}
+
+impl ProtocolConfig {
+    /// Configuration matching the paper's coordinator-based evaluation runs.
+    pub fn coordinator() -> Self {
+        Self {
+            cross_mode: CrossDomainMode::Coordinator,
+            round_interval: Duration::from_millis(50),
+            optimistic_round_interval: Duration::from_millis(20),
+            cross_domain_timeout: Duration::from_millis(400),
+            deadlock_stagger: Duration::from_millis(37),
+            commit_query_timeout: Duration::from_millis(600),
+            abstraction: AbstractionFn::Full,
+            optimistic_abort_rounds: 8,
+        }
+    }
+
+    /// Configuration matching the paper's optimistic evaluation runs.
+    pub fn optimistic() -> Self {
+        Self {
+            cross_mode: CrossDomainMode::Optimistic,
+            ..Self::coordinator()
+        }
+    }
+
+    /// Round interval for a domain at the given height (doubles per level
+    /// above 1).
+    pub fn round_interval_for_height(&self, height: u8) -> Duration {
+        let base = match self.cross_mode {
+            CrossDomainMode::Coordinator => self.round_interval,
+            CrossDomainMode::Optimistic => self.optimistic_round_interval,
+        };
+        let factor = 1u64 << (height.saturating_sub(1).min(6)) as u64;
+        Duration::from_micros(base.as_micros() * factor)
+    }
+
+    /// Deadlock/retry timeout for a coordinator domain with the given index
+    /// ("Saguaro assigns different timers to different domains to prevent
+    /// consecutive deadlock situations").
+    pub fn deadlock_timeout_for(&self, domain_index: u16) -> Duration {
+        Duration::from_micros(
+            self.cross_domain_timeout.as_micros()
+                + self.deadlock_stagger.as_micros() * domain_index as u64,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_select_mode() {
+        assert_eq!(
+            ProtocolConfig::coordinator().cross_mode,
+            CrossDomainMode::Coordinator
+        );
+        assert_eq!(
+            ProtocolConfig::optimistic().cross_mode,
+            CrossDomainMode::Optimistic
+        );
+    }
+
+    #[test]
+    fn round_interval_doubles_per_height() {
+        let c = ProtocolConfig::coordinator();
+        let h1 = c.round_interval_for_height(1);
+        let h2 = c.round_interval_for_height(2);
+        let h3 = c.round_interval_for_height(3);
+        assert_eq!(h2.as_micros(), 2 * h1.as_micros());
+        assert_eq!(h3.as_micros(), 4 * h1.as_micros());
+    }
+
+    #[test]
+    fn optimistic_rounds_are_shorter() {
+        let c = ProtocolConfig::coordinator();
+        let o = ProtocolConfig::optimistic();
+        assert!(o.round_interval_for_height(1) < c.round_interval_for_height(1));
+    }
+
+    #[test]
+    fn deadlock_timeouts_are_staggered_per_domain() {
+        let c = ProtocolConfig::coordinator();
+        assert!(c.deadlock_timeout_for(1) > c.deadlock_timeout_for(0));
+        assert_ne!(c.deadlock_timeout_for(2), c.deadlock_timeout_for(3));
+    }
+}

@@ -1,0 +1,390 @@
+//! The wire messages of a Saguaro deployment.
+//!
+//! Everything that travels between simulated participants — client requests,
+//! internal consensus traffic, the cross-domain prepare / prepared / commit
+//! exchange, block propagation, mobile state transfer and the various timers
+//! — is a [`SaguaroMsg`].  The [`MessageMeta`] implementation gives the
+//! network simulator the wire size and signature count of each message so
+//! serialization and verification cost are charged realistically (the paper
+//! reports an average message size of 0.2 KB, with much larger block
+//! messages).
+
+use crate::command::Cmd;
+use saguaro_consensus::ConsensusMsg;
+use saguaro_ledger::Block;
+use saguaro_net::MessageMeta;
+use saguaro_types::{ClientId, DomainId, MultiSeq, SeqNo, Transaction, TxId};
+
+/// A message exchanged between Saguaro participants (or a timer payload).
+#[derive(Clone, Debug)]
+pub enum SaguaroMsg {
+    // ------------------------------------------------------------------
+    // Client path
+    // ------------------------------------------------------------------
+    /// Edge device → primary of a height-1 domain: process this transaction.
+    ClientRequest(Transaction),
+    /// Height-1 domain → edge device: the transaction was committed (or
+    /// aborted).  BFT domains send one reply per node; the client matches
+    /// `reply_quorum` of them.
+    Reply {
+        /// The transaction this reply is for.
+        tx_id: TxId,
+        /// True if committed, false if aborted.
+        committed: bool,
+    },
+
+    // ------------------------------------------------------------------
+    // Internal consensus
+    // ------------------------------------------------------------------
+    /// Intra-domain consensus traffic (Paxos or PBFT), wrapped.
+    Consensus(ConsensusMsg<Cmd>),
+
+    // ------------------------------------------------------------------
+    // Coordinator-based cross-domain protocol (Algorithm 1)
+    // ------------------------------------------------------------------
+    /// Participant primary → every node of the LCA domain: please coordinate
+    /// this cross-domain transaction.
+    CrossForward {
+        /// The cross-domain transaction.
+        tx: Transaction,
+    },
+    /// LCA primary → every node of each involved domain: prepare `tx` with
+    /// coordinator sequence number `coord_seq`.  Carries a certificate of
+    /// `cert_sigs` signatures when the LCA domain is Byzantine.
+    Prepare {
+        /// The cross-domain transaction.
+        tx: Transaction,
+        /// Coordinator sequence number (nc).
+        coord_seq: SeqNo,
+        /// Number of signatures in the attached certificate.
+        cert_sigs: usize,
+    },
+    /// Participant primary → every node of the LCA domain: this domain
+    /// ordered `tx` locally at `local_seq`.
+    PreparedMsg {
+        /// The transaction.
+        tx_id: TxId,
+        /// Coordinator sequence number (nc).
+        coord_seq: SeqNo,
+        /// Sequence number assigned by the participant (ni).
+        local_seq: SeqNo,
+        /// The participant domain.
+        domain: DomainId,
+        /// Number of signatures in the attached certificate.
+        cert_sigs: usize,
+    },
+    /// LCA primary → every node of each involved domain: final decision.
+    CommitCross {
+        /// The transaction.
+        tx_id: TxId,
+        /// Concatenated per-domain sequence numbers.
+        seqs: MultiSeq,
+        /// True to commit, false to abort.
+        commit: bool,
+        /// Number of signatures in the attached certificate.
+        cert_sigs: usize,
+    },
+    /// Involved node → LCA primary: acknowledgement of the commit.
+    AckCross {
+        /// The transaction.
+        tx_id: TxId,
+        /// The acknowledging domain.
+        domain: DomainId,
+    },
+    /// Participant node → LCA nodes: where is the commit for this prepared
+    /// transaction? (failure handling)
+    CommitQuery {
+        /// The transaction.
+        tx_id: TxId,
+        /// The querying domain.
+        domain: DomainId,
+    },
+    /// LCA node → participant nodes: where is your prepared message?
+    PreparedQuery {
+        /// The transaction.
+        tx_id: TxId,
+    },
+
+    // ------------------------------------------------------------------
+    // Lazy propagation (Section 5)
+    // ------------------------------------------------------------------
+    /// Child primary → every node of the parent domain: the block of the
+    /// round that just ended (certified by the child domain).
+    BlockMsg {
+        /// The producing child domain.
+        child: DomainId,
+        /// The block.
+        block: Block,
+        /// Number of signatures in the certificate (1 for CFT, 2f+1 for BFT).
+        cert_sigs: usize,
+    },
+
+    // ------------------------------------------------------------------
+    // Optimistic protocol (Section 6)
+    // ------------------------------------------------------------------
+    /// Initiator primary → every node of every involved domain: process this
+    /// cross-domain transaction optimistically.
+    OptForward {
+        /// The cross-domain transaction.
+        tx: Transaction,
+    },
+    /// Ancestor domain → involved domains: the transaction was found
+    /// inconsistent (or missing) and must be aborted, together with its
+    /// data-dependent transactions.
+    OptAbort {
+        /// The aborted transaction.
+        tx_id: TxId,
+    },
+    /// LCA → involved domains: the transaction was committed by every
+    /// involved domain.
+    OptCommit {
+        /// The committed transaction.
+        tx_id: TxId,
+    },
+
+    // ------------------------------------------------------------------
+    // Mobile consensus (Section 7, Algorithm 2)
+    // ------------------------------------------------------------------
+    /// Remote primary → nodes of the mobile device's local domain (and its
+    /// own domain): request the device's state.
+    StateQuery {
+        /// The roaming device.
+        device: ClientId,
+        /// The transaction that triggered the query.
+        tx: Transaction,
+        /// The remote domain asking.
+        remote: DomainId,
+    },
+    /// Local primary → nodes of the remote domain: the device's state.
+    StateMsg {
+        /// The roaming device.
+        device: ClientId,
+        /// Extracted state entries.
+        entries: Vec<(String, u64)>,
+        /// The transaction that triggered the query.
+        tx: Transaction,
+        /// Number of signatures in the certificate.
+        cert_sigs: usize,
+    },
+
+    // ------------------------------------------------------------------
+    // Timers (delivered back to the node that set them)
+    // ------------------------------------------------------------------
+    /// End-of-round timer: cut a block and send it to the parent.
+    RoundTimer,
+    /// Progress timer for the internal consensus (primary suspicion).
+    ProgressTimer,
+    /// Deadlock/retry timer for a coordinated cross-domain transaction.
+    CrossTimeout {
+        /// The transaction being coordinated.
+        tx_id: TxId,
+    },
+    /// Client-side timer payload: issue the next request (used by the
+    /// workload driver actors in `saguaro-sim`).
+    ClientTick,
+    /// Participant-side timer: query the coordinator if no commit arrived.
+    CommitQueryTimer {
+        /// The prepared transaction still missing its commit.
+        tx_id: TxId,
+    },
+}
+
+impl MessageMeta for SaguaroMsg {
+    fn wire_bytes(&self) -> usize {
+        match self {
+            SaguaroMsg::ClientRequest(tx) => tx.payload_bytes(),
+            SaguaroMsg::Reply { .. } => 96,
+            SaguaroMsg::Consensus(m) => consensus_bytes(m),
+            SaguaroMsg::CrossForward { tx } => tx.payload_bytes() + 48,
+            SaguaroMsg::Prepare { tx, cert_sigs, .. } => tx.payload_bytes() + 64 + 40 * cert_sigs,
+            SaguaroMsg::PreparedMsg { cert_sigs, .. } => 120 + 40 * cert_sigs,
+            SaguaroMsg::CommitCross { seqs, cert_sigs, .. } => {
+                96 + 16 * seqs.len() + 40 * cert_sigs
+            }
+            SaguaroMsg::AckCross { .. } => 96,
+            SaguaroMsg::CommitQuery { .. } | SaguaroMsg::PreparedQuery { .. } => 96,
+            SaguaroMsg::BlockMsg {
+                block, cert_sigs, ..
+            } => block.wire_bytes() + 40 * cert_sigs,
+            SaguaroMsg::OptForward { tx } => tx.payload_bytes() + 48,
+            SaguaroMsg::OptAbort { .. } | SaguaroMsg::OptCommit { .. } => 96,
+            SaguaroMsg::StateQuery { tx, .. } => tx.payload_bytes() + 64,
+            SaguaroMsg::StateMsg {
+                entries, cert_sigs, ..
+            } => 128 + entries.len() * 48 + 40 * cert_sigs,
+            // Timers never cross the network; size is irrelevant but must be
+            // defined.
+            SaguaroMsg::RoundTimer
+            | SaguaroMsg::ProgressTimer
+            | SaguaroMsg::CrossTimeout { .. }
+            | SaguaroMsg::ClientTick
+            | SaguaroMsg::CommitQueryTimer { .. } => 0,
+        }
+    }
+
+    fn signatures(&self) -> usize {
+        match self {
+            SaguaroMsg::ClientRequest(_) => 1,
+            SaguaroMsg::Reply { .. } => 1,
+            SaguaroMsg::Consensus(m) => m.signature_count(),
+            SaguaroMsg::CrossForward { .. } => 1,
+            SaguaroMsg::Prepare { cert_sigs, .. }
+            | SaguaroMsg::PreparedMsg { cert_sigs, .. }
+            | SaguaroMsg::CommitCross { cert_sigs, .. }
+            | SaguaroMsg::BlockMsg { cert_sigs, .. }
+            | SaguaroMsg::StateMsg { cert_sigs, .. } => 1 + cert_sigs,
+            SaguaroMsg::AckCross { .. }
+            | SaguaroMsg::CommitQuery { .. }
+            | SaguaroMsg::PreparedQuery { .. }
+            | SaguaroMsg::OptForward { .. }
+            | SaguaroMsg::OptAbort { .. }
+            | SaguaroMsg::OptCommit { .. }
+            | SaguaroMsg::StateQuery { .. } => 1,
+            SaguaroMsg::RoundTimer
+            | SaguaroMsg::ProgressTimer
+            | SaguaroMsg::CrossTimeout { .. }
+            | SaguaroMsg::ClientTick
+            | SaguaroMsg::CommitQueryTimer { .. } => 0,
+        }
+    }
+
+    fn is_payload(&self) -> bool {
+        matches!(self, SaguaroMsg::ClientRequest(_))
+    }
+}
+
+fn consensus_bytes(m: &ConsensusMsg<Cmd>) -> usize {
+    use saguaro_consensus::{PaxosMsg, PbftMsg};
+    let cmd_bytes = |c: &Cmd| -> usize {
+        match c {
+            Cmd::ChildBlock { block, .. } => block.wire_bytes(),
+            Cmd::MobileInstall { entries, .. } => 200 + entries.len() * 48,
+            _ => c
+                .transaction()
+                .map(|t| t.payload_bytes() + 48)
+                .unwrap_or(120),
+        }
+    };
+    match m {
+        ConsensusMsg::Paxos(p) => match p {
+            PaxosMsg::Accept { cmd, .. } => 64 + cmd_bytes(cmd),
+            PaxosMsg::Accepted { .. } | PaxosMsg::Learn { .. } => 80,
+            PaxosMsg::ViewChange { accepted, .. } => {
+                96 + accepted.iter().map(|(_, _, c)| cmd_bytes(c)).sum::<usize>()
+            }
+            PaxosMsg::NewView { log, .. } => {
+                96 + log.iter().map(|(_, c)| cmd_bytes(c)).sum::<usize>()
+            }
+        },
+        ConsensusMsg::Pbft(p) => match p {
+            PbftMsg::PrePrepare { cmd, .. } => 96 + cmd_bytes(cmd),
+            PbftMsg::Prepare { .. } | PbftMsg::Commit { .. } | PbftMsg::Checkpoint { .. } => 112,
+            PbftMsg::ViewChange { prepared, .. } => {
+                128 + prepared.iter().map(|(_, _, c)| cmd_bytes(c)).sum::<usize>()
+            }
+            PbftMsg::NewView { log, .. } => {
+                128 + log.iter().map(|(_, c)| cmd_bytes(c)).sum::<usize>()
+            }
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saguaro_ledger::StateDelta;
+    use saguaro_types::Operation;
+
+    fn tx() -> Transaction {
+        Transaction::internal(
+            TxId(1),
+            ClientId(1),
+            DomainId::new(1, 0),
+            Operation::Transfer {
+                from: "acct-0001".into(),
+                to: "acct-0002".into(),
+                amount: 5,
+            },
+        )
+    }
+
+    #[test]
+    fn request_is_about_point_two_kilobytes() {
+        let m = SaguaroMsg::ClientRequest(tx());
+        let b = m.wire_bytes();
+        assert!((150..300).contains(&b), "request size {b}");
+        assert!(m.is_payload());
+        assert_eq!(m.signatures(), 1);
+    }
+
+    #[test]
+    fn certified_messages_grow_with_signature_count() {
+        let small = SaguaroMsg::Prepare {
+            tx: tx(),
+            coord_seq: 1,
+            cert_sigs: 1,
+        };
+        let big = SaguaroMsg::Prepare {
+            tx: tx(),
+            coord_seq: 1,
+            cert_sigs: 3,
+        };
+        assert!(big.wire_bytes() > small.wire_bytes());
+        assert_eq!(big.signatures(), 4);
+    }
+
+    #[test]
+    fn block_messages_are_much_larger_than_requests() {
+        let block = Block::build(
+            DomainId::new(1, 0),
+            1,
+            saguaro_crypto::Digest::ZERO,
+            (0..100)
+                .map(|i| saguaro_ledger::CommittedTx {
+                    tx: Transaction::internal(
+                        TxId(i),
+                        ClientId(0),
+                        DomainId::new(1, 0),
+                        Operation::Noop,
+                    ),
+                    seq: MultiSeq::from_parts(vec![(DomainId::new(1, 0), i)]),
+                    status: saguaro_ledger::TxStatus::Committed,
+                })
+                .collect(),
+            StateDelta::new(),
+        );
+        let m = SaguaroMsg::BlockMsg {
+            child: DomainId::new(1, 0),
+            block,
+            cert_sigs: 3,
+        };
+        assert!(m.wire_bytes() > 10 * SaguaroMsg::ClientRequest(tx()).wire_bytes());
+    }
+
+    #[test]
+    fn timers_are_free() {
+        assert_eq!(SaguaroMsg::RoundTimer.wire_bytes(), 0);
+        assert_eq!(SaguaroMsg::ProgressTimer.signatures(), 0);
+        assert_eq!(SaguaroMsg::ClientTick.wire_bytes(), 0);
+    }
+
+    #[test]
+    fn consensus_messages_sized_by_protocol() {
+        use saguaro_consensus::{PaxosMsg, PbftMsg};
+        let cmd = Cmd::Internal(tx());
+        let paxos = SaguaroMsg::Consensus(ConsensusMsg::Paxos(PaxosMsg::Accept {
+            view: 0,
+            seq: 1,
+            cmd: cmd.clone(),
+        }));
+        let pbft = SaguaroMsg::Consensus(ConsensusMsg::Pbft(PbftMsg::PrePrepare {
+            view: 0,
+            seq: 1,
+            cmd,
+        }));
+        assert!(paxos.wire_bytes() > 200);
+        assert!(pbft.wire_bytes() > paxos.wire_bytes());
+        assert_eq!(paxos.signatures(), 0);
+        assert_eq!(pbft.signatures(), 1);
+    }
+}

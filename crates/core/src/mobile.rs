@@ -1,0 +1,354 @@
+//! The mobile consensus protocol (Section 7, Algorithm 2).
+//!
+//! When an edge device roams from its *local* (home) height-1 domain to a
+//! *remote* domain, the remote domain cannot process its transactions because
+//! it does not hold the device's state (e.g. its account balance).  Mobile
+//! consensus transfers that state once: the remote primary sends a
+//! `state-query` to the local domain; the local domain reaches internal
+//! consensus on extracting the state, flips the device's `lock` bit to
+//! `FALSE`, records which remote domain now owns the freshest copy, and sends
+//! a certified `state` message; the remote domain reaches internal consensus
+//! on installing the state and from then on executes the device's
+//! transactions locally.  When the device moves again (or returns home) the
+//! state is pulled back through the same mechanism, with the home domain
+//! acting as the intermediary.
+
+use crate::command::Cmd;
+use crate::exec::device_account;
+use crate::messages::SaguaroMsg;
+use crate::node::{MobileRecord, SaguaroNode};
+use saguaro_ledger::TxStatus;
+use saguaro_net::Context;
+use saguaro_types::{ClientId, DomainId, Transaction, TxKind};
+
+impl SaguaroNode {
+    /// A request from a roaming device arrived at this (remote) domain.
+    pub(crate) fn handle_remote_mobile_request(
+        &mut self,
+        tx: Transaction,
+        local: DomainId,
+        ctx: &mut Context<'_, SaguaroMsg>,
+    ) {
+        if !self.is_primary() {
+            ctx.send(self.consensus.primary(), SaguaroMsg::ClientRequest(tx));
+            return;
+        }
+        let device = tx.client;
+        if self.hosted_devices.contains(&device) {
+            // The device's state is already here: its transactions execute as
+            // internal transactions (this is what makes mobile consensus
+            // cheap — one state transfer per excursion, the paper's "10
+            // transactions within the remote domain").
+            self.propose(Cmd::Internal(tx), ctx);
+            return;
+        }
+        // First transaction of the excursion: ask the home domain for the
+        // device's state and queue the request until it arrives.
+        let first_query = !self.pending_mobile.contains_key(&device);
+        self.pending_mobile.entry(device).or_default().push(tx.clone());
+        if first_query {
+            self.send_to_domain(
+                local,
+                SaguaroMsg::StateQuery {
+                    device,
+                    tx,
+                    remote: self.domain(),
+                },
+                ctx,
+            );
+        }
+    }
+
+    /// An internal transaction arrived for a device whose state currently
+    /// lives in a remote domain: pull the state back first.
+    pub(crate) fn request_state_return(
+        &mut self,
+        tx: Transaction,
+        ctx: &mut Context<'_, SaguaroMsg>,
+    ) {
+        if !self.is_primary() {
+            ctx.send(self.consensus.primary(), SaguaroMsg::ClientRequest(tx));
+            return;
+        }
+        let device = tx.client;
+        let Some(record) = self.mobile.get(&device) else {
+            return;
+        };
+        let Some(remote) = record.remote else {
+            return;
+        };
+        let first_query = !self.pending_mobile.contains_key(&device);
+        self.pending_mobile.entry(device).or_default().push(tx.clone());
+        if first_query {
+            self.send_to_domain(
+                remote,
+                SaguaroMsg::StateQuery {
+                    device,
+                    tx,
+                    remote: self.domain(),
+                },
+                ctx,
+            );
+        }
+    }
+
+    /// A state query arrived: either this domain is the device's home (and
+    /// extracts/locks the state), or it is a previous remote domain still
+    /// hosting the state (and hands it over), or the home's copy is stale and
+    /// the query is relayed to wherever the freshest copy lives.
+    pub(crate) fn on_state_query(
+        &mut self,
+        device: ClientId,
+        tx: Transaction,
+        requester: DomainId,
+        ctx: &mut Context<'_, SaguaroMsg>,
+    ) {
+        if !self.is_primary() || requester == self.domain() {
+            return;
+        }
+        if self.hosted_devices.contains(&device) {
+            // A previous remote domain handing the state over directly.
+            let home = device_home(&tx, device);
+            let entries = self.state.extract_account_state(&device_account(home, device));
+            self.hosted_devices.remove(&device);
+            let cert_sigs = self.cert_sigs();
+            self.send_to_domain(
+                requester,
+                SaguaroMsg::StateMsg {
+                    device,
+                    entries,
+                    tx,
+                    cert_sigs,
+                },
+                ctx,
+            );
+            return;
+        }
+        let record = self.mobile.entry(device).or_insert(MobileRecord {
+            lock: true,
+            remote: None,
+        });
+        if record.lock {
+            // Algorithm 2, lines 8-9: the home copy is current; extract it.
+            self.pending_mobile.entry(device).or_default().push(tx.clone());
+            self.propose(
+                Cmd::MobileExtract {
+                    device,
+                    remote: requester,
+                    trigger: tx.id,
+                },
+                ctx,
+            );
+        } else if let Some(current_remote) = record.remote {
+            // Lines 10-12: some other remote domain has the freshest records;
+            // pull them back here first, then forward to the requester.
+            self.pending_mobile.entry(device).or_default().push(tx.clone());
+            self.send_to_domain(
+                current_remote,
+                SaguaroMsg::StateQuery {
+                    device,
+                    tx,
+                    remote: self.domain(),
+                },
+                ctx,
+            );
+        }
+    }
+
+    /// The home domain agreed (through internal consensus) to extract and
+    /// lock the device's state.
+    pub(crate) fn apply_mobile_extract(
+        &mut self,
+        device: ClientId,
+        remote: DomainId,
+        _trigger: saguaro_types::TxId,
+        ctx: &mut Context<'_, SaguaroMsg>,
+    ) {
+        // Every replica of the home domain flips the lock and records the new
+        // owner of the freshest copy.
+        self.mobile.insert(
+            device,
+            MobileRecord {
+                lock: false,
+                remote: Some(remote),
+            },
+        );
+        if self.is_primary() {
+            let entries = self
+                .state
+                .extract_account_state(&device_account(self.domain(), device));
+            let cert_sigs = self.cert_sigs();
+            let trigger_tx = self
+                .pending_mobile
+                .get_mut(&device)
+                .and_then(|q| q.pop());
+            if let Some(tx) = trigger_tx {
+                self.send_to_domain(
+                    remote,
+                    SaguaroMsg::StateMsg {
+                        device,
+                        entries,
+                        tx,
+                        cert_sigs,
+                    },
+                    ctx,
+                );
+            }
+        }
+    }
+
+    /// A certified state message arrived (at the remote domain the device is
+    /// visiting, or back at the home domain).
+    pub(crate) fn on_state_msg(
+        &mut self,
+        device: ClientId,
+        entries: Vec<(String, u64)>,
+        tx: Transaction,
+        ctx: &mut Context<'_, SaguaroMsg>,
+    ) {
+        if !self.is_primary() {
+            return;
+        }
+        self.propose(
+            Cmd::MobileInstall {
+                device,
+                entries,
+                tx,
+            },
+            ctx,
+        );
+    }
+
+    /// The domain agreed to install the device's state.  Depending on whose
+    /// domain we are (the visited remote, the home pulling state back, or the
+    /// home acting as intermediary) the triggering transaction is executed or
+    /// forwarded.
+    pub(crate) fn apply_mobile_install(
+        &mut self,
+        device: ClientId,
+        entries: Vec<(String, u64)>,
+        tx: Transaction,
+        ctx: &mut Context<'_, SaguaroMsg>,
+    ) {
+        self.state.install_account_state(&entries);
+        let home = device_home(&tx, device);
+        let my_domain = self.domain();
+        let destination = match &tx.kind {
+            TxKind::Mobile { remote, .. } => *remote,
+            TxKind::Internal { domain } => *domain,
+            TxKind::CrossDomain { .. } => my_domain,
+        };
+
+        if destination == my_domain {
+            // The state reached the domain that needs it: execute the
+            // triggering transaction and everything queued behind it.
+            if home == my_domain {
+                self.mobile.insert(
+                    device,
+                    MobileRecord {
+                        lock: true,
+                        remote: None,
+                    },
+                );
+            } else {
+                self.hosted_devices.insert(device);
+            }
+            self.execute_mobile_tx(tx, home, ctx);
+            let queued: Vec<Transaction> = self
+                .pending_mobile
+                .remove(&device)
+                .unwrap_or_default();
+            for q in queued {
+                self.execute_mobile_tx(q, home, ctx);
+            }
+        } else if home == my_domain && self.is_primary() {
+            // Intermediary: the home domain pulled the state back from a
+            // previous remote and now forwards it to the new remote.
+            self.mobile.insert(
+                device,
+                MobileRecord {
+                    lock: false,
+                    remote: Some(destination),
+                },
+            );
+            let fresh = self
+                .state
+                .extract_account_state(&device_account(home, device));
+            let cert_sigs = self.cert_sigs();
+            self.send_to_domain(
+                destination,
+                SaguaroMsg::StateMsg {
+                    device,
+                    entries: fresh,
+                    tx,
+                    cert_sigs,
+                },
+                ctx,
+            );
+        } else if home == my_domain {
+            // Non-primary replicas of the intermediary still record the
+            // pointer so a view change keeps the routing information.
+            self.mobile.insert(
+                device,
+                MobileRecord {
+                    lock: false,
+                    remote: Some(destination),
+                },
+            );
+        }
+    }
+
+    /// Executes a (now local) transaction of a mobile device and commits it
+    /// to the ledger.
+    fn execute_mobile_tx(
+        &mut self,
+        tx: Transaction,
+        home: DomainId,
+        ctx: &mut Context<'_, SaguaroMsg>,
+    ) {
+        if self.ledger.contains(tx.id) {
+            return;
+        }
+        if let Some(undo) = self.execute_owned(&tx.op) {
+            self.undo_log.insert(tx.id, undo);
+        }
+        self.ledger.append_internal(tx.clone(), TxStatus::Committed);
+        if home == self.domain() {
+            self.stats.internal_committed += 1;
+        } else {
+            self.stats.mobile_committed += 1;
+        }
+        self.stats.commit_times.insert(tx.id, ctx.now());
+        self.reply(tx.id, true, ctx);
+    }
+}
+
+/// The home domain of the device issuing `tx` (falls back to the transaction
+/// kind's information; every mobile transaction carries its local domain).
+fn device_home(tx: &Transaction, _device: ClientId) -> DomainId {
+    match &tx.kind {
+        TxKind::Mobile { local, .. } => *local,
+        TxKind::Internal { domain } => *domain,
+        TxKind::CrossDomain { domains } => domains.first().copied().unwrap_or(DomainId::new(1, 0)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saguaro_types::{Operation, TxId};
+
+    #[test]
+    fn device_home_prefers_the_mobile_local_domain() {
+        let tx = Transaction::mobile(
+            TxId(1),
+            ClientId(9),
+            DomainId::new(1, 2),
+            DomainId::new(1, 3),
+            Operation::Noop,
+        );
+        assert_eq!(device_home(&tx, ClientId(9)), DomainId::new(1, 2));
+        let tx = Transaction::internal(TxId(2), ClientId(9), DomainId::new(1, 1), Operation::Noop);
+        assert_eq!(device_home(&tx, ClientId(9)), DomainId::new(1, 1));
+    }
+}

@@ -1,0 +1,482 @@
+//! The Saguaro replica node.
+//!
+//! One [`SaguaroNode`] is instantiated per replica of every height-1 and
+//! above domain.  It wires together:
+//!
+//! * the domain's internal consensus ([`saguaro_consensus::ConsensusReplica`]),
+//! * the execution layer of height-1 domains (linear ledger + blockchain
+//!   state),
+//! * the summarized layer of height-2+ domains (DAG ledger + aggregate view),
+//! * the coordinator-based cross-domain protocol (`coordinator` module),
+//! * the optimistic cross-domain protocol (`optimistic` module),
+//! * lazy block propagation (`propagation` module), and
+//! * the mobile consensus protocol (`mobile` module).
+//!
+//! The node is a [`saguaro_net::Actor`]: all interaction happens through
+//! `on_message` / `on_timer` callbacks of the discrete-event simulator.
+
+use crate::command::Cmd;
+use crate::config::{CrossDomainMode, ProtocolConfig};
+use crate::coordinator::{CoordEntry, ParticipantEntry};
+use crate::messages::SaguaroMsg;
+use crate::optimistic::{OptTracker, OptimisticValidator};
+use crate::stats::NodeStats;
+use saguaro_consensus::{ConsensusMsg, ConsensusReplica, Step};
+use saguaro_ledger::{
+    AggregateView, Block, BlockchainState, DagLedger, LinearLedger, TxStatus, UndoRecord,
+};
+use saguaro_net::{Actor, Addr, Context, TimerId};
+use saguaro_hierarchy::HierarchyTree;
+use saguaro_types::{
+    ClientId, DomainId, Duration, FailureModel, NodeId, Operation, QuorumSpec, SeqNo, Transaction,
+    TxId,
+};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+/// State kept for a mobile device registered in (or hosted by) this domain.
+#[derive(Clone, Debug)]
+pub(crate) struct MobileRecord {
+    /// `true` when this domain's copy of the device state is current.
+    pub lock: bool,
+    /// The remote domain holding the most recent records when `lock == false`.
+    pub remote: Option<DomainId>,
+}
+
+/// A Saguaro replica node (one per VM of the paper's testbed).
+pub struct SaguaroNode {
+    pub(crate) id: NodeId,
+    pub(crate) tree: Arc<HierarchyTree>,
+    pub(crate) config: ProtocolConfig,
+    pub(crate) quorum: QuorumSpec,
+    /// All replicas of this node's domain (sorted), including `id`.
+    pub(crate) peers: Vec<NodeId>,
+    pub(crate) consensus: ConsensusReplica<Cmd>,
+
+    // ---------------- execution layer (height-1 domains) ----------------
+    pub(crate) ledger: LinearLedger,
+    pub(crate) state: BlockchainState,
+    /// Raw state updates of the current round (input to the abstraction fn).
+    pub(crate) round_updates: Vec<(String, u64)>,
+    /// Undo records of executed transactions (needed for optimistic aborts).
+    pub(crate) undo_log: HashMap<TxId, UndoRecord>,
+    /// Clients whose request this domain received directly (reply targets).
+    pub(crate) reply_to: HashMap<TxId, ClientId>,
+
+    // ---------------- summarized layer (height-2+ domains) ----------------
+    pub(crate) dag: DagLedger,
+    pub(crate) agg: AggregateView,
+    /// Child blocks that arrived out of order, buffered until their turn.
+    pub(crate) pending_child_blocks: BTreeMap<(DomainId, u64), Block>,
+    /// Transactions newly added to the DAG since the last round (contents of
+    /// the next block this domain sends to its own parent).
+    pub(crate) dag_new_since_round: Vec<TxId>,
+
+    // ---------------- coordinator-based cross-domain state ----------------
+    /// Transactions this domain currently coordinates (it is their LCA).
+    pub(crate) coordinated: HashMap<TxId, CoordEntry>,
+    /// Cross-domain transactions queued at the coordinator because they
+    /// intersect an in-flight transaction in two or more domains.
+    pub(crate) coord_queue: VecDeque<Transaction>,
+    /// Next coordinator sequence number.
+    pub(crate) next_coord_seq: SeqNo,
+    /// Cross-domain transactions this domain participates in.
+    pub(crate) participating: HashMap<TxId, ParticipantEntry>,
+    /// Prepares queued at a participant because of conflict blocking.
+    pub(crate) participant_queue: VecDeque<(Transaction, SeqNo, usize)>,
+
+    // ---------------- optimistic cross-domain state ----------------
+    pub(crate) opt: OptTracker,
+    pub(crate) validator: OptimisticValidator,
+
+    // ---------------- mobile consensus state ----------------
+    /// Lock bit / remote pointer for devices whose home is this domain.
+    pub(crate) mobile: HashMap<ClientId, MobileRecord>,
+    /// Devices whose state this (remote) domain currently hosts.
+    pub(crate) hosted_devices: HashSet<ClientId>,
+    /// Requests waiting for a device state to arrive, keyed by device.
+    pub(crate) pending_mobile: HashMap<ClientId, Vec<Transaction>>,
+
+    // ---------------- timers & misc ----------------
+    pub(crate) round: u64,
+    pub(crate) progress_timer: Option<TimerId>,
+    pub(crate) last_progress_check: SeqNo,
+    /// Measurement counters read by the experiment harness.
+    pub stats: NodeStats,
+}
+
+impl SaguaroNode {
+    /// Creates the replica `id` for a deployment described by `tree`.
+    pub fn new(id: NodeId, tree: Arc<HierarchyTree>, config: ProtocolConfig) -> Self {
+        let cfg = tree.config(id.domain).expect("node's domain is in the tree");
+        let quorum = cfg.quorum;
+        let peers = tree.nodes_of(id.domain).expect("domain has nodes");
+        let consensus = ConsensusReplica::new(id, peers.clone(), quorum);
+        Self {
+            id,
+            tree,
+            config,
+            quorum,
+            peers,
+            consensus,
+            ledger: LinearLedger::new(id.domain),
+            state: BlockchainState::new(),
+            round_updates: Vec::new(),
+            undo_log: HashMap::new(),
+            reply_to: HashMap::new(),
+            dag: DagLedger::new(),
+            agg: AggregateView::new(),
+            pending_child_blocks: BTreeMap::new(),
+            dag_new_since_round: Vec::new(),
+            coordinated: HashMap::new(),
+            coord_queue: VecDeque::new(),
+            next_coord_seq: 1,
+            participating: HashMap::new(),
+            participant_queue: VecDeque::new(),
+            opt: OptTracker::default(),
+            validator: OptimisticValidator::default(),
+            mobile: HashMap::new(),
+            hosted_devices: HashSet::new(),
+            pending_mobile: HashMap::new(),
+            round: 0,
+            progress_timer: None,
+            last_progress_check: 0,
+            stats: NodeStats::default(),
+        }
+    }
+
+    /// Seeds an account balance directly (experiment setup, before the run).
+    pub fn seed_account(&mut self, key: impl Into<String>, balance: u64) {
+        self.state.put(key, balance);
+    }
+
+    /// The node identifier.
+    pub fn node_id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The domain this node belongs to.
+    pub fn domain(&self) -> DomainId {
+        self.id.domain
+    }
+
+    /// Read-only access to the node's blockchain state.
+    pub fn blockchain_state(&self) -> &BlockchainState {
+        &self.state
+    }
+
+    /// Read-only access to the node's linear ledger (height-1 domains).
+    pub fn ledger(&self) -> &LinearLedger {
+        &self.ledger
+    }
+
+    /// Read-only access to the node's DAG ledger (height-2+ domains).
+    pub fn dag_ledger(&self) -> &DagLedger {
+        &self.dag
+    }
+
+    /// Read-only access to the aggregate view (height-2+ domains).
+    pub fn aggregate_view(&self) -> &AggregateView {
+        &self.agg
+    }
+
+    /// Measurement counters.
+    pub fn stats(&self) -> &NodeStats {
+        &self.stats
+    }
+
+    /// True if this node is currently the primary of its domain.
+    pub fn is_primary(&self) -> bool {
+        self.consensus.is_primary()
+    }
+
+    // ------------------------------------------------------------------
+    // Helpers shared by the protocol modules
+    // ------------------------------------------------------------------
+
+    /// All replicas of another domain.
+    pub(crate) fn nodes_of(&self, domain: DomainId) -> Vec<NodeId> {
+        self.tree.nodes_of(domain).unwrap_or_default()
+    }
+
+    /// The number of certificate signatures this domain attaches to messages
+    /// it sends to other domains (1 for CFT, 2f + 1 for BFT).
+    pub(crate) fn cert_sigs(&self) -> usize {
+        self.quorum.certificate_size()
+    }
+
+    /// Peers of this node's own domain, excluding itself.
+    pub(crate) fn other_peers(&self) -> Vec<NodeId> {
+        self.peers.iter().copied().filter(|p| *p != self.id).collect()
+    }
+
+    /// Sends a message to every node of `domain`.
+    pub(crate) fn send_to_domain(
+        &self,
+        domain: DomainId,
+        msg: SaguaroMsg,
+        ctx: &mut Context<'_, SaguaroMsg>,
+    ) {
+        ctx.multicast(self.nodes_of(domain), msg);
+    }
+
+    /// Proposes a command through the internal consensus (primary only) and
+    /// drives the resulting steps.
+    pub(crate) fn propose(&mut self, cmd: Cmd, ctx: &mut Context<'_, SaguaroMsg>) {
+        let steps = self.consensus.propose(cmd);
+        self.drive(steps, ctx);
+    }
+
+    /// Applies consensus output steps: routes messages and executes delivered
+    /// commands.
+    pub(crate) fn drive(
+        &mut self,
+        steps: Vec<Step<Cmd, ConsensusMsg<Cmd>>>,
+        ctx: &mut Context<'_, SaguaroMsg>,
+    ) {
+        for step in steps {
+            match step {
+                Step::Send { to, msg } => ctx.send(to, SaguaroMsg::Consensus(msg)),
+                Step::Broadcast { msg } => {
+                    ctx.multicast(self.other_peers(), SaguaroMsg::Consensus(msg));
+                }
+                Step::Deliver { seq, command } => self.apply_command(seq, command, ctx),
+                Step::ViewChanged { .. } => {
+                    self.stats.view_changes += 1;
+                }
+            }
+        }
+    }
+
+    /// Executes a command the domain's internal consensus has committed.
+    fn apply_command(&mut self, _seq: SeqNo, cmd: Cmd, ctx: &mut Context<'_, SaguaroMsg>) {
+        match cmd {
+            Cmd::Internal(tx) => self.apply_internal(tx, ctx),
+            Cmd::CoordPrepare { tx, coord_seq } => self.apply_coord_prepare(tx, coord_seq, ctx),
+            Cmd::CrossPrepare { tx, coord_seq } => self.apply_cross_prepare(tx, coord_seq, ctx),
+            Cmd::CoordCommit {
+                tx_id,
+                seqs,
+                commit,
+            } => self.apply_coord_commit(tx_id, seqs, commit, ctx),
+            Cmd::OptimisticCross(tx) => self.apply_optimistic(tx, ctx),
+            Cmd::ChildBlock { child, block } => self.apply_child_block(child, block, ctx),
+            Cmd::MobileExtract {
+                device,
+                remote,
+                trigger,
+            } => self.apply_mobile_extract(device, remote, trigger, ctx),
+            Cmd::MobileInstall {
+                device,
+                entries,
+                tx,
+            } => self.apply_mobile_install(device, entries, tx, ctx),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Internal transactions
+    // ------------------------------------------------------------------
+
+    fn handle_client_request(&mut self, tx: Transaction, ctx: &mut Context<'_, SaguaroMsg>) {
+        // Remember who to reply to: the domain that receives the request
+        // replies after commit.
+        self.reply_to.insert(tx.id, tx.client);
+        match &tx.kind {
+            saguaro_types::TxKind::Internal { .. } => {
+                // A device that roamed away must have its state pulled back
+                // before its internal transactions can execute (Section 7).
+                if self
+                    .mobile
+                    .get(&tx.client)
+                    .is_some_and(|m| !m.lock && m.remote.is_some())
+                {
+                    self.request_state_return(tx, ctx);
+                    return;
+                }
+                if self.is_primary() {
+                    self.propose(Cmd::Internal(tx), ctx);
+                } else {
+                    // Relay to the primary (the paper's client retry path).
+                    ctx.send(self.consensus.primary(), SaguaroMsg::ClientRequest(tx));
+                }
+            }
+            saguaro_types::TxKind::CrossDomain { .. } => match self.config.cross_mode {
+                CrossDomainMode::Coordinator => self.start_coordinated(tx, ctx),
+                CrossDomainMode::Optimistic => self.start_optimistic(tx, ctx),
+            },
+            saguaro_types::TxKind::Mobile { local, remote } => {
+                let (local, remote) = (*local, *remote);
+                if remote == self.domain() && local != self.domain() {
+                    self.handle_remote_mobile_request(tx, local, ctx);
+                } else {
+                    // Device back home (or a degenerate mobile tx): internal path.
+                    if self
+                        .mobile
+                        .get(&tx.client)
+                        .is_some_and(|m| !m.lock && m.remote.is_some())
+                    {
+                        self.request_state_return(tx, ctx);
+                    } else if self.is_primary() {
+                        self.propose(Cmd::Internal(tx), ctx);
+                    } else {
+                        ctx.send(self.consensus.primary(), SaguaroMsg::ClientRequest(tx));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Executes and commits an internal transaction delivered by consensus.
+    fn apply_internal(&mut self, tx: Transaction, ctx: &mut Context<'_, SaguaroMsg>) {
+        let undo = self.execute_owned(&tx.op);
+        if let Some(u) = undo {
+            self.undo_log.insert(tx.id, u);
+        }
+        self.ledger.append_internal(tx.clone(), TxStatus::Committed);
+        self.stats.internal_committed += 1;
+        self.stats.commit_times.insert(tx.id, ctx.now());
+        self.reply(tx.id, true, ctx);
+    }
+
+    /// Executes the parts of an operation owned by (or hosted in) this domain
+    /// and records the updates for the next block's state delta.
+    pub(crate) fn execute_owned(&mut self, op: &Operation) -> Option<UndoRecord> {
+        let domain = self.id.domain;
+        let undo = crate::exec::execute_in_domain(&mut self.state, op, domain);
+        match undo {
+            Ok(u) => {
+                for key in op.write_set() {
+                    if let Some(v) = self.state.get(key) {
+                        self.round_updates.push((key.to_string(), v));
+                    }
+                }
+                Some(u)
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Sends the commit/abort reply for `tx_id` if this domain received the
+    /// original request.  CFT domains reply only from the primary; BFT
+    /// domains reply from every replica and the client matches f + 1.
+    pub(crate) fn reply(&mut self, tx_id: TxId, committed: bool, ctx: &mut Context<'_, SaguaroMsg>) {
+        let Some(client) = self.reply_to.remove(&tx_id) else {
+            return;
+        };
+        let should_send = match self.quorum.model {
+            FailureModel::Crash => self.is_primary(),
+            FailureModel::Byzantine => true,
+        };
+        if should_send {
+            ctx.send(Addr::Client(client), SaguaroMsg::Reply { tx_id, committed });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Timers
+    // ------------------------------------------------------------------
+
+    fn schedule_progress_timer(&mut self, ctx: &mut Context<'_, SaguaroMsg>) {
+        let id = ctx.set_timer(Duration::from_millis(2_000), SaguaroMsg::ProgressTimer);
+        self.progress_timer = Some(id);
+    }
+
+    fn on_progress_timer(&mut self, ctx: &mut Context<'_, SaguaroMsg>) {
+        // Suspect the primary only if nothing was delivered since the last
+        // check while work is pending.
+        let delivered = self.consensus.last_delivered();
+        let stuck = delivered == self.last_progress_check
+            && (!self.participating.is_empty() || !self.coordinated.is_empty());
+        self.last_progress_check = delivered;
+        if stuck {
+            let steps = self.consensus.on_progress_timeout();
+            self.drive(steps, ctx);
+        }
+        self.schedule_progress_timer(ctx);
+    }
+}
+
+impl Actor<SaguaroMsg> for SaguaroNode {
+    fn on_message(&mut self, from: Addr, msg: SaguaroMsg, ctx: &mut Context<'_, SaguaroMsg>) {
+        match msg {
+            SaguaroMsg::ClientRequest(tx) => self.handle_client_request(tx, ctx),
+            SaguaroMsg::Consensus(m) => {
+                if let Some(node) = from.as_node() {
+                    let steps = self.consensus.on_message(node, m);
+                    self.drive(steps, ctx);
+                }
+            }
+            // Coordinator-based protocol.
+            SaguaroMsg::CrossForward { tx } => self.on_cross_forward(tx, ctx),
+            SaguaroMsg::Prepare {
+                tx,
+                coord_seq,
+                cert_sigs,
+            } => self.on_prepare(tx, coord_seq, cert_sigs, ctx),
+            SaguaroMsg::PreparedMsg {
+                tx_id,
+                coord_seq,
+                local_seq,
+                domain,
+                ..
+            } => self.on_prepared(tx_id, coord_seq, local_seq, domain, ctx),
+            SaguaroMsg::CommitCross {
+                tx_id,
+                seqs,
+                commit,
+                ..
+            } => self.on_commit_cross(tx_id, seqs, commit, ctx),
+            SaguaroMsg::AckCross { tx_id, domain } => self.on_ack_cross(tx_id, domain),
+            SaguaroMsg::CommitQuery { tx_id, domain } => self.on_commit_query(tx_id, domain, ctx),
+            SaguaroMsg::PreparedQuery { tx_id } => self.on_prepared_query(tx_id, ctx),
+            // Propagation.
+            SaguaroMsg::BlockMsg { child, block, .. } => self.on_block_msg(child, block, ctx),
+            // Optimistic protocol.
+            SaguaroMsg::OptForward { tx } => self.on_opt_forward(tx, ctx),
+            SaguaroMsg::OptAbort { tx_id } => self.on_opt_abort(tx_id, ctx),
+            SaguaroMsg::OptCommit { tx_id } => self.on_opt_commit(tx_id, ctx),
+            // Mobile consensus.
+            SaguaroMsg::StateQuery { device, tx, remote } => {
+                self.on_state_query(device, tx, remote, ctx)
+            }
+            SaguaroMsg::StateMsg {
+                device,
+                entries,
+                tx,
+                ..
+            } => self.on_state_msg(device, entries, tx, ctx),
+            // Kick-off messages from the harness double as timer handlers.
+            SaguaroMsg::RoundTimer => self.on_round_timer(ctx),
+            SaguaroMsg::ProgressTimer => self.on_progress_timer(ctx),
+            SaguaroMsg::CrossTimeout { tx_id } => self.on_cross_timeout(tx_id, ctx),
+            SaguaroMsg::CommitQueryTimer { tx_id } => self.on_commit_query_timer(tx_id, ctx),
+            SaguaroMsg::Reply { .. } | SaguaroMsg::ClientTick => {}
+        }
+    }
+
+    fn as_any(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn on_timer(&mut self, _id: TimerId, msg: SaguaroMsg, ctx: &mut Context<'_, SaguaroMsg>) {
+        match msg {
+            SaguaroMsg::RoundTimer => self.on_round_timer(ctx),
+            SaguaroMsg::ProgressTimer => self.on_progress_timer(ctx),
+            SaguaroMsg::CrossTimeout { tx_id } => self.on_cross_timeout(tx_id, ctx),
+            SaguaroMsg::CommitQueryTimer { tx_id } => self.on_commit_query_timer(tx_id, ctx),
+            other => {
+                // Any other payload used as a timer is treated as a message to
+                // self (not used today, kept for forward compatibility).
+                let self_addr = ctx.self_addr();
+                self.on_message(self_addr, other, ctx);
+            }
+        }
+    }
+}
+
+// The protocol modules add further `impl SaguaroNode` blocks:
+//  - crate::coordinator  (Algorithm 1)
+//  - crate::optimistic   (Section 6)
+//  - crate::propagation  (Section 5)
+//  - crate::mobile       (Section 7 / Algorithm 2)

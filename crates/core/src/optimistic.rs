@@ -1,0 +1,485 @@
+//! The optimistic cross-domain protocol (Section 6).
+//!
+//! Each involved height-1 domain orders and speculatively executes a
+//! cross-domain transaction independently, without any cross-domain
+//! communication on the critical path.  The transaction (and the list of
+//! later transactions that depend on it) travels up the hierarchy inside the
+//! per-round `block` messages; ancestor domains — and ultimately the LCA of
+//! the involved domains — check that overlapping domains ordered concurrent
+//! cross-domain transactions consistently.  Inconsistent (or never fully
+//! reported) transactions are aborted deterministically, which rolls back the
+//! transaction and everything that read or wrote the data it touched.
+
+use crate::command::Cmd;
+use crate::config::CrossDomainMode;
+use crate::messages::SaguaroMsg;
+use crate::node::SaguaroNode;
+use saguaro_ledger::TxStatus;
+use saguaro_net::Context;
+use saguaro_types::{DomainId, SeqNo, Transaction, TxId};
+use std::collections::{BTreeMap, HashMap};
+
+/// Height-1 bookkeeping for speculatively committed cross-domain transactions.
+#[derive(Default, Debug)]
+pub struct OptTracker {
+    /// Undecided speculatively committed cross-domain transactions.
+    pending: HashMap<TxId, PendingOpt>,
+    /// Order in which transactions were speculatively executed (for rollback).
+    exec_order: Vec<TxId>,
+}
+
+#[derive(Debug)]
+struct PendingOpt {
+    tx: Transaction,
+    /// Later transactions with a (transitive) data dependency on `tx`.
+    dependents: Vec<Transaction>,
+}
+
+impl OptTracker {
+    /// Number of undecided speculative transactions.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True if the transaction is still awaiting a decision.
+    pub fn is_pending(&self, id: TxId) -> bool {
+        self.pending.contains_key(&id)
+    }
+
+    /// Registers a newly executed transaction: records it in the execution
+    /// order and adds it to the dependent list of every pending speculative
+    /// transaction it conflicts with.
+    fn record_execution(&mut self, tx: &Transaction) {
+        self.exec_order.push(tx.id);
+        for p in self.pending.values_mut() {
+            if p.tx.id == tx.id {
+                continue;
+            }
+            let conflicts =
+                p.tx.conflicts_with(tx) || p.dependents.iter().any(|d| d.conflicts_with(tx));
+            if conflicts {
+                p.dependents.push(tx.clone());
+            }
+        }
+    }
+
+    /// Starts tracking a speculative cross-domain transaction.
+    fn track(&mut self, tx: Transaction) {
+        self.pending.entry(tx.id).or_insert(PendingOpt {
+            tx,
+            dependents: Vec::new(),
+        });
+    }
+
+    /// Finalises a decision, returning the set of transactions to roll back
+    /// (the transaction itself plus its dependents, in reverse execution
+    /// order) when the decision is an abort.
+    fn decide(&mut self, id: TxId, abort: bool) -> Vec<TxId> {
+        let Some(entry) = self.pending.remove(&id) else {
+            return Vec::new();
+        };
+        if !abort {
+            return Vec::new();
+        }
+        let mut victims: Vec<TxId> = entry.dependents.iter().map(|t| t.id).collect();
+        victims.push(id);
+        // Roll back in reverse execution order.
+        let order: HashMap<TxId, usize> = self
+            .exec_order
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (*t, i))
+            .collect();
+        victims.sort_by_key(|t| std::cmp::Reverse(order.get(t).copied().unwrap_or(usize::MAX)));
+        victims.dedup();
+        victims
+    }
+}
+
+/// The validation logic run by height-2+ domains on the cross-domain
+/// transactions reported by their child blocks.
+#[derive(Default, Debug)]
+pub struct OptimisticValidator {
+    observed: BTreeMap<TxId, ObservedTx>,
+}
+
+#[derive(Debug)]
+struct ObservedTx {
+    involved: Vec<DomainId>,
+    /// Local sequence number reported by each child that has reported so far.
+    seqs: BTreeMap<DomainId, SeqNo>,
+    first_round: u64,
+    decided: bool,
+}
+
+/// A decision produced by the validator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OptDecision {
+    /// All involved domains reported the transaction consistently; commit it.
+    Commit(TxId, Vec<DomainId>),
+    /// An ordering inconsistency (or report timeout) was found; abort it.
+    Abort(TxId, Vec<DomainId>),
+}
+
+impl OptimisticValidator {
+    /// Number of cross-domain transactions currently tracked.
+    pub fn tracked(&self) -> usize {
+        self.observed.len()
+    }
+
+    /// Records that `child` reported `tx` at local sequence `seq` in `round`.
+    pub fn observe(&mut self, tx: &Transaction, child: DomainId, seq: SeqNo, round: u64) {
+        let entry = self.observed.entry(tx.id).or_insert_with(|| ObservedTx {
+            involved: tx.involved_domains(),
+            seqs: BTreeMap::new(),
+            first_round: round,
+            decided: false,
+        });
+        entry.seqs.entry(child).or_insert(seq);
+    }
+
+    /// Runs the consistency checks.  `is_lca` tells the validator whether the
+    /// calling domain is the LCA of a given involved-domain set (only the LCA
+    /// issues commits and timeout aborts; any ancestor may issue an
+    /// inconsistency abort — "intermediate domains ... early abort in case of
+    /// inconsistency").
+    pub fn check(
+        &mut self,
+        is_lca: impl Fn(&[DomainId]) -> bool,
+        current_round: u64,
+        abort_after_rounds: u64,
+    ) -> Vec<OptDecision> {
+        let mut decisions = Vec::new();
+        // 1. Pairwise ordering consistency on domains common to two pending
+        //    transactions.
+        let ids: Vec<TxId> = self
+            .observed
+            .iter()
+            .filter(|(_, o)| !o.decided)
+            .map(|(id, _)| *id)
+            .collect();
+        for i in 0..ids.len() {
+            for j in (i + 1)..ids.len() {
+                let (a, b) = (ids[i], ids[j]);
+                let inconsistent = {
+                    let oa = &self.observed[&a];
+                    let ob = &self.observed[&b];
+                    let common: Vec<DomainId> = oa
+                        .seqs
+                        .keys()
+                        .filter(|d| ob.seqs.contains_key(d))
+                        .copied()
+                        .collect();
+                    if common.len() < 2 {
+                        false
+                    } else {
+                        let first = common[0];
+                        let base = oa.seqs[&first] < ob.seqs[&first];
+                        common
+                            .iter()
+                            .any(|d| (oa.seqs[d] < ob.seqs[d]) != base)
+                    }
+                };
+                if inconsistent {
+                    // Deterministic victim selection: abort the transaction
+                    // with the higher id so every ancestor picks the same one.
+                    let victim = a.max(b);
+                    let involved = self.observed[&victim].involved.clone();
+                    if let Some(o) = self.observed.get_mut(&victim) {
+                        if !o.decided {
+                            o.decided = true;
+                            decisions.push(OptDecision::Abort(victim, involved));
+                        }
+                    }
+                }
+            }
+        }
+        // 2. Commit fully reported transactions / abort stale ones (LCA only).
+        for (id, o) in self.observed.iter_mut() {
+            if o.decided || !is_lca(&o.involved) {
+                continue;
+            }
+            let fully_reported = o.involved.iter().all(|d| o.seqs.contains_key(d));
+            if fully_reported {
+                o.decided = true;
+                decisions.push(OptDecision::Commit(*id, o.involved.clone()));
+            } else if current_round.saturating_sub(o.first_round) > abort_after_rounds {
+                o.decided = true;
+                decisions.push(OptDecision::Abort(*id, o.involved.clone()));
+            }
+        }
+        decisions
+    }
+}
+
+impl SaguaroNode {
+    // ------------------------------------------------------------------
+    // Height-1 (execution) side
+    // ------------------------------------------------------------------
+
+    /// Starts optimistic processing at the domain that received the request:
+    /// multicast the request to every node of the other involved domains and
+    /// order it locally.
+    pub(crate) fn start_optimistic(&mut self, tx: Transaction, ctx: &mut Context<'_, SaguaroMsg>) {
+        if !self.is_primary() {
+            ctx.send(self.consensus.primary(), SaguaroMsg::ClientRequest(tx));
+            return;
+        }
+        for d in tx.involved_domains() {
+            if d != self.domain() {
+                self.send_to_domain(d, SaguaroMsg::OptForward { tx: tx.clone() }, ctx);
+            }
+        }
+        self.propose(Cmd::OptimisticCross(tx), ctx);
+    }
+
+    /// An optimistically forwarded cross-domain transaction arrived at an
+    /// involved domain.
+    pub(crate) fn on_opt_forward(&mut self, tx: Transaction, ctx: &mut Context<'_, SaguaroMsg>) {
+        if !self.is_primary() {
+            return;
+        }
+        if self.ledger.contains(tx.id) || self.opt.is_pending(tx.id) {
+            return;
+        }
+        self.propose(Cmd::OptimisticCross(tx), ctx);
+    }
+
+    /// The domain's internal consensus ordered an optimistic cross-domain
+    /// transaction: execute it speculatively and reply immediately.
+    pub(crate) fn apply_optimistic(&mut self, tx: Transaction, ctx: &mut Context<'_, SaguaroMsg>) {
+        if self.ledger.contains(tx.id) {
+            return;
+        }
+        let seq = self.ledger.reserve_seq();
+        let mut seqs = saguaro_types::MultiSeq::new();
+        seqs.set(self.domain(), seq);
+        if let Some(undo) = self.execute_owned(&tx.op) {
+            self.undo_log.insert(tx.id, undo);
+        }
+        self.ledger
+            .append_cross_domain(tx.clone(), seqs, TxStatus::SpeculativelyCommitted);
+        self.opt.track(tx.clone());
+        self.opt.record_execution(&tx);
+        self.stats.cross_committed += 1;
+        self.stats.commit_times.insert(tx.id, ctx.now());
+        self.reply(tx.id, true, ctx);
+    }
+
+    /// An ancestor decided the transaction must be aborted: roll it back
+    /// together with its data-dependent successors.
+    pub(crate) fn on_opt_abort(&mut self, tx_id: TxId, ctx: &mut Context<'_, SaguaroMsg>) {
+        let victims = self.opt.decide(tx_id, true);
+        if victims.is_empty() {
+            // Either unknown or already decided; nothing to roll back.
+            return;
+        }
+        for victim in victims {
+            if let Some(undo) = self.undo_log.remove(&victim) {
+                self.state.revert(&undo);
+            }
+            if self.ledger.mark_aborted(victim) {
+                self.stats.cross_aborted += 1;
+                self.stats.cross_committed = self.stats.cross_committed.saturating_sub(1);
+            }
+            self.reply(victim, false, ctx);
+        }
+    }
+
+    /// The LCA confirmed the transaction was committed by every involved
+    /// domain: finalise it.
+    pub(crate) fn on_opt_commit(&mut self, tx_id: TxId, _ctx: &mut Context<'_, SaguaroMsg>) {
+        self.opt.decide(tx_id, false);
+        self.ledger.mark_committed(tx_id);
+        self.undo_log.remove(&tx_id);
+    }
+
+    // ------------------------------------------------------------------
+    // Height-2+ (validation) side — called from block propagation
+    // ------------------------------------------------------------------
+
+    /// Feeds the cross-domain transactions of an incorporated child block to
+    /// the validator and acts on its decisions.
+    pub(crate) fn validate_optimistic_block(
+        &mut self,
+        child: DomainId,
+        block: &saguaro_ledger::Block,
+        ctx: &mut Context<'_, SaguaroMsg>,
+    ) {
+        if self.config.cross_mode != CrossDomainMode::Optimistic {
+            return;
+        }
+        let round = self.round;
+        for record in &block.txs {
+            if record.tx.kind.is_cross_domain() && record.status != TxStatus::Aborted {
+                if let Some(seq) = record.seq.get(child) {
+                    self.validator.observe(&record.tx, child, seq, round);
+                }
+            }
+        }
+        let tree = self.tree.clone();
+        let me = self.domain();
+        let decisions = self.validator.check(
+            |involved| tree.lca(involved).map(|l| l == me).unwrap_or(false),
+            round,
+            self.config.optimistic_abort_rounds,
+        );
+        let is_primary = self.is_primary();
+        for decision in decisions {
+            match decision {
+                OptDecision::Abort(tx_id, involved) => {
+                    self.stats.inconsistencies_detected += 1;
+                    self.dag.mark_aborted(tx_id);
+                    if is_primary {
+                        for d in involved {
+                            self.send_to_domain(d, SaguaroMsg::OptAbort { tx_id }, ctx);
+                        }
+                    }
+                }
+                OptDecision::Commit(tx_id, involved) => {
+                    if is_primary {
+                        for d in involved {
+                            self.send_to_domain(d, SaguaroMsg::OptCommit { tx_id }, ctx);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saguaro_types::{ClientId, Operation};
+
+    fn d(i: u16) -> DomainId {
+        DomainId::new(1, i)
+    }
+
+    fn cross(id: u64, from: &str, to: &str, domains: &[DomainId]) -> Transaction {
+        Transaction::cross_domain(
+            TxId(id),
+            ClientId(0),
+            domains.to_vec(),
+            Operation::Transfer {
+                from: from.into(),
+                to: to.into(),
+                amount: 1,
+            },
+        )
+    }
+
+    #[test]
+    fn tracker_collects_dependents_transitively() {
+        let mut t = OptTracker::default();
+        let base = cross(1, "a", "b", &[d(0), d(1)]);
+        t.track(base.clone());
+        t.record_execution(&base);
+        // t2 conflicts with base (writes b), t3 conflicts with t2 (writes c)
+        // but not with base directly.
+        let t2 = cross(2, "b", "c", &[d(0), d(1)]);
+        let t3 = cross(3, "c", "e", &[d(0), d(1)]);
+        let unrelated = cross(4, "x", "y", &[d(0), d(1)]);
+        t.record_execution(&t2);
+        t.record_execution(&t3);
+        t.record_execution(&unrelated);
+        let victims = t.decide(TxId(1), true);
+        assert_eq!(victims, vec![TxId(3), TxId(2), TxId(1)], "reverse order");
+        assert_eq!(t.pending_count(), 0);
+    }
+
+    #[test]
+    fn tracker_commit_rolls_back_nothing() {
+        let mut t = OptTracker::default();
+        let base = cross(1, "a", "b", &[d(0), d(1)]);
+        t.track(base.clone());
+        t.record_execution(&base);
+        assert!(t.is_pending(TxId(1)));
+        assert!(t.decide(TxId(1), false).is_empty());
+        assert!(!t.is_pending(TxId(1)));
+        assert!(t.decide(TxId(9), true).is_empty(), "unknown id");
+    }
+
+    #[test]
+    fn validator_commits_consistent_fully_reported_tx() {
+        let mut v = OptimisticValidator::default();
+        let tx = cross(1, "a", "b", &[d(0), d(1)]);
+        v.observe(&tx, d(0), 5, 1);
+        v.observe(&tx, d(1), 9, 1);
+        let decisions = v.check(|_| true, 1, 8);
+        assert_eq!(decisions, vec![OptDecision::Commit(TxId(1), vec![d(0), d(1)])]);
+        // Already decided: no duplicate decision.
+        assert!(v.check(|_| true, 2, 8).is_empty());
+    }
+
+    #[test]
+    fn validator_does_not_commit_when_not_lca() {
+        let mut v = OptimisticValidator::default();
+        let tx = cross(1, "a", "b", &[d(0), d(1)]);
+        v.observe(&tx, d(0), 5, 1);
+        v.observe(&tx, d(1), 9, 1);
+        assert!(v.check(|_| false, 1, 8).is_empty());
+        assert_eq!(v.tracked(), 1);
+    }
+
+    #[test]
+    fn validator_aborts_on_inconsistent_order() {
+        // tx1 before tx2 on d0 but tx2 before tx1 on d1 -> the higher id (2)
+        // is aborted.
+        let mut v = OptimisticValidator::default();
+        let t1 = cross(1, "a", "b", &[d(0), d(1)]);
+        let t2 = cross(2, "c", "e", &[d(0), d(1)]);
+        v.observe(&t1, d(0), 1, 1);
+        v.observe(&t2, d(0), 2, 1);
+        v.observe(&t2, d(1), 1, 1);
+        v.observe(&t1, d(1), 2, 1);
+        let decisions = v.check(|_| false, 1, 8);
+        assert_eq!(decisions.len(), 1);
+        assert!(matches!(decisions[0], OptDecision::Abort(TxId(2), _)));
+    }
+
+    #[test]
+    fn validator_is_deterministic_across_ancestors() {
+        // Two validators seeing the same reports (possibly in different call
+        // order) reach the same decision.
+        let t1 = cross(1, "a", "b", &[d(0), d(1)]);
+        let t2 = cross(2, "c", "e", &[d(0), d(1)]);
+        let run = |swap: bool| {
+            let mut v = OptimisticValidator::default();
+            let (x, y) = if swap { (&t2, &t1) } else { (&t1, &t2) };
+            v.observe(x, d(0), if swap { 2 } else { 1 }, 1);
+            v.observe(y, d(0), if swap { 1 } else { 2 }, 1);
+            v.observe(x, d(1), if swap { 1 } else { 2 }, 1);
+            v.observe(y, d(1), if swap { 2 } else { 1 }, 1);
+            v.check(|_| false, 1, 8)
+        };
+        let a = run(false);
+        let b = run(true);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn validator_aborts_never_reported_tx_after_timeout() {
+        let mut v = OptimisticValidator::default();
+        let tx = cross(1, "a", "b", &[d(0), d(1)]);
+        v.observe(&tx, d(0), 1, 1);
+        assert!(v.check(|_| true, 5, 8).is_empty(), "not timed out yet");
+        let decisions = v.check(|_| true, 12, 8);
+        assert_eq!(decisions.len(), 1);
+        assert!(matches!(decisions[0], OptDecision::Abort(TxId(1), _)));
+    }
+
+    #[test]
+    fn single_common_domain_is_not_an_inconsistency() {
+        let mut v = OptimisticValidator::default();
+        let t1 = cross(1, "a", "b", &[d(0), d(1)]);
+        let t2 = cross(2, "c", "e", &[d(0), d(2)]);
+        v.observe(&t1, d(0), 2, 1);
+        v.observe(&t2, d(0), 1, 1);
+        assert!(v
+            .check(|_| false, 1, 8)
+            .iter()
+            .all(|dec| !matches!(dec, OptDecision::Abort(..))));
+    }
+}

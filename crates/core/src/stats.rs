@@ -1,0 +1,65 @@
+//! Per-node measurement counters.
+
+use saguaro_types::{SimTime, TxId};
+use std::collections::HashMap;
+
+/// Counters a Saguaro node keeps for the experiment harness.
+#[derive(Clone, Debug, Default)]
+pub struct NodeStats {
+    /// Internal transactions committed (and executed) by this node.
+    pub internal_committed: u64,
+    /// Cross-domain transactions committed by this node's domain.
+    pub cross_committed: u64,
+    /// Cross-domain transactions aborted (optimistic inconsistencies or
+    /// coordinator aborts).
+    pub cross_aborted: u64,
+    /// Mobile transactions committed in this (remote) domain.
+    pub mobile_committed: u64,
+    /// Blocks received from child domains and incorporated into the DAG.
+    pub child_blocks_applied: u64,
+    /// Blocks this node's domain sent to its parent.
+    pub blocks_sent: u64,
+    /// Ordering inconsistencies detected (height-2+ domains, optimistic mode).
+    pub inconsistencies_detected: u64,
+    /// View changes observed by this node.
+    pub view_changes: u64,
+    /// Commit time of each transaction this node committed as the *receiving*
+    /// domain primary (used to compute end-to-end latency when replies are
+    /// lost).
+    pub commit_times: HashMap<TxId, SimTime>,
+}
+
+impl NodeStats {
+    /// Total committed transactions of every class.
+    pub fn total_committed(&self) -> u64 {
+        self.internal_committed + self.cross_committed + self.mobile_committed
+    }
+
+    /// Abort ratio among cross-domain transactions.
+    pub fn abort_ratio(&self) -> f64 {
+        let total = self.cross_committed + self.cross_aborted;
+        if total == 0 {
+            0.0
+        } else {
+            self.cross_aborted as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_ratios() {
+        let mut s = NodeStats::default();
+        s.internal_committed = 10;
+        s.cross_committed = 6;
+        s.mobile_committed = 4;
+        s.cross_aborted = 2;
+        assert_eq!(s.total_committed(), 20);
+        assert!((s.abort_ratio() - 0.25).abs() < 1e-9);
+        let empty = NodeStats::default();
+        assert_eq!(empty.abort_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Merkle hash trees.
+//!
+//! `block` messages sent up the hierarchy include "the Merkle hash tree of
+//! those transactions used to verify the content of the block" (Section 5).
+//! Parents verify membership of individual transactions against the root
+//! carried in the (certified) block header.
+
+use crate::sha256::{sha256_parts, Digest};
+
+/// A Merkle tree over an ordered list of leaf digests.
+///
+/// The tree duplicates the last node of an odd level (Bitcoin-style) so every
+/// level has an even number of nodes; an empty tree has a well-defined
+/// sentinel root.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MerkleTree {
+    /// levels[0] is the leaf level, last level has exactly one node (the root)
+    /// unless the tree is empty.
+    levels: Vec<Vec<Digest>>,
+}
+
+/// A Merkle inclusion proof for one leaf.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MerkleProof {
+    /// Index of the proven leaf.
+    pub leaf_index: usize,
+    /// Sibling digests from leaf level to just below the root, with a flag
+    /// telling whether the sibling is on the right (`true`) of the running
+    /// hash.
+    pub path: Vec<(Digest, bool)>,
+}
+
+fn hash_leaf(data: &[u8]) -> Digest {
+    sha256_parts(&[b"leaf", data])
+}
+
+fn hash_node(left: &Digest, right: &Digest) -> Digest {
+    sha256_parts(&[b"node", left.as_ref(), right.as_ref()])
+}
+
+/// Root of an empty tree (distinct from any real root).
+pub fn empty_root() -> Digest {
+    sha256_parts(&[b"empty-merkle-tree"])
+}
+
+impl MerkleTree {
+    /// Builds a tree over the given leaf payloads.
+    pub fn from_leaves<T: AsRef<[u8]>>(leaves: &[T]) -> Self {
+        let leaf_digests: Vec<Digest> = leaves.iter().map(|l| hash_leaf(l.as_ref())).collect();
+        Self::from_leaf_digests(leaf_digests)
+    }
+
+    /// Builds a tree from pre-hashed leaf digests.
+    pub fn from_leaf_digests(leaf_digests: Vec<Digest>) -> Self {
+        if leaf_digests.is_empty() {
+            return Self { levels: vec![] };
+        }
+        let mut levels = vec![leaf_digests];
+        while levels.last().expect("non-empty").len() > 1 {
+            let prev = levels.last().expect("non-empty");
+            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
+            for pair in prev.chunks(2) {
+                let left = &pair[0];
+                let right = pair.get(1).unwrap_or(left);
+                next.push(hash_node(left, right));
+            }
+            levels.push(next);
+        }
+        Self { levels }
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        self.levels.first().map_or(0, Vec::len)
+    }
+
+    /// True if the tree has no leaves.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The Merkle root (sentinel value for an empty tree).
+    pub fn root(&self) -> Digest {
+        self.levels
+            .last()
+            .and_then(|l| l.first())
+            .copied()
+            .unwrap_or_else(empty_root)
+    }
+
+    /// Builds an inclusion proof for the leaf at `index`.
+    pub fn prove(&self, index: usize) -> Option<MerkleProof> {
+        if index >= self.len() {
+            return None;
+        }
+        let mut path = Vec::new();
+        let mut idx = index;
+        for level in &self.levels[..self.levels.len().saturating_sub(1)] {
+            let sibling_idx = if idx % 2 == 0 { idx + 1 } else { idx - 1 };
+            let sibling = *level.get(sibling_idx).unwrap_or(&level[idx]);
+            // `true` means the sibling sits to the right of the running hash.
+            path.push((sibling, idx % 2 == 0));
+            idx /= 2;
+        }
+        Some(MerkleProof {
+            leaf_index: index,
+            path,
+        })
+    }
+}
+
+/// Verifies that `leaf_data` is included under `root` according to `proof`.
+pub fn verify_proof(root: &Digest, leaf_data: &[u8], proof: &MerkleProof) -> bool {
+    let mut acc = hash_leaf(leaf_data);
+    for (sibling, sibling_is_right) in &proof.path {
+        acc = if *sibling_is_right {
+            hash_node(&acc, sibling)
+        } else {
+            hash_node(sibling, &acc)
+        };
+    }
+    acc == *root
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaves(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("tx-{i}").into_bytes()).collect()
+    }
+
+    #[test]
+    fn empty_tree_has_sentinel_root() {
+        let t = MerkleTree::from_leaves::<Vec<u8>>(&[]);
+        assert!(t.is_empty());
+        assert_eq!(t.root(), empty_root());
+        assert!(t.prove(0).is_none());
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let t = MerkleTree::from_leaves(&leaves(1));
+        assert_eq!(t.len(), 1);
+        let proof = t.prove(0).expect("proof");
+        assert!(proof.path.is_empty());
+        assert!(verify_proof(&t.root(), b"tx-0", &proof));
+        assert!(!verify_proof(&t.root(), b"tx-1", &proof));
+    }
+
+    #[test]
+    fn proofs_verify_for_all_leaves_various_sizes() {
+        for n in [2usize, 3, 4, 5, 7, 8, 9, 16, 33] {
+            let data = leaves(n);
+            let t = MerkleTree::from_leaves(&data);
+            for (i, leaf) in data.iter().enumerate() {
+                let p = t.prove(i).expect("proof exists");
+                assert!(verify_proof(&t.root(), leaf, &p), "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn proof_fails_for_wrong_leaf_or_root() {
+        let data = leaves(8);
+        let t = MerkleTree::from_leaves(&data);
+        let p = t.prove(3).expect("proof");
+        assert!(!verify_proof(&t.root(), b"tx-4", &p));
+        let other = MerkleTree::from_leaves(&leaves(9));
+        assert!(!verify_proof(&other.root(), b"tx-3", &p));
+    }
+
+    #[test]
+    fn root_changes_when_any_leaf_changes() {
+        let mut data = leaves(6);
+        let r1 = MerkleTree::from_leaves(&data).root();
+        data[4] = b"tampered".to_vec();
+        let r2 = MerkleTree::from_leaves(&data).root();
+        assert_ne!(r1, r2);
+    }
+
+    #[test]
+    fn root_depends_on_leaf_order() {
+        let data = leaves(4);
+        let mut rev = data.clone();
+        rev.reverse();
+        assert_ne!(
+            MerkleTree::from_leaves(&data).root(),
+            MerkleTree::from_leaves(&rev).root()
+        );
+    }
+
+    #[test]
+    fn leaf_and_node_domains_are_separated() {
+        // A single leaf's root must not equal the node-hash of anything, and
+        // leaf hashing must not equal plain sha256 of the data.
+        let t = MerkleTree::from_leaves(&leaves(1));
+        assert_ne!(t.root(), crate::sha256::sha256(b"tx-0"));
+    }
+}

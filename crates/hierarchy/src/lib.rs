@@ -1,0 +1,28 @@
+//! The hierarchical domain tree of a Saguaro deployment.
+//!
+//! A Saguaro network is a tree of fault-tolerant domains: leaf domains of
+//! edge devices (height 0), edge-server domains (height 1) that execute
+//! transactions and keep full ledgers, and fog/cloud domains above that keep
+//! summarized views and coordinate cross-domain transactions.
+//!
+//! * [`tree`] — the [`tree::HierarchyTree`] itself: parent/children lookups,
+//!   paths to the root, and the Lowest Common Ancestor computation that the
+//!   coordinator-based protocol relies on ("the LCA domain has the optimal
+//!   location to minimize the total distance").
+//! * [`topology`] — builders for the deployments used in the paper: the
+//!   4-level perfect binary tree of Figure 1, arbitrary perfect k-ary trees,
+//!   and custom trees described domain by domain.
+//! * [`placement`] — assignment of domains to geographic regions matching the
+//!   nearby-region (Section 8.1), wide-area (Section 8.3) and single-region
+//!   (Section 8.4) experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod placement;
+pub mod topology;
+pub mod tree;
+
+pub use placement::Placement;
+pub use topology::TopologyBuilder;
+pub use tree::HierarchyTree;

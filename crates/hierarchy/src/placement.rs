@@ -1,0 +1,104 @@
+//! Region placement strategies for the paper's three experimental settings.
+
+use saguaro_types::{DomainId, Region};
+
+/// How domains are mapped onto geographic regions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Placement {
+    /// Everything in one data centre (fault-tolerance scalability experiment,
+    /// Figures 12–13).
+    SingleRegion,
+    /// The nearby-region setting of Section 8.1: each height-1 domain (and its
+    /// leaf domain) in one of the 4 European regions, every higher-level
+    /// domain in region 0 (Frankfurt).
+    NearbyRegions,
+    /// The wide-area setting of Section 8.3: height-1 domains in Tokyo, Hong
+    /// Kong, Virginia and Ohio; height-2 domains in Seoul and Oregon; the root
+    /// in California.
+    WideArea,
+}
+
+impl Placement {
+    /// Region for `domain` in a tree with `edge_domains` height-1 domains and
+    /// the root at `root_height`.
+    pub fn region_for(&self, domain: DomainId, edge_domains: usize, root_height: u8) -> Region {
+        // Current strategies only need the index; the parameter is kept so
+        // future placements can scale with the tree width.
+        let _ = edge_domains;
+        match self {
+            Placement::SingleRegion => Region::LOCAL,
+            Placement::NearbyRegions => {
+                if domain.height <= 1 {
+                    // Leaf and edge-server domains are spread over the 4 regions.
+                    Region((domain.index as usize % 4) as u8)
+                } else {
+                    // "the higher-level domains are in the FR region".
+                    Region(0)
+                }
+            }
+            Placement::WideArea => {
+                // Wide-area matrix order: CA=0, OR=1, VA=2, OH=3, TY=4, SU=5, HK=6.
+                const EDGE: [u8; 4] = [4, 6, 2, 3]; // TY, HK, VA, OH
+                const FOG: [u8; 2] = [5, 1]; // SU, OR
+                if domain.height <= 1 {
+                    Region(EDGE[domain.index as usize % EDGE.len()])
+                } else if domain.height == root_height {
+                    Region(0) // CA
+                } else {
+                    Region(FOG[domain.index as usize % FOG.len()])
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_region_maps_everything_to_local() {
+        for h in 0..4u8 {
+            for i in 0..8u16 {
+                assert_eq!(
+                    Placement::SingleRegion.region_for(DomainId::new(h, i), 4, 3),
+                    Region::LOCAL
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nearby_regions_spread_edges_keep_core_in_fr() {
+        let p = Placement::NearbyRegions;
+        assert_eq!(p.region_for(DomainId::new(1, 0), 4, 3), Region(0));
+        assert_eq!(p.region_for(DomainId::new(1, 3), 4, 3), Region(3));
+        assert_eq!(p.region_for(DomainId::new(0, 2), 4, 3), Region(2));
+        assert_eq!(p.region_for(DomainId::new(2, 1), 4, 3), Region(0));
+        assert_eq!(p.region_for(DomainId::new(3, 0), 4, 3), Region(0));
+    }
+
+    #[test]
+    fn wide_area_matches_paper_placement() {
+        let p = Placement::WideArea;
+        // Edge domains: TY, HK, VA, OH.
+        assert_eq!(p.region_for(DomainId::new(1, 0), 4, 3), Region(4));
+        assert_eq!(p.region_for(DomainId::new(1, 1), 4, 3), Region(6));
+        assert_eq!(p.region_for(DomainId::new(1, 2), 4, 3), Region(2));
+        assert_eq!(p.region_for(DomainId::new(1, 3), 4, 3), Region(3));
+        // Fog domains: SU and OR.
+        assert_eq!(p.region_for(DomainId::new(2, 0), 4, 3), Region(5));
+        assert_eq!(p.region_for(DomainId::new(2, 1), 4, 3), Region(1));
+        // Root: CA.
+        assert_eq!(p.region_for(DomainId::new(3, 0), 4, 3), Region(0));
+    }
+
+    #[test]
+    fn leaf_domains_follow_their_edge_server() {
+        let p = Placement::WideArea;
+        assert_eq!(
+            p.region_for(DomainId::new(0, 1), 4, 3),
+            p.region_for(DomainId::new(1, 1), 4, 3)
+        );
+    }
+}

@@ -1,0 +1,209 @@
+//! Topology builders.
+//!
+//! The experiments of the paper run on "a typical four-level edge network
+//! (edge devices, edge servers, fog servers, and cloud servers) structured as
+//! a perfect binary tree (following Figure 1)".  [`TopologyBuilder`] builds
+//! that deployment as well as arbitrary perfect k-ary trees and hand-written
+//! topologies.
+
+use crate::placement::Placement;
+use crate::tree::HierarchyTree;
+use saguaro_types::{DomainConfig, DomainId, FailureModel, Result};
+
+/// Declarative builder for a hierarchy tree.
+#[derive(Clone, Debug)]
+pub struct TopologyBuilder {
+    /// Number of levels of *server* domains (≥ 1).  Level 1 is the edge
+    /// servers; the top level is the root.  The paper's deployment has 3
+    /// server levels (edge, fog, cloud) plus the leaf devices.
+    levels: u8,
+    /// Fan-out: how many children each internal domain has.
+    fanout: usize,
+    /// Failure model of every domain (mixed-model trees are built through
+    /// [`HierarchyTree::build`] directly).
+    model: FailureModel,
+    /// Number of tolerated failures per domain.
+    faults: usize,
+    /// Region placement strategy.
+    placement: Placement,
+}
+
+impl TopologyBuilder {
+    /// Starts a builder for a tree with the given number of server levels and
+    /// fan-out.
+    pub fn new(levels: u8, fanout: usize) -> Self {
+        Self {
+            levels,
+            fanout,
+            model: FailureModel::Crash,
+            faults: 1,
+            placement: Placement::SingleRegion,
+        }
+    }
+
+    /// The paper's evaluation deployment: a perfect binary tree with three
+    /// server levels (4 height-1 domains, 2 height-2 domains, 1 root).
+    pub fn paper_binary_tree() -> Self {
+        Self::new(3, 2)
+    }
+
+    /// Sets the failure model of every domain.
+    pub fn failure_model(mut self, model: FailureModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Sets the number of tolerated failures per domain.
+    pub fn faults(mut self, f: usize) -> Self {
+        self.faults = f;
+        self
+    }
+
+    /// Sets the region placement strategy.
+    pub fn placement(mut self, placement: Placement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Number of height-1 domains this topology will have.
+    pub fn edge_domain_count(&self) -> usize {
+        self.fanout.pow(self.levels.saturating_sub(1) as u32)
+    }
+
+    /// Builds the tree.
+    pub fn build(&self) -> Result<HierarchyTree> {
+        if self.levels == 0 {
+            return Err(saguaro_types::SaguaroError::InvalidTopology(
+                "at least one server level is required".into(),
+            ));
+        }
+        if self.fanout == 0 {
+            return Err(saguaro_types::SaguaroError::InvalidTopology(
+                "fan-out must be at least 1".into(),
+            ));
+        }
+        let edge_domains = self.edge_domain_count();
+        let root_height = self.levels;
+        let mk = |height: u8, index: u16| -> DomainConfig {
+            let id = DomainId::new(height, index);
+            let region = self
+                .placement
+                .region_for(id, edge_domains, root_height);
+            DomainConfig::new(id, self.model, self.faults, region)
+        };
+
+        let root = mk(root_height, 0);
+        let mut edges = Vec::new();
+        // Walk levels from the top down; domain i at height h has parent
+        // i / fanout at height h + 1.
+        for height in (1..root_height).rev() {
+            let count = self.fanout.pow((root_height - height) as u32);
+            for index in 0..count {
+                let parent_height = height + 1;
+                let parent_index = (index / self.fanout) as u16;
+                edges.push((mk(height, index as u16), DomainId::new(parent_height, parent_index)));
+            }
+        }
+        HierarchyTree::build(root, edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saguaro_types::Region;
+
+    #[test]
+    fn paper_binary_tree_shape() {
+        let t = TopologyBuilder::paper_binary_tree().build().unwrap();
+        // 1 root + 2 fog + 4 edge = 7 server domains.
+        assert_eq!(t.len(), 7);
+        assert_eq!(t.edge_server_domains().len(), 4);
+        assert_eq!(t.domains_at_height(2).len(), 2);
+        assert_eq!(t.root(), DomainId::new(3, 0));
+        // Each fog domain has two edge children.
+        for fog in t.domains_at_height(2) {
+            assert_eq!(t.children(fog).len(), 2);
+        }
+    }
+
+    #[test]
+    fn lca_structure_in_binary_tree() {
+        let t = TopologyBuilder::paper_binary_tree().build().unwrap();
+        let d = |h, i| DomainId::new(h, i);
+        // Siblings meet at their fog parent; cousins at the root.
+        assert_eq!(t.lca(&[d(1, 0), d(1, 1)]).unwrap(), d(2, 0));
+        assert_eq!(t.lca(&[d(1, 2), d(1, 3)]).unwrap(), d(2, 1));
+        assert_eq!(t.lca(&[d(1, 1), d(1, 2)]).unwrap(), d(3, 0));
+    }
+
+    #[test]
+    fn byzantine_tree_has_3f_plus_1_nodes() {
+        let t = TopologyBuilder::paper_binary_tree()
+            .failure_model(FailureModel::Byzantine)
+            .faults(1)
+            .build()
+            .unwrap();
+        for d in t.domains() {
+            assert_eq!(d.size(), 4);
+        }
+    }
+
+    #[test]
+    fn larger_domains_for_ft_scalability_experiment() {
+        // Figures 12-13 use |p| = 5, 9 (CFT) and 7, 13 (BFT).
+        let t = TopologyBuilder::paper_binary_tree().faults(4).build().unwrap();
+        assert!(t.domains().all(|d| d.size() == 9));
+        let t = TopologyBuilder::paper_binary_tree()
+            .failure_model(FailureModel::Byzantine)
+            .faults(4)
+            .build()
+            .unwrap();
+        assert!(t.domains().all(|d| d.size() == 13));
+    }
+
+    #[test]
+    fn wider_and_deeper_trees() {
+        let t = TopologyBuilder::new(4, 3).build().unwrap();
+        // 27 edge + 9 + 3 + 1 = 40 domains.
+        assert_eq!(t.len(), 40);
+        assert_eq!(t.edge_server_domains().len(), 27);
+        assert_eq!(TopologyBuilder::new(4, 3).edge_domain_count(), 27);
+        // Parent/child relations hold at every level.
+        for h in 1..4u8 {
+            for d in t.domains_at_height(h) {
+                assert_eq!(t.parent(d).unwrap().height, h + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn single_level_tree_is_just_the_root() {
+        let t = TopologyBuilder::new(1, 2).build().unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.edge_server_domains(), vec![DomainId::new(1, 0)]);
+    }
+
+    #[test]
+    fn invalid_builders_error() {
+        assert!(TopologyBuilder::new(0, 2).build().is_err());
+        assert!(TopologyBuilder::new(2, 0).build().is_err());
+    }
+
+    #[test]
+    fn placement_round_robins_edge_domains() {
+        let t = TopologyBuilder::paper_binary_tree()
+            .placement(Placement::NearbyRegions)
+            .build()
+            .unwrap();
+        let regions: Vec<Region> = t
+            .edge_server_domains()
+            .iter()
+            .map(|d| t.region_of(*d).unwrap())
+            .collect();
+        assert_eq!(regions, vec![Region(0), Region(1), Region(2), Region(3)]);
+        // Higher-level domains all sit in the first region (FR), like the paper.
+        assert_eq!(t.region_of(DomainId::new(3, 0)).unwrap(), Region(0));
+        assert_eq!(t.region_of(DomainId::new(2, 1)).unwrap(), Region(0));
+    }
+}

@@ -1,0 +1,256 @@
+//! The abstraction function λ and aggregate views.
+//!
+//! Section 5: the `block` message a domain sends to its parent includes "an
+//! application-dependent abstract version of the blockchain state updates in
+//! that round, i.e. λ(D_rn − D_rn−1) where ... the abstraction function λ is
+//! deterministic, predefined, and known by all nodes."  Higher-level domains
+//! apply these deltas to maintain an aggregate view of their subtree — e.g.
+//! only the working-hour attribute in the ridesharing application.
+
+use saguaro_types::DomainId;
+use std::collections::BTreeMap;
+
+/// The abstracted state updates of one round: `(key, new value)` pairs after
+/// applying the abstraction function.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StateDelta {
+    entries: Vec<(String, u64)>,
+}
+
+impl StateDelta {
+    /// An empty delta.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a delta from `(key, value)` pairs.
+    pub fn from_entries(entries: Vec<(String, u64)>) -> Self {
+        Self { entries }
+    }
+
+    /// Adds one entry.
+    pub fn push(&mut self, key: impl Into<String>, value: u64) {
+        self.entries.push((key.into(), value));
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the delta carries no updates.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over the entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+}
+
+/// Deterministic, predefined abstraction functions applied to raw state
+/// updates before they are sent up the hierarchy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AbstractionFn {
+    /// Ship every updated key and its new value (no abstraction).
+    Full,
+    /// Ship only keys with a given prefix — e.g. only the `hours/` attribute
+    /// of ridesharing records, improving privacy and shrinking messages.
+    KeyPrefix(&'static str),
+    /// Ship only the number of keys updated in the round (pure telemetry).
+    CountOnly,
+    /// Ship nothing (parents keep ledgers but no state view).
+    Nothing,
+}
+
+impl AbstractionFn {
+    /// Applies the abstraction to the raw `(key, new value)` updates of one
+    /// round.
+    pub fn apply(&self, raw_updates: &[(String, u64)]) -> StateDelta {
+        match self {
+            AbstractionFn::Full => StateDelta::from_entries(raw_updates.to_vec()),
+            AbstractionFn::KeyPrefix(prefix) => StateDelta::from_entries(
+                raw_updates
+                    .iter()
+                    .filter(|(k, _)| k.starts_with(prefix))
+                    .cloned()
+                    .collect(),
+            ),
+            AbstractionFn::CountOnly => {
+                let mut d = StateDelta::new();
+                d.push("updated_keys", raw_updates.len() as u64);
+                d
+            }
+            AbstractionFn::Nothing => StateDelta::new(),
+        }
+    }
+}
+
+/// The summarized view a height-2+ domain keeps of its child domains' states.
+///
+/// The view remembers, per child domain, the latest value of every abstracted
+/// key and can answer aggregation queries over the whole subtree ("the total
+/// amount of exchanged assets in a micropayment application", "the total work
+/// hours of a driver").
+#[derive(Clone, Debug, Default)]
+pub struct AggregateView {
+    /// child domain -> key -> latest value
+    per_child: BTreeMap<DomainId, BTreeMap<String, u64>>,
+}
+
+impl AggregateView {
+    /// An empty view.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Applies the abstracted delta received from `child` in one round.
+    pub fn apply_delta(&mut self, child: DomainId, delta: &StateDelta) {
+        let entry = self.per_child.entry(child).or_default();
+        for (k, v) in delta.iter() {
+            entry.insert(k.to_string(), v);
+        }
+    }
+
+    /// Latest value of `key` reported by `child`.
+    pub fn child_value(&self, child: DomainId, key: &str) -> Option<u64> {
+        self.per_child.get(&child)?.get(key).copied()
+    }
+
+    /// Sum of `key` across every child domain (e.g. total working hours of a
+    /// driver who worked in several spatial domains).
+    pub fn sum(&self, key: &str) -> u64 {
+        self.per_child
+            .values()
+            .filter_map(|m| m.get(key))
+            .sum()
+    }
+
+    /// Sum of every key with `prefix` across every child domain.
+    pub fn sum_by_prefix(&self, prefix: &str) -> u64 {
+        self.per_child
+            .values()
+            .flat_map(|m| m.iter())
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Maximum of `key` across child domains (e.g. the busiest domain).
+    pub fn max(&self, key: &str) -> Option<(DomainId, u64)> {
+        self.per_child
+            .iter()
+            .filter_map(|(d, m)| m.get(key).map(|v| (*d, *v)))
+            .max_by_key(|(_, v)| *v)
+    }
+
+    /// Child domains that have reported at least one delta.
+    pub fn children(&self) -> impl Iterator<Item = DomainId> + '_ {
+        self.per_child.keys().copied()
+    }
+
+    /// Merges another aggregate view (used when a parent domain forwards its
+    /// own summarized view further up the tree).
+    pub fn merge_from(&mut self, other: &AggregateView) {
+        for (child, map) in &other.per_child {
+            let entry = self.per_child.entry(*child).or_default();
+            for (k, v) in map {
+                entry.insert(k.clone(), *v);
+            }
+        }
+    }
+
+    /// Flattens the view into a delta suitable for forwarding to the parent
+    /// (the per-child detail is collapsed into `child/key` entries so the
+    /// grandparent can still distinguish sources).
+    pub fn to_delta(&self) -> StateDelta {
+        let mut d = StateDelta::new();
+        for (child, map) in &self.per_child {
+            for (k, v) in map {
+                d.push(format!("{child:?}/{k}"), *v);
+            }
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(i: u16) -> DomainId {
+        DomainId::new(1, i)
+    }
+
+    fn raw() -> Vec<(String, u64)> {
+        vec![
+            ("alice".into(), 70),
+            ("bob".into(), 30),
+            ("hours/driver-1".into(), 100),
+        ]
+    }
+
+    #[test]
+    fn full_abstraction_keeps_everything() {
+        let delta = AbstractionFn::Full.apply(&raw());
+        assert_eq!(delta.len(), 3);
+    }
+
+    #[test]
+    fn prefix_abstraction_filters_keys() {
+        let delta = AbstractionFn::KeyPrefix("hours/").apply(&raw());
+        assert_eq!(delta.len(), 1);
+        assert_eq!(delta.iter().next(), Some(("hours/driver-1", 100)));
+    }
+
+    #[test]
+    fn count_only_and_nothing() {
+        let delta = AbstractionFn::CountOnly.apply(&raw());
+        assert_eq!(delta.iter().next(), Some(("updated_keys", 3)));
+        assert!(AbstractionFn::Nothing.apply(&raw()).is_empty());
+    }
+
+    #[test]
+    fn aggregate_view_sums_across_children() {
+        let mut view = AggregateView::new();
+        view.apply_delta(d(0), &StateDelta::from_entries(vec![("hours/x".into(), 10)]));
+        view.apply_delta(d(1), &StateDelta::from_entries(vec![("hours/x".into(), 25)]));
+        view.apply_delta(d(1), &StateDelta::from_entries(vec![("hours/y".into(), 5)]));
+        assert_eq!(view.sum("hours/x"), 35);
+        assert_eq!(view.sum_by_prefix("hours/"), 40);
+        assert_eq!(view.child_value(d(1), "hours/x"), Some(25));
+        assert_eq!(view.child_value(d(0), "hours/y"), None);
+        assert_eq!(view.max("hours/x"), Some((d(1), 25)));
+        assert_eq!(view.children().count(), 2);
+    }
+
+    #[test]
+    fn later_deltas_overwrite_earlier_values() {
+        let mut view = AggregateView::new();
+        view.apply_delta(d(0), &StateDelta::from_entries(vec![("k".into(), 1)]));
+        view.apply_delta(d(0), &StateDelta::from_entries(vec![("k".into(), 9)]));
+        assert_eq!(view.sum("k"), 9);
+    }
+
+    #[test]
+    fn merge_and_flatten() {
+        let mut a = AggregateView::new();
+        a.apply_delta(d(0), &StateDelta::from_entries(vec![("k".into(), 1)]));
+        let mut b = AggregateView::new();
+        b.apply_delta(d(1), &StateDelta::from_entries(vec![("k".into(), 2)]));
+        a.merge_from(&b);
+        assert_eq!(a.sum("k"), 3);
+        let flat = a.to_delta();
+        assert_eq!(flat.len(), 2);
+        assert!(flat.iter().any(|(k, v)| k.contains("D11") && v == 2));
+    }
+
+    #[test]
+    fn state_delta_builders() {
+        let mut d = StateDelta::new();
+        assert!(d.is_empty());
+        d.push("a", 1);
+        assert_eq!(d.len(), 1);
+    }
+}

@@ -1,0 +1,276 @@
+//! Blocks and committed-transaction records.
+//!
+//! At the end of each round a height-1 domain packs the transactions it
+//! committed in that round into a [`Block`]: the transactions themselves, the
+//! Merkle root over them (so parents can verify membership), and the
+//! abstracted state delta λ(D_rn − D_rn-1).  Blocks are chained through the
+//! `prev` digest, which is what makes the per-domain ledger tamper-evident.
+
+use crate::abstraction::StateDelta;
+use saguaro_crypto::sha256::sha256_parts;
+use saguaro_crypto::{Digest, MerkleTree};
+use saguaro_types::{DomainId, MultiSeq, Transaction};
+use std::fmt;
+
+/// Identifier of a block: the producing domain and its round number.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId {
+    /// Producing domain.
+    pub domain: DomainId,
+    /// Round number within that domain (1-based; round 0 is the genesis).
+    pub round: u64,
+}
+
+impl fmt::Debug for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Mirrors the paper's `B13-05` notation.
+        write!(f, "B{}{}-{:02}", self.domain.height, self.domain.index, self.round)
+    }
+}
+
+/// Commit status of a transaction in a ledger.
+///
+/// Under the coordinator-based protocol every appended transaction is
+/// `Committed`; under the optimistic protocol transactions are first appended
+/// `SpeculativelyCommitted` and may later transition to `Aborted` when an
+/// ancestor domain detects an ordering inconsistency.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TxStatus {
+    /// Final: the transaction is committed.
+    Committed,
+    /// The transaction was executed optimistically and awaits confirmation by
+    /// the LCA of its involved domains.
+    SpeculativelyCommitted,
+    /// The transaction was aborted (and rolled back).
+    Aborted,
+}
+
+/// A transaction as recorded in a ledger, together with the sequence
+/// number(s) it received.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CommittedTx {
+    /// The transaction.
+    pub tx: Transaction,
+    /// Its (possibly multi-part) sequence number.
+    pub seq: MultiSeq,
+    /// Commit status.
+    pub status: TxStatus,
+}
+
+impl CommittedTx {
+    /// Canonical byte encoding used for Merkle leaves and digests.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(&self.tx.id.0.to_be_bytes());
+        out.extend_from_slice(&self.tx.client.0.to_be_bytes());
+        for (d, s) in self.seq.iter() {
+            out.extend_from_slice(&[d.height]);
+            out.extend_from_slice(&d.index.to_be_bytes());
+            out.extend_from_slice(&s.to_be_bytes());
+        }
+        out.push(match self.status {
+            TxStatus::Committed => 1,
+            TxStatus::SpeculativelyCommitted => 2,
+            TxStatus::Aborted => 3,
+        });
+        out.extend_from_slice(format!("{:?}", self.tx.op).as_bytes());
+        out
+    }
+}
+
+/// Header of a block (what gets signed/certified).
+#[derive(Clone, Debug, PartialEq)]
+pub struct BlockHeader {
+    /// Block identity (producing domain + round).
+    pub id: BlockId,
+    /// Digest of the previous block of the same domain (`Digest::ZERO` for
+    /// the first block).
+    pub prev: Digest,
+    /// Merkle root over the encoded transactions.
+    pub tx_root: Digest,
+    /// Number of transactions in the block.
+    pub tx_count: usize,
+}
+
+impl BlockHeader {
+    /// Digest of the header (what signatures and the next block's `prev`
+    /// cover).
+    pub fn digest(&self) -> Digest {
+        sha256_parts(&[
+            b"saguaro-block-header",
+            &[self.id.domain.height],
+            &self.id.domain.index.to_be_bytes(),
+            &self.id.round.to_be_bytes(),
+            self.prev.as_ref(),
+            self.tx_root.as_ref(),
+            &(self.tx_count as u64).to_be_bytes(),
+        ])
+    }
+}
+
+/// A block produced by a domain at the end of a round.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Block {
+    /// The header.
+    pub header: BlockHeader,
+    /// Transactions committed (or speculatively committed / aborted) in this
+    /// round, in ledger order.
+    pub txs: Vec<CommittedTx>,
+    /// The abstracted state updates of the round (λ applied to the raw
+    /// updates).
+    pub state_delta: StateDelta,
+}
+
+impl Block {
+    /// Builds a block for `domain`'s round `round` from the given transaction
+    /// records, chaining it to `prev`.
+    pub fn build(
+        domain: DomainId,
+        round: u64,
+        prev: Digest,
+        txs: Vec<CommittedTx>,
+        state_delta: StateDelta,
+    ) -> Self {
+        let leaves: Vec<Vec<u8>> = txs.iter().map(CommittedTx::encode).collect();
+        let tree = MerkleTree::from_leaves(&leaves);
+        let header = BlockHeader {
+            id: BlockId { domain, round },
+            prev,
+            tx_root: tree.root(),
+            tx_count: txs.len(),
+        };
+        Self {
+            header,
+            txs,
+            state_delta,
+        }
+    }
+
+    /// True if the block carries no transactions (domains still send empty
+    /// block messages every round so parents can make progress).
+    pub fn is_empty(&self) -> bool {
+        self.txs.is_empty()
+    }
+
+    /// Recomputes the Merkle root and verifies it matches the header, and
+    /// that the advertised count matches.
+    pub fn verify_content(&self) -> bool {
+        if self.txs.len() != self.header.tx_count {
+            return false;
+        }
+        let leaves: Vec<Vec<u8>> = self.txs.iter().map(CommittedTx::encode).collect();
+        MerkleTree::from_leaves(&leaves).root() == self.header.tx_root
+    }
+
+    /// Approximate wire size of the block message in bytes.
+    pub fn wire_bytes(&self) -> usize {
+        // Header ≈ 120 B, each transaction ≈ its payload + 40 B of sequencing
+        // metadata, each state-delta entry ≈ 48 B.
+        120 + self
+            .txs
+            .iter()
+            .map(|t| t.tx.payload_bytes() + 40)
+            .sum::<usize>()
+            + self.state_delta.len() * 48
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saguaro_types::{ClientId, Operation, TxId};
+
+    fn domain() -> DomainId {
+        DomainId::new(1, 0)
+    }
+
+    fn committed(id: u64) -> CommittedTx {
+        let tx = Transaction::internal(
+            TxId(id),
+            ClientId(1),
+            domain(),
+            Operation::Transfer {
+                from: format!("a{id}"),
+                to: format!("b{id}"),
+                amount: 1,
+            },
+        );
+        let mut seq = MultiSeq::new();
+        seq.set(domain(), id);
+        CommittedTx {
+            tx,
+            seq,
+            status: TxStatus::Committed,
+        }
+    }
+
+    #[test]
+    fn block_id_debug_matches_paper_notation() {
+        let id = BlockId {
+            domain: DomainId::new(1, 3),
+            round: 5,
+        };
+        assert_eq!(format!("{id:?}"), "B13-05");
+    }
+
+    #[test]
+    fn build_and_verify_round_trip() {
+        let txs = vec![committed(1), committed(2), committed(3)];
+        let b = Block::build(domain(), 1, Digest::ZERO, txs, StateDelta::default());
+        assert!(!b.is_empty());
+        assert_eq!(b.header.tx_count, 3);
+        assert!(b.verify_content());
+    }
+
+    #[test]
+    fn tampering_with_a_transaction_breaks_verification() {
+        let txs = vec![committed(1), committed(2)];
+        let mut b = Block::build(domain(), 1, Digest::ZERO, txs, StateDelta::default());
+        b.txs[1].status = TxStatus::Aborted;
+        assert!(!b.verify_content());
+    }
+
+    #[test]
+    fn dropping_a_transaction_breaks_verification() {
+        let txs = vec![committed(1), committed(2)];
+        let mut b = Block::build(domain(), 1, Digest::ZERO, txs, StateDelta::default());
+        b.txs.pop();
+        assert!(!b.verify_content());
+    }
+
+    #[test]
+    fn empty_blocks_are_valid() {
+        let b = Block::build(domain(), 4, Digest::ZERO, vec![], StateDelta::default());
+        assert!(b.is_empty());
+        assert!(b.verify_content());
+        assert!(b.wire_bytes() >= 120);
+    }
+
+    #[test]
+    fn header_digest_changes_with_round_and_prev() {
+        let b1 = Block::build(domain(), 1, Digest::ZERO, vec![committed(1)], StateDelta::default());
+        let b2 = Block::build(domain(), 2, Digest::ZERO, vec![committed(1)], StateDelta::default());
+        let b3 = Block::build(
+            domain(),
+            1,
+            b1.header.digest(),
+            vec![committed(1)],
+            StateDelta::default(),
+        );
+        assert_ne!(b1.header.digest(), b2.header.digest());
+        assert_ne!(b1.header.digest(), b3.header.digest());
+    }
+
+    #[test]
+    fn wire_size_grows_with_contents() {
+        let small = Block::build(domain(), 1, Digest::ZERO, vec![committed(1)], StateDelta::default());
+        let big = Block::build(
+            domain(),
+            1,
+            Digest::ZERO,
+            (0..50).map(committed).collect(),
+            StateDelta::default(),
+        );
+        assert!(big.wire_bytes() > small.wire_bytes());
+    }
+}

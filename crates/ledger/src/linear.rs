@@ -1,0 +1,307 @@
+//! The linear ledger of a height-1 (edge-server) domain.
+//!
+//! "While height-1 domains maintain transactions in linear ledgers,
+//! summarized ledgers at higher-level domains are structured as directed
+//! acyclic graphs."  The linear ledger is an append-only, totally ordered
+//! list of committed transactions; blocks are cut at round boundaries and
+//! chained by hash for propagation up the tree.
+
+use crate::abstraction::StateDelta;
+use crate::block::{Block, BlockId, CommittedTx, TxStatus};
+use saguaro_crypto::Digest;
+use saguaro_types::{DomainId, MultiSeq, SeqNo, Transaction, TxId};
+use std::collections::HashMap;
+
+/// The linear, totally ordered ledger of one height-1 domain.
+#[derive(Clone, Debug)]
+pub struct LinearLedger {
+    domain: DomainId,
+    /// All entries in commit order.
+    entries: Vec<CommittedTx>,
+    /// Index from transaction id to position in `entries`.
+    index: HashMap<TxId, usize>,
+    /// Sequence number that will be assigned to the next appended transaction.
+    next_seq: SeqNo,
+    /// Index in `entries` of the first transaction of the current (uncut) round.
+    round_start: usize,
+    /// Number of blocks already cut.
+    rounds_cut: u64,
+    /// Digest of the header of the last cut block.
+    last_block_digest: Digest,
+    /// Headers of all cut blocks, for audit.
+    block_ids: Vec<BlockId>,
+}
+
+impl LinearLedger {
+    /// Creates an empty ledger for `domain`.
+    pub fn new(domain: DomainId) -> Self {
+        Self {
+            domain,
+            entries: Vec::new(),
+            index: HashMap::new(),
+            next_seq: 1,
+            round_start: 0,
+            rounds_cut: 0,
+            last_block_digest: Digest::ZERO,
+            block_ids: Vec::new(),
+        }
+    }
+
+    /// The owning domain.
+    pub fn domain(&self) -> DomainId {
+        self.domain
+    }
+
+    /// Number of entries appended so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The sequence number the next appended transaction will receive.
+    pub fn next_seq(&self) -> SeqNo {
+        self.next_seq
+    }
+
+    /// Appends an internal transaction with the next sequence number and the
+    /// given status.  Returns the assigned sequence number.
+    pub fn append_internal(&mut self, tx: Transaction, status: TxStatus) -> SeqNo {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let mut mseq = MultiSeq::new();
+        mseq.set(self.domain, seq);
+        self.push(CommittedTx {
+            tx,
+            seq: mseq,
+            status,
+        });
+        seq
+    }
+
+    /// Appends a cross-domain transaction carrying its multi-part sequence
+    /// number.  The local part must match the next local sequence number; the
+    /// caller (the consensus layer) is responsible for having reserved it.
+    pub fn append_cross_domain(&mut self, tx: Transaction, seq: MultiSeq, status: TxStatus) {
+        if let Some(local) = seq.get(self.domain) {
+            self.next_seq = self.next_seq.max(local + 1);
+        }
+        self.push(CommittedTx { tx, seq, status });
+    }
+
+    fn push(&mut self, entry: CommittedTx) {
+        self.index.insert(entry.tx.id, self.entries.len());
+        self.entries.push(entry);
+    }
+
+    /// Reserves and returns the next local sequence number without appending
+    /// (used when a domain orders a cross-domain transaction before the
+    /// commit message arrives).
+    pub fn reserve_seq(&mut self) -> SeqNo {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
+    }
+
+    /// Looks up an entry by transaction id.
+    pub fn get(&self, id: TxId) -> Option<&CommittedTx> {
+        self.index.get(&id).map(|i| &self.entries[*i])
+    }
+
+    /// True if the ledger contains the transaction.
+    pub fn contains(&self, id: TxId) -> bool {
+        self.index.contains_key(&id)
+    }
+
+    /// Marks an entry as aborted (optimistic protocol rollback).  Returns
+    /// `true` if the entry existed and was not already aborted.
+    pub fn mark_aborted(&mut self, id: TxId) -> bool {
+        if let Some(&i) = self.index.get(&id) {
+            if self.entries[i].status != TxStatus::Aborted {
+                self.entries[i].status = TxStatus::Aborted;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Marks a speculatively committed entry as (finally) committed.
+    pub fn mark_committed(&mut self, id: TxId) -> bool {
+        if let Some(&i) = self.index.get(&id) {
+            if self.entries[i].status == TxStatus::SpeculativelyCommitted {
+                self.entries[i].status = TxStatus::Committed;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// All entries in ledger order.
+    pub fn entries(&self) -> &[CommittedTx] {
+        &self.entries
+    }
+
+    /// Entries appended since the last block cut.
+    pub fn pending_round_entries(&self) -> &[CommittedTx] {
+        &self.entries[self.round_start..]
+    }
+
+    /// Number of blocks cut so far.
+    pub fn rounds_cut(&self) -> u64 {
+        self.rounds_cut
+    }
+
+    /// Digest of the last cut block header (chain tip).
+    pub fn chain_tip(&self) -> Digest {
+        self.last_block_digest
+    }
+
+    /// Identifiers of all cut blocks.
+    pub fn block_ids(&self) -> &[BlockId] {
+        &self.block_ids
+    }
+
+    /// Ends the current round: packs every entry appended since the previous
+    /// cut into a [`Block`] chained to the previous block and returns it.  An
+    /// empty round produces an empty block ("if a domain has not received any
+    /// transaction in that round, it sends an empty block message").
+    pub fn cut_block(&mut self, state_delta: StateDelta) -> Block {
+        let round = self.rounds_cut + 1;
+        let txs = self.entries[self.round_start..].to_vec();
+        let block = Block::build(self.domain, round, self.last_block_digest, txs, state_delta);
+        self.rounds_cut = round;
+        self.round_start = self.entries.len();
+        self.last_block_digest = block.header.digest();
+        self.block_ids.push(block.header.id);
+        block
+    }
+
+    /// Commit-order positions of two transactions, if both are present
+    /// (used to check ordering consistency in tests).
+    pub fn relative_order(&self, a: TxId, b: TxId) -> Option<std::cmp::Ordering> {
+        let ia = self.index.get(&a)?;
+        let ib = self.index.get(&b)?;
+        Some(ia.cmp(ib))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saguaro_types::{ClientId, Operation};
+
+    fn domain() -> DomainId {
+        DomainId::new(1, 0)
+    }
+
+    fn tx(id: u64) -> Transaction {
+        Transaction::internal(TxId(id), ClientId(0), domain(), Operation::Noop)
+    }
+
+    #[test]
+    fn sequence_numbers_are_consecutive() {
+        let mut l = LinearLedger::new(domain());
+        assert_eq!(l.append_internal(tx(1), TxStatus::Committed), 1);
+        assert_eq!(l.append_internal(tx(2), TxStatus::Committed), 2);
+        assert_eq!(l.next_seq(), 3);
+        assert_eq!(l.len(), 2);
+        assert!(l.contains(TxId(1)));
+        assert!(!l.contains(TxId(9)));
+    }
+
+    #[test]
+    fn cross_domain_append_advances_sequence() {
+        let mut l = LinearLedger::new(domain());
+        l.append_internal(tx(1), TxStatus::Committed); // seq 1
+        let other = DomainId::new(1, 1);
+        let mut seq = MultiSeq::new();
+        seq.set(domain(), 2);
+        seq.set(other, 7);
+        let ctx = Transaction::cross_domain(TxId(2), ClientId(0), vec![domain(), other], Operation::Noop);
+        l.append_cross_domain(ctx, seq, TxStatus::Committed);
+        assert_eq!(l.next_seq(), 3);
+        assert_eq!(l.get(TxId(2)).unwrap().seq.get(other), Some(7));
+    }
+
+    #[test]
+    fn reserve_seq_skips_numbers() {
+        let mut l = LinearLedger::new(domain());
+        assert_eq!(l.reserve_seq(), 1);
+        assert_eq!(l.reserve_seq(), 2);
+        assert_eq!(l.append_internal(tx(1), TxStatus::Committed), 3);
+    }
+
+    #[test]
+    fn blocks_chain_and_cover_rounds() {
+        let mut l = LinearLedger::new(domain());
+        l.append_internal(tx(1), TxStatus::Committed);
+        l.append_internal(tx(2), TxStatus::Committed);
+        let b1 = l.cut_block(StateDelta::new());
+        assert_eq!(b1.header.id.round, 1);
+        assert_eq!(b1.txs.len(), 2);
+        assert_eq!(b1.header.prev, Digest::ZERO);
+
+        l.append_internal(tx(3), TxStatus::Committed);
+        let b2 = l.cut_block(StateDelta::new());
+        assert_eq!(b2.header.id.round, 2);
+        assert_eq!(b2.txs.len(), 1);
+        assert_eq!(b2.header.prev, b1.header.digest());
+        assert_eq!(l.rounds_cut(), 2);
+        assert_eq!(l.chain_tip(), b2.header.digest());
+        assert_eq!(l.block_ids().len(), 2);
+        assert!(l.pending_round_entries().is_empty());
+    }
+
+    #[test]
+    fn empty_rounds_produce_empty_blocks() {
+        let mut l = LinearLedger::new(domain());
+        let b = l.cut_block(StateDelta::new());
+        assert!(b.is_empty());
+        assert!(b.verify_content());
+        let b2 = l.cut_block(StateDelta::new());
+        assert_eq!(b2.header.prev, b.header.digest());
+    }
+
+    #[test]
+    fn abort_and_commit_transitions() {
+        let mut l = LinearLedger::new(domain());
+        l.append_internal(tx(1), TxStatus::SpeculativelyCommitted);
+        l.append_internal(tx(2), TxStatus::SpeculativelyCommitted);
+        assert!(l.mark_committed(TxId(1)));
+        assert!(!l.mark_committed(TxId(1)), "already committed");
+        assert!(l.mark_aborted(TxId(2)));
+        assert!(!l.mark_aborted(TxId(2)), "already aborted");
+        assert!(!l.mark_aborted(TxId(9)), "unknown");
+        assert_eq!(l.get(TxId(1)).unwrap().status, TxStatus::Committed);
+        assert_eq!(l.get(TxId(2)).unwrap().status, TxStatus::Aborted);
+    }
+
+    #[test]
+    fn relative_order_reflects_commit_order() {
+        let mut l = LinearLedger::new(domain());
+        l.append_internal(tx(5), TxStatus::Committed);
+        l.append_internal(tx(3), TxStatus::Committed);
+        assert_eq!(l.relative_order(TxId(5), TxId(3)), Some(std::cmp::Ordering::Less));
+        assert_eq!(l.relative_order(TxId(3), TxId(5)), Some(std::cmp::Ordering::Greater));
+        assert_eq!(l.relative_order(TxId(3), TxId(9)), None);
+    }
+
+    #[test]
+    fn ledger_is_append_only_in_order() {
+        let mut l = LinearLedger::new(domain());
+        for i in 0..10 {
+            l.append_internal(tx(i), TxStatus::Committed);
+        }
+        let seqs: Vec<_> = l
+            .entries()
+            .iter()
+            .map(|e| e.seq.get(domain()).unwrap())
+            .collect();
+        let mut sorted = seqs.clone();
+        sorted.sort();
+        assert_eq!(seqs, sorted);
+    }
+}

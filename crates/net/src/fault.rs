@@ -1,0 +1,147 @@
+//! Fault injection.
+//!
+//! The tests and some experiments inject failures: crashed nodes (messages to
+//! and from them disappear, their timers stop firing), uniform message loss,
+//! and pairwise partitions.  The plan can change over virtual time by
+//! scheduling crash/heal calls from the harness between simulation runs.
+
+use crate::addr::Addr;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Dynamic description of which failures are currently active.
+#[derive(Debug, Default, Clone)]
+pub struct FaultPlan {
+    crashed: HashSet<Addr>,
+    /// Unordered pairs of addresses that cannot exchange messages.
+    partitions: HashSet<(Addr, Addr)>,
+    /// Probability in `[0, 1]` that any given message is silently dropped.
+    drop_probability: f64,
+}
+
+impl FaultPlan {
+    /// A plan with no failures.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Marks a participant as crashed.
+    pub fn crash(&mut self, a: impl Into<Addr>) {
+        self.crashed.insert(a.into());
+    }
+
+    /// Restarts a previously crashed participant.
+    pub fn restart(&mut self, a: impl Into<Addr>) {
+        self.crashed.remove(&a.into());
+    }
+
+    /// True if the participant is currently crashed.
+    pub fn is_crashed(&self, a: Addr) -> bool {
+        self.crashed.contains(&a)
+    }
+
+    /// Number of currently crashed participants.
+    pub fn crashed_count(&self) -> usize {
+        self.crashed.len()
+    }
+
+    /// Severs the link between two participants (both directions).
+    pub fn partition(&mut self, a: impl Into<Addr>, b: impl Into<Addr>) {
+        let (a, b) = Self::ordered(a.into(), b.into());
+        self.partitions.insert((a, b));
+    }
+
+    /// Heals the link between two participants.
+    pub fn heal(&mut self, a: impl Into<Addr>, b: impl Into<Addr>) {
+        let (a, b) = Self::ordered(a.into(), b.into());
+        self.partitions.remove(&(a, b));
+    }
+
+    /// Sets the uniform message-drop probability.
+    pub fn set_drop_probability(&mut self, p: f64) {
+        self.drop_probability = p.clamp(0.0, 1.0);
+    }
+
+    /// The current uniform message-drop probability.
+    pub fn drop_probability(&self) -> f64 {
+        self.drop_probability
+    }
+
+    /// Decides whether a message from `from` to `to` should be dropped.
+    pub fn should_drop<R: Rng + ?Sized>(&self, from: Addr, to: Addr, rng: &mut R) -> bool {
+        if self.crashed.contains(&from) || self.crashed.contains(&to) {
+            return true;
+        }
+        let key = Self::ordered(from, to);
+        if self.partitions.contains(&key) {
+            return true;
+        }
+        self.drop_probability > 0.0 && rng.gen_bool(self.drop_probability)
+    }
+
+    fn ordered(a: Addr, b: Addr) -> (Addr, Addr) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use saguaro_types::ClientId;
+
+    fn c(i: u64) -> Addr {
+        Addr::Client(ClientId(i))
+    }
+
+    #[test]
+    fn crashed_nodes_drop_everything() {
+        let mut plan = FaultPlan::none();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(!plan.should_drop(c(0), c(1), &mut rng));
+        plan.crash(ClientId(1));
+        assert!(plan.is_crashed(c(1)));
+        assert_eq!(plan.crashed_count(), 1);
+        assert!(plan.should_drop(c(0), c(1), &mut rng));
+        assert!(plan.should_drop(c(1), c(0), &mut rng));
+        plan.restart(ClientId(1));
+        assert!(!plan.should_drop(c(0), c(1), &mut rng));
+    }
+
+    #[test]
+    fn partitions_are_symmetric_and_healable() {
+        let mut plan = FaultPlan::none();
+        let mut rng = StdRng::seed_from_u64(0);
+        plan.partition(ClientId(0), ClientId(1));
+        assert!(plan.should_drop(c(0), c(1), &mut rng));
+        assert!(plan.should_drop(c(1), c(0), &mut rng));
+        assert!(!plan.should_drop(c(0), c(2), &mut rng));
+        plan.heal(ClientId(1), ClientId(0));
+        assert!(!plan.should_drop(c(0), c(1), &mut rng));
+    }
+
+    #[test]
+    fn drop_probability_is_clamped_and_statistical() {
+        let mut plan = FaultPlan::none();
+        plan.set_drop_probability(2.0);
+        assert_eq!(plan.drop_probability(), 1.0);
+        plan.set_drop_probability(0.5);
+        let mut rng = StdRng::seed_from_u64(7);
+        let drops = (0..1000)
+            .filter(|_| plan.should_drop(c(0), c(1), &mut rng))
+            .count();
+        assert!((350..650).contains(&drops), "drops={drops}");
+    }
+
+    #[test]
+    fn zero_probability_never_drops() {
+        let plan = FaultPlan::none();
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!((0..100).all(|_| !plan.should_drop(c(0), c(1), &mut rng)));
+    }
+}

@@ -1,0 +1,42 @@
+//! Discrete-event network and CPU simulator substrate.
+//!
+//! The Saguaro paper evaluates its protocols on AWS EC2 VMs spread over
+//! several regions.  This crate replaces that testbed with a deterministic
+//! discrete-event simulation that preserves the three quantities the
+//! evaluation figures actually depend on:
+//!
+//! 1. **Wide-area round trips** — message latency is looked up in a
+//!    region-to-region RTT matrix ([`latency`]), with the paper's measured
+//!    values for the nearby-region and wide-area experiments.
+//! 2. **Message complexity** — every protocol message is an explicit
+//!    simulated message with a wire size and a signature count
+//!    ([`cpu::MessageMeta`]).
+//! 3. **CPU saturation** — every node is a FIFO single server whose service
+//!    time per message depends on its size and the number of signature
+//!    verifications it triggers ([`cpu::CpuProfile`]); offered load beyond
+//!    the service capacity shows up as queueing delay, which produces the
+//!    latency-vs-throughput hockey-stick curves of Figures 7–13.
+//!
+//! The runtime ([`sim::Simulation`]) hosts [`sim::Actor`]s addressed by
+//! [`Addr`] (replica nodes and edge-device clients), delivers messages and
+//! timers in virtual-time order and supports fault injection
+//! ([`fault::FaultPlan`]): message loss, node crashes and network partitions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod cpu;
+pub mod event;
+pub mod fault;
+pub mod latency;
+pub mod sim;
+pub mod stats;
+
+pub use addr::Addr;
+pub use cpu::{CpuProfile, MessageMeta};
+pub use event::TimerId;
+pub use fault::FaultPlan;
+pub use latency::LatencyMatrix;
+pub use sim::{Actor, Context, Simulation};
+pub use stats::NetStats;

@@ -1,0 +1,107 @@
+//! Simulation statistics.
+
+use crate::addr::Addr;
+use saguaro_types::Duration;
+use std::collections::HashMap;
+
+/// Counters collected by the simulation runtime.
+#[derive(Debug, Default, Clone)]
+pub struct NetStats {
+    /// Total messages handed to the network (including later-dropped ones).
+    pub messages_sent: u64,
+    /// Messages actually delivered to an actor.
+    pub messages_delivered: u64,
+    /// Messages dropped by the fault plan.
+    pub messages_dropped: u64,
+    /// Total payload bytes delivered.
+    pub bytes_delivered: u64,
+    /// Timer events fired.
+    pub timers_fired: u64,
+    /// Per-node accumulated CPU busy time.
+    busy: HashMap<Addr, Duration>,
+}
+
+impl NetStats {
+    /// Records an attempted send.
+    pub(crate) fn on_send(&mut self) {
+        self.messages_sent += 1;
+    }
+
+    /// Records a drop.
+    pub(crate) fn on_drop(&mut self) {
+        self.messages_dropped += 1;
+    }
+
+    /// Records a delivery of `bytes` to `to` costing `service` CPU time.
+    pub(crate) fn on_deliver(&mut self, to: Addr, bytes: usize, service: Duration) {
+        self.messages_delivered += 1;
+        self.bytes_delivered += bytes as u64;
+        let entry = self.busy.entry(to).or_insert(Duration::ZERO);
+        *entry = *entry + service;
+    }
+
+    /// Records a fired timer.
+    pub(crate) fn on_timer(&mut self) {
+        self.timers_fired += 1;
+    }
+
+    /// Accumulated CPU busy time of one participant.
+    pub fn busy_time(&self, a: Addr) -> Duration {
+        self.busy.get(&a).copied().unwrap_or(Duration::ZERO)
+    }
+
+    /// Utilisation of a participant over a window of `elapsed` virtual time.
+    pub fn utilisation(&self, a: Addr, elapsed: Duration) -> f64 {
+        if elapsed.as_micros() == 0 {
+            return 0.0;
+        }
+        self.busy_time(a).as_micros() as f64 / elapsed.as_micros() as f64
+    }
+
+    /// The busiest participant and its accumulated busy time.
+    pub fn busiest(&self) -> Option<(Addr, Duration)> {
+        self.busy
+            .iter()
+            .max_by_key(|(_, d)| d.as_micros())
+            .map(|(a, d)| (*a, *d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saguaro_types::ClientId;
+
+    fn c(i: u64) -> Addr {
+        Addr::Client(ClientId(i))
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = NetStats::default();
+        s.on_send();
+        s.on_send();
+        s.on_drop();
+        s.on_deliver(c(0), 100, Duration::from_micros(10));
+        s.on_deliver(c(0), 50, Duration::from_micros(5));
+        s.on_deliver(c(1), 10, Duration::from_micros(1));
+        s.on_timer();
+        assert_eq!(s.messages_sent, 2);
+        assert_eq!(s.messages_dropped, 1);
+        assert_eq!(s.messages_delivered, 3);
+        assert_eq!(s.bytes_delivered, 160);
+        assert_eq!(s.timers_fired, 1);
+        assert_eq!(s.busy_time(c(0)), Duration::from_micros(15));
+        assert_eq!(s.busy_time(c(2)), Duration::ZERO);
+    }
+
+    #[test]
+    fn utilisation_and_busiest() {
+        let mut s = NetStats::default();
+        s.on_deliver(c(0), 1, Duration::from_micros(500));
+        s.on_deliver(c(1), 1, Duration::from_micros(100));
+        assert_eq!(s.utilisation(c(0), Duration::from_millis(1)), 0.5);
+        assert_eq!(s.utilisation(c(0), Duration::ZERO), 0.0);
+        assert_eq!(s.busiest().map(|(a, _)| a), Some(c(0)));
+    }
+}

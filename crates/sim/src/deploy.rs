@@ -1,0 +1,171 @@
+//! Deployment of protocol stacks onto the simulator.
+
+use saguaro_baselines::{BaselineMsg, BaselineNode, BaselineRole};
+use saguaro_core::{ProtocolConfig, SaguaroMsg, SaguaroNode};
+use saguaro_hierarchy::{HierarchyTree, Placement, TopologyBuilder};
+use saguaro_net::{Addr, CpuProfile, LatencyMatrix, Simulation};
+use saguaro_types::{ClientId, DomainId, FailureModel, Result};
+use std::sync::Arc;
+
+/// Builds the paper's 4-level perfect binary tree with the given failure
+/// model, per-domain fault tolerance and region placement.
+pub fn build_tree(
+    model: FailureModel,
+    faults: usize,
+    placement: Placement,
+) -> Result<Arc<HierarchyTree>> {
+    Ok(Arc::new(
+        TopologyBuilder::paper_binary_tree()
+            .failure_model(model)
+            .faults(faults)
+            .placement(placement)
+            .build()?,
+    ))
+}
+
+/// The latency matrix corresponding to a placement.
+pub fn latency_for(placement: Placement) -> LatencyMatrix {
+    match placement {
+        Placement::SingleRegion => LatencyMatrix::single_region(),
+        Placement::NearbyRegions => LatencyMatrix::nearby_regions(),
+        Placement::WideArea => LatencyMatrix::wide_area_regions(),
+    }
+}
+
+/// Address used by the harness when injecting kick-off messages.
+pub fn harness_addr() -> Addr {
+    Addr::Client(ClientId(u64::MAX))
+}
+
+/// Registers a full Saguaro deployment (every replica of every height ≥ 1
+/// domain) and starts its round timers.  `seed_accounts` gives the initial
+/// balances installed on every replica of each height-1 domain.
+pub fn deploy_saguaro(
+    sim: &mut Simulation<SaguaroMsg>,
+    tree: &Arc<HierarchyTree>,
+    config: &ProtocolConfig,
+    seed_accounts: &[(DomainId, Vec<(String, u64)>)],
+) {
+    for domain_cfg in tree.domains() {
+        let domain = domain_cfg.id;
+        if domain.height == 0 {
+            continue;
+        }
+        let region = domain_cfg.region;
+        for node in tree.nodes_of(domain).expect("domain nodes") {
+            let mut actor = SaguaroNode::new(node, tree.clone(), config.clone());
+            if domain.height == 1 {
+                for (d, accounts) in seed_accounts {
+                    if *d == domain {
+                        for (k, v) in accounts {
+                            actor.seed_account(k.clone(), *v);
+                        }
+                    }
+                }
+            }
+            sim.register(node, region, CpuProfile::server(), Box::new(actor));
+        }
+    }
+    // Start the per-domain round timers (lazy propagation).
+    for domain_cfg in tree.domains() {
+        if domain_cfg.id.height == 0 {
+            continue;
+        }
+        for node in tree.nodes_of(domain_cfg.id).expect("domain nodes") {
+            sim.inject(harness_addr(), node, SaguaroMsg::RoundTimer);
+        }
+    }
+}
+
+/// Registers an AHL or SharPer deployment over the height-1 domains of the
+/// same tree.  For AHL the tree's root domain doubles as the reference
+/// committee.  Returns the committee domain used.
+pub fn deploy_baseline(
+    sim: &mut Simulation<BaselineMsg>,
+    tree: &Arc<HierarchyTree>,
+    sharper: bool,
+    seed_accounts: &[(DomainId, Vec<(String, u64)>)],
+) -> DomainId {
+    let committee = tree.root();
+    for domain_cfg in tree.domains() {
+        let domain = domain_cfg.id;
+        let role = if domain.height == 1 {
+            if sharper {
+                BaselineRole::SharperShard
+            } else {
+                BaselineRole::AhlShard
+            }
+        } else if domain == committee && !sharper {
+            BaselineRole::AhlCommittee
+        } else {
+            continue;
+        };
+        let region = domain_cfg.region;
+        for node in tree.nodes_of(domain).expect("domain nodes") {
+            let mut actor = BaselineNode::new(node, role, tree.clone(), committee);
+            if domain.height == 1 {
+                for (d, accounts) in seed_accounts {
+                    if *d == domain {
+                        for (k, v) in accounts {
+                            actor.seed_account(k.clone(), *v);
+                        }
+                    }
+                }
+            }
+            sim.register(node, region, CpuProfile::server(), Box::new(actor));
+        }
+    }
+    committee
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_and_latency_builders_cover_all_placements() {
+        for placement in [
+            Placement::SingleRegion,
+            Placement::NearbyRegions,
+            Placement::WideArea,
+        ] {
+            let tree = build_tree(FailureModel::Crash, 1, placement).unwrap();
+            assert_eq!(tree.edge_server_domains().len(), 4);
+            let lat = latency_for(placement);
+            assert!(lat.region_count() >= 1);
+        }
+    }
+
+    #[test]
+    fn saguaro_deployment_registers_every_replica() {
+        let tree = build_tree(FailureModel::Crash, 1, Placement::NearbyRegions).unwrap();
+        let mut sim: Simulation<SaguaroMsg> =
+            Simulation::new(latency_for(Placement::NearbyRegions), 1);
+        deploy_saguaro(&mut sim, &tree, &ProtocolConfig::coordinator(), &[]);
+        // 7 domains x 3 replicas (f = 1, CFT).
+        assert_eq!(sim.actor_count(), 21);
+        // Round-timer kick-offs are queued.
+        assert_eq!(sim.pending_events(), 21);
+    }
+
+    #[test]
+    fn ahl_deployment_includes_the_committee() {
+        let tree = build_tree(FailureModel::Byzantine, 1, Placement::NearbyRegions).unwrap();
+        let mut sim: Simulation<BaselineMsg> =
+            Simulation::new(latency_for(Placement::NearbyRegions), 1);
+        let committee = deploy_baseline(&mut sim, &tree, false, &[]);
+        assert_eq!(committee, tree.root());
+        // 4 shards + 1 committee, 4 replicas each (BFT f = 1).
+        assert_eq!(sim.actor_count(), 20);
+    }
+
+    #[test]
+    fn sharper_deployment_has_no_committee() {
+        let tree = build_tree(FailureModel::Crash, 1, Placement::NearbyRegions).unwrap();
+        let mut sim: Simulation<BaselineMsg> =
+            Simulation::new(latency_for(Placement::NearbyRegions), 1);
+        deploy_baseline(&mut sim, &tree, true, &[]);
+        // Only the 4 height-1 shards, 3 replicas each.
+        assert_eq!(sim.actor_count(), 12);
+    }
+}

@@ -1,0 +1,458 @@
+//! Single experiment runs and offered-load sweeps.
+
+use crate::client::{ClientActor, Collector, CompletedTx};
+use crate::deploy;
+use parking_lot::Mutex;
+use saguaro_baselines::BaselineMsg;
+use saguaro_core::{CrossDomainMode, ProtocolConfig, SaguaroMsg};
+use saguaro_hierarchy::Placement;
+use saguaro_net::{Addr, CpuProfile, Simulation};
+use saguaro_types::transaction::account_key;
+use saguaro_types::{ClientId, DomainId, Duration, FailureModel, NodeId, SimTime, TxId};
+use saguaro_workload::{MicropaymentWorkload, WorkloadConfig};
+use std::sync::Arc;
+
+/// Which protocol stack an experiment runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProtocolKind {
+    /// Saguaro with the coordinator-based cross-domain protocol.
+    SaguaroCoordinator,
+    /// Saguaro with the optimistic cross-domain protocol.
+    SaguaroOptimistic,
+    /// The AHL baseline (reference committee + 2PC).
+    Ahl,
+    /// The SharPer baseline (flattened cross-shard consensus).
+    Sharper,
+}
+
+impl ProtocolKind {
+    /// Short label used in printed figure series.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ProtocolKind::SaguaroCoordinator => "Coordinator",
+            ProtocolKind::SaguaroOptimistic => "Optimistic",
+            ProtocolKind::Ahl => "AHL",
+            ProtocolKind::Sharper => "SharPer",
+        }
+    }
+}
+
+/// Full description of one experiment run.
+#[derive(Clone, Debug)]
+pub struct ExperimentSpec {
+    /// Protocol stack under test.
+    pub protocol: ProtocolKind,
+    /// Failure model of every domain.
+    pub failure_model: FailureModel,
+    /// Failures tolerated per domain.
+    pub faults: usize,
+    /// Geographic placement.
+    pub placement: Placement,
+    /// Workload knobs (cross-domain %, contention %, mobile %).
+    pub workload: WorkloadConfig,
+    /// Number of client actors.
+    pub num_clients: usize,
+    /// Total offered load in transactions per second.
+    pub offered_load_tps: f64,
+    /// Warm-up period excluded from measurement.
+    pub warmup: Duration,
+    /// Measurement window.
+    pub measure: Duration,
+    /// RNG seed (workload + network jitter).
+    pub seed: u64,
+}
+
+impl ExperimentSpec {
+    /// A small but representative default: the paper's nearby-region
+    /// placement, crash-only domains with f = 1.
+    pub fn new(protocol: ProtocolKind) -> Self {
+        Self {
+            protocol,
+            failure_model: FailureModel::Crash,
+            faults: 1,
+            placement: Placement::NearbyRegions,
+            workload: WorkloadConfig::default(),
+            num_clients: 120,
+            offered_load_tps: 4_000.0,
+            warmup: Duration::from_millis(300),
+            measure: Duration::from_millis(900),
+            seed: 42,
+        }
+    }
+
+    /// Switches to Byzantine domains.
+    pub fn byzantine(mut self) -> Self {
+        self.failure_model = FailureModel::Byzantine;
+        self
+    }
+
+    /// Sets the cross-domain transaction ratio.
+    pub fn cross_domain(mut self, ratio: f64) -> Self {
+        self.workload.cross_domain_ratio = ratio;
+        self
+    }
+
+    /// Sets the contention (hot-account) ratio.
+    pub fn contention(mut self, ratio: f64) -> Self {
+        self.workload.contention_ratio = ratio;
+        self
+    }
+
+    /// Sets the mobile-client ratio.
+    pub fn mobile(mut self, ratio: f64) -> Self {
+        self.workload.mobile_ratio = ratio;
+        self
+    }
+
+    /// Sets the placement.
+    pub fn placed(mut self, placement: Placement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Sets the per-domain fault tolerance.
+    pub fn with_faults(mut self, f: usize) -> Self {
+        self.faults = f;
+        self
+    }
+
+    /// Sets the offered load.
+    pub fn load(mut self, tps: f64) -> Self {
+        self.offered_load_tps = tps;
+        self
+    }
+
+    /// Shrinks the measurement window (quick CI/test runs).
+    pub fn quick(mut self) -> Self {
+        self.warmup = Duration::from_millis(100);
+        self.measure = Duration::from_millis(300);
+        self.num_clients = 40;
+        self
+    }
+}
+
+/// Metrics of one run.
+#[derive(Clone, Debug, Default, serde::Serialize)]
+pub struct RunMetrics {
+    /// Offered load (tx/s).
+    pub offered_tps: f64,
+    /// Committed throughput within the measurement window (tx/s).
+    pub throughput_tps: f64,
+    /// Mean end-to-end latency (ms).
+    pub avg_latency_ms: f64,
+    /// Median latency (ms).
+    pub p50_latency_ms: f64,
+    /// 95th percentile latency (ms).
+    pub p95_latency_ms: f64,
+    /// 99th percentile latency (ms).
+    pub p99_latency_ms: f64,
+    /// Transactions committed within the window.
+    pub committed: u64,
+    /// Transactions reported aborted within the window.
+    pub aborted: u64,
+}
+
+/// One point of an offered-load sweep.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct LoadPoint {
+    /// Offered load (tx/s).
+    pub offered_tps: f64,
+    /// Measured metrics at that load.
+    pub metrics: RunMetrics,
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * p).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+fn summarise(
+    completions: &[CompletedTx],
+    warmup: Duration,
+    measure: Duration,
+    offered: f64,
+) -> RunMetrics {
+    let start = SimTime::ZERO + warmup;
+    let end = start + measure;
+    let in_window: Vec<&CompletedTx> = completions
+        .iter()
+        .filter(|c| c.submitted_at >= start && c.submitted_at < end)
+        .collect();
+    let committed: Vec<&&CompletedTx> = in_window.iter().filter(|c| c.committed).collect();
+    let aborted = in_window.len() as u64 - committed.len() as u64;
+    let mut lat_ms: Vec<f64> = committed
+        .iter()
+        .map(|c| c.latency.as_millis_f64())
+        .collect();
+    lat_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let avg = if lat_ms.is_empty() {
+        0.0
+    } else {
+        lat_ms.iter().sum::<f64>() / lat_ms.len() as f64
+    };
+    RunMetrics {
+        offered_tps: offered,
+        throughput_tps: committed.len() as f64 / measure.as_secs_f64(),
+        avg_latency_ms: avg,
+        p50_latency_ms: percentile(&lat_ms, 0.50),
+        p95_latency_ms: percentile(&lat_ms, 0.95),
+        p99_latency_ms: percentile(&lat_ms, 0.99),
+        committed: committed.len() as u64,
+        aborted,
+    }
+}
+
+/// Runs one experiment and returns its metrics.
+pub fn run(spec: &ExperimentSpec) -> RunMetrics {
+    match spec.protocol {
+        ProtocolKind::SaguaroCoordinator | ProtocolKind::SaguaroOptimistic => run_saguaro(spec),
+        ProtocolKind::Ahl | ProtocolKind::Sharper => run_baseline(spec),
+    }
+}
+
+/// Sweeps offered load, returning one point per load value.
+pub fn sweep(spec: &ExperimentSpec, loads: &[f64]) -> Vec<LoadPoint> {
+    loads
+        .iter()
+        .map(|l| {
+            let mut s = spec.clone();
+            s.offered_load_tps = *l;
+            LoadPoint {
+                offered_tps: *l,
+                metrics: run(&s),
+            }
+        })
+        .collect()
+}
+
+/// Builds the per-client schedules and the account seeds for a spec.
+struct Prepared<M> {
+    schedules: Vec<(ClientId, DomainId, Vec<(TxId, M, Addr)>)>,
+    seeds: Vec<(DomainId, Vec<(String, u64)>)>,
+    mean_interarrival_us: f64,
+}
+
+fn prepare<M>(
+    spec: &ExperimentSpec,
+    edge_domains: Vec<DomainId>,
+    wrap: impl Fn(saguaro_types::Transaction) -> M,
+) -> Prepared<M> {
+    let mut workload_cfg = spec.workload.clone();
+    workload_cfg.edge_domains = edge_domains.clone();
+    let mut generator = MicropaymentWorkload::new(workload_cfg.clone(), spec.num_clients, spec.seed);
+
+    let horizon = spec.warmup + spec.measure + Duration::from_millis(200);
+    let per_client_rate = spec.offered_load_tps / spec.num_clients as f64; // tx per second
+    let txs_per_client =
+        ((per_client_rate * horizon.as_secs_f64()).ceil() as usize + 2).max(4);
+    let mean_interarrival_us = 1_000_000.0 / per_client_rate.max(0.001);
+
+    let mut schedules = Vec::with_capacity(spec.num_clients);
+    for c in 0..spec.num_clients {
+        let home = generator.home_of(c);
+        let mut schedule = Vec::with_capacity(txs_per_client);
+        for _ in 0..txs_per_client {
+            let (tx, submit_to) = generator.next_for_client(c);
+            let target = Addr::Node(NodeId::new(submit_to, 0));
+            schedule.push((tx.id, wrap(tx), target));
+        }
+        schedules.push((ClientId(c as u64), home, schedule));
+    }
+
+    // Seed the per-domain account universe plus one account per client (used
+    // by mobile transactions).
+    let mut seeds = Vec::new();
+    for d in &edge_domains {
+        let mut accounts = workload_cfg.seed_accounts_for(*d);
+        for c in 0..spec.num_clients {
+            let home = generator.home_of(c);
+            if home == *d {
+                accounts.push((account_key(d.index, c as u64), workload_cfg.initial_balance));
+            }
+        }
+        seeds.push((*d, accounts));
+    }
+
+    Prepared {
+        schedules,
+        seeds,
+        mean_interarrival_us,
+    }
+}
+
+fn parse_saguaro_reply(m: &SaguaroMsg) -> Option<(TxId, bool)> {
+    match m {
+        SaguaroMsg::Reply { tx_id, committed } => Some((*tx_id, *committed)),
+        _ => None,
+    }
+}
+
+fn parse_baseline_reply(m: &BaselineMsg) -> Option<(TxId, bool)> {
+    match m {
+        BaselineMsg::Reply { tx_id, committed } => Some((*tx_id, *committed)),
+        _ => None,
+    }
+}
+
+fn run_saguaro(spec: &ExperimentSpec) -> RunMetrics {
+    let tree = deploy::build_tree(spec.failure_model, spec.faults, spec.placement)
+        .expect("valid paper topology");
+    let mut sim: Simulation<SaguaroMsg> =
+        Simulation::new(deploy::latency_for(spec.placement), spec.seed);
+    let config = match spec.protocol {
+        ProtocolKind::SaguaroOptimistic => ProtocolConfig::optimistic(),
+        _ => ProtocolConfig::coordinator(),
+    };
+    debug_assert!(matches!(
+        config.cross_mode,
+        CrossDomainMode::Coordinator | CrossDomainMode::Optimistic
+    ));
+
+    let prepared = prepare(spec, tree.edge_server_domains(), SaguaroMsg::ClientRequest);
+    deploy::deploy_saguaro(&mut sim, &tree, &config, &prepared.seeds);
+
+    let collector: Collector = Arc::new(Mutex::new(Vec::new()));
+    let reply_quorum = match spec.failure_model {
+        FailureModel::Crash => 1,
+        FailureModel::Byzantine => spec.faults + 1,
+    };
+    for (client_id, home, schedule) in prepared.schedules {
+        let region = tree.region_of(home).expect("home region");
+        let actor = ClientActor::new(
+            client_id,
+            schedule,
+            prepared.mean_interarrival_us,
+            SaguaroMsg::ClientTick,
+            parse_saguaro_reply,
+            reply_quorum,
+            collector.clone(),
+        );
+        sim.register(client_id, region, CpuProfile::client(), Box::new(actor));
+        // Stagger client start over one mean inter-arrival.
+        let offset = (client_id.0 % 97) as u64 * (prepared.mean_interarrival_us as u64 / 97).max(1);
+        sim.inject_at(
+            SimTime::from_micros(offset),
+            deploy::harness_addr(),
+            client_id,
+            SaguaroMsg::ClientTick,
+        );
+    }
+
+    let horizon = spec.warmup + spec.measure + Duration::from_millis(300);
+    sim.run_until(SimTime::ZERO + horizon);
+    let completions = collector.lock();
+    summarise(&completions, spec.warmup, spec.measure, spec.offered_load_tps)
+}
+
+fn run_baseline(spec: &ExperimentSpec) -> RunMetrics {
+    let tree = deploy::build_tree(spec.failure_model, spec.faults, spec.placement)
+        .expect("valid paper topology");
+    let mut sim: Simulation<BaselineMsg> =
+        Simulation::new(deploy::latency_for(spec.placement), spec.seed);
+    let sharper = spec.protocol == ProtocolKind::Sharper;
+
+    let prepared = prepare(spec, tree.edge_server_domains(), BaselineMsg::ClientRequest);
+    deploy::deploy_baseline(&mut sim, &tree, sharper, &prepared.seeds);
+
+    let collector: Collector = Arc::new(Mutex::new(Vec::new()));
+    let reply_quorum = match spec.failure_model {
+        FailureModel::Crash => 1,
+        FailureModel::Byzantine => spec.faults + 1,
+    };
+    for (client_id, home, schedule) in prepared.schedules {
+        let region = tree.region_of(home).expect("home region");
+        let actor = ClientActor::new(
+            client_id,
+            schedule,
+            prepared.mean_interarrival_us,
+            BaselineMsg::ProgressTimer,
+            parse_baseline_reply,
+            reply_quorum,
+            collector.clone(),
+        );
+        sim.register(client_id, region, CpuProfile::client(), Box::new(actor));
+        let offset = (client_id.0 % 97) as u64 * (prepared.mean_interarrival_us as u64 / 97).max(1);
+        sim.inject_at(
+            SimTime::from_micros(offset),
+            deploy::harness_addr(),
+            client_id,
+            BaselineMsg::ProgressTimer,
+        );
+    }
+
+    let horizon = spec.warmup + spec.measure + Duration::from_millis(300);
+    sim.run_until(SimTime::ZERO + horizon);
+    let completions = collector.lock();
+    summarise(&completions, spec.warmup, spec.measure, spec.offered_load_tps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_helper_handles_edges() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        let v = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 1.0), 4.0);
+    }
+
+    #[test]
+    fn internal_only_coordinator_run_commits_transactions() {
+        let spec = ExperimentSpec::new(ProtocolKind::SaguaroCoordinator)
+            .quick()
+            .load(800.0);
+        let metrics = run(&spec);
+        assert!(metrics.committed > 50, "committed {}", metrics.committed);
+        assert!(metrics.throughput_tps > 100.0);
+        assert!(metrics.avg_latency_ms > 0.0 && metrics.avg_latency_ms < 200.0);
+    }
+
+    #[test]
+    fn cross_domain_coordinator_and_optimistic_both_commit() {
+        for protocol in [ProtocolKind::SaguaroCoordinator, ProtocolKind::SaguaroOptimistic] {
+            let spec = ExperimentSpec::new(protocol).quick().cross_domain(0.5).load(600.0);
+            let metrics = run(&spec);
+            assert!(
+                metrics.committed > 30,
+                "{protocol:?} committed {}",
+                metrics.committed
+            );
+        }
+    }
+
+    #[test]
+    fn baselines_commit_cross_domain_transactions() {
+        for protocol in [ProtocolKind::Ahl, ProtocolKind::Sharper] {
+            let spec = ExperimentSpec::new(protocol).quick().cross_domain(0.5).load(600.0);
+            let metrics = run(&spec);
+            assert!(
+                metrics.committed > 30,
+                "{protocol:?} committed {}",
+                metrics.committed
+            );
+        }
+    }
+
+    #[test]
+    fn mobile_workload_commits_under_saguaro() {
+        let spec = ExperimentSpec::new(ProtocolKind::SaguaroCoordinator)
+            .quick()
+            .mobile(0.5)
+            .load(500.0);
+        let metrics = run(&spec);
+        assert!(metrics.committed > 20, "committed {}", metrics.committed);
+    }
+
+    #[test]
+    fn sweep_produces_one_point_per_load() {
+        let spec = ExperimentSpec::new(ProtocolKind::SaguaroCoordinator).quick();
+        let points = sweep(&spec, &[300.0, 600.0]);
+        assert_eq!(points.len(), 2);
+        assert!(points[1].metrics.throughput_tps >= points[0].metrics.throughput_tps * 0.5);
+    }
+}

@@ -1,0 +1,241 @@
+//! Ready-made experiment grids reproducing every figure of the paper's
+//! evaluation (Figures 7–13) plus the ablations called out in `DESIGN.md`.
+//!
+//! Each `figure*` function returns one [`FigureSeries`] per curve of the
+//! corresponding figure; the `saguaro-bench` binaries print them as tables
+//! and `EXPERIMENTS.md` records the paper-vs-measured comparison.
+
+use crate::experiment::{sweep, ExperimentSpec, LoadPoint, ProtocolKind};
+use saguaro_hierarchy::Placement;
+use saguaro_types::FailureModel;
+
+/// One curve of a figure: a label plus its load sweep.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct FigureSeries {
+    /// Curve label as it appears in the paper's legend.
+    pub label: String,
+    /// Measured points.
+    pub points: Vec<LoadPoint>,
+}
+
+/// Options controlling how exhaustively the figures are regenerated.
+#[derive(Clone, Debug)]
+pub struct FigureOptions {
+    /// Offered loads to sweep (tx/s).
+    pub loads: Vec<f64>,
+    /// Use the abbreviated measurement windows (CI / smoke runs).
+    pub quick: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FigureOptions {
+    fn default() -> Self {
+        Self {
+            loads: vec![1_000.0, 2_000.0, 4_000.0, 8_000.0, 12_000.0],
+            quick: false,
+            seed: 42,
+        }
+    }
+}
+
+impl FigureOptions {
+    /// A fast configuration for tests and Criterion benches.
+    pub fn smoke() -> Self {
+        Self {
+            loads: vec![600.0, 1_200.0],
+            quick: true,
+            seed: 42,
+        }
+    }
+}
+
+fn spec(protocol: ProtocolKind, options: &FigureOptions) -> ExperimentSpec {
+    let mut s = ExperimentSpec::new(protocol);
+    s.seed = options.seed;
+    if options.quick {
+        s = s.quick();
+    }
+    s
+}
+
+/// The six curves every cross-domain figure plots: AHL, SharPer, the
+/// coordinator-based protocol and the optimistic protocol at 10 / 50 / 90 %
+/// contention.
+fn cross_domain_curves(
+    options: &FigureOptions,
+    configure: impl Fn(ExperimentSpec) -> ExperimentSpec,
+) -> Vec<FigureSeries> {
+    let mut out = Vec::new();
+    let protos = [
+        (ProtocolKind::Ahl, "AHL", None),
+        (ProtocolKind::Sharper, "SharPer", None),
+        (ProtocolKind::SaguaroCoordinator, "Coordinator", None),
+        (ProtocolKind::SaguaroOptimistic, "Opt-10%C", Some(0.10)),
+        (ProtocolKind::SaguaroOptimistic, "Opt-50%C", Some(0.50)),
+        (ProtocolKind::SaguaroOptimistic, "Opt-90%C", Some(0.90)),
+    ];
+    for (proto, label, contention) in protos {
+        let mut s = configure(spec(proto, options));
+        if let Some(c) = contention {
+            s = s.contention(c);
+        }
+        out.push(FigureSeries {
+            label: label.to_string(),
+            points: sweep(&s, &options.loads),
+        });
+    }
+    out
+}
+
+/// Figure 7: cross-domain transactions, crash-only domains, nearby regions.
+/// `cross_pct` selects the sub-figure: 0.2 (a), 0.8 (b) or 1.0 (c).
+pub fn figure7(cross_pct: f64, options: &FigureOptions) -> Vec<FigureSeries> {
+    cross_domain_curves(options, |s| s.cross_domain(cross_pct))
+}
+
+/// Figure 8: cross-domain transactions, Byzantine domains, nearby regions.
+pub fn figure8(cross_pct: f64, options: &FigureOptions) -> Vec<FigureSeries> {
+    cross_domain_curves(options, |s| s.byzantine().cross_domain(cross_pct))
+}
+
+/// Figures 9 (nearby) and 11 (wide area): transactions initiated by mobile
+/// devices, one curve per mobile percentage.
+pub fn figure_mobile(
+    placement: Placement,
+    model: FailureModel,
+    options: &FigureOptions,
+) -> Vec<FigureSeries> {
+    [0.0, 0.2, 0.8, 1.0]
+        .iter()
+        .map(|mobile| {
+            let mut s = spec(ProtocolKind::SaguaroCoordinator, options)
+                .placed(placement)
+                .mobile(*mobile);
+            if model == FailureModel::Byzantine {
+                s = s.byzantine();
+            }
+            FigureSeries {
+                label: format!("{}%Mobile", (mobile * 100.0) as u32),
+                points: sweep(&s, &options.loads),
+            }
+        })
+        .collect()
+}
+
+/// Figure 9: mobile devices over nearby regions.
+pub fn figure9(model: FailureModel, options: &FigureOptions) -> Vec<FigureSeries> {
+    figure_mobile(Placement::NearbyRegions, model, options)
+}
+
+/// Figure 10: scalability over wide-area domains (90 % internal / 10 %
+/// cross-domain, seven far-apart regions).
+pub fn figure10(model: FailureModel, options: &FigureOptions) -> Vec<FigureSeries> {
+    cross_domain_curves(options, |s| {
+        let s = s.placed(Placement::WideArea).cross_domain(0.10);
+        if model == FailureModel::Byzantine {
+            s.byzantine()
+        } else {
+            s
+        }
+    })
+}
+
+/// Figure 11: mobile devices over the wide-area placement.
+pub fn figure11(model: FailureModel, options: &FigureOptions) -> Vec<FigureSeries> {
+    figure_mobile(Placement::WideArea, model, options)
+}
+
+/// Figures 12 and 13: fault-tolerance scalability — all protocols, single
+/// region, 90/10 workload, larger domains (`f` = 2 or 4).
+pub fn figure_ft(model: FailureModel, faults: usize, options: &FigureOptions) -> Vec<FigureSeries> {
+    cross_domain_curves(options, |s| {
+        let s = s
+            .placed(Placement::SingleRegion)
+            .cross_domain(0.10)
+            .with_faults(faults);
+        if model == FailureModel::Byzantine {
+            s.byzantine()
+        } else {
+            s
+        }
+    })
+}
+
+/// Ablation: LCA coordinator versus a fixed root coordinator.  The AHL
+/// baseline *is* the fixed-root configuration over the same substrate, so the
+/// ablation compares `Coordinator` against `AHL` at 100 % cross-domain.
+pub fn ablation_lca_vs_root(options: &FigureOptions) -> Vec<FigureSeries> {
+    [
+        (ProtocolKind::SaguaroCoordinator, "LCA coordinator"),
+        (ProtocolKind::Ahl, "Fixed root coordinator"),
+    ]
+    .iter()
+    .map(|(proto, label)| FigureSeries {
+        label: label.to_string(),
+        points: sweep(&spec(*proto, options).cross_domain(1.0), &options.loads),
+    })
+    .collect()
+}
+
+/// Ablation: how the contention knob affects the optimistic protocol's abort
+/// behaviour (complement of the Opt-x%C curves).
+pub fn ablation_contention(options: &FigureOptions) -> Vec<FigureSeries> {
+    [0.1, 0.5, 0.9]
+        .iter()
+        .map(|c| FigureSeries {
+            label: format!("contention {}%", (c * 100.0) as u32),
+            points: sweep(
+                &spec(ProtocolKind::SaguaroOptimistic, options)
+                    .cross_domain(0.8)
+                    .contention(*c),
+                &options.loads,
+            ),
+        })
+        .collect()
+}
+
+/// Renders a set of series as a plain-text table (one row per load point).
+pub fn render_table(title: &str, series: &[FigureSeries]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {title}\n"));
+    out.push_str(&format!(
+        "{:<22} {:>12} {:>14} {:>12} {:>12} {:>10}\n",
+        "series", "offered_tps", "throughput_tps", "avg_lat_ms", "p95_lat_ms", "aborted"
+    ));
+    for s in series {
+        for p in &s.points {
+            out.push_str(&format!(
+                "{:<22} {:>12.0} {:>14.0} {:>12.2} {:>12.2} {:>10}\n",
+                s.label,
+                p.offered_tps,
+                p.metrics.throughput_tps,
+                p.metrics.avg_latency_ms,
+                p.metrics.p95_latency_ms,
+                p.metrics.aborted
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_figure7_has_six_series() {
+        let series = figure7(0.2, &FigureOptions::smoke());
+        assert_eq!(series.len(), 6);
+        assert!(series.iter().all(|s| s.points.len() == 2));
+        let table = render_table("fig7a", &series);
+        assert!(table.contains("Coordinator") && table.contains("AHL"));
+    }
+
+    #[test]
+    fn smoke_mobile_figure_has_four_series() {
+        let series = figure9(FailureModel::Crash, &FigureOptions::smoke());
+        assert_eq!(series.len(), 4);
+        assert!(series.iter().any(|s| s.label == "100%Mobile"));
+    }
+}

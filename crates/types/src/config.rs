@@ -1,0 +1,209 @@
+//! Failure models, quorum arithmetic and per-domain configuration.
+
+use crate::ids::{DomainId, Region};
+use serde::{Deserialize, Serialize};
+
+/// The failure model followed by the nodes of a domain.
+///
+/// Crash fault-tolerant (CFT) domains run Paxos and need `2f + 1` replicas to
+/// tolerate `f` simultaneous crashes; Byzantine fault-tolerant (BFT) domains
+/// run PBFT and need `3f + 1` replicas to tolerate `f` malicious replicas.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum FailureModel {
+    /// Nodes may only fail by stopping (and may restart).
+    Crash,
+    /// Nodes may behave arbitrarily, including maliciously.
+    Byzantine,
+}
+
+impl FailureModel {
+    /// Number of replicas required to tolerate `f` failures under this model.
+    pub const fn replicas_for(self, f: usize) -> usize {
+        match self {
+            FailureModel::Crash => 2 * f + 1,
+            FailureModel::Byzantine => 3 * f + 1,
+        }
+    }
+
+    /// Maximum number of failures tolerated by a domain of `n` replicas.
+    pub const fn max_faults(self, n: usize) -> usize {
+        match self {
+            FailureModel::Crash => n.saturating_sub(1) / 2,
+            FailureModel::Byzantine => n.saturating_sub(1) / 3,
+        }
+    }
+}
+
+/// Quorum sizes for a domain of `n` replicas tolerating `f` failures.
+///
+/// * CFT (Paxos): majority quorums of `f + 1` out of `2f + 1`.
+/// * BFT (PBFT): quorums of `2f + 1` out of `3f + 1`; certificates that must
+///   be verifiable by other domains also carry `2f + 1` signatures (the paper
+///   requires messages from a Byzantine domain to be certified by at least
+///   `2f + 1` nodes because the primary may be malicious).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct QuorumSpec {
+    /// Total number of replicas in the domain.
+    pub n: usize,
+    /// Number of failures tolerated.
+    pub f: usize,
+    /// The failure model.
+    pub model: FailureModel,
+}
+
+impl QuorumSpec {
+    /// Builds the quorum spec for a domain tolerating `f` faults under `model`.
+    pub const fn for_faults(model: FailureModel, f: usize) -> Self {
+        Self {
+            n: model.replicas_for(f),
+            f,
+            model,
+        }
+    }
+
+    /// Builds the quorum spec for a domain of `n` replicas under `model`.
+    pub const fn for_size(model: FailureModel, n: usize) -> Self {
+        Self {
+            n,
+            f: model.max_faults(n),
+            model,
+        }
+    }
+
+    /// Size of the quorum needed to commit/accept a value inside the domain.
+    pub const fn commit_quorum(&self) -> usize {
+        match self.model {
+            FailureModel::Crash => self.f + 1,
+            FailureModel::Byzantine => 2 * self.f + 1,
+        }
+    }
+
+    /// Number of signatures a certificate shown to *other* domains must carry.
+    ///
+    /// Crash-only domains are trusted not to lie, so the primary's signature
+    /// suffices; Byzantine domains must present `2f + 1` matching signatures.
+    pub const fn certificate_size(&self) -> usize {
+        match self.model {
+            FailureModel::Crash => 1,
+            FailureModel::Byzantine => 2 * self.f + 1,
+        }
+    }
+
+    /// Number of matching replies a client must collect before accepting a
+    /// result (`1` for crash-only, `f + 1` for Byzantine domains).
+    pub const fn reply_quorum(&self) -> usize {
+        match self.model {
+            FailureModel::Crash => 1,
+            FailureModel::Byzantine => self.f + 1,
+        }
+    }
+
+    /// Number of identical suspicion reports after which a primary is
+    /// considered faulty (`n - f` per the paper's query handling).
+    pub const fn suspicion_quorum(&self) -> usize {
+        self.n - self.f
+    }
+}
+
+/// Static configuration of one domain in a deployment.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct DomainConfig {
+    /// The domain's identifier (height + index).
+    pub id: DomainId,
+    /// Quorum arithmetic for the domain.
+    pub quorum: QuorumSpec,
+    /// Geographic region hosting every replica of the domain.
+    pub region: Region,
+}
+
+impl DomainConfig {
+    /// Convenience constructor.
+    pub fn new(id: DomainId, model: FailureModel, f: usize, region: Region) -> Self {
+        Self {
+            id,
+            quorum: QuorumSpec::for_faults(model, f),
+            region,
+        }
+    }
+
+    /// Number of replicas in the domain.
+    pub fn size(&self) -> usize {
+        self.quorum.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replica_counts_match_the_paper() {
+        // The paper: D21 has 4 Byzantine nodes (3f+1, f=1); D14 has 5 crash
+        // nodes (2f+1, f=2).
+        assert_eq!(FailureModel::Byzantine.replicas_for(1), 4);
+        assert_eq!(FailureModel::Crash.replicas_for(2), 5);
+    }
+
+    #[test]
+    fn max_faults_inverts_replica_count() {
+        for f in 0..10 {
+            let n_cft = FailureModel::Crash.replicas_for(f);
+            let n_bft = FailureModel::Byzantine.replicas_for(f);
+            assert_eq!(FailureModel::Crash.max_faults(n_cft), f);
+            assert_eq!(FailureModel::Byzantine.max_faults(n_bft), f);
+        }
+    }
+
+    #[test]
+    fn quorum_sizes_cft() {
+        let q = QuorumSpec::for_faults(FailureModel::Crash, 2);
+        assert_eq!(q.n, 5);
+        assert_eq!(q.commit_quorum(), 3);
+        assert_eq!(q.certificate_size(), 1);
+        assert_eq!(q.reply_quorum(), 1);
+        assert_eq!(q.suspicion_quorum(), 3);
+    }
+
+    #[test]
+    fn quorum_sizes_bft() {
+        let q = QuorumSpec::for_faults(FailureModel::Byzantine, 1);
+        assert_eq!(q.n, 4);
+        assert_eq!(q.commit_quorum(), 3);
+        assert_eq!(q.certificate_size(), 3);
+        assert_eq!(q.reply_quorum(), 2);
+        assert_eq!(q.suspicion_quorum(), 3);
+    }
+
+    #[test]
+    fn for_size_round_trips() {
+        let q = QuorumSpec::for_size(FailureModel::Byzantine, 7);
+        assert_eq!(q.f, 2);
+        assert_eq!(q.commit_quorum(), 5);
+        let q = QuorumSpec::for_size(FailureModel::Crash, 9);
+        assert_eq!(q.f, 4);
+        assert_eq!(q.commit_quorum(), 5);
+    }
+
+    #[test]
+    fn any_two_commit_quorums_intersect_in_a_correct_node() {
+        // Safety argument of Lemma 4.1: two quorums intersect in at least one
+        // non-faulty node.
+        for f in 1..6 {
+            for model in [FailureModel::Crash, FailureModel::Byzantine] {
+                let q = QuorumSpec::for_faults(model, f);
+                let overlap = 2 * q.commit_quorum() as isize - q.n as isize;
+                assert!(
+                    overlap > q.f as isize || model == FailureModel::Crash && overlap >= 1,
+                    "quorum intersection too small for {model:?} f={f}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn domain_config_reports_size() {
+        let c = DomainConfig::new(DomainId::new(1, 0), FailureModel::Byzantine, 1, Region(2));
+        assert_eq!(c.size(), 4);
+        assert_eq!(c.region, Region(2));
+    }
+}

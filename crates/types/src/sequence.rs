@@ -1,0 +1,162 @@
+//! Sequence numbers.
+//!
+//! Internal transactions of a height-1 domain carry a single-part sequence
+//! number assigned by that domain's internal consensus.  Cross-domain
+//! transactions carry a *multi-part* sequence number with one part per
+//! involved domain (the paper's `12-22-31` notation in Figure 3): each part
+//! records the order of the transaction in the ledger of one involved domain.
+
+use crate::ids::DomainId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A single-domain sequence number (position in one domain's ledger).
+pub type SeqNo = u64;
+
+/// A multi-part sequence number for a cross-domain transaction.
+///
+/// Each entry maps an involved domain to the sequence number the transaction
+/// received in that domain's ledger.  Entries are kept sorted by domain so
+/// that equality and hashing are canonical.
+#[derive(Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct MultiSeq {
+    parts: Vec<(DomainId, SeqNo)>,
+}
+
+impl MultiSeq {
+    /// Creates an empty multi-part sequence number.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a multi-part sequence number from `(domain, seq)` pairs.
+    pub fn from_parts(mut parts: Vec<(DomainId, SeqNo)>) -> Self {
+        parts.sort_by_key(|(d, _)| *d);
+        parts.dedup_by_key(|(d, _)| *d);
+        Self { parts }
+    }
+
+    /// Records (or overwrites) the sequence number assigned by `domain`.
+    pub fn set(&mut self, domain: DomainId, seq: SeqNo) {
+        match self.parts.binary_search_by_key(&domain, |(d, _)| *d) {
+            Ok(i) => self.parts[i].1 = seq,
+            Err(i) => self.parts.insert(i, (domain, seq)),
+        }
+    }
+
+    /// The sequence number assigned by `domain`, if any.
+    pub fn get(&self, domain: DomainId) -> Option<SeqNo> {
+        self.parts
+            .binary_search_by_key(&domain, |(d, _)| *d)
+            .ok()
+            .map(|i| self.parts[i].1)
+    }
+
+    /// Number of domains that have assigned a part.
+    pub fn len(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// True if no domain has assigned a part yet.
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+
+    /// Iterates over `(domain, seq)` pairs in domain order.
+    pub fn iter(&self) -> impl Iterator<Item = (DomainId, SeqNo)> + '_ {
+        self.parts.iter().copied()
+    }
+
+    /// The domains that have contributed a part.
+    pub fn domains(&self) -> impl Iterator<Item = DomainId> + '_ {
+        self.parts.iter().map(|(d, _)| *d)
+    }
+
+    /// True if every domain in `required` has contributed a part.
+    pub fn covers<'a>(&self, required: impl IntoIterator<Item = &'a DomainId>) -> bool {
+        required.into_iter().all(|d| self.get(*d).is_some())
+    }
+}
+
+impl fmt::Debug for MultiSeq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Mirrors the paper's `ni-nj-...-nk` concatenated notation.
+        let mut first = true;
+        for (d, s) in &self.parts {
+            if !first {
+                write!(f, "-")?;
+            }
+            write!(f, "{s}@{d:?}")?;
+            first = false;
+        }
+        if first {
+            write!(f, "<empty>")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(i: u16) -> DomainId {
+        DomainId::new(1, i)
+    }
+
+    #[test]
+    fn set_and_get_round_trip() {
+        let mut m = MultiSeq::new();
+        assert!(m.is_empty());
+        m.set(d(2), 22);
+        m.set(d(0), 12);
+        m.set(d(3), 31);
+        assert_eq!(m.get(d(0)), Some(12));
+        assert_eq!(m.get(d(2)), Some(22));
+        assert_eq!(m.get(d(3)), Some(31));
+        assert_eq!(m.get(d(1)), None);
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn set_overwrites_existing_part() {
+        let mut m = MultiSeq::new();
+        m.set(d(0), 1);
+        m.set(d(0), 7);
+        assert_eq!(m.get(d(0)), Some(7));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn parts_are_canonically_ordered() {
+        let a = MultiSeq::from_parts(vec![(d(2), 5), (d(0), 3)]);
+        let mut b = MultiSeq::new();
+        b.set(d(0), 3);
+        b.set(d(2), 5);
+        assert_eq!(a, b);
+        let order: Vec<_> = a.domains().collect();
+        assert_eq!(order, vec![d(0), d(2)]);
+    }
+
+    #[test]
+    fn from_parts_deduplicates_domains() {
+        let a = MultiSeq::from_parts(vec![(d(1), 5), (d(1), 9)]);
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn covers_checks_required_domains() {
+        let m = MultiSeq::from_parts(vec![(d(0), 1), (d(1), 2)]);
+        assert!(m.covers(&[d(0), d(1)]));
+        assert!(!m.covers(&[d(0), d(2)]));
+        assert!(m.covers(&[]));
+    }
+
+    #[test]
+    fn debug_matches_paper_notation_shape() {
+        let m = MultiSeq::from_parts(vec![(d(0), 12), (d(1), 22)]);
+        let s = format!("{m:?}");
+        assert!(s.contains("12@D10") && s.contains("22@D11") && s.contains('-'));
+        assert_eq!(format!("{:?}", MultiSeq::new()), "<empty>");
+    }
+}

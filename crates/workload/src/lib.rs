@@ -1,0 +1,27 @@
+//! Workload generators for the Saguaro experiments.
+//!
+//! The paper evaluates with a micropayment application: "clients continuously
+//! carry out transactions that lead to the transfer of financial assets from
+//! a sender to a recipient".  The generator controls the knobs the evaluation
+//! sweeps:
+//!
+//! * **cross-domain percentage** — 0 / 10 / 20 / 80 / 100 % of transactions
+//!   involve two randomly chosen height-1 domains (Figures 7, 8, 10, 12, 13);
+//! * **contention percentage** — 10 / 50 / 90 % of transactions touch a small
+//!   hot set of accounts, creating read-write conflicts that stress the
+//!   optimistic protocol (Opt-10%C / 50%C / 90%C curves);
+//! * **mobile percentage** — 0 / 20 / 80 / 100 % of clients issue their
+//!   requests from a remote domain, ten transactions per excursion
+//!   (Figures 9 and 11);
+//! * the **ridesharing** generator produces `RideTask` records whose
+//!   working-hour attribute higher-level domains aggregate (Section 2's gig
+//!   economy scenario).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod micropayment;
+pub mod ridesharing;
+
+pub use micropayment::{MicropaymentWorkload, WorkloadConfig};
+pub use ridesharing::RidesharingWorkload;

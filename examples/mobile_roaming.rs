@@ -1,0 +1,45 @@
+//! Mobile consensus: a rideshare driver (edge device) roams into a
+//! neighbouring spatial domain and keeps transacting there.
+//!
+//! The example measures the cost of mobility the same way Figure 9 does: it
+//! runs the same offered load with 0 %, 20 % and 100 % mobile clients and
+//! prints the throughput and latency of each, showing that the state-transfer
+//! protocol keeps the penalty modest (one wide-area round trip per
+//! excursion, not per transaction).
+//!
+//! ```text
+//! cargo run --release --example mobile_roaming
+//! ```
+
+use saguaro::sim::{experiment, ExperimentSpec, ProtocolKind};
+
+fn main() {
+    println!("mobility cost under the mobile consensus protocol (nearby regions, CFT):\n");
+    println!(
+        "{:<12} {:>14} {:>14} {:>12}",
+        "mobile %", "throughput_tps", "avg_lat_ms", "p95_lat_ms"
+    );
+    let mut baseline = None;
+    for mobile in [0.0, 0.2, 1.0] {
+        let spec = ExperimentSpec::new(ProtocolKind::SaguaroCoordinator)
+            .mobile(mobile)
+            .load(2_500.0);
+        let m = experiment::run(&spec);
+        println!(
+            "{:<12} {:>14.0} {:>14.2} {:>12.2}",
+            format!("{}%", (mobile * 100.0) as u32),
+            m.throughput_tps,
+            m.avg_latency_ms,
+            m.p95_latency_ms
+        );
+        if mobile == 0.0 {
+            baseline = Some(m.throughput_tps);
+        } else if let Some(base) = baseline {
+            let drop = 100.0 * (1.0 - m.throughput_tps / base.max(1.0));
+            println!("{:<12} (throughput reduction vs 0% mobile: {drop:.0}%)", "");
+        }
+    }
+    println!("\nThe paper reports ~4% reduction at 20% mobile and ~25% at 100% mobile");
+    println!("(crash-only, nearby regions); the simulated deployment should show the");
+    println!("same ordering and a similar magnitude.");
+}

@@ -1,0 +1,125 @@
+//! Cross-crate property-based tests (proptest) on the core invariants.
+
+use proptest::prelude::*;
+use saguaro::crypto::{merkle, MerkleTree};
+use saguaro::hierarchy::TopologyBuilder;
+use saguaro::ledger::{BlockchainState, LinearLedger, StateDelta, TxStatus};
+use saguaro::types::transaction::{account_key, account_owner_index};
+use saguaro::types::{ClientId, DomainId, Operation, Transaction, TxId};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Transfers can never create or destroy assets, whatever their order and
+    /// whether or not they succeed.
+    #[test]
+    fn transfers_conserve_supply(ops in proptest::collection::vec((0u8..6, 0u8..6, 1u64..50), 1..200)) {
+        let mut state = BlockchainState::new();
+        for i in 0..6u64 {
+            state.put(account_key(0, i), 100);
+        }
+        let initial = state.total_supply();
+        for (from, to, amount) in ops {
+            let _ = state.execute(&Operation::Transfer {
+                from: account_key(0, from as u64),
+                to: account_key(0, to as u64),
+                amount,
+            });
+        }
+        prop_assert_eq!(state.total_supply(), initial);
+    }
+
+    /// Reverting undo records in reverse order restores the exact prior state.
+    #[test]
+    fn undo_records_restore_state(ops in proptest::collection::vec((0u8..5, 0u8..5, 1u64..30), 1..60)) {
+        let mut state = BlockchainState::new();
+        for i in 0..5u64 {
+            state.put(account_key(1, i), 500);
+        }
+        let snapshot = state.clone();
+        let mut undos = Vec::new();
+        for (from, to, amount) in ops {
+            if let Ok(u) = state.execute(&Operation::Transfer {
+                from: account_key(1, from as u64),
+                to: account_key(1, to as u64),
+                amount,
+            }) {
+                undos.push(u);
+            }
+        }
+        for u in undos.iter().rev() {
+            state.revert(u);
+        }
+        prop_assert_eq!(state, snapshot);
+    }
+
+    /// Every Merkle proof of every leaf verifies against the root, and fails
+    /// against a different leaf payload.
+    #[test]
+    fn merkle_proofs_round_trip(leaves in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..40), 1..40)) {
+        let tree = MerkleTree::from_leaves(&leaves);
+        for (i, leaf) in leaves.iter().enumerate() {
+            let proof = tree.prove(i).expect("proof exists");
+            prop_assert!(merkle::verify_proof(&tree.root(), leaf, &proof));
+            let mut tampered = leaf.clone();
+            tampered.push(0xFF);
+            prop_assert!(!merkle::verify_proof(&tree.root(), &tampered, &proof));
+        }
+    }
+
+    /// The LCA of any non-empty set of domains in a perfect k-ary tree is an
+    /// ancestor of every involved domain, and is the deepest such domain.
+    #[test]
+    fn lca_is_the_deepest_common_ancestor(
+        fanout in 2usize..4,
+        levels in 2u8..4,
+        picks in proptest::collection::vec(0usize..64, 1..5),
+    ) {
+        let tree = TopologyBuilder::new(levels, fanout).build().expect("valid");
+        let edges = tree.edge_server_domains();
+        let involved: Vec<DomainId> = picks.iter().map(|p| edges[p % edges.len()]).collect();
+        let lca = tree.lca(&involved).expect("lca exists");
+        for d in &involved {
+            prop_assert!(tree.is_ancestor(lca, *d), "lca {lca:?} not ancestor of {d:?}");
+        }
+        // No child of the LCA is a common ancestor.
+        for child in tree.children(lca) {
+            let covers_all = involved.iter().all(|d| tree.is_ancestor(*child, *d));
+            prop_assert!(!covers_all, "child {child:?} would be a deeper common ancestor");
+        }
+    }
+
+    /// A linear ledger preserves append order and block cuts partition the
+    /// entries exactly.
+    #[test]
+    fn ledger_blocks_partition_entries(batches in proptest::collection::vec(0usize..20, 1..10)) {
+        let domain = DomainId::new(1, 0);
+        let mut ledger = LinearLedger::new(domain);
+        let mut id = 0u64;
+        let mut blocks = Vec::new();
+        for batch in &batches {
+            for _ in 0..*batch {
+                id += 1;
+                let tx = Transaction::internal(TxId(id), ClientId(0), domain, Operation::Noop);
+                ledger.append_internal(tx, TxStatus::Committed);
+            }
+            blocks.push(ledger.cut_block(StateDelta::new()));
+        }
+        let total: usize = batches.iter().sum();
+        prop_assert_eq!(ledger.len(), total);
+        prop_assert_eq!(blocks.iter().map(|b| b.txs.len()).sum::<usize>(), total);
+        // Chain integrity: each block links to its predecessor's digest.
+        for w in blocks.windows(2) {
+            prop_assert_eq!(w[1].header.prev, w[0].header.digest());
+        }
+        for b in &blocks {
+            prop_assert!(b.verify_content());
+        }
+    }
+
+    /// Account-key ownership parsing is the inverse of construction.
+    #[test]
+    fn account_keys_round_trip(domain in 0u16..512, n in 0u64..1_000_000) {
+        prop_assert_eq!(account_owner_index(&account_key(domain, n)), Some(domain));
+    }
+}

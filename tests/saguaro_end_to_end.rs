@@ -1,0 +1,295 @@
+//! Cross-crate integration tests: a full Saguaro deployment on the
+//! discrete-event simulator, driven by hand-crafted requests, with the
+//! resulting replica state inspected directly.
+
+use saguaro::core::{ProtocolConfig, SaguaroMsg, SaguaroNode};
+use saguaro::hierarchy::{HierarchyTree, Placement, TopologyBuilder};
+use saguaro::net::{Addr, CpuProfile, LatencyMatrix, Simulation};
+use saguaro::types::transaction::account_key;
+use saguaro::types::{
+    ClientId, DomainId, FailureModel, NodeId, Operation, SimTime, Transaction, TxId,
+};
+use std::sync::Arc;
+
+fn build(
+    model: FailureModel,
+    config: ProtocolConfig,
+) -> (Simulation<SaguaroMsg>, Arc<HierarchyTree>) {
+    let tree = Arc::new(
+        TopologyBuilder::paper_binary_tree()
+            .failure_model(model)
+            .faults(1)
+            .placement(Placement::NearbyRegions)
+            .build()
+            .expect("valid topology"),
+    );
+    let mut sim: Simulation<SaguaroMsg> =
+        Simulation::new(LatencyMatrix::nearby_regions().with_jitter(0.0), 99);
+    for domain in tree.domains() {
+        if domain.id.height == 0 {
+            continue;
+        }
+        for node in tree.nodes_of(domain.id).expect("nodes") {
+            let mut actor = SaguaroNode::new(node, tree.clone(), config.clone());
+            if domain.id.height == 1 {
+                for n in 0..8u64 {
+                    actor.seed_account(account_key(domain.id.index, n), 1_000);
+                }
+            }
+            sim.register(node, domain.region, CpuProfile::server(), Box::new(actor));
+        }
+    }
+    for domain in tree.domains() {
+        if domain.id.height == 0 {
+            continue;
+        }
+        for node in tree.nodes_of(domain.id).expect("nodes") {
+            sim.inject(Addr::Client(ClientId(u64::MAX)), node, SaguaroMsg::RoundTimer);
+        }
+    }
+    (sim, tree)
+}
+
+fn primary(domain: DomainId) -> NodeId {
+    NodeId::new(domain, 0)
+}
+
+fn with_node<R>(
+    sim: &mut Simulation<SaguaroMsg>,
+    node: NodeId,
+    f: impl FnOnce(&SaguaroNode) -> R,
+) -> R {
+    sim.with_actor(node, |a| {
+        let any = a.as_any().expect("saguaro node is inspectable");
+        let node = any.downcast_mut::<SaguaroNode>().expect("type");
+        f(node)
+    })
+    .expect("node registered")
+}
+
+#[test]
+fn internal_transactions_commit_on_every_replica_and_preserve_balances() {
+    let (mut sim, tree) = build(FailureModel::Crash, ProtocolConfig::coordinator());
+    let d0 = DomainId::new(1, 0);
+    let client = ClientId(5);
+    for i in 0..10u64 {
+        let tx = Transaction::internal(
+            TxId(100 + i),
+            client,
+            d0,
+            Operation::Transfer {
+                from: account_key(0, i % 4),
+                to: account_key(0, (i + 1) % 4),
+                amount: 10,
+            },
+        );
+        sim.inject(client, primary(d0), SaguaroMsg::ClientRequest(tx));
+    }
+    sim.run_until(SimTime::from_millis(400));
+
+    // Every replica of D1-0 committed all ten transactions in the same order
+    // and conserves the seeded supply.
+    let mut orders = Vec::new();
+    for node in tree.nodes_of(d0).unwrap() {
+        let (len, supply, order) = with_node(&mut sim, node, |n| {
+            (
+                n.ledger().len(),
+                n.blockchain_state().sum_by_prefix("a0_"),
+                n.ledger()
+                    .entries()
+                    .iter()
+                    .map(|e| e.tx.id)
+                    .collect::<Vec<_>>(),
+            )
+        });
+        assert_eq!(len, 10, "replica {node:?} missing transactions");
+        assert_eq!(supply, 8_000, "supply not conserved on {node:?}");
+        orders.push(order);
+    }
+    assert!(orders.windows(2).all(|w| w[0] == w[1]), "replicas disagree on order");
+}
+
+#[test]
+fn coordinator_cross_domain_transaction_commits_in_both_domains() {
+    let (mut sim, tree) = build(FailureModel::Crash, ProtocolConfig::coordinator());
+    let (d0, d3) = (DomainId::new(1, 0), DomainId::new(1, 3));
+    let client = ClientId(9);
+    let tx = Transaction::cross_domain(
+        TxId(500),
+        client,
+        vec![d0, d3],
+        Operation::Transfer {
+            from: account_key(0, 1),
+            to: account_key(3, 2),
+            amount: 250,
+        },
+    );
+    sim.inject(client, primary(d0), SaguaroMsg::ClientRequest(tx));
+    sim.run_until(SimTime::from_millis(600));
+
+    for node in tree.nodes_of(d0).unwrap() {
+        with_node(&mut sim, node, |n| {
+            assert!(n.ledger().contains(TxId(500)), "{node:?} missing cross tx");
+            assert_eq!(n.blockchain_state().balance(&account_key(0, 1)), 750);
+            assert_eq!(n.blockchain_state().get(&account_key(3, 2)), None);
+        });
+    }
+    for node in tree.nodes_of(d3).unwrap() {
+        with_node(&mut sim, node, |n| {
+            assert!(n.ledger().contains(TxId(500)), "{node:?} missing cross tx");
+            assert_eq!(n.blockchain_state().balance(&account_key(3, 2)), 1_250);
+        });
+    }
+    // Both multi-part sequence numbers are present on both sides.
+    with_node(&mut sim, primary(d0), |n| {
+        let entry = n.ledger().get(TxId(500)).expect("entry");
+        assert!(entry.seq.get(d0).is_some() && entry.seq.get(d3).is_some());
+    });
+}
+
+#[test]
+fn blocks_propagate_to_fog_and_cloud_with_aggregation() {
+    let (mut sim, tree) = build(FailureModel::Crash, ProtocolConfig::coordinator());
+    let d0 = DomainId::new(1, 0);
+    let client = ClientId(2);
+    for i in 0..6u64 {
+        let tx = Transaction::internal(
+            TxId(700 + i),
+            client,
+            d0,
+            Operation::Transfer {
+                from: account_key(0, 0),
+                to: account_key(0, 1),
+                amount: 1,
+            },
+        );
+        sim.inject(client, primary(d0), SaguaroMsg::ClientRequest(tx));
+    }
+    // Several propagation rounds (height-1 rounds are 50 ms, fog 100 ms,
+    // cloud 200 ms).
+    sim.run_until(SimTime::from_millis(1_500));
+
+    let fog = tree.parent(d0).expect("fog parent");
+    let root = tree.root();
+    with_node(&mut sim, primary(fog), |n| {
+        assert!(n.stats().child_blocks_applied > 0, "fog received no blocks");
+        assert!(n.dag_ledger().contains(TxId(700)), "fog DAG missing tx");
+        assert!(n.dag_ledger().is_acyclic());
+        assert!(n.aggregate_view().children().count() >= 1);
+    });
+    with_node(&mut sim, primary(root), |n| {
+        assert!(
+            n.stats().child_blocks_applied > 0,
+            "root received no blocks from fog domains"
+        );
+        assert!(n.dag_ledger().contains(TxId(700)), "root DAG missing tx");
+    });
+}
+
+#[test]
+fn optimistic_cross_domain_commits_without_coordinator_round_trips() {
+    let (mut sim, tree) = build(FailureModel::Crash, ProtocolConfig::optimistic());
+    let (d1, d2) = (DomainId::new(1, 1), DomainId::new(1, 2));
+    let client = ClientId(3);
+    let tx = Transaction::cross_domain(
+        TxId(900),
+        client,
+        vec![d1, d2],
+        Operation::Transfer {
+            from: account_key(1, 0),
+            to: account_key(2, 0),
+            amount: 100,
+        },
+    );
+    sim.inject(client, primary(d1), SaguaroMsg::ClientRequest(tx));
+    sim.run_until(SimTime::from_millis(1_500));
+
+    for d in [d1, d2] {
+        for node in tree.nodes_of(d).unwrap() {
+            with_node(&mut sim, node, |n| {
+                let entry = n.ledger().get(TxId(900)).expect("speculative entry");
+                assert_ne!(
+                    entry.status,
+                    saguaro::ledger::TxStatus::Aborted,
+                    "optimistic tx wrongly aborted on {node:?}"
+                );
+            });
+        }
+    }
+    // The root (LCA of d1, d2 is the cloud) observed the transaction from
+    // both domains via block propagation.
+    with_node(&mut sim, primary(tree.root()), |n| {
+        assert!(n.dag_ledger().contains(TxId(900)));
+    });
+}
+
+#[test]
+fn byzantine_domains_commit_internal_transactions() {
+    let (mut sim, tree) = build(FailureModel::Byzantine, ProtocolConfig::coordinator());
+    let d0 = DomainId::new(1, 0);
+    let client = ClientId(4);
+    for i in 0..5u64 {
+        let tx = Transaction::internal(
+            TxId(300 + i),
+            client,
+            d0,
+            Operation::Transfer {
+                from: account_key(0, 0),
+                to: account_key(0, 1),
+                amount: 2,
+            },
+        );
+        sim.inject(client, primary(d0), SaguaroMsg::ClientRequest(tx));
+    }
+    sim.run_until(SimTime::from_millis(500));
+    // 3f + 1 = 4 replicas all committed.
+    for node in tree.nodes_of(d0).unwrap() {
+        with_node(&mut sim, node, |n| {
+            assert_eq!(n.ledger().len(), 5, "{node:?} missing commits");
+            assert_eq!(n.blockchain_state().balance(&account_key(0, 1)), 1_010);
+        });
+    }
+}
+
+#[test]
+fn message_loss_does_not_violate_replica_agreement() {
+    let (mut sim, tree) = build(FailureModel::Crash, ProtocolConfig::coordinator());
+    sim.faults_mut().set_drop_probability(0.05);
+    let d0 = DomainId::new(1, 0);
+    let client = ClientId(6);
+    for i in 0..20u64 {
+        let tx = Transaction::internal(
+            TxId(1_000 + i),
+            client,
+            d0,
+            Operation::Transfer {
+                from: account_key(0, i % 4),
+                to: account_key(0, (i + 2) % 4),
+                amount: 1,
+            },
+        );
+        sim.inject(client, primary(d0), SaguaroMsg::ClientRequest(tx));
+    }
+    sim.run_until(SimTime::from_millis(800));
+
+    // Agreement: no two replicas commit different transactions at the same
+    // sequence number (prefix consistency).
+    let ledgers: Vec<Vec<TxId>> = tree
+        .nodes_of(d0)
+        .unwrap()
+        .into_iter()
+        .map(|node| {
+            with_node(&mut sim, node, |n| {
+                n.ledger().entries().iter().map(|e| e.tx.id).collect()
+            })
+        })
+        .collect();
+    let shortest = ledgers.iter().map(Vec::len).min().unwrap_or(0);
+    for i in 0..shortest {
+        let first = ledgers[0][i];
+        assert!(
+            ledgers.iter().all(|l| l[i] == first),
+            "replicas disagree at position {i}"
+        );
+    }
+}
