@@ -134,7 +134,11 @@ impl BaselineNode {
     }
 
     fn other_peers(&self) -> Vec<NodeId> {
-        self.peers.iter().copied().filter(|p| *p != self.id).collect()
+        self.peers
+            .iter()
+            .copied()
+            .filter(|p| *p != self.id)
+            .collect()
     }
 
     fn nodes_of(&self, d: DomainId) -> Vec<NodeId> {
@@ -146,7 +150,11 @@ impl BaselineNode {
         self.drive(steps, ctx);
     }
 
-    fn drive(&mut self, steps: Vec<Step<BCmd, ConsensusMsg<BCmd>>>, ctx: &mut Context<'_, BaselineMsg>) {
+    fn drive(
+        &mut self,
+        steps: Vec<Step<BCmd, ConsensusMsg<BCmd>>>,
+        ctx: &mut Context<'_, BaselineMsg>,
+    ) {
         for step in steps {
             match step {
                 Step::Send { to, msg } => ctx.send(to, BaselineMsg::Consensus(msg)),
@@ -168,11 +176,19 @@ impl BaselineNode {
             FailureModel::Byzantine => true,
         };
         if should_send {
-            ctx.send(Addr::Client(client), BaselineMsg::Reply { tx_id, committed });
+            ctx.send(
+                Addr::Client(client),
+                BaselineMsg::Reply { tx_id, committed },
+            );
         }
     }
 
-    fn execute_and_commit(&mut self, tx: &Transaction, cross: bool, ctx: &mut Context<'_, BaselineMsg>) {
+    fn execute_and_commit(
+        &mut self,
+        tx: &Transaction,
+        cross: bool,
+        ctx: &mut Context<'_, BaselineMsg>,
+    ) {
         if self.ledger.contains(tx.id) {
             return;
         }
@@ -217,7 +233,10 @@ impl BaselineNode {
         match self.role {
             BaselineRole::AhlShard | BaselineRole::AhlCommittee => {
                 // Forward to the reference committee for 2PC coordination.
-                ctx.multicast(self.nodes_of(self.committee), BaselineMsg::CrossSubmit { tx });
+                ctx.multicast(
+                    self.nodes_of(self.committee),
+                    BaselineMsg::CrossSubmit { tx },
+                );
             }
             BaselineRole::SharperShard => self.start_flattened(tx, ctx),
         }
@@ -327,7 +346,12 @@ impl BaselineNode {
         }
     }
 
-    fn on_two_pc_decision(&mut self, tx_id: TxId, commit: bool, ctx: &mut Context<'_, BaselineMsg>) {
+    fn on_two_pc_decision(
+        &mut self,
+        tx_id: TxId,
+        commit: bool,
+        ctx: &mut Context<'_, BaselineMsg>,
+    ) {
         if self.role == BaselineRole::AhlCommittee {
             return;
         }
@@ -410,7 +434,13 @@ impl BaselineNode {
         }
     }
 
-    fn on_flat_echo(&mut self, tx_id: TxId, domain: DomainId, from: Addr, ctx: &mut Context<'_, BaselineMsg>) {
+    fn on_flat_echo(
+        &mut self,
+        tx_id: TxId,
+        domain: DomainId,
+        from: Addr,
+        ctx: &mut Context<'_, BaselineMsg>,
+    ) {
         let Some(node) = from.as_node() else { return };
         let Some(tx) = self.prepared_cache.get(&tx_id).cloned() else {
             return;
@@ -437,7 +467,13 @@ impl BaselineNode {
         }
     }
 
-    fn on_flat_vote(&mut self, tx_id: TxId, domain: DomainId, from: Addr, ctx: &mut Context<'_, BaselineMsg>) {
+    fn on_flat_vote(
+        &mut self,
+        tx_id: TxId,
+        domain: DomainId,
+        from: Addr,
+        ctx: &mut Context<'_, BaselineMsg>,
+    ) {
         let Some(node) = from.as_node() else { return };
         let Some(tx) = self.prepared_cache.get(&tx_id).cloned() else {
             return;
@@ -465,7 +501,10 @@ impl BaselineNode {
         if ready {
             let cert_sigs = self.cert_sigs();
             for d in involved {
-                ctx.multicast(self.nodes_of(d), BaselineMsg::FlatCommit { tx_id, cert_sigs });
+                ctx.multicast(
+                    self.nodes_of(d),
+                    BaselineMsg::FlatCommit { tx_id, cert_sigs },
+                );
             }
         }
     }

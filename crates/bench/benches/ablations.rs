@@ -2,7 +2,7 @@
 //! coordinator and contention sensitivity of the optimistic protocol.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use saguaro_sim::{experiment, ExperimentSpec, ProtocolKind};
+use saguaro_sim::{ExperimentSpec, ProtocolKind};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablations");
@@ -16,7 +16,7 @@ fn bench(c: &mut Criterion) {
                 .quick()
                 .cross_domain(1.0)
                 .load(600.0);
-            experiment::run(&spec).throughput_tps
+            spec.run().throughput_tps
         })
     });
     group.bench_function("fixed_root_coordinator_100pct_cross", |b| {
@@ -25,7 +25,7 @@ fn bench(c: &mut Criterion) {
                 .quick()
                 .cross_domain(1.0)
                 .load(600.0);
-            experiment::run(&spec).throughput_tps
+            spec.run().throughput_tps
         })
     });
     for contention in [0.1, 0.9] {
@@ -38,7 +38,7 @@ fn bench(c: &mut Criterion) {
                         .cross_domain(0.8)
                         .contention(contention)
                         .load(600.0);
-                    experiment::run(&spec).throughput_tps
+                    spec.run().throughput_tps
                 })
             },
         );

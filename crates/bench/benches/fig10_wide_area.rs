@@ -2,7 +2,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use saguaro_hierarchy::Placement;
-use saguaro_sim::{experiment, ExperimentSpec, ProtocolKind};
+use saguaro_sim::{ExperimentSpec, ProtocolKind};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig10_wide_area");
@@ -21,7 +21,7 @@ fn bench(c: &mut Criterion) {
                     .quick()
                     .cross_domain(0.10)
                     .load(600.0);
-                experiment::run(&spec).throughput_tps
+                spec.run().throughput_tps
             })
         });
     }

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use saguaro_hierarchy::Placement;
-use saguaro_sim::{experiment, ExperimentSpec, ProtocolKind};
+use saguaro_sim::{ExperimentSpec, ProtocolKind};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig11_mobile_wide");
@@ -18,7 +18,7 @@ fn bench(c: &mut Criterion) {
                     .quick()
                     .mobile(mobile)
                     .load(500.0);
-                experiment::run(&spec).throughput_tps
+                spec.run().throughput_tps
             })
         });
     }

@@ -3,7 +3,7 @@
 //! nearby regions.  The full sweep is produced by the `figure7` binary.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use saguaro_sim::{experiment, ExperimentSpec, ProtocolKind};
+use saguaro_sim::{ExperimentSpec, ProtocolKind};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig7_cross_domain_cft");
@@ -18,8 +18,11 @@ fn bench(c: &mut Criterion) {
     ] {
         group.bench_function(proto.label(), |b| {
             b.iter(|| {
-                let spec = ExperimentSpec::new(proto).quick().cross_domain(0.2).load(800.0);
-                let m = experiment::run(&spec);
+                let spec = ExperimentSpec::new(proto)
+                    .quick()
+                    .cross_domain(0.2)
+                    .load(800.0);
+                let m = spec.run();
                 assert!(m.committed > 0);
                 m.throughput_tps
             })

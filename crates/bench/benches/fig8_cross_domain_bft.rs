@@ -1,7 +1,7 @@
 //! Criterion bench for Figure 8: Byzantine domains, 20 % cross-domain.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use saguaro_sim::{experiment, ExperimentSpec, ProtocolKind};
+use saguaro_sim::{ExperimentSpec, ProtocolKind};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig8_cross_domain_bft");
@@ -21,7 +21,7 @@ fn bench(c: &mut Criterion) {
                     .quick()
                     .cross_domain(0.2)
                     .load(600.0);
-                experiment::run(&spec).throughput_tps
+                spec.run().throughput_tps
             })
         });
     }

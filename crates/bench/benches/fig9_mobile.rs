@@ -2,7 +2,7 @@
 //! crash-only domains, nearby regions.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use saguaro_sim::{experiment, ExperimentSpec, ProtocolKind};
+use saguaro_sim::{ExperimentSpec, ProtocolKind};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig9_mobile");
@@ -16,7 +16,7 @@ fn bench(c: &mut Criterion) {
                     .quick()
                     .mobile(mobile)
                     .load(600.0);
-                experiment::run(&spec).throughput_tps
+                spec.run().throughput_tps
             })
         });
     }

@@ -15,7 +15,10 @@ fn main() {
         let series = figure11(model, &options);
         emit(
             "figure11",
-            render_table(&format!("Figure 11{label} mobile devices, wide area"), &series),
+            render_table(
+                &format!("Figure 11{label} mobile devices, wide area"),
+                &series,
+            ),
         );
     }
 }

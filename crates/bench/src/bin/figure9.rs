@@ -15,7 +15,10 @@ fn main() {
         let series = figure9(model, &options);
         emit(
             "figure9",
-            render_table(&format!("Figure 9{label} mobile devices, nearby regions"), &series),
+            render_table(
+                &format!("Figure 9{label} mobile devices, nearby regions"),
+                &series,
+            ),
         );
     }
 }

@@ -77,6 +77,10 @@ struct Slot<C> {
     committed: bool,
 }
 
+/// One replica's view-change vote: its accepted `(seq, view, command)`
+/// entries plus its last delivered sequence number.
+type ViewChangeVote<C> = (Vec<(SeqNo, u64, C)>, SeqNo);
+
 /// A Multi-Paxos replica.
 #[derive(Clone, Debug)]
 pub struct PaxosReplica<C> {
@@ -89,8 +93,12 @@ pub struct PaxosReplica<C> {
     /// Last sequence delivered to the application (no gaps).
     last_delivered: SeqNo,
     slots: BTreeMap<SeqNo, Slot<C>>,
+    /// Learns that arrived before their Accept (out-of-order delivery),
+    /// keyed by sequence number, holding the view the Learn was issued in;
+    /// applied once an Accept from that view (or newer) creates the slot.
+    pending_learns: BTreeMap<SeqNo, u64>,
     /// View-change votes collected per proposed view.
-    view_change_votes: BTreeMap<u64, BTreeMap<NodeId, (Vec<(SeqNo, u64, C)>, SeqNo)>>,
+    view_change_votes: BTreeMap<u64, BTreeMap<NodeId, ViewChangeVote<C>>>,
     /// True while a view change is in progress (stop accepting in old view).
     in_view_change: bool,
 }
@@ -108,6 +116,7 @@ impl<C: Command> PaxosReplica<C> {
             next_seq: 1,
             last_delivered: 0,
             slots: BTreeMap::new(),
+            pending_learns: BTreeMap::new(),
             view_change_votes: BTreeMap::new(),
             in_view_change: false,
         }
@@ -216,10 +225,23 @@ impl<C: Command> PaxosReplica<C> {
         slot.cmd = cmd;
         slot.accepted_in_view = view;
         slot.acks.insert(self.me);
-        vec![Step::Send {
+        let mut steps = vec![Step::Send {
             to: from,
             msg: PaxosMsg::Accepted { view, seq, digest },
-        }]
+        }];
+        if let Some(&learn_view) = self.pending_learns.get(&seq) {
+            // Only an Accept from the Learn's view (or newer) carries the
+            // command that view actually chose; an older-view Accept must
+            // not be committed under a newer view's Learn.
+            if view >= learn_view {
+                self.pending_learns.remove(&seq);
+                if let Some(slot) = self.slots.get_mut(&seq) {
+                    slot.committed = true;
+                }
+                steps.extend(self.drain_deliveries());
+            }
+        }
+        steps
     }
 
     fn on_accepted(
@@ -264,8 +286,14 @@ impl<C: Command> PaxosReplica<C> {
         if view < self.view {
             return Vec::new();
         }
-        if let Some(slot) = self.slots.get_mut(&seq) {
-            slot.committed = true;
+        match self.slots.get_mut(&seq) {
+            Some(slot) => slot.committed = true,
+            // Learn overtook its Accept (out-of-order network): remember the
+            // commit and apply it when the Accept creates the slot.
+            None => {
+                let entry = self.pending_learns.entry(seq).or_insert(view);
+                *entry = (*entry).max(view);
+            }
         }
         self.drain_deliveries()
     }
@@ -317,7 +345,8 @@ impl<C: Command> PaxosReplica<C> {
             last_committed: self.last_delivered,
         };
         // Record our own vote.
-        let mut steps = self.record_view_change_vote(self.me, new_view, accepted, self.last_delivered);
+        let mut steps =
+            self.record_view_change_vote(self.me, new_view, accepted, self.last_delivered);
         steps.insert(0, Step::Broadcast { msg });
         steps
     }
@@ -485,12 +514,62 @@ mod tests {
         (nodes, reps)
     }
 
+    /// Per-origin initial protocol steps fed into the test network.
+    type InitialSteps = Vec<(usize, Vec<Step<Cmd, PaxosMsg<Cmd>>>)>;
+
+    #[test]
+    fn learn_arriving_before_accept_still_commits() {
+        let (nodes, mut reps) = make_domain(3);
+        // Replica 1 sees the leader's Learn before the Accept it refers to
+        // (reordered network).  The commit must be buffered, not dropped.
+        let steps = reps[1].on_message(nodes[0], PaxosMsg::Learn { view: 0, seq: 1 });
+        assert!(steps.is_empty(), "nothing deliverable yet");
+        let steps = reps[1].on_message(
+            nodes[0],
+            PaxosMsg::Accept {
+                view: 0,
+                seq: 1,
+                cmd: b"ooo".to_vec(),
+            },
+        );
+        assert!(
+            steps
+                .iter()
+                .any(|s| matches!(s, Step::Deliver { seq: 1, .. })),
+            "buffered learn was not applied: {steps:?}"
+        );
+        assert_eq!(reps[1].last_delivered(), 1);
+    }
+
+    #[test]
+    fn buffered_learn_from_newer_view_does_not_commit_an_old_view_accept() {
+        let (nodes, mut reps) = make_domain(3);
+        // A Learn issued in view 1 overtakes everything else.
+        let steps = reps[1].on_message(nodes[0], PaxosMsg::Learn { view: 1, seq: 1 });
+        assert!(steps.is_empty());
+        // A stale view-0 Accept for the same seq must not be committed under
+        // the newer view's Learn: view 1 may have chosen a different command.
+        let steps = reps[1].on_message(
+            nodes[0],
+            PaxosMsg::Accept {
+                view: 0,
+                seq: 1,
+                cmd: b"stale".to_vec(),
+            },
+        );
+        assert!(
+            !steps.iter().any(|s| matches!(s, Step::Deliver { .. })),
+            "stale accept must not deliver: {steps:?}"
+        );
+        assert_eq!(reps[1].last_delivered(), 0);
+    }
+
     /// Routes every Send/Broadcast step until quiescence; returns delivered
     /// (seq, cmd) per replica index.  `down` replicas neither send nor receive.
     fn run_network(
         nodes: &[NodeId],
         reps: &mut [PaxosReplica<Cmd>],
-        initial: Vec<(usize, Vec<Step<Cmd, PaxosMsg<Cmd>>>)>,
+        initial: InitialSteps,
         down: &[usize],
     ) -> Vec<Vec<(SeqNo, Cmd)>> {
         let mut delivered = vec![Vec::new(); reps.len()];
@@ -498,9 +577,9 @@ mod tests {
         let index_of = |id: NodeId| nodes.iter().position(|n| *n == id).unwrap();
 
         let handle_steps = |origin: usize,
-                                steps: Vec<Step<Cmd, PaxosMsg<Cmd>>>,
-                                queue: &mut VecDeque<(usize, NodeId, PaxosMsg<Cmd>)>,
-                                delivered: &mut Vec<Vec<(SeqNo, Cmd)>>| {
+                            steps: Vec<Step<Cmd, PaxosMsg<Cmd>>>,
+                            queue: &mut VecDeque<(usize, NodeId, PaxosMsg<Cmd>)>,
+                            delivered: &mut Vec<Vec<(SeqNo, Cmd)>>| {
             for step in steps {
                 match step {
                     Step::Send { to, msg } => queue.push_back((index_of(to), nodes[origin], msg)),

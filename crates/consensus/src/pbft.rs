@@ -106,6 +106,10 @@ impl<C> Default for SlotState<C> {
     }
 }
 
+/// One replica's view-change vote: its prepared `(seq, view, command)`
+/// entries plus its last delivered sequence number.
+type ViewChangeVote<C> = (Vec<(SeqNo, u64, C)>, SeqNo);
+
 /// A PBFT replica.
 #[derive(Clone, Debug)]
 pub struct PbftReplica<C> {
@@ -116,7 +120,7 @@ pub struct PbftReplica<C> {
     next_seq: SeqNo,
     last_delivered: SeqNo,
     slots: BTreeMap<SeqNo, SlotState<C>>,
-    view_change_votes: BTreeMap<u64, BTreeMap<NodeId, (Vec<(SeqNo, u64, C)>, SeqNo)>>,
+    view_change_votes: BTreeMap<u64, BTreeMap<NodeId, ViewChangeVote<C>>>,
     in_view_change: bool,
     /// Checkpoint interval (sequence numbers between stable checkpoints).
     checkpoint_interval: SeqNo,
@@ -364,7 +368,7 @@ impl<C: Command> PbftReplica<C> {
             steps.push(Step::Deliver { seq: next, command });
             self.last_delivered = next;
             // Periodic checkpoint: announce and garbage-collect when agreed.
-            if next % self.checkpoint_interval == 0 {
+            if next.is_multiple_of(self.checkpoint_interval) {
                 let digest = slot.digest.expect("committed slot has a digest");
                 steps.push(Step::Broadcast {
                     msg: PbftMsg::Checkpoint { seq: next, digest },
@@ -592,19 +596,22 @@ mod tests {
         (nodes, reps)
     }
 
+    /// Per-origin initial protocol steps fed into the test network.
+    type InitialSteps = Vec<(usize, Vec<Step<Cmd, PbftMsg<Cmd>>>)>;
+
     fn run_network(
         nodes: &[NodeId],
         reps: &mut [PbftReplica<Cmd>],
-        initial: Vec<(usize, Vec<Step<Cmd, PbftMsg<Cmd>>>)>,
+        initial: InitialSteps,
         down: &[usize],
     ) -> Vec<Vec<(SeqNo, Cmd)>> {
         let mut delivered = vec![Vec::new(); reps.len()];
         let mut queue: VecDeque<(usize, NodeId, PbftMsg<Cmd>)> = VecDeque::new();
         let index_of = |id: NodeId| nodes.iter().position(|n| *n == id).unwrap();
         let handle = |origin: usize,
-                          steps: Vec<Step<Cmd, PbftMsg<Cmd>>>,
-                          queue: &mut VecDeque<(usize, NodeId, PbftMsg<Cmd>)>,
-                          delivered: &mut Vec<Vec<(SeqNo, Cmd)>>| {
+                      steps: Vec<Step<Cmd, PbftMsg<Cmd>>>,
+                      queue: &mut VecDeque<(usize, NodeId, PbftMsg<Cmd>)>,
+                      delivered: &mut Vec<Vec<(SeqNo, Cmd)>>| {
             for step in steps {
                 match step {
                     Step::Send { to, msg } => queue.push_back((index_of(to), nodes[origin], msg)),
@@ -721,6 +728,8 @@ mod tests {
     }
 
     #[test]
+    // Index-based loops mirror the replica-numbering of the scenario.
+    #[allow(clippy::needless_range_loop)]
     fn view_change_elects_new_primary_and_preserves_prepared_requests() {
         let (nodes, mut reps) = make_domain(4);
         // Commit one request, then let the primary go silent with another

@@ -100,10 +100,18 @@ impl<C: Command> ConsensusReplica<C> {
 
     /// Handles a wire message from a peer replica.  Messages of the wrong
     /// protocol (which a Byzantine peer could fabricate) are ignored.
-    pub fn on_message(&mut self, from: NodeId, msg: ConsensusMsg<C>) -> Vec<Step<C, ConsensusMsg<C>>> {
+    pub fn on_message(
+        &mut self,
+        from: NodeId,
+        msg: ConsensusMsg<C>,
+    ) -> Vec<Step<C, ConsensusMsg<C>>> {
         match (self, msg) {
-            (Self::Paxos(r), ConsensusMsg::Paxos(m)) => wrap(r.on_message(from, m), ConsensusMsg::Paxos),
-            (Self::Pbft(r), ConsensusMsg::Pbft(m)) => wrap(r.on_message(from, m), ConsensusMsg::Pbft),
+            (Self::Paxos(r), ConsensusMsg::Paxos(m)) => {
+                wrap(r.on_message(from, m), ConsensusMsg::Paxos)
+            }
+            (Self::Pbft(r), ConsensusMsg::Pbft(m)) => {
+                wrap(r.on_message(from, m), ConsensusMsg::Pbft)
+            }
             _ => Vec::new(),
         }
     }
@@ -148,14 +156,21 @@ mod tests {
         (nodes, reps)
     }
 
-    fn drive(nodes: &[NodeId], reps: &mut [ConsensusReplica<Cmd>], initial: Vec<(usize, Vec<Step<Cmd, ConsensusMsg<Cmd>>>)>) -> Vec<Vec<Cmd>> {
+    /// Per-origin initial protocol steps fed into the test network.
+    type InitialSteps = Vec<(usize, Vec<Step<Cmd, ConsensusMsg<Cmd>>>)>;
+
+    fn drive(
+        nodes: &[NodeId],
+        reps: &mut [ConsensusReplica<Cmd>],
+        initial: InitialSteps,
+    ) -> Vec<Vec<Cmd>> {
         let mut delivered = vec![Vec::new(); reps.len()];
         let mut queue: VecDeque<(usize, NodeId, ConsensusMsg<Cmd>)> = VecDeque::new();
         let idx = |id: NodeId| nodes.iter().position(|n| *n == id).unwrap();
         let handle = |o: usize,
-                          steps: Vec<Step<Cmd, ConsensusMsg<Cmd>>>,
-                          q: &mut VecDeque<(usize, NodeId, ConsensusMsg<Cmd>)>,
-                          del: &mut Vec<Vec<Cmd>>| {
+                      steps: Vec<Step<Cmd, ConsensusMsg<Cmd>>>,
+                      q: &mut VecDeque<(usize, NodeId, ConsensusMsg<Cmd>)>,
+                      del: &mut Vec<Vec<Cmd>>| {
             for s in steps {
                 match s {
                     Step::Send { to, msg } => q.push_back((idx(to), nodes[o], msg)),

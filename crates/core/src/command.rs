@@ -116,7 +116,11 @@ impl saguaro_consensus::Command for Cmd {
                 v.extend_from_slice(&coord_seq.to_be_bytes());
                 v
             }
-            Cmd::CoordCommit { tx_id, seqs, commit } => {
+            Cmd::CoordCommit {
+                tx_id,
+                seqs,
+                commit,
+            } => {
                 let mut v = tx_id.0.to_be_bytes().to_vec();
                 for (d, s) in seqs.iter() {
                     v.push(d.height);

@@ -171,7 +171,11 @@ impl SaguaroNode {
             entry.prepared.insert(domain, local_seq);
             (
                 entry.prepared.len() == entry.involved.len(),
-                entry.prepared.iter().map(|(d, s)| (*d, *s)).collect::<Vec<_>>(),
+                entry
+                    .prepared
+                    .iter()
+                    .map(|(d, s)| (*d, *s))
+                    .collect::<Vec<_>>(),
             )
         };
         if all_prepared && self.is_primary() {
@@ -314,7 +318,11 @@ impl SaguaroNode {
         };
         if entry.decided && self.is_primary() {
             let seqs = MultiSeq::from_parts(
-                entry.prepared.iter().map(|(d, s)| (*d, *s)).collect::<Vec<_>>(),
+                entry
+                    .prepared
+                    .iter()
+                    .map(|(d, s)| (*d, *s))
+                    .collect::<Vec<_>>(),
             );
             let involved = entry.involved.clone();
             let cert_sigs = self.cert_sigs();
@@ -381,7 +389,8 @@ impl SaguaroNode {
             .values()
             .any(|e| !e.committed && intersect_two(&e.tx.involved_domains(), &involved));
         if blocked {
-            self.participant_queue.push_back((tx, coord_seq, _cert_sigs));
+            self.participant_queue
+                .push_back((tx, coord_seq, _cert_sigs));
             return;
         }
         self.propose(Cmd::CrossPrepare { tx, coord_seq }, ctx);

@@ -198,9 +198,9 @@ impl MessageMeta for SaguaroMsg {
             SaguaroMsg::CrossForward { tx } => tx.payload_bytes() + 48,
             SaguaroMsg::Prepare { tx, cert_sigs, .. } => tx.payload_bytes() + 64 + 40 * cert_sigs,
             SaguaroMsg::PreparedMsg { cert_sigs, .. } => 120 + 40 * cert_sigs,
-            SaguaroMsg::CommitCross { seqs, cert_sigs, .. } => {
-                96 + 16 * seqs.len() + 40 * cert_sigs
-            }
+            SaguaroMsg::CommitCross {
+                seqs, cert_sigs, ..
+            } => 96 + 16 * seqs.len() + 40 * cert_sigs,
             SaguaroMsg::AckCross { .. } => 96,
             SaguaroMsg::CommitQuery { .. } | SaguaroMsg::PreparedQuery { .. } => 96,
             SaguaroMsg::BlockMsg {

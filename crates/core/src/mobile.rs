@@ -45,7 +45,10 @@ impl SaguaroNode {
         // First transaction of the excursion: ask the home domain for the
         // device's state and queue the request until it arrives.
         let first_query = !self.pending_mobile.contains_key(&device);
-        self.pending_mobile.entry(device).or_default().push(tx.clone());
+        self.pending_mobile
+            .entry(device)
+            .or_default()
+            .push(tx.clone());
         if first_query {
             self.send_to_domain(
                 local,
@@ -78,7 +81,10 @@ impl SaguaroNode {
             return;
         };
         let first_query = !self.pending_mobile.contains_key(&device);
-        self.pending_mobile.entry(device).or_default().push(tx.clone());
+        self.pending_mobile
+            .entry(device)
+            .or_default()
+            .push(tx.clone());
         if first_query {
             self.send_to_domain(
                 remote,
@@ -109,7 +115,9 @@ impl SaguaroNode {
         if self.hosted_devices.contains(&device) {
             // A previous remote domain handing the state over directly.
             let home = device_home(&tx, device);
-            let entries = self.state.extract_account_state(&device_account(home, device));
+            let entries = self
+                .state
+                .extract_account_state(&device_account(home, device));
             self.hosted_devices.remove(&device);
             let cert_sigs = self.cert_sigs();
             self.send_to_domain(
@@ -130,7 +138,10 @@ impl SaguaroNode {
         });
         if record.lock {
             // Algorithm 2, lines 8-9: the home copy is current; extract it.
-            self.pending_mobile.entry(device).or_default().push(tx.clone());
+            self.pending_mobile
+                .entry(device)
+                .or_default()
+                .push(tx.clone());
             self.propose(
                 Cmd::MobileExtract {
                     device,
@@ -142,7 +153,10 @@ impl SaguaroNode {
         } else if let Some(current_remote) = record.remote {
             // Lines 10-12: some other remote domain has the freshest records;
             // pull them back here first, then forward to the requester.
-            self.pending_mobile.entry(device).or_default().push(tx.clone());
+            self.pending_mobile
+                .entry(device)
+                .or_default()
+                .push(tx.clone());
             self.send_to_domain(
                 current_remote,
                 SaguaroMsg::StateQuery {
@@ -178,10 +192,7 @@ impl SaguaroNode {
                 .state
                 .extract_account_state(&device_account(self.domain(), device));
             let cert_sigs = self.cert_sigs();
-            let trigger_tx = self
-                .pending_mobile
-                .get_mut(&device)
-                .and_then(|q| q.pop());
+            let trigger_tx = self.pending_mobile.get_mut(&device).and_then(|q| q.pop());
             if let Some(tx) = trigger_tx {
                 self.send_to_domain(
                     remote,
@@ -254,10 +265,7 @@ impl SaguaroNode {
                 self.hosted_devices.insert(device);
             }
             self.execute_mobile_tx(tx, home, ctx);
-            let queued: Vec<Transaction> = self
-                .pending_mobile
-                .remove(&device)
-                .unwrap_or_default();
+            let queued: Vec<Transaction> = self.pending_mobile.remove(&device).unwrap_or_default();
             for q in queued {
                 self.execute_mobile_tx(q, home, ctx);
             }

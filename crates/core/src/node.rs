@@ -22,11 +22,11 @@ use crate::messages::SaguaroMsg;
 use crate::optimistic::{OptTracker, OptimisticValidator};
 use crate::stats::NodeStats;
 use saguaro_consensus::{ConsensusMsg, ConsensusReplica, Step};
+use saguaro_hierarchy::HierarchyTree;
 use saguaro_ledger::{
     AggregateView, Block, BlockchainState, DagLedger, LinearLedger, TxStatus, UndoRecord,
 };
 use saguaro_net::{Actor, Addr, Context, TimerId};
-use saguaro_hierarchy::HierarchyTree;
 use saguaro_types::{
     ClientId, DomainId, Duration, FailureModel, NodeId, Operation, QuorumSpec, SeqNo, Transaction,
     TxId,
@@ -108,7 +108,9 @@ pub struct SaguaroNode {
 impl SaguaroNode {
     /// Creates the replica `id` for a deployment described by `tree`.
     pub fn new(id: NodeId, tree: Arc<HierarchyTree>, config: ProtocolConfig) -> Self {
-        let cfg = tree.config(id.domain).expect("node's domain is in the tree");
+        let cfg = tree
+            .config(id.domain)
+            .expect("node's domain is in the tree");
         let quorum = cfg.quorum;
         let peers = tree.nodes_of(id.domain).expect("domain has nodes");
         let consensus = ConsensusReplica::new(id, peers.clone(), quorum);
@@ -207,7 +209,11 @@ impl SaguaroNode {
 
     /// Peers of this node's own domain, excluding itself.
     pub(crate) fn other_peers(&self) -> Vec<NodeId> {
-        self.peers.iter().copied().filter(|p| *p != self.id).collect()
+        self.peers
+            .iter()
+            .copied()
+            .filter(|p| *p != self.id)
+            .collect()
     }
 
     /// Sends a message to every node of `domain`.
@@ -360,7 +366,12 @@ impl SaguaroNode {
     /// Sends the commit/abort reply for `tx_id` if this domain received the
     /// original request.  CFT domains reply only from the primary; BFT
     /// domains reply from every replica and the client matches f + 1.
-    pub(crate) fn reply(&mut self, tx_id: TxId, committed: bool, ctx: &mut Context<'_, SaguaroMsg>) {
+    pub(crate) fn reply(
+        &mut self,
+        tx_id: TxId,
+        committed: bool,
+        ctx: &mut Context<'_, SaguaroMsg>,
+    ) {
         let Some(client) = self.reply_to.remove(&tx_id) else {
             return;
         };

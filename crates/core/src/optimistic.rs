@@ -175,9 +175,7 @@ impl OptimisticValidator {
                     } else {
                         let first = common[0];
                         let base = oa.seqs[&first] < ob.seqs[&first];
-                        common
-                            .iter()
-                            .any(|d| (oa.seqs[d] < ob.seqs[d]) != base)
+                        common.iter().any(|d| (oa.seqs[d] < ob.seqs[d]) != base)
                     }
                 };
                 if inconsistent {
@@ -408,7 +406,10 @@ mod tests {
         v.observe(&tx, d(0), 5, 1);
         v.observe(&tx, d(1), 9, 1);
         let decisions = v.check(|_| true, 1, 8);
-        assert_eq!(decisions, vec![OptDecision::Commit(TxId(1), vec![d(0), d(1)])]);
+        assert_eq!(
+            decisions,
+            vec![OptDecision::Commit(TxId(1), vec![d(0), d(1)])]
+        );
         // Already decided: no duplicate decision.
         assert!(v.check(|_| true, 2, 8).is_empty());
     }

@@ -95,7 +95,12 @@ impl SaguaroNode {
         }
     }
 
-    fn incorporate_block(&mut self, child: DomainId, block: Block, ctx: &mut Context<'_, SaguaroMsg>) {
+    fn incorporate_block(
+        &mut self,
+        child: DomainId,
+        block: Block,
+        ctx: &mut Context<'_, SaguaroMsg>,
+    ) {
         // Optimistic consistency checks use the original per-child sequence
         // numbers carried inside the block.
         self.validate_optimistic_block(child, &block, ctx);
@@ -122,4 +127,3 @@ impl SaguaroNode {
         }
     }
 }
-

@@ -52,11 +52,13 @@ mod tests {
 
     #[test]
     fn totals_and_ratios() {
-        let mut s = NodeStats::default();
-        s.internal_committed = 10;
-        s.cross_committed = 6;
-        s.mobile_committed = 4;
-        s.cross_aborted = 2;
+        let s = NodeStats {
+            internal_committed: 10,
+            cross_committed: 6,
+            mobile_committed: 4,
+            cross_aborted: 2,
+            ..NodeStats::default()
+        };
         assert_eq!(s.total_committed(), 20);
         assert!((s.abort_ratio() - 0.25).abs() < 1e-9);
         let empty = NodeStats::default();

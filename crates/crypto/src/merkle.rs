@@ -96,10 +96,14 @@ impl MerkleTree {
         let mut path = Vec::new();
         let mut idx = index;
         for level in &self.levels[..self.levels.len().saturating_sub(1)] {
-            let sibling_idx = if idx % 2 == 0 { idx + 1 } else { idx - 1 };
+            let sibling_idx = if idx.is_multiple_of(2) {
+                idx + 1
+            } else {
+                idx - 1
+            };
             let sibling = *level.get(sibling_idx).unwrap_or(&level[idx]);
             // `true` means the sibling sits to the right of the running hash.
-            path.push((sibling, idx % 2 == 0));
+            path.push((sibling, idx.is_multiple_of(2)));
             idx /= 2;
         }
         Some(MerkleProof {

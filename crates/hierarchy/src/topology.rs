@@ -86,9 +86,7 @@ impl TopologyBuilder {
         let root_height = self.levels;
         let mk = |height: u8, index: u16| -> DomainConfig {
             let id = DomainId::new(height, index);
-            let region = self
-                .placement
-                .region_for(id, edge_domains, root_height);
+            let region = self.placement.region_for(id, edge_domains, root_height);
             DomainConfig::new(id, self.model, self.faults, region)
         };
 
@@ -101,7 +99,10 @@ impl TopologyBuilder {
             for index in 0..count {
                 let parent_height = height + 1;
                 let parent_index = (index / self.fanout) as u16;
-                edges.push((mk(height, index as u16), DomainId::new(parent_height, parent_index)));
+                edges.push((
+                    mk(height, index as u16),
+                    DomainId::new(parent_height, parent_index),
+                ));
             }
         }
         HierarchyTree::build(root, edges)
@@ -152,7 +153,10 @@ mod tests {
     #[test]
     fn larger_domains_for_ft_scalability_experiment() {
         // Figures 12-13 use |p| = 5, 9 (CFT) and 7, 13 (BFT).
-        let t = TopologyBuilder::paper_binary_tree().faults(4).build().unwrap();
+        let t = TopologyBuilder::paper_binary_tree()
+            .faults(4)
+            .build()
+            .unwrap();
         assert!(t.domains().all(|d| d.size() == 9));
         let t = TopologyBuilder::paper_binary_tree()
             .failure_model(FailureModel::Byzantine)

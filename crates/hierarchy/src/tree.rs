@@ -100,9 +100,7 @@ impl HierarchyTree {
 
     /// Configuration of a domain.
     pub fn config(&self, id: DomainId) -> Result<&DomainConfig> {
-        self.domains
-            .get(&id)
-            .ok_or(SaguaroError::UnknownDomain(id))
+        self.domains.get(&id).ok_or(SaguaroError::UnknownDomain(id))
     }
 
     /// True if the domain exists in this tree.
@@ -283,7 +281,10 @@ mod tests {
         assert_eq!(t.edge_server_domains().len(), 4);
         assert_eq!(t.parent(DomainId::new(1, 2)), Some(DomainId::new(2, 1)));
         assert_eq!(t.parent(t.root()), None);
-        assert_eq!(t.children(DomainId::new(2, 0)), &[DomainId::new(1, 0), DomainId::new(1, 1)]);
+        assert_eq!(
+            t.children(DomainId::new(2, 0)),
+            &[DomainId::new(1, 0), DomainId::new(1, 1)]
+        );
         assert_eq!(t.depth(t.root()), 0);
         assert_eq!(t.depth(DomainId::new(1, 3)), 2);
         assert!(t.contains(DomainId::new(2, 1)));
@@ -308,10 +309,7 @@ mod tests {
     #[test]
     fn lca_errors() {
         let t = figure1_like();
-        assert!(matches!(
-            t.lca(&[]),
-            Err(SaguaroError::InvalidTopology(_))
-        ));
+        assert!(matches!(t.lca(&[]), Err(SaguaroError::InvalidTopology(_))));
         assert!(matches!(
             t.lca(&[DomainId::new(1, 9)]),
             Err(SaguaroError::UnknownDomain(_))
@@ -333,7 +331,10 @@ mod tests {
     fn edge_descendants_cover_subtrees() {
         let t = figure1_like();
         let d = |h, i| DomainId::new(h, i);
-        assert_eq!(t.edge_descendants(d(3, 0)), vec![d(1, 0), d(1, 1), d(1, 2), d(1, 3)]);
+        assert_eq!(
+            t.edge_descendants(d(3, 0)),
+            vec![d(1, 0), d(1, 1), d(1, 2), d(1, 3)]
+        );
         assert_eq!(t.edge_descendants(d(2, 1)), vec![d(1, 2), d(1, 3)]);
         assert_eq!(t.edge_descendants(d(1, 2)), vec![d(1, 2)]);
     }
@@ -356,7 +357,10 @@ mod tests {
         };
         let err = HierarchyTree::build(
             mk(2, 0),
-            vec![(mk(1, 0), DomainId::new(2, 0)), (mk(1, 0), DomainId::new(2, 0))],
+            vec![
+                (mk(1, 0), DomainId::new(2, 0)),
+                (mk(1, 0), DomainId::new(2, 0)),
+            ],
         );
         assert!(matches!(err, Err(SaguaroError::InvalidTopology(_))));
     }

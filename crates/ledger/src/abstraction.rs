@@ -121,10 +121,7 @@ impl AggregateView {
     /// Sum of `key` across every child domain (e.g. total working hours of a
     /// driver who worked in several spatial domains).
     pub fn sum(&self, key: &str) -> u64 {
-        self.per_child
-            .values()
-            .filter_map(|m| m.get(key))
-            .sum()
+        self.per_child.values().filter_map(|m| m.get(key)).sum()
     }
 
     /// Sum of every key with `prefix` across every child domain.
@@ -214,8 +211,14 @@ mod tests {
     #[test]
     fn aggregate_view_sums_across_children() {
         let mut view = AggregateView::new();
-        view.apply_delta(d(0), &StateDelta::from_entries(vec![("hours/x".into(), 10)]));
-        view.apply_delta(d(1), &StateDelta::from_entries(vec![("hours/x".into(), 25)]));
+        view.apply_delta(
+            d(0),
+            &StateDelta::from_entries(vec![("hours/x".into(), 10)]),
+        );
+        view.apply_delta(
+            d(1),
+            &StateDelta::from_entries(vec![("hours/x".into(), 25)]),
+        );
         view.apply_delta(d(1), &StateDelta::from_entries(vec![("hours/y".into(), 5)]));
         assert_eq!(view.sum("hours/x"), 35);
         assert_eq!(view.sum_by_prefix("hours/"), 40);

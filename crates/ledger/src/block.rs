@@ -24,7 +24,11 @@ pub struct BlockId {
 impl fmt::Debug for BlockId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         // Mirrors the paper's `B13-05` notation.
-        write!(f, "B{}{}-{:02}", self.domain.height, self.domain.index, self.round)
+        write!(
+            f,
+            "B{}{}-{:02}",
+            self.domain.height, self.domain.index, self.round
+        )
     }
 }
 
@@ -248,8 +252,20 @@ mod tests {
 
     #[test]
     fn header_digest_changes_with_round_and_prev() {
-        let b1 = Block::build(domain(), 1, Digest::ZERO, vec![committed(1)], StateDelta::default());
-        let b2 = Block::build(domain(), 2, Digest::ZERO, vec![committed(1)], StateDelta::default());
+        let b1 = Block::build(
+            domain(),
+            1,
+            Digest::ZERO,
+            vec![committed(1)],
+            StateDelta::default(),
+        );
+        let b2 = Block::build(
+            domain(),
+            2,
+            Digest::ZERO,
+            vec![committed(1)],
+            StateDelta::default(),
+        );
         let b3 = Block::build(
             domain(),
             1,
@@ -263,7 +279,13 @@ mod tests {
 
     #[test]
     fn wire_size_grows_with_contents() {
-        let small = Block::build(domain(), 1, Digest::ZERO, vec![committed(1)], StateDelta::default());
+        let small = Block::build(
+            domain(),
+            1,
+            Digest::ZERO,
+            vec![committed(1)],
+            StateDelta::default(),
+        );
         let big = Block::build(
             domain(),
             1,

@@ -257,7 +257,8 @@ mod tests {
     }
 
     fn cross(ledger: &mut LinearLedger, id: u64, involved: &[DomainId], status: TxStatus) {
-        let tx = Transaction::cross_domain(TxId(id), ClientId(0), involved.to_vec(), Operation::Noop);
+        let tx =
+            Transaction::cross_domain(TxId(id), ClientId(0), involved.to_vec(), Operation::Noop);
         let mut seq = MultiSeq::new();
         seq.set(ledger.domain(), ledger.reserve_seq());
         ledger.append_cross_domain(tx, seq, status);
@@ -292,8 +293,12 @@ mod tests {
         internal(&mut l1, 2);
 
         let mut dag = DagLedger::new();
-        let new0 = dag.apply_block(d(0), &l0.cut_block(StateDelta::new())).unwrap();
-        let new1 = dag.apply_block(d(1), &l1.cut_block(StateDelta::new())).unwrap();
+        let new0 = dag
+            .apply_block(d(0), &l0.cut_block(StateDelta::new()))
+            .unwrap();
+        let new1 = dag
+            .apply_block(d(1), &l1.cut_block(StateDelta::new()))
+            .unwrap();
         assert_eq!(new0.len(), 2);
         // The cross-domain tx was already present; only tx 2 is new.
         assert_eq!(new1, vec![TxId(2)]);
@@ -309,9 +314,15 @@ mod tests {
     #[test]
     fn partially_reported_cross_domain_is_not_fully_reported() {
         let mut l0 = LinearLedger::new(d(0));
-        cross(&mut l0, 100, &[d(0), d(1)], TxStatus::SpeculativelyCommitted);
+        cross(
+            &mut l0,
+            100,
+            &[d(0), d(1)],
+            TxStatus::SpeculativelyCommitted,
+        );
         let mut dag = DagLedger::new();
-        dag.apply_block(d(0), &l0.cut_block(StateDelta::new())).unwrap();
+        dag.apply_block(d(0), &l0.cut_block(StateDelta::new()))
+            .unwrap();
         assert!(dag.fully_reported().is_empty());
         assert_eq!(dag.reported_by_both(TxId(100), TxId(100)), vec![d(0)]);
     }
@@ -346,11 +357,18 @@ mod tests {
     fn abort_reported_by_any_child_is_sticky() {
         let mut l0 = LinearLedger::new(d(0));
         let mut l1 = LinearLedger::new(d(1));
-        cross(&mut l0, 100, &[d(0), d(1)], TxStatus::SpeculativelyCommitted);
+        cross(
+            &mut l0,
+            100,
+            &[d(0), d(1)],
+            TxStatus::SpeculativelyCommitted,
+        );
         cross(&mut l1, 100, &[d(0), d(1)], TxStatus::Aborted);
         let mut dag = DagLedger::new();
-        dag.apply_block(d(0), &l0.cut_block(StateDelta::new())).unwrap();
-        dag.apply_block(d(1), &l1.cut_block(StateDelta::new())).unwrap();
+        dag.apply_block(d(0), &l0.cut_block(StateDelta::new()))
+            .unwrap();
+        dag.apply_block(d(1), &l1.cut_block(StateDelta::new()))
+            .unwrap();
         assert_eq!(dag.get(TxId(100)).unwrap().record.status, TxStatus::Aborted);
         // And explicit aborts work too.
         assert!(!dag.mark_aborted(TxId(100)), "already aborted");

@@ -220,7 +220,8 @@ mod tests {
         let mut seq = MultiSeq::new();
         seq.set(domain(), 2);
         seq.set(other, 7);
-        let ctx = Transaction::cross_domain(TxId(2), ClientId(0), vec![domain(), other], Operation::Noop);
+        let ctx =
+            Transaction::cross_domain(TxId(2), ClientId(0), vec![domain(), other], Operation::Noop);
         l.append_cross_domain(ctx, seq, TxStatus::Committed);
         assert_eq!(l.next_seq(), 3);
         assert_eq!(l.get(TxId(2)).unwrap().seq.get(other), Some(7));
@@ -284,8 +285,14 @@ mod tests {
         let mut l = LinearLedger::new(domain());
         l.append_internal(tx(5), TxStatus::Committed);
         l.append_internal(tx(3), TxStatus::Committed);
-        assert_eq!(l.relative_order(TxId(5), TxId(3)), Some(std::cmp::Ordering::Less));
-        assert_eq!(l.relative_order(TxId(3), TxId(5)), Some(std::cmp::Ordering::Greater));
+        assert_eq!(
+            l.relative_order(TxId(5), TxId(3)),
+            Some(std::cmp::Ordering::Less)
+        );
+        assert_eq!(
+            l.relative_order(TxId(3), TxId(5)),
+            Some(std::cmp::Ordering::Greater)
+        );
         assert_eq!(l.relative_order(TxId(3), TxId(9)), None);
     }
 

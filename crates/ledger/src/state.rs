@@ -108,10 +108,7 @@ impl BlockchainState {
                         requested: *amount,
                     });
                 }
-                let prior = vec![
-                    (from.clone(), self.get(from)),
-                    (to.clone(), self.get(to)),
-                ];
+                let prior = vec![(from.clone(), self.get(from)), (to.clone(), self.get(to))];
                 self.values.insert(from.clone(), from_balance - amount);
                 let to_balance = self.balance(to);
                 self.values.insert(to.clone(), to_balance + amount);
@@ -299,9 +296,15 @@ mod tests {
             value: 7,
         })
         .unwrap();
-        assert!(s.execute(&Operation::Get { key: "slice/qos".into() }).is_ok());
+        assert!(s
+            .execute(&Operation::Get {
+                key: "slice/qos".into()
+            })
+            .is_ok());
         assert!(matches!(
-            s.execute(&Operation::Get { key: "missing".into() }),
+            s.execute(&Operation::Get {
+                key: "missing".into()
+            }),
             Err(SaguaroError::UnknownAccount(_))
         ));
         assert!(s.execute(&Operation::Noop).unwrap().is_empty());

@@ -144,7 +144,8 @@ mod tests {
     #[test]
     fn edge_profile_slower_than_server() {
         assert!(
-            CpuProfile::edge_device().service_time(200, 1) > CpuProfile::server().service_time(200, 1)
+            CpuProfile::edge_device().service_time(200, 1)
+                > CpuProfile::server().service_time(200, 1)
         );
     }
 

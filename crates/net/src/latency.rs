@@ -81,11 +81,11 @@ impl LatencyMatrix {
         let names = vec!["CA", "OR", "VA", "OH", "TY", "SU", "HK"];
         let rtt = vec![
             //        CA     OR     VA     OH     TY     SU     HK
-            vec![0.0, 22.0, 62.0, 50.0, 107.0, 135.0, 155.0],  // CA
-            vec![22.0, 0.0, 70.0, 58.0, 97.0, 125.0, 145.0],   // OR
-            vec![62.0, 70.0, 0.0, 12.0, 167.0, 185.0, 210.0],  // VA
-            vec![50.0, 58.0, 12.0, 0.0, 155.0, 175.0, 195.0],  // OH
-            vec![107.0, 97.0, 167.0, 155.0, 0.0, 35.0, 50.0],  // TY
+            vec![0.0, 22.0, 62.0, 50.0, 107.0, 135.0, 155.0], // CA
+            vec![22.0, 0.0, 70.0, 58.0, 97.0, 125.0, 145.0],  // OR
+            vec![62.0, 70.0, 0.0, 12.0, 167.0, 185.0, 210.0], // VA
+            vec![50.0, 58.0, 12.0, 0.0, 155.0, 175.0, 195.0], // OH
+            vec![107.0, 97.0, 167.0, 155.0, 0.0, 35.0, 50.0], // TY
             vec![135.0, 125.0, 185.0, 175.0, 35.0, 0.0, 39.0], // SU
             vec![155.0, 145.0, 210.0, 195.0, 50.0, 39.0, 0.0], // HK
         ];
@@ -224,10 +224,7 @@ mod tests {
     fn single_region_everything_is_local() {
         let m = LatencyMatrix::single_region();
         assert_eq!(m.region_count(), 1);
-        assert_eq!(
-            m.rtt(Region(0), Region(0)),
-            Duration::from_micros(500)
-        );
+        assert_eq!(m.rtt(Region(0), Region(0)), Duration::from_micros(500));
     }
 
     #[test]

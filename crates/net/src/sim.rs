@@ -41,9 +41,18 @@ pub trait Actor<M> {
 
 /// What an actor asked the runtime to do during a callback.
 enum Action<M> {
-    Send { to: Addr, msg: M },
-    SetTimer { id: TimerId, delay: Duration, msg: M },
-    CancelTimer { id: TimerId },
+    Send {
+        to: Addr,
+        msg: M,
+    },
+    SetTimer {
+        id: TimerId,
+        delay: Duration,
+        msg: M,
+    },
+    CancelTimer {
+        id: TimerId,
+    },
 }
 
 /// Execution context handed to actor callbacks.
@@ -75,10 +84,7 @@ impl<'a, M> Context<'a, M> {
     /// matrix and the receiver's CPU model; the message may be dropped by the
     /// fault plan.
     pub fn send(&mut self, to: impl Into<Addr>, msg: M) {
-        self.actions.push(Action::Send {
-            to: to.into(),
-            msg,
-        });
+        self.actions.push(Action::Send { to: to.into(), msg });
     }
 
     /// Sends clones of `msg` to every address in `to`.
@@ -460,8 +466,18 @@ mod tests {
     #[test]
     fn ping_pong_round_trip_takes_one_rtt_plus_service() {
         let mut s = sim();
-        s.register(addr(0), Region(0), CpuProfile::client(), Box::new(PingPong::default()));
-        s.register(addr(1), Region(2), CpuProfile::client(), Box::new(PingPong::default()));
+        s.register(
+            addr(0),
+            Region(0),
+            CpuProfile::client(),
+            Box::new(PingPong::default()),
+        );
+        s.register(
+            addr(1),
+            Region(2),
+            CpuProfile::client(),
+            Box::new(PingPong::default()),
+        );
         s.inject(addr(0), addr(1), TestMsg::Ping(7));
         s.run_to_completion(100);
         // Pong went back to addr(0).
@@ -499,7 +515,12 @@ mod tests {
             }
         }
         let mut s = sim();
-        s.register(addr(0), Region(0), CpuProfile::client(), Box::new(TimerSetter { fired: 0 }));
+        s.register(
+            addr(0),
+            Region(0),
+            CpuProfile::client(),
+            Box::new(TimerSetter { fired: 0 }),
+        );
         s.inject(addr(1), addr(0), TestMsg::Tick);
         s.run_to_completion(100);
         assert_eq!(s.stats().timers_fired, 1);
@@ -508,8 +529,18 @@ mod tests {
     #[test]
     fn crashed_actor_receives_nothing() {
         let mut s = sim();
-        s.register(addr(0), Region(0), CpuProfile::client(), Box::new(PingPong::default()));
-        s.register(addr(1), Region(0), CpuProfile::client(), Box::new(PingPong::default()));
+        s.register(
+            addr(0),
+            Region(0),
+            CpuProfile::client(),
+            Box::new(PingPong::default()),
+        );
+        s.register(
+            addr(1),
+            Region(0),
+            CpuProfile::client(),
+            Box::new(PingPong::default()),
+        );
         s.faults_mut().crash(ClientId(1));
         s.inject(addr(0), addr(1), TestMsg::Ping(1));
         s.run_to_completion(100);
@@ -520,7 +551,12 @@ mod tests {
     #[test]
     fn unknown_recipient_counts_as_drop() {
         let mut s = sim();
-        s.register(addr(0), Region(0), CpuProfile::client(), Box::new(PingPong::default()));
+        s.register(
+            addr(0),
+            Region(0),
+            CpuProfile::client(),
+            Box::new(PingPong::default()),
+        );
         s.inject(addr(0), addr(9), TestMsg::Ping(1));
         s.run_to_completion(100);
         assert_eq!(s.stats().messages_delivered, 0);
@@ -567,8 +603,18 @@ mod tests {
     #[test]
     fn run_until_stops_at_deadline() {
         let mut s = sim();
-        s.register(addr(0), Region(0), CpuProfile::client(), Box::new(PingPong::default()));
-        s.register(addr(1), Region(1), CpuProfile::client(), Box::new(PingPong::default()));
+        s.register(
+            addr(0),
+            Region(0),
+            CpuProfile::client(),
+            Box::new(PingPong::default()),
+        );
+        s.register(
+            addr(1),
+            Region(1),
+            CpuProfile::client(),
+            Box::new(PingPong::default()),
+        );
         // MI is 11 ms RTT from FR: one-way 5.5 ms > 1 ms deadline.
         s.inject(addr(0), addr(1), TestMsg::Ping(1));
         let processed = s.run_until(SimTime::from_millis(1));
@@ -582,8 +628,18 @@ mod tests {
     #[test]
     fn drop_probability_loses_messages() {
         let mut s = sim();
-        s.register(addr(0), Region(0), CpuProfile::client(), Box::new(PingPong::default()));
-        s.register(addr(1), Region(0), CpuProfile::client(), Box::new(PingPong::default()));
+        s.register(
+            addr(0),
+            Region(0),
+            CpuProfile::client(),
+            Box::new(PingPong::default()),
+        );
+        s.register(
+            addr(1),
+            Region(0),
+            CpuProfile::client(),
+            Box::new(PingPong::default()),
+        );
         s.faults_mut().set_drop_probability(1.0);
         for i in 0..5 {
             s.inject(addr(0), addr(1), TestMsg::Ping(i));
@@ -596,7 +652,12 @@ mod tests {
     #[test]
     fn take_actor_removes_it() {
         let mut s = sim();
-        s.register(addr(0), Region(0), CpuProfile::client(), Box::new(PingPong::default()));
+        s.register(
+            addr(0),
+            Region(0),
+            CpuProfile::client(),
+            Box::new(PingPong::default()),
+        );
         assert_eq!(s.actor_count(), 1);
         assert!(s.take_actor(addr(0)).is_some());
         assert!(s.take_actor(addr(0)).is_none());
@@ -605,10 +666,19 @@ mod tests {
     #[test]
     fn deterministic_given_same_seed() {
         let run = |seed| {
-            let mut s: Simulation<TestMsg> =
-                Simulation::new(LatencyMatrix::nearby_regions(), seed);
-            s.register(addr(0), Region(0), CpuProfile::server(), Box::new(PingPong::default()));
-            s.register(addr(1), Region(3), CpuProfile::server(), Box::new(PingPong::default()));
+            let mut s: Simulation<TestMsg> = Simulation::new(LatencyMatrix::nearby_regions(), seed);
+            s.register(
+                addr(0),
+                Region(0),
+                CpuProfile::server(),
+                Box::new(PingPong::default()),
+            );
+            s.register(
+                addr(1),
+                Region(3),
+                CpuProfile::server(),
+                Box::new(PingPong::default()),
+            );
             for i in 0..20 {
                 s.inject(addr(0), addr(1), TestMsg::Ping(i));
             }

@@ -87,7 +87,8 @@ impl<M: MessageMeta + Clone + 'static> ClientActor<M> {
         }
         if !self.schedule.is_empty() {
             let u: f64 = ctx.rng().gen_range(1e-9..1.0f64);
-            let wait = (-u.ln() * self.mean_interarrival_us).clamp(1.0, 10.0 * self.mean_interarrival_us);
+            let wait =
+                (-u.ln() * self.mean_interarrival_us).clamp(1.0, 10.0 * self.mean_interarrival_us);
             ctx.set_timer(Duration::from_micros(wait as u64), self.tick.clone());
         }
     }
@@ -174,12 +175,8 @@ mod tests {
         let client_id = ClientId(1);
         let schedule: Vec<(TxId, SaguaroMsg, Addr)> = (0..5)
             .map(|i| {
-                let tx = Transaction::internal(
-                    TxId(i),
-                    client_id,
-                    DomainId::new(1, 0),
-                    Operation::Noop,
-                );
+                let tx =
+                    Transaction::internal(TxId(i), client_id, DomainId::new(1, 0), Operation::Noop);
                 (TxId(i), SaguaroMsg::ClientRequest(tx), Addr::Node(server))
             })
             .collect();
@@ -194,7 +191,11 @@ mod tests {
         );
         sim.register(client_id, Region(0), CpuProfile::client(), Box::new(client));
         // Kick off.
-        sim.inject(Addr::Client(ClientId(999)), client_id, SaguaroMsg::ClientTick);
+        sim.inject(
+            Addr::Client(ClientId(999)),
+            client_id,
+            SaguaroMsg::ClientTick,
+        );
         sim.run_to_completion(10_000);
 
         let done = collector.lock();
@@ -213,8 +214,7 @@ mod tests {
             SaguaroMsg::ClientRequest(tx),
             Addr::Node(NodeId::new(DomainId::new(1, 0), 0)),
         )];
-        let mut sim: Simulation<SaguaroMsg> =
-            Simulation::new(LatencyMatrix::single_region(), 2);
+        let mut sim: Simulation<SaguaroMsg> = Simulation::new(LatencyMatrix::single_region(), 2);
         let client = ClientActor::new(
             ClientId(1),
             schedule,
@@ -224,7 +224,12 @@ mod tests {
             2,
             collector.clone(),
         );
-        sim.register(ClientId(1), Region(0), CpuProfile::client(), Box::new(client));
+        sim.register(
+            ClientId(1),
+            Region(0),
+            CpuProfile::client(),
+            Box::new(client),
+        );
         sim.inject(ClientId(99), ClientId(1), SaguaroMsg::ClientTick);
         // One reply only.
         sim.inject(

@@ -1,4 +1,8 @@
 //! Deployment of protocol stacks onto the simulator.
+//!
+//! These helpers are the building blocks the [`crate::protocol::ProtocolStack`]
+//! implementations call from their `deploy` methods; a new stack can reuse
+//! [`build_tree`] / [`latency_for`] and register its own actors.
 
 use saguaro_baselines::{BaselineMsg, BaselineNode, BaselineRole};
 use saguaro_core::{ProtocolConfig, SaguaroMsg, SaguaroNode};

@@ -1,38 +1,107 @@
-//! Single experiment runs and offered-load sweeps.
+//! The protocol-agnostic experiment engine: single runs and offered-load
+//! sweeps.
+//!
+//! # Architecture
+//!
+//! One generic engine, [`run_experiment`], drives every protocol and every
+//! workload:
+//!
+//! ```text
+//! ExperimentSpec ──▶ prepare::<P>()   (Workload trait: schedules + seeds)
+//!                 ──▶ P::deploy()     (ProtocolStack trait: nodes on the sim)
+//!                 ──▶ ClientActor     (open loop, P::parse_reply quorum)
+//!                 ──▶ summarise()     (RunMetrics over the measure window)
+//! ```
+//!
+//! The two extension points are deliberately narrow:
+//!
+//! * [`ProtocolStack`](crate::protocol::ProtocolStack) says how to frame a
+//!   request, recognise a reply, and deploy nodes.  The four paper stacks
+//!   (coordinator, optimistic, AHL, SharPer) live in [`crate::protocol`].
+//! * [`Workload`](saguaro_workload::Workload) says where clients live and
+//!   what they send.  Micropayments and ridesharing live in
+//!   `saguaro-workload`; [`WorkloadKind`] names them on the spec.
+//!
+//! # Adding a fifth protocol
+//!
+//! 1. Define a zero-sized marker type and `impl ProtocolStack for It` — the
+//!    message type, `wrap_request`, `client_tick`, `parse_reply` and
+//!    `deploy` are the whole surface.
+//! 2. Add a [`ProtocolKind`] variant and dispatch it in [`run`].
+//! 3. Every figure, sweep and bench now works with the new stack.
+//!
+//! Adding a new workload is symmetric: implement `Workload`, add a
+//! [`WorkloadKind`] variant, and give `ExperimentSpec` a builder for it.
 
 use crate::client::{ClientActor, Collector, CompletedTx};
 use crate::deploy;
+use crate::protocol::{
+    AhlStack, CoordinatorStack, OptimisticStack, ProtocolKind, ProtocolStack, SharperStack,
+};
 use parking_lot::Mutex;
-use saguaro_baselines::BaselineMsg;
-use saguaro_core::{CrossDomainMode, ProtocolConfig, SaguaroMsg};
 use saguaro_hierarchy::Placement;
 use saguaro_net::{Addr, CpuProfile, Simulation};
-use saguaro_types::transaction::account_key;
 use saguaro_types::{ClientId, DomainId, Duration, FailureModel, NodeId, SimTime, TxId};
-use saguaro_workload::{MicropaymentWorkload, WorkloadConfig};
+use saguaro_workload::{MicropaymentWorkload, RidesharingWorkload, Workload, WorkloadConfig};
 use std::sync::Arc;
 
-/// Which protocol stack an experiment runs.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum ProtocolKind {
-    /// Saguaro with the coordinator-based cross-domain protocol.
-    SaguaroCoordinator,
-    /// Saguaro with the optimistic cross-domain protocol.
-    SaguaroOptimistic,
-    /// The AHL baseline (reference committee + 2PC).
-    Ahl,
-    /// The SharPer baseline (flattened cross-shard consensus).
-    Sharper,
+/// Which application the experiment's clients run.
+#[derive(Clone, Debug)]
+pub enum WorkloadKind {
+    /// The paper's micropayment application (every quantitative figure).
+    Micropayment(WorkloadConfig),
+    /// The motivation section's ridesharing / gig-economy application.
+    Ridesharing(RidesharingConfig),
 }
 
-impl ProtocolKind {
-    /// Short label used in printed figure series.
+/// Knobs of the ridesharing workload when driven by the engine.
+#[derive(Clone, Debug)]
+pub struct RidesharingConfig {
+    /// Drivers registered per height-1 domain.
+    pub drivers_per_domain: u64,
+    /// Fraction of rides completed while roaming in a neighbouring domain
+    /// (submitted as mobile transactions — only Saguaro commits those; the
+    /// baselines have no mobile path, as in the paper).
+    pub roaming_ratio: f64,
+}
+
+impl Default for RidesharingConfig {
+    fn default() -> Self {
+        Self {
+            drivers_per_domain: 64,
+            roaming_ratio: 0.0,
+        }
+    }
+}
+
+impl WorkloadKind {
+    /// Short name used in printed tables.
     pub fn label(&self) -> &'static str {
         match self {
-            ProtocolKind::SaguaroCoordinator => "Coordinator",
-            ProtocolKind::SaguaroOptimistic => "Optimistic",
-            ProtocolKind::Ahl => "AHL",
-            ProtocolKind::Sharper => "SharPer",
+            WorkloadKind::Micropayment(_) => "micropayment",
+            WorkloadKind::Ridesharing(_) => "ridesharing",
+        }
+    }
+
+    /// Instantiates the generator for a deployment's edge domains.
+    fn build(
+        &self,
+        edge_domains: Vec<DomainId>,
+        num_clients: usize,
+        seed: u64,
+    ) -> Box<dyn Workload> {
+        match self {
+            WorkloadKind::Micropayment(config) => {
+                let mut config = config.clone();
+                config.edge_domains = edge_domains;
+                Box::new(MicropaymentWorkload::new(config, num_clients, seed))
+            }
+            WorkloadKind::Ridesharing(config) => Box::new(RidesharingWorkload::new(
+                edge_domains,
+                config.drivers_per_domain,
+                config.roaming_ratio,
+                seed,
+            )),
         }
     }
 }
@@ -42,14 +111,14 @@ impl ProtocolKind {
 pub struct ExperimentSpec {
     /// Protocol stack under test.
     pub protocol: ProtocolKind,
+    /// Application the clients run.
+    pub workload: WorkloadKind,
     /// Failure model of every domain.
     pub failure_model: FailureModel,
     /// Failures tolerated per domain.
     pub faults: usize,
     /// Geographic placement.
     pub placement: Placement,
-    /// Workload knobs (cross-domain %, contention %, mobile %).
-    pub workload: WorkloadConfig,
     /// Number of client actors.
     pub num_clients: usize,
     /// Total offered load in transactions per second.
@@ -64,14 +133,14 @@ pub struct ExperimentSpec {
 
 impl ExperimentSpec {
     /// A small but representative default: the paper's nearby-region
-    /// placement, crash-only domains with f = 1.
+    /// placement, crash-only domains with f = 1, micropayments.
     pub fn new(protocol: ProtocolKind) -> Self {
         Self {
             protocol,
+            workload: WorkloadKind::Micropayment(WorkloadConfig::default()),
             failure_model: FailureModel::Crash,
             faults: 1,
             placement: Placement::NearbyRegions,
-            workload: WorkloadConfig::default(),
             num_clients: 120,
             offered_load_tps: 4_000.0,
             warmup: Duration::from_millis(300),
@@ -86,21 +155,34 @@ impl ExperimentSpec {
         self
     }
 
-    /// Sets the cross-domain transaction ratio.
+    /// Switches the clients to the ridesharing application.
+    pub fn ridesharing(mut self, config: RidesharingConfig) -> Self {
+        self.workload = WorkloadKind::Ridesharing(config);
+        self
+    }
+
+    /// Mutates the micropayment knobs; no-op for other workloads.
+    fn micropayment_mut(&mut self, f: impl FnOnce(&mut WorkloadConfig)) {
+        if let WorkloadKind::Micropayment(config) = &mut self.workload {
+            f(config);
+        }
+    }
+
+    /// Sets the cross-domain transaction ratio (micropayments).
     pub fn cross_domain(mut self, ratio: f64) -> Self {
-        self.workload.cross_domain_ratio = ratio;
+        self.micropayment_mut(|c| c.cross_domain_ratio = ratio);
         self
     }
 
-    /// Sets the contention (hot-account) ratio.
+    /// Sets the contention (hot-account) ratio (micropayments).
     pub fn contention(mut self, ratio: f64) -> Self {
-        self.workload.contention_ratio = ratio;
+        self.micropayment_mut(|c| c.contention_ratio = ratio);
         self
     }
 
-    /// Sets the mobile-client ratio.
+    /// Sets the mobile-client ratio (micropayments).
     pub fn mobile(mut self, ratio: f64) -> Self {
-        self.workload.mobile_ratio = ratio;
+        self.micropayment_mut(|c| c.mobile_ratio = ratio);
         self
     }
 
@@ -129,10 +211,21 @@ impl ExperimentSpec {
         self.num_clients = 40;
         self
     }
+
+    /// Runs the experiment (dispatching to the stack named by
+    /// `self.protocol`).
+    pub fn run(&self) -> RunMetrics {
+        run(self)
+    }
+
+    /// Sweeps offered load over this spec.
+    pub fn sweep(&self, loads: &[f64]) -> Vec<LoadPoint> {
+        sweep(self, loads)
+    }
 }
 
 /// Metrics of one run.
-#[derive(Clone, Debug, Default, serde::Serialize)]
+#[derive(Clone, Debug, Default, PartialEq, serde::Serialize)]
 pub struct RunMetrics {
     /// Offered load (tx/s).
     pub offered_tps: f64,
@@ -205,11 +298,14 @@ fn summarise(
     }
 }
 
-/// Runs one experiment and returns its metrics.
+/// Runs one experiment, dispatching `spec.protocol` to the corresponding
+/// [`ProtocolStack`] implementation.
 pub fn run(spec: &ExperimentSpec) -> RunMetrics {
     match spec.protocol {
-        ProtocolKind::SaguaroCoordinator | ProtocolKind::SaguaroOptimistic => run_saguaro(spec),
-        ProtocolKind::Ahl | ProtocolKind::Sharper => run_baseline(spec),
+        ProtocolKind::SaguaroCoordinator => run_experiment::<CoordinatorStack>(spec),
+        ProtocolKind::SaguaroOptimistic => run_experiment::<OptimisticStack>(spec),
+        ProtocolKind::Ahl => run_experiment::<AhlStack>(spec),
+        ProtocolKind::Sharper => run_experiment::<SharperStack>(spec),
     }
 }
 
@@ -228,26 +324,31 @@ pub fn sweep(spec: &ExperimentSpec, loads: &[f64]) -> Vec<LoadPoint> {
         .collect()
 }
 
-/// Builds the per-client schedules and the account seeds for a spec.
+/// One client's open-loop schedule: `(tx id, framed request, destination)`
+/// triples, tagged with the client's identity and home domain.
+type ClientSchedule<M> = (ClientId, DomainId, Vec<(TxId, M, Addr)>);
+
+/// The per-client schedules and the account seeds for a spec.
 struct Prepared<M> {
-    schedules: Vec<(ClientId, DomainId, Vec<(TxId, M, Addr)>)>,
+    schedules: Vec<ClientSchedule<M>>,
     seeds: Vec<(DomainId, Vec<(String, u64)>)>,
     mean_interarrival_us: f64,
 }
 
-fn prepare<M>(
+/// Builds the open-loop schedules (one per client) and the per-domain seed
+/// accounts from the spec's workload, framing each transaction as a stack
+/// `P` request.
+fn prepare<P: ProtocolStack>(
     spec: &ExperimentSpec,
     edge_domains: Vec<DomainId>,
-    wrap: impl Fn(saguaro_types::Transaction) -> M,
-) -> Prepared<M> {
-    let mut workload_cfg = spec.workload.clone();
-    workload_cfg.edge_domains = edge_domains.clone();
-    let mut generator = MicropaymentWorkload::new(workload_cfg.clone(), spec.num_clients, spec.seed);
+) -> Prepared<P::Msg> {
+    let mut generator = spec
+        .workload
+        .build(edge_domains.clone(), spec.num_clients, spec.seed);
 
     let horizon = spec.warmup + spec.measure + Duration::from_millis(200);
     let per_client_rate = spec.offered_load_tps / spec.num_clients as f64; // tx per second
-    let txs_per_client =
-        ((per_client_rate * horizon.as_secs_f64()).ceil() as usize + 2).max(4);
+    let txs_per_client = ((per_client_rate * horizon.as_secs_f64()).ceil() as usize + 2).max(4);
     let mean_interarrival_us = 1_000_000.0 / per_client_rate.max(0.001);
 
     let mut schedules = Vec::with_capacity(spec.num_clients);
@@ -257,24 +358,15 @@ fn prepare<M>(
         for _ in 0..txs_per_client {
             let (tx, submit_to) = generator.next_for_client(c);
             let target = Addr::Node(NodeId::new(submit_to, 0));
-            schedule.push((tx.id, wrap(tx), target));
+            schedule.push((tx.id, P::wrap_request(tx), target));
         }
         schedules.push((ClientId(c as u64), home, schedule));
     }
 
-    // Seed the per-domain account universe plus one account per client (used
-    // by mobile transactions).
-    let mut seeds = Vec::new();
-    for d in &edge_domains {
-        let mut accounts = workload_cfg.seed_accounts_for(*d);
-        for c in 0..spec.num_clients {
-            let home = generator.home_of(c);
-            if home == *d {
-                accounts.push((account_key(d.index, c as u64), workload_cfg.initial_balance));
-            }
-        }
-        seeds.push((*d, accounts));
-    }
+    let seeds = edge_domains
+        .iter()
+        .map(|d| (*d, generator.seed_accounts(*d)))
+        .collect();
 
     Prepared {
         schedules,
@@ -283,110 +375,61 @@ fn prepare<M>(
     }
 }
 
-fn parse_saguaro_reply(m: &SaguaroMsg) -> Option<(TxId, bool)> {
-    match m {
-        SaguaroMsg::Reply { tx_id, committed } => Some((*tx_id, *committed)),
-        _ => None,
-    }
-}
-
-fn parse_baseline_reply(m: &BaselineMsg) -> Option<(TxId, bool)> {
-    match m {
-        BaselineMsg::Reply { tx_id, committed } => Some((*tx_id, *committed)),
-        _ => None,
-    }
-}
-
-fn run_saguaro(spec: &ExperimentSpec) -> RunMetrics {
+/// Runs one experiment on a statically chosen protocol stack `P`.
+///
+/// This is the engine every run goes through, whatever the protocol and
+/// workload: build the tree, deploy `P`'s nodes, register one open-loop
+/// [`ClientActor`] per workload client, run the simulator past the
+/// measurement window, and summarise the collected completions.
+pub fn run_experiment<P: ProtocolStack>(spec: &ExperimentSpec) -> RunMetrics {
+    debug_assert_eq!(
+        P::kind(),
+        spec.protocol,
+        "stack {} does not match spec.protocol {:?}; results would be mislabeled",
+        P::label(),
+        spec.protocol
+    );
     let tree = deploy::build_tree(spec.failure_model, spec.faults, spec.placement)
         .expect("valid paper topology");
-    let mut sim: Simulation<SaguaroMsg> =
+    let mut sim: Simulation<P::Msg> =
         Simulation::new(deploy::latency_for(spec.placement), spec.seed);
-    let config = match spec.protocol {
-        ProtocolKind::SaguaroOptimistic => ProtocolConfig::optimistic(),
-        _ => ProtocolConfig::coordinator(),
-    };
-    debug_assert!(matches!(
-        config.cross_mode,
-        CrossDomainMode::Coordinator | CrossDomainMode::Optimistic
-    ));
 
-    let prepared = prepare(spec, tree.edge_server_domains(), SaguaroMsg::ClientRequest);
-    deploy::deploy_saguaro(&mut sim, &tree, &config, &prepared.seeds);
+    let prepared = prepare::<P>(spec, tree.edge_server_domains());
+    P::deploy(&mut sim, &tree, &prepared.seeds);
 
     let collector: Collector = Arc::new(Mutex::new(Vec::new()));
-    let reply_quorum = match spec.failure_model {
-        FailureModel::Crash => 1,
-        FailureModel::Byzantine => spec.faults + 1,
-    };
+    let reply_quorum = P::reply_quorum(spec.failure_model, spec.faults);
     for (client_id, home, schedule) in prepared.schedules {
         let region = tree.region_of(home).expect("home region");
         let actor = ClientActor::new(
             client_id,
             schedule,
             prepared.mean_interarrival_us,
-            SaguaroMsg::ClientTick,
-            parse_saguaro_reply,
+            P::client_tick(),
+            P::parse_reply,
             reply_quorum,
             collector.clone(),
         );
         sim.register(client_id, region, CpuProfile::client(), Box::new(actor));
         // Stagger client start over one mean inter-arrival.
-        let offset = (client_id.0 % 97) as u64 * (prepared.mean_interarrival_us as u64 / 97).max(1);
+        let offset = (client_id.0 % 97) * (prepared.mean_interarrival_us as u64 / 97).max(1);
         sim.inject_at(
             SimTime::from_micros(offset),
             deploy::harness_addr(),
             client_id,
-            SaguaroMsg::ClientTick,
+            P::client_tick(),
         );
     }
 
     let horizon = spec.warmup + spec.measure + Duration::from_millis(300);
     sim.run_until(SimTime::ZERO + horizon);
     let completions = collector.lock();
-    summarise(&completions, spec.warmup, spec.measure, spec.offered_load_tps)
-}
-
-fn run_baseline(spec: &ExperimentSpec) -> RunMetrics {
-    let tree = deploy::build_tree(spec.failure_model, spec.faults, spec.placement)
-        .expect("valid paper topology");
-    let mut sim: Simulation<BaselineMsg> =
-        Simulation::new(deploy::latency_for(spec.placement), spec.seed);
-    let sharper = spec.protocol == ProtocolKind::Sharper;
-
-    let prepared = prepare(spec, tree.edge_server_domains(), BaselineMsg::ClientRequest);
-    deploy::deploy_baseline(&mut sim, &tree, sharper, &prepared.seeds);
-
-    let collector: Collector = Arc::new(Mutex::new(Vec::new()));
-    let reply_quorum = match spec.failure_model {
-        FailureModel::Crash => 1,
-        FailureModel::Byzantine => spec.faults + 1,
-    };
-    for (client_id, home, schedule) in prepared.schedules {
-        let region = tree.region_of(home).expect("home region");
-        let actor = ClientActor::new(
-            client_id,
-            schedule,
-            prepared.mean_interarrival_us,
-            BaselineMsg::ProgressTimer,
-            parse_baseline_reply,
-            reply_quorum,
-            collector.clone(),
-        );
-        sim.register(client_id, region, CpuProfile::client(), Box::new(actor));
-        let offset = (client_id.0 % 97) as u64 * (prepared.mean_interarrival_us as u64 / 97).max(1);
-        sim.inject_at(
-            SimTime::from_micros(offset),
-            deploy::harness_addr(),
-            client_id,
-            BaselineMsg::ProgressTimer,
-        );
-    }
-
-    let horizon = spec.warmup + spec.measure + Duration::from_millis(300);
-    sim.run_until(SimTime::ZERO + horizon);
-    let completions = collector.lock();
-    summarise(&completions, spec.warmup, spec.measure, spec.offered_load_tps)
+    summarise(
+        &completions,
+        spec.warmup,
+        spec.measure,
+        spec.offered_load_tps,
+    )
 }
 
 #[cfg(test)]
@@ -414,8 +457,14 @@ mod tests {
 
     #[test]
     fn cross_domain_coordinator_and_optimistic_both_commit() {
-        for protocol in [ProtocolKind::SaguaroCoordinator, ProtocolKind::SaguaroOptimistic] {
-            let spec = ExperimentSpec::new(protocol).quick().cross_domain(0.5).load(600.0);
+        for protocol in [
+            ProtocolKind::SaguaroCoordinator,
+            ProtocolKind::SaguaroOptimistic,
+        ] {
+            let spec = ExperimentSpec::new(protocol)
+                .quick()
+                .cross_domain(0.5)
+                .load(600.0);
             let metrics = run(&spec);
             assert!(
                 metrics.committed > 30,
@@ -428,7 +477,10 @@ mod tests {
     #[test]
     fn baselines_commit_cross_domain_transactions() {
         for protocol in [ProtocolKind::Ahl, ProtocolKind::Sharper] {
-            let spec = ExperimentSpec::new(protocol).quick().cross_domain(0.5).load(600.0);
+            let spec = ExperimentSpec::new(protocol)
+                .quick()
+                .cross_domain(0.5)
+                .load(600.0);
             let metrics = run(&spec);
             assert!(
                 metrics.committed > 30,
@@ -449,10 +501,39 @@ mod tests {
     }
 
     #[test]
+    fn ridesharing_workload_commits_through_the_same_engine() {
+        let spec = ExperimentSpec::new(ProtocolKind::SaguaroCoordinator)
+            .ridesharing(RidesharingConfig::default())
+            .quick()
+            .load(500.0);
+        let metrics = spec.run();
+        assert!(metrics.committed > 20, "committed {}", metrics.committed);
+    }
+
+    #[test]
     fn sweep_produces_one_point_per_load() {
         let spec = ExperimentSpec::new(ProtocolKind::SaguaroCoordinator).quick();
         let points = sweep(&spec, &[300.0, 600.0]);
         assert_eq!(points.len(), 2);
         assert!(points[1].metrics.throughput_tps >= points[0].metrics.throughput_tps * 0.5);
+    }
+
+    #[test]
+    fn generic_engine_matches_dynamic_dispatch() {
+        let spec = ExperimentSpec::new(ProtocolKind::Sharper)
+            .quick()
+            .load(400.0);
+        assert_eq!(run_experiment::<SharperStack>(&spec), run(&spec));
+    }
+
+    #[test]
+    fn workload_builders_are_noops_for_ridesharing() {
+        let spec = ExperimentSpec::new(ProtocolKind::SaguaroCoordinator)
+            .ridesharing(RidesharingConfig::default())
+            .cross_domain(0.5)
+            .contention(0.9)
+            .mobile(0.2);
+        assert!(matches!(spec.workload, WorkloadKind::Ridesharing(_)));
+        assert_eq!(spec.workload.label(), "ridesharing");
     }
 }

@@ -5,7 +5,8 @@
 //! corresponding figure; the `saguaro-bench` binaries print them as tables
 //! and `EXPERIMENTS.md` records the paper-vs-measured comparison.
 
-use crate::experiment::{sweep, ExperimentSpec, LoadPoint, ProtocolKind};
+use crate::experiment::{sweep, ExperimentSpec, LoadPoint, RidesharingConfig};
+use crate::protocol::ProtocolKind;
 use saguaro_hierarchy::Placement;
 use saguaro_types::FailureModel;
 
@@ -193,6 +194,27 @@ pub fn ablation_contention(options: &FigureOptions) -> Vec<FigureSeries> {
             ),
         })
         .collect()
+}
+
+/// Workload comparison: the micropayment and ridesharing applications under
+/// the same protocol stack and engine.  Not a paper figure — it demonstrates
+/// the `Workload` extension point and sanity-checks that application choice,
+/// not the engine, drives the numbers.
+pub fn workload_comparison(options: &FigureOptions) -> Vec<FigureSeries> {
+    let base = spec(ProtocolKind::SaguaroCoordinator, options);
+    [
+        ("micropayment", base.clone()),
+        (
+            "ridesharing",
+            base.ridesharing(RidesharingConfig::default()),
+        ),
+    ]
+    .into_iter()
+    .map(|(label, s)| FigureSeries {
+        label: label.to_string(),
+        points: sweep(&s, &options.loads),
+    })
+    .collect()
 }
 
 /// Renders a set of series as a plain-text table (one row per load point).

@@ -1,0 +1,294 @@
+//! The [`ProtocolStack`] abstraction: everything the experiment engine needs
+//! to know about a protocol under test.
+//!
+//! The paper's evaluation compares four stacks — coordinator-based Saguaro,
+//! optimistic Saguaro, and the AHL and SharPer baselines — over the same
+//! topology, workload and client model.  Each stack differs only in its
+//! message type, how a client request is framed, how replies are recognised,
+//! and how nodes are deployed.  `ProtocolStack` captures exactly those
+//! differences so [`crate::experiment::run_experiment`] can drive any stack
+//! generically, and a fifth protocol plugs in without touching the engine
+//! (see the module docs of [`crate::experiment`] for the recipe).
+
+use crate::deploy;
+use saguaro_baselines::BaselineMsg;
+use saguaro_core::{ProtocolConfig, SaguaroMsg};
+use saguaro_hierarchy::HierarchyTree;
+use saguaro_net::{MessageMeta, Simulation};
+use saguaro_types::{DomainId, FailureModel, Transaction, TxId};
+use std::sync::Arc;
+
+/// Which protocol stack an experiment runs (the dynamic counterpart of the
+/// [`ProtocolStack`] implementations, carried by `ExperimentSpec` so specs
+/// stay plain data).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProtocolKind {
+    /// Saguaro with the coordinator-based cross-domain protocol.
+    SaguaroCoordinator,
+    /// Saguaro with the optimistic cross-domain protocol.
+    SaguaroOptimistic,
+    /// The AHL baseline (reference committee + 2PC).
+    Ahl,
+    /// The SharPer baseline (flattened cross-shard consensus).
+    Sharper,
+}
+
+impl ProtocolKind {
+    /// Short label used in printed figure series.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ProtocolKind::SaguaroCoordinator => "Coordinator",
+            ProtocolKind::SaguaroOptimistic => "Optimistic",
+            ProtocolKind::Ahl => "AHL",
+            ProtocolKind::Sharper => "SharPer",
+        }
+    }
+
+    /// All four stacks of the paper's evaluation.
+    pub const ALL: [ProtocolKind; 4] = [
+        ProtocolKind::SaguaroCoordinator,
+        ProtocolKind::SaguaroOptimistic,
+        ProtocolKind::Ahl,
+        ProtocolKind::Sharper,
+    ];
+}
+
+/// Seeded `(account key, balance)` pairs per height-1 domain.
+pub type SeedAccounts = [(DomainId, Vec<(String, u64)>)];
+
+/// A protocol stack the experiment engine can deploy and drive.
+///
+/// Implementations are zero-sized marker types: every method is an associated
+/// function, so the engine is monomorphised per stack and the message type
+/// never crosses a trait-object boundary (the simulator is generic over it).
+pub trait ProtocolStack {
+    /// The wire message type of the deployment.
+    type Msg: MessageMeta + Clone + 'static;
+
+    /// The dynamic tag for this stack.
+    fn kind() -> ProtocolKind;
+
+    /// Short label used in printed figure series.
+    fn label() -> &'static str {
+        Self::kind().label()
+    }
+
+    /// Frames a workload transaction as the stack's client request message.
+    fn wrap_request(tx: Transaction) -> Self::Msg;
+
+    /// The message a client schedules to itself to pace its open loop.  Must
+    /// be a message the stack's nodes never send to clients.
+    fn client_tick() -> Self::Msg;
+
+    /// Extracts `(tx id, committed)` from a reply message, or `None` if the
+    /// message is not a reply.
+    fn parse_reply(msg: &Self::Msg) -> Option<(TxId, bool)>;
+
+    /// Matching replies a client needs before a transaction counts as
+    /// complete: 1 under crash faults, `f + 1` under Byzantine faults (one
+    /// honest replica is then guaranteed among the repliers).
+    fn reply_quorum(model: FailureModel, faults: usize) -> usize {
+        match model {
+            FailureModel::Crash => 1,
+            FailureModel::Byzantine => faults + 1,
+        }
+    }
+
+    /// Registers every node of the deployment on the simulator, seeds the
+    /// height-1 domains with `seed_accounts`, and schedules whatever kick-off
+    /// events the stack needs (round timers etc.).
+    fn deploy(
+        sim: &mut Simulation<Self::Msg>,
+        tree: &Arc<HierarchyTree>,
+        seed_accounts: &SeedAccounts,
+    );
+}
+
+/// Saguaro with the coordinator-based cross-domain protocol.
+pub struct CoordinatorStack;
+
+impl ProtocolStack for CoordinatorStack {
+    type Msg = SaguaroMsg;
+
+    fn kind() -> ProtocolKind {
+        ProtocolKind::SaguaroCoordinator
+    }
+
+    fn wrap_request(tx: Transaction) -> SaguaroMsg {
+        SaguaroMsg::ClientRequest(tx)
+    }
+
+    fn client_tick() -> SaguaroMsg {
+        SaguaroMsg::ClientTick
+    }
+
+    fn parse_reply(msg: &SaguaroMsg) -> Option<(TxId, bool)> {
+        match msg {
+            SaguaroMsg::Reply { tx_id, committed } => Some((*tx_id, *committed)),
+            _ => None,
+        }
+    }
+
+    fn deploy(
+        sim: &mut Simulation<SaguaroMsg>,
+        tree: &Arc<HierarchyTree>,
+        seed_accounts: &SeedAccounts,
+    ) {
+        deploy::deploy_saguaro(sim, tree, &ProtocolConfig::coordinator(), seed_accounts);
+    }
+}
+
+/// Saguaro with the optimistic cross-domain protocol.
+pub struct OptimisticStack;
+
+impl ProtocolStack for OptimisticStack {
+    type Msg = SaguaroMsg;
+
+    fn kind() -> ProtocolKind {
+        ProtocolKind::SaguaroOptimistic
+    }
+
+    fn wrap_request(tx: Transaction) -> SaguaroMsg {
+        SaguaroMsg::ClientRequest(tx)
+    }
+
+    fn client_tick() -> SaguaroMsg {
+        SaguaroMsg::ClientTick
+    }
+
+    fn parse_reply(msg: &SaguaroMsg) -> Option<(TxId, bool)> {
+        CoordinatorStack::parse_reply(msg)
+    }
+
+    fn deploy(
+        sim: &mut Simulation<SaguaroMsg>,
+        tree: &Arc<HierarchyTree>,
+        seed_accounts: &SeedAccounts,
+    ) {
+        deploy::deploy_saguaro(sim, tree, &ProtocolConfig::optimistic(), seed_accounts);
+    }
+}
+
+/// The AHL baseline: per-shard consensus plus a reference committee running
+/// 2PC for cross-shard transactions.
+pub struct AhlStack;
+
+impl ProtocolStack for AhlStack {
+    type Msg = BaselineMsg;
+
+    fn kind() -> ProtocolKind {
+        ProtocolKind::Ahl
+    }
+
+    fn wrap_request(tx: Transaction) -> BaselineMsg {
+        BaselineMsg::ClientRequest(tx)
+    }
+
+    fn client_tick() -> BaselineMsg {
+        BaselineMsg::ProgressTimer
+    }
+
+    fn parse_reply(msg: &BaselineMsg) -> Option<(TxId, bool)> {
+        match msg {
+            BaselineMsg::Reply { tx_id, committed } => Some((*tx_id, *committed)),
+            _ => None,
+        }
+    }
+
+    fn deploy(
+        sim: &mut Simulation<BaselineMsg>,
+        tree: &Arc<HierarchyTree>,
+        seed_accounts: &SeedAccounts,
+    ) {
+        deploy::deploy_baseline(sim, tree, false, seed_accounts);
+    }
+}
+
+/// The SharPer baseline: flattened cross-shard consensus, no committee.
+pub struct SharperStack;
+
+impl ProtocolStack for SharperStack {
+    type Msg = BaselineMsg;
+
+    fn kind() -> ProtocolKind {
+        ProtocolKind::Sharper
+    }
+
+    fn wrap_request(tx: Transaction) -> BaselineMsg {
+        BaselineMsg::ClientRequest(tx)
+    }
+
+    fn client_tick() -> BaselineMsg {
+        BaselineMsg::ProgressTimer
+    }
+
+    fn parse_reply(msg: &BaselineMsg) -> Option<(TxId, bool)> {
+        AhlStack::parse_reply(msg)
+    }
+
+    fn deploy(
+        sim: &mut Simulation<BaselineMsg>,
+        tree: &Arc<HierarchyTree>,
+        seed_accounts: &SeedAccounts,
+    ) {
+        deploy::deploy_baseline(sim, tree, true, seed_accounts);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saguaro_types::{ClientId, DomainId, Operation};
+
+    #[test]
+    fn kinds_and_labels_line_up() {
+        assert_eq!(CoordinatorStack::kind(), ProtocolKind::SaguaroCoordinator);
+        assert_eq!(OptimisticStack::kind(), ProtocolKind::SaguaroOptimistic);
+        assert_eq!(AhlStack::kind(), ProtocolKind::Ahl);
+        assert_eq!(SharperStack::kind(), ProtocolKind::Sharper);
+        assert_eq!(CoordinatorStack::label(), "Coordinator");
+        assert_eq!(SharperStack::label(), "SharPer");
+        assert_eq!(ProtocolKind::ALL.len(), 4);
+    }
+
+    #[test]
+    fn wrap_and_parse_round_trip() {
+        let tx = Transaction::internal(TxId(7), ClientId(1), DomainId::new(1, 0), Operation::Noop);
+        // A wrapped request is not a reply.
+        assert_eq!(
+            CoordinatorStack::parse_reply(&CoordinatorStack::wrap_request(tx.clone())),
+            None
+        );
+        assert_eq!(AhlStack::parse_reply(&AhlStack::wrap_request(tx)), None);
+        // Replies parse.
+        let reply = SaguaroMsg::Reply {
+            tx_id: TxId(9),
+            committed: true,
+        };
+        assert_eq!(OptimisticStack::parse_reply(&reply), Some((TxId(9), true)));
+        let reply = BaselineMsg::Reply {
+            tx_id: TxId(4),
+            committed: false,
+        };
+        assert_eq!(SharperStack::parse_reply(&reply), Some((TxId(4), false)));
+    }
+
+    #[test]
+    fn reply_quorum_depends_on_failure_model() {
+        assert_eq!(CoordinatorStack::reply_quorum(FailureModel::Crash, 2), 1);
+        assert_eq!(
+            CoordinatorStack::reply_quorum(FailureModel::Byzantine, 2),
+            3
+        );
+        assert_eq!(AhlStack::reply_quorum(FailureModel::Byzantine, 1), 2);
+    }
+
+    #[test]
+    fn client_ticks_are_never_replies() {
+        assert_eq!(
+            CoordinatorStack::parse_reply(&CoordinatorStack::client_tick()),
+            None
+        );
+        assert_eq!(AhlStack::parse_reply(&AhlStack::client_tick()), None);
+    }
+}

@@ -162,7 +162,10 @@ mod tests {
     #[test]
     fn debug_formats_are_compact() {
         assert_eq!(format!("{:?}", DomainId::new(2, 1)), "D21");
-        assert_eq!(format!("{:?}", NodeId::new(DomainId::new(1, 4), 2)), "D14/n2");
+        assert_eq!(
+            format!("{:?}", NodeId::new(DomainId::new(1, 4), 2)),
+            "D14/n2"
+        );
         assert_eq!(format!("{:?}", ClientId(7)), "c7");
         assert_eq!(format!("{:?}", Region(3)), "R3");
     }

@@ -350,7 +350,12 @@ mod tests {
                 value: 1,
             },
         );
-        let r = Transaction::internal(TxId(2), ClientId(1), d(0), Operation::Get { key: "k".into() });
+        let r = Transaction::internal(
+            TxId(2),
+            ClientId(1),
+            d(0),
+            Operation::Get { key: "k".into() },
+        );
         assert!(w.conflicts_with(&r));
         assert!(r.conflicts_with(&w));
     }
@@ -369,6 +374,9 @@ mod tests {
     fn payload_size_is_near_paper_average() {
         let tx = transfer(1, "acct-00001", "acct-00002");
         let b = tx.payload_bytes();
-        assert!(b >= 160 && b <= 260, "payload {b} outside 0.2 KB ballpark");
+        assert!(
+            (160..=260).contains(&b),
+            "payload {b} outside 0.2 KB ballpark"
+        );
     }
 }

@@ -16,12 +16,19 @@
 //! * the **ridesharing** generator produces `RideTask` records whose
 //!   working-hour attribute higher-level domains aggregate (Section 2's gig
 //!   economy scenario).
+//!
+//! Both generators implement the [`Workload`] trait, the abstraction the
+//! experiment engine (`saguaro-sim`) drives: any type that can say where a
+//! client lives, what it submits next, and what must be seeded can ride the
+//! same engine — see [`traits`] for the contract.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod micropayment;
 pub mod ridesharing;
+pub mod traits;
 
 pub use micropayment::{MicropaymentWorkload, WorkloadConfig};
 pub use ridesharing::RidesharingWorkload;
+pub use traits::Workload;

@@ -124,7 +124,8 @@ impl MicropaymentWorkload {
         let n = if hot {
             self.rng.gen_range(0..self.config.hot_accounts.max(1))
         } else {
-            self.rng.gen_range(0..self.config.accounts_per_domain.max(1))
+            self.rng
+                .gen_range(0..self.config.accounts_per_domain.max(1))
         };
         account_key(domain.index, n)
     }

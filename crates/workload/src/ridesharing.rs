@@ -42,25 +42,30 @@ impl RidesharingWorkload {
         format!("driver-{}-{n}", home.index)
     }
 
-    /// Generates the next completed ride.  Returns the transaction and the
-    /// domain it is submitted to.
-    pub fn next_ride(&mut self) -> (Transaction, DomainId) {
-        let home = self.edge_domains[self.rng.gen_range(0..self.edge_domains.len())];
-        let driver_no = self.rng.gen_range(0..self.drivers_per_domain);
+    /// Builds one completed ride for `driver_no` of `home`, submitted by
+    /// `client`: draws the minutes/fare, decides whether the driver was
+    /// roaming, and frames the transaction accordingly.  Shared by
+    /// [`Self::next_ride`] and [`Self::next_for_driver`].
+    fn make_ride(
+        &mut self,
+        home: DomainId,
+        driver_no: u64,
+        client: ClientId,
+    ) -> (Transaction, DomainId) {
         let driver = Self::driver_name(home, driver_no);
         let minutes = self.rng.gen_range(5..90);
-        let fare = minutes / 2 + self.rng.gen_range(1..10);
+        let fare = minutes / 2 + self.rng.gen_range(1u64..10);
         let id = TxId(self.next_tx_id);
         self.next_tx_id += 1;
-        let client = ClientId(home.index as u64 * self.drivers_per_domain + driver_no);
-
-        let roaming = self.roaming_ratio > 0.0 && self.rng.gen_bool(self.roaming_ratio);
         let op = Operation::RideTask {
             driver,
             minutes,
             fare,
         };
-        if roaming && self.edge_domains.len() > 1 {
+        let roaming = self.roaming_ratio > 0.0
+            && self.edge_domains.len() > 1
+            && self.rng.gen_bool(self.roaming_ratio);
+        if roaming {
             let mut remote = home;
             while remote == home {
                 remote = self.edge_domains[self.rng.gen_range(0..self.edge_domains.len())];
@@ -71,9 +76,36 @@ impl RidesharingWorkload {
         }
     }
 
+    /// Generates the next completed ride of a random driver.  Returns the
+    /// transaction and the domain it is submitted to.
+    pub fn next_ride(&mut self) -> (Transaction, DomainId) {
+        let home = self.edge_domains[self.rng.gen_range(0..self.edge_domains.len())];
+        let driver_no = self.rng.gen_range(0..self.drivers_per_domain);
+        let client = ClientId(home.index as u64 * self.drivers_per_domain + driver_no);
+        self.make_ride(home, driver_no, client)
+    }
+
     /// Generates a batch of rides.
     pub fn batch(&mut self, n: usize) -> Vec<(Transaction, DomainId)> {
         (0..n).map(|_| self.next_ride()).collect()
+    }
+
+    /// The home domain of driver `client` when the generator is driven by the
+    /// experiment engine: drivers are spread round-robin over the edge
+    /// domains, like micropayment clients.
+    pub fn home_of(&self, client: usize) -> DomainId {
+        self.edge_domains[client % self.edge_domains.len()]
+    }
+
+    /// Generates the next completed ride of a *specific* driver (used when
+    /// each experiment client represents one driver).  Unlike [`Self::next_ride`],
+    /// the transaction's client id equals `client`, so the engine's reply
+    /// routing works.  With probability `roaming_ratio` the ride happens in a
+    /// neighbouring domain and is recorded as a mobile transaction.
+    pub fn next_for_driver(&mut self, client: usize) -> (Transaction, DomainId) {
+        let home = self.home_of(client);
+        let driver_no = (client / self.edge_domains.len()) as u64 % self.drivers_per_domain.max(1);
+        self.make_ride(home, driver_no, ClientId(client as u64))
     }
 }
 

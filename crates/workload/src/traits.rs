@@ -1,0 +1,142 @@
+//! The [`Workload`] abstraction the experiment engine drives.
+//!
+//! The engine (`saguaro-sim`) does not know which application it is running:
+//! it asks a `Workload` where each client lives, what transaction that client
+//! issues next, and which accounts each height-1 domain must be seeded with
+//! before the run.  Both generators in this crate implement the trait, so the
+//! paper's micropayment evaluation and the motivation section's ridesharing
+//! scenario run through the *same* engine (`run_experiment`).
+//!
+//! To add a new application: implement `Workload` for your generator and add
+//! a `WorkloadKind` variant in `saguaro-sim` (or drive `prepare` directly
+//! with your generator).
+
+use crate::micropayment::MicropaymentWorkload;
+use crate::ridesharing::RidesharingWorkload;
+use saguaro_types::transaction::account_key;
+use saguaro_types::{DomainId, Transaction};
+
+/// An application driven by the experiment engine's open-loop clients.
+///
+/// Implementations must be deterministic for a given construction seed: the
+/// engine relies on this for reproducible `RunMetrics`.
+pub trait Workload {
+    /// Short name used in printed tables and labels.
+    fn label(&self) -> &'static str;
+
+    /// The home (height-1) domain of client `client`.
+    fn home_of(&self, client: usize) -> DomainId;
+
+    /// The next transaction client `client` issues, together with the domain
+    /// it submits the request to (normally the home domain; a remote domain
+    /// while the client roams).
+    fn next_for_client(&mut self, client: usize) -> (Transaction, DomainId);
+
+    /// `(account key, initial balance)` pairs every replica of `domain` must
+    /// be seeded with before the run starts.
+    fn seed_accounts(&self, domain: DomainId) -> Vec<(String, u64)>;
+}
+
+impl Workload for MicropaymentWorkload {
+    fn label(&self) -> &'static str {
+        "micropayment"
+    }
+
+    fn home_of(&self, client: usize) -> DomainId {
+        MicropaymentWorkload::home_of(self, client)
+    }
+
+    fn next_for_client(&mut self, client: usize) -> (Transaction, DomainId) {
+        MicropaymentWorkload::next_for_client(self, client)
+    }
+
+    /// The domain's account universe plus one account per client homed there
+    /// (mobile transactions spend from the client's own account).
+    fn seed_accounts(&self, domain: DomainId) -> Vec<(String, u64)> {
+        let config = self.config();
+        let mut accounts = config.seed_accounts_for(domain);
+        for client in 0..self.num_clients() {
+            if MicropaymentWorkload::home_of(self, client) == domain {
+                accounts.push((
+                    account_key(domain.index, client as u64),
+                    config.initial_balance,
+                ));
+            }
+        }
+        accounts
+    }
+}
+
+impl Workload for RidesharingWorkload {
+    fn label(&self) -> &'static str {
+        "ridesharing"
+    }
+
+    fn home_of(&self, client: usize) -> DomainId {
+        RidesharingWorkload::home_of(self, client)
+    }
+
+    fn next_for_client(&mut self, client: usize) -> (Transaction, DomainId) {
+        RidesharingWorkload::next_for_driver(self, client)
+    }
+
+    /// Ride tasks accumulate working minutes from zero; no balances needed.
+    fn seed_accounts(&self, _domain: DomainId) -> Vec<(String, u64)> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::micropayment::WorkloadConfig;
+
+    fn domains(n: u16) -> Vec<DomainId> {
+        (0..n).map(|i| DomainId::new(1, i)).collect()
+    }
+
+    #[test]
+    fn micropayment_seeds_cover_universe_and_homed_clients() {
+        let config = WorkloadConfig {
+            edge_domains: domains(4),
+            accounts_per_domain: 10,
+            initial_balance: 500,
+            ..WorkloadConfig::default()
+        };
+        let w = MicropaymentWorkload::new(config, 8, 1);
+        let d0 = DomainId::new(1, 0);
+        let seeds = Workload::seed_accounts(&w, d0);
+        // 10 universe accounts + 2 of the 8 round-robin clients live in d0.
+        assert_eq!(seeds.len(), 12);
+        assert!(seeds.iter().all(|(_, v)| *v == 500));
+    }
+
+    #[test]
+    fn ridesharing_needs_no_seeds_and_maps_clients_round_robin() {
+        let w = RidesharingWorkload::new(domains(4), 10, 0.0, 1);
+        assert!(Workload::seed_accounts(&w, DomainId::new(1, 0)).is_empty());
+        assert_eq!(Workload::home_of(&w, 0), DomainId::new(1, 0));
+        assert_eq!(Workload::home_of(&w, 5), DomainId::new(1, 1));
+    }
+
+    #[test]
+    fn both_workloads_are_usable_as_trait_objects() {
+        let mut boxed: Vec<Box<dyn Workload>> = vec![
+            Box::new(MicropaymentWorkload::new(
+                WorkloadConfig {
+                    edge_domains: domains(2),
+                    ..WorkloadConfig::default()
+                },
+                4,
+                2,
+            )),
+            Box::new(RidesharingWorkload::new(domains(2), 4, 0.0, 2)),
+        ];
+        for w in &mut boxed {
+            let home = w.home_of(0);
+            let (tx, submit_to) = w.next_for_client(0);
+            assert_eq!(submit_to, home);
+            assert!(tx.involved_domains().contains(&home));
+        }
+    }
+}

@@ -14,9 +14,7 @@ use saguaro::core::{ProtocolConfig, SaguaroMsg, SaguaroNode};
 use saguaro::hierarchy::{Placement, TopologyBuilder};
 use saguaro::net::{Addr, CpuProfile, LatencyMatrix, Simulation};
 use saguaro::types::transaction::account_key;
-use saguaro::types::{
-    ClientId, DomainId, FailureModel, Operation, SimTime, Transaction, TxId,
-};
+use saguaro::types::{ClientId, DomainId, FailureModel, Operation, SimTime, Transaction, TxId};
 use std::sync::Arc;
 
 fn main() {
@@ -54,7 +52,11 @@ fn main() {
             continue;
         }
         for node in tree.nodes_of(domain.id).expect("nodes") {
-            sim.inject(Addr::Client(ClientId(u64::MAX)), node, SaguaroMsg::RoundTimer);
+            sim.inject(
+                Addr::Client(ClientId(u64::MAX)),
+                node,
+                SaguaroMsg::RoundTimer,
+            );
         }
     }
 

@@ -11,7 +11,7 @@
 //! cargo run --release --example mobile_roaming
 //! ```
 
-use saguaro::sim::{experiment, ExperimentSpec, ProtocolKind};
+use saguaro::{ExperimentSpec, ProtocolKind};
 
 fn main() {
     println!("mobility cost under the mobile consensus protocol (nearby regions, CFT):\n");
@@ -24,7 +24,7 @@ fn main() {
         let spec = ExperimentSpec::new(ProtocolKind::SaguaroCoordinator)
             .mobile(mobile)
             .load(2_500.0);
-        let m = experiment::run(&spec);
+        let m = spec.run();
         println!(
             "{:<12} {:>14.0} {:>14.2} {:>12.2}",
             format!("{}%", (mobile * 100.0) as u32),

@@ -6,7 +6,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use saguaro::sim::{experiment, ExperimentSpec, ProtocolKind};
+use saguaro::{ExperimentSpec, ProtocolKind};
 
 fn main() {
     // Four height-1 (edge server) domains in four nearby European regions,
@@ -17,7 +17,7 @@ fn main() {
         .load(3_000.0);
 
     println!("deploying Saguaro (coordinator-based) on the nearby-region topology ...");
-    let metrics = experiment::run(&spec);
+    let metrics = spec.run();
 
     println!("offered load     : {:>10.0} tx/s", metrics.offered_tps);
     println!("throughput       : {:>10.0} tx/s", metrics.throughput_tps);
@@ -30,7 +30,7 @@ fn main() {
     let optimistic = ExperimentSpec::new(ProtocolKind::SaguaroOptimistic)
         .cross_domain(0.2)
         .load(3_000.0);
-    let opt_metrics = experiment::run(&optimistic);
+    let opt_metrics = optimistic.run();
     println!(
         "\noptimistic protocol at the same load: {:.0} tx/s @ {:.2} ms avg latency",
         opt_metrics.throughput_tps, opt_metrics.avg_latency_ms

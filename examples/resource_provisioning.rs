@@ -65,7 +65,11 @@ fn main() {
         let key = format!("usage/{tenant}");
         let total = cloud_view.sum(&key);
         let worst = cloud_view.max(&key);
-        let flag = if total > 600 { "  <-- over-usage detected" } else { "" };
+        let flag = if total > 600 {
+            "  <-- over-usage detected"
+        } else {
+            ""
+        };
         println!(
             "  {tenant:<16} total {total:>5}  (peak {:?}){flag}",
             worst.map(|(d, v)| format!("{v} in {d}"))

@@ -16,6 +16,13 @@
 //! * [`workload`] — micropayment / ridesharing workload generators.
 //! * [`sim`] — the experiment harness regenerating the paper's figures.
 //!
+//! The experiment engine's entry points are additionally re-exported at the
+//! crate root: describe a run with an [`ExperimentSpec`] (protocol ×
+//! workload × placement × failure model), execute it with
+//! [`ExperimentSpec::run`] or generically with [`run_experiment`], and plug
+//! in new protocols/applications via [`ProtocolStack`] and
+//! [`workload::Workload`].
+//!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system inventory.
 
 #![forbid(unsafe_code)]
@@ -30,3 +37,8 @@ pub use saguaro_net as net;
 pub use saguaro_sim as sim;
 pub use saguaro_types as types;
 pub use saguaro_workload as workload;
+
+pub use saguaro_sim::{
+    run_experiment, AhlStack, CoordinatorStack, ExperimentSpec, LoadPoint, OptimisticStack,
+    ProtocolKind, ProtocolStack, RidesharingConfig, RunMetrics, SharperStack, WorkloadKind,
+};

@@ -1,0 +1,71 @@
+//! The acceptance tests of the protocol-agnostic engine: one generic
+//! `run_experiment::<P>` drives all four stacks, and both the micropayment
+//! and ridesharing applications commit transactions through it.
+
+use saguaro::sim::{
+    run_experiment, AhlStack, CoordinatorStack, ExperimentSpec, OptimisticStack, ProtocolKind,
+    RidesharingConfig, SharperStack,
+};
+
+#[test]
+fn one_generic_engine_drives_all_four_stacks() {
+    let spec = |p| ExperimentSpec::new(p).quick().cross_domain(0.4).load(600.0);
+    let coordinator = run_experiment::<CoordinatorStack>(&spec(ProtocolKind::SaguaroCoordinator));
+    let optimistic = run_experiment::<OptimisticStack>(&spec(ProtocolKind::SaguaroOptimistic));
+    let ahl = run_experiment::<AhlStack>(&spec(ProtocolKind::Ahl));
+    let sharper = run_experiment::<SharperStack>(&spec(ProtocolKind::Sharper));
+    for (label, m) in [
+        ("coordinator", &coordinator),
+        ("optimistic", &optimistic),
+        ("ahl", &ahl),
+        ("sharper", &sharper),
+    ] {
+        assert!(m.committed > 30, "{label} committed only {}", m.committed);
+        assert!(m.avg_latency_ms > 0.0, "{label} has no measured latency");
+    }
+}
+
+#[test]
+fn micropayment_and_ridesharing_share_the_engine() {
+    let micropayment = ExperimentSpec::new(ProtocolKind::SaguaroCoordinator)
+        .quick()
+        .load(500.0)
+        .run();
+    let ridesharing = ExperimentSpec::new(ProtocolKind::SaguaroCoordinator)
+        .ridesharing(RidesharingConfig::default())
+        .quick()
+        .load(500.0)
+        .run();
+    assert!(
+        micropayment.committed > 20,
+        "micropayment: {micropayment:?}"
+    );
+    assert!(ridesharing.committed > 20, "ridesharing: {ridesharing:?}");
+}
+
+#[test]
+fn ridesharing_commits_under_a_baseline_stack_as_well() {
+    // Internal-only rides (no roaming: the baselines have no mobile path).
+    let metrics = ExperimentSpec::new(ProtocolKind::Sharper)
+        .ridesharing(RidesharingConfig {
+            drivers_per_domain: 32,
+            roaming_ratio: 0.0,
+        })
+        .quick()
+        .load(500.0)
+        .run();
+    assert!(metrics.committed > 20, "{metrics:?}");
+}
+
+#[test]
+fn roaming_rides_commit_via_mobile_consensus_under_saguaro() {
+    let metrics = ExperimentSpec::new(ProtocolKind::SaguaroCoordinator)
+        .ridesharing(RidesharingConfig {
+            drivers_per_domain: 32,
+            roaming_ratio: 0.3,
+        })
+        .quick()
+        .load(400.0)
+        .run();
+    assert!(metrics.committed > 10, "{metrics:?}");
+}

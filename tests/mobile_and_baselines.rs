@@ -95,7 +95,8 @@ fn mobile_device_transacts_in_remote_domain_after_one_state_transfer() {
         assert!(n.ledger().contains(TxId(2_000)));
         assert!(n.ledger().contains(TxId(2_002)));
         assert_eq!(
-            n.blockchain_state().balance(&account_key(home.index, device.0)),
+            n.blockchain_state()
+                .balance(&account_key(home.index, device.0)),
             1_000 - 150,
             "device balance not debited remotely"
         );
@@ -190,13 +191,19 @@ fn ahl_commits_internal_and_cross_shard_transactions() {
 
     with_baseline(&mut sim, primary(d0), |n| {
         assert!(n.ledger().contains(TxId(1)));
-        assert!(n.ledger().contains(TxId(2)), "AHL cross-shard tx missing at d0");
+        assert!(
+            n.ledger().contains(TxId(2)),
+            "AHL cross-shard tx missing at d0"
+        );
         assert_eq!(n.stats().internal_committed, 1);
         assert_eq!(n.stats().cross_committed, 1);
         assert_eq!(n.blockchain_state().balance(&account_key(0, 2)), 960);
     });
     with_baseline(&mut sim, primary(d1), |n| {
-        assert!(n.ledger().contains(TxId(2)), "AHL cross-shard tx missing at d1");
+        assert!(
+            n.ledger().contains(TxId(2)),
+            "AHL cross-shard tx missing at d1"
+        );
         assert_eq!(n.blockchain_state().balance(&account_key(1, 3)), 1_040);
     });
 }

@@ -44,7 +44,11 @@ fn build(
             continue;
         }
         for node in tree.nodes_of(domain.id).expect("nodes") {
-            sim.inject(Addr::Client(ClientId(u64::MAX)), node, SaguaroMsg::RoundTimer);
+            sim.inject(
+                Addr::Client(ClientId(u64::MAX)),
+                node,
+                SaguaroMsg::RoundTimer,
+            );
         }
     }
     (sim, tree)
@@ -106,7 +110,10 @@ fn internal_transactions_commit_on_every_replica_and_preserve_balances() {
         assert_eq!(supply, 8_000, "supply not conserved on {node:?}");
         orders.push(order);
     }
-    assert!(orders.windows(2).all(|w| w[0] == w[1]), "replicas disagree on order");
+    assert!(
+        orders.windows(2).all(|w| w[0] == w[1]),
+        "replicas disagree on order"
+    );
 }
 
 #[test]

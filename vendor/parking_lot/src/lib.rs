@@ -1,0 +1,63 @@
+//! Offline stand-in for `parking_lot`, backed by `std::sync`.
+//!
+//! Only [`Mutex`] is provided (the workspace uses nothing else).  Like the
+//! real `parking_lot`, `lock()` does not return a poison `Result`; a
+//! poisoned inner lock panics, which matches the workspace's single-threaded
+//! simulation use where poisoning cannot occur.
+
+#![forbid(unsafe_code)]
+
+use std::sync::{Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+/// Mutual exclusion primitive with the `parking_lot` API shape.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(StdMutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex protecting `value`.
+    pub fn new(value: T) -> Self {
+        Self(StdMutex::new(value))
+    }
+
+    /// Consumes the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().expect("mutex poisoned")
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard(self.0.lock().expect("mutex poisoned"))
+    }
+}
+
+/// RAII guard returned by [`Mutex::lock`].
+pub struct MutexGuard<'a, T: ?Sized>(StdMutexGuard<'a, T>);
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+
+    #[test]
+    fn lock_guards_mutation_and_derefs_to_inner() {
+        let m = Mutex::new(Vec::new());
+        m.lock().push(1);
+        m.lock().push(2);
+        assert_eq!(&*m.lock(), &[1, 2]);
+        assert_eq!(m.into_inner(), vec![1, 2]);
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! Nothing in the build environment serializes data (there is no
+//! `serde_json` either), but the workspace types carry `Serialize` /
+//! `Deserialize` derives so downstream users with the real `serde` get
+//! working impls.  Offline, the traits are reduced to markers and the derive
+//! macros emit empty impls; swapping this stand-in for the real crates-io
+//! `serde` requires no source changes.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize {}

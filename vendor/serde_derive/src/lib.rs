@@ -1,0 +1,102 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace's `serde` stand-in reduces `Serialize` / `Deserialize` to
+//! marker traits (nothing in the build environment actually serializes), so
+//! the derives only have to emit `impl serde::Trait for Type {}` — including
+//! the type's generic parameters, parsed by hand since `syn` is unavailable
+//! offline.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// The derived type's name plus its generic parameter list (if any), e.g.
+/// `("Foo", Some("<T: Clone, 'a>"))`.
+fn parse_item(input: TokenStream) -> (String, Option<String>) {
+    let mut iter = input.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        let TokenTree::Ident(ident) = &tt else {
+            continue;
+        };
+        let kw = ident.to_string();
+        if kw != "struct" && kw != "enum" && kw != "union" {
+            continue;
+        }
+        let Some(TokenTree::Ident(name)) = iter.next() else {
+            panic!("derive input has no type name after `{kw}`");
+        };
+        // Collect `<...>` immediately following the name, tracking depth so
+        // nested generics like `HashMap<K, V>` in bounds don't end the list
+        // early.
+        let mut generics = String::new();
+        if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+            let mut depth = 0i32;
+            for tt in iter.by_ref() {
+                if let TokenTree::Punct(p) = &tt {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                generics.push_str(&tt.to_string());
+                generics.push(' ');
+                if depth == 0 {
+                    break;
+                }
+            }
+        }
+        let generics = (!generics.is_empty()).then_some(generics);
+        return (name.to_string(), generics);
+    }
+    panic!("derive input is not a struct, enum or union");
+}
+
+/// Strips bounds from a generic parameter list: `<T: Clone, 'a>` → `<T, 'a>`.
+fn generic_args(params: &str) -> String {
+    let inner = params.trim().trim_start_matches('<').trim_end_matches('>');
+    let mut args = Vec::new();
+    let mut depth = 0i32;
+    let mut current = String::new();
+    for c in inner.chars() {
+        match c {
+            '<' | '(' | '[' => depth += 1,
+            '>' | ')' | ']' => depth -= 1,
+            ',' if depth == 0 => {
+                args.push(std::mem::take(&mut current));
+                continue;
+            }
+            _ => {}
+        }
+        current.push(c);
+    }
+    if !current.trim().is_empty() {
+        args.push(current);
+    }
+    let names: Vec<String> = args
+        .iter()
+        .map(|a| a.split(':').next().unwrap_or("").trim().to_string())
+        .collect();
+    format!("<{}>", names.join(", "))
+}
+
+fn marker_impl(trait_path: &str, input: TokenStream) -> TokenStream {
+    let (name, generics) = parse_item(input);
+    let (params, args) = match &generics {
+        Some(g) => (g.clone(), generic_args(g)),
+        None => (String::new(), String::new()),
+    };
+    format!("impl{params} {trait_path} for {name}{args} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Emits `impl serde::Serialize for T {}`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl("serde::Serialize", input)
+}
+
+/// Emits `impl serde::Deserialize for T {}`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl("serde::Deserialize", input)
+}
