@@ -130,6 +130,8 @@ pub enum BaselineMsg {
 
     /// Internal progress timer (primary failure handling).
     ProgressTimer,
+    /// Flush timer for an under-full consensus batch (leader only).
+    BatchTimer,
 }
 
 impl MessageMeta for BaselineMsg {
@@ -137,10 +139,15 @@ impl MessageMeta for BaselineMsg {
         match self {
             BaselineMsg::ClientRequest(tx) => tx.payload_bytes(),
             BaselineMsg::Reply { .. } => 96,
-            BaselineMsg::Consensus(m) => match m {
-                ConsensusMsg::Paxos(_) => 240,
-                ConsensusMsg::Pbft(_) => 280,
-            },
+            // Flat per-message consensus cost plus a per-member increment for
+            // batched blocks (one-command blocks cost the legacy flat size).
+            BaselineMsg::Consensus(m) => {
+                let extra = 200 * m.extra_commands();
+                match m {
+                    ConsensusMsg::Paxos(_) => 240 + extra,
+                    ConsensusMsg::Pbft(_) => 280 + extra,
+                }
+            }
             BaselineMsg::CrossSubmit { tx } => tx.payload_bytes() + 48,
             BaselineMsg::TwoPcPrepare { tx, cert_sigs } => tx.payload_bytes() + 64 + 40 * cert_sigs,
             BaselineMsg::TwoPcVote { cert_sigs, .. } => 112 + 40 * cert_sigs,
@@ -148,7 +155,7 @@ impl MessageMeta for BaselineMsg {
             BaselineMsg::FlatAccept { tx, .. } => tx.payload_bytes() + 72,
             BaselineMsg::FlatEcho { .. } | BaselineMsg::FlatVote { .. } => 112,
             BaselineMsg::FlatCommit { cert_sigs, .. } => 96 + 40 * cert_sigs,
-            BaselineMsg::ProgressTimer => 0,
+            BaselineMsg::ProgressTimer | BaselineMsg::BatchTimer => 0,
         }
     }
 
@@ -159,7 +166,7 @@ impl MessageMeta for BaselineMsg {
             | BaselineMsg::TwoPcVote { cert_sigs, .. }
             | BaselineMsg::TwoPcDecision { cert_sigs, .. }
             | BaselineMsg::FlatCommit { cert_sigs, .. } => 1 + cert_sigs,
-            BaselineMsg::ProgressTimer => 0,
+            BaselineMsg::ProgressTimer | BaselineMsg::BatchTimer => 0,
             _ => 1,
         }
     }
@@ -205,5 +212,26 @@ mod tests {
         );
         assert_eq!(BaselineMsg::ProgressTimer.wire_bytes(), 0);
         assert!(BaselineMsg::ClientRequest(tx(1)).is_payload());
+    }
+
+    #[test]
+    fn batched_consensus_messages_grow_per_extra_member() {
+        use saguaro_consensus::{Batch, PaxosMsg};
+        let accept = |members: Vec<BCmd>| {
+            BaselineMsg::Consensus(ConsensusMsg::Paxos(PaxosMsg::Accept {
+                view: 0,
+                seq: 1,
+                cmd: Batch::new(members),
+            }))
+        };
+        let one = accept(vec![BCmd::Internal(tx(1))]);
+        let three = accept(vec![
+            BCmd::Internal(tx(1)),
+            BCmd::Internal(tx(2)),
+            BCmd::Internal(tx(3)),
+        ]);
+        assert_eq!(one.wire_bytes(), 240);
+        assert_eq!(three.wire_bytes(), 240 + 2 * 200);
+        assert!(three.wire_bytes() < 3 * one.wire_bytes());
     }
 }

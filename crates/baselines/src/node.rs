@@ -1,13 +1,13 @@
 //! The baseline replica node (AHL shard / AHL committee / SharPer shard).
 
 use crate::messages::{BCmd, BaselineMsg, BaselineRole};
-use saguaro_consensus::{ConsensusMsg, ConsensusReplica, Step};
+use saguaro_consensus::{Batch, ConsensusMsg, ConsensusReplica, Step};
 use saguaro_core::exec::execute_in_domain;
 use saguaro_hierarchy::HierarchyTree;
 use saguaro_ledger::{BlockchainState, LinearLedger, TxStatus};
 use saguaro_net::{Actor, Addr, Context, TimerId};
 use saguaro_types::{
-    DomainId, FailureModel, MultiSeq, NodeId, QuorumSpec, SeqNo, Transaction, TxId,
+    BatchConfig, DomainId, FailureModel, MultiSeq, NodeId, QuorumSpec, SeqNo, Transaction, TxId,
 };
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
@@ -60,23 +60,40 @@ pub struct BaselineNode {
     /// Cross-shard transactions seen in a prepare/accept, kept so later
     /// phases can re-propose them locally.
     prepared_cache: HashMap<TxId, Transaction>,
+    /// Batching knobs of the internal consensus.
+    batch: BatchConfig,
+    /// Pending flush timer for an under-full consensus batch (leader only).
+    batch_timer: Option<TimerId>,
     /// Statistics for the harness.
     pub stats: BaselineStats,
 }
 
 impl BaselineNode {
-    /// Creates a baseline replica.  `committee` names the AHL reference
-    /// committee domain (ignored for SharPer shards).
+    /// Creates a baseline replica with batching disabled.  `committee` names
+    /// the AHL reference committee domain (ignored for SharPer shards).
     pub fn new(
         id: NodeId,
         role: BaselineRole,
         tree: Arc<HierarchyTree>,
         committee: DomainId,
     ) -> Self {
+        Self::with_batching(id, role, tree, committee, BatchConfig::unbatched())
+    }
+
+    /// Creates a baseline replica whose internal consensus cuts blocks
+    /// according to `batch` (so batched Saguaro is compared against equally
+    /// batched baselines).
+    pub fn with_batching(
+        id: NodeId,
+        role: BaselineRole,
+        tree: Arc<HierarchyTree>,
+        committee: DomainId,
+        batch: BatchConfig,
+    ) -> Self {
         let cfg = tree.config(id.domain).expect("domain exists");
         let quorum = cfg.quorum;
         let peers = tree.nodes_of(id.domain).expect("domain has nodes");
-        let consensus = ConsensusReplica::new(id, peers.clone(), quorum);
+        let consensus = ConsensusReplica::with_batching(id, peers.clone(), quorum, batch);
         Self {
             id,
             role,
@@ -92,6 +109,8 @@ impl BaselineNode {
             flattened: HashMap::new(),
             flat_seq: 0,
             prepared_cache: HashMap::new(),
+            batch,
+            batch_timer: None,
             stats: BaselineStats::default(),
         }
     }
@@ -148,11 +167,30 @@ impl BaselineNode {
     fn propose(&mut self, cmd: BCmd, ctx: &mut Context<'_, BaselineMsg>) {
         let steps = self.consensus.propose(cmd);
         self.drive(steps, ctx);
+        self.sync_batch_timer(ctx);
+    }
+
+    /// Keeps the batch flush timer consistent with the batcher (see
+    /// [`saguaro_core::batching::sync_flush_timer`]).
+    fn sync_batch_timer(&mut self, ctx: &mut Context<'_, BaselineMsg>) {
+        saguaro_core::batching::sync_flush_timer(
+            &self.consensus,
+            &mut self.batch_timer,
+            self.batch.max_delay,
+            BaselineMsg::BatchTimer,
+            ctx,
+        );
+    }
+
+    fn on_batch_timer(&mut self, ctx: &mut Context<'_, BaselineMsg>) {
+        self.batch_timer = None;
+        let steps = self.consensus.flush();
+        self.drive(steps, ctx);
     }
 
     fn drive(
         &mut self,
-        steps: Vec<Step<BCmd, ConsensusMsg<BCmd>>>,
+        steps: Vec<Step<Batch<BCmd>, ConsensusMsg<BCmd>>>,
         ctx: &mut Context<'_, BaselineMsg>,
     ) {
         for step in steps {
@@ -161,7 +199,11 @@ impl BaselineNode {
                 Step::Broadcast { msg } => {
                     ctx.multicast(self.other_peers(), BaselineMsg::Consensus(msg));
                 }
-                Step::Deliver { command, .. } => self.apply(command, ctx),
+                Step::Deliver { command, .. } => {
+                    for cmd in command {
+                        self.apply(cmd, ctx);
+                    }
+                }
                 Step::ViewChanged { .. } => {}
             }
         }
@@ -545,6 +587,7 @@ impl Actor<BaselineMsg> for BaselineNode {
             BaselineMsg::FlatEcho { tx_id, domain } => self.on_flat_echo(tx_id, domain, from, ctx),
             BaselineMsg::FlatVote { tx_id, domain } => self.on_flat_vote(tx_id, domain, from, ctx),
             BaselineMsg::FlatCommit { tx_id, .. } => self.on_flat_commit(tx_id, ctx),
+            BaselineMsg::BatchTimer => self.on_batch_timer(ctx),
             BaselineMsg::Reply { .. } | BaselineMsg::ProgressTimer => {}
         }
     }
@@ -554,9 +597,13 @@ impl Actor<BaselineMsg> for BaselineNode {
     }
 
     fn on_timer(&mut self, _id: TimerId, msg: BaselineMsg, ctx: &mut Context<'_, BaselineMsg>) {
-        if let BaselineMsg::ProgressTimer = msg {
-            let steps = self.consensus.on_progress_timeout();
-            self.drive(steps, ctx);
+        match msg {
+            BaselineMsg::ProgressTimer => {
+                let steps = self.consensus.on_progress_timeout();
+                self.drive(steps, ctx);
+            }
+            BaselineMsg::BatchTimer => self.on_batch_timer(ctx),
+            _ => {}
         }
     }
 }

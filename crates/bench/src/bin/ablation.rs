@@ -1,24 +1,31 @@
 //! Ablation studies listed in DESIGN.md: LCA vs fixed-root coordinator and
-//! the effect of contention on the optimistic protocol.
+//! the effect of contention on the optimistic protocol.  (The batching
+//! ablation has its own binary, `ablation_batch`.)
 
-use saguaro_bench::{emit, options_from_args};
+use saguaro_bench::{emit, json_path_from_args, options_from_args, JsonReport};
 use saguaro_sim::figures::{ablation_contention, ablation_lca_vs_root, render_table};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let options = options_from_args(&args);
+    let mut report = JsonReport::new();
+    let lca = ablation_lca_vs_root(&options);
     emit(
         "ablation-lca",
         render_table(
             "Ablation: LCA coordinator vs fixed root coordinator (100% cross-domain)",
-            &ablation_lca_vs_root(&options),
+            &lca,
         ),
     );
+    report.add_series("ablation_lca_vs_root", &lca);
+    let contention = ablation_contention(&options);
     emit(
         "ablation-contention",
         render_table(
             "Ablation: contention sensitivity of the optimistic protocol (80% cross-domain)",
-            &ablation_contention(&options),
+            &contention,
         ),
     );
+    report.add_series("ablation_contention", &contention);
+    report.write_if_requested(json_path_from_args(&args).as_ref());
 }

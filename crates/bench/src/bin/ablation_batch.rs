@@ -1,0 +1,62 @@
+//! Batching ablation: consensus block size vs committed throughput at
+//! saturation, on the figure-7 topology, for all four protocol stacks.
+//!
+//! ```text
+//! cargo run --release -p saguaro-bench --bin ablation_batch -- \
+//!     [--quick] [--seed N] [--json BENCH_results.json]
+//! ```
+//!
+//! Prints one table with a `<stack> b=<max_batch>` series per configuration
+//! plus a summary of the batched-vs-unbatched throughput delta per stack;
+//! with `--json` the series and the deltas are also written as a
+//! machine-readable trajectory.
+
+use saguaro_bench::{emit, json_path_from_args, options_from_args, JsonReport};
+use saguaro_sim::figures::{ablation_batch, batch_throughput_delta, render_table};
+use saguaro_sim::json::JsonValue;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let options = options_from_args(&args);
+    let json_path = json_path_from_args(&args);
+
+    let series = ablation_batch(&options);
+    emit(
+        "ablation-batch",
+        render_table(
+            "Ablation: consensus block size (request batching) at saturation, \
+             figure-7 topology",
+            &series,
+        ),
+    );
+
+    let deltas = batch_throughput_delta(&series);
+    println!("# Batched vs unbatched committed throughput (highest load)");
+    println!(
+        "{:<22} {:>14} {:>14} {:>10}",
+        "stack", "b=1 tps", "batched tps", "delta"
+    );
+    for (stack, unbatched, batched, pct) in &deltas {
+        println!("{stack:<22} {unbatched:>14.0} {batched:>14.0} {pct:>+9.1}%");
+    }
+
+    let mut report = JsonReport::new();
+    report.add_series("ablation_batch", &series);
+    report.add_value(
+        "batch_throughput_delta",
+        JsonValue::Array(
+            deltas
+                .iter()
+                .map(|(stack, unbatched, batched, pct)| {
+                    JsonValue::object([
+                        ("stack", JsonValue::Str(stack.clone())),
+                        ("unbatched_tps", JsonValue::Num(*unbatched)),
+                        ("batched_tps", JsonValue::Num(*batched)),
+                        ("delta_pct", JsonValue::Num(*pct)),
+                    ])
+                })
+                .collect(),
+        ),
+    );
+    report.write_if_requested(json_path.as_ref());
+}

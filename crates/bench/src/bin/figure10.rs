@@ -1,16 +1,21 @@
 //! Regenerates Figure 10: scalability over wide-area domains (seven far-apart
 //! regions, 90 % internal / 10 % cross-domain).
 
-use saguaro_bench::{emit, options_from_args};
+use saguaro_bench::{emit, json_path_from_args, options_from_args, JsonReport};
 use saguaro_sim::figures::{figure10, render_table};
 use saguaro_types::FailureModel;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let options = options_from_args(&args);
-    for (model, label) in [
-        (FailureModel::Crash, "(a) crash-only"),
-        (FailureModel::Byzantine, "(b) Byzantine"),
+    let mut report = JsonReport::new();
+    for (model, label, tag) in [
+        (FailureModel::Crash, "(a) crash-only", "figure10a_crash"),
+        (
+            FailureModel::Byzantine,
+            "(b) Byzantine",
+            "figure10b_byzantine",
+        ),
     ] {
         let series = figure10(model, &options);
         emit(
@@ -20,5 +25,7 @@ fn main() {
                 &series,
             ),
         );
+        report.add_series(tag, &series);
     }
+    report.write_if_requested(json_path_from_args(&args).as_ref());
 }

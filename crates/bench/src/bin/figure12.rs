@@ -1,14 +1,18 @@
 //! Regenerates Figure 12: fault-tolerance scalability with crash-only domains
 //! of 5 (f = 2) and 9 (f = 4) replicas, single region, 90/10 workload.
 
-use saguaro_bench::{emit, options_from_args};
+use saguaro_bench::{emit, json_path_from_args, options_from_args, JsonReport};
 use saguaro_sim::figures::{figure_ft, render_table};
 use saguaro_types::FailureModel;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let options = options_from_args(&args);
-    for (faults, label) in [(2, "(a) |p| = 5"), (4, "(b) |p| = 9")] {
+    let mut report = JsonReport::new();
+    for (faults, label, tag) in [
+        (2, "(a) |p| = 5", "figure12a_f2"),
+        (4, "(b) |p| = 9", "figure12b_f4"),
+    ] {
         let series = figure_ft(FailureModel::Crash, faults, &options);
         emit(
             "figure12",
@@ -17,5 +21,7 @@ fn main() {
                 &series,
             ),
         );
+        report.add_series(tag, &series);
     }
+    report.write_if_requested(json_path_from_args(&args).as_ref());
 }

@@ -2,13 +2,18 @@
 //! nearby regions — 20 %, 80 % and 100 % cross-domain sub-figures, six curves
 //! each (AHL, SharPer, Coordinator, Opt-10/50/90 %C).
 
-use saguaro_bench::{emit, options_from_args};
+use saguaro_bench::{emit, json_path_from_args, options_from_args, JsonReport};
 use saguaro_sim::figures::{figure7, render_table};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let options = options_from_args(&args);
-    for (pct, label) in [(0.2, "(a) 20%"), (0.8, "(b) 80%"), (1.0, "(c) 100%")] {
+    let mut report = JsonReport::new();
+    for (pct, label, tag) in [
+        (0.2, "(a) 20%", "figure7a_20pct"),
+        (0.8, "(b) 80%", "figure7b_80pct"),
+        (1.0, "(c) 100%", "figure7c_100pct"),
+    ] {
         let series = figure7(pct, &options);
         emit(
             "figure7",
@@ -17,5 +22,7 @@ fn main() {
                 &series,
             ),
         );
+        report.add_series(tag, &series);
     }
+    report.write_if_requested(json_path_from_args(&args).as_ref());
 }

@@ -1,13 +1,18 @@
 //! Regenerates Figure 8: cross-domain transactions over Byzantine domains in
 //! nearby regions.
 
-use saguaro_bench::{emit, options_from_args};
+use saguaro_bench::{emit, json_path_from_args, options_from_args, JsonReport};
 use saguaro_sim::figures::{figure8, render_table};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let options = options_from_args(&args);
-    for (pct, label) in [(0.2, "(a) 20%"), (0.8, "(b) 80%"), (1.0, "(c) 100%")] {
+    let mut report = JsonReport::new();
+    for (pct, label, tag) in [
+        (0.2, "(a) 20%", "figure8a_20pct"),
+        (0.8, "(b) 80%", "figure8b_80pct"),
+        (1.0, "(c) 100%", "figure8c_100pct"),
+    ] {
         let series = figure8(pct, &options);
         emit(
             "figure8",
@@ -16,5 +21,7 @@ fn main() {
                 &series,
             ),
         );
+        report.add_series(tag, &series);
     }
+    report.write_if_requested(json_path_from_args(&args).as_ref());
 }

@@ -8,11 +8,20 @@
 //! * a Criterion bench (`cargo bench -p saguaro-bench`) that measures one
 //!   representative configuration so regressions in protocol cost show up in
 //!   CI without re-running the whole sweep.
+//!
+//! The batching ablation has its own binary
+//! (`cargo run --release -p saguaro-bench --bin ablation_batch`).
+//!
+//! All binaries accept `--json <path>`: besides the printed tables, the run's
+//! series (and any extra sections the binary adds) are written to `<path>` as
+//! a machine-readable `BENCH_results.json` trajectory.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use saguaro_sim::figures::FigureOptions;
+use saguaro_sim::figures::{FigureOptions, FigureSeries};
+use saguaro_sim::json::{JsonValue, ToJson};
+use std::path::PathBuf;
 
 /// Parses the common command-line options of the figure binaries.
 ///
@@ -35,6 +44,56 @@ pub fn options_from_args(args: &[String]) -> FigureOptions {
     options
 }
 
+/// Parses the `--json <path>` flag shared by the figure/ablation binaries.
+pub fn json_path_from_args(args: &[String]) -> Option<PathBuf> {
+    args.iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+}
+
+/// Accumulates the sections of a machine-readable benchmark report and
+/// writes them as one JSON object (the `BENCH_results.json` trajectory).
+#[derive(Default)]
+pub struct JsonReport {
+    sections: Vec<(String, JsonValue)>,
+}
+
+impl JsonReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a named set of figure series.
+    pub fn add_series(&mut self, name: &str, series: &[FigureSeries]) {
+        self.sections.push((name.to_string(), series.to_json()));
+    }
+
+    /// Adds an arbitrary pre-built JSON section.
+    pub fn add_value(&mut self, name: &str, value: JsonValue) {
+        self.sections.push((name.to_string(), value));
+    }
+
+    /// Renders the report as a single JSON object.
+    pub fn render(&self) -> String {
+        JsonValue::Object(self.sections.clone()).render()
+    }
+
+    /// Writes the report to `path` when the `--json` flag asked for one.
+    /// I/O errors are reported on stderr but do not abort the binary (the
+    /// printed tables are the primary output).
+    pub fn write_if_requested(&self, path: Option<&PathBuf>) {
+        let Some(path) = path else {
+            return;
+        };
+        match std::fs::write(path, self.render()) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+        }
+    }
+}
+
 /// Prints a rendered figure table to stdout with a separating banner.
 pub fn emit(title: &str, table: String) {
     println!("{}", "=".repeat(78));
@@ -54,5 +113,24 @@ mod tests {
         let opts = options_from_args(&[]);
         assert!(!opts.quick);
         assert_eq!(opts.seed, 42);
+    }
+
+    #[test]
+    fn json_flag_is_parsed() {
+        assert_eq!(json_path_from_args(&[]), None);
+        assert_eq!(
+            json_path_from_args(&["--json".into(), "out.json".into()]),
+            Some(PathBuf::from("out.json"))
+        );
+        // A trailing --json without a path is ignored.
+        assert_eq!(json_path_from_args(&["--json".into()]), None);
+    }
+
+    #[test]
+    fn report_renders_sections_in_order() {
+        let mut report = JsonReport::new();
+        report.add_value("a", JsonValue::Num(1.0));
+        report.add_series("b", &[]);
+        assert_eq!(report.render(), "{\"a\":1,\"b\":[]}");
     }
 }

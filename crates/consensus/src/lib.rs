@@ -18,15 +18,20 @@
 //! * [`replica`] — a small dispatch wrapper ([`replica::ConsensusReplica`])
 //!   that lets higher layers hold "whatever protocol this domain runs" as a
 //!   single type.
+//! * [`batch`] — request batching: the protocols order [`batch::Batch`]es
+//!   (blocks) of commands; the leader-side [`batch::Batcher`] cuts blocks by
+//!   size or age according to a [`batch::BatchConfig`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod interface;
 pub mod paxos;
 pub mod pbft;
 pub mod replica;
 
+pub use batch::{Batch, BatchConfig, Batcher};
 pub use interface::{Command, Step};
 pub use paxos::{PaxosMsg, PaxosReplica};
 pub use pbft::{PbftMsg, PbftReplica};

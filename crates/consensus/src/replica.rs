@@ -5,19 +5,28 @@
 //! the domain is crash-only or Byzantine: proposing, message handling and
 //! timeouts are forwarded to the protocol selected by the domain's failure
 //! model, and wire messages travel as [`ConsensusMsg`].
+//!
+//! The wrapper is also where request batching lives: the underlying Paxos /
+//! PBFT state machines order [`Batch`]es of commands (digest = Merkle root
+//! over the member digests), and the leader-side [`Batcher`] accumulates
+//! commands handed to [`ConsensusReplica::propose`] until a block is cut by
+//! size or — via the adapter's flush timer calling
+//! [`ConsensusReplica::flush`] — by age.  Every [`Step::Deliver`] therefore
+//! hands back a whole batch; consumers unpack it into per-command execution.
 
+use crate::batch::{Batch, BatchConfig, Batcher};
 use crate::interface::{Command, Step};
 use crate::paxos::{PaxosMsg, PaxosReplica};
 use crate::pbft::{PbftMsg, PbftReplica};
 use saguaro_types::{FailureModel, NodeId, QuorumSpec, SeqNo};
 
-/// Wire message of either protocol.
+/// Wire message of either protocol, carrying batches of commands.
 #[derive(Clone, Debug, PartialEq)]
 pub enum ConsensusMsg<C> {
     /// A Multi-Paxos message (crash-only domains).
-    Paxos(PaxosMsg<C>),
+    Paxos(PaxosMsg<Batch<C>>),
     /// A PBFT message (Byzantine domains).
-    Pbft(PbftMsg<C>),
+    Pbft(PbftMsg<Batch<C>>),
 }
 
 impl<C> ConsensusMsg<C> {
@@ -25,7 +34,9 @@ impl<C> ConsensusMsg<C> {
     ///
     /// Crash-only domains exchange unsigned messages inside the domain; BFT
     /// messages carry one signature each (view changes carry certificates,
-    /// approximated as `1 + prepared entries`).
+    /// approximated as `1 + prepared entries`).  Batching does not change
+    /// the count: a block is certified as one unit, which is exactly why it
+    /// amortises the per-command verification cost.
     pub fn signature_count(&self) -> usize {
         match self {
             ConsensusMsg::Paxos(_) => 0,
@@ -36,65 +47,169 @@ impl<C> ConsensusMsg<C> {
             },
         }
     }
+
+    /// Member commands carried beyond one per block.
+    ///
+    /// Wire-size models charge a per-member increment on top of the legacy
+    /// single-command message size, so an unbatched deployment
+    /// (`max_batch = 1`, every block a single command) costs exactly what it
+    /// did before batching existed.
+    pub fn extra_commands(&self) -> usize {
+        let batch_extra = |b: &Batch<C>| b.len().saturating_sub(1);
+        match self {
+            ConsensusMsg::Paxos(m) => match m {
+                PaxosMsg::Accept { cmd, .. } => batch_extra(cmd),
+                PaxosMsg::ViewChange { accepted, .. } => {
+                    accepted.iter().map(|(_, _, b)| batch_extra(b)).sum()
+                }
+                PaxosMsg::NewView { log, .. } => log.iter().map(|(_, b)| batch_extra(b)).sum(),
+                PaxosMsg::Accepted { .. } | PaxosMsg::Learn { .. } => 0,
+            },
+            ConsensusMsg::Pbft(m) => match m {
+                PbftMsg::PrePrepare { cmd, .. } => batch_extra(cmd),
+                PbftMsg::ViewChange { prepared, .. } => {
+                    prepared.iter().map(|(_, _, b)| batch_extra(b)).sum()
+                }
+                PbftMsg::NewView { log, .. } => log.iter().map(|(_, b)| batch_extra(b)).sum(),
+                PbftMsg::Prepare { .. } | PbftMsg::Commit { .. } | PbftMsg::Checkpoint { .. } => 0,
+            },
+        }
+    }
+}
+
+/// The protocol state machine a replica runs, ordering whole batches.
+#[derive(Clone, Debug)]
+enum Engine<C> {
+    Paxos(PaxosReplica<Batch<C>>),
+    Pbft(PbftReplica<Batch<C>>),
 }
 
 /// A replica of one domain running whichever protocol the domain's failure
-/// model requires.
+/// model requires, plus the leader-side request batcher.
 #[derive(Clone, Debug)]
-pub enum ConsensusReplica<C> {
-    /// Multi-Paxos replica.
-    Paxos(PaxosReplica<C>),
-    /// PBFT replica.
-    Pbft(PbftReplica<C>),
+pub struct ConsensusReplica<C> {
+    engine: Engine<C>,
+    batcher: Batcher<C>,
 }
 
 impl<C: Command> ConsensusReplica<C> {
     /// Creates the appropriate replica for a domain with the given quorum
-    /// specification.
+    /// specification, with batching disabled (`max_batch = 1`).
     pub fn new(me: NodeId, replicas: Vec<NodeId>, quorum: QuorumSpec) -> Self {
-        match quorum.model {
-            FailureModel::Crash => Self::Paxos(PaxosReplica::new(me, replicas, quorum)),
-            FailureModel::Byzantine => Self::Pbft(PbftReplica::new(me, replicas, quorum)),
+        Self::with_batching(me, replicas, quorum, BatchConfig::unbatched())
+    }
+
+    /// Creates a replica whose leader cuts blocks according to `batch`.
+    pub fn with_batching(
+        me: NodeId,
+        replicas: Vec<NodeId>,
+        quorum: QuorumSpec,
+        batch: BatchConfig,
+    ) -> Self {
+        let engine = match quorum.model {
+            FailureModel::Crash => Engine::Paxos(PaxosReplica::new(me, replicas, quorum)),
+            FailureModel::Byzantine => Engine::Pbft(PbftReplica::new(me, replicas, quorum)),
+        };
+        Self {
+            engine,
+            batcher: Batcher::new(batch),
         }
+    }
+
+    /// True if the domain runs PBFT (Byzantine failure model).
+    pub fn is_byzantine(&self) -> bool {
+        matches!(self.engine, Engine::Pbft(_))
+    }
+
+    /// The batching knobs this replica runs with.
+    pub fn batch_config(&self) -> &BatchConfig {
+        self.batcher.config()
+    }
+
+    /// Commands accumulated by the leader but not yet cut into a block.
+    /// Non-zero only between a `propose` that left a block filling and the
+    /// next cut (by size) or [`ConsensusReplica::flush`] (by the adapter's
+    /// delay timer).
+    pub fn pending_commands(&self) -> usize {
+        self.batcher.pending()
     }
 
     /// The current view number.
     pub fn view(&self) -> u64 {
-        match self {
-            Self::Paxos(r) => r.view(),
-            Self::Pbft(r) => r.view(),
+        match &self.engine {
+            Engine::Paxos(r) => r.view(),
+            Engine::Pbft(r) => r.view(),
         }
     }
 
     /// The primary of the current view.
     pub fn primary(&self) -> NodeId {
-        match self {
-            Self::Paxos(r) => r.primary(),
-            Self::Pbft(r) => r.primary(),
+        match &self.engine {
+            Engine::Paxos(r) => r.primary(),
+            Engine::Pbft(r) => r.primary(),
         }
     }
 
     /// True if this replica is the primary of the current view.
     pub fn is_primary(&self) -> bool {
-        match self {
-            Self::Paxos(r) => r.is_primary(),
-            Self::Pbft(r) => r.is_primary(),
+        match &self.engine {
+            Engine::Paxos(r) => r.is_primary(),
+            Engine::Pbft(r) => r.is_primary(),
         }
     }
 
-    /// Last delivered sequence number.
+    /// Last delivered sequence number (counts blocks, not member commands).
     pub fn last_delivered(&self) -> SeqNo {
-        match self {
-            Self::Paxos(r) => r.last_delivered(),
-            Self::Pbft(r) => r.last_delivered(),
+        match &self.engine {
+            Engine::Paxos(r) => r.last_delivered(),
+            Engine::Pbft(r) => r.last_delivered(),
         }
     }
 
-    /// Proposes a command (no-op on non-primaries).
-    pub fn propose(&mut self, cmd: C) -> Vec<Step<C, ConsensusMsg<C>>> {
-        match self {
-            Self::Paxos(r) => wrap(r.propose(cmd), ConsensusMsg::Paxos),
-            Self::Pbft(r) => wrap(r.propose(cmd), ConsensusMsg::Pbft),
+    /// Hands a command to the leader-side batcher (no-op on non-primaries)
+    /// and drives consensus on the cut block, if the push completed one.
+    ///
+    /// When this returns no steps but [`ConsensusReplica::pending_commands`]
+    /// is non-zero, the adapter must arrange for
+    /// [`ConsensusReplica::flush`] to run within
+    /// [`BatchConfig::max_delay`].
+    pub fn propose(&mut self, cmd: C) -> Vec<Step<Batch<C>, ConsensusMsg<C>>> {
+        if !self.is_primary() {
+            return Vec::new();
+        }
+        match self.batcher.push(cmd) {
+            Some(batch) => self.propose_batch(batch),
+            None => Vec::new(),
+        }
+    }
+
+    /// Cuts and proposes whatever the batcher holds (the `max_delay` path).
+    ///
+    /// If the engine refuses the proposal — the flush timer raced a view
+    /// change that deposed (or is deposing) this leader — the commands are
+    /// put back into the batcher rather than destroyed: they are retried by
+    /// the next cut, and commit if this replica leads again.  (The
+    /// `propose` path deliberately keeps the legacy semantics instead — a
+    /// command handed to a mid-view-change leader is dropped, exactly as
+    /// the unbatched pipeline dropped it.)
+    pub fn flush(&mut self) -> Vec<Step<Batch<C>, ConsensusMsg<C>>> {
+        let Some(batch) = self.batcher.flush() else {
+            return Vec::new();
+        };
+        let retry = batch.clone();
+        let steps = self.propose_batch(batch);
+        if steps.is_empty() {
+            // The engine emits at least one Send/Broadcast for any accepted
+            // proposal; no steps means it refused the batch.
+            self.batcher.restore(retry);
+        }
+        steps
+    }
+
+    fn propose_batch(&mut self, batch: Batch<C>) -> Vec<Step<Batch<C>, ConsensusMsg<C>>> {
+        match &mut self.engine {
+            Engine::Paxos(r) => wrap(r.propose(batch), ConsensusMsg::Paxos),
+            Engine::Pbft(r) => wrap(r.propose(batch), ConsensusMsg::Pbft),
         }
     }
 
@@ -104,12 +219,12 @@ impl<C: Command> ConsensusReplica<C> {
         &mut self,
         from: NodeId,
         msg: ConsensusMsg<C>,
-    ) -> Vec<Step<C, ConsensusMsg<C>>> {
-        match (self, msg) {
-            (Self::Paxos(r), ConsensusMsg::Paxos(m)) => {
+    ) -> Vec<Step<Batch<C>, ConsensusMsg<C>>> {
+        match (&mut self.engine, msg) {
+            (Engine::Paxos(r), ConsensusMsg::Paxos(m)) => {
                 wrap(r.on_message(from, m), ConsensusMsg::Paxos)
             }
-            (Self::Pbft(r), ConsensusMsg::Pbft(m)) => {
+            (Engine::Pbft(r), ConsensusMsg::Pbft(m)) => {
                 wrap(r.on_message(from, m), ConsensusMsg::Pbft)
             }
             _ => Vec::new(),
@@ -117,15 +232,15 @@ impl<C: Command> ConsensusReplica<C> {
     }
 
     /// Progress timeout: suspect the primary if this replica is a backup.
-    pub fn on_progress_timeout(&mut self) -> Vec<Step<C, ConsensusMsg<C>>> {
-        match self {
-            Self::Paxos(r) => wrap(r.on_progress_timeout(), ConsensusMsg::Paxos),
-            Self::Pbft(r) => wrap(r.on_progress_timeout(), ConsensusMsg::Pbft),
+    pub fn on_progress_timeout(&mut self) -> Vec<Step<Batch<C>, ConsensusMsg<C>>> {
+        match &mut self.engine {
+            Engine::Paxos(r) => wrap(r.on_progress_timeout(), ConsensusMsg::Paxos),
+            Engine::Pbft(r) => wrap(r.on_progress_timeout(), ConsensusMsg::Pbft),
         }
     }
 }
 
-fn wrap<C, M, W>(steps: Vec<Step<C, M>>, f: impl Fn(M) -> W) -> Vec<Step<C, W>> {
+fn wrap<C, M, W>(steps: Vec<Step<Batch<C>, M>>, f: impl Fn(M) -> W) -> Vec<Step<Batch<C>, W>> {
     steps
         .into_iter()
         .map(|s| match s {
@@ -140,24 +255,32 @@ fn wrap<C, M, W>(steps: Vec<Step<C, M>>, f: impl Fn(M) -> W) -> Vec<Step<C, W>> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use saguaro_types::DomainId;
+    use saguaro_types::{DomainId, Duration};
     use std::collections::VecDeque;
 
     type Cmd = Vec<u8>;
 
-    fn domain(model: FailureModel, n: u16) -> (Vec<NodeId>, Vec<ConsensusReplica<Cmd>>) {
+    fn domain_with(
+        model: FailureModel,
+        n: u16,
+        batch: BatchConfig,
+    ) -> (Vec<NodeId>, Vec<ConsensusReplica<Cmd>>) {
         let d = DomainId::new(1, 0);
         let nodes: Vec<NodeId> = (0..n).map(|i| NodeId::new(d, i)).collect();
         let quorum = QuorumSpec::for_size(model, n as usize);
         let reps = nodes
             .iter()
-            .map(|id| ConsensusReplica::new(*id, nodes.clone(), quorum))
+            .map(|id| ConsensusReplica::with_batching(*id, nodes.clone(), quorum, batch))
             .collect();
         (nodes, reps)
     }
 
+    fn domain(model: FailureModel, n: u16) -> (Vec<NodeId>, Vec<ConsensusReplica<Cmd>>) {
+        domain_with(model, n, BatchConfig::unbatched())
+    }
+
     /// Per-origin initial protocol steps fed into the test network.
-    type InitialSteps = Vec<(usize, Vec<Step<Cmd, ConsensusMsg<Cmd>>>)>;
+    type InitialSteps = Vec<(usize, Vec<Step<Batch<Cmd>, ConsensusMsg<Cmd>>>)>;
 
     fn drive(
         nodes: &[NodeId],
@@ -168,7 +291,7 @@ mod tests {
         let mut queue: VecDeque<(usize, NodeId, ConsensusMsg<Cmd>)> = VecDeque::new();
         let idx = |id: NodeId| nodes.iter().position(|n| *n == id).unwrap();
         let handle = |o: usize,
-                      steps: Vec<Step<Cmd, ConsensusMsg<Cmd>>>,
+                      steps: Vec<Step<Batch<Cmd>, ConsensusMsg<Cmd>>>,
                       q: &mut VecDeque<(usize, NodeId, ConsensusMsg<Cmd>)>,
                       del: &mut Vec<Vec<Cmd>>| {
             for s in steps {
@@ -181,7 +304,7 @@ mod tests {
                             }
                         }
                     }
-                    Step::Deliver { command, .. } => del[o].push(command),
+                    Step::Deliver { command, .. } => del[o].extend(command.into_commands()),
                     Step::ViewChanged { .. } => {}
                 }
             }
@@ -199,9 +322,9 @@ mod tests {
     #[test]
     fn selects_protocol_from_failure_model() {
         let (_n, reps) = domain(FailureModel::Crash, 3);
-        assert!(matches!(reps[0], ConsensusReplica::Paxos(_)));
+        assert!(!reps[0].is_byzantine());
         let (_n, reps) = domain(FailureModel::Byzantine, 4);
-        assert!(matches!(reps[0], ConsensusReplica::Pbft(_)));
+        assert!(reps[0].is_byzantine());
     }
 
     #[test]
@@ -218,6 +341,70 @@ mod tests {
             assert!(reps.iter().all(|r| r.last_delivered() == 1));
             assert_eq!(reps[0].view(), 0);
         }
+    }
+
+    #[test]
+    fn full_batch_commits_as_one_block() {
+        for (model, n) in [(FailureModel::Crash, 3u16), (FailureModel::Byzantine, 4)] {
+            let (nodes, mut reps) = domain_with(model, n, BatchConfig::with_max_batch(3));
+            let mut initial = Vec::new();
+            assert!(reps[0].propose(b"a".to_vec()).is_empty());
+            assert!(reps[0].propose(b"b".to_vec()).is_empty());
+            assert_eq!(reps[0].pending_commands(), 2);
+            initial.push((0, reps[0].propose(b"c".to_vec())));
+            assert_eq!(reps[0].pending_commands(), 0);
+            let delivered = drive(&nodes, &mut reps, initial);
+            for d in &delivered {
+                assert_eq!(d, &vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec()]);
+            }
+            // Three commands, one consensus instance.
+            assert!(reps.iter().all(|r| r.last_delivered() == 1));
+        }
+    }
+
+    #[test]
+    fn flush_proposes_the_underfull_block() {
+        let (nodes, mut reps) = domain_with(
+            FailureModel::Crash,
+            3,
+            BatchConfig::with_max_batch(8).with_max_delay(Duration::from_millis(2)),
+        );
+        assert!(reps[0].propose(b"only".to_vec()).is_empty());
+        assert_eq!(reps[0].pending_commands(), 1);
+        let steps = reps[0].flush();
+        assert!(!steps.is_empty());
+        let delivered = drive(&nodes, &mut reps, vec![(0, steps)]);
+        for d in &delivered {
+            assert_eq!(d, &vec![b"only".to_vec()]);
+        }
+        assert!(reps[0].flush().is_empty(), "nothing left to flush");
+    }
+
+    #[test]
+    fn flush_racing_a_view_change_retains_buffered_commands() {
+        let (nodes, mut reps) = domain_with(FailureModel::Crash, 3, BatchConfig::with_max_batch(8));
+        // The view-0 leader buffers two commands without cutting a block.
+        assert!(reps[0].propose(b"a".to_vec()).is_empty());
+        assert!(reps[0].propose(b"b".to_vec()).is_empty());
+        assert_eq!(reps[0].pending_commands(), 2);
+        // The backups suspect it and elect replica 1; the deposed leader
+        // learns of the new view before its flush timer fires.
+        let vc1 = reps[1].on_progress_timeout();
+        let vc2 = reps[2].on_progress_timeout();
+        drive(&nodes, &mut reps, vec![(1, vc1), (2, vc2)]);
+        assert!(!reps[0].is_primary());
+        // The late flush must not destroy the buffered commands: the engine
+        // refuses the proposal and the batcher keeps them for a retry.
+        assert!(reps[0].flush().is_empty());
+        assert_eq!(reps[0].pending_commands(), 2);
+    }
+
+    #[test]
+    fn non_primary_propose_is_dropped_without_batching() {
+        let (_nodes, mut reps) =
+            domain_with(FailureModel::Crash, 3, BatchConfig::with_max_batch(4));
+        assert!(reps[1].propose(b"x".to_vec()).is_empty());
+        assert_eq!(reps[1].pending_commands(), 0);
     }
 
     #[test]
@@ -245,10 +432,31 @@ mod tests {
         assert_eq!(pbft.signature_count(), 1);
         let vc: ConsensusMsg<Cmd> = ConsensusMsg::Pbft(PbftMsg::ViewChange {
             new_view: 1,
-            prepared: vec![(1, 0, b"c".to_vec()), (2, 0, b"d".to_vec())],
+            prepared: vec![
+                (1, 0, Batch::single(b"c".to_vec())),
+                (2, 0, Batch::single(b"d".to_vec())),
+            ],
             checkpoint: 0,
         });
         assert_eq!(vc.signature_count(), 3);
+    }
+
+    #[test]
+    fn extra_commands_counts_members_beyond_one_per_block() {
+        let single: ConsensusMsg<Cmd> = ConsensusMsg::Paxos(PaxosMsg::Accept {
+            view: 0,
+            seq: 1,
+            cmd: Batch::single(b"a".to_vec()),
+        });
+        assert_eq!(single.extra_commands(), 0);
+        let triple: ConsensusMsg<Cmd> = ConsensusMsg::Pbft(PbftMsg::PrePrepare {
+            view: 0,
+            seq: 1,
+            cmd: Batch::new(vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec()]),
+        });
+        assert_eq!(triple.extra_commands(), 2);
+        let learn: ConsensusMsg<Cmd> = ConsensusMsg::Paxos(PaxosMsg::Learn { view: 0, seq: 1 });
+        assert_eq!(learn.extra_commands(), 0);
     }
 
     #[test]

@@ -1,0 +1,35 @@
+//! Adapter glue between a node's flush timer and its consensus batcher.
+//!
+//! Both the Saguaro node and the baseline node (`saguaro-baselines`) own a
+//! [`ConsensusReplica`] whose leader-side batcher may be left holding an
+//! under-full block after a propose.  The timer discipline is identical for
+//! every adapter — armed while commands are pending, disarmed once a block
+//! was cut by size — so it lives here rather than being copied per node.
+
+use saguaro_consensus::{Command, ConsensusReplica};
+use saguaro_net::{Context, TimerId};
+use saguaro_types::Duration;
+
+/// Keeps a node's batch flush timer consistent with its batcher: arms a
+/// timer of `max_delay` carrying `timer_msg` while commands are pending,
+/// cancels it once nothing is.  A no-op in the unbatched configuration
+/// (`max_batch = 1`: nothing is ever pending, so no timer is ever armed).
+///
+/// The owning actor must route the fired `timer_msg` to
+/// [`ConsensusReplica::flush`], clear its timer slot, and drive the
+/// resulting steps.
+pub fn sync_flush_timer<C: Command, M>(
+    consensus: &ConsensusReplica<C>,
+    timer: &mut Option<TimerId>,
+    max_delay: Duration,
+    timer_msg: M,
+    ctx: &mut Context<'_, M>,
+) {
+    if consensus.pending_commands() > 0 {
+        if timer.is_none() {
+            *timer = Some(ctx.set_timer(max_delay, timer_msg));
+        }
+    } else if let Some(t) = timer.take() {
+        ctx.cancel_timer(t);
+    }
+}

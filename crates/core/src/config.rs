@@ -1,7 +1,7 @@
 //! Protocol configuration knobs.
 
 use saguaro_ledger::AbstractionFn;
-use saguaro_types::Duration;
+use saguaro_types::{BatchConfig, Duration};
 
 /// How cross-domain transactions are processed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -42,6 +42,11 @@ pub struct ProtocolConfig {
     /// Number of rounds after which an optimistic cross-domain transaction
     /// that is still missing from some involved domain is considered aborted.
     pub optimistic_abort_rounds: u64,
+    /// Request batching of the internal consensus: the leader cuts blocks of
+    /// up to `batch.max_batch` commands, flushing under-full blocks after
+    /// `batch.max_delay`.  The default (`max_batch = 1`) reproduces the
+    /// unbatched per-request pipeline exactly.
+    pub batch: BatchConfig,
 }
 
 impl ProtocolConfig {
@@ -56,6 +61,7 @@ impl ProtocolConfig {
             commit_query_timeout: Duration::from_millis(600),
             abstraction: AbstractionFn::Full,
             optimistic_abort_rounds: 8,
+            batch: BatchConfig::unbatched(),
         }
     }
 
@@ -65,6 +71,12 @@ impl ProtocolConfig {
             cross_mode: CrossDomainMode::Optimistic,
             ..Self::coordinator()
         }
+    }
+
+    /// Replaces the batching knobs (builder style).
+    pub fn with_batch(mut self, batch: BatchConfig) -> Self {
+        self.batch = batch;
+        self
     }
 
     /// Round interval for a domain at the given height (doubles per level
@@ -120,6 +132,14 @@ mod tests {
         let c = ProtocolConfig::coordinator();
         let o = ProtocolConfig::optimistic();
         assert!(o.round_interval_for_height(1) < c.round_interval_for_height(1));
+    }
+
+    #[test]
+    fn batching_defaults_off_and_is_overridable() {
+        let c = ProtocolConfig::coordinator();
+        assert_eq!(c.batch.max_batch, 1);
+        let b = c.with_batch(BatchConfig::with_max_batch(8));
+        assert_eq!(b.batch.max_batch, 8);
     }
 
     #[test]

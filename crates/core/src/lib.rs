@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batching;
 pub mod command;
 pub mod config;
 pub mod coordinator;

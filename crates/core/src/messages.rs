@@ -174,6 +174,8 @@ pub enum SaguaroMsg {
     RoundTimer,
     /// Progress timer for the internal consensus (primary suspicion).
     ProgressTimer,
+    /// Flush timer for an under-full consensus batch (leader only).
+    BatchTimer,
     /// Deadlock/retry timer for a coordinated cross-domain transaction.
     CrossTimeout {
         /// The transaction being coordinated.
@@ -216,6 +218,7 @@ impl MessageMeta for SaguaroMsg {
             // defined.
             SaguaroMsg::RoundTimer
             | SaguaroMsg::ProgressTimer
+            | SaguaroMsg::BatchTimer
             | SaguaroMsg::CrossTimeout { .. }
             | SaguaroMsg::ClientTick
             | SaguaroMsg::CommitQueryTimer { .. } => 0,
@@ -242,6 +245,7 @@ impl MessageMeta for SaguaroMsg {
             | SaguaroMsg::StateQuery { .. } => 1,
             SaguaroMsg::RoundTimer
             | SaguaroMsg::ProgressTimer
+            | SaguaroMsg::BatchTimer
             | SaguaroMsg::CrossTimeout { .. }
             | SaguaroMsg::ClientTick
             | SaguaroMsg::CommitQueryTimer { .. } => 0,
@@ -254,7 +258,7 @@ impl MessageMeta for SaguaroMsg {
 }
 
 fn consensus_bytes(m: &ConsensusMsg<Cmd>) -> usize {
-    use saguaro_consensus::{PaxosMsg, PbftMsg};
+    use saguaro_consensus::{Batch, PaxosMsg, PbftMsg};
     let cmd_bytes = |c: &Cmd| -> usize {
         match c {
             Cmd::ChildBlock { block, .. } => block.wire_bytes(),
@@ -265,25 +269,37 @@ fn consensus_bytes(m: &ConsensusMsg<Cmd>) -> usize {
                 .unwrap_or(120),
         }
     };
+    // A block costs the sum of its members plus 24 bytes of framing per
+    // member beyond the first, so a one-command block (the unbatched
+    // configuration) costs exactly what the single-command message did.
+    let batch_bytes = |b: &Batch<Cmd>| -> usize {
+        b.iter().map(cmd_bytes).sum::<usize>() + 24 * b.len().saturating_sub(1)
+    };
     match m {
         ConsensusMsg::Paxos(p) => match p {
-            PaxosMsg::Accept { cmd, .. } => 64 + cmd_bytes(cmd),
+            PaxosMsg::Accept { cmd, .. } => 64 + batch_bytes(cmd),
             PaxosMsg::Accepted { .. } | PaxosMsg::Learn { .. } => 80,
             PaxosMsg::ViewChange { accepted, .. } => {
-                96 + accepted.iter().map(|(_, _, c)| cmd_bytes(c)).sum::<usize>()
+                96 + accepted
+                    .iter()
+                    .map(|(_, _, b)| batch_bytes(b))
+                    .sum::<usize>()
             }
             PaxosMsg::NewView { log, .. } => {
-                96 + log.iter().map(|(_, c)| cmd_bytes(c)).sum::<usize>()
+                96 + log.iter().map(|(_, b)| batch_bytes(b)).sum::<usize>()
             }
         },
         ConsensusMsg::Pbft(p) => match p {
-            PbftMsg::PrePrepare { cmd, .. } => 96 + cmd_bytes(cmd),
+            PbftMsg::PrePrepare { cmd, .. } => 96 + batch_bytes(cmd),
             PbftMsg::Prepare { .. } | PbftMsg::Commit { .. } | PbftMsg::Checkpoint { .. } => 112,
             PbftMsg::ViewChange { prepared, .. } => {
-                128 + prepared.iter().map(|(_, _, c)| cmd_bytes(c)).sum::<usize>()
+                128 + prepared
+                    .iter()
+                    .map(|(_, _, b)| batch_bytes(b))
+                    .sum::<usize>()
             }
             PbftMsg::NewView { log, .. } => {
-                128 + log.iter().map(|(_, c)| cmd_bytes(c)).sum::<usize>()
+                128 + log.iter().map(|(_, b)| batch_bytes(b)).sum::<usize>()
             }
         },
     }
@@ -370,8 +386,8 @@ mod tests {
 
     #[test]
     fn consensus_messages_sized_by_protocol() {
-        use saguaro_consensus::{PaxosMsg, PbftMsg};
-        let cmd = Cmd::Internal(tx());
+        use saguaro_consensus::{Batch, PaxosMsg, PbftMsg};
+        let cmd = Batch::single(Cmd::Internal(tx()));
         let paxos = SaguaroMsg::Consensus(ConsensusMsg::Paxos(PaxosMsg::Accept {
             view: 0,
             seq: 1,
@@ -386,5 +402,26 @@ mod tests {
         assert!(pbft.wire_bytes() > paxos.wire_bytes());
         assert_eq!(paxos.signatures(), 0);
         assert_eq!(pbft.signatures(), 1);
+    }
+
+    #[test]
+    fn batched_accepts_grow_with_members_but_singles_match_legacy_size() {
+        use saguaro_consensus::{Batch, PaxosMsg};
+        let accept = |members: Vec<Cmd>| {
+            SaguaroMsg::Consensus(ConsensusMsg::Paxos(PaxosMsg::Accept {
+                view: 0,
+                seq: 1,
+                cmd: Batch::new(members),
+            }))
+        };
+        let one = accept(vec![Cmd::Internal(tx())]);
+        let two = accept(vec![Cmd::Internal(tx()), Cmd::Internal(tx())]);
+        // One-command blocks cost exactly the member (64 header + member).
+        let member_cost = tx().payload_bytes() + 48;
+        assert_eq!(one.wire_bytes(), 64 + member_cost);
+        assert_eq!(two.wire_bytes(), 64 + 2 * member_cost + 24);
+        // Batching amortises: two commands in one block cost less than two
+        // separate accepts.
+        assert!(two.wire_bytes() < 2 * one.wire_bytes());
     }
 }

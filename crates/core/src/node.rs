@@ -21,7 +21,7 @@ use crate::coordinator::{CoordEntry, ParticipantEntry};
 use crate::messages::SaguaroMsg;
 use crate::optimistic::{OptTracker, OptimisticValidator};
 use crate::stats::NodeStats;
-use saguaro_consensus::{ConsensusMsg, ConsensusReplica, Step};
+use saguaro_consensus::{Batch, ConsensusMsg, ConsensusReplica, Step};
 use saguaro_hierarchy::HierarchyTree;
 use saguaro_ledger::{
     AggregateView, Block, BlockchainState, DagLedger, LinearLedger, TxStatus, UndoRecord,
@@ -101,6 +101,9 @@ pub struct SaguaroNode {
     pub(crate) round: u64,
     pub(crate) progress_timer: Option<TimerId>,
     pub(crate) last_progress_check: SeqNo,
+    /// Pending flush timer for an under-full consensus batch (leader only;
+    /// never scheduled when `config.batch.max_batch == 1`).
+    pub(crate) batch_timer: Option<TimerId>,
     /// Measurement counters read by the experiment harness.
     pub stats: NodeStats,
 }
@@ -113,7 +116,7 @@ impl SaguaroNode {
             .expect("node's domain is in the tree");
         let quorum = cfg.quorum;
         let peers = tree.nodes_of(id.domain).expect("domain has nodes");
-        let consensus = ConsensusReplica::new(id, peers.clone(), quorum);
+        let consensus = ConsensusReplica::with_batching(id, peers.clone(), quorum, config.batch);
         Self {
             id,
             tree,
@@ -143,6 +146,7 @@ impl SaguaroNode {
             round: 0,
             progress_timer: None,
             last_progress_check: 0,
+            batch_timer: None,
             stats: NodeStats::default(),
         }
     }
@@ -227,17 +231,39 @@ impl SaguaroNode {
     }
 
     /// Proposes a command through the internal consensus (primary only) and
-    /// drives the resulting steps.
+    /// drives the resulting steps.  The command may be held back by the
+    /// leader-side batcher until the block fills; a flush timer guarantees an
+    /// under-full block is still cut within `config.batch.max_delay`.
     pub(crate) fn propose(&mut self, cmd: Cmd, ctx: &mut Context<'_, SaguaroMsg>) {
         let steps = self.consensus.propose(cmd);
+        self.drive(steps, ctx);
+        self.sync_batch_timer(ctx);
+    }
+
+    /// Keeps the batch flush timer consistent with the batcher (see
+    /// [`crate::batching::sync_flush_timer`]).
+    fn sync_batch_timer(&mut self, ctx: &mut Context<'_, SaguaroMsg>) {
+        crate::batching::sync_flush_timer(
+            &self.consensus,
+            &mut self.batch_timer,
+            self.config.batch.max_delay,
+            SaguaroMsg::BatchTimer,
+            ctx,
+        );
+    }
+
+    /// The batch flush timer fired: cut and propose whatever is pending.
+    fn on_batch_timer(&mut self, ctx: &mut Context<'_, SaguaroMsg>) {
+        self.batch_timer = None;
+        let steps = self.consensus.flush();
         self.drive(steps, ctx);
     }
 
     /// Applies consensus output steps: routes messages and executes delivered
-    /// commands.
+    /// batches, unpacking each into per-command execution.
     pub(crate) fn drive(
         &mut self,
-        steps: Vec<Step<Cmd, ConsensusMsg<Cmd>>>,
+        steps: Vec<Step<Batch<Cmd>, ConsensusMsg<Cmd>>>,
         ctx: &mut Context<'_, SaguaroMsg>,
     ) {
         for step in steps {
@@ -246,7 +272,11 @@ impl SaguaroNode {
                 Step::Broadcast { msg } => {
                     ctx.multicast(self.other_peers(), SaguaroMsg::Consensus(msg));
                 }
-                Step::Deliver { seq, command } => self.apply_command(seq, command, ctx),
+                Step::Deliver { seq, command } => {
+                    for cmd in command {
+                        self.apply_command(seq, cmd, ctx);
+                    }
+                }
                 Step::ViewChanged { .. } => {
                     self.stats.view_changes += 1;
                 }
@@ -460,6 +490,7 @@ impl Actor<SaguaroMsg> for SaguaroNode {
             // Kick-off messages from the harness double as timer handlers.
             SaguaroMsg::RoundTimer => self.on_round_timer(ctx),
             SaguaroMsg::ProgressTimer => self.on_progress_timer(ctx),
+            SaguaroMsg::BatchTimer => self.on_batch_timer(ctx),
             SaguaroMsg::CrossTimeout { tx_id } => self.on_cross_timeout(tx_id, ctx),
             SaguaroMsg::CommitQueryTimer { tx_id } => self.on_commit_query_timer(tx_id, ctx),
             SaguaroMsg::Reply { .. } | SaguaroMsg::ClientTick => {}
@@ -474,6 +505,7 @@ impl Actor<SaguaroMsg> for SaguaroNode {
         match msg {
             SaguaroMsg::RoundTimer => self.on_round_timer(ctx),
             SaguaroMsg::ProgressTimer => self.on_progress_timer(ctx),
+            SaguaroMsg::BatchTimer => self.on_batch_timer(ctx),
             SaguaroMsg::CrossTimeout { tx_id } => self.on_cross_timeout(tx_id, ctx),
             SaguaroMsg::CommitQueryTimer { tx_id } => self.on_commit_query_timer(tx_id, ctx),
             other => {

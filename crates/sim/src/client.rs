@@ -18,6 +18,8 @@ use std::sync::Arc;
 pub struct CompletedTx {
     /// The transaction.
     pub tx_id: TxId,
+    /// The client that submitted it.
+    pub client: ClientId,
     /// When the client submitted it.
     pub submitted_at: SimTime,
     /// End-to-end latency (submission to reply quorum).
@@ -44,7 +46,11 @@ pub struct ClientActor<M> {
     /// complete (1 for CFT, f + 1 for BFT).
     reply_quorum: usize,
     pending: HashMap<TxId, SimTime>,
-    reply_counts: HashMap<TxId, usize>,
+    /// Per-transaction `(commit replies, abort replies)` seen so far.  The
+    /// two verdicts are counted separately: under BFT, up to f faulty
+    /// replicas may send a conflicting verdict, and a transaction must only
+    /// complete once `reply_quorum` replicas agree on the *same* outcome.
+    reply_counts: HashMap<TxId, (usize, usize)>,
     collector: Collector,
     started: bool,
 }
@@ -100,15 +106,23 @@ impl<M: MessageMeta + Clone + 'static> ClientActor<M> {
         let Some(&submitted_at) = self.pending.get(&tx_id) else {
             return;
         };
-        let count = self.reply_counts.entry(tx_id).or_insert(0);
-        *count += 1;
-        if *count < self.reply_quorum {
+        let (commits, aborts) = self.reply_counts.entry(tx_id).or_insert((0, 0));
+        if committed {
+            *commits += 1;
+        } else {
+            *aborts += 1;
+        }
+        // A transaction completes with the verdict that reached the quorum,
+        // not with whichever reply happened to arrive at quorum position.
+        if *commits < self.reply_quorum && *aborts < self.reply_quorum {
             return;
         }
+        let committed = *commits >= self.reply_quorum;
         self.pending.remove(&tx_id);
         self.reply_counts.remove(&tx_id);
         self.collector.lock().push(CompletedTx {
             tx_id,
+            client: self.id,
             submitted_at,
             latency: ctx.now().since(submitted_at),
             committed,
@@ -242,5 +256,74 @@ mod tests {
         );
         sim.run_to_completion(1_000);
         assert!(collector.lock().is_empty());
+    }
+
+    #[test]
+    fn conflicting_verdicts_do_not_count_toward_one_quorum() {
+        // BFT with f = 1: reply_quorum = 2.  One faulty replica reports an
+        // abort before two honest replicas report the commit.  The old
+        // counter lumped both verdicts together and completed the transaction
+        // at the second reply — with whatever verdict that reply carried.
+        let collector: Collector = Arc::new(Mutex::new(Vec::new()));
+        let server = NodeId::new(DomainId::new(1, 0), 0);
+        let tx = Transaction::internal(TxId(1), ClientId(1), DomainId::new(1, 0), Operation::Noop);
+        let schedule = vec![(TxId(1), SaguaroMsg::ClientRequest(tx), Addr::Node(server))];
+        let mut sim: Simulation<SaguaroMsg> =
+            Simulation::new(LatencyMatrix::single_region().with_jitter(0.0), 2);
+        let client = ClientActor::new(
+            ClientId(1),
+            schedule,
+            100.0,
+            SaguaroMsg::ClientTick,
+            parse,
+            2,
+            collector.clone(),
+        );
+        sim.register(
+            ClientId(1),
+            Region(0),
+            CpuProfile::client(),
+            Box::new(client),
+        );
+        sim.inject(ClientId(99), ClientId(1), SaguaroMsg::ClientTick);
+        let reply = |committed: bool| SaguaroMsg::Reply {
+            tx_id: TxId(1),
+            committed,
+        };
+        // f = 1 conflicting (abort) reply first, then two matching commits.
+        sim.inject(
+            NodeId::new(DomainId::new(1, 0), 1),
+            ClientId(1),
+            reply(false),
+        );
+        sim.run_to_completion(1_000);
+        assert!(
+            collector.lock().is_empty(),
+            "one abort must not complete a quorum-2 transaction"
+        );
+        sim.inject(
+            NodeId::new(DomainId::new(1, 0), 2),
+            ClientId(1),
+            reply(true),
+        );
+        sim.run_to_completion(1_000);
+        assert!(
+            collector.lock().is_empty(),
+            "abort + commit is no quorum for either verdict"
+        );
+        sim.inject(
+            NodeId::new(DomainId::new(1, 0), 3),
+            ClientId(1),
+            reply(true),
+        );
+        sim.run_to_completion(1_000);
+        let done = collector.lock();
+        assert_eq!(done.len(), 1);
+        assert!(
+            done[0].committed,
+            "the verdict must be the one that reached quorum (commit), \
+             not the first reply's abort"
+        );
+        assert_eq!(done[0].client, ClientId(1));
     }
 }

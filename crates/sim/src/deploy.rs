@@ -8,7 +8,7 @@ use saguaro_baselines::{BaselineMsg, BaselineNode, BaselineRole};
 use saguaro_core::{ProtocolConfig, SaguaroMsg, SaguaroNode};
 use saguaro_hierarchy::{HierarchyTree, Placement, TopologyBuilder};
 use saguaro_net::{Addr, CpuProfile, LatencyMatrix, Simulation};
-use saguaro_types::{ClientId, DomainId, FailureModel, Result};
+use saguaro_types::{BatchConfig, ClientId, DomainId, FailureModel, Result};
 use std::sync::Arc;
 
 /// Builds the paper's 4-level perfect binary tree with the given failure
@@ -82,13 +82,15 @@ pub fn deploy_saguaro(
 }
 
 /// Registers an AHL or SharPer deployment over the height-1 domains of the
-/// same tree.  For AHL the tree's root domain doubles as the reference
-/// committee.  Returns the committee domain used.
+/// same tree, batching each shard's internal consensus per `batch`.  For AHL
+/// the tree's root domain doubles as the reference committee.  Returns the
+/// committee domain used.
 pub fn deploy_baseline(
     sim: &mut Simulation<BaselineMsg>,
     tree: &Arc<HierarchyTree>,
     sharper: bool,
     seed_accounts: &[(DomainId, Vec<(String, u64)>)],
+    batch: BatchConfig,
 ) -> DomainId {
     let committee = tree.root();
     for domain_cfg in tree.domains() {
@@ -106,7 +108,7 @@ pub fn deploy_baseline(
         };
         let region = domain_cfg.region;
         for node in tree.nodes_of(domain).expect("domain nodes") {
-            let mut actor = BaselineNode::new(node, role, tree.clone(), committee);
+            let mut actor = BaselineNode::with_batching(node, role, tree.clone(), committee, batch);
             if domain.height == 1 {
                 for (d, accounts) in seed_accounts {
                     if *d == domain {
@@ -157,7 +159,7 @@ mod tests {
         let tree = build_tree(FailureModel::Byzantine, 1, Placement::NearbyRegions).unwrap();
         let mut sim: Simulation<BaselineMsg> =
             Simulation::new(latency_for(Placement::NearbyRegions), 1);
-        let committee = deploy_baseline(&mut sim, &tree, false, &[]);
+        let committee = deploy_baseline(&mut sim, &tree, false, &[], BatchConfig::unbatched());
         assert_eq!(committee, tree.root());
         // 4 shards + 1 committee, 4 replicas each (BFT f = 1).
         assert_eq!(sim.actor_count(), 20);
@@ -168,7 +170,7 @@ mod tests {
         let tree = build_tree(FailureModel::Crash, 1, Placement::NearbyRegions).unwrap();
         let mut sim: Simulation<BaselineMsg> =
             Simulation::new(latency_for(Placement::NearbyRegions), 1);
-        deploy_baseline(&mut sim, &tree, true, &[]);
+        deploy_baseline(&mut sim, &tree, true, &[], BatchConfig::unbatched());
         // Only the 4 height-1 shards, 3 replicas each.
         assert_eq!(sim.actor_count(), 12);
     }

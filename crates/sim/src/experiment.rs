@@ -41,7 +41,9 @@ use crate::protocol::{
 use parking_lot::Mutex;
 use saguaro_hierarchy::Placement;
 use saguaro_net::{Addr, CpuProfile, Simulation};
-use saguaro_types::{ClientId, DomainId, Duration, FailureModel, NodeId, SimTime, TxId};
+use saguaro_types::{
+    BatchConfig, ClientId, DomainId, Duration, FailureModel, NodeId, SimTime, TxId,
+};
 use saguaro_workload::{MicropaymentWorkload, RidesharingWorkload, Workload, WorkloadConfig};
 use std::sync::Arc;
 
@@ -129,6 +131,9 @@ pub struct ExperimentSpec {
     pub measure: Duration,
     /// RNG seed (workload + network jitter).
     pub seed: u64,
+    /// Request batching of every domain's internal consensus.  The default
+    /// (`max_batch = 1`) is the unbatched per-request pipeline.
+    pub batch: BatchConfig,
 }
 
 impl ExperimentSpec {
@@ -146,6 +151,7 @@ impl ExperimentSpec {
             warmup: Duration::from_millis(300),
             measure: Duration::from_millis(900),
             seed: 42,
+            batch: BatchConfig::unbatched(),
         }
     }
 
@@ -201,6 +207,19 @@ impl ExperimentSpec {
     /// Sets the offered load.
     pub fn load(mut self, tps: f64) -> Self {
         self.offered_load_tps = tps;
+        self
+    }
+
+    /// Sets the consensus block size (batching), keeping the default cut
+    /// delay.  `batched(1)` is the unbatched pipeline.
+    pub fn batched(mut self, max_batch: usize) -> Self {
+        self.batch = BatchConfig::with_max_batch(max_batch);
+        self
+    }
+
+    /// Replaces the full batching configuration.
+    pub fn batch_config(mut self, batch: BatchConfig) -> Self {
+        self.batch = batch;
         self
     }
 
@@ -298,14 +317,35 @@ fn summarise(
     }
 }
 
+/// Raw per-transaction evidence of one run, alongside the summary metrics:
+/// what every client was scheduled to submit (in submission order) and every
+/// completion the clients observed.  Used by the batch-equivalence property
+/// tests to check that batching loses, duplicates and reorders nothing.
+#[derive(Clone, Debug)]
+pub struct RunArtifacts {
+    /// The summary metrics (what [`run`] returns).
+    pub metrics: RunMetrics,
+    /// Every completion observed by a client, in completion order.
+    pub completions: Vec<CompletedTx>,
+    /// Each client's precomputed open-loop schedule (transaction ids in
+    /// submission order).  How much of the schedule is actually submitted
+    /// depends on the drawn inter-arrival times and the run horizon.
+    pub schedules: Vec<(ClientId, Vec<TxId>)>,
+}
+
 /// Runs one experiment, dispatching `spec.protocol` to the corresponding
 /// [`ProtocolStack`] implementation.
 pub fn run(spec: &ExperimentSpec) -> RunMetrics {
+    run_collecting(spec).metrics
+}
+
+/// Like [`run`], but also returns the raw per-transaction artifacts.
+pub fn run_collecting(spec: &ExperimentSpec) -> RunArtifacts {
     match spec.protocol {
-        ProtocolKind::SaguaroCoordinator => run_experiment::<CoordinatorStack>(spec),
-        ProtocolKind::SaguaroOptimistic => run_experiment::<OptimisticStack>(spec),
-        ProtocolKind::Ahl => run_experiment::<AhlStack>(spec),
-        ProtocolKind::Sharper => run_experiment::<SharperStack>(spec),
+        ProtocolKind::SaguaroCoordinator => run_experiment_collecting::<CoordinatorStack>(spec),
+        ProtocolKind::SaguaroOptimistic => run_experiment_collecting::<OptimisticStack>(spec),
+        ProtocolKind::Ahl => run_experiment_collecting::<AhlStack>(spec),
+        ProtocolKind::Sharper => run_experiment_collecting::<SharperStack>(spec),
     }
 }
 
@@ -382,6 +422,11 @@ fn prepare<P: ProtocolStack>(
 /// [`ClientActor`] per workload client, run the simulator past the
 /// measurement window, and summarise the collected completions.
 pub fn run_experiment<P: ProtocolStack>(spec: &ExperimentSpec) -> RunMetrics {
+    run_experiment_collecting::<P>(spec).metrics
+}
+
+/// [`run_experiment`] plus the raw per-transaction artifacts.
+pub fn run_experiment_collecting<P: ProtocolStack>(spec: &ExperimentSpec) -> RunArtifacts {
     debug_assert_eq!(
         P::kind(),
         spec.protocol,
@@ -395,10 +440,15 @@ pub fn run_experiment<P: ProtocolStack>(spec: &ExperimentSpec) -> RunMetrics {
         Simulation::new(deploy::latency_for(spec.placement), spec.seed);
 
     let prepared = prepare::<P>(spec, tree.edge_server_domains());
-    P::deploy(&mut sim, &tree, &prepared.seeds);
+    P::deploy(&mut sim, &tree, &prepared.seeds, spec.batch);
 
     let collector: Collector = Arc::new(Mutex::new(Vec::new()));
     let reply_quorum = P::reply_quorum(spec.failure_model, spec.faults);
+    let schedules: Vec<(ClientId, Vec<TxId>)> = prepared
+        .schedules
+        .iter()
+        .map(|(client, _, schedule)| (*client, schedule.iter().map(|(id, _, _)| *id).collect()))
+        .collect();
     for (client_id, home, schedule) in prepared.schedules {
         let region = tree.region_of(home).expect("home region");
         let actor = ClientActor::new(
@@ -423,13 +473,18 @@ pub fn run_experiment<P: ProtocolStack>(spec: &ExperimentSpec) -> RunMetrics {
 
     let horizon = spec.warmup + spec.measure + Duration::from_millis(300);
     sim.run_until(SimTime::ZERO + horizon);
-    let completions = collector.lock();
-    summarise(
+    let completions = std::mem::take(&mut *collector.lock());
+    let metrics = summarise(
         &completions,
         spec.warmup,
         spec.measure,
         spec.offered_load_tps,
-    )
+    );
+    RunArtifacts {
+        metrics,
+        completions,
+        schedules,
+    }
 }
 
 #[cfg(test)]

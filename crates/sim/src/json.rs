@@ -1,0 +1,216 @@
+//! Minimal JSON rendering for machine-readable benchmark output.
+//!
+//! The build environment vendors a marker-only `serde` stand-in (see
+//! `vendor/serde`), so the workspace cannot rely on `serde_json`.  The
+//! figure and ablation binaries still need to emit `BENCH_results.json`
+//! trajectories; this module renders the handful of result types
+//! ([`RunMetrics`], [`LoadPoint`], [`FigureSeries`]) by hand.  The types all
+//! derive `serde::Serialize`, so swapping the vendored stand-in for the real
+//! crates-io `serde` + `serde_json` makes this module redundant without any
+//! type changes.
+
+use crate::experiment::{LoadPoint, RunMetrics};
+use crate::figures::FigureSeries;
+
+/// A JSON value assembled programmatically and rendered with
+/// [`JsonValue::render`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number (non-finite values render as `null`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An ordered array.
+    Array(Vec<JsonValue>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Convenience constructor for object values.
+    pub fn object(entries: impl IntoIterator<Item = (&'static str, JsonValue)>) -> Self {
+        JsonValue::Object(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Renders the value as compact JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Num(n) => {
+                if n.is_finite() {
+                    // Rust's shortest round-trip float formatting is valid
+                    // JSON for finite values.
+                    out.push_str(&format!("{n}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            out.push_str(&format!("\\u{:04x}", c as u32));
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(entries) => {
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    JsonValue::Str(k.clone()).render_into(out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Types that know their JSON representation.
+pub trait ToJson {
+    /// Converts the value into a [`JsonValue`] tree.
+    fn to_json(&self) -> JsonValue;
+}
+
+impl ToJson for RunMetrics {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("offered_tps", JsonValue::Num(self.offered_tps)),
+            ("throughput_tps", JsonValue::Num(self.throughput_tps)),
+            ("avg_latency_ms", JsonValue::Num(self.avg_latency_ms)),
+            ("p50_latency_ms", JsonValue::Num(self.p50_latency_ms)),
+            ("p95_latency_ms", JsonValue::Num(self.p95_latency_ms)),
+            ("p99_latency_ms", JsonValue::Num(self.p99_latency_ms)),
+            ("committed", JsonValue::Num(self.committed as f64)),
+            ("aborted", JsonValue::Num(self.aborted as f64)),
+        ])
+    }
+}
+
+impl ToJson for LoadPoint {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("offered_tps", JsonValue::Num(self.offered_tps)),
+            ("metrics", self.metrics.to_json()),
+        ])
+    }
+}
+
+impl ToJson for FigureSeries {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("label", JsonValue::Str(self.label.clone())),
+            (
+                "points",
+                JsonValue::Array(self.points.iter().map(ToJson::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> JsonValue {
+        self.as_slice().to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(JsonValue::Null.render(), "null");
+        assert_eq!(JsonValue::Bool(true).render(), "true");
+        assert_eq!(JsonValue::Num(1.5).render(), "1.5");
+        assert_eq!(JsonValue::Num(f64::NAN).render(), "null");
+        assert_eq!(JsonValue::Str("a\"b\n".into()).render(), "\"a\\\"b\\n\"");
+    }
+
+    #[test]
+    fn metrics_render_as_an_object_with_every_field() {
+        let m = RunMetrics {
+            offered_tps: 600.0,
+            throughput_tps: 590.0,
+            avg_latency_ms: 8.5,
+            p50_latency_ms: 1.0,
+            p95_latency_ms: 37.0,
+            p99_latency_ms: 46.0,
+            committed: 177,
+            aborted: 1,
+        };
+        let json = m.to_json().render();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        for key in [
+            "offered_tps",
+            "throughput_tps",
+            "avg_latency_ms",
+            "p50_latency_ms",
+            "p95_latency_ms",
+            "p99_latency_ms",
+            "committed",
+            "aborted",
+        ] {
+            assert!(json.contains(&format!("\"{key}\":")), "missing {key}");
+        }
+        assert!(json.contains("\"committed\":177"));
+    }
+
+    #[test]
+    fn series_render_with_labels_and_points() {
+        let series = vec![FigureSeries {
+            label: "Coordinator b=8".into(),
+            points: vec![LoadPoint {
+                offered_tps: 600.0,
+                metrics: RunMetrics::default(),
+            }],
+        }];
+        let json = series.to_json().render();
+        assert!(json.contains("\"label\":\"Coordinator b=8\""));
+        assert!(json.contains("\"points\":[{"));
+    }
+}

@@ -15,7 +15,7 @@ use saguaro_baselines::BaselineMsg;
 use saguaro_core::{ProtocolConfig, SaguaroMsg};
 use saguaro_hierarchy::HierarchyTree;
 use saguaro_net::{MessageMeta, Simulation};
-use saguaro_types::{DomainId, FailureModel, Transaction, TxId};
+use saguaro_types::{BatchConfig, DomainId, FailureModel, Transaction, TxId};
 use std::sync::Arc;
 
 /// Which protocol stack an experiment runs (the dynamic counterpart of the
@@ -95,12 +95,14 @@ pub trait ProtocolStack {
     }
 
     /// Registers every node of the deployment on the simulator, seeds the
-    /// height-1 domains with `seed_accounts`, and schedules whatever kick-off
-    /// events the stack needs (round timers etc.).
+    /// height-1 domains with `seed_accounts`, configures every domain's
+    /// internal consensus to batch requests per `batch`, and schedules
+    /// whatever kick-off events the stack needs (round timers etc.).
     fn deploy(
         sim: &mut Simulation<Self::Msg>,
         tree: &Arc<HierarchyTree>,
         seed_accounts: &SeedAccounts,
+        batch: BatchConfig,
     );
 }
 
@@ -133,8 +135,10 @@ impl ProtocolStack for CoordinatorStack {
         sim: &mut Simulation<SaguaroMsg>,
         tree: &Arc<HierarchyTree>,
         seed_accounts: &SeedAccounts,
+        batch: BatchConfig,
     ) {
-        deploy::deploy_saguaro(sim, tree, &ProtocolConfig::coordinator(), seed_accounts);
+        let config = ProtocolConfig::coordinator().with_batch(batch);
+        deploy::deploy_saguaro(sim, tree, &config, seed_accounts);
     }
 }
 
@@ -164,8 +168,10 @@ impl ProtocolStack for OptimisticStack {
         sim: &mut Simulation<SaguaroMsg>,
         tree: &Arc<HierarchyTree>,
         seed_accounts: &SeedAccounts,
+        batch: BatchConfig,
     ) {
-        deploy::deploy_saguaro(sim, tree, &ProtocolConfig::optimistic(), seed_accounts);
+        let config = ProtocolConfig::optimistic().with_batch(batch);
+        deploy::deploy_saguaro(sim, tree, &config, seed_accounts);
     }
 }
 
@@ -199,8 +205,9 @@ impl ProtocolStack for AhlStack {
         sim: &mut Simulation<BaselineMsg>,
         tree: &Arc<HierarchyTree>,
         seed_accounts: &SeedAccounts,
+        batch: BatchConfig,
     ) {
-        deploy::deploy_baseline(sim, tree, false, seed_accounts);
+        deploy::deploy_baseline(sim, tree, false, seed_accounts, batch);
     }
 }
 
@@ -230,8 +237,9 @@ impl ProtocolStack for SharperStack {
         sim: &mut Simulation<BaselineMsg>,
         tree: &Arc<HierarchyTree>,
         seed_accounts: &SeedAccounts,
+        batch: BatchConfig,
     ) {
-        deploy::deploy_baseline(sim, tree, true, seed_accounts);
+        deploy::deploy_baseline(sim, tree, true, seed_accounts, batch);
     }
 }
 

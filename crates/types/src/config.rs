@@ -1,6 +1,7 @@
 //! Failure models, quorum arithmetic and per-domain configuration.
 
 use crate::ids::{DomainId, Region};
+use crate::time::Duration;
 use serde::{Deserialize, Serialize};
 
 /// The failure model followed by the nodes of a domain.
@@ -102,6 +103,53 @@ impl QuorumSpec {
     /// considered faulty (`n - f` per the paper's query handling).
     pub const fn suspicion_quorum(&self) -> usize {
         self.n - self.f
+    }
+}
+
+/// Request-batching knobs of a domain's ordering pipeline.
+///
+/// The leader accumulates incoming commands and cuts a block when `max_batch`
+/// commands are pending or `max_delay` has elapsed since the first pending
+/// command, whichever comes first.  `max_batch = 1` disables batching: every
+/// command is proposed immediately and the pipeline behaves exactly like an
+/// unbatched deployment (no flush timers are ever scheduled).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct BatchConfig {
+    /// Maximum number of commands per consensus block (≥ 1).
+    pub max_batch: usize,
+    /// Maximum time a pending command may wait before the leader cuts an
+    /// under-full block.
+    pub max_delay: Duration,
+}
+
+impl BatchConfig {
+    /// Batching disabled: one command per consensus instance (the paper's
+    /// per-request configuration, and the determinism baseline).
+    pub const fn unbatched() -> Self {
+        Self {
+            max_batch: 1,
+            max_delay: Duration::from_millis(5),
+        }
+    }
+
+    /// Blocks of up to `max_batch` commands with the default 5 ms cut delay.
+    pub fn with_max_batch(max_batch: usize) -> Self {
+        Self {
+            max_batch: max_batch.max(1),
+            ..Self::unbatched()
+        }
+    }
+
+    /// Overrides the cut delay.
+    pub fn with_max_delay(mut self, max_delay: Duration) -> Self {
+        self.max_delay = max_delay;
+        self
+    }
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        Self::unbatched()
     }
 }
 

@@ -28,7 +28,7 @@ pub mod sequence;
 pub mod time;
 pub mod transaction;
 
-pub use config::{DomainConfig, FailureModel, QuorumSpec};
+pub use config::{BatchConfig, DomainConfig, FailureModel, QuorumSpec};
 pub use error::SaguaroError;
 pub use ids::{ClientId, DomainId, Height, NodeId, Region};
 pub use sequence::{MultiSeq, SeqNo};

@@ -3,7 +3,85 @@
 //! spec's seed, so the same `ExperimentSpec` must produce bit-identical
 //! `RunMetrics` on every run, for every protocol stack and workload.
 
-use saguaro::sim::{ExperimentSpec, ProtocolKind, RidesharingConfig};
+use saguaro::sim::{ExperimentSpec, ProtocolKind, RidesharingConfig, RunMetrics};
+
+/// The reference spec the golden metrics below were captured with.
+fn golden_spec(protocol: ProtocolKind) -> ExperimentSpec {
+    ExperimentSpec::new(protocol)
+        .quick()
+        .cross_domain(0.3)
+        .load(600.0)
+}
+
+/// `RunMetrics` of [`golden_spec`] captured on the *pre-batching* pipeline
+/// (one consensus instance per command).  The batched pipeline with
+/// `max_batch = 1` must reproduce these bit-for-bit: a single-command block
+/// costs exactly the same wire bytes, signatures and CPU as the unbatched
+/// message did, and no flush timers are ever scheduled.
+fn golden_metrics(protocol: ProtocolKind) -> RunMetrics {
+    let (throughput_tps, avg, p50, p95, p99, committed) = match protocol {
+        ProtocolKind::SaguaroCoordinator => (590.0, 8.03422598870057, 1.052, 37.18, 46.219, 177),
+        ProtocolKind::SaguaroOptimistic => (620.0, 1.0484623655913978, 1.048, 1.058, 1.061, 186),
+        ProtocolKind::Ahl => (
+            553.3333333333334,
+            5.943861445783132,
+            1.05,
+            29.047,
+            36.833,
+            166,
+        ),
+        ProtocolKind::Sharper => (570.0, 5.116730994152048, 1.05, 26.595, 27.129, 171),
+    };
+    RunMetrics {
+        offered_tps: 600.0,
+        throughput_tps,
+        avg_latency_ms: avg,
+        p50_latency_ms: p50,
+        p95_latency_ms: p95,
+        p99_latency_ms: p99,
+        committed,
+        aborted: 0,
+    }
+}
+
+#[test]
+fn unbatched_pipeline_reproduces_the_pre_batching_goldens_exactly() {
+    for protocol in ProtocolKind::ALL {
+        let default_run = golden_spec(protocol).run();
+        assert_eq!(
+            default_run,
+            golden_metrics(protocol),
+            "{protocol:?} with the default (unbatched) config diverged from \
+             the pre-batching pipeline"
+        );
+        // An explicit max_batch = 1 must be the same configuration, not just
+        // a similar one.
+        let explicit = golden_spec(protocol).batched(1).run();
+        assert_eq!(
+            explicit, default_run,
+            "{protocol:?}: explicit batched(1) differs from the default"
+        );
+    }
+}
+
+#[test]
+fn batched_runs_are_deterministic_and_differ_from_unbatched() {
+    for protocol in ProtocolKind::ALL {
+        let spec = golden_spec(protocol).batched(8);
+        let first = spec.run();
+        assert!(first.committed > 0, "{protocol:?} committed nothing");
+        assert_eq!(
+            first,
+            spec.run(),
+            "{protocol:?} batched run not deterministic"
+        );
+        assert_ne!(
+            first,
+            golden_metrics(protocol),
+            "{protocol:?}: max_batch = 8 should change the event schedule"
+        );
+    }
+}
 
 #[test]
 fn same_spec_and_seed_reproduce_identical_metrics_for_all_stacks() {
