@@ -92,6 +92,36 @@ impl JsonReport {
             Err(e) => eprintln!("failed to write {}: {e}", path.display()),
         }
     }
+
+    /// Like [`JsonReport::write_if_requested`], but merges this report's
+    /// sections into the JSON object already stored at `path` (replacing
+    /// sections with the same name, appending new ones) instead of
+    /// overwriting the whole file.  A missing or unparseable file degrades
+    /// to a plain write, so different benchmark binaries can all target the
+    /// shared `BENCH_results.json` trajectory.
+    pub fn merge_into_if_requested(&self, path: Option<&PathBuf>) {
+        let Some(path) = path else {
+            return;
+        };
+        let mut entries = std::fs::read_to_string(path)
+            .ok()
+            .and_then(|text| JsonValue::parse(&text))
+            .and_then(|v| match v {
+                JsonValue::Object(entries) => Some(entries),
+                _ => None,
+            })
+            .unwrap_or_default();
+        for (name, value) in &self.sections {
+            match entries.iter_mut().find(|(k, _)| k == name) {
+                Some((_, slot)) => *slot = value.clone(),
+                None => entries.push((name.clone(), value.clone())),
+            }
+        }
+        match std::fs::write(path, JsonValue::Object(entries).render()) {
+            Ok(()) => eprintln!("merged into {}", path.display()),
+            Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+        }
+    }
 }
 
 /// Prints a rendered figure table to stdout with a separating banner.

@@ -17,7 +17,7 @@ use crate::node::SaguaroNode;
 use saguaro_ledger::TxStatus;
 use saguaro_net::Context;
 use saguaro_types::{DomainId, SeqNo, Transaction, TxId};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Height-1 bookkeeping for speculatively committed cross-domain transactions.
 #[derive(Default, Debug)]
@@ -30,9 +30,20 @@ pub struct OptTracker {
 
 #[derive(Debug)]
 struct PendingOpt {
-    tx: Transaction,
-    /// Later transactions with a (transitive) data dependency on `tx`.
-    dependents: Vec<Transaction>,
+    /// Ids of later transactions with a (transitive) data dependency on the
+    /// tracked transaction, in execution order.
+    dependent_ids: Vec<TxId>,
+    /// Union of the keys written by the transaction and its dependents.
+    ///
+    /// A new execution conflicts with this entry iff its read/write sets
+    /// intersect these unions the same way [`Transaction::conflicts_with`]
+    /// would intersect some member's sets — the union distributes over the
+    /// "any dependent conflicts" existential, so membership tests replace
+    /// the per-dependent pairwise scan (which cloned every conflicting
+    /// transaction and went quadratic under contention).
+    writes: HashSet<String>,
+    /// Union of the keys read by the transaction and its dependents.
+    reads: HashSet<String>,
 }
 
 impl OptTracker {
@@ -51,23 +62,41 @@ impl OptTracker {
     /// transaction it conflicts with.
     fn record_execution(&mut self, tx: &Transaction) {
         self.exec_order.push(tx.id);
-        for p in self.pending.values_mut() {
-            if p.tx.id == tx.id {
+        let tx_writes = tx.op.write_set();
+        let tx_reads = tx.op.read_set();
+        for (id, p) in self.pending.iter_mut() {
+            if *id == tx.id {
                 continue;
             }
-            let conflicts =
-                p.tx.conflicts_with(tx) || p.dependents.iter().any(|d| d.conflicts_with(tx));
+            // Mirrors `Transaction::conflicts_with(member, tx)` over the
+            // entry's union sets: member-write ∩ tx-read/write, or
+            // member-read ∩ tx-write.
+            let conflicts = tx_writes
+                .iter()
+                .any(|k| p.writes.contains(*k) || p.reads.contains(*k))
+                || tx_reads.iter().any(|k| p.writes.contains(*k));
             if conflicts {
-                p.dependents.push(tx.clone());
+                p.dependent_ids.push(tx.id);
+                for k in &tx_writes {
+                    if !p.writes.contains(*k) {
+                        p.writes.insert((*k).to_string());
+                    }
+                }
+                for k in &tx_reads {
+                    if !p.reads.contains(*k) {
+                        p.reads.insert((*k).to_string());
+                    }
+                }
             }
         }
     }
 
     /// Starts tracking a speculative cross-domain transaction.
     fn track(&mut self, tx: Transaction) {
-        self.pending.entry(tx.id).or_insert(PendingOpt {
-            tx,
-            dependents: Vec::new(),
+        self.pending.entry(tx.id).or_insert_with(|| PendingOpt {
+            writes: tx.op.write_set().iter().map(|k| k.to_string()).collect(),
+            reads: tx.op.read_set().iter().map(|k| k.to_string()).collect(),
+            dependent_ids: Vec::new(),
         });
     }
 
@@ -81,7 +110,7 @@ impl OptTracker {
         if !abort {
             return Vec::new();
         }
-        let mut victims: Vec<TxId> = entry.dependents.iter().map(|t| t.id).collect();
+        let mut victims: Vec<TxId> = entry.dependent_ids.clone();
         victims.push(id);
         // Roll back in reverse execution order.
         let order: HashMap<TxId, usize> = self
@@ -98,9 +127,17 @@ impl OptTracker {
 
 /// The validation logic run by height-2+ domains on the cross-domain
 /// transactions reported by their child blocks.
+///
+/// Only *undecided* transactions are kept in the `observed` table; decided
+/// ids move to a flat set so a transaction whose remaining reports straggle
+/// in after the decision is not re-admitted.  This keeps every
+/// [`OptimisticValidator::check`] call proportional to the number of
+/// still-pending transactions instead of every transaction ever seen.
 #[derive(Default, Debug)]
 pub struct OptimisticValidator {
     observed: BTreeMap<TxId, ObservedTx>,
+    /// Transactions already committed or aborted; late reports are ignored.
+    decided_ids: HashSet<TxId>,
 }
 
 #[derive(Debug)]
@@ -110,6 +147,10 @@ struct ObservedTx {
     seqs: BTreeMap<DomainId, SeqNo>,
     first_round: u64,
     decided: bool,
+    /// Memoized `is_lca(involved)` verdict: the hierarchy is fixed for the
+    /// lifetime of a run, so the LCA walk is done once per transaction
+    /// instead of once per (transaction, check) pair.
+    lca_cached: Option<bool>,
 }
 
 /// A decision produced by the validator.
@@ -129,11 +170,15 @@ impl OptimisticValidator {
 
     /// Records that `child` reported `tx` at local sequence `seq` in `round`.
     pub fn observe(&mut self, tx: &Transaction, child: DomainId, seq: SeqNo, round: u64) {
+        if self.decided_ids.contains(&tx.id) {
+            return;
+        }
         let entry = self.observed.entry(tx.id).or_insert_with(|| ObservedTx {
             involved: tx.involved_domains(),
             seqs: BTreeMap::new(),
             first_round: round,
             decided: false,
+            lca_cached: None,
         });
         entry.seqs.entry(child).or_insert(seq);
     }
@@ -152,49 +197,14 @@ impl OptimisticValidator {
         let mut decisions = Vec::new();
         // 1. Pairwise ordering consistency on domains common to two pending
         //    transactions.
-        let ids: Vec<TxId> = self
-            .observed
-            .iter()
-            .filter(|(_, o)| !o.decided)
-            .map(|(id, _)| *id)
-            .collect();
-        for i in 0..ids.len() {
-            for j in (i + 1)..ids.len() {
-                let (a, b) = (ids[i], ids[j]);
-                let inconsistent = {
-                    let oa = &self.observed[&a];
-                    let ob = &self.observed[&b];
-                    let common: Vec<DomainId> = oa
-                        .seqs
-                        .keys()
-                        .filter(|d| ob.seqs.contains_key(d))
-                        .copied()
-                        .collect();
-                    if common.len() < 2 {
-                        false
-                    } else {
-                        let first = common[0];
-                        let base = oa.seqs[&first] < ob.seqs[&first];
-                        common.iter().any(|d| (oa.seqs[d] < ob.seqs[d]) != base)
-                    }
-                };
-                if inconsistent {
-                    // Deterministic victim selection: abort the transaction
-                    // with the higher id so every ancestor picks the same one.
-                    let victim = a.max(b);
-                    let involved = self.observed[&victim].involved.clone();
-                    if let Some(o) = self.observed.get_mut(&victim) {
-                        if !o.decided {
-                            o.decided = true;
-                            decisions.push(OptDecision::Abort(victim, involved));
-                        }
-                    }
-                }
-            }
-        }
+        self.ordering_abort_scan(&mut decisions);
         // 2. Commit fully reported transactions / abort stale ones (LCA only).
         for (id, o) in self.observed.iter_mut() {
-            if o.decided || !is_lca(&o.involved) {
+            if o.decided {
+                continue;
+            }
+            let at_lca = *o.lca_cached.get_or_insert_with(|| is_lca(&o.involved));
+            if !at_lca {
                 continue;
             }
             let fully_reported = o.involved.iter().all(|d| o.seqs.contains_key(d));
@@ -206,7 +216,93 @@ impl OptimisticValidator {
                 decisions.push(OptDecision::Abort(*id, o.involved.clone()));
             }
         }
+        // 3. Retire decided transactions from the pending table so later
+        //    checks and straggling reports never walk them again.
+        for decision in &decisions {
+            let id = match decision {
+                OptDecision::Commit(id, _) | OptDecision::Abort(id, _) => *id,
+            };
+            self.observed.remove(&id);
+            self.decided_ids.insert(id);
+        }
         decisions
+    }
+
+    /// Finds every inconsistently ordered pair of pending transactions and
+    /// aborts the higher-id member of each.
+    ///
+    /// Two transactions are inconsistent iff two domains they were both
+    /// reported by ordered them differently, i.e. iff some *domain-pair
+    /// bucket* contains the two with inverted `(seq, seq)` coordinates.
+    /// Bucketing turns the global quadratic scan over all pending
+    /// transactions into per-bucket work that is linear (one sorted
+    /// monotonicity pass) when a bucket holds no inversion — the common
+    /// case — and pairwise only inside buckets that provably contain one.
+    ///
+    /// Abort order is part of the deterministic event schedule.  The
+    /// replaced scan walked ordered pairs `(a, b)` in ascending `(TxId,
+    /// TxId)` order and aborted `b` on the first inconsistency, so the
+    /// bucket-derived pairs are evaluated with the same id orientation
+    /// (ties in one domain count as inconsistent exactly when the strict
+    /// `<` comparisons differ) and replayed in the same sorted pair order.
+    fn ordering_abort_scan(&mut self, decisions: &mut Vec<OptDecision>) {
+        /// `(seq at first domain, seq at second domain, tx)` per domain pair.
+        type SeqPairBuckets = HashMap<(DomainId, DomainId), Vec<(SeqNo, SeqNo, TxId)>>;
+        let mut buckets: SeqPairBuckets = HashMap::new();
+        for (id, o) in self.observed.iter() {
+            if o.decided || o.seqs.len() < 2 {
+                continue;
+            }
+            let reported: Vec<(DomainId, SeqNo)> = o.seqs.iter().map(|(d, s)| (*d, *s)).collect();
+            for i in 0..reported.len() {
+                for j in (i + 1)..reported.len() {
+                    buckets
+                        .entry((reported[i].0, reported[j].0))
+                        .or_default()
+                        .push((reported[i].1, reported[j].1, *id));
+                }
+            }
+        }
+        let mut inconsistent: Vec<(TxId, TxId)> = Vec::new();
+        for entries in buckets.values_mut() {
+            entries.sort_unstable();
+            // Strictly increasing in both coordinates ⇒ every pair in this
+            // bucket is consistently ordered; nothing to enumerate.
+            if entries
+                .windows(2)
+                .all(|w| w[0].0 < w[1].0 && w[0].1 < w[1].1)
+            {
+                continue;
+            }
+            for i in 0..entries.len() {
+                for j in (i + 1)..entries.len() {
+                    let (sa, ea, ta) = entries[i];
+                    let (sb, eb, tb) = entries[j];
+                    // Orient by TxId: the exact rule compares the lower-id
+                    // transaction against the higher-id one.
+                    let ((lo_s, lo_e, lo), (hi_s, hi_e, hi)) = if ta < tb {
+                        ((sa, ea, ta), (sb, eb, tb))
+                    } else {
+                        ((sb, eb, tb), (sa, ea, ta))
+                    };
+                    if (lo_s < hi_s) != (lo_e < hi_e) {
+                        inconsistent.push((lo, hi));
+                    }
+                }
+            }
+        }
+        // Replay in the replaced scan's (a, b) pair order; the decided guard
+        // keeps the first abort per victim, exactly as before.
+        inconsistent.sort_unstable();
+        inconsistent.dedup();
+        for (_, victim) in inconsistent {
+            if let Some(o) = self.observed.get_mut(&victim) {
+                if !o.decided {
+                    o.decided = true;
+                    decisions.push(OptDecision::Abort(victim, o.involved.clone()));
+                }
+            }
+        }
     }
 }
 

@@ -1,14 +1,19 @@
 //! The virtual-time event queue.
 
 use crate::addr::Addr;
+use crate::envelope::Envelope;
+pub use crate::timer::TimerId;
 use saguaro_types::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-/// Identifier of a pending timer.
-pub type TimerId = u64;
-
 /// A scheduled event.
+///
+/// Deliveries carry the recipient's interned actor index (resolved once at
+/// schedule time) so the hot path never hashes an [`Addr`]; timers carry the
+/// owner's index for the same reason.  `None` means the recipient was
+/// unknown when the message was scheduled — delivery re-resolves it the
+/// cold way to preserve the register-after-send semantics.
 #[derive(Debug)]
 pub(crate) enum EventKind<M> {
     /// Deliver a network message to `to`.
@@ -17,13 +22,17 @@ pub(crate) enum EventKind<M> {
         from: Addr,
         /// Recipient address.
         to: Addr,
-        /// The message payload.
-        msg: M,
+        /// Interned recipient index, if registered at schedule time.
+        to_idx: Option<u32>,
+        /// The message payload with memoized wire metadata.
+        env: Envelope<M>,
     },
     /// Fire a timer previously set by `owner`.
     Timer {
         /// The actor that set the timer.
         owner: Addr,
+        /// Interned owner index.
+        owner_idx: u32,
         /// The timer id returned at set time.
         id: TimerId,
         /// Payload stashed by the owner.
@@ -105,45 +114,42 @@ impl<M> EventQueue<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cpu::MessageMeta;
     use saguaro_types::{ClientId, SimTime};
+
+    impl MessageMeta for &'static str {
+        fn wire_bytes(&self) -> usize {
+            self.len()
+        }
+    }
 
     fn client(i: u64) -> Addr {
         Addr::Client(ClientId(i))
     }
 
+    fn deliver(msg: &'static str) -> EventKind<&'static str> {
+        EventKind::Deliver {
+            from: client(0),
+            to: client(1),
+            to_idx: None,
+            env: Envelope::new(msg),
+        }
+    }
+
+    fn payload(e: Event<&'static str>) -> &'static str {
+        match e.kind {
+            EventKind::Deliver { env, .. } => env.into_payload(),
+            EventKind::Timer { msg, .. } => msg,
+        }
+    }
+
     #[test]
     fn events_pop_in_time_order() {
         let mut q = EventQueue::default();
-        q.push(
-            SimTime::from_micros(30),
-            EventKind::Deliver {
-                from: client(0),
-                to: client(1),
-                msg: "c",
-            },
-        );
-        q.push(
-            SimTime::from_micros(10),
-            EventKind::Deliver {
-                from: client(0),
-                to: client(1),
-                msg: "a",
-            },
-        );
-        q.push(
-            SimTime::from_micros(20),
-            EventKind::Deliver {
-                from: client(0),
-                to: client(1),
-                msg: "b",
-            },
-        );
-        let order: Vec<_> = std::iter::from_fn(|| q.pop())
-            .map(|e| match e.kind {
-                EventKind::Deliver { msg, .. } => msg,
-                EventKind::Timer { msg, .. } => msg,
-            })
-            .collect();
+        q.push(SimTime::from_micros(30), deliver("c"));
+        q.push(SimTime::from_micros(10), deliver("a"));
+        q.push(SimTime::from_micros(20), deliver("b"));
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(payload).collect();
         assert_eq!(order, vec!["a", "b", "c"]);
     }
 
@@ -156,41 +162,23 @@ mod tests {
                 t,
                 EventKind::Timer {
                     owner: client(i as u64),
+                    owner_idx: i as u32,
                     id: i as u64,
                     msg: *name,
                 },
             );
         }
-        let order: Vec<_> = std::iter::from_fn(|| q.pop())
-            .map(|e| match e.kind {
-                EventKind::Timer { msg, .. } => msg,
-                EventKind::Deliver { msg, .. } => msg,
-            })
-            .collect();
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(payload).collect();
         assert_eq!(order, vec!["first", "second", "third"]);
     }
 
     #[test]
     fn peek_time_reports_earliest() {
-        let mut q: EventQueue<&str> = EventQueue::default();
+        let mut q: EventQueue<&'static str> = EventQueue::default();
         assert!(q.peek_time().is_none());
         assert!(q.is_empty());
-        q.push(
-            SimTime::from_micros(9),
-            EventKind::Timer {
-                owner: client(0),
-                id: 0,
-                msg: "x",
-            },
-        );
-        q.push(
-            SimTime::from_micros(3),
-            EventKind::Timer {
-                owner: client(0),
-                id: 1,
-                msg: "y",
-            },
-        );
+        q.push(SimTime::from_micros(9), deliver("x"));
+        q.push(SimTime::from_micros(3), deliver("y"));
         assert_eq!(q.peek_time(), Some(SimTime::from_micros(3)));
         assert_eq!(q.len(), 2);
     }

@@ -27,16 +27,19 @@
 
 pub mod addr;
 pub mod cpu;
+pub mod envelope;
 pub mod event;
 pub mod fault;
 pub mod latency;
 pub mod sim;
 pub mod stats;
+pub mod timer;
 
 pub use addr::Addr;
 pub use cpu::{CpuProfile, MessageMeta};
-pub use event::TimerId;
+pub use envelope::Envelope;
 pub use fault::FaultPlan;
 pub use latency::LatencyMatrix;
 pub use sim::{Actor, Context, Simulation};
 pub use stats::NetStats;
+pub use timer::TimerId;

@@ -6,17 +6,32 @@
 //! setting timers through the [`Context`] handed to their callbacks, which
 //! keeps the whole system deterministic: a simulation with the same seed and
 //! the same actor logic always produces the same history.
+//!
+//! # Hot-path layout
+//!
+//! Addresses are interned at registration: every actor gets a dense `u32`
+//! index, and the actor slots (trait object, region, CPU profile,
+//! busy-until) live in a flat `Vec` indexed by it.  Events carry the
+//! resolved index, so delivering a message or firing a timer costs an array
+//! access instead of a hash-map probe; the only `Addr → index` hash left on
+//! the hot path is the single recipient lookup when a send is scheduled.
+//! Payloads travel in reference-counted [`Envelope`]s with memoized wire
+//! metadata (see [`crate::envelope`]), and timer lifecycle is tracked by a
+//! generation-checked slab (see [`crate::timer`]) so cancels are O(1) and
+//! nothing accumulates over long runs.
 
 use crate::addr::Addr;
 use crate::cpu::{CpuProfile, MessageMeta};
+use crate::envelope::Envelope;
 use crate::event::{EventKind, EventQueue, TimerId};
 use crate::fault::FaultPlan;
 use crate::latency::LatencyMatrix;
 use crate::stats::NetStats;
+use crate::timer::TimerSlab;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use saguaro_types::{Duration, Region, SimTime};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 /// A simulated participant.
 ///
@@ -43,7 +58,7 @@ pub trait Actor<M> {
 enum Action<M> {
     Send {
         to: Addr,
-        msg: M,
+        env: Envelope<M>,
     },
     SetTimer {
         id: TimerId,
@@ -60,7 +75,7 @@ pub struct Context<'a, M> {
     now: SimTime,
     self_addr: Addr,
     rng: &'a mut StdRng,
-    next_timer_id: &'a mut TimerId,
+    timers: &'a mut TimerSlab,
     actions: Vec<Action<M>>,
 }
 
@@ -83,27 +98,41 @@ impl<'a, M> Context<'a, M> {
     /// Sends `msg` to `to`.  Delivery time is computed from the latency
     /// matrix and the receiver's CPU model; the message may be dropped by the
     /// fault plan.
-    pub fn send(&mut self, to: impl Into<Addr>, msg: M) {
-        self.actions.push(Action::Send { to: to.into(), msg });
+    pub fn send(&mut self, to: impl Into<Addr>, msg: M)
+    where
+        M: MessageMeta,
+    {
+        self.actions.push(Action::Send {
+            to: to.into(),
+            env: Envelope::new(msg),
+        });
     }
 
-    /// Sends clones of `msg` to every address in `to`.
+    /// Sends `msg` to every address in `to`.
+    ///
+    /// The payload is wrapped in one shared [`Envelope`], so no copy is made
+    /// here however many recipients there are; deliveries share the
+    /// allocation and only clone when a recipient needs an owned payload
+    /// before the last reference is consumed.
     pub fn multicast<I>(&mut self, to: I, msg: M)
     where
-        M: Clone,
+        M: MessageMeta + Clone,
         I: IntoIterator,
         I::Item: Into<Addr>,
     {
+        let env = Envelope::new(msg);
         for t in to {
-            self.send(t.into(), msg.clone());
+            self.actions.push(Action::Send {
+                to: t.into(),
+                env: env.clone(),
+            });
         }
     }
 
     /// Schedules `msg` to be delivered back to this actor after `delay`.
     /// Returns a [`TimerId`] that can be passed to [`Context::cancel_timer`].
     pub fn set_timer(&mut self, delay: Duration, msg: M) -> TimerId {
-        let id = *self.next_timer_id;
-        *self.next_timer_id += 1;
+        let id = self.timers.alloc();
         self.actions.push(Action::SetTimer { id, delay, msg });
         id
     }
@@ -125,35 +154,39 @@ struct ActorSlot<M> {
 
 /// The simulation runtime.
 pub struct Simulation<M> {
-    actors: HashMap<Addr, ActorSlot<M>>,
+    /// `Addr → slot index` interning table (cold path: registration and the
+    /// recipient lookup at schedule time).
+    index: HashMap<Addr, u32>,
+    /// Dense actor table, indexed by the interned id.
+    slots: Vec<ActorSlot<M>>,
     queue: EventQueue<M>,
     latency: LatencyMatrix,
     faults: FaultPlan,
     stats: NetStats,
     rng: StdRng,
     now: SimTime,
-    next_timer_id: TimerId,
-    cancelled_timers: HashSet<TimerId>,
+    timers: TimerSlab,
 }
 
 impl<M: MessageMeta + Clone + 'static> Simulation<M> {
     /// Creates a simulation with the given latency model and RNG seed.
     pub fn new(latency: LatencyMatrix, seed: u64) -> Self {
         Self {
-            actors: HashMap::new(),
+            index: HashMap::new(),
+            slots: Vec::new(),
             queue: EventQueue::default(),
             latency,
             faults: FaultPlan::none(),
             stats: NetStats::default(),
             rng: StdRng::seed_from_u64(seed),
             now: SimTime::ZERO,
-            next_timer_id: 0,
-            cancelled_timers: HashSet::new(),
+            timers: TimerSlab::default(),
         }
     }
 
     /// Registers an actor at `addr`, placed in `region`, with CPU profile
-    /// `cpu`.  Re-registering an address replaces the previous actor.
+    /// `cpu`.  Re-registering an address replaces the previous actor (the
+    /// address keeps its interned index and accumulated statistics).
     pub fn register(
         &mut self,
         addr: impl Into<Addr>,
@@ -161,20 +194,29 @@ impl<M: MessageMeta + Clone + 'static> Simulation<M> {
         cpu: CpuProfile,
         actor: Box<dyn Actor<M>>,
     ) {
-        self.actors.insert(
-            addr.into(),
-            ActorSlot {
-                actor: Some(actor),
-                region,
-                cpu,
-                busy_until: SimTime::ZERO,
-            },
-        );
+        let addr = addr.into();
+        let slot = ActorSlot {
+            actor: Some(actor),
+            region,
+            cpu,
+            busy_until: SimTime::ZERO,
+        };
+        match self.index.entry(addr) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                self.slots[*e.get() as usize] = slot;
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let idx = self.slots.len() as u32;
+                e.insert(idx);
+                self.slots.push(slot);
+                self.stats.register(addr);
+            }
+        }
     }
 
     /// Number of registered actors.
     pub fn actor_count(&self) -> usize {
-        self.actors.len()
+        self.slots.len()
     }
 
     /// Current virtual time.
@@ -198,13 +240,20 @@ impl<M: MessageMeta + Clone + 'static> Simulation<M> {
         &self.latency
     }
 
+    /// Number of timers currently pending (set but neither fired nor
+    /// cancelled).
+    pub fn live_timers(&self) -> usize {
+        self.timers.live()
+    }
+
     /// Injects a message from the outside world (the experiment harness) as
     /// if `from` had sent it; it is delivered to `to` after normal network
     /// latency and CPU service time.
     pub fn inject(&mut self, from: impl Into<Addr>, to: impl Into<Addr>, msg: M) {
         let from = from.into();
         let to = to.into();
-        self.schedule_send(from, to, msg);
+        let from_region = self.region_of(from);
+        self.schedule_send(from, from_region, to, Envelope::new(msg));
     }
 
     /// Injects a message that is delivered at an absolute virtual time
@@ -214,7 +263,16 @@ impl<M: MessageMeta + Clone + 'static> Simulation<M> {
         let to = to.into();
         self.stats.on_send();
         let at = if at < self.now { self.now } else { at };
-        self.queue.push(at, EventKind::Deliver { from, to, msg });
+        let to_idx = self.index.get(&to).copied();
+        self.queue.push(
+            at,
+            EventKind::Deliver {
+                from,
+                to,
+                to_idx,
+                env: Envelope::new(msg),
+            },
+        );
     }
 
     /// Runs until the event queue is empty or `deadline` is reached,
@@ -251,48 +309,71 @@ impl<M: MessageMeta + Clone + 'static> Simulation<M> {
         };
         self.now = event.time;
         match event.kind {
-            EventKind::Deliver { from, to, msg } => self.deliver(from, to, msg),
-            EventKind::Timer { owner, id, msg } => self.fire_timer(owner, id, msg),
+            EventKind::Deliver {
+                from,
+                to,
+                to_idx,
+                env,
+            } => self.deliver(from, to, to_idx, env),
+            EventKind::Timer {
+                owner,
+                owner_idx,
+                id,
+                msg,
+            } => self.fire_timer(owner, owner_idx, id, msg),
         }
         true
     }
 
-    fn schedule_send(&mut self, from: Addr, to: Addr, msg: M) {
+    /// Region of an address, defaulting to [`Region::LOCAL`] for
+    /// unregistered participants (e.g. the harness).
+    fn region_of(&self, addr: Addr) -> Region {
+        self.index
+            .get(&addr)
+            .map(|&i| self.slots[i as usize].region)
+            .unwrap_or(Region::LOCAL)
+    }
+
+    fn schedule_send(&mut self, from: Addr, from_region: Region, to: Addr, env: Envelope<M>) {
         self.stats.on_send();
         if self.faults.should_drop(from, to, &mut self.rng) {
             self.stats.on_drop();
             return;
         }
-        let from_region = self
-            .actors
-            .get(&from)
-            .map(|s| s.region)
-            .unwrap_or(Region::LOCAL);
-        let to_region = self
-            .actors
-            .get(&to)
-            .map(|s| s.region)
+        let to_idx = self.index.get(&to).copied();
+        let to_region = to_idx
+            .map(|i| self.slots[i as usize].region)
             .unwrap_or(Region::LOCAL);
         let delay = self
             .latency
-            .one_way(from_region, to_region, msg.wire_bytes(), &mut self.rng);
-        self.queue
-            .push(self.now + delay, EventKind::Deliver { from, to, msg });
+            .one_way(from_region, to_region, env.wire_bytes(), &mut self.rng);
+        self.queue.push(
+            self.now + delay,
+            EventKind::Deliver {
+                from,
+                to,
+                to_idx,
+                env,
+            },
+        );
     }
 
-    fn deliver(&mut self, from: Addr, to: Addr, msg: M) {
+    fn deliver(&mut self, from: Addr, to: Addr, to_idx: Option<u32>, env: Envelope<M>) {
         if self.faults.is_crashed(to) {
             self.stats.on_drop();
             return;
         }
-        let Some(slot) = self.actors.get_mut(&to) else {
+        // The index was resolved at schedule time; fall back to the map only
+        // for recipients registered after the send.
+        let Some(idx) = to_idx.or_else(|| self.index.get(&to).copied()) else {
             self.stats.on_drop();
             return;
         };
+        let slot = &mut self.slots[idx as usize];
         // FIFO single-server queueing: processing starts when the node is
         // free, completes after the service time; the callback observes the
         // completion time.
-        let service = slot.cpu.service_time(msg.wire_bytes(), msg.signatures());
+        let service = slot.cpu.service_time(env.wire_bytes(), env.signatures());
         let start = if slot.busy_until > self.now {
             slot.busy_until
         } else {
@@ -300,7 +381,7 @@ impl<M: MessageMeta + Clone + 'static> Simulation<M> {
         };
         let done = start + service;
         slot.busy_until = done;
-        self.stats.on_deliver(to, msg.wire_bytes(), service);
+        self.stats.on_deliver(idx, env.wire_bytes(), service);
 
         let mut actor = slot.actor.take().expect("actor present outside callback");
         let saved_now = self.now;
@@ -309,71 +390,76 @@ impl<M: MessageMeta + Clone + 'static> Simulation<M> {
             now: done,
             self_addr: to,
             rng: &mut self.rng,
-            next_timer_id: &mut self.next_timer_id,
+            timers: &mut self.timers,
             actions: Vec::new(),
         };
-        actor.on_message(from, msg, &mut ctx);
+        actor.on_message(from, env.into_payload(), &mut ctx);
         let actions = ctx.actions;
-        if let Some(slot) = self.actors.get_mut(&to) {
-            slot.actor = Some(actor);
-        }
-        self.apply_actions(to, done, actions);
+        self.slots[idx as usize].actor = Some(actor);
+        self.apply_actions(to, idx, done, actions);
         self.now = saved_now;
     }
 
-    fn fire_timer(&mut self, owner: Addr, id: TimerId, msg: M) {
-        if self.cancelled_timers.remove(&id) {
+    fn fire_timer(&mut self, owner: Addr, owner_idx: u32, id: TimerId, msg: M) {
+        if !self.timers.retire(id) {
+            // Cancelled (or stale) — never delivered.
             return;
         }
         if self.faults.is_crashed(owner) {
             return;
         }
-        let Some(slot) = self.actors.get_mut(&owner) else {
+        let slot = &mut self.slots[owner_idx as usize];
+        if slot.actor.is_none() {
             return;
-        };
+        }
         self.stats.on_timer();
-        let mut actor = slot.actor.take().expect("actor present outside callback");
+        let mut actor = slot.actor.take().expect("actor checked above");
         let mut ctx = Context {
             now: self.now,
             self_addr: owner,
             rng: &mut self.rng,
-            next_timer_id: &mut self.next_timer_id,
+            timers: &mut self.timers,
             actions: Vec::new(),
         };
         actor.on_timer(id, msg, &mut ctx);
         let actions = ctx.actions;
-        if let Some(slot) = self.actors.get_mut(&owner) {
-            slot.actor = Some(actor);
-        }
-        self.apply_actions(owner, self.now, actions);
+        self.slots[owner_idx as usize].actor = Some(actor);
+        self.apply_actions(owner, owner_idx, self.now, actions);
     }
 
-    fn apply_actions(&mut self, origin: Addr, origin_time: SimTime, actions: Vec<Action<M>>) {
+    fn apply_actions(
+        &mut self,
+        origin: Addr,
+        origin_idx: u32,
+        origin_time: SimTime,
+        actions: Vec<Action<M>>,
+    ) {
         let saved_now = self.now;
         self.now = origin_time;
+        let origin_region = self.slots[origin_idx as usize].region;
         for action in actions {
             match action {
-                Action::Send { to, msg } => {
+                Action::Send { to, env } => {
                     // Sending also costs the origin a little CPU, folded into
                     // busy_until so a node multicast-storm shows up as load.
-                    if let Some(slot) = self.actors.get_mut(&origin) {
-                        let t = slot.cpu.send_time();
-                        slot.busy_until = slot.busy_until.max(self.now) + t;
-                    }
-                    self.schedule_send(origin, to, msg);
+                    let slot = &mut self.slots[origin_idx as usize];
+                    let t = slot.cpu.send_time();
+                    slot.busy_until = slot.busy_until.max(self.now) + t;
+                    self.schedule_send(origin, origin_region, to, env);
                 }
                 Action::SetTimer { id, delay, msg } => {
                     self.queue.push(
                         self.now + delay,
                         EventKind::Timer {
                             owner: origin,
+                            owner_idx: origin_idx,
                             id,
                             msg,
                         },
                     );
                 }
                 Action::CancelTimer { id } => {
-                    self.cancelled_timers.insert(id);
+                    self.timers.retire(id);
                 }
             }
         }
@@ -389,8 +475,8 @@ impl<M: MessageMeta + Clone + 'static> Simulation<M> {
         f: impl FnOnce(&mut dyn Actor<M>) -> R,
     ) -> Option<R> {
         let addr = addr.into();
-        let slot = self.actors.get_mut(&addr)?;
-        let actor = slot.actor.as_mut()?;
+        let idx = *self.index.get(&addr)?;
+        let actor = self.slots[idx as usize].actor.as_mut()?;
         Some(f(actor.as_mut()))
     }
 
@@ -398,7 +484,8 @@ impl<M: MessageMeta + Clone + 'static> Simulation<M> {
     /// concrete type to extract results).
     pub fn take_actor(&mut self, addr: impl Into<Addr>) -> Option<Box<dyn Actor<M>>> {
         let addr = addr.into();
-        self.actors.get_mut(&addr).and_then(|s| s.actor.take())
+        let idx = *self.index.get(&addr)?;
+        self.slots[idx as usize].actor.take()
     }
 
     /// Number of events still pending.
@@ -524,6 +611,7 @@ mod tests {
         s.inject(addr(1), addr(0), TestMsg::Tick);
         s.run_to_completion(100);
         assert_eq!(s.stats().timers_fired, 1);
+        assert_eq!(s.live_timers(), 0, "fired + cancelled timers both retire");
     }
 
     #[test]
@@ -561,6 +649,62 @@ mod tests {
         s.run_to_completion(100);
         assert_eq!(s.stats().messages_delivered, 0);
         assert_eq!(s.stats().messages_dropped, 1);
+    }
+
+    #[test]
+    fn recipient_registered_after_send_still_receives() {
+        // The cached index is a hint, not a requirement: an actor registered
+        // between schedule and delivery is resolved the cold way.
+        let mut s = sim();
+        s.register(
+            addr(0),
+            Region(0),
+            CpuProfile::client(),
+            Box::new(PingPong::default()),
+        );
+        s.inject(addr(0), addr(5), TestMsg::Ping(1));
+        s.register(
+            addr(5),
+            Region(0),
+            CpuProfile::client(),
+            Box::new(PingPong::default()),
+        );
+        s.run_to_completion(100);
+        assert_eq!(s.stats().messages_delivered, 2, "ping + pong");
+    }
+
+    #[test]
+    fn re_registration_replaces_the_actor_and_keeps_the_index() {
+        let mut s = sim();
+        s.register(
+            addr(0),
+            Region(0),
+            CpuProfile::client(),
+            Box::new(PingPong::default()),
+        );
+        s.register(
+            addr(1),
+            Region(0),
+            CpuProfile::client(),
+            Box::new(PingPong::default()),
+        );
+        s.inject(addr(1), addr(0), TestMsg::Tick);
+        s.run_to_completion(10);
+        assert_eq!(s.stats().messages_delivered, 1);
+        // Replace the actor behind addr(0); the address keeps its interned
+        // slot and its accumulated statistics.
+        s.register(
+            addr(0),
+            Region(0),
+            CpuProfile::client(),
+            Box::new(PingPong::default()),
+        );
+        assert_eq!(s.actor_count(), 2, "re-registration must not grow tables");
+        s.inject(addr(1), addr(0), TestMsg::Tick);
+        s.run_to_completion(10);
+        assert_eq!(s.stats().messages_delivered, 2);
+        let fresh = s.take_actor(addr(0)).expect("replacement actor present");
+        drop(fresh);
     }
 
     #[test]
@@ -687,5 +831,77 @@ mod tests {
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn cancel_after_fire_does_not_kill_a_recycled_timer() {
+        // An actor that (1) sets timer A, lets it fire, (2) sets timer B
+        // (which recycles A's slab slot), then (3) cancels through the stale
+        // A handle.  B must still fire.
+        struct Reuser {
+            first: Option<TimerId>,
+            fired: u32,
+        }
+        impl Actor<TestMsg> for Reuser {
+            fn on_message(&mut self, _f: Addr, _m: TestMsg, ctx: &mut Context<'_, TestMsg>) {
+                self.first = Some(ctx.set_timer(Duration::from_millis(1), TestMsg::Tick));
+            }
+            fn on_timer(&mut self, _id: TimerId, _m: TestMsg, ctx: &mut Context<'_, TestMsg>) {
+                self.fired += 1;
+                if self.fired == 1 {
+                    let second = ctx.set_timer(Duration::from_millis(1), TestMsg::Tick);
+                    // Cancelling the already-fired first id must not cancel
+                    // the second timer, even though it reuses the slot.
+                    ctx.cancel_timer(self.first.expect("first timer was set"));
+                    // Cancel-twice on the stale handle is equally harmless.
+                    ctx.cancel_timer(self.first.expect("first timer was set"));
+                    let _ = second;
+                }
+            }
+        }
+        let mut s = sim();
+        s.register(
+            addr(0),
+            Region(0),
+            CpuProfile::client(),
+            Box::new(Reuser {
+                first: None,
+                fired: 0,
+            }),
+        );
+        s.inject(addr(1), addr(0), TestMsg::Tick);
+        s.run_to_completion(100);
+        assert_eq!(s.stats().timers_fired, 2, "recycled timer must still fire");
+        assert_eq!(s.live_timers(), 0);
+    }
+
+    #[test]
+    fn multicast_shares_one_payload_allocation() {
+        // A fan-out actor multicasts one message to three sinks; the runtime
+        // must deliver all three while the sender-side cost (send_time) is
+        // charged per recipient exactly as before.
+        struct FanOut;
+        impl Actor<TestMsg> for FanOut {
+            fn on_message(&mut self, _f: Addr, msg: TestMsg, ctx: &mut Context<'_, TestMsg>) {
+                if matches!(msg, TestMsg::Tick) {
+                    ctx.multicast([addr(1), addr(2), addr(3)], TestMsg::Ping(9));
+                }
+            }
+            fn on_timer(&mut self, _i: TimerId, _m: TestMsg, _c: &mut Context<'_, TestMsg>) {}
+        }
+        let mut s = sim();
+        s.register(addr(0), Region(0), CpuProfile::server(), Box::new(FanOut));
+        for i in 1..=3 {
+            s.register(
+                addr(i),
+                Region(0),
+                CpuProfile::client(),
+                Box::new(PingPong::default()),
+            );
+        }
+        s.inject(addr(9), addr(0), TestMsg::Tick);
+        s.run_to_completion(100);
+        // Kick-off + 3 pings + 3 pongs back to the fan-out actor.
+        assert_eq!(s.stats().messages_delivered, 7);
     }
 }

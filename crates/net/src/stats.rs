@@ -5,6 +5,12 @@ use saguaro_types::Duration;
 use std::collections::HashMap;
 
 /// Counters collected by the simulation runtime.
+///
+/// Per-node busy time is stored densely, indexed by the runtime's interned
+/// actor index, so the delivery hot path increments a `Vec` cell instead of
+/// probing a hash map.  The `Addr`-keyed lookup table is only consulted by
+/// the cold reporting accessors ([`NetStats::busy_time`],
+/// [`NetStats::utilisation`]).
 #[derive(Debug, Default, Clone)]
 pub struct NetStats {
     /// Total messages handed to the network (including later-dropped ones).
@@ -17,11 +23,24 @@ pub struct NetStats {
     pub bytes_delivered: u64,
     /// Timer events fired.
     pub timers_fired: u64,
-    /// Per-node accumulated CPU busy time.
-    busy: HashMap<Addr, Duration>,
+    /// Per-node accumulated CPU busy time, indexed by interned actor index.
+    busy: Vec<Duration>,
+    /// Interned index → address (reporting).
+    addrs: Vec<Addr>,
+    /// Address → interned index (cold queries).
+    index: HashMap<Addr, u32>,
 }
 
 impl NetStats {
+    /// Interns a newly registered address, allocating its busy counter.
+    /// Must be called in the runtime's registration order so indices line up.
+    pub(crate) fn register(&mut self, addr: Addr) {
+        let idx = self.busy.len() as u32;
+        self.busy.push(Duration::ZERO);
+        self.addrs.push(addr);
+        self.index.insert(addr, idx);
+    }
+
     /// Records an attempted send.
     pub(crate) fn on_send(&mut self) {
         self.messages_sent += 1;
@@ -32,12 +51,13 @@ impl NetStats {
         self.messages_dropped += 1;
     }
 
-    /// Records a delivery of `bytes` to `to` costing `service` CPU time.
-    pub(crate) fn on_deliver(&mut self, to: Addr, bytes: usize, service: Duration) {
+    /// Records a delivery of `bytes` to the actor at interned index `idx`
+    /// costing `service` CPU time.
+    pub(crate) fn on_deliver(&mut self, idx: u32, bytes: usize, service: Duration) {
         self.messages_delivered += 1;
         self.bytes_delivered += bytes as u64;
-        let entry = self.busy.entry(to).or_insert(Duration::ZERO);
-        *entry = *entry + service;
+        let cell = &mut self.busy[idx as usize];
+        *cell = *cell + service;
     }
 
     /// Records a fired timer.
@@ -47,7 +67,10 @@ impl NetStats {
 
     /// Accumulated CPU busy time of one participant.
     pub fn busy_time(&self, a: Addr) -> Duration {
-        self.busy.get(&a).copied().unwrap_or(Duration::ZERO)
+        self.index
+            .get(&a)
+            .map(|&i| self.busy[i as usize])
+            .unwrap_or(Duration::ZERO)
     }
 
     /// Utilisation of a participant over a window of `elapsed` virtual time.
@@ -58,12 +81,23 @@ impl NetStats {
         self.busy_time(a).as_micros() as f64 / elapsed.as_micros() as f64
     }
 
-    /// The busiest participant and its accumulated busy time.
+    /// The busiest participant and its accumulated busy time.  Ties are
+    /// broken by the smaller [`Addr`], so repeated runs of the same
+    /// deployment always report the same node.
     pub fn busiest(&self) -> Option<(Addr, Duration)> {
-        self.busy
-            .iter()
-            .max_by_key(|(_, d)| d.as_micros())
-            .map(|(a, d)| (*a, *d))
+        let mut best: Option<(Addr, Duration)> = None;
+        for (addr, busy) in self.addrs.iter().zip(self.busy.iter()) {
+            let better = match best {
+                None => true,
+                Some((best_addr, best_busy)) => {
+                    *busy > best_busy || (*busy == best_busy && *addr < best_addr)
+                }
+            };
+            if better {
+                best = Some((*addr, *busy));
+            }
+        }
+        best
     }
 }
 
@@ -76,15 +110,24 @@ mod tests {
         Addr::Client(ClientId(i))
     }
 
+    /// Interns c(0..n) in order, mirroring runtime registration.
+    fn stats_with(n: u64) -> NetStats {
+        let mut s = NetStats::default();
+        for i in 0..n {
+            s.register(c(i));
+        }
+        s
+    }
+
     #[test]
     fn counters_accumulate() {
-        let mut s = NetStats::default();
+        let mut s = stats_with(2);
         s.on_send();
         s.on_send();
         s.on_drop();
-        s.on_deliver(c(0), 100, Duration::from_micros(10));
-        s.on_deliver(c(0), 50, Duration::from_micros(5));
-        s.on_deliver(c(1), 10, Duration::from_micros(1));
+        s.on_deliver(0, 100, Duration::from_micros(10));
+        s.on_deliver(0, 50, Duration::from_micros(5));
+        s.on_deliver(1, 10, Duration::from_micros(1));
         s.on_timer();
         assert_eq!(s.messages_sent, 2);
         assert_eq!(s.messages_dropped, 1);
@@ -97,11 +140,34 @@ mod tests {
 
     #[test]
     fn utilisation_and_busiest() {
-        let mut s = NetStats::default();
-        s.on_deliver(c(0), 1, Duration::from_micros(500));
-        s.on_deliver(c(1), 1, Duration::from_micros(100));
+        let mut s = stats_with(2);
+        s.on_deliver(0, 1, Duration::from_micros(500));
+        s.on_deliver(1, 1, Duration::from_micros(100));
         assert_eq!(s.utilisation(c(0), Duration::from_millis(1)), 0.5);
         assert_eq!(s.utilisation(c(0), Duration::ZERO), 0.0);
         assert_eq!(s.busiest().map(|(a, _)| a), Some(c(0)));
+    }
+
+    #[test]
+    fn busiest_breaks_ties_by_smaller_addr() {
+        // Register in an order that would expose map-iteration nondeterminism
+        // and give several nodes identical busy time: the smallest address
+        // must win, every time.
+        let mut s = NetStats::default();
+        for i in [5u64, 2, 9, 3] {
+            s.register(c(i));
+        }
+        for idx in 0..4 {
+            s.on_deliver(idx, 1, Duration::from_micros(700));
+        }
+        assert_eq!(s.busiest(), Some((c(2), Duration::from_micros(700))));
+        // A strictly busier node still wins regardless of address.
+        s.on_deliver(2, 1, Duration::from_micros(1));
+        assert_eq!(s.busiest().map(|(a, _)| a), Some(c(9)));
+    }
+
+    #[test]
+    fn busiest_of_empty_stats_is_none() {
+        assert!(NetStats::default().busiest().is_none());
     }
 }

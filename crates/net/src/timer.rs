@@ -1,0 +1,138 @@
+//! Timer lifecycle bookkeeping.
+//!
+//! [`TimerId`]s are handed to actors as opaque handles.  Internally they are
+//! `(generation << 32) | slot` pairs into a slab: setting a timer allocates a
+//! slot (reusing freed ones), and cancelling or firing a timer bumps the
+//! slot's generation and returns it to the free list.  Every operation is
+//! O(1) and the slab's footprint is bounded by the peak number of
+//! *concurrently pending* timers — unlike the tombstone set it replaces,
+//! which grew by one entry per cancelled timer for the lifetime of the run.
+//!
+//! A stale id (cancelled, already fired, or from a recycled slot) never
+//! matches the slot's current generation, so cancel-after-fire and
+//! cancel-twice are harmless no-ops and a recycled slot cannot be cancelled
+//! through an old handle.
+
+/// Identifier of a pending timer (opaque to actors).
+pub type TimerId = u64;
+
+/// Generation-checked slab tracking which timers are still live.
+#[derive(Debug, Default)]
+pub(crate) struct TimerSlab {
+    /// Current generation of each slot; a [`TimerId`] is live iff its
+    /// embedded generation matches.
+    generations: Vec<u32>,
+    /// Slots available for reuse.
+    free: Vec<u32>,
+    /// Number of currently live timers.
+    live: usize,
+}
+
+impl TimerSlab {
+    fn split(id: TimerId) -> (usize, u32) {
+        ((id & u32::MAX as u64) as usize, (id >> 32) as u32)
+    }
+
+    /// Allocates a live timer slot and returns its id.
+    pub fn alloc(&mut self) -> TimerId {
+        let slot = self.free.pop().unwrap_or_else(|| {
+            self.generations.push(0);
+            (self.generations.len() - 1) as u32
+        });
+        self.live += 1;
+        ((self.generations[slot as usize] as u64) << 32) | slot as u64
+    }
+
+    /// True if the id refers to a timer that has neither fired nor been
+    /// cancelled.
+    #[cfg(test)]
+    pub fn is_live(&self, id: TimerId) -> bool {
+        let (slot, generation) = Self::split(id);
+        self.generations.get(slot) == Some(&generation)
+    }
+
+    /// Retires the timer (cancel or fire).  Returns true if it was live;
+    /// stale ids are no-ops.
+    pub fn retire(&mut self, id: TimerId) -> bool {
+        let (slot, generation) = Self::split(id);
+        if self.generations.get(slot) != Some(&generation) {
+            return false;
+        }
+        // Bump the generation so every outstanding copy of this id goes
+        // stale, then recycle the slot.
+        self.generations[slot] = generation.wrapping_add(1);
+        self.free.push(slot as u32);
+        self.live -= 1;
+        true
+    }
+
+    /// Number of live timers.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Capacity of the slab (peak concurrent timers seen so far).
+    #[cfg(test)]
+    pub fn capacity(&self) -> usize {
+        self.generations.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_retire_roundtrip() {
+        let mut slab = TimerSlab::default();
+        let a = slab.alloc();
+        let b = slab.alloc();
+        assert_ne!(a, b);
+        assert!(slab.is_live(a) && slab.is_live(b));
+        assert_eq!(slab.live(), 2);
+        assert!(slab.retire(a));
+        assert!(!slab.is_live(a));
+        assert_eq!(slab.live(), 1);
+    }
+
+    #[test]
+    fn cancel_twice_is_a_noop() {
+        let mut slab = TimerSlab::default();
+        let id = slab.alloc();
+        assert!(slab.retire(id));
+        assert!(!slab.retire(id), "second retire must not double-free");
+        assert_eq!(slab.live(), 0);
+    }
+
+    #[test]
+    fn stale_id_does_not_touch_a_recycled_slot() {
+        let mut slab = TimerSlab::default();
+        let old = slab.alloc();
+        assert!(slab.retire(old));
+        // The slot is recycled under a new generation...
+        let new = slab.alloc();
+        assert_eq!(TimerSlab::split(old).0, TimerSlab::split(new).0);
+        assert_ne!(old, new);
+        // ...so cancelling through the old handle must not kill the new timer.
+        assert!(!slab.retire(old));
+        assert!(slab.is_live(new));
+    }
+
+    #[test]
+    fn footprint_is_bounded_by_peak_concurrency() {
+        let mut slab = TimerSlab::default();
+        for _ in 0..100_000 {
+            let id = slab.alloc();
+            assert!(slab.retire(id));
+        }
+        assert_eq!(slab.capacity(), 1, "set-then-cancel churn must not grow");
+        assert_eq!(slab.live(), 0);
+    }
+
+    #[test]
+    fn unknown_ids_are_never_live() {
+        let slab = TimerSlab::default();
+        assert!(!slab.is_live(0));
+        assert!(!slab.is_live(u64::MAX));
+    }
+}

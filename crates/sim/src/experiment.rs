@@ -331,6 +331,9 @@ pub struct RunArtifacts {
     /// submission order).  How much of the schedule is actually submitted
     /// depends on the drawn inter-arrival times and the run horizon.
     pub schedules: Vec<(ClientId, Vec<TxId>)>,
+    /// Number of simulator events processed by the run (engine benchmarks
+    /// divide this by wall-clock time to get events/sec).
+    pub events_processed: u64,
 }
 
 /// Runs one experiment, dispatching `spec.protocol` to the corresponding
@@ -350,16 +353,25 @@ pub fn run_collecting(spec: &ExperimentSpec) -> RunArtifacts {
 }
 
 /// Sweeps offered load, returning one point per load value.
+///
+/// Sweep points are independent single-seeded runs, so they execute in
+/// parallel across all cores (see [`crate::par`]); results are merged in
+/// load order, making the parallel sweep bit-identical to a sequential one.
 pub fn sweep(spec: &ExperimentSpec, loads: &[f64]) -> Vec<LoadPoint> {
-    loads
+    let specs: Vec<ExperimentSpec> = loads
         .iter()
         .map(|l| {
             let mut s = spec.clone();
             s.offered_load_tps = *l;
-            LoadPoint {
-                offered_tps: *l,
-                metrics: run(&s),
-            }
+            s
+        })
+        .collect();
+    crate::par::parallel_map(&specs, run)
+        .into_iter()
+        .zip(loads)
+        .map(|(metrics, l)| LoadPoint {
+            offered_tps: *l,
+            metrics,
         })
         .collect()
 }
@@ -472,7 +484,7 @@ pub fn run_experiment_collecting<P: ProtocolStack>(spec: &ExperimentSpec) -> Run
     }
 
     let horizon = spec.warmup + spec.measure + Duration::from_millis(300);
-    sim.run_until(SimTime::ZERO + horizon);
+    let events_processed = sim.run_until(SimTime::ZERO + horizon);
     let completions = std::mem::take(&mut *collector.lock());
     let metrics = summarise(
         &completions,
@@ -484,6 +496,7 @@ pub fn run_experiment_collecting<P: ProtocolStack>(spec: &ExperimentSpec) -> Run
         metrics,
         completions,
         schedules,
+        events_processed,
     }
 }
 

@@ -5,7 +5,8 @@
 //! corresponding figure; the `saguaro-bench` binaries print them as tables
 //! and `EXPERIMENTS.md` records the paper-vs-measured comparison.
 
-use crate::experiment::{sweep, ExperimentSpec, LoadPoint, RidesharingConfig};
+use crate::experiment::{run, ExperimentSpec, LoadPoint, RidesharingConfig};
+use crate::par::parallel_map;
 use crate::protocol::ProtocolKind;
 use saguaro_hierarchy::Placement;
 use saguaro_types::FailureModel;
@@ -60,6 +61,40 @@ fn spec(protocol: ProtocolKind, options: &FigureOptions) -> ExperimentSpec {
     s
 }
 
+/// Sweeps every `(series, load)` cell of a figure as one flat parallel grid.
+///
+/// A figure's curves are independent runs just like its load points, so
+/// flattening `series × loads` before fanning out keeps all cores busy even
+/// when the load grid is short (e.g. smoke mode's two loads).  Results are
+/// regrouped in series order, each series' points in load order — the same
+/// output a nested sequential sweep would produce.
+fn sweep_series(entries: Vec<(String, ExperimentSpec)>, loads: &[f64]) -> Vec<FigureSeries> {
+    let jobs: Vec<ExperimentSpec> = entries
+        .iter()
+        .flat_map(|(_, s)| {
+            loads.iter().map(|l| {
+                let mut cell = s.clone();
+                cell.offered_load_tps = *l;
+                cell
+            })
+        })
+        .collect();
+    let mut metrics = parallel_map(&jobs, run).into_iter();
+    entries
+        .into_iter()
+        .map(|(label, _)| FigureSeries {
+            label,
+            points: loads
+                .iter()
+                .map(|l| LoadPoint {
+                    offered_tps: *l,
+                    metrics: metrics.next().expect("one result per grid cell"),
+                })
+                .collect(),
+        })
+        .collect()
+}
+
 /// The six curves every cross-domain figure plots: AHL, SharPer, the
 /// coordinator-based protocol and the optimistic protocol at 10 / 50 / 90 %
 /// contention.
@@ -67,7 +102,6 @@ fn cross_domain_curves(
     options: &FigureOptions,
     configure: impl Fn(ExperimentSpec) -> ExperimentSpec,
 ) -> Vec<FigureSeries> {
-    let mut out = Vec::new();
     let protos = [
         (ProtocolKind::Ahl, "AHL", None),
         (ProtocolKind::Sharper, "SharPer", None),
@@ -76,17 +110,17 @@ fn cross_domain_curves(
         (ProtocolKind::SaguaroOptimistic, "Opt-50%C", Some(0.50)),
         (ProtocolKind::SaguaroOptimistic, "Opt-90%C", Some(0.90)),
     ];
-    for (proto, label, contention) in protos {
-        let mut s = configure(spec(proto, options));
-        if let Some(c) = contention {
-            s = s.contention(c);
-        }
-        out.push(FigureSeries {
-            label: label.to_string(),
-            points: sweep(&s, &options.loads),
-        });
-    }
-    out
+    let entries = protos
+        .into_iter()
+        .map(|(proto, label, contention)| {
+            let mut s = configure(spec(proto, options));
+            if let Some(c) = contention {
+                s = s.contention(c);
+            }
+            (label.to_string(), s)
+        })
+        .collect();
+    sweep_series(entries, &options.loads)
 }
 
 /// Figure 7: cross-domain transactions, crash-only domains, nearby regions.
@@ -107,7 +141,7 @@ pub fn figure_mobile(
     model: FailureModel,
     options: &FigureOptions,
 ) -> Vec<FigureSeries> {
-    [0.0, 0.2, 0.8, 1.0]
+    let entries = [0.0, 0.2, 0.8, 1.0]
         .iter()
         .map(|mobile| {
             let mut s = spec(ProtocolKind::SaguaroCoordinator, options)
@@ -116,12 +150,10 @@ pub fn figure_mobile(
             if model == FailureModel::Byzantine {
                 s = s.byzantine();
             }
-            FigureSeries {
-                label: format!("{}%Mobile", (mobile * 100.0) as u32),
-                points: sweep(&s, &options.loads),
-            }
+            (format!("{}%Mobile", (mobile * 100.0) as u32), s)
         })
-        .collect()
+        .collect();
+    sweep_series(entries, &options.loads)
 }
 
 /// Figure 9: mobile devices over nearby regions.
@@ -167,33 +199,31 @@ pub fn figure_ft(model: FailureModel, faults: usize, options: &FigureOptions) ->
 /// baseline *is* the fixed-root configuration over the same substrate, so the
 /// ablation compares `Coordinator` against `AHL` at 100 % cross-domain.
 pub fn ablation_lca_vs_root(options: &FigureOptions) -> Vec<FigureSeries> {
-    [
+    let entries = [
         (ProtocolKind::SaguaroCoordinator, "LCA coordinator"),
         (ProtocolKind::Ahl, "Fixed root coordinator"),
     ]
     .iter()
-    .map(|(proto, label)| FigureSeries {
-        label: label.to_string(),
-        points: sweep(&spec(*proto, options).cross_domain(1.0), &options.loads),
-    })
-    .collect()
+    .map(|(proto, label)| (label.to_string(), spec(*proto, options).cross_domain(1.0)))
+    .collect();
+    sweep_series(entries, &options.loads)
 }
 
 /// Ablation: how the contention knob affects the optimistic protocol's abort
 /// behaviour (complement of the Opt-x%C curves).
 pub fn ablation_contention(options: &FigureOptions) -> Vec<FigureSeries> {
-    [0.1, 0.5, 0.9]
+    let entries = [0.1, 0.5, 0.9]
         .iter()
-        .map(|c| FigureSeries {
-            label: format!("contention {}%", (c * 100.0) as u32),
-            points: sweep(
-                &spec(ProtocolKind::SaguaroOptimistic, options)
+        .map(|c| {
+            (
+                format!("contention {}%", (c * 100.0) as u32),
+                spec(ProtocolKind::SaguaroOptimistic, options)
                     .cross_domain(0.8)
                     .contention(*c),
-                &options.loads,
-            ),
+            )
         })
-        .collect()
+        .collect();
+    sweep_series(entries, &options.loads)
 }
 
 /// Batch sizes and offered loads exercised by [`ablation_batch`]: the loads
@@ -216,17 +246,16 @@ fn batch_ablation_grid(quick: bool) -> (Vec<f64>, Vec<usize>) {
 /// picks saturation loads itself (see [`batch_ablation_grid`]).
 pub fn ablation_batch(options: &FigureOptions) -> Vec<FigureSeries> {
     let (loads, sizes) = batch_ablation_grid(options.quick);
-    let mut out = Vec::new();
+    let mut entries = Vec::new();
     for proto in ProtocolKind::ALL {
         for &b in &sizes {
-            let s = spec(proto, options).batched(b);
-            out.push(FigureSeries {
-                label: format!("{} b={b}", proto.label()),
-                points: sweep(&s, &loads),
-            });
+            entries.push((
+                format!("{} b={b}", proto.label()),
+                spec(proto, options).batched(b),
+            ));
         }
     }
-    out
+    sweep_series(entries, &loads)
 }
 
 /// Per-stack committed-throughput delta of the largest batch size over
@@ -272,19 +301,14 @@ pub fn batch_throughput_delta(series: &[FigureSeries]) -> Vec<(String, f64, f64,
 /// not the engine, drives the numbers.
 pub fn workload_comparison(options: &FigureOptions) -> Vec<FigureSeries> {
     let base = spec(ProtocolKind::SaguaroCoordinator, options);
-    [
-        ("micropayment", base.clone()),
+    let entries = vec![
+        ("micropayment".to_string(), base.clone()),
         (
-            "ridesharing",
+            "ridesharing".to_string(),
             base.ridesharing(RidesharingConfig::default()),
         ),
-    ]
-    .into_iter()
-    .map(|(label, s)| FigureSeries {
-        label: label.to_string(),
-        points: sweep(&s, &options.loads),
-    })
-    .collect()
+    ];
+    sweep_series(entries, &options.loads)
 }
 
 /// Renders a set of series as a plain-text table (one row per load point).

@@ -1,0 +1,81 @@
+//! Deterministic fork-join parallelism for independent simulation runs.
+//!
+//! Every point of an offered-load sweep is an independent, single-seeded
+//! simulation: runs share no mutable state and each one's `RunMetrics` is a
+//! pure function of its `ExperimentSpec`.  [`parallel_map`] therefore fans
+//! work out across OS threads and merges results **in input order**, so a
+//! parallel sweep is bit-identical to a sequential one — parallelism changes
+//! wall-clock time, never results.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Maps `f` over `items` on up to [`std::thread::available_parallelism`]
+/// worker threads, returning the results in input order.
+///
+/// Work is handed out through a shared index counter, so long-running items
+/// (high offered loads) do not leave the other workers idle.  A panic in
+/// any worker propagates to the caller once the scope joins.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else {
+                    break;
+                };
+                *results[i].lock() = Some(f(item));
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|cell| cell.into_inner().expect("worker filled every slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let items: Vec<u64> = (0..64).collect();
+        // Uneven per-item cost exercises the work-stealing counter.
+        let out = parallel_map(&items, |&i| {
+            if i % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            i * 2
+        });
+        assert_eq!(out, items.iter().map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_inputs_work() {
+        let empty: Vec<u32> = vec![];
+        assert!(parallel_map(&empty, |x| *x).is_empty());
+        assert_eq!(parallel_map(&[41u32], |x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn matches_sequential_map_exactly() {
+        let items: Vec<u64> = (0..100).collect();
+        let seq: Vec<u64> = items.iter().map(|i| i.wrapping_mul(31)).collect();
+        assert_eq!(parallel_map(&items, |i| i.wrapping_mul(31)), seq);
+    }
+}
