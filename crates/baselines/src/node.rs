@@ -7,7 +7,8 @@ use saguaro_hierarchy::HierarchyTree;
 use saguaro_ledger::{BlockchainState, LinearLedger, TxStatus};
 use saguaro_net::{Actor, Addr, Context, TimerId};
 use saguaro_types::{
-    BatchConfig, DomainId, FailureModel, MultiSeq, NodeId, QuorumSpec, SeqNo, Transaction, TxId,
+    BatchConfig, DomainId, FailureModel, LivenessConfig, MultiSeq, NodeId, QuorumSpec, SeqNo,
+    Transaction, TxId,
 };
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
@@ -21,6 +22,36 @@ pub struct BaselineStats {
     pub cross_committed: u64,
     /// Cross-shard transactions aborted.
     pub cross_aborted: u64,
+    /// View changes observed by this node's internal consensus.
+    pub view_changes: u64,
+    /// Rolling hash of the internal consensus delivery stream, one snapshot
+    /// per delivered block (same scheme as `saguaro_core::NodeStats`): the
+    /// fault suites check that replicas of a shard agree on their common
+    /// delivery prefix.
+    pub consensus_log: Vec<u64>,
+}
+
+impl BaselineStats {
+    /// Folds one delivered block into the rolling delivery-stream hash —
+    /// see [`saguaro_types::delivery_hash`].
+    fn note_delivery(&mut self, seq: SeqNo, members: impl Iterator<Item = u64>) {
+        let prev = self.consensus_log.last().copied();
+        self.consensus_log
+            .push(saguaro_types::delivery_hash(prev, seq, members));
+    }
+}
+
+/// Per-command fingerprint for the delivery-stream hash: the transaction id
+/// tagged with the command variant (the same transaction may legitimately be
+/// ordered twice under different variants, e.g. 2PC prepare then commit).
+fn bcmd_fingerprint(cmd: &BCmd) -> u64 {
+    let (tag, tx) = match cmd {
+        BCmd::Internal(tx) => (0u64, tx),
+        BCmd::CommitteeOrder(tx) => (1, tx),
+        BCmd::ShardPrepare(tx) => (2, tx),
+        BCmd::ShardCommit(tx) => (3, tx),
+    };
+    tx.id.0 ^ (tag << 60)
 }
 
 #[derive(Debug)]
@@ -64,6 +95,14 @@ pub struct BaselineNode {
     batch: BatchConfig,
     /// Pending flush timer for an under-full consensus batch (leader only).
     batch_timer: Option<TimerId>,
+    /// Progress-timer (primary suspicion) knobs.
+    liveness: LivenessConfig,
+    /// Record the consensus delivery stream for post-run agreement checks.
+    record_deliveries: bool,
+    /// The pending progress timer, when liveness is enabled.
+    progress_timer: Option<TimerId>,
+    /// Last delivered sequence number seen by the progress check.
+    last_progress_check: SeqNo,
     /// Statistics for the harness.
     pub stats: BaselineStats,
 }
@@ -111,8 +150,27 @@ impl BaselineNode {
             prepared_cache: HashMap::new(),
             batch,
             batch_timer: None,
+            liveness: LivenessConfig::disabled(),
+            record_deliveries: false,
+            progress_timer: None,
+            last_progress_check: 0,
             stats: BaselineStats::default(),
         }
+    }
+
+    /// Enables delivery-stream recording for post-run agreement checks.
+    pub fn with_delivery_recording(mut self, record: bool) -> Self {
+        self.record_deliveries = record;
+        self
+    }
+
+    /// Enables (or replaces) the liveness-timer knobs.  The timer loop is
+    /// armed by the first `ProgressTimer` *message* the node receives — the
+    /// deployment injects one at start-up, and again when a crashed replica
+    /// recovers.
+    pub fn with_liveness(mut self, liveness: LivenessConfig) -> Self {
+        self.liveness = liveness;
+        self
     }
 
     /// Seeds an account balance before the run.
@@ -199,14 +257,61 @@ impl BaselineNode {
                 Step::Broadcast { msg } => {
                     ctx.multicast(self.other_peers(), BaselineMsg::Consensus(msg));
                 }
-                Step::Deliver { command, .. } => {
+                Step::Deliver { seq, command } => {
+                    // Recorded only for fault-injection runs (the suites'
+                    // cross-replica agreement checks); failure-free sweeps
+                    // skip the bookkeeping.
+                    if self.record_deliveries {
+                        self.stats
+                            .note_delivery(seq, command.iter().map(bcmd_fingerprint));
+                    }
                     for cmd in command {
                         self.apply(cmd, ctx);
                     }
                 }
-                Step::ViewChanged { .. } => {}
+                Step::ViewChanged { .. } => {
+                    self.stats.view_changes += 1;
+                }
             }
         }
+    }
+
+    /// BFT shards reply from every replica; a backup that never saw the
+    /// original request learns the target from the committed transaction.
+    fn note_reply_target(&mut self, tx: &Transaction) {
+        if self.quorum.model == FailureModel::Byzantine {
+            self.reply_to.entry(tx.id).or_insert(tx.client);
+        }
+    }
+
+    /// Progress-timer loop (armed by a `ProgressTimer` message): suspect the
+    /// primary when no sequence number was delivered over the last window
+    /// while client work is pending, then re-arm.
+    fn on_progress_timer(&mut self, ctx: &mut Context<'_, BaselineMsg>) {
+        let delivered = self.consensus.last_delivered();
+        let stuck = delivered == self.last_progress_check
+            && (!self.reply_to.is_empty() || !self.coordinating.is_empty());
+        self.last_progress_check = delivered;
+        if stuck {
+            let steps = self.consensus.on_progress_timeout();
+            self.drive(steps, ctx);
+        }
+        self.progress_timer =
+            Some(ctx.set_timer(self.liveness.progress_timeout, BaselineMsg::ProgressTimer));
+    }
+
+    /// A `ProgressTimer` *message* (deployment kick-off or post-recovery
+    /// re-kick): restart the timer loop from scratch.  Cancelling the
+    /// tracked id first keeps a kick from doubling a live loop.
+    fn on_progress_kick(&mut self, ctx: &mut Context<'_, BaselineMsg>) {
+        if !self.liveness.enabled {
+            return;
+        }
+        if let Some(id) = self.progress_timer.take() {
+            ctx.cancel_timer(id);
+        }
+        self.progress_timer =
+            Some(ctx.set_timer(self.liveness.progress_timeout, BaselineMsg::ProgressTimer));
     }
 
     fn reply(&mut self, tx_id: TxId, committed: bool, ctx: &mut Context<'_, BaselineMsg>) {
@@ -234,6 +339,7 @@ impl BaselineNode {
         if self.ledger.contains(tx.id) {
             return;
         }
+        self.note_reply_target(tx);
         let domain = self.domain();
         let _ = execute_in_domain(&mut self.state, &tx.op, domain);
         if cross {
@@ -398,6 +504,9 @@ impl BaselineNode {
             return;
         }
         if !commit {
+            if let Some(tx) = self.prepared_cache.get(&tx_id).cloned() {
+                self.note_reply_target(&tx);
+            }
             self.stats.cross_aborted += 1;
             self.reply(tx_id, false, ctx);
             return;
@@ -588,7 +697,8 @@ impl Actor<BaselineMsg> for BaselineNode {
             BaselineMsg::FlatVote { tx_id, domain } => self.on_flat_vote(tx_id, domain, from, ctx),
             BaselineMsg::FlatCommit { tx_id, .. } => self.on_flat_commit(tx_id, ctx),
             BaselineMsg::BatchTimer => self.on_batch_timer(ctx),
-            BaselineMsg::Reply { .. } | BaselineMsg::ProgressTimer => {}
+            BaselineMsg::ProgressTimer => self.on_progress_kick(ctx),
+            BaselineMsg::Reply { .. } => {}
         }
     }
 
@@ -598,10 +708,7 @@ impl Actor<BaselineMsg> for BaselineNode {
 
     fn on_timer(&mut self, _id: TimerId, msg: BaselineMsg, ctx: &mut Context<'_, BaselineMsg>) {
         match msg {
-            BaselineMsg::ProgressTimer => {
-                let steps = self.consensus.on_progress_timeout();
-                self.drive(steps, ctx);
-            }
+            BaselineMsg::ProgressTimer => self.on_progress_timer(ctx),
             BaselineMsg::BatchTimer => self.on_batch_timer(ctx),
             _ => {}
         }

@@ -1,0 +1,36 @@
+//! Fault-injection sweep: every protocol stack runs the same scripted
+//! crash-and-recover schedule on the figure-7 topology — the view-0 primary
+//! of one height-1 domain crashes a quarter into the measurement window and
+//! recovers at 70 % of it — and the binary prints the committed-throughput
+//! timeline around the outage.  Paxos view changes are exercised by the four
+//! crash-model stacks, PBFT by the extra `Coordinator-BFT` series.
+//!
+//! `--json <path>` merges a `faults` section into the shared
+//! `BENCH_results.json` (other sections are preserved).
+
+use saguaro_bench::{emit, json_path_from_args, options_from_args, JsonReport};
+use saguaro_sim::figures::{faults, render_fault_table};
+use saguaro_sim::json::ToJson;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let options = options_from_args(&args);
+    let series = faults(&options);
+    emit(
+        "faults",
+        render_fault_table(
+            "Fault injection: leader crash + recovery, figure-7 topology",
+            &series,
+        ),
+    );
+    for s in &series {
+        assert!(
+            s.view_changes > 0,
+            "{}: a scripted leader crash must drive at least one view change",
+            s.label
+        );
+    }
+    let mut report = JsonReport::new();
+    report.add_value("faults", series.to_json());
+    report.merge_into_if_requested(json_path_from_args(&args).as_ref());
+}

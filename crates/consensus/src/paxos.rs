@@ -101,6 +101,10 @@ pub struct PaxosReplica<C> {
     view_change_votes: BTreeMap<u64, BTreeMap<NodeId, ViewChangeVote<C>>>,
     /// True while a view change is in progress (stop accepting in old view).
     in_view_change: bool,
+    /// Highest view this replica has voted a view change towards.  Repeated
+    /// progress timeouts escalate past it, so a view whose would-be leader
+    /// is itself crashed cannot wedge the domain.
+    highest_vc: u64,
 }
 
 impl<C: Command> PaxosReplica<C> {
@@ -119,6 +123,7 @@ impl<C: Command> PaxosReplica<C> {
             pending_learns: BTreeMap::new(),
             view_change_votes: BTreeMap::new(),
             in_view_change: false,
+            highest_vc: 0,
         }
     }
 
@@ -287,10 +292,16 @@ impl<C: Command> PaxosReplica<C> {
             return Vec::new();
         }
         match self.slots.get_mut(&seq) {
-            Some(slot) => slot.committed = true,
-            // Learn overtook its Accept (out-of-order network): remember the
-            // commit and apply it when the Accept creates the slot.
-            None => {
+            // A Learn issued in view v certifies the value *accepted in v*
+            // (or re-proposed into a later view).  A slot filled in an older
+            // view may hold a deposed leader's divergent proposal — e.g. one
+            // it made while partitioned away — so committing it here would
+            // fork the log.
+            Some(slot) if slot.accepted_in_view >= view => slot.committed = true,
+            // Slot missing (Learn overtook its Accept) or stale: remember
+            // the commit and apply it when an Accept from the Learn's view
+            // (or newer) supplies the certified value.
+            _ => {
                 let entry = self.pending_learns.entry(seq).or_insert(view);
                 *entry = (*entry).max(view);
             }
@@ -325,7 +336,10 @@ impl<C: Command> PaxosReplica<C> {
             // The primary itself does not suspect itself.
             return Vec::new();
         }
-        self.start_view_change(self.view + 1)
+        // Escalate past any view change already attempted: if the candidate
+        // leader of the last attempt is itself dead, the next timeout must
+        // move on to the following replica rather than retry forever.
+        self.start_view_change(self.view.max(self.highest_vc) + 1)
     }
 
     fn start_view_change(&mut self, new_view: u64) -> Vec<Step<C, PaxosMsg<C>>> {
@@ -333,10 +347,16 @@ impl<C: Command> PaxosReplica<C> {
             return Vec::new();
         }
         self.in_view_change = true;
+        self.highest_vc = self.highest_vc.max(new_view);
+        // The vote carries *every* slot, delivered ones included: quorum
+        // intersection then guarantees the new leader's merge sees each
+        // chosen value even when the only voter still holding it has already
+        // executed it (a delivered-entries filter here once let a new leader
+        // re-assign an executed sequence number to a fresh command, forking
+        // stragglers).
         let accepted: Vec<(SeqNo, u64, C)> = self
             .slots
             .iter()
-            .filter(|(seq, _)| **seq > self.last_delivered)
             .map(|(seq, slot)| (*seq, slot.accepted_in_view, slot.cmd.clone()))
             .collect();
         let msg = PaxosMsg::ViewChange {
@@ -362,8 +382,9 @@ impl<C: Command> PaxosReplica<C> {
             return Vec::new();
         }
         let mut steps = Vec::new();
-        // Join the view change ourselves (echo) the first time we hear of it.
-        if !self.in_view_change {
+        // Join the view change ourselves (echo) the first time we hear of
+        // it, and again whenever a peer escalates beyond our last attempt.
+        if !self.in_view_change || new_view > self.highest_vc {
             steps.extend(self.start_view_change(new_view));
         }
         steps.extend(self.record_view_change_vote(from, new_view, accepted, last_committed));
@@ -390,8 +411,10 @@ impl<C: Command> PaxosReplica<C> {
         // preferring the value accepted in the highest view per slot.
         let mut merged: BTreeMap<SeqNo, (u64, C)> = BTreeMap::new();
         let mut frontier = 0;
+        let mut floor = SeqNo::MAX;
         for (acc, lc) in votes.values() {
             frontier = frontier.max(*lc);
+            floor = floor.min(*lc);
             for (seq, v, cmd) in acc {
                 match merged.get(seq) {
                     Some((existing_view, _)) if existing_view >= v => {}
@@ -405,10 +428,15 @@ impl<C: Command> PaxosReplica<C> {
         self.in_view_change = false;
         self.view_change_votes.remove(&new_view);
 
-        // Re-install the merged log locally and recompute next_seq.
+        // Re-install the merged log locally and recompute next_seq.  The log
+        // starts at the *lowest* voter frontier, not the highest: a voter
+        // that has not yet executed an already-chosen entry needs its value
+        // re-proposed (re-accepting an executed entry elsewhere is a cheap
+        // no-op), and followers only treat re-accepted entries as
+        // committed — never whatever stale value an old view left in a slot.
         let log: Vec<(SeqNo, C)> = merged
             .iter()
-            .filter(|(seq, _)| **seq > frontier)
+            .filter(|(seq, _)| **seq > floor)
             .map(|(seq, (_, cmd))| (*seq, cmd.clone()))
             .collect();
         for (seq, cmd) in &log {
@@ -484,10 +512,16 @@ impl<C: Command> PaxosReplica<C> {
                 msg: PaxosMsg::Accepted { view, seq, digest },
             });
         }
-        // Catch up the commit frontier the leader advertised.
+        // Catch up the commit frontier the leader advertised — but only
+        // through entries re-accepted in this very view (the log installed
+        // just above).  A slot still holding an *older* view's value may be
+        // a deposed leader's divergent proposal; blindly committing it here
+        // once forked a recovered replica's log.
         for seq in (self.last_delivered + 1)..=last_committed {
             if let Some(slot) = self.slots.get_mut(&seq) {
-                slot.committed = true;
+                if slot.accepted_in_view >= view {
+                    slot.committed = true;
+                }
             }
         }
         steps.extend(self.drain_deliveries());
@@ -539,6 +573,48 @@ mod tests {
             "buffered learn was not applied: {steps:?}"
         );
         assert_eq!(reps[1].last_delivered(), 1);
+    }
+
+    #[test]
+    fn learn_does_not_commit_a_value_accepted_in_an_older_view() {
+        // Replica 1 accepted a value from the view-0 leader, then missed the
+        // view change.  When the view-1 leader's Learn for the same slot
+        // arrives, the locally stored view-0 value may differ from what view
+        // 1 chose — committing it would fork the log.  The commit must be
+        // buffered until the view-1 Accept supplies the certified value.
+        let (nodes, mut reps) = make_domain(3);
+        let _ = reps[1].on_message(
+            nodes[0],
+            PaxosMsg::Accept {
+                view: 0,
+                seq: 1,
+                cmd: b"deposed".to_vec(),
+            },
+        );
+        let steps = reps[1].on_message(nodes[1], PaxosMsg::Learn { view: 1, seq: 1 });
+        assert!(
+            !steps.iter().any(|s| matches!(s, Step::Deliver { .. })),
+            "stale slot must not commit under a newer view's Learn: {steps:?}"
+        );
+        assert_eq!(reps[1].last_delivered(), 0);
+        // The view-1 Accept carries what view 1 actually chose; only then
+        // does the buffered commit apply — to the certified value.
+        let steps = reps[1].on_message(
+            nodes[1],
+            PaxosMsg::Accept {
+                view: 1,
+                seq: 1,
+                cmd: b"chosen".to_vec(),
+            },
+        );
+        let delivered: Vec<&Cmd> = steps
+            .iter()
+            .filter_map(|s| match s {
+                Step::Deliver { command, .. } => Some(command),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(delivered, vec![&b"chosen".to_vec()]);
     }
 
     #[test]
@@ -724,6 +800,35 @@ mod tests {
     fn primary_does_not_suspect_itself() {
         let (_nodes, mut reps) = make_domain(3);
         assert!(reps[0].on_progress_timeout().is_empty());
+    }
+
+    #[test]
+    fn repeated_timeouts_escalate_past_a_crashed_candidate() {
+        // 5 replicas tolerate f = 2.  Both the leader (0) and the next
+        // round-robin candidate (1) crash: the first timeout round targets
+        // view 1 and stalls (its candidate is dead); the second must
+        // escalate to view 2 instead of retrying view 1 forever.
+        let (nodes, mut reps) = make_domain(5);
+        let steps = reps[0].propose(b"committed".to_vec());
+        run_network(&nodes, &mut reps, vec![(0, steps)], &[]);
+
+        let vc: InitialSteps = (2..5).map(|i| (i, reps[i].on_progress_timeout())).collect();
+        run_network(&nodes, &mut reps, vc, &[0, 1]);
+        assert_eq!(reps[2].view(), 0, "view 1 must not form without node 1");
+
+        let vc: InitialSteps = (2..5).map(|i| (i, reps[i].on_progress_timeout())).collect();
+        run_network(&nodes, &mut reps, vc, &[0, 1]);
+        assert_eq!(reps[2].view(), 2);
+        assert!(reps[2].is_primary());
+        assert_eq!(reps[3].view(), 2);
+
+        // Progress resumes under the view-2 leader with 3 of 5 alive.
+        let steps = reps[2].propose(b"after".to_vec());
+        let delivered = run_network(&nodes, &mut reps, vec![(2, steps)], &[0, 1]);
+        assert!(delivered[3].iter().any(|(_, c)| c == b"after"));
+        assert!(delivered[4].iter().any(|(_, c)| c == b"after"));
+        // The entry committed in view 0 survived both rounds.
+        assert!(reps[2].last_delivered() >= 2);
     }
 
     #[test]

@@ -122,6 +122,10 @@ pub struct PbftReplica<C> {
     slots: BTreeMap<SeqNo, SlotState<C>>,
     view_change_votes: BTreeMap<u64, BTreeMap<NodeId, ViewChangeVote<C>>>,
     in_view_change: bool,
+    /// Highest view this replica has voted a view change towards; repeated
+    /// timeouts escalate past it so a crashed candidate primary cannot wedge
+    /// the domain.
+    highest_vc: u64,
     /// Checkpoint interval (sequence numbers between stable checkpoints).
     checkpoint_interval: SeqNo,
     /// Votes for checkpoints, per sequence number.
@@ -145,6 +149,7 @@ impl<C: Command> PbftReplica<C> {
             slots: BTreeMap::new(),
             view_change_votes: BTreeMap::new(),
             in_view_change: false,
+            highest_vc: 0,
             checkpoint_interval: 128,
             stable_checkpoint: 0,
             checkpoint_votes: BTreeMap::new(),
@@ -405,14 +410,21 @@ impl<C: Command> PbftReplica<C> {
         if self.is_primary() && !self.in_view_change {
             return Vec::new();
         }
-        self.start_view_change(self.view + 1)
+        // Escalate past the last attempted view so a crashed candidate
+        // primary is skipped on the next timeout instead of retried forever.
+        self.start_view_change(self.view.max(self.highest_vc) + 1)
     }
 
     fn prepared_certificates(&self) -> Vec<(SeqNo, u64, C)> {
+        // Every prepared entry above the stable checkpoint is included,
+        // executed ones too: quorum intersection then guarantees the new
+        // primary's merge sees each committed value, so an executed sequence
+        // number can never be re-assigned to a different command while some
+        // straggler still waits for it.
         self.slots
             .iter()
             .filter(|(seq, slot)| {
-                **seq > self.last_delivered && slot.prepared && slot.cmd.is_some()
+                **seq > self.stable_checkpoint && slot.prepared && slot.cmd.is_some()
             })
             .map(|(seq, slot)| {
                 (
@@ -429,6 +441,7 @@ impl<C: Command> PbftReplica<C> {
             return Vec::new();
         }
         self.in_view_change = true;
+        self.highest_vc = self.highest_vc.max(new_view);
         let prepared = self.prepared_certificates();
         let msg = PbftMsg::ViewChange {
             new_view,
@@ -454,8 +467,9 @@ impl<C: Command> PbftReplica<C> {
         let mut steps = Vec::new();
         // Join the view change once f + 1 distinct replicas (or a timeout)
         // suggest it; for simplicity we join on first receipt, which is safe
-        // (liveness is driven by timeouts either way).
-        if !self.in_view_change {
+        // (liveness is driven by timeouts either way).  Re-join whenever a
+        // peer escalates beyond our last attempt.
+        if !self.in_view_change || new_view > self.highest_vc {
             steps.extend(self.start_view_change(new_view));
         }
         steps.extend(self.record_view_change_vote(from, new_view, prepared, checkpoint));
@@ -481,8 +495,10 @@ impl<C: Command> PbftReplica<C> {
         // Merge prepared certificates, preferring the highest view per slot.
         let mut merged: BTreeMap<SeqNo, (u64, C)> = BTreeMap::new();
         let mut checkpoint_frontier = self.stable_checkpoint;
+        let mut checkpoint_floor = self.stable_checkpoint;
         for (prep, cp) in votes.values() {
             checkpoint_frontier = checkpoint_frontier.max(*cp);
+            checkpoint_floor = checkpoint_floor.min(*cp);
             for (seq, v, cmd) in prep {
                 match merged.get(seq) {
                     Some((existing, _)) if existing >= v => {}
@@ -496,9 +512,14 @@ impl<C: Command> PbftReplica<C> {
         self.in_view_change = false;
         self.view_change_votes.remove(&new_view);
 
+        // The re-proposed log starts at the *lowest* voter checkpoint (not
+        // the highest): a straggling voter above the low checkpoint but
+        // behind the high one still needs those entries re-run, and
+        // re-preparing an entry a peer already checkpointed is ignored by
+        // that peer's `seq <= stable_checkpoint` guards.
         let log: Vec<(SeqNo, C)> = merged
             .iter()
-            .filter(|(seq, _)| **seq > checkpoint_frontier)
+            .filter(|(seq, _)| **seq > checkpoint_floor)
             .map(|(seq, (_, cmd))| (*seq, cmd.clone()))
             .collect();
         // Re-install the entries locally as pre-prepared in the new view.
@@ -809,6 +830,35 @@ mod tests {
         let (_nodes, mut reps) = make_domain(4);
         assert!(reps[0].on_progress_timeout().is_empty());
         assert!(!reps[1].on_progress_timeout().is_empty());
+    }
+
+    #[test]
+    fn repeated_timeouts_escalate_past_a_crashed_candidate() {
+        // |p| = 7 tolerates f = 2.  The primary (0) and the view-1 candidate
+        // (1) both crash: the five live replicas' first timeout targets view
+        // 1 and stalls; the second escalates to view 2, which forms with
+        // exactly the 2f + 1 = 5 live replicas.
+        let (nodes, mut reps) = make_domain(7);
+        let steps = reps[0].propose(b"committed".to_vec());
+        run_network(&nodes, &mut reps, vec![(0, steps)], &[]);
+
+        let vc: InitialSteps = (2..7).map(|i| (i, reps[i].on_progress_timeout())).collect();
+        run_network(&nodes, &mut reps, vc, &[0, 1]);
+        assert_eq!(reps[2].view(), 0, "view 1 must not form without node 1");
+
+        let vc: InitialSteps = (2..7).map(|i| (i, reps[i].on_progress_timeout())).collect();
+        run_network(&nodes, &mut reps, vc, &[0, 1]);
+        assert_eq!(reps[2].view(), 2);
+        assert!(reps[2].is_primary());
+
+        let steps = reps[2].propose(b"after".to_vec());
+        let delivered = run_network(&nodes, &mut reps, vec![(2, steps)], &[0, 1]);
+        for (i, d) in delivered.iter().enumerate().skip(3) {
+            assert!(
+                d.iter().any(|(_, c)| c == b"after"),
+                "replica {i} missed the post-escalation commit"
+            );
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Protocol configuration knobs.
 
 use saguaro_ledger::AbstractionFn;
-use saguaro_types::{BatchConfig, Duration};
+use saguaro_types::{BatchConfig, Duration, LivenessConfig};
 
 /// How cross-domain transactions are processed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -47,6 +47,15 @@ pub struct ProtocolConfig {
     /// `batch.max_delay`.  The default (`max_batch = 1`) reproduces the
     /// unbatched per-request pipeline exactly.
     pub batch: BatchConfig,
+    /// Progress-timer (primary suspicion) knobs.  Disabled by default: no
+    /// progress timers are scheduled and the event stream is bit-identical
+    /// to the historical failure-free pipeline.  Fault-injection runs enable
+    /// it so leader crashes actually trigger view changes.
+    pub liveness: LivenessConfig,
+    /// Record the consensus delivery stream (rolling hash per delivered
+    /// block) for post-run agreement checks.  On for fault-injection runs,
+    /// off for failure-free performance sweeps.
+    pub record_deliveries: bool,
 }
 
 impl ProtocolConfig {
@@ -62,6 +71,8 @@ impl ProtocolConfig {
             abstraction: AbstractionFn::Full,
             optimistic_abort_rounds: 8,
             batch: BatchConfig::unbatched(),
+            liveness: LivenessConfig::disabled(),
+            record_deliveries: false,
         }
     }
 
@@ -76,6 +87,18 @@ impl ProtocolConfig {
     /// Replaces the batching knobs (builder style).
     pub fn with_batch(mut self, batch: BatchConfig) -> Self {
         self.batch = batch;
+        self
+    }
+
+    /// Replaces the liveness knobs (builder style).
+    pub fn with_liveness(mut self, liveness: LivenessConfig) -> Self {
+        self.liveness = liveness;
+        self
+    }
+
+    /// Enables delivery-stream recording (builder style).
+    pub fn with_delivery_recording(mut self, record: bool) -> Self {
+        self.record_deliveries = record;
         self
     }
 

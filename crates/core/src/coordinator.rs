@@ -478,6 +478,7 @@ impl SaguaroNode {
                     final_seqs.set(self.domain(), ls);
                 }
             }
+            self.note_reply_target(&tx);
             if let Some(undo) = self.execute_owned(&tx.op) {
                 self.undo_log.insert(tx_id, undo);
             }

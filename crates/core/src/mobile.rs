@@ -317,6 +317,7 @@ impl SaguaroNode {
         if self.ledger.contains(tx.id) {
             return;
         }
+        self.note_reply_target(&tx);
         if let Some(undo) = self.execute_owned(&tx.op) {
             self.undo_log.insert(tx.id, undo);
         }

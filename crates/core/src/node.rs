@@ -28,8 +28,7 @@ use saguaro_ledger::{
 };
 use saguaro_net::{Actor, Addr, Context, TimerId};
 use saguaro_types::{
-    ClientId, DomainId, Duration, FailureModel, NodeId, Operation, QuorumSpec, SeqNo, Transaction,
-    TxId,
+    ClientId, DomainId, FailureModel, NodeId, Operation, QuorumSpec, SeqNo, Transaction, TxId,
 };
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
@@ -99,6 +98,9 @@ pub struct SaguaroNode {
 
     // ---------------- timers & misc ----------------
     pub(crate) round: u64,
+    /// The pending round timer (tracked so a post-recovery kick can restart
+    /// the loop without doubling it).
+    pub(crate) round_timer: Option<TimerId>,
     pub(crate) progress_timer: Option<TimerId>,
     pub(crate) last_progress_check: SeqNo,
     /// Pending flush timer for an under-full consensus batch (leader only;
@@ -144,6 +146,7 @@ impl SaguaroNode {
             hosted_devices: HashSet::new(),
             pending_mobile: HashMap::new(),
             round: 0,
+            round_timer: None,
             progress_timer: None,
             last_progress_check: 0,
             batch_timer: None,
@@ -273,6 +276,13 @@ impl SaguaroNode {
                     ctx.multicast(self.other_peers(), SaguaroMsg::Consensus(msg));
                 }
                 Step::Deliver { seq, command } => {
+                    // The delivery-stream hash only serves the fault suites'
+                    // cross-replica agreement checks; failure-free
+                    // performance sweeps skip the bookkeeping entirely.
+                    if self.config.record_deliveries {
+                        self.stats
+                            .note_delivery(seq, command.iter().map(cmd_fingerprint));
+                    }
                     for cmd in command {
                         self.apply_command(seq, cmd, ctx);
                     }
@@ -365,6 +375,13 @@ impl SaguaroNode {
 
     /// Executes and commits an internal transaction delivered by consensus.
     fn apply_internal(&mut self, tx: Transaction, ctx: &mut Context<'_, SaguaroMsg>) {
+        if self.ledger.contains(tx.id) {
+            // A view change may re-propose an already-committed batch (the
+            // new primary cannot tell commitment from preparation for every
+            // slot); executing it twice would double-spend.
+            return;
+        }
+        self.note_reply_target(&tx);
         let undo = self.execute_owned(&tx.op);
         if let Some(u) = undo {
             self.undo_log.insert(tx.id, u);
@@ -393,6 +410,18 @@ impl SaguaroNode {
         }
     }
 
+    /// Records the reply target for a transaction this replica is about to
+    /// commit.  BFT domains reply from *every* replica (the client matches
+    /// `f + 1` identical verdicts), so backups that never saw the original
+    /// request — it went to a peer — must learn the target from the
+    /// committed transaction itself.  CFT domains keep the receipt-only
+    /// bookkeeping: the primary alone replies.
+    pub(crate) fn note_reply_target(&mut self, tx: &Transaction) {
+        if self.quorum.model == FailureModel::Byzantine {
+            self.reply_to.entry(tx.id).or_insert(tx.client);
+        }
+    }
+
     /// Sends the commit/abort reply for `tx_id` if this domain received the
     /// original request.  CFT domains reply only from the primary; BFT
     /// domains reply from every replica and the client matches f + 1.
@@ -418,23 +447,45 @@ impl SaguaroNode {
     // Timers
     // ------------------------------------------------------------------
 
-    fn schedule_progress_timer(&mut self, ctx: &mut Context<'_, SaguaroMsg>) {
-        let id = ctx.set_timer(Duration::from_millis(2_000), SaguaroMsg::ProgressTimer);
+    pub(crate) fn schedule_progress_timer(&mut self, ctx: &mut Context<'_, SaguaroMsg>) {
+        let id = ctx.set_timer(
+            self.config.liveness.progress_timeout,
+            SaguaroMsg::ProgressTimer,
+        );
         self.progress_timer = Some(id);
     }
 
     fn on_progress_timer(&mut self, ctx: &mut Context<'_, SaguaroMsg>) {
         // Suspect the primary only if nothing was delivered since the last
-        // check while work is pending.
+        // check while work is demonstrably pending: an unanswered client
+        // request this replica received or relayed (`reply_to`), or an
+        // in-flight cross-domain transaction.
         let delivered = self.consensus.last_delivered();
         let stuck = delivered == self.last_progress_check
-            && (!self.participating.is_empty() || !self.coordinated.is_empty());
+            && (!self.participating.is_empty()
+                || !self.coordinated.is_empty()
+                || !self.reply_to.is_empty());
         self.last_progress_check = delivered;
         if stuck {
             let steps = self.consensus.on_progress_timeout();
             self.drive(steps, ctx);
         }
         self.schedule_progress_timer(ctx);
+    }
+
+    /// A round-timer *message* (deployment kick-off, or re-kick after a
+    /// crashed replica recovers): restart both self-perpetuating timer loops
+    /// from scratch.  While a replica is crashed its pending timers are
+    /// silently retired, so the loops must be re-armed; cancelling the
+    /// tracked ids first keeps a kick from ever doubling a live loop.
+    fn on_round_timer_kick(&mut self, ctx: &mut Context<'_, SaguaroMsg>) {
+        if let Some(id) = self.round_timer.take() {
+            ctx.cancel_timer(id);
+        }
+        if let Some(id) = self.progress_timer.take() {
+            ctx.cancel_timer(id);
+        }
+        self.on_round_timer(ctx);
     }
 }
 
@@ -487,8 +538,9 @@ impl Actor<SaguaroMsg> for SaguaroNode {
                 tx,
                 ..
             } => self.on_state_msg(device, entries, tx, ctx),
-            // Kick-off messages from the harness double as timer handlers.
-            SaguaroMsg::RoundTimer => self.on_round_timer(ctx),
+            // Kick-off messages from the harness (deployment start and
+            // post-recovery re-kicks) restart the timer loops.
+            SaguaroMsg::RoundTimer => self.on_round_timer_kick(ctx),
             SaguaroMsg::ProgressTimer => self.on_progress_timer(ctx),
             SaguaroMsg::BatchTimer => self.on_batch_timer(ctx),
             SaguaroMsg::CrossTimeout { tx_id } => self.on_cross_timeout(tx_id, ctx),
@@ -515,6 +567,20 @@ impl Actor<SaguaroMsg> for SaguaroNode {
                 self.on_message(self_addr, other, ctx);
             }
         }
+    }
+}
+
+/// Cheap per-command fingerprint folded into the consensus delivery-stream
+/// hash (`NodeStats::note_delivery`): the transaction id where there is one,
+/// otherwise enough variant-specific data to distinguish deliveries.
+fn cmd_fingerprint(cmd: &Cmd) -> u64 {
+    match cmd {
+        Cmd::CoordCommit { tx_id, commit, .. } => tx_id.0 ^ ((*commit as u64) << 63),
+        Cmd::ChildBlock { child, block } => {
+            (child.index as u64) << 32 | (child.height as u64) << 48 | block.header.id.round
+        }
+        Cmd::MobileExtract { device, .. } => device.0 ^ (1 << 62),
+        other => other.transaction().map(|t| t.id.0).unwrap_or(0),
     }
 }
 

@@ -345,6 +345,7 @@ impl SaguaroNode {
         if self.ledger.contains(tx.id) {
             return;
         }
+        self.note_reply_target(&tx);
         let seq = self.ledger.reserve_seq();
         let mut seqs = saguaro_types::MultiSeq::new();
         seqs.set(self.domain(), seq);
@@ -369,6 +370,10 @@ impl SaguaroNode {
             return;
         }
         for victim in victims {
+            if let Some(entry) = self.ledger.get(victim) {
+                let tx = entry.tx.clone();
+                self.note_reply_target(&tx);
+            }
             if let Some(undo) = self.undo_log.remove(&victim) {
                 self.state.revert(&undo);
             }

@@ -23,6 +23,12 @@ pub struct NodeStats {
     pub inconsistencies_detected: u64,
     /// View changes observed by this node.
     pub view_changes: u64,
+    /// Rolling hash of the internal consensus delivery stream, one snapshot
+    /// per delivered block.  Two replicas of a domain agree on their common
+    /// delivery prefix iff the shorter log's last snapshot equals the longer
+    /// log's snapshot at the same index — the fault-injection suites assert
+    /// exactly that.
+    pub consensus_log: Vec<u64>,
     /// Commit time of each transaction this node committed as the *receiving*
     /// domain primary (used to compute end-to-end latency when replies are
     /// lost).
@@ -30,6 +36,15 @@ pub struct NodeStats {
 }
 
 impl NodeStats {
+    /// Folds one delivered consensus block (its sequence number plus a
+    /// fingerprint per member command) into the rolling delivery-stream
+    /// hash — see [`saguaro_types::delivery_hash`].
+    pub fn note_delivery(&mut self, seq: u64, members: impl Iterator<Item = u64>) {
+        let prev = self.consensus_log.last().copied();
+        self.consensus_log
+            .push(saguaro_types::delivery_hash(prev, seq, members));
+    }
+
     /// Total committed transactions of every class.
     pub fn total_committed(&self) -> u64 {
         self.internal_committed + self.cross_committed + self.mobile_committed

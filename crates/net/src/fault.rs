@@ -1,13 +1,155 @@
 //! Fault injection.
 //!
-//! The tests and some experiments inject failures: crashed nodes (messages to
-//! and from them disappear, their timers stop firing), uniform message loss,
-//! and pairwise partitions.  The plan can change over virtual time by
-//! scheduling crash/heal calls from the harness between simulation runs.
+//! Two layers cooperate here:
+//!
+//! * [`FaultPlan`] is the *live* failure state the runtime consults on every
+//!   send and delivery: which actors are currently crashed, which links are
+//!   severed, and the uniform message-drop probability.
+//! * [`FaultSchedule`] is a *script* of [`FaultEvent`]s keyed by virtual
+//!   time.  The simulator interprets it as the clock advances, mutating the
+//!   live plan — crash and recover actors, cut and heal links, spike the
+//!   network delay — so a single seeded run can deterministically replay an
+//!   arbitrary failure scenario.  An empty schedule leaves the runtime's
+//!   behaviour (and its event stream) bit-identical to a failure-free run.
+//!
+//! Crash semantics model a node with stable storage: a crashed actor's
+//! in-memory protocol state survives, but every message to or from it is
+//! dropped and its timers are silently retired while it is down.
 
 use crate::addr::Addr;
 use rand::Rng;
+use saguaro_types::{Duration, SimTime};
 use std::collections::HashSet;
+
+/// One scripted failure (or repair) applied at a scheduled virtual time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// The actor stops: deliveries and timers are dropped from this instant
+    /// until a matching [`FaultEvent::RecoverActor`].
+    CrashActor(Addr),
+    /// The actor restarts (with its state intact — stable-storage model).
+    RecoverActor(Addr),
+    /// The (bidirectional) link between two actors starts dropping every
+    /// message.
+    PartitionLink(Addr, Addr),
+    /// The link between two actors is repaired.
+    HealLink(Addr, Addr),
+    /// Every message scheduled from this instant on suffers `extra` added
+    /// one-way delay.  `Duration::ZERO` ends the spike.
+    DelaySpike {
+        /// Additional one-way latency while the spike is active.
+        extra: Duration,
+    },
+}
+
+/// A deterministic script of [`FaultEvent`]s keyed by virtual time.
+///
+/// Events are kept sorted by time (ties preserve insertion order, so a
+/// crash-then-recover written at the same instant applies in that order).
+/// At any simulated instant `t`, every event with time `≤ t` has been
+/// applied before the event queue entry at `t` is processed — a crash
+/// scheduled at the same time as a delivery wins.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultSchedule {
+    events: Vec<(SimTime, FaultEvent)>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule (the failure-free default).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// True if no events are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// The scheduled events in application order.
+    pub fn events(&self) -> &[(SimTime, FaultEvent)] {
+        &self.events
+    }
+
+    /// Adds an event, keeping the schedule sorted by time (stable for ties).
+    pub fn push(&mut self, at: SimTime, event: FaultEvent) {
+        let pos = self.events.partition_point(|(t, _)| *t <= at);
+        self.events.insert(pos, (at, event));
+    }
+
+    /// Builder: crash `actor` at `at`.
+    pub fn crash_at(mut self, at: SimTime, actor: impl Into<Addr>) -> Self {
+        self.push(at, FaultEvent::CrashActor(actor.into()));
+        self
+    }
+
+    /// Builder: recover `actor` at `at`.
+    pub fn recover_at(mut self, at: SimTime, actor: impl Into<Addr>) -> Self {
+        self.push(at, FaultEvent::RecoverActor(actor.into()));
+        self
+    }
+
+    /// Builder: sever the link between `a` and `b` at `at`.
+    pub fn partition_at(mut self, at: SimTime, a: impl Into<Addr>, b: impl Into<Addr>) -> Self {
+        self.push(at, FaultEvent::PartitionLink(a.into(), b.into()));
+        self
+    }
+
+    /// Builder: heal the link between `a` and `b` at `at`.
+    pub fn heal_at(mut self, at: SimTime, a: impl Into<Addr>, b: impl Into<Addr>) -> Self {
+        self.push(at, FaultEvent::HealLink(a.into(), b.into()));
+        self
+    }
+
+    /// Builder: add `extra` one-way delay to every message from `at` on
+    /// (`Duration::ZERO` ends a previous spike).
+    pub fn delay_spike_at(mut self, at: SimTime, extra: Duration) -> Self {
+        self.push(at, FaultEvent::DelaySpike { extra });
+        self
+    }
+
+    /// Builder: partition every pair across the two groups at `at` (a clean
+    /// two-sided network split — pairs inside a group keep communicating).
+    pub fn split_at<A, B>(mut self, at: SimTime, side_a: A, side_b: B) -> Self
+    where
+        A: IntoIterator,
+        A::Item: Into<Addr>,
+        B: IntoIterator,
+        B::Item: Into<Addr>,
+    {
+        let right: Vec<Addr> = side_b.into_iter().map(Into::into).collect();
+        for a in side_a {
+            let a = a.into();
+            for b in &right {
+                self.push(at, FaultEvent::PartitionLink(a, *b));
+            }
+        }
+        self
+    }
+
+    /// Builder: heal every pair across the two groups at `at` (undoes
+    /// [`FaultSchedule::split_at`]).
+    pub fn heal_split_at<A, B>(mut self, at: SimTime, side_a: A, side_b: B) -> Self
+    where
+        A: IntoIterator,
+        A::Item: Into<Addr>,
+        B: IntoIterator,
+        B::Item: Into<Addr>,
+    {
+        let right: Vec<Addr> = side_b.into_iter().map(Into::into).collect();
+        for a in side_a {
+            let a = a.into();
+            for b in &right {
+                self.push(at, FaultEvent::HealLink(a, *b));
+            }
+        }
+        self
+    }
+}
 
 /// Dynamic description of which failures are currently active.
 #[derive(Debug, Default, Clone)]
@@ -143,5 +285,48 @@ mod tests {
         let plan = FaultPlan::none();
         let mut rng = StdRng::seed_from_u64(7);
         assert!((0..100).all(|_| !plan.should_drop(c(0), c(1), &mut rng)));
+    }
+
+    #[test]
+    fn schedule_keeps_events_sorted_and_stable() {
+        let t = SimTime::from_millis;
+        let s = FaultSchedule::none()
+            .recover_at(t(30), ClientId(1))
+            .crash_at(t(10), ClientId(1))
+            .delay_spike_at(t(10), Duration::from_millis(5));
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        let times: Vec<u64> = s.events().iter().map(|(at, _)| at.as_micros()).collect();
+        assert_eq!(times, vec![10_000, 10_000, 30_000]);
+        // Ties preserve insertion order: the crash was pushed before the
+        // spike, both at t=10ms.
+        assert_eq!(s.events()[0].1, FaultEvent::CrashActor(c(1)));
+        assert_eq!(
+            s.events()[1].1,
+            FaultEvent::DelaySpike {
+                extra: Duration::from_millis(5)
+            }
+        );
+    }
+
+    #[test]
+    fn split_builders_cover_the_cross_product() {
+        let t = SimTime::from_millis(1);
+        let left = [ClientId(0), ClientId(1)];
+        let right = [ClientId(2), ClientId(3)];
+        let s = FaultSchedule::none().split_at(t, left, right);
+        assert_eq!(s.len(), 4);
+        assert!(s
+            .events()
+            .iter()
+            .all(|(_, e)| matches!(e, FaultEvent::PartitionLink(_, _))));
+        let healed = s.heal_split_at(t, left, right);
+        assert_eq!(healed.len(), 8);
+    }
+
+    #[test]
+    fn empty_schedule_is_the_default() {
+        assert!(FaultSchedule::none().is_empty());
+        assert_eq!(FaultSchedule::default(), FaultSchedule::none());
     }
 }

@@ -38,7 +38,7 @@ pub mod timer;
 pub use addr::Addr;
 pub use cpu::{CpuProfile, MessageMeta};
 pub use envelope::Envelope;
-pub use fault::FaultPlan;
+pub use fault::{FaultEvent, FaultPlan, FaultSchedule};
 pub use latency::LatencyMatrix;
 pub use sim::{Actor, Context, Simulation};
 pub use stats::NetStats;

@@ -24,7 +24,7 @@ use crate::addr::Addr;
 use crate::cpu::{CpuProfile, MessageMeta};
 use crate::envelope::Envelope;
 use crate::event::{EventKind, EventQueue, TimerId};
-use crate::fault::FaultPlan;
+use crate::fault::{FaultEvent, FaultPlan, FaultSchedule};
 use crate::latency::LatencyMatrix;
 use crate::stats::NetStats;
 use crate::timer::TimerSlab;
@@ -162,6 +162,12 @@ pub struct Simulation<M> {
     queue: EventQueue<M>,
     latency: LatencyMatrix,
     faults: FaultPlan,
+    /// Scripted fault events applied as virtual time advances.
+    schedule: FaultSchedule,
+    /// Index of the next unapplied schedule entry.
+    schedule_pos: usize,
+    /// Extra one-way delay while a [`FaultEvent::DelaySpike`] is active.
+    extra_delay: Duration,
     stats: NetStats,
     rng: StdRng,
     now: SimTime,
@@ -177,6 +183,9 @@ impl<M: MessageMeta + Clone + 'static> Simulation<M> {
             queue: EventQueue::default(),
             latency,
             faults: FaultPlan::none(),
+            schedule: FaultSchedule::none(),
+            schedule_pos: 0,
+            extra_delay: Duration::ZERO,
             stats: NetStats::default(),
             rng: StdRng::seed_from_u64(seed),
             now: SimTime::ZERO,
@@ -235,6 +244,51 @@ impl<M: MessageMeta + Clone + 'static> Simulation<M> {
         &mut self.faults
     }
 
+    /// Read access to the current fault state.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Installs a scripted fault schedule.  Events are applied in time order
+    /// as the simulation clock reaches them; at any instant `t`, every event
+    /// scheduled at or before `t` is applied *before* the queue entry at `t`
+    /// is processed (a crash at the same instant as a delivery wins).  An
+    /// empty schedule leaves the run bit-identical to a failure-free one.
+    pub fn set_fault_schedule(&mut self, schedule: FaultSchedule) {
+        self.schedule = schedule;
+        self.schedule_pos = 0;
+    }
+
+    /// Applies every scheduled fault event with time `≤ t`.
+    fn apply_faults_until(&mut self, t: SimTime) {
+        while let Some((at, event)) = self.schedule.events().get(self.schedule_pos) {
+            if *at > t {
+                break;
+            }
+            let (at, event) = (*at, event.clone());
+            self.schedule_pos += 1;
+            match event {
+                FaultEvent::CrashActor(a) => {
+                    self.faults.crash(a);
+                    // Freeze the crashed node's busy window: queued work it
+                    // had not yet performed must neither delay post-recovery
+                    // deliveries nor count as busy time.
+                    if let Some(&idx) = self.index.get(&a) {
+                        let slot = &mut self.slots[idx as usize];
+                        if slot.busy_until > at {
+                            self.stats.trim_busy(idx, slot.busy_until - at);
+                            slot.busy_until = at;
+                        }
+                    }
+                }
+                FaultEvent::RecoverActor(a) => self.faults.restart(a),
+                FaultEvent::PartitionLink(a, b) => self.faults.partition(a, b),
+                FaultEvent::HealLink(a, b) => self.faults.heal(a, b),
+                FaultEvent::DelaySpike { extra } => self.extra_delay = extra,
+            }
+        }
+    }
+
     /// The latency matrix in use.
     pub fn latency(&self) -> &LatencyMatrix {
         &self.latency
@@ -287,6 +341,11 @@ impl<M: MessageMeta + Clone + 'static> Simulation<M> {
             processed += 1;
         }
         self.now = deadline.max(self.now);
+        // The clock has reached the deadline: scripted faults up to it have
+        // happened even if no queue event was left to trigger them.
+        if self.schedule_pos < self.schedule.len() {
+            self.apply_faults_until(deadline);
+        }
         processed
     }
 
@@ -304,6 +363,13 @@ impl<M: MessageMeta + Clone + 'static> Simulation<M> {
 
     /// Processes a single event, if any.
     pub fn step(&mut self) -> bool {
+        // Scripted faults scheduled at or before the next event's time apply
+        // first (no-op — a single bounds check — when no schedule is set).
+        if self.schedule_pos < self.schedule.len() {
+            if let Some(t) = self.queue.peek_time() {
+                self.apply_faults_until(t);
+            }
+        }
         let Some(event) = self.queue.pop() else {
             return false;
         };
@@ -346,7 +412,8 @@ impl<M: MessageMeta + Clone + 'static> Simulation<M> {
             .unwrap_or(Region::LOCAL);
         let delay = self
             .latency
-            .one_way(from_region, to_region, env.wire_bytes(), &mut self.rng);
+            .one_way(from_region, to_region, env.wire_bytes(), &mut self.rng)
+            + self.extra_delay;
         self.queue.push(
             self.now + delay,
             EventKind::Deliver {
@@ -873,6 +940,179 @@ mod tests {
         s.run_to_completion(100);
         assert_eq!(s.stats().timers_fired, 2, "recycled timer must still fire");
         assert_eq!(s.live_timers(), 0);
+    }
+
+    #[test]
+    fn scheduled_crash_and_recovery_gate_deliveries() {
+        let mut s = sim();
+        for i in 0..2 {
+            s.register(
+                addr(i),
+                Region(0),
+                CpuProfile::client(),
+                Box::new(PingPong::default()),
+            );
+        }
+        // Crash the receiver at 5 ms, recover it at 15 ms.
+        s.set_fault_schedule(
+            FaultSchedule::none()
+                .crash_at(SimTime::from_millis(5), ClientId(1))
+                .recover_at(SimTime::from_millis(15), ClientId(1)),
+        );
+        // Delivered at ~0: before the crash — goes through (plus its pong).
+        s.inject_at(SimTime::ZERO, addr(0), addr(1), TestMsg::Ping(0));
+        // Delivered at 10 ms: while crashed — dropped.
+        s.inject_at(SimTime::from_millis(10), addr(0), addr(1), TestMsg::Ping(1));
+        // Delivered at 20 ms: after recovery — goes through again.
+        s.inject_at(SimTime::from_millis(20), addr(0), addr(1), TestMsg::Ping(2));
+        s.run_to_completion(100);
+        // Pings 0 and 2 delivered and answered; ping 1 dropped.
+        assert_eq!(s.stats().messages_delivered, 4);
+        assert_eq!(s.stats().messages_dropped, 1);
+        assert!(!s.faults().is_crashed(addr(1)));
+    }
+
+    #[test]
+    fn crash_freezes_the_busy_window() {
+        // A slow server (1 ms per message) receives 10 messages at t=0 and
+        // crashes at 3.5 ms: only the work actually performed before the
+        // crash may count as busy time, and post-recovery deliveries must
+        // not queue behind the abandoned backlog.
+        struct Sink;
+        impl Actor<TestMsg> for Sink {
+            fn on_message(&mut self, _f: Addr, _m: TestMsg, _c: &mut Context<'_, TestMsg>) {}
+            fn on_timer(&mut self, _i: TimerId, _m: TestMsg, _c: &mut Context<'_, TestMsg>) {}
+        }
+        let mut s: Simulation<TestMsg> =
+            Simulation::new(LatencyMatrix::single_region().with_jitter(0.0), 3);
+        let slow = CpuProfile {
+            base_us: 1000.0,
+            per_signature_us: 0.0,
+            per_byte_us: 0.0,
+            send_us: 0.0,
+        };
+        s.register(addr(0), Region(0), slow, Box::new(Sink));
+        for i in 0..10 {
+            s.inject_at(SimTime::ZERO, addr(1), addr(0), TestMsg::Ping(i));
+        }
+        let crash_at = SimTime::from_micros(3_500);
+        s.set_fault_schedule(FaultSchedule::none().crash_at(crash_at, ClientId(0)));
+        s.run_until(SimTime::from_millis(50));
+        // All ten were "delivered" at t=0 (service charged up front), but the
+        // crash at 3.5 ms hands back the 6.5 ms of unperformed work.
+        assert_eq!(s.stats().busy_time(addr(0)), Duration::from_micros(3_500));
+    }
+
+    #[test]
+    fn scheduled_partition_and_heal_gate_links() {
+        let mut s = sim();
+        for i in 0..2 {
+            s.register(
+                addr(i),
+                Region(0),
+                CpuProfile::client(),
+                Box::new(PingPong::default()),
+            );
+        }
+        s.set_fault_schedule(
+            FaultSchedule::none()
+                .partition_at(SimTime::ZERO, ClientId(0), ClientId(1))
+                .heal_at(SimTime::from_millis(10), ClientId(0), ClientId(1)),
+        );
+        // A ping delivered at 2 ms (inject_at bypasses the link filter, the
+        // actor's pong does not): the pong is dropped by the live partition.
+        s.inject_at(SimTime::from_millis(2), addr(0), addr(1), TestMsg::Ping(0));
+        s.run_to_completion(100);
+        assert_eq!(s.stats().messages_delivered, 1, "pong dropped");
+        assert_eq!(s.stats().messages_dropped, 1);
+        // After healing, a ping round-trips again.
+        s.inject_at(SimTime::from_millis(12), addr(0), addr(1), TestMsg::Ping(1));
+        s.run_to_completion(100);
+        assert_eq!(s.stats().messages_delivered, 3, "ping + pong after heal");
+    }
+
+    #[test]
+    fn delay_spike_slows_messages_then_ends() {
+        let mut s: Simulation<TestMsg> =
+            Simulation::new(LatencyMatrix::single_region().with_jitter(0.0), 1);
+        for i in 0..2 {
+            s.register(
+                addr(i),
+                Region(0),
+                CpuProfile::client(),
+                Box::new(PingPong::default()),
+            );
+        }
+        // Spike of +20 ms between 1 ms and 30 ms of virtual time.
+        s.set_fault_schedule(
+            FaultSchedule::none()
+                .delay_spike_at(SimTime::from_millis(1), Duration::from_millis(20))
+                .delay_spike_at(SimTime::from_millis(30), Duration::ZERO),
+        );
+        // The ping is *scheduled* at 2 ms (kick delivered then, reply sent
+        // from the actor): its pong suffers the spike.
+        s.inject_at(SimTime::from_millis(2), addr(0), addr(1), TestMsg::Ping(0));
+        s.run_to_completion(100);
+        // The pong left addr(1) at ~2 ms and took 20+ ms extra: the clock
+        // ran past 22 ms before going quiet.
+        assert!(s.now() >= SimTime::from_millis(22), "now={:?}", s.now());
+    }
+
+    #[test]
+    fn timers_of_crashed_actors_are_silently_retired() {
+        struct TimerLoop {
+            fired: u32,
+        }
+        impl Actor<TestMsg> for TimerLoop {
+            fn on_message(&mut self, _f: Addr, _m: TestMsg, ctx: &mut Context<'_, TestMsg>) {
+                ctx.set_timer(Duration::from_millis(2), TestMsg::Tick);
+            }
+            fn on_timer(&mut self, _i: TimerId, _m: TestMsg, ctx: &mut Context<'_, TestMsg>) {
+                self.fired += 1;
+                ctx.set_timer(Duration::from_millis(2), TestMsg::Tick);
+            }
+        }
+        let mut s = sim();
+        s.register(
+            addr(0),
+            Region(0),
+            CpuProfile::client(),
+            Box::new(TimerLoop { fired: 0 }),
+        );
+        s.inject_at(SimTime::ZERO, addr(9), addr(0), TestMsg::Tick);
+        // The self-perpetuating 2 ms timer loop dies at the 5 ms crash.
+        s.set_fault_schedule(FaultSchedule::none().crash_at(SimTime::from_millis(5), ClientId(0)));
+        s.run_to_completion(1000);
+        assert_eq!(s.stats().timers_fired, 2, "timers at 2 and 4 ms only");
+        assert_eq!(s.live_timers(), 0, "the 6 ms timer was retired, not leaked");
+    }
+
+    #[test]
+    fn empty_schedule_leaves_runs_bit_identical() {
+        let run = |with_empty_schedule: bool| {
+            let mut s: Simulation<TestMsg> = Simulation::new(LatencyMatrix::nearby_regions(), 11);
+            for i in 0..2 {
+                s.register(
+                    addr(i),
+                    Region(i as u8),
+                    CpuProfile::server(),
+                    Box::new(PingPong::default()),
+                );
+            }
+            if with_empty_schedule {
+                s.set_fault_schedule(FaultSchedule::none());
+            }
+            for i in 0..20 {
+                s.inject(addr(0), addr(1), TestMsg::Ping(i));
+            }
+            s.run_to_completion(1000);
+            (
+                s.now(),
+                s.stats().messages_delivered,
+                s.stats().bytes_delivered,
+            )
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

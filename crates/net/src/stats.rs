@@ -65,6 +65,15 @@ impl NetStats {
         self.timers_fired += 1;
     }
 
+    /// Removes `unperformed` from an actor's accumulated busy time.  Called
+    /// when the actor crashes with queued work: service time is charged in
+    /// full at delivery, so the portion scheduled beyond the crash instant
+    /// must be handed back — a crashed node performs no work.
+    pub(crate) fn trim_busy(&mut self, idx: u32, unperformed: Duration) {
+        let cell = &mut self.busy[idx as usize];
+        *cell = cell.saturating_sub(unperformed);
+    }
+
     /// Accumulated CPU busy time of one participant.
     pub fn busy_time(&self, a: Addr) -> Duration {
         self.index
@@ -169,5 +178,16 @@ mod tests {
     #[test]
     fn busiest_of_empty_stats_is_none() {
         assert!(NetStats::default().busiest().is_none());
+    }
+
+    #[test]
+    fn trim_busy_hands_back_unperformed_work_and_saturates() {
+        let mut s = stats_with(1);
+        s.on_deliver(0, 10, Duration::from_micros(100));
+        s.trim_busy(0, Duration::from_micros(30));
+        assert_eq!(s.busy_time(c(0)), Duration::from_micros(70));
+        // Trimming more than remains clamps to zero instead of wrapping.
+        s.trim_busy(0, Duration::from_millis(1));
+        assert_eq!(s.busy_time(c(0)), Duration::ZERO);
     }
 }

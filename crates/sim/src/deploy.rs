@@ -4,11 +4,13 @@
 //! implementations call from their `deploy` methods; a new stack can reuse
 //! [`build_tree`] / [`latency_for`] and register its own actors.
 
+use crate::protocol::{NodeHarvest, RunHarvest};
 use saguaro_baselines::{BaselineMsg, BaselineNode, BaselineRole};
 use saguaro_core::{ProtocolConfig, SaguaroMsg, SaguaroNode};
 use saguaro_hierarchy::{HierarchyTree, Placement, TopologyBuilder};
+use saguaro_ledger::TxStatus;
 use saguaro_net::{Addr, CpuProfile, LatencyMatrix, Simulation};
-use saguaro_types::{BatchConfig, ClientId, DomainId, FailureModel, Result};
+use saguaro_types::{ClientId, DomainId, FailureModel, Result, SimTime, StackConfig};
 use std::sync::Arc;
 
 /// Builds the paper's 4-level perfect binary tree with the given failure
@@ -82,17 +84,18 @@ pub fn deploy_saguaro(
 }
 
 /// Registers an AHL or SharPer deployment over the height-1 domains of the
-/// same tree, batching each shard's internal consensus per `batch`.  For AHL
-/// the tree's root domain doubles as the reference committee.  Returns the
-/// committee domain used.
+/// same tree, configuring each shard's internal consensus per `stack`.  For
+/// AHL the tree's root domain doubles as the reference committee.  Returns
+/// the committee domain used.
 pub fn deploy_baseline(
     sim: &mut Simulation<BaselineMsg>,
     tree: &Arc<HierarchyTree>,
     sharper: bool,
     seed_accounts: &[(DomainId, Vec<(String, u64)>)],
-    batch: BatchConfig,
+    stack: &StackConfig,
 ) -> DomainId {
     let committee = tree.root();
+    let mut registered = Vec::new();
     for domain_cfg in tree.domains() {
         let domain = domain_cfg.id;
         let role = if domain.height == 1 {
@@ -108,7 +111,10 @@ pub fn deploy_baseline(
         };
         let region = domain_cfg.region;
         for node in tree.nodes_of(domain).expect("domain nodes") {
-            let mut actor = BaselineNode::with_batching(node, role, tree.clone(), committee, batch);
+            let mut actor =
+                BaselineNode::with_batching(node, role, tree.clone(), committee, stack.batch)
+                    .with_liveness(stack.liveness)
+                    .with_delivery_recording(stack.record_deliveries);
             if domain.height == 1 {
                 for (d, accounts) in seed_accounts {
                     if *d == domain {
@@ -119,9 +125,86 @@ pub fn deploy_baseline(
                 }
             }
             sim.register(node, region, CpuProfile::server(), Box::new(actor));
+            registered.push(node);
+        }
+    }
+    // Arm the per-replica progress timers.  Only fault-injection runs enable
+    // liveness, so failure-free deployments schedule no extra events and
+    // stay bit-identical to the historical pipeline.
+    if stack.liveness.enabled {
+        for node in registered {
+            sim.inject_at(
+                SimTime::ZERO,
+                harness_addr(),
+                node,
+                BaselineMsg::ProgressTimer,
+            );
         }
     }
     committee
+}
+
+/// Extracts post-run evidence from every replica of a Saguaro deployment.
+pub fn harvest_saguaro(sim: &mut Simulation<SaguaroMsg>, tree: &Arc<HierarchyTree>) -> RunHarvest {
+    let mut nodes = Vec::new();
+    for domain_cfg in tree.domains() {
+        if domain_cfg.id.height == 0 {
+            continue;
+        }
+        for node in tree.nodes_of(domain_cfg.id).expect("domain nodes") {
+            let harvested = sim.with_actor(node, |actor| {
+                actor
+                    .as_any()
+                    .and_then(|any| any.downcast_mut::<SaguaroNode>())
+                    .map(|n| NodeHarvest {
+                        node: n.node_id(),
+                        entries: ledger_entries(n.ledger()),
+                        consensus_log: n.stats().consensus_log.clone(),
+                        view_changes: n.stats().view_changes,
+                    })
+            });
+            if let Some(Some(h)) = harvested {
+                nodes.push(h);
+            }
+        }
+    }
+    RunHarvest { nodes }
+}
+
+/// Extracts post-run evidence from every replica of a baseline deployment.
+pub fn harvest_baseline(
+    sim: &mut Simulation<BaselineMsg>,
+    tree: &Arc<HierarchyTree>,
+) -> RunHarvest {
+    let mut nodes = Vec::new();
+    for domain_cfg in tree.domains() {
+        for node in tree.nodes_of(domain_cfg.id).expect("domain nodes") {
+            let harvested = sim.with_actor(node, |actor| {
+                actor
+                    .as_any()
+                    .and_then(|any| any.downcast_mut::<BaselineNode>())
+                    .map(|n| NodeHarvest {
+                        node,
+                        entries: ledger_entries(n.ledger()),
+                        consensus_log: n.stats().consensus_log.clone(),
+                        view_changes: n.stats().view_changes,
+                    })
+            });
+            if let Some(Some(h)) = harvested {
+                nodes.push(h);
+            }
+        }
+    }
+    RunHarvest { nodes }
+}
+
+/// Ledger entries as `(tx id, finally committed)` pairs in append order.
+fn ledger_entries(ledger: &saguaro_ledger::LinearLedger) -> Vec<(saguaro_types::TxId, bool)> {
+    ledger
+        .entries()
+        .iter()
+        .map(|e| (e.tx.id, e.status == TxStatus::Committed))
+        .collect()
 }
 
 #[cfg(test)]
@@ -159,7 +242,7 @@ mod tests {
         let tree = build_tree(FailureModel::Byzantine, 1, Placement::NearbyRegions).unwrap();
         let mut sim: Simulation<BaselineMsg> =
             Simulation::new(latency_for(Placement::NearbyRegions), 1);
-        let committee = deploy_baseline(&mut sim, &tree, false, &[], BatchConfig::unbatched());
+        let committee = deploy_baseline(&mut sim, &tree, false, &[], &StackConfig::default());
         assert_eq!(committee, tree.root());
         // 4 shards + 1 committee, 4 replicas each (BFT f = 1).
         assert_eq!(sim.actor_count(), 20);
@@ -170,7 +253,7 @@ mod tests {
         let tree = build_tree(FailureModel::Crash, 1, Placement::NearbyRegions).unwrap();
         let mut sim: Simulation<BaselineMsg> =
             Simulation::new(latency_for(Placement::NearbyRegions), 1);
-        deploy_baseline(&mut sim, &tree, true, &[], BatchConfig::unbatched());
+        deploy_baseline(&mut sim, &tree, true, &[], &StackConfig::default());
         // Only the 4 height-1 shards, 3 replicas each.
         assert_eq!(sim.actor_count(), 12);
     }

@@ -35,14 +35,16 @@
 
 use crate::client::{ClientActor, Collector, CompletedTx};
 use crate::deploy;
+use crate::protocol::RunHarvest;
 use crate::protocol::{
     AhlStack, CoordinatorStack, OptimisticStack, ProtocolKind, ProtocolStack, SharperStack,
 };
 use parking_lot::Mutex;
 use saguaro_hierarchy::Placement;
-use saguaro_net::{Addr, CpuProfile, Simulation};
+use saguaro_net::{Addr, CpuProfile, FaultEvent, FaultSchedule, Simulation};
 use saguaro_types::{
-    BatchConfig, ClientId, DomainId, Duration, FailureModel, NodeId, SimTime, TxId,
+    BatchConfig, ClientId, DomainId, Duration, FailureModel, LivenessConfig, NodeId, SimTime,
+    StackConfig, TxId,
 };
 use saguaro_workload::{MicropaymentWorkload, RidesharingWorkload, Workload, WorkloadConfig};
 use std::sync::Arc;
@@ -134,6 +136,17 @@ pub struct ExperimentSpec {
     /// Request batching of every domain's internal consensus.  The default
     /// (`max_batch = 1`) is the unbatched per-request pipeline.
     pub batch: BatchConfig,
+    /// Scripted fault events (crashes, recoveries, partitions, delay
+    /// spikes) applied as virtual time advances.  Empty by default: the run
+    /// is bit-identical to the historical failure-free pipeline.
+    pub fault_plan: FaultSchedule,
+    /// Progress-timer (primary suspicion) knobs.  `None` (the default)
+    /// means "implied": a non-empty `fault_plan` deploys
+    /// [`LivenessConfig::standard`] — faults without suspicion timers would
+    /// just wedge — and an empty one deploys with timers off.  An explicit
+    /// `Some` always wins, including `Some(LivenessConfig::disabled())` to
+    /// script pure delay/partition scenarios without arming timers.
+    pub liveness: Option<LivenessConfig>,
 }
 
 impl ExperimentSpec {
@@ -152,6 +165,8 @@ impl ExperimentSpec {
             measure: Duration::from_millis(900),
             seed: 42,
             batch: BatchConfig::unbatched(),
+            fault_plan: FaultSchedule::none(),
+            liveness: None,
         }
     }
 
@@ -221,6 +236,41 @@ impl ExperimentSpec {
     pub fn batch_config(mut self, batch: BatchConfig) -> Self {
         self.batch = batch;
         self
+    }
+
+    /// Installs a scripted fault plan (crash/recover/partition/heal/delay
+    /// events keyed by virtual time).  A non-empty plan implies the standard
+    /// liveness configuration — see [`ExperimentSpec::with_liveness`] to
+    /// tune the suspicion timeout.
+    pub fn fault_plan(mut self, plan: FaultSchedule) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Sets the liveness-timer knobs explicitly (overriding what the fault
+    /// plan would imply — `LivenessConfig::disabled()` here really does
+    /// disable the timers).
+    pub fn with_liveness(mut self, liveness: LivenessConfig) -> Self {
+        self.liveness = Some(liveness);
+        self
+    }
+
+    /// The liveness configuration the run actually deploys with: an
+    /// explicitly set one wins; otherwise a non-empty fault plan implies
+    /// [`LivenessConfig::standard`].
+    pub fn effective_liveness(&self) -> LivenessConfig {
+        match self.liveness {
+            Some(liveness) => liveness,
+            None if !self.fault_plan.is_empty() => LivenessConfig::standard(),
+            None => LivenessConfig::disabled(),
+        }
+    }
+
+    /// True if this run exercises the fault machinery (and therefore spreads
+    /// client submissions over a domain's replicas instead of always
+    /// targeting replica 0, so requests survive a crashed primary).
+    pub fn is_chaos(&self) -> bool {
+        self.effective_liveness().enabled
     }
 
     /// Shrinks the measurement window (quick CI/test runs).
@@ -334,6 +384,11 @@ pub struct RunArtifacts {
     /// Number of simulator events processed by the run (engine benchmarks
     /// divide this by wall-clock time to get events/sec).
     pub events_processed: u64,
+    /// Post-run evidence from every replica: ledger contents in consensus
+    /// order and observed view changes.  The fault-injection suites use it
+    /// to assert safety (no lost/duplicated/divergent commits) and that
+    /// leader crashes really drove view changes.
+    pub harvest: RunHarvest,
 }
 
 /// Runs one experiment, dispatching `spec.protocol` to the corresponding
@@ -390,9 +445,17 @@ struct Prepared<M> {
 /// Builds the open-loop schedules (one per client) and the per-domain seed
 /// accounts from the spec's workload, framing each transaction as a stack
 /// `P` request.
+///
+/// `spread` is the number of replicas per height-1 domain client requests
+/// are spread over.  Failure-free runs keep the historical behaviour
+/// (`spread = 1`: everything goes to replica 0, the view-0 primary);
+/// fault-injection runs spread deterministically by transaction id so a
+/// crashed primary does not silently swallow every request — backups relay
+/// to whichever primary the current view elected.
 fn prepare<P: ProtocolStack>(
     spec: &ExperimentSpec,
     edge_domains: Vec<DomainId>,
+    spread: u64,
 ) -> Prepared<P::Msg> {
     let mut generator = spec
         .workload
@@ -409,7 +472,8 @@ fn prepare<P: ProtocolStack>(
         let mut schedule = Vec::with_capacity(txs_per_client);
         for _ in 0..txs_per_client {
             let (tx, submit_to) = generator.next_for_client(c);
-            let target = Addr::Node(NodeId::new(submit_to, 0));
+            let replica = (tx.id.0 % spread.max(1)) as u16;
+            let target = Addr::Node(NodeId::new(submit_to, replica));
             schedule.push((tx.id, P::wrap_request(tx), target));
         }
         schedules.push((ClientId(c as u64), home, schedule));
@@ -451,8 +515,37 @@ pub fn run_experiment_collecting<P: ProtocolStack>(spec: &ExperimentSpec) -> Run
     let mut sim: Simulation<P::Msg> =
         Simulation::new(deploy::latency_for(spec.placement), spec.seed);
 
-    let prepared = prepare::<P>(spec, tree.edge_server_domains());
-    P::deploy(&mut sim, &tree, &prepared.seeds, spec.batch);
+    let liveness = spec.effective_liveness();
+    let spread = if liveness.enabled {
+        let edge = tree.edge_server_domains();
+        tree.config(edge[0]).map(|c| c.quorum.n as u64).unwrap_or(1)
+    } else {
+        1
+    };
+    let prepared = prepare::<P>(spec, tree.edge_server_domains(), spread);
+    let stack = StackConfig {
+        batch: spec.batch,
+        liveness,
+        // Agreement evidence is recorded for every fault run — including
+        // plans scripted with liveness timers explicitly off — and skipped
+        // by failure-free performance sweeps.
+        record_deliveries: liveness.enabled || !spec.fault_plan.is_empty(),
+    };
+    P::deploy(&mut sim, &tree, &prepared.seeds, &stack);
+
+    if !spec.fault_plan.is_empty() {
+        // A replica's self-perpetuating timer loops die while it is crashed
+        // (timers of crashed actors are silently retired), so every scripted
+        // recovery is paired with a kick message that re-arms them.
+        for (at, event) in spec.fault_plan.events() {
+            if let FaultEvent::RecoverActor(addr) = event {
+                if addr.as_node().is_some() {
+                    sim.inject_at(*at, deploy::harness_addr(), *addr, P::recovery_kick());
+                }
+            }
+        }
+        sim.set_fault_schedule(spec.fault_plan.clone());
+    }
 
     let collector: Collector = Arc::new(Mutex::new(Vec::new()));
     let reply_quorum = P::reply_quorum(spec.failure_model, spec.faults);
@@ -485,6 +578,7 @@ pub fn run_experiment_collecting<P: ProtocolStack>(spec: &ExperimentSpec) -> Run
 
     let horizon = spec.warmup + spec.measure + Duration::from_millis(300);
     let events_processed = sim.run_until(SimTime::ZERO + horizon);
+    let harvest = P::harvest(&mut sim, &tree);
     let completions = std::mem::take(&mut *collector.lock());
     let metrics = summarise(
         &completions,
@@ -497,6 +591,7 @@ pub fn run_experiment_collecting<P: ProtocolStack>(spec: &ExperimentSpec) -> Run
         completions,
         schedules,
         events_processed,
+        harvest,
     }
 }
 
@@ -592,6 +687,39 @@ mod tests {
             .quick()
             .load(400.0);
         assert_eq!(run_experiment::<SharperStack>(&spec), run(&spec));
+    }
+
+    #[test]
+    fn fault_plan_implies_standard_liveness_but_explicit_wins() {
+        use saguaro_net::FaultSchedule;
+        use saguaro_types::{LivenessConfig, SimTime};
+        let plain = ExperimentSpec::new(ProtocolKind::SaguaroCoordinator);
+        assert!(!plain.is_chaos());
+        assert!(!plain.effective_liveness().enabled);
+
+        let plan = FaultSchedule::none().crash_at(SimTime::from_millis(10), ClientId(0));
+        let faulty = plain.clone().fault_plan(plan.clone());
+        assert!(faulty.is_chaos());
+        assert_eq!(faulty.effective_liveness(), LivenessConfig::standard());
+
+        let tuned = faulty
+            .clone()
+            .with_liveness(LivenessConfig::with_timeout(Duration::from_millis(25)));
+        assert_eq!(
+            tuned.effective_liveness().progress_timeout,
+            Duration::from_millis(25)
+        );
+
+        // An explicitly *disabled* config beats the fault-plan implication:
+        // pure delay/partition scripts can run without arming timers.
+        let timers_off = faulty.with_liveness(LivenessConfig::disabled());
+        assert!(!timers_off.is_chaos());
+        assert!(!timers_off.effective_liveness().enabled);
+
+        // Liveness alone (no plan) also counts as a chaos run: timers are
+        // armed and client targets spread.
+        let timers_only = plain.with_liveness(LivenessConfig::standard());
+        assert!(timers_only.is_chaos());
     }
 
     #[test]

@@ -5,11 +5,12 @@
 //! corresponding figure; the `saguaro-bench` binaries print them as tables
 //! and `EXPERIMENTS.md` records the paper-vs-measured comparison.
 
-use crate::experiment::{run, ExperimentSpec, LoadPoint, RidesharingConfig};
+use crate::experiment::{run, run_collecting, ExperimentSpec, LoadPoint, RidesharingConfig};
 use crate::par::parallel_map;
 use crate::protocol::ProtocolKind;
 use saguaro_hierarchy::Placement;
-use saguaro_types::FailureModel;
+use saguaro_net::FaultSchedule;
+use saguaro_types::{DomainId, Duration, FailureModel, NodeId, SimTime};
 
 /// One curve of a figure: a label plus its load sweep.
 #[derive(Clone, Debug, serde::Serialize)]
@@ -291,6 +292,145 @@ pub fn batch_throughput_delta(series: &[FigureSeries]) -> Vec<(String, f64, f64,
             0.0
         };
         out.push((proto.label().to_string(), unbatched, batched, delta_pct));
+    }
+    out
+}
+
+/// One bucket of a fault-injection timeline: the committed throughput and
+/// mean latency of the transactions *submitted* during `[t_ms, t_ms +
+/// width)`.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct TimelineBin {
+    /// Bucket start (virtual milliseconds since experiment start).
+    pub t_ms: f64,
+    /// Committed throughput over the bucket (tx/s).
+    pub committed_tps: f64,
+    /// Mean end-to-end latency of the bucket's committed transactions (ms).
+    pub avg_latency_ms: f64,
+}
+
+/// One protocol stack's behaviour across a crash-and-recover schedule.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct FaultSeries {
+    /// Stack label (`-BFT` suffix marks the PBFT-domain variant).
+    pub label: String,
+    /// When the scripted crash hits (virtual ms).
+    pub crash_ms: f64,
+    /// When the crashed replica recovers (virtual ms).
+    pub recover_ms: f64,
+    /// Throughput/latency timeline in submission-time buckets.
+    pub timeline: Vec<TimelineBin>,
+    /// View changes observed across the deployment (leader crash ⇒ ≥ 1 in
+    /// the victim domain).
+    pub view_changes: u64,
+    /// The run's standard summary metrics (the measurement window spans the
+    /// outage, so the dip is folded into these).
+    pub metrics: crate::experiment::RunMetrics,
+}
+
+/// The replica whose crash the fault figure scripts: the view-0 primary of
+/// the first height-1 domain.
+pub fn fault_victim() -> NodeId {
+    NodeId::new(DomainId::new(1, 0), 0)
+}
+
+/// Fault-injection timeline on the figure-7 topology: every stack runs the
+/// same crash-and-recover schedule — the view-0 primary of one height-1
+/// domain crashes a quarter into the measurement window and recovers at 70 %
+/// of it — and reports committed throughput over time.  Paxos domains are
+/// exercised by the four crash-model stacks; a fifth series reruns the
+/// coordinator stack over Byzantine domains so the PBFT view change is
+/// driven too.
+pub fn faults(options: &FigureOptions) -> Vec<FaultSeries> {
+    let load = if options.quick { 1_200.0 } else { 4_000.0 };
+    let entries: Vec<(String, ExperimentSpec, Duration, Duration)> = ProtocolKind::ALL
+        .iter()
+        .map(|proto| (proto.label().to_string(), spec(*proto, options).load(load)))
+        .chain(std::iter::once((
+            "Coordinator-BFT".to_string(),
+            spec(ProtocolKind::SaguaroCoordinator, options)
+                .byzantine()
+                .load(load),
+        )))
+        .map(|(label, s)| {
+            // Computed once and carried with the entry so the scheduled
+            // instants and the reported crash_ms/recover_ms can never drift
+            // apart.
+            let crash_at = s.warmup + Duration::from_micros(s.measure.as_micros() / 4);
+            let recover_at = s.warmup + Duration::from_micros(s.measure.as_micros() * 7 / 10);
+            let plan = FaultSchedule::none()
+                .crash_at(SimTime::ZERO + crash_at, fault_victim())
+                .recover_at(SimTime::ZERO + recover_at, fault_victim());
+            (label, s.fault_plan(plan), crash_at, recover_at)
+        })
+        .collect();
+    let artifacts = parallel_map(&entries, |(_, s, _, _)| run_collecting(s));
+    entries
+        .into_iter()
+        .zip(artifacts)
+        .map(|((label, s, crash_at, recover_at), art)| FaultSeries {
+            label,
+            crash_ms: crash_at.as_millis_f64(),
+            recover_ms: recover_at.as_millis_f64(),
+            timeline: timeline_bins(&art.completions, s.warmup + s.measure, s.measure),
+            view_changes: art.harvest.view_changes(),
+            metrics: art.metrics,
+        })
+        .collect()
+}
+
+/// Buckets completions by submission time over `[0, horizon)` into twelve
+/// bins per measurement window.
+fn timeline_bins(
+    completions: &[crate::client::CompletedTx],
+    horizon: Duration,
+    measure: Duration,
+) -> Vec<TimelineBin> {
+    let width = (measure.as_micros() / 12).max(1);
+    let bins = horizon.as_micros().div_ceil(width) as usize;
+    let mut committed = vec![0u64; bins];
+    let mut lat_sum = vec![0.0f64; bins];
+    for c in completions {
+        let idx = (c.submitted_at.as_micros() / width) as usize;
+        if idx < bins && c.committed {
+            committed[idx] += 1;
+            lat_sum[idx] += c.latency.as_millis_f64();
+        }
+    }
+    let width_secs = width as f64 / 1_000_000.0;
+    (0..bins)
+        .map(|i| TimelineBin {
+            t_ms: (i as u64 * width) as f64 / 1_000.0,
+            committed_tps: committed[i] as f64 / width_secs,
+            avg_latency_ms: if committed[i] > 0 {
+                lat_sum[i] / committed[i] as f64
+            } else {
+                0.0
+            },
+        })
+        .collect()
+}
+
+/// Renders fault-timeline series as a plain-text table.
+pub fn render_fault_table(title: &str, series: &[FaultSeries]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {title}\n"));
+    for s in series {
+        out.push_str(&format!(
+            "{} — crash {:.0} ms, recover {:.0} ms, view changes {}, \
+             window throughput {:.0} tx/s\n",
+            s.label, s.crash_ms, s.recover_ms, s.view_changes, s.metrics.throughput_tps
+        ));
+        out.push_str(&format!(
+            "{:>10} {:>14} {:>12}\n",
+            "t_ms", "committed_tps", "avg_lat_ms"
+        ));
+        for b in &s.timeline {
+            out.push_str(&format!(
+                "{:>10.0} {:>14.0} {:>12.2}\n",
+                b.t_ms, b.committed_tps, b.avg_latency_ms
+            ));
+        }
     }
     out
 }

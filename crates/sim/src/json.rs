@@ -10,7 +10,7 @@
 //! type changes.
 
 use crate::experiment::{LoadPoint, RunMetrics};
-use crate::figures::FigureSeries;
+use crate::figures::{FaultSeries, FigureSeries, TimelineBin};
 
 /// A JSON value assembled programmatically and rendered with
 /// [`JsonValue::render`].
@@ -311,6 +311,32 @@ impl ToJson for FigureSeries {
                 "points",
                 JsonValue::Array(self.points.iter().map(ToJson::to_json).collect()),
             ),
+        ])
+    }
+}
+
+impl ToJson for TimelineBin {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("t_ms", JsonValue::Num(self.t_ms)),
+            ("committed_tps", JsonValue::Num(self.committed_tps)),
+            ("avg_latency_ms", JsonValue::Num(self.avg_latency_ms)),
+        ])
+    }
+}
+
+impl ToJson for FaultSeries {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("label", JsonValue::Str(self.label.clone())),
+            ("crash_ms", JsonValue::Num(self.crash_ms)),
+            ("recover_ms", JsonValue::Num(self.recover_ms)),
+            ("view_changes", JsonValue::Num(self.view_changes as f64)),
+            (
+                "timeline",
+                JsonValue::Array(self.timeline.iter().map(ToJson::to_json).collect()),
+            ),
+            ("metrics", self.metrics.to_json()),
         ])
     }
 }

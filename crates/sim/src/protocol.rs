@@ -15,7 +15,7 @@ use saguaro_baselines::BaselineMsg;
 use saguaro_core::{ProtocolConfig, SaguaroMsg};
 use saguaro_hierarchy::HierarchyTree;
 use saguaro_net::{MessageMeta, Simulation};
-use saguaro_types::{BatchConfig, DomainId, FailureModel, Transaction, TxId};
+use saguaro_types::{DomainId, FailureModel, NodeId, StackConfig, Transaction, TxId};
 use std::sync::Arc;
 
 /// Which protocol stack an experiment runs (the dynamic counterpart of the
@@ -55,6 +55,83 @@ impl ProtocolKind {
 
 /// Seeded `(account key, balance)` pairs per height-1 domain.
 pub type SeedAccounts = [(DomainId, Vec<(String, u64)>)];
+
+/// Post-run evidence extracted from one replica: its ledger contents in
+/// append (= consensus) order and the view changes it observed.  The fault
+/// regression and chaos suites use this to check that no committed
+/// transaction is lost, duplicated or divergently ordered across a domain's
+/// replicas, and that leader crashes really produced view changes.
+#[derive(Clone, Debug)]
+pub struct NodeHarvest {
+    /// The replica.
+    pub node: NodeId,
+    /// Ledger entries in append order: `(transaction id, finally committed)`
+    /// (`false` = aborted or still speculative).  Append order interleaves
+    /// consensus deliveries with directly-applied cross-domain commits, so
+    /// it is replica-local; cross-replica agreement is checked on
+    /// [`NodeHarvest::consensus_log`] instead.
+    pub entries: Vec<(TxId, bool)>,
+    /// Rolling-hash snapshots of the internal consensus delivery stream,
+    /// one per delivered block: replicas of a domain agree on their common
+    /// delivery prefix iff the shorter log's last snapshot equals the longer
+    /// log's snapshot at the same index.
+    pub consensus_log: Vec<u64>,
+    /// View changes this replica's internal consensus went through.
+    pub view_changes: u64,
+}
+
+impl NodeHarvest {
+    /// True if this replica's consensus delivery stream is a prefix of the
+    /// other's (or vice versa) — the agreement property internal consensus
+    /// guarantees even across crashes and view changes.
+    pub fn agrees_with(&self, other: &NodeHarvest) -> bool {
+        let n = self.consensus_log.len().min(other.consensus_log.len());
+        n == 0 || self.consensus_log[n - 1] == other.consensus_log[n - 1]
+    }
+}
+
+/// Post-run evidence for a whole deployment.
+#[derive(Clone, Debug, Default)]
+pub struct RunHarvest {
+    /// One entry per registered replica node, in deployment order.
+    pub nodes: Vec<NodeHarvest>,
+}
+
+impl RunHarvest {
+    /// Total view changes observed across every replica.
+    pub fn view_changes(&self) -> u64 {
+        self.nodes.iter().map(|n| n.view_changes).sum()
+    }
+
+    /// The harvested replicas of one domain.
+    pub fn replicas_of(&self, domain: DomainId) -> Vec<&NodeHarvest> {
+        self.nodes
+            .iter()
+            .filter(|n| n.node.domain == domain)
+            .collect()
+    }
+
+    /// Every domain with at least one harvested replica.
+    pub fn domains(&self) -> Vec<DomainId> {
+        let mut out: Vec<DomainId> = Vec::new();
+        for n in &self.nodes {
+            if !out.contains(&n.node.domain) {
+                out.push(n.node.domain);
+            }
+        }
+        out
+    }
+
+    /// True if `tx` appears in some replica's ledger, whatever its final
+    /// status.  Status is deliberately ignored: the optimistic protocol
+    /// replies "committed" at speculative execution and may abort later, so
+    /// presence is the strongest cross-stack "not lost" check.
+    pub fn seen_somewhere(&self, tx: TxId) -> bool {
+        self.nodes
+            .iter()
+            .any(|n| n.entries.iter().any(|(id, _)| *id == tx))
+    }
+}
 
 /// A protocol stack the experiment engine can deploy and drive.
 ///
@@ -96,14 +173,25 @@ pub trait ProtocolStack {
 
     /// Registers every node of the deployment on the simulator, seeds the
     /// height-1 domains with `seed_accounts`, configures every domain's
-    /// internal consensus to batch requests per `batch`, and schedules
-    /// whatever kick-off events the stack needs (round timers etc.).
+    /// internal consensus per `stack` (request batching and liveness
+    /// timers), and schedules whatever kick-off events the stack needs
+    /// (round timers etc.).
     fn deploy(
         sim: &mut Simulation<Self::Msg>,
         tree: &Arc<HierarchyTree>,
         seed_accounts: &SeedAccounts,
-        batch: BatchConfig,
+        stack: &StackConfig,
     );
+
+    /// The message the harness injects at a replica that just recovered from
+    /// a scripted crash, re-arming its self-perpetuating timer loops (which
+    /// died while it was down).
+    fn recovery_kick() -> Self::Msg;
+
+    /// Extracts post-run evidence (ledgers, view-change counts) from every
+    /// replica of the deployment.  Purely observational: called after the
+    /// run, it does not influence the simulation.
+    fn harvest(sim: &mut Simulation<Self::Msg>, tree: &Arc<HierarchyTree>) -> RunHarvest;
 }
 
 /// Saguaro with the coordinator-based cross-domain protocol.
@@ -135,10 +223,21 @@ impl ProtocolStack for CoordinatorStack {
         sim: &mut Simulation<SaguaroMsg>,
         tree: &Arc<HierarchyTree>,
         seed_accounts: &SeedAccounts,
-        batch: BatchConfig,
+        stack: &StackConfig,
     ) {
-        let config = ProtocolConfig::coordinator().with_batch(batch);
+        let config = ProtocolConfig::coordinator()
+            .with_batch(stack.batch)
+            .with_liveness(stack.liveness)
+            .with_delivery_recording(stack.record_deliveries);
         deploy::deploy_saguaro(sim, tree, &config, seed_accounts);
+    }
+
+    fn recovery_kick() -> SaguaroMsg {
+        SaguaroMsg::RoundTimer
+    }
+
+    fn harvest(sim: &mut Simulation<SaguaroMsg>, tree: &Arc<HierarchyTree>) -> RunHarvest {
+        deploy::harvest_saguaro(sim, tree)
     }
 }
 
@@ -168,10 +267,21 @@ impl ProtocolStack for OptimisticStack {
         sim: &mut Simulation<SaguaroMsg>,
         tree: &Arc<HierarchyTree>,
         seed_accounts: &SeedAccounts,
-        batch: BatchConfig,
+        stack: &StackConfig,
     ) {
-        let config = ProtocolConfig::optimistic().with_batch(batch);
+        let config = ProtocolConfig::optimistic()
+            .with_batch(stack.batch)
+            .with_liveness(stack.liveness)
+            .with_delivery_recording(stack.record_deliveries);
         deploy::deploy_saguaro(sim, tree, &config, seed_accounts);
+    }
+
+    fn recovery_kick() -> SaguaroMsg {
+        SaguaroMsg::RoundTimer
+    }
+
+    fn harvest(sim: &mut Simulation<SaguaroMsg>, tree: &Arc<HierarchyTree>) -> RunHarvest {
+        deploy::harvest_saguaro(sim, tree)
     }
 }
 
@@ -205,9 +315,17 @@ impl ProtocolStack for AhlStack {
         sim: &mut Simulation<BaselineMsg>,
         tree: &Arc<HierarchyTree>,
         seed_accounts: &SeedAccounts,
-        batch: BatchConfig,
+        stack: &StackConfig,
     ) {
-        deploy::deploy_baseline(sim, tree, false, seed_accounts, batch);
+        deploy::deploy_baseline(sim, tree, false, seed_accounts, stack);
+    }
+
+    fn recovery_kick() -> BaselineMsg {
+        BaselineMsg::ProgressTimer
+    }
+
+    fn harvest(sim: &mut Simulation<BaselineMsg>, tree: &Arc<HierarchyTree>) -> RunHarvest {
+        deploy::harvest_baseline(sim, tree)
     }
 }
 
@@ -237,9 +355,17 @@ impl ProtocolStack for SharperStack {
         sim: &mut Simulation<BaselineMsg>,
         tree: &Arc<HierarchyTree>,
         seed_accounts: &SeedAccounts,
-        batch: BatchConfig,
+        stack: &StackConfig,
     ) {
-        deploy::deploy_baseline(sim, tree, true, seed_accounts, batch);
+        deploy::deploy_baseline(sim, tree, true, seed_accounts, stack);
+    }
+
+    fn recovery_kick() -> BaselineMsg {
+        BaselineMsg::ProgressTimer
+    }
+
+    fn harvest(sim: &mut Simulation<BaselineMsg>, tree: &Arc<HierarchyTree>) -> RunHarvest {
+        deploy::harvest_baseline(sim, tree)
     }
 }
 

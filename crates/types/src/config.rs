@@ -153,6 +153,95 @@ impl Default for BatchConfig {
     }
 }
 
+/// Liveness-timer knobs of a domain's ordering pipeline.
+///
+/// When enabled, every replica runs a progress timer: if no new sequence
+/// number was delivered over one `progress_timeout` window while work is
+/// demonstrably pending, the replica suspects the primary and votes for a
+/// view change.  Disabled (the default), no progress timers are ever
+/// scheduled and the event stream is bit-identical to the historical
+/// failure-free pipeline.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct LivenessConfig {
+    /// Whether progress timers run at all.
+    pub enabled: bool,
+    /// Window with no delivery progress (while work is pending) after which
+    /// the primary is suspected.
+    pub progress_timeout: Duration,
+}
+
+impl LivenessConfig {
+    /// Progress timers off — the failure-free determinism baseline.
+    pub const fn disabled() -> Self {
+        Self {
+            enabled: false,
+            progress_timeout: Self::DEFAULT_TIMEOUT,
+        }
+    }
+
+    /// The default suspicion window: comfortably above the per-request
+    /// commit latency of every placement (tens of milliseconds at the
+    /// simulated scale), well below an experiment's measurement window.
+    pub const DEFAULT_TIMEOUT: Duration = Duration::from_millis(60);
+
+    /// Progress timers on, with the default suspicion window.
+    pub const fn standard() -> Self {
+        Self::with_timeout(Self::DEFAULT_TIMEOUT)
+    }
+
+    /// Progress timers on, suspecting after `progress_timeout` of stall.
+    pub const fn with_timeout(progress_timeout: Duration) -> Self {
+        Self {
+            enabled: true,
+            progress_timeout,
+        }
+    }
+}
+
+impl Default for LivenessConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// Per-domain pipeline knobs threaded from an experiment spec into every
+/// protocol stack's deployment: request batching plus liveness timers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct StackConfig {
+    /// Request batching of the internal consensus.
+    pub batch: BatchConfig,
+    /// Progress-timer (primary suspicion) knobs.
+    pub liveness: LivenessConfig,
+    /// Record each replica's consensus delivery stream (rolling hash) for
+    /// post-run agreement checks.  Enabled for every fault-injection run —
+    /// including ones that script faults with liveness timers explicitly
+    /// off — and skipped by failure-free performance sweeps.
+    pub record_deliveries: bool,
+}
+
+impl StackConfig {
+    /// Batching per `batch`, liveness timers off, no delivery recording.
+    pub const fn batched(batch: BatchConfig) -> Self {
+        Self {
+            batch,
+            liveness: LivenessConfig::disabled(),
+            record_deliveries: false,
+        }
+    }
+
+    /// Replaces the liveness knobs (builder style).
+    pub const fn with_liveness(mut self, liveness: LivenessConfig) -> Self {
+        self.liveness = liveness;
+        self
+    }
+
+    /// Enables delivery-stream recording (builder style).
+    pub const fn with_delivery_recording(mut self, record: bool) -> Self {
+        self.record_deliveries = record;
+        self
+    }
+}
+
 /// Static configuration of one domain in a deployment.
 #[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub struct DomainConfig {
@@ -246,6 +335,20 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn liveness_defaults_off_and_stack_config_composes() {
+        assert!(!LivenessConfig::default().enabled);
+        assert!(LivenessConfig::standard().enabled);
+        let custom = LivenessConfig::with_timeout(Duration::from_millis(25));
+        assert_eq!(custom.progress_timeout, Duration::from_millis(25));
+        let stack = StackConfig::batched(BatchConfig::with_max_batch(4)).with_liveness(custom);
+        assert_eq!(stack.batch.max_batch, 4);
+        assert!(stack.liveness.enabled);
+        let default = StackConfig::default();
+        assert_eq!(default.batch, BatchConfig::unbatched());
+        assert!(!default.liveness.enabled);
     }
 
     #[test]

@@ -28,10 +28,12 @@ pub mod sequence;
 pub mod time;
 pub mod transaction;
 
-pub use config::{BatchConfig, DomainConfig, FailureModel, QuorumSpec};
+pub use config::{
+    BatchConfig, DomainConfig, FailureModel, LivenessConfig, QuorumSpec, StackConfig,
+};
 pub use error::SaguaroError;
 pub use ids::{ClientId, DomainId, Height, NodeId, Region};
-pub use sequence::{MultiSeq, SeqNo};
+pub use sequence::{delivery_hash, MultiSeq, SeqNo};
 pub use time::{Duration, SimTime};
 pub use transaction::{Operation, Transaction, TxId, TxKind};
 

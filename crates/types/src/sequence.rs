@@ -13,6 +13,27 @@ use std::fmt;
 /// A single-domain sequence number (position in one domain's ledger).
 pub type SeqNo = u64;
 
+/// Folds one consensus delivery — its sequence number plus a fingerprint per
+/// member command — into a rolling delivery-stream hash (FNV-1a over
+/// little-endian words).  `prev` is the previous snapshot, `None` for the
+/// first delivery.  Both the Saguaro node and the baseline node record one
+/// snapshot per delivered block with this exact function, so the
+/// fault-injection suites can compare delivery prefixes across replicas of
+/// any stack.
+pub fn delivery_hash(prev: Option<u64>, seq: SeqNo, members: impl Iterator<Item = u64>) -> u64 {
+    let mut h = prev.unwrap_or(0xcbf2_9ce4_8422_2325);
+    let mut fold = |w: u64| {
+        for b in w.to_le_bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+        }
+    };
+    fold(seq);
+    for m in members {
+        fold(m);
+    }
+    h
+}
+
 /// A multi-part sequence number for a cross-domain transaction.
 ///
 /// Each entry maps an involved domain to the sequence number the transaction
@@ -150,6 +171,17 @@ mod tests {
         assert!(m.covers(&[d(0), d(1)]));
         assert!(!m.covers(&[d(0), d(2)]));
         assert!(m.covers(&[]));
+    }
+
+    #[test]
+    fn delivery_hash_chains_and_separates() {
+        let h1 = delivery_hash(None, 1, [7u64].into_iter());
+        assert_eq!(h1, delivery_hash(None, 1, [7u64].into_iter()));
+        assert_ne!(h1, delivery_hash(None, 1, [8u64].into_iter()));
+        assert_ne!(h1, delivery_hash(None, 2, [7u64].into_iter()));
+        // Chained snapshots depend on the whole prefix.
+        let h2 = delivery_hash(Some(h1), 2, [9u64].into_iter());
+        assert_ne!(h2, delivery_hash(None, 2, [9u64].into_iter()));
     }
 
     #[test]

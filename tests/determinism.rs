@@ -3,7 +3,9 @@
 //! spec's seed, so the same `ExperimentSpec` must produce bit-identical
 //! `RunMetrics` on every run, for every protocol stack and workload.
 
+use saguaro::net::FaultSchedule;
 use saguaro::sim::{ExperimentSpec, ProtocolKind, RidesharingConfig, RunMetrics};
+use saguaro::types::SimTime;
 
 /// The reference spec the golden metrics below were captured with.
 fn golden_spec(protocol: ProtocolKind) -> ExperimentSpec {
@@ -107,6 +109,57 @@ fn different_seeds_actually_change_the_run() {
     // Jitter and workload sampling differ, so latencies must differ (equality
     // here would mean the seed is ignored somewhere).
     assert_ne!(spec.run(), reseeded.run());
+}
+
+#[test]
+fn empty_fault_plan_is_bit_identical_to_the_failure_free_pipeline() {
+    // Installing an explicitly empty schedule must not change a single bit
+    // of any stack's metrics: no liveness timers are armed, no client-target
+    // spreading happens, and the simulator's hot path takes the same
+    // branches.  The golden metrics were captured before fault injection
+    // existed, so equality here proves the whole subsystem is pay-for-play.
+    for protocol in ProtocolKind::ALL {
+        let scripted = golden_spec(protocol)
+            .fault_plan(FaultSchedule::none())
+            .run();
+        assert_eq!(
+            scripted,
+            golden_metrics(protocol),
+            "{protocol:?}: an empty FaultSchedule changed the run"
+        );
+    }
+}
+
+#[test]
+fn same_seed_and_fault_plan_reproduce_identical_metrics() {
+    // Fault-injection runs are as deterministic as failure-free ones: the
+    // schedule is part of the spec, so seed + plan fixes the whole history.
+    for protocol in ProtocolKind::ALL {
+        let plan = || {
+            FaultSchedule::none()
+                .crash_at(
+                    SimTime::from_millis(150),
+                    saguaro::types::NodeId::new(saguaro::types::DomainId::new(1, 0), 0),
+                )
+                .recover_at(
+                    SimTime::from_millis(300),
+                    saguaro::types::NodeId::new(saguaro::types::DomainId::new(1, 0), 0),
+                )
+        };
+        let spec = golden_spec(protocol).fault_plan(plan());
+        let first = spec.run();
+        assert!(first.committed > 0, "{protocol:?} committed nothing");
+        assert_eq!(
+            first,
+            golden_spec(protocol).fault_plan(plan()).run(),
+            "{protocol:?}: faulty run not reproducible"
+        );
+        assert_ne!(
+            first,
+            golden_metrics(protocol),
+            "{protocol:?}: the crash schedule should change the run"
+        );
+    }
 }
 
 #[test]

@@ -34,7 +34,10 @@ impl Default for ProptestConfig {
     }
 }
 
-/// The per-test RNG. Deterministic: seeded from the test name.
+/// The per-test RNG. Deterministic: seeded from the test name, optionally
+/// mixed with the `PROPTEST_RNG_SEED` environment variable so CI can rotate
+/// the explored cases (e.g. a date-derived seed in a nightly job) while any
+/// given seed stays exactly reproducible locally.
 pub struct TestRng(StdRng);
 
 impl TestRng {
@@ -44,8 +47,25 @@ impl TestRng {
         for b in name.bytes() {
             seed = (seed ^ b as u64).wrapping_mul(0x1000_0000_01b3);
         }
+        if let Some(env_seed) = std::env::var("PROPTEST_RNG_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            seed = (seed ^ env_seed).wrapping_mul(0x1000_0000_01b3);
+        }
         Self(StdRng::seed_from_u64(seed))
     }
+}
+
+/// The case count a property actually runs: the `PROPTEST_CASES` environment
+/// variable overrides the configured value (CI uses a small count on pull
+/// requests and a larger one nightly).
+pub fn resolve_cases(configured: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse::<u32>().ok())
+        .unwrap_or(configured)
+        .max(1)
 }
 
 /// A generator of random values of type `Value`.
@@ -70,19 +90,23 @@ macro_rules! int_range_strategy {
 
 int_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
 
-impl<A: Strategy, B: Strategy> Strategy for (A, B) {
-    type Value = (A::Value, B::Value);
-    fn sample(&self, rng: &mut TestRng) -> Self::Value {
-        (self.0.sample(rng), self.1.sample(rng))
-    }
+macro_rules! tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
 }
 
-impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
-    type Value = (A::Value, B::Value, C::Value);
-    fn sample(&self, rng: &mut TestRng) -> Self::Value {
-        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
-    }
-}
+tuple_strategy!(A: 0, B: 1);
+tuple_strategy!(A: 0, B: 1, C: 2);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
 
 /// Strategy produced by [`any`].
 pub struct Any<T>(PhantomData<T>);
@@ -179,7 +203,7 @@ macro_rules! __proptest_impl {
             fn $name() {
                 let config: $crate::ProptestConfig = $cfg;
                 let mut rng = $crate::TestRng::for_test(stringify!($name));
-                for _case in 0..config.cases {
+                for _case in 0..$crate::resolve_cases(config.cases) {
                     $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
                     $body
                 }
