@@ -141,13 +141,9 @@ impl MessageMeta for BaselineMsg {
             BaselineMsg::Reply { .. } => 96,
             // Flat per-message consensus cost plus a per-member increment for
             // batched blocks (one-command blocks cost the legacy flat size).
-            BaselineMsg::Consensus(m) => {
-                let extra = 200 * m.extra_commands();
-                match m {
-                    ConsensusMsg::Paxos(_) => 240 + extra,
-                    ConsensusMsg::Pbft(_) => 280 + extra,
-                }
-            }
+            // State-transfer replies are charged per carried command: their
+            // size is what scales with the outage being repaired.
+            BaselineMsg::Consensus(m) => consensus_wire_bytes(m),
             BaselineMsg::CrossSubmit { tx } => tx.payload_bytes() + 48,
             BaselineMsg::TwoPcPrepare { tx, cert_sigs } => tx.payload_bytes() + 64 + 40 * cert_sigs,
             BaselineMsg::TwoPcVote { cert_sigs, .. } => 112 + 40 * cert_sigs,
@@ -173,6 +169,38 @@ impl MessageMeta for BaselineMsg {
 
     fn is_payload(&self) -> bool {
         matches!(self, BaselineMsg::ClientRequest(_))
+    }
+
+    fn is_state_transfer(&self) -> bool {
+        matches!(self, BaselineMsg::Consensus(m) if m.is_state_transfer())
+    }
+
+    /// Equivocating twin for Byzantine shards: a conflicting (empty) PBFT
+    /// pre-prepare at the same `(view, seq)` — mirrors `SaguaroMsg`.
+    fn tampered(&self) -> Option<Self> {
+        use saguaro_consensus::{Batch, PbftMsg};
+        match self {
+            BaselineMsg::Consensus(ConsensusMsg::Pbft(PbftMsg::PrePrepare {
+                view, seq, ..
+            })) => Some(BaselineMsg::Consensus(ConsensusMsg::Pbft(
+                PbftMsg::PrePrepare {
+                    view: *view,
+                    seq: *seq,
+                    cmd: Batch::new(Vec::new()),
+                },
+            ))),
+            _ => None,
+        }
+    }
+}
+
+/// Wire size of intra-shard consensus traffic (also used by the node layer
+/// to account state-transfer volume without re-wrapping the message).
+pub(crate) fn consensus_wire_bytes(m: &ConsensusMsg<BCmd>) -> usize {
+    let extra = 200 * (m.extra_commands() + m.state_reply_commands());
+    match m {
+        ConsensusMsg::Paxos(_) => 240 + extra,
+        ConsensusMsg::Pbft(_) => 280 + extra,
     }
 }
 

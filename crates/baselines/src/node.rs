@@ -7,8 +7,8 @@ use saguaro_hierarchy::HierarchyTree;
 use saguaro_ledger::{BlockchainState, LinearLedger, TxStatus};
 use saguaro_net::{Actor, Addr, Context, TimerId};
 use saguaro_types::{
-    BatchConfig, DomainId, FailureModel, LivenessConfig, MultiSeq, NodeId, QuorumSpec, SeqNo,
-    Transaction, TxId,
+    BatchConfig, CheckpointConfig, DomainId, FailureModel, LivenessConfig, MultiSeq, NodeId,
+    QuorumSpec, SeqNo, SimTime, Transaction, TxId,
 };
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
@@ -29,6 +29,13 @@ pub struct BaselineStats {
     /// fault suites check that replicas of a shard agree on their common
     /// delivery prefix.
     pub consensus_log: Vec<u64>,
+    /// Member commands applied through state-transfer replies (recovery
+    /// catch-up) instead of the normal ordering pipeline.
+    pub state_transfer_commands: u64,
+    /// Wire bytes of the state-transfer replies applied.
+    pub state_transfer_bytes: u64,
+    /// When the last state-transfer reply was applied.
+    pub caught_up_at: Option<SimTime>,
 }
 
 impl BaselineStats {
@@ -162,6 +169,30 @@ impl BaselineNode {
     pub fn with_delivery_recording(mut self, record: bool) -> Self {
         self.record_deliveries = record;
         self
+    }
+
+    /// Replaces the checkpoint / state-transfer configuration of the
+    /// internal consensus (builder style).
+    pub fn with_checkpointing(mut self, checkpoint: CheckpointConfig) -> Self {
+        self.consensus =
+            ConsensusReplica::with_batching(self.id, self.peers.clone(), self.quorum, self.batch)
+                .with_checkpointing(checkpoint);
+        self
+    }
+
+    /// The internal consensus delivery frontier of this replica.
+    pub fn consensus_frontier(&self) -> SeqNo {
+        self.consensus.last_delivered()
+    }
+
+    /// The internal consensus stable checkpoint of this replica.
+    pub fn consensus_checkpoint(&self) -> SeqNo {
+        self.consensus.stable_checkpoint()
+    }
+
+    /// Entries a view-change vote from this replica would carry right now.
+    pub fn consensus_vote_entries(&self) -> usize {
+        self.consensus.vote_entries()
     }
 
     /// Enables (or replaces) the liveness-timer knobs.  The timer loop is
@@ -676,7 +707,18 @@ impl Actor<BaselineMsg> for BaselineNode {
             BaselineMsg::ClientRequest(tx) => self.handle_request(tx, ctx),
             BaselineMsg::Consensus(m) => {
                 if let Some(node) = from.as_node() {
+                    let transfer_bytes = m
+                        .is_state_reply()
+                        .then(|| crate::messages::consensus_wire_bytes(&m));
                     let steps = self.consensus.on_message(node, m);
+                    if let Some(bytes) = transfer_bytes {
+                        let commands = saguaro_consensus::delivered_commands(&steps);
+                        if commands > 0 {
+                            self.stats.state_transfer_commands += commands;
+                            self.stats.state_transfer_bytes += bytes as u64;
+                            self.stats.caught_up_at = Some(ctx.now());
+                        }
+                    }
                     self.drive(steps, ctx);
                 }
             }

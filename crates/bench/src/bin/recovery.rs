@@ -1,0 +1,68 @@
+//! Recovery figure: how long a crashed-and-recovered replica takes to catch
+//! up via state transfer, as a function of the outage length.
+//!
+//! A backup replica of one height-1 domain crashes and recovers after an
+//! increasing outage while the domain keeps committing under its primary.
+//! With checkpointing active the victim's log gap cannot be filled by
+//! re-accepts (the slots are garbage-collected domain-wide), so the measured
+//! recovery time is the `StateRequest` / `StateReply` catch-up.  The table
+//! also records the view-change vote-size bound the checkpoint buys
+//! (bounded vs unbounded bytes).
+//!
+//! `--json <path>` merges a `recovery` section into the shared
+//! `BENCH_results.json` (other sections are preserved).
+
+use saguaro_bench::{emit, json_path_from_args, options_from_args, JsonReport};
+use saguaro_sim::figures::{recovery, render_recovery_table};
+use saguaro_sim::json::ToJson;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let options = options_from_args(&args);
+    let series = recovery(&options);
+    emit(
+        "recovery",
+        render_recovery_table(
+            "Recovery: state-transfer catch-up time vs outage length",
+            &series,
+        ),
+    );
+    for s in &series {
+        for p in &s.points {
+            assert!(
+                p.recovery_ms >= 0.0,
+                "{}: victim never caught up after a {} ms outage",
+                s.label,
+                p.outage_ms
+            );
+            assert!(
+                p.transferred_commands > 0,
+                "{}: no state was transferred for a {} ms outage",
+                s.label,
+                p.outage_ms
+            );
+            assert_eq!(
+                p.victim_frontier, p.healthy_frontier,
+                "{}: victim frontier lags its healthy peer after recovery",
+                s.label
+            );
+            assert!(
+                (p.vote_entries as u64) < p.vote_entries_unbounded,
+                "{}: view-change votes are not bounded by the checkpoint",
+                s.label
+            );
+        }
+        // The transferred volume scales with the outage: the longest outage
+        // must move at least as much state as the shortest.
+        let first = s.points.first().expect("at least one outage");
+        let last = s.points.last().expect("at least one outage");
+        assert!(
+            last.transferred_commands >= first.transferred_commands,
+            "{}: transfer volume did not grow with outage length",
+            s.label
+        );
+    }
+    let mut report = JsonReport::new();
+    report.add_value("recovery", series.to_json());
+    report.merge_into_if_requested(json_path_from_args(&args).as_ref());
+}

@@ -1,0 +1,43 @@
+//! Liveness-timeout sweep: `LivenessConfig::progress_timeout` against the
+//! three placements' RTTs.
+//!
+//! Each `(placement, timeout)` cell runs twice: failure-free with progress
+//! timers armed — every observed view change is a *false suspicion* — and
+//! with a scripted leader crash, where the same timeout determines how fast
+//! the domain elects a replacement (recovery time = crash instant to the
+//! first commit of a post-crash submission).  Small windows churn through
+//! needless view changes on wide-area RTTs; large windows leave the domain
+//! leaderless for longer after a real crash.
+//!
+//! `--json <path>` merges a `timeout_sweep` section into the shared
+//! `BENCH_results.json`.
+
+use saguaro_bench::{emit, json_path_from_args, options_from_args, JsonReport};
+use saguaro_sim::figures::{render_timeout_table, timeout_sweep};
+use saguaro_sim::json::ToJson;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let options = options_from_args(&args);
+    let series = timeout_sweep(&options);
+    emit(
+        "timeout_sweep",
+        render_timeout_table(
+            "Liveness-timeout sweep: false suspicions vs recovery time",
+            &series,
+        ),
+    );
+    for s in &series {
+        for p in &s.points {
+            assert!(
+                p.recovery_ms >= 0.0,
+                "{} @ {} ms: the crashed domain never recovered",
+                s.label,
+                p.timeout_ms
+            );
+        }
+    }
+    let mut report = JsonReport::new();
+    report.add_value("timeout_sweep", series.to_json());
+    report.merge_into_if_requested(json_path_from_args(&args).as_ref());
+}

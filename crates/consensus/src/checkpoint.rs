@@ -1,0 +1,249 @@
+//! Checkpoint agreement and state-transfer bookkeeping shared by both
+//! consensus engines.
+//!
+//! A [`CheckpointKeeper`] tracks three things for one replica:
+//!
+//! 1. **Stable checkpoints.**  Every `interval` deliveries a replica
+//!    announces its executed floor (a `Checkpoint` protocol message); once a
+//!    commit quorum has announced the same floor *and* this replica has
+//!    itself executed it, the floor becomes *stable* and the engine
+//!    garbage-collects every slot at or below it.  View-change votes are
+//!    bounded by the stable checkpoint, so vote payloads and slot maps grow
+//!    with `history − checkpoint` instead of `O(history)`.
+//! 2. **Commit-frontier hints.**  Checkpoint announcements, `Learn`s and
+//!    `NewView`s all certify that sequence numbers beyond this replica's
+//!    delivery frontier are committed somewhere.  The keeper remembers the
+//!    highest such hint and which peer evidenced it.
+//! 3. **State-transfer pacing.**  When the hint runs ahead of the local
+//!    frontier and the next slot cannot commit locally (its entries may have
+//!    been garbage-collected by every peer's slot map), the replica is
+//!    *gap-stalled* and must fetch the missing committed entries from an
+//!    up-to-date peer (`StateRequest` / `StateReply`, the viewstamped
+//!    replication catch-up).  The keeper paces those requests so a stall
+//!    produces one request per new piece of evidence, not a request storm.
+//!
+//! The keeper is configuration-driven: under [`CheckpointConfig::legacy`]
+//! (the default) a Paxos engine keeps no checkpoints at all and a PBFT
+//! engine keeps its historical built-in interval, so every pre-subsystem
+//! golden run is reproduced bit for bit.
+
+use saguaro_types::{CheckpointConfig, NodeId, SeqNo};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-replica checkpoint and state-transfer bookkeeping.
+#[derive(Clone, Debug)]
+pub struct CheckpointKeeper {
+    /// Deliveries between announcements; `None` disables announcements.
+    interval: Option<SeqNo>,
+    /// Whether gap-stalled replicas fetch missing entries from peers.
+    state_transfer: bool,
+    /// The last stable (quorum-certified, locally executed) checkpoint.
+    stable: SeqNo,
+    /// Announcement votes per floor, including our own.
+    votes: BTreeMap<SeqNo, BTreeSet<NodeId>>,
+    /// Highest sequence number some peer evidenced as committed.
+    hint: SeqNo,
+    /// The peer that evidenced [`CheckpointKeeper::hint`].
+    hint_from: Option<NodeId>,
+    /// `(local frontier, hint)` at the time of the last state request, used
+    /// to pace re-requests: a new request goes out only when the frontier
+    /// moved (previous transfer applied) or the hint grew (new evidence).
+    requested: Option<(SeqNo, SeqNo)>,
+}
+
+impl CheckpointKeeper {
+    /// Builds the keeper for one engine.  `legacy_interval` is the interval
+    /// the engine historically ran with (`None` for Paxos, 128 for PBFT);
+    /// it applies only under [`CheckpointConfig::legacy`].
+    pub fn new(config: CheckpointConfig, legacy_interval: Option<SeqNo>) -> Self {
+        let interval = if config.is_active() {
+            Some(config.interval)
+        } else if config.interval == 0 {
+            legacy_interval
+        } else {
+            None // unbounded: no checkpoints at all
+        };
+        Self {
+            interval,
+            state_transfer: config.state_transfer,
+            stable: 0,
+            votes: BTreeMap::new(),
+            hint: 0,
+            hint_from: None,
+            requested: None,
+        }
+    }
+
+    /// The last stable checkpoint.
+    pub fn stable(&self) -> SeqNo {
+        self.stable
+    }
+
+    /// Whether state transfer is enabled.
+    pub fn state_transfer_enabled(&self) -> bool {
+        self.state_transfer
+    }
+
+    /// True if a checkpoint announcement is due after delivering `seq`.
+    pub fn announces_at(&self, seq: SeqNo) -> bool {
+        match self.interval {
+            Some(interval) => seq.is_multiple_of(interval),
+            None => false,
+        }
+    }
+
+    /// Records one replica's announcement of executed floor `seq`.  Returns
+    /// `true` if the floor just became stable — the caller must then
+    /// garbage-collect its slots at or below [`CheckpointKeeper::stable`].
+    /// `last_delivered` gates stabilisation on local execution: a floor this
+    /// replica has not reached yet stays pending (the votes are kept).
+    pub fn record_vote(
+        &mut self,
+        from: NodeId,
+        seq: SeqNo,
+        quorum: usize,
+        last_delivered: SeqNo,
+    ) -> bool {
+        if seq <= self.stable {
+            return false;
+        }
+        let votes = self.votes.entry(seq).or_default();
+        votes.insert(from);
+        if votes.len() >= quorum && last_delivered >= seq {
+            self.stable = seq;
+            self.votes.retain(|s, _| *s > seq);
+            return true;
+        }
+        false
+    }
+
+    /// Adopts an externally certified floor (a `NewView`'s checkpoint): the
+    /// new primary proved a quorum stabilised it.
+    pub fn adopt_stable(&mut self, seq: SeqNo) {
+        if seq > self.stable {
+            self.stable = seq;
+            self.votes.retain(|s, _| *s > seq);
+        }
+    }
+
+    /// Notes evidence that `seq` is committed somewhere, remembering `from`
+    /// as a peer worth fetching state from.
+    pub fn note_hint(&mut self, seq: SeqNo, from: NodeId) {
+        if seq > self.hint {
+            self.hint = seq;
+            self.hint_from = Some(from);
+        }
+    }
+
+    /// The highest committed sequence number evidenced by peers.
+    pub fn hint(&self) -> SeqNo {
+        self.hint
+    }
+
+    /// Decides whether a gap-stalled replica should fetch state now.
+    /// `frontier` is the local delivery frontier; `next_commits_locally`
+    /// says whether the slot right above it is already committed locally
+    /// (then normal draining will make progress and no transfer is needed).
+    /// Returns the peer to ask; the caller must send
+    /// `StateRequest { above: frontier }` to it.
+    pub fn should_request(
+        &mut self,
+        frontier: SeqNo,
+        next_commits_locally: bool,
+    ) -> Option<NodeId> {
+        if !self.state_transfer || next_commits_locally || self.hint <= frontier {
+            return None;
+        }
+        if let Some((at_frontier, at_hint)) = self.requested {
+            if frontier <= at_frontier && self.hint <= at_hint {
+                return None; // nothing changed since the last request
+            }
+        }
+        let peer = self.hint_from?;
+        self.requested = Some((frontier, self.hint));
+        Some(peer)
+    }
+
+    /// Clears the pacing state after a transfer applied (so the next stall
+    /// re-requests immediately).
+    pub fn transfer_applied(&mut self) {
+        self.requested = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saguaro_types::DomainId;
+
+    fn node(i: u16) -> NodeId {
+        NodeId::new(DomainId::new(1, 0), i)
+    }
+
+    #[test]
+    fn legacy_config_keeps_the_engine_defaults() {
+        let paxos = CheckpointKeeper::new(CheckpointConfig::legacy(), None);
+        assert!(!paxos.announces_at(128));
+        assert!(!paxos.state_transfer_enabled());
+        let pbft = CheckpointKeeper::new(CheckpointConfig::legacy(), Some(128));
+        assert!(pbft.announces_at(128));
+        assert!(!pbft.announces_at(127));
+    }
+
+    #[test]
+    fn unbounded_disables_even_the_pbft_builtin() {
+        let pbft = CheckpointKeeper::new(CheckpointConfig::unbounded(), Some(128));
+        assert!(!pbft.announces_at(128));
+        assert!(!pbft.state_transfer_enabled());
+    }
+
+    #[test]
+    fn active_config_announces_on_the_configured_interval() {
+        let k = CheckpointKeeper::new(CheckpointConfig::every(8), None);
+        assert!(k.announces_at(8) && k.announces_at(16));
+        assert!(!k.announces_at(9));
+        assert!(k.state_transfer_enabled());
+    }
+
+    #[test]
+    fn votes_stabilise_only_with_quorum_and_local_execution() {
+        let mut k = CheckpointKeeper::new(CheckpointConfig::every(4), None);
+        assert!(!k.record_vote(node(0), 4, 2, 4));
+        // Quorum reached but this replica only delivered 3: stays pending.
+        assert!(!k.record_vote(node(1), 4, 2, 3));
+        // Re-announcing after catching up stabilises it.
+        assert!(k.record_vote(node(2), 4, 2, 4));
+        assert_eq!(k.stable(), 4);
+        // Stale floors are ignored.
+        assert!(!k.record_vote(node(1), 3, 1, 10));
+        assert_eq!(k.stable(), 4);
+    }
+
+    #[test]
+    fn request_pacing_fires_once_per_new_evidence() {
+        let mut k = CheckpointKeeper::new(CheckpointConfig::every(4), None);
+        k.note_hint(10, node(2));
+        assert_eq!(k.should_request(4, false), Some(node(2)));
+        // Same stall, same evidence: no storm.
+        assert_eq!(k.should_request(4, false), None);
+        // The hint grew: ask again.
+        k.note_hint(12, node(1));
+        assert_eq!(k.should_request(4, false), Some(node(1)));
+        // The frontier moved (a transfer applied): ask again for the rest.
+        k.transfer_applied();
+        assert_eq!(k.should_request(11, false), Some(node(1)));
+        // No gap, or the next slot commits locally: no request.
+        assert_eq!(k.should_request(12, false), None);
+        k.note_hint(20, node(3));
+        assert_eq!(k.should_request(12, true), None);
+    }
+
+    #[test]
+    fn adopt_stable_jumps_forward_only() {
+        let mut k = CheckpointKeeper::new(CheckpointConfig::every(4), None);
+        k.adopt_stable(8);
+        assert_eq!(k.stable(), 8);
+        k.adopt_stable(4);
+        assert_eq!(k.stable(), 8);
+    }
+}

@@ -21,18 +21,25 @@
 //! * [`batch`] — request batching: the protocols order [`batch::Batch`]es
 //!   (blocks) of commands; the leader-side [`batch::Batcher`] cuts blocks by
 //!   size or age according to a [`batch::BatchConfig`].
+//! * [`checkpoint`] — checkpoint agreement and state-transfer pacing shared
+//!   by both engines: quorum-certified executed floors bound view-change
+//!   votes and slot maps, and gap-stalled replicas fetch missing committed
+//!   entries from up-to-date peers (`StateRequest` / `StateReply`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod checkpoint;
 pub mod interface;
 pub mod paxos;
 pub mod pbft;
 pub mod replica;
 
 pub use batch::{Batch, BatchConfig, Batcher};
+pub use checkpoint::CheckpointKeeper;
 pub use interface::{Command, Step};
 pub use paxos::{PaxosMsg, PaxosReplica};
 pub use pbft::{PbftMsg, PbftReplica};
-pub use replica::{ConsensusMsg, ConsensusReplica};
+pub use replica::{delivered_commands, ConsensusMsg, ConsensusReplica};
+pub use saguaro_types::CheckpointConfig;

@@ -12,9 +12,10 @@
 //! domain; authentication and certification only matter on the cross-domain
 //! paths handled by `saguaro-core`.
 
+use crate::checkpoint::CheckpointKeeper;
 use crate::interface::{primary_for_view, Command, Step};
 use saguaro_crypto::Digest;
-use saguaro_types::{NodeId, QuorumSpec, SeqNo};
+use saguaro_types::{CheckpointConfig, NodeId, QuorumSpec, SeqNo};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Messages exchanged by Paxos replicas within one domain.
@@ -46,15 +47,19 @@ pub enum PaxosMsg<C> {
         seq: SeqNo,
     },
     /// Replica → all: start a view change towards `new_view`, carrying every
-    /// accepted-but-possibly-uncommitted entry.
+    /// accepted entry above the sender's stable checkpoint.
     ViewChange {
         /// The proposed new view.
         new_view: u64,
-        /// `(seq, view accepted in, command)` for every accepted entry at or
-        /// above the sender's commit frontier.
+        /// `(seq, view accepted in, command)` for every accepted entry above
+        /// the sender's stable checkpoint.
         accepted: Vec<(SeqNo, u64, C)>,
         /// The sender's last executed sequence number.
         last_committed: SeqNo,
+        /// The sender's stable checkpoint (0 when checkpointing is off):
+        /// everything at or below it is quorum-executed and omitted from the
+        /// vote, which is what keeps vote payloads bounded.
+        checkpoint: SeqNo,
     },
     /// New leader → replicas: the new view is active with this log suffix.
     NewView {
@@ -64,6 +69,27 @@ pub enum PaxosMsg<C> {
         log: Vec<(SeqNo, C)>,
         /// Commit frontier the new leader knows about.
         last_committed: SeqNo,
+    },
+    /// Replica → all: this replica has executed through `seq` (periodic
+    /// checkpoint announcement; only sent when checkpointing is active).
+    Checkpoint {
+        /// Executed sequence number.
+        seq: SeqNo,
+        /// Digest of the command executed at `seq` (modelled, not verified).
+        digest: Digest,
+    },
+    /// Gap-stalled replica → an up-to-date peer: send me every committed
+    /// entry above `above` (VR-style state transfer).
+    StateRequest {
+        /// The requester's delivery frontier.
+        above: SeqNo,
+    },
+    /// Up-to-date peer → gap-stalled replica: the missing committed entries.
+    StateReply {
+        /// Committed `(seq, command)` entries, contiguous from `above + 1`.
+        entries: Vec<(SeqNo, C)>,
+        /// The sender's delivery frontier (further evidence for the hint).
+        committed_to: SeqNo,
     },
 }
 
@@ -78,8 +104,8 @@ struct Slot<C> {
 }
 
 /// One replica's view-change vote: its accepted `(seq, view, command)`
-/// entries plus its last delivered sequence number.
-type ViewChangeVote<C> = (Vec<(SeqNo, u64, C)>, SeqNo);
+/// entries, its last delivered sequence number and its stable checkpoint.
+type ViewChangeVote<C> = (Vec<(SeqNo, u64, C)>, SeqNo, SeqNo);
 
 /// A Multi-Paxos replica.
 #[derive(Clone, Debug)]
@@ -105,6 +131,14 @@ pub struct PaxosReplica<C> {
     /// progress timeouts escalate past it, so a view whose would-be leader
     /// is itself crashed cannot wedge the domain.
     highest_vc: u64,
+    /// Checkpoint agreement and state-transfer pacing.  Under the legacy
+    /// configuration (the default) Paxos keeps no checkpoints, votes carry
+    /// the full slot history, and the pipeline is bit-identical to the
+    /// pre-subsystem engine.
+    checkpoint: CheckpointKeeper,
+    /// Every delivered entry, retained for serving state transfer (the
+    /// durable chain; only populated when state transfer is enabled).
+    delivered_log: BTreeMap<SeqNo, C>,
 }
 
 impl<C: Command> PaxosReplica<C> {
@@ -124,7 +158,16 @@ impl<C: Command> PaxosReplica<C> {
             view_change_votes: BTreeMap::new(),
             in_view_change: false,
             highest_vc: 0,
+            checkpoint: CheckpointKeeper::new(CheckpointConfig::legacy(), None),
+            delivered_log: BTreeMap::new(),
         }
+    }
+
+    /// Replaces the checkpoint / state-transfer configuration (builder
+    /// style; Paxos has no legacy interval, so `legacy` keeps it off).
+    pub fn with_checkpointing(mut self, config: CheckpointConfig) -> Self {
+        self.checkpoint = CheckpointKeeper::new(config, None);
+        self
     }
 
     /// The current view number.
@@ -150,6 +193,24 @@ impl<C: Command> PaxosReplica<C> {
     /// Number of commands accepted but not yet delivered.
     pub fn backlog(&self) -> usize {
         self.slots.values().filter(|s| !s.committed).count()
+    }
+
+    /// The last stable (quorum-certified executed) checkpoint; 0 when
+    /// checkpointing is off.
+    pub fn stable_checkpoint(&self) -> SeqNo {
+        self.checkpoint.stable()
+    }
+
+    /// Number of slots currently retained (bounded by checkpoint GC).
+    pub fn log_len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of entries a view-change vote sent right now would carry —
+    /// the slots above the stable checkpoint.
+    pub fn vote_entries(&self) -> usize {
+        let stable = self.checkpoint.stable();
+        self.slots.keys().filter(|seq| **seq > stable).count()
     }
 
     fn majority(&self) -> usize {
@@ -190,17 +251,24 @@ impl<C: Command> PaxosReplica<C> {
         match msg {
             PaxosMsg::Accept { view, seq, cmd } => self.on_accept(from, view, seq, cmd),
             PaxosMsg::Accepted { view, seq, digest } => self.on_accepted(from, view, seq, digest),
-            PaxosMsg::Learn { view, seq } => self.on_learn(view, seq),
+            PaxosMsg::Learn { view, seq } => self.on_learn(from, view, seq),
             PaxosMsg::ViewChange {
                 new_view,
                 accepted,
                 last_committed,
-            } => self.on_view_change(from, new_view, accepted, last_committed),
+                checkpoint,
+            } => self.on_view_change(from, new_view, accepted, last_committed, checkpoint),
             PaxosMsg::NewView {
                 view,
                 log,
                 last_committed,
             } => self.on_new_view(from, view, log, last_committed),
+            PaxosMsg::Checkpoint { seq, digest } => self.on_checkpoint(from, seq, digest),
+            PaxosMsg::StateRequest { above } => self.on_state_request(from, above),
+            PaxosMsg::StateReply {
+                entries,
+                committed_to,
+            } => self.on_state_reply(from, entries, committed_to),
         }
     }
 
@@ -211,7 +279,10 @@ impl<C: Command> PaxosReplica<C> {
         seq: SeqNo,
         cmd: C,
     ) -> Vec<Step<C, PaxosMsg<C>>> {
-        if view < self.view || self.in_view_change || from != primary_for_view(view, &self.replicas)
+        if view < self.view
+            || self.in_view_change
+            || from != primary_for_view(view, &self.replicas)
+            || seq <= self.checkpoint.stable()
         {
             return Vec::new();
         }
@@ -287,10 +358,13 @@ impl<C: Command> PaxosReplica<C> {
         steps
     }
 
-    fn on_learn(&mut self, view: u64, seq: SeqNo) -> Vec<Step<C, PaxosMsg<C>>> {
-        if view < self.view {
+    fn on_learn(&mut self, from: NodeId, view: u64, seq: SeqNo) -> Vec<Step<C, PaxosMsg<C>>> {
+        if view < self.view || seq <= self.checkpoint.stable() {
             return Vec::new();
         }
+        // A Learn certifies `seq` is committed at the leader: frontier
+        // evidence for the state-transfer gap detector.
+        self.checkpoint.note_hint(seq, from);
         match self.slots.get_mut(&seq) {
             // A Learn issued in view v certifies the value *accepted in v*
             // (or re-proposed into a later view).  A slot filled in an older
@@ -306,26 +380,160 @@ impl<C: Command> PaxosReplica<C> {
                 *entry = (*entry).max(view);
             }
         }
-        self.drain_deliveries()
+        let mut steps = self.drain_deliveries();
+        steps.extend(self.maybe_request_state());
+        steps
     }
 
     /// Emits `Deliver` steps for every committed command that directly follows
-    /// the last delivered sequence number.
+    /// the last delivered sequence number, retaining each in the durable
+    /// chain and announcing periodic checkpoints when configured.
     fn drain_deliveries(&mut self) -> Vec<Step<C, PaxosMsg<C>>> {
         let mut steps = Vec::new();
         loop {
             let next = self.last_delivered + 1;
             match self.slots.get(&next) {
                 Some(slot) if slot.committed => {
+                    let command = slot.cmd.clone();
                     steps.push(Step::Deliver {
                         seq: next,
-                        command: slot.cmd.clone(),
+                        command: command.clone(),
                     });
                     self.last_delivered = next;
+                    steps.extend(self.note_executed(next, command));
                 }
                 _ => break,
             }
         }
+        steps
+    }
+
+    /// Post-execution bookkeeping for one delivered entry: retain it for
+    /// state transfer and announce a checkpoint at interval boundaries.
+    fn note_executed(&mut self, seq: SeqNo, command: C) -> Vec<Step<C, PaxosMsg<C>>> {
+        let mut steps = Vec::new();
+        if self.checkpoint.state_transfer_enabled() {
+            self.delivered_log.insert(seq, command.clone());
+        }
+        if self.checkpoint.announces_at(seq) {
+            steps.push(Step::Broadcast {
+                msg: PaxosMsg::Checkpoint {
+                    seq,
+                    digest: command.digest(),
+                },
+            });
+            let majority = self.majority();
+            if self
+                .checkpoint
+                .record_vote(self.me, seq, majority, self.last_delivered)
+            {
+                self.gc_below_stable();
+            }
+        }
+        steps
+    }
+
+    /// Garbage-collects every slot at or below the stable checkpoint.  Safe
+    /// because stabilisation requires this replica to have executed the
+    /// floor: everything dropped has already been delivered locally.
+    fn gc_below_stable(&mut self) {
+        let stable = self.checkpoint.stable();
+        self.slots.retain(|seq, _| *seq > stable);
+        self.pending_learns.retain(|seq, _| *seq > stable);
+    }
+
+    fn on_checkpoint(
+        &mut self,
+        from: NodeId,
+        seq: SeqNo,
+        _digest: Digest,
+    ) -> Vec<Step<C, PaxosMsg<C>>> {
+        // An announced floor proves `seq` is committed at the announcer.
+        self.checkpoint.note_hint(seq, from);
+        let majority = self.majority();
+        if self
+            .checkpoint
+            .record_vote(from, seq, majority, self.last_delivered)
+        {
+            self.gc_below_stable();
+        }
+        self.maybe_request_state()
+    }
+
+    /// Fetches missing committed entries when the commit-frontier evidence
+    /// runs ahead of a gap this replica cannot fill locally.
+    fn maybe_request_state(&mut self) -> Vec<Step<C, PaxosMsg<C>>> {
+        let next_commits = self
+            .slots
+            .get(&(self.last_delivered + 1))
+            .is_some_and(|slot| slot.committed);
+        match self
+            .checkpoint
+            .should_request(self.last_delivered, next_commits)
+        {
+            Some(peer) if peer != self.me => vec![Step::Send {
+                to: peer,
+                msg: PaxosMsg::StateRequest {
+                    above: self.last_delivered,
+                },
+            }],
+            _ => Vec::new(),
+        }
+    }
+
+    fn on_state_request(&mut self, from: NodeId, above: SeqNo) -> Vec<Step<C, PaxosMsg<C>>> {
+        if !self.checkpoint.state_transfer_enabled() {
+            return Vec::new();
+        }
+        let entries: Vec<(SeqNo, C)> = self
+            .delivered_log
+            .range(above + 1..)
+            .map(|(seq, cmd)| (*seq, cmd.clone()))
+            .collect();
+        if entries.is_empty() {
+            return Vec::new();
+        }
+        vec![Step::Send {
+            to: from,
+            msg: PaxosMsg::StateReply {
+                entries,
+                committed_to: self.last_delivered,
+            },
+        }]
+    }
+
+    fn on_state_reply(
+        &mut self,
+        from: NodeId,
+        entries: Vec<(SeqNo, C)>,
+        committed_to: SeqNo,
+    ) -> Vec<Step<C, PaxosMsg<C>>> {
+        if !self.checkpoint.state_transfer_enabled() {
+            return Vec::new();
+        }
+        self.checkpoint.note_hint(committed_to, from);
+        let mut steps = Vec::new();
+        let mut applied = false;
+        for (seq, command) in entries {
+            if seq != self.last_delivered + 1 {
+                continue; // already executed, or non-contiguous garbage
+            }
+            self.slots.remove(&seq);
+            self.pending_learns.remove(&seq);
+            steps.push(Step::Deliver {
+                seq,
+                command: command.clone(),
+            });
+            self.last_delivered = seq;
+            applied = true;
+            steps.extend(self.note_executed(seq, command));
+        }
+        if applied {
+            self.checkpoint.transfer_applied();
+            // Committed slots stranded above the gap drain now.
+            steps.extend(self.drain_deliveries());
+        }
+        steps.extend(self.maybe_request_state());
         steps
     }
 
@@ -348,25 +556,31 @@ impl<C: Command> PaxosReplica<C> {
         }
         self.in_view_change = true;
         self.highest_vc = self.highest_vc.max(new_view);
-        // The vote carries *every* slot, delivered ones included: quorum
-        // intersection then guarantees the new leader's merge sees each
-        // chosen value even when the only voter still holding it has already
-        // executed it (a delivered-entries filter here once let a new leader
-        // re-assign an executed sequence number to a fresh command, forking
-        // stragglers).
+        // The vote carries every slot above the stable checkpoint, delivered
+        // ones included: quorum intersection then guarantees the new
+        // leader's merge sees each chosen value even when the only voter
+        // still holding it has already executed it (a delivered-entries
+        // filter here once let a new leader re-assign an executed sequence
+        // number to a fresh command, forking stragglers).  Entries at or
+        // below the checkpoint are quorum-executed and immutable; laggards
+        // that still need them catch up through state transfer, so omitting
+        // them is what bounds the vote by `history − checkpoint`.
+        let stable = self.checkpoint.stable();
         let accepted: Vec<(SeqNo, u64, C)> = self
             .slots
             .iter()
+            .filter(|(seq, _)| **seq > stable)
             .map(|(seq, slot)| (*seq, slot.accepted_in_view, slot.cmd.clone()))
             .collect();
         let msg = PaxosMsg::ViewChange {
             new_view,
             accepted: accepted.clone(),
             last_committed: self.last_delivered,
+            checkpoint: stable,
         };
         // Record our own vote.
         let mut steps =
-            self.record_view_change_vote(self.me, new_view, accepted, self.last_delivered);
+            self.record_view_change_vote(self.me, new_view, accepted, self.last_delivered, stable);
         steps.insert(0, Step::Broadcast { msg });
         steps
     }
@@ -377,6 +591,7 @@ impl<C: Command> PaxosReplica<C> {
         new_view: u64,
         accepted: Vec<(SeqNo, u64, C)>,
         last_committed: SeqNo,
+        checkpoint: SeqNo,
     ) -> Vec<Step<C, PaxosMsg<C>>> {
         if new_view <= self.view {
             return Vec::new();
@@ -387,7 +602,13 @@ impl<C: Command> PaxosReplica<C> {
         if !self.in_view_change || new_view > self.highest_vc {
             steps.extend(self.start_view_change(new_view));
         }
-        steps.extend(self.record_view_change_vote(from, new_view, accepted, last_committed));
+        steps.extend(self.record_view_change_vote(
+            from,
+            new_view,
+            accepted,
+            last_committed,
+            checkpoint,
+        ));
         steps
     }
 
@@ -397,11 +618,12 @@ impl<C: Command> PaxosReplica<C> {
         new_view: u64,
         accepted: Vec<(SeqNo, u64, C)>,
         last_committed: SeqNo,
+        checkpoint: SeqNo,
     ) -> Vec<Step<C, PaxosMsg<C>>> {
         self.view_change_votes
             .entry(new_view)
             .or_default()
-            .insert(from, (accepted, last_committed));
+            .insert(from, (accepted, last_committed, checkpoint));
         let votes = &self.view_change_votes[&new_view];
         let i_am_new_primary = primary_for_view(new_view, &self.replicas) == self.me;
         if !i_am_new_primary || votes.len() < self.majority() {
@@ -412,9 +634,16 @@ impl<C: Command> PaxosReplica<C> {
         let mut merged: BTreeMap<SeqNo, (u64, C)> = BTreeMap::new();
         let mut frontier = 0;
         let mut floor = SeqNo::MAX;
-        for (acc, lc) in votes.values() {
-            frontier = frontier.max(*lc);
+        let mut best_voter: Option<(SeqNo, NodeId)> = None;
+        for (voter, (acc, lc, cp)) in votes.iter() {
+            // A voter's checkpoint certifies quorum execution through it, so
+            // the new view's frontier must clear it even when no vote
+            // carries the entries themselves.
+            frontier = frontier.max(*lc).max(*cp);
             floor = floor.min(*lc);
+            if best_voter.is_none() || best_voter.is_some_and(|(best, _)| *lc > best) {
+                best_voter = Some((*lc, *voter));
+            }
             for (seq, v, cmd) in acc {
                 match merged.get(seq) {
                     Some((existing_view, _)) if existing_view >= v => {}
@@ -422,6 +651,13 @@ impl<C: Command> PaxosReplica<C> {
                         merged.insert(*seq, (*v, cmd.clone()));
                     }
                 }
+            }
+        }
+        // If a voter is ahead of this new leader's own frontier, remember it
+        // as a state-transfer source: the leader itself may be the straggler.
+        if let Some((lc, voter)) = best_voter {
+            if voter != self.me {
+                self.checkpoint.note_hint(lc, voter);
             }
         }
         self.view = new_view;
@@ -448,6 +684,13 @@ impl<C: Command> PaxosReplica<C> {
             });
             slot.cmd = cmd.clone();
             slot.accepted_in_view = new_view;
+            // Acknowledgements collected in earlier views were given for
+            // whatever value the slot held *then*; counting them towards the
+            // re-proposed value could commit it with acceptors that never
+            // saw it (the PBFT reinstall clears its vote sets for the same
+            // reason).  Committed slots keep their flag — commitment is
+            // value-stable — only the ack set restarts for the new view.
+            slot.acks.clear();
             slot.acks.insert(self.me);
         }
         self.next_seq = self
@@ -477,6 +720,9 @@ impl<C: Command> PaxosReplica<C> {
         for s in seqs {
             steps.extend(self.maybe_commit(s));
         }
+        // A new leader elected while itself gap-stalled (its voters executed
+        // past it) fetches the missing prefix rather than waiting forever.
+        steps.extend(self.maybe_request_state());
         steps
     }
 
@@ -492,6 +738,8 @@ impl<C: Command> PaxosReplica<C> {
         }
         self.view = view;
         self.in_view_change = false;
+        // The advertised frontier is commit evidence from the new leader.
+        self.checkpoint.note_hint(last_committed, from);
         let mut steps = vec![Step::ViewChanged {
             view,
             primary: from,
@@ -525,6 +773,10 @@ impl<C: Command> PaxosReplica<C> {
             }
         }
         steps.extend(self.drain_deliveries());
+        // Entries below the new leader's log start may be gone from every
+        // slot map (garbage-collected below the checkpoint): a follower
+        // still gapped after the catch-up above fetches them instead.
+        steps.extend(self.maybe_request_state());
         steps
     }
 }
@@ -855,5 +1107,190 @@ mod tests {
         let (_nodes, mut reps) = make_domain(3);
         let _ = reps[0].propose(b"a".to_vec());
         assert_eq!(reps[0].backlog(), 1);
+    }
+
+    fn make_checkpointed_domain(n: u16, interval: u64) -> (Vec<NodeId>, Vec<PaxosReplica<Cmd>>) {
+        let (nodes, reps) = make_domain(n);
+        let reps = reps
+            .into_iter()
+            .map(|r| r.with_checkpointing(CheckpointConfig::every(interval)))
+            .collect();
+        (nodes, reps)
+    }
+
+    #[test]
+    fn checkpointing_garbage_collects_slots_and_bounds_view_change_votes() {
+        let (nodes, mut reps) = make_checkpointed_domain(3, 4);
+        let initial: InitialSteps = (0..10u8).map(|i| (0, reps[0].propose(vec![i]))).collect();
+        run_network(&nodes, &mut reps, initial, &[]);
+        for r in &reps {
+            assert_eq!(r.last_delivered(), 10);
+            assert_eq!(r.stable_checkpoint(), 8, "floor 8 must have stabilised");
+            assert!(
+                r.log_len() <= 2,
+                "slots below the checkpoint must be collected (len {})",
+                r.log_len()
+            );
+            assert!(r.vote_entries() <= 2);
+        }
+        // The actual view-change vote payload is bounded by the stable
+        // checkpoint: `history − checkpoint` entries, not O(history).
+        let steps = reps[1].on_progress_timeout();
+        let vote = steps
+            .iter()
+            .find_map(|s| match s {
+                Step::Broadcast {
+                    msg:
+                        PaxosMsg::ViewChange {
+                            accepted,
+                            checkpoint,
+                            ..
+                        },
+                } => Some((accepted.len(), *checkpoint)),
+                _ => None,
+            })
+            .expect("timeout broadcasts a view-change vote");
+        assert_eq!(vote.1, 8);
+        assert!(
+            vote.0 <= 2,
+            "vote carried {} entries for a history of 10 with checkpoint 8",
+            vote.0
+        );
+    }
+
+    #[test]
+    fn unbounded_checkpointing_retains_full_history_in_votes() {
+        let (nodes, mut reps) = make_domain(3);
+        let initial: InitialSteps = (0..10u8).map(|i| (0, reps[0].propose(vec![i]))).collect();
+        run_network(&nodes, &mut reps, initial, &[]);
+        assert_eq!(reps[1].stable_checkpoint(), 0);
+        assert_eq!(reps[1].vote_entries(), 10, "legacy votes carry everything");
+    }
+
+    #[test]
+    fn gap_stalled_replica_catches_up_via_state_transfer() {
+        let (nodes, mut reps) = make_checkpointed_domain(3, 2);
+        // Replica 2 misses six committed entries; the survivors stabilise
+        // checkpoint 6 and garbage-collect the slots below it, so the gap
+        // can never be filled by re-accepts.
+        let initial: InitialSteps = (0..6u8).map(|i| (0, reps[0].propose(vec![i]))).collect();
+        run_network(&nodes, &mut reps, initial, &[2]);
+        assert_eq!(reps[0].stable_checkpoint(), 6);
+        assert_eq!(reps[2].last_delivered(), 0);
+
+        // On recovery the replica hears a checkpoint announcement (frontier
+        // evidence), requests state, and replays the whole missed prefix.
+        let steps = reps[2].on_message(
+            nodes[0],
+            PaxosMsg::Checkpoint {
+                seq: 6,
+                digest: saguaro_crypto::sha256(b"modelled"),
+            },
+        );
+        assert!(
+            steps.iter().any(|s| matches!(
+                s,
+                Step::Send {
+                    msg: PaxosMsg::StateRequest { above: 0 },
+                    ..
+                }
+            )),
+            "gap-stalled replica must fetch state: {steps:?}"
+        );
+        let delivered = run_network(&nodes, &mut reps, vec![(2, steps)], &[]);
+        assert_eq!(
+            delivered[2],
+            (0..6u8)
+                .map(|i| (i as u64 + 1, vec![i]))
+                .collect::<Vec<_>>(),
+            "the transferred entries must replay in order"
+        );
+        assert_eq!(reps[2].last_delivered(), 6);
+
+        // Execution resumes: the next proposal commits on all three.
+        let steps = reps[0].propose(b"after".to_vec());
+        let delivered = run_network(&nodes, &mut reps, vec![(0, steps)], &[]);
+        assert!(delivered[2]
+            .iter()
+            .any(|(seq, c)| *seq == 7 && c == b"after"));
+    }
+
+    #[test]
+    fn view_change_reinstall_discards_acks_given_for_a_different_value() {
+        // n = 5, majority 3.  The view-0 leader holds acks {r0, r1} for X at
+        // seq 1 (uncommitted).  A view change to view 5 (primary r0 again)
+        // merges a *different* value Y for seq 1 — prepared in view 3 by a
+        // voter — so the reinstall must not count r1's stale ack for X
+        // towards committing Y: two fresh acceptances are still required.
+        let (nodes, mut reps) = make_domain(5);
+        let _ = reps[0].propose(b"X".to_vec());
+        let _ = reps[0].on_message(
+            nodes[1],
+            PaxosMsg::Accepted {
+                view: 0,
+                seq: 1,
+                digest: b"X".to_vec().digest(),
+            },
+        );
+        // Two peers escalate to view 5 carrying Y accepted in view 3; with
+        // r0's own echoed vote that is the 3-vote quorum making r0 leader.
+        let vote = |accepted: Vec<(SeqNo, u64, Cmd)>| PaxosMsg::ViewChange {
+            new_view: 5,
+            accepted,
+            last_committed: 0,
+            checkpoint: 0,
+        };
+        let _ = reps[0].on_message(nodes[1], vote(vec![(1, 3, b"Y".to_vec())]));
+        let steps = reps[0].on_message(nodes[2], vote(vec![]));
+        assert!(steps
+            .iter()
+            .any(|s| matches!(s, Step::ViewChanged { view: 5, .. })));
+        assert_eq!(reps[0].view(), 5);
+
+        // One fresh acceptance of Y: with r1's stale X-ack wrongly retained
+        // this would be the "third" ack and commit Y — it must not.
+        let y_digest = b"Y".to_vec().digest();
+        let steps = reps[0].on_message(
+            nodes[3],
+            PaxosMsg::Accepted {
+                view: 5,
+                seq: 1,
+                digest: y_digest,
+            },
+        );
+        assert!(
+            !steps.iter().any(|s| matches!(
+                s,
+                Step::Broadcast {
+                    msg: PaxosMsg::Learn { .. }
+                }
+            )),
+            "Y must not commit on one fresh ack plus a stale ack for X"
+        );
+        // The second fresh acceptance completes a genuine majority.
+        let steps = reps[0].on_message(
+            nodes[4],
+            PaxosMsg::Accepted {
+                view: 5,
+                seq: 1,
+                digest: y_digest,
+            },
+        );
+        assert!(steps.iter().any(|s| matches!(
+            s,
+            Step::Broadcast {
+                msg: PaxosMsg::Learn { seq: 1, .. }
+            }
+        )));
+    }
+
+    #[test]
+    fn state_requests_are_ignored_when_transfer_is_disabled() {
+        let (nodes, mut reps) = make_domain(3);
+        let initial: InitialSteps = (0..3u8).map(|i| (0, reps[0].propose(vec![i]))).collect();
+        run_network(&nodes, &mut reps, initial, &[]);
+        assert!(reps[0]
+            .on_message(nodes[2], PaxosMsg::StateRequest { above: 0 })
+            .is_empty());
     }
 }

@@ -19,9 +19,10 @@
 //! verification per signature); the state machine itself trusts the adapter
 //! to have authenticated senders, mirroring how PBFT uses MACs/signatures.
 
+use crate::checkpoint::CheckpointKeeper;
 use crate::interface::{primary_for_view, Command, Step};
 use saguaro_crypto::Digest;
-use saguaro_types::{NodeId, QuorumSpec, SeqNo};
+use saguaro_types::{CheckpointConfig, NodeId, QuorumSpec, SeqNo};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Messages exchanged by PBFT replicas within one domain.
@@ -79,6 +80,21 @@ pub enum PbftMsg<C> {
         /// Digest of the replica state at `seq` (modelled, not verified here).
         digest: Digest,
     },
+    /// Gap-stalled replica → an up-to-date peer: send me every committed
+    /// entry above `above` (the below-low-water-mark catch-up PBFT describes
+    /// as state transfer).
+    StateRequest {
+        /// The requester's delivery frontier.
+        above: SeqNo,
+    },
+    /// Up-to-date peer → gap-stalled replica: the missing committed entries,
+    /// certified as a unit (modelled as one certificate per entry).
+    StateReply {
+        /// Committed `(seq, command)` entries, contiguous from `above + 1`.
+        entries: Vec<(SeqNo, C)>,
+        /// The sender's delivery frontier.
+        committed_to: SeqNo,
+    },
 }
 
 #[derive(Clone, Debug)]
@@ -126,12 +142,13 @@ pub struct PbftReplica<C> {
     /// timeouts escalate past it so a crashed candidate primary cannot wedge
     /// the domain.
     highest_vc: u64,
-    /// Checkpoint interval (sequence numbers between stable checkpoints).
-    checkpoint_interval: SeqNo,
-    /// Votes for checkpoints, per sequence number.
-    checkpoint_votes: BTreeMap<SeqNo, BTreeSet<NodeId>>,
-    /// Last stable (2f + 1 agreed) checkpoint.
-    stable_checkpoint: SeqNo,
+    /// Checkpoint agreement (the classic PBFT low-water mark) plus
+    /// state-transfer pacing.  The legacy configuration keeps the built-in
+    /// interval of 128 with no state transfer.
+    checkpoint: CheckpointKeeper,
+    /// Every delivered entry, retained for serving state transfer (the
+    /// durable chain; only populated when state transfer is enabled).
+    delivered_log: BTreeMap<SeqNo, C>,
 }
 
 impl<C: Command> PbftReplica<C> {
@@ -150,15 +167,32 @@ impl<C: Command> PbftReplica<C> {
             view_change_votes: BTreeMap::new(),
             in_view_change: false,
             highest_vc: 0,
-            checkpoint_interval: 128,
-            stable_checkpoint: 0,
-            checkpoint_votes: BTreeMap::new(),
+            checkpoint: CheckpointKeeper::new(
+                CheckpointConfig::legacy(),
+                Some(CheckpointConfig::LEGACY_PBFT_INTERVAL),
+            ),
+            delivered_log: BTreeMap::new(),
         }
     }
 
-    /// Overrides the checkpoint interval (mainly for tests).
+    /// Overrides the checkpoint interval without enabling state transfer
+    /// (mainly for tests).
     pub fn with_checkpoint_interval(mut self, interval: SeqNo) -> Self {
-        self.checkpoint_interval = interval.max(1);
+        self.checkpoint = CheckpointKeeper::new(
+            CheckpointConfig {
+                interval: interval.max(1),
+                state_transfer: false,
+            },
+            None,
+        );
+        self
+    }
+
+    /// Replaces the checkpoint / state-transfer configuration (builder
+    /// style; `legacy` keeps the built-in interval of 128).
+    pub fn with_checkpointing(mut self, config: CheckpointConfig) -> Self {
+        self.checkpoint =
+            CheckpointKeeper::new(config, Some(CheckpointConfig::LEGACY_PBFT_INTERVAL));
         self
     }
 
@@ -184,12 +218,18 @@ impl<C: Command> PbftReplica<C> {
 
     /// The last stable checkpoint.
     pub fn stable_checkpoint(&self) -> SeqNo {
-        self.stable_checkpoint
+        self.checkpoint.stable()
     }
 
     /// Number of log entries retained (bounded by checkpointing).
     pub fn log_len(&self) -> usize {
         self.slots.len()
+    }
+
+    /// Number of prepared certificates a view-change vote sent right now
+    /// would carry — bounded by the stable checkpoint.
+    pub fn vote_entries(&self) -> usize {
+        self.prepared_certificates().len()
     }
 
     fn quorum_2f_plus_1(&self) -> usize {
@@ -246,6 +286,11 @@ impl<C: Command> PbftReplica<C> {
                 checkpoint,
             } => self.on_new_view(from, view, log, checkpoint),
             PbftMsg::Checkpoint { seq, digest } => self.on_checkpoint(from, seq, digest),
+            PbftMsg::StateRequest { above } => self.on_state_request(from, above),
+            PbftMsg::StateReply {
+                entries,
+                committed_to,
+            } => self.on_state_reply(from, entries, committed_to),
         }
     }
 
@@ -259,7 +304,7 @@ impl<C: Command> PbftReplica<C> {
         if view != self.view
             || self.in_view_change
             || from != primary_for_view(view, &self.replicas)
-            || seq <= self.stable_checkpoint
+            || seq <= self.checkpoint.stable()
         {
             return Vec::new();
         }
@@ -292,7 +337,7 @@ impl<C: Command> PbftReplica<C> {
         seq: SeqNo,
         digest: Digest,
     ) -> Vec<Step<C, PbftMsg<C>>> {
-        if view != self.view || self.in_view_change || seq <= self.stable_checkpoint {
+        if view != self.view || self.in_view_change || seq <= self.checkpoint.stable() {
             return Vec::new();
         }
         {
@@ -334,7 +379,7 @@ impl<C: Command> PbftReplica<C> {
         seq: SeqNo,
         digest: Digest,
     ) -> Vec<Step<C, PbftMsg<C>>> {
-        if view != self.view || self.in_view_change || seq <= self.stable_checkpoint {
+        if view != self.view || self.in_view_change || seq <= self.checkpoint.stable() {
             return Vec::new();
         }
         {
@@ -370,18 +415,42 @@ impl<C: Command> PbftReplica<C> {
                 break;
             }
             let command = slot.cmd.clone().expect("committed slot has a command");
-            steps.push(Step::Deliver { seq: next, command });
+            let digest = slot.digest.expect("committed slot has a digest");
+            steps.push(Step::Deliver {
+                seq: next,
+                command: command.clone(),
+            });
             self.last_delivered = next;
-            // Periodic checkpoint: announce and garbage-collect when agreed.
-            if next.is_multiple_of(self.checkpoint_interval) {
-                let digest = slot.digest.expect("committed slot has a digest");
-                steps.push(Step::Broadcast {
-                    msg: PbftMsg::Checkpoint { seq: next, digest },
-                });
-                steps.extend(self.on_checkpoint(self.me, next, digest));
-            }
+            steps.extend(self.note_executed(next, command, digest));
         }
         steps
+    }
+
+    /// Post-execution bookkeeping for one delivered entry: retain it for
+    /// state transfer and announce a periodic checkpoint.
+    fn note_executed(
+        &mut self,
+        seq: SeqNo,
+        command: C,
+        digest: Digest,
+    ) -> Vec<Step<C, PbftMsg<C>>> {
+        let mut steps = Vec::new();
+        if self.checkpoint.state_transfer_enabled() {
+            self.delivered_log.insert(seq, command);
+        }
+        if self.checkpoint.announces_at(seq) {
+            steps.push(Step::Broadcast {
+                msg: PbftMsg::Checkpoint { seq, digest },
+            });
+            steps.extend(self.on_checkpoint(self.me, seq, digest));
+        }
+        steps
+    }
+
+    /// Garbage-collects every slot at or below the stable checkpoint.
+    fn gc_below_stable(&mut self) {
+        let stable = self.checkpoint.stable();
+        self.slots.retain(|s, _| *s > stable);
     }
 
     fn on_checkpoint(
@@ -390,18 +459,95 @@ impl<C: Command> PbftReplica<C> {
         seq: SeqNo,
         _digest: Digest,
     ) -> Vec<Step<C, PbftMsg<C>>> {
-        if seq <= self.stable_checkpoint {
+        if from != self.me {
+            // A peer's announced floor proves `seq` committed there.
+            self.checkpoint.note_hint(seq, from);
+        }
+        let quorum = self.quorum_2f_plus_1();
+        if self
+            .checkpoint
+            .record_vote(from, seq, quorum, self.last_delivered)
+        {
+            self.gc_below_stable();
+        }
+        self.maybe_request_state()
+    }
+
+    /// Fetches missing committed entries when commit-frontier evidence runs
+    /// ahead of a gap this replica cannot fill from its own slots (e.g.
+    /// after a `NewView` jumped the stable checkpoint past its frontier).
+    fn maybe_request_state(&mut self) -> Vec<Step<C, PbftMsg<C>>> {
+        let next_commits = self
+            .slots
+            .get(&(self.last_delivered + 1))
+            .is_some_and(|slot| slot.committed);
+        match self
+            .checkpoint
+            .should_request(self.last_delivered, next_commits)
+        {
+            Some(peer) if peer != self.me => vec![Step::Send {
+                to: peer,
+                msg: PbftMsg::StateRequest {
+                    above: self.last_delivered,
+                },
+            }],
+            _ => Vec::new(),
+        }
+    }
+
+    fn on_state_request(&mut self, from: NodeId, above: SeqNo) -> Vec<Step<C, PbftMsg<C>>> {
+        if !self.checkpoint.state_transfer_enabled() {
             return Vec::new();
         }
-        let votes = self.checkpoint_votes.entry(seq).or_default();
-        votes.insert(from);
-        if votes.len() >= self.quorum_2f_plus_1() && self.last_delivered >= seq {
-            self.stable_checkpoint = seq;
-            // Garbage-collect the log up to the stable checkpoint.
-            self.slots.retain(|s, _| *s > seq);
-            self.checkpoint_votes.retain(|s, _| *s > seq);
+        let entries: Vec<(SeqNo, C)> = self
+            .delivered_log
+            .range(above + 1..)
+            .map(|(seq, cmd)| (*seq, cmd.clone()))
+            .collect();
+        if entries.is_empty() {
+            return Vec::new();
         }
-        Vec::new()
+        vec![Step::Send {
+            to: from,
+            msg: PbftMsg::StateReply {
+                entries,
+                committed_to: self.last_delivered,
+            },
+        }]
+    }
+
+    fn on_state_reply(
+        &mut self,
+        from: NodeId,
+        entries: Vec<(SeqNo, C)>,
+        committed_to: SeqNo,
+    ) -> Vec<Step<C, PbftMsg<C>>> {
+        if !self.checkpoint.state_transfer_enabled() {
+            return Vec::new();
+        }
+        self.checkpoint.note_hint(committed_to, from);
+        let mut steps = Vec::new();
+        let mut applied = false;
+        for (seq, command) in entries {
+            if seq != self.last_delivered + 1 {
+                continue; // already executed, or non-contiguous garbage
+            }
+            self.slots.remove(&seq);
+            let digest = command.digest();
+            steps.push(Step::Deliver {
+                seq,
+                command: command.clone(),
+            });
+            self.last_delivered = seq;
+            applied = true;
+            steps.extend(self.note_executed(seq, command, digest));
+        }
+        if applied {
+            self.checkpoint.transfer_applied();
+            steps.extend(self.drain_deliveries());
+        }
+        steps.extend(self.maybe_request_state());
+        steps
     }
 
     /// Called by the adapter when the progress timer fires while requests are
@@ -424,7 +570,7 @@ impl<C: Command> PbftReplica<C> {
         self.slots
             .iter()
             .filter(|(seq, slot)| {
-                **seq > self.stable_checkpoint && slot.prepared && slot.cmd.is_some()
+                **seq > self.checkpoint.stable() && slot.prepared && slot.cmd.is_some()
             })
             .map(|(seq, slot)| {
                 (
@@ -443,13 +589,13 @@ impl<C: Command> PbftReplica<C> {
         self.in_view_change = true;
         self.highest_vc = self.highest_vc.max(new_view);
         let prepared = self.prepared_certificates();
+        let stable = self.checkpoint.stable();
         let msg = PbftMsg::ViewChange {
             new_view,
             prepared: prepared.clone(),
-            checkpoint: self.stable_checkpoint,
+            checkpoint: stable,
         };
-        let mut steps =
-            self.record_view_change_vote(self.me, new_view, prepared, self.stable_checkpoint);
+        let mut steps = self.record_view_change_vote(self.me, new_view, prepared, stable);
         steps.insert(0, Step::Broadcast { msg });
         steps
     }
@@ -494,11 +640,15 @@ impl<C: Command> PbftReplica<C> {
         }
         // Merge prepared certificates, preferring the highest view per slot.
         let mut merged: BTreeMap<SeqNo, (u64, C)> = BTreeMap::new();
-        let mut checkpoint_frontier = self.stable_checkpoint;
-        let mut checkpoint_floor = self.stable_checkpoint;
-        for (prep, cp) in votes.values() {
+        let mut checkpoint_frontier = self.checkpoint.stable();
+        let mut checkpoint_floor = self.checkpoint.stable();
+        let mut best_voter: Option<(SeqNo, NodeId)> = None;
+        for (voter, (prep, cp)) in votes.iter() {
             checkpoint_frontier = checkpoint_frontier.max(*cp);
             checkpoint_floor = checkpoint_floor.min(*cp);
+            if best_voter.is_none() || best_voter.is_some_and(|(best, _)| *cp > best) {
+                best_voter = Some((*cp, *voter));
+            }
             for (seq, v, cmd) in prep {
                 match merged.get(seq) {
                     Some((existing, _)) if existing >= v => {}
@@ -506,6 +656,13 @@ impl<C: Command> PbftReplica<C> {
                         merged.insert(*seq, (*v, cmd.clone()));
                     }
                 }
+            }
+        }
+        // A voter checkpointed past this new primary's own frontier: the
+        // primary itself may need state transfer to resume execution.
+        if let Some((cp, voter)) = best_voter {
+            if voter != self.me {
+                self.checkpoint.note_hint(cp, voter);
             }
         }
         self.view = new_view;
@@ -545,7 +702,7 @@ impl<C: Command> PbftReplica<C> {
             .max(checkpoint_frontier)
             + 1;
 
-        vec![
+        let mut steps = vec![
             Step::ViewChanged {
                 view: new_view,
                 primary: self.me,
@@ -557,7 +714,11 @@ impl<C: Command> PbftReplica<C> {
                     checkpoint: checkpoint_frontier,
                 },
             },
-        ]
+        ];
+        // A new primary elected while itself below the checkpoint frontier
+        // fetches the missing prefix instead of stalling its execution.
+        steps.extend(self.maybe_request_state());
+        steps
     }
 
     fn on_new_view(
@@ -572,7 +733,13 @@ impl<C: Command> PbftReplica<C> {
         }
         self.view = view;
         self.in_view_change = false;
-        self.stable_checkpoint = self.stable_checkpoint.max(checkpoint);
+        // The new primary certified this floor with 2f + 1 view-change
+        // votes; adopt it.  A replica whose frontier is below the adopted
+        // floor is now formally gap-stalled (its missing slots may be
+        // garbage-collected everywhere) — the state-transfer request at the
+        // end of this handler is what un-sticks it.
+        self.checkpoint.adopt_stable(checkpoint);
+        self.checkpoint.note_hint(checkpoint, from);
         let mut steps = vec![Step::ViewChanged {
             view,
             primary: from,
@@ -594,6 +761,7 @@ impl<C: Command> PbftReplica<C> {
             });
             steps.extend(self.check_prepared(seq));
         }
+        steps.extend(self.maybe_request_state());
         steps
     }
 }
@@ -859,6 +1027,57 @@ mod tests {
                 "replica {i} missed the post-escalation commit"
             );
         }
+    }
+
+    #[test]
+    fn gap_stalled_replica_catches_up_via_state_transfer() {
+        let (nodes, mut reps) = make_domain(4);
+        let mut reps: Vec<PbftReplica<Cmd>> = reps
+            .drain(..)
+            .map(|r| r.with_checkpointing(saguaro_types::CheckpointConfig::every(2)))
+            .collect();
+        // Replica 3 misses six commits; the three survivors stabilise
+        // checkpoint 6 (2f + 1 = 3 announcements) and collect their slots.
+        let initial: InitialSteps = (0..6u8).map(|i| (0, reps[0].propose(vec![i]))).collect();
+        run_network(&nodes, &mut reps, initial, &[3]);
+        assert_eq!(reps[0].stable_checkpoint(), 6);
+        assert_eq!(reps[0].log_len(), 0);
+        assert_eq!(reps[3].last_delivered(), 0);
+
+        // A checkpoint announcement reaches the laggard: it fetches the
+        // missed prefix and replays it in order.
+        let steps = reps[3].on_message(
+            nodes[0],
+            PbftMsg::Checkpoint {
+                seq: 6,
+                digest: saguaro_crypto::sha256(b"modelled"),
+            },
+        );
+        assert!(
+            steps.iter().any(|s| matches!(
+                s,
+                Step::Send {
+                    msg: PbftMsg::StateRequest { above: 0 },
+                    ..
+                }
+            )),
+            "gap-stalled replica must fetch state: {steps:?}"
+        );
+        let delivered = run_network(&nodes, &mut reps, vec![(3, steps)], &[]);
+        assert_eq!(
+            delivered[3],
+            (0..6u8)
+                .map(|i| (i as u64 + 1, vec![i]))
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(reps[3].last_delivered(), 6);
+
+        // Execution resumes on all four replicas.
+        let steps = reps[0].propose(b"after".to_vec());
+        let delivered = run_network(&nodes, &mut reps, vec![(0, steps)], &[]);
+        assert!(delivered[3]
+            .iter()
+            .any(|(seq, c)| *seq == 7 && c == b"after"));
     }
 
     #[test]

@@ -18,7 +18,7 @@ use crate::batch::{Batch, BatchConfig, Batcher};
 use crate::interface::{Command, Step};
 use crate::paxos::{PaxosMsg, PaxosReplica};
 use crate::pbft::{PbftMsg, PbftReplica};
-use saguaro_types::{FailureModel, NodeId, QuorumSpec, SeqNo};
+use saguaro_types::{CheckpointConfig, FailureModel, NodeId, QuorumSpec, SeqNo};
 
 /// Wire message of either protocol, carrying batches of commands.
 #[derive(Clone, Debug, PartialEq)]
@@ -43,8 +43,48 @@ impl<C> ConsensusMsg<C> {
             ConsensusMsg::Pbft(m) => match m {
                 PbftMsg::ViewChange { prepared, .. } => 1 + prepared.len(),
                 PbftMsg::NewView { log, .. } => 1 + log.len(),
+                // A state reply ships one checkpoint-style certificate per
+                // transferred entry.
+                PbftMsg::StateReply { entries, .. } => 1 + entries.len(),
                 _ => 1,
             },
+        }
+    }
+
+    /// True for the VR-style state-transfer messages (used by the network
+    /// statistics to account transfer traffic separately).
+    pub fn is_state_transfer(&self) -> bool {
+        matches!(
+            self,
+            ConsensusMsg::Paxos(PaxosMsg::StateRequest { .. })
+                | ConsensusMsg::Paxos(PaxosMsg::StateReply { .. })
+                | ConsensusMsg::Pbft(PbftMsg::StateRequest { .. })
+                | ConsensusMsg::Pbft(PbftMsg::StateReply { .. })
+        )
+    }
+
+    /// True for a state *reply* — the message whose application is how a
+    /// gap-stalled replica catches up (node layers watch for it to record
+    /// recovery instants).
+    pub fn is_state_reply(&self) -> bool {
+        matches!(
+            self,
+            ConsensusMsg::Paxos(PaxosMsg::StateReply { .. })
+                | ConsensusMsg::Pbft(PbftMsg::StateReply { .. })
+        )
+    }
+
+    /// Total member commands carried by a state reply (0 for any other
+    /// message) — wire-size models charge transfers per carried command.
+    pub fn state_reply_commands(&self) -> usize {
+        match self {
+            ConsensusMsg::Paxos(PaxosMsg::StateReply { entries, .. }) => {
+                entries.iter().map(|(_, b)| b.len()).sum()
+            }
+            ConsensusMsg::Pbft(PbftMsg::StateReply { entries, .. }) => {
+                entries.iter().map(|(_, b)| b.len()).sum()
+            }
+            _ => 0,
         }
     }
 
@@ -63,7 +103,13 @@ impl<C> ConsensusMsg<C> {
                     accepted.iter().map(|(_, _, b)| batch_extra(b)).sum()
                 }
                 PaxosMsg::NewView { log, .. } => log.iter().map(|(_, b)| batch_extra(b)).sum(),
-                PaxosMsg::Accepted { .. } | PaxosMsg::Learn { .. } => 0,
+                PaxosMsg::StateReply { entries, .. } => {
+                    entries.iter().map(|(_, b)| batch_extra(b)).sum()
+                }
+                PaxosMsg::Accepted { .. }
+                | PaxosMsg::Learn { .. }
+                | PaxosMsg::Checkpoint { .. }
+                | PaxosMsg::StateRequest { .. } => 0,
             },
             ConsensusMsg::Pbft(m) => match m {
                 PbftMsg::PrePrepare { cmd, .. } => batch_extra(cmd),
@@ -71,7 +117,13 @@ impl<C> ConsensusMsg<C> {
                     prepared.iter().map(|(_, _, b)| batch_extra(b)).sum()
                 }
                 PbftMsg::NewView { log, .. } => log.iter().map(|(_, b)| batch_extra(b)).sum(),
-                PbftMsg::Prepare { .. } | PbftMsg::Commit { .. } | PbftMsg::Checkpoint { .. } => 0,
+                PbftMsg::StateReply { entries, .. } => {
+                    entries.iter().map(|(_, b)| batch_extra(b)).sum()
+                }
+                PbftMsg::Prepare { .. }
+                | PbftMsg::Commit { .. }
+                | PbftMsg::Checkpoint { .. }
+                | PbftMsg::StateRequest { .. } => 0,
             },
         }
     }
@@ -113,6 +165,42 @@ impl<C: Command> ConsensusReplica<C> {
         Self {
             engine,
             batcher: Batcher::new(batch),
+        }
+    }
+
+    /// Replaces the checkpoint / state-transfer configuration of the
+    /// underlying engine (builder style).
+    pub fn with_checkpointing(mut self, checkpoint: CheckpointConfig) -> Self {
+        self.engine = match self.engine {
+            Engine::Paxos(r) => Engine::Paxos(r.with_checkpointing(checkpoint)),
+            Engine::Pbft(r) => Engine::Pbft(r.with_checkpointing(checkpoint)),
+        };
+        self
+    }
+
+    /// The last stable (quorum-certified executed) checkpoint.
+    pub fn stable_checkpoint(&self) -> SeqNo {
+        match &self.engine {
+            Engine::Paxos(r) => r.stable_checkpoint(),
+            Engine::Pbft(r) => r.stable_checkpoint(),
+        }
+    }
+
+    /// Number of consensus slots currently retained (bounded by checkpoint
+    /// garbage collection when the subsystem is active).
+    pub fn log_len(&self) -> usize {
+        match &self.engine {
+            Engine::Paxos(r) => r.log_len(),
+            Engine::Pbft(r) => r.log_len(),
+        }
+    }
+
+    /// Number of entries a view-change vote sent right now would carry —
+    /// bounded by `history − stable checkpoint`.
+    pub fn vote_entries(&self) -> usize {
+        match &self.engine {
+            Engine::Paxos(r) => r.vote_entries(),
+            Engine::Pbft(r) => r.vote_entries(),
         }
     }
 
@@ -238,6 +326,19 @@ impl<C: Command> ConsensusReplica<C> {
             Engine::Pbft(r) => wrap(r.on_progress_timeout(), ConsensusMsg::Pbft),
         }
     }
+}
+
+/// Total member commands delivered by a slice of consensus output steps.
+/// Node layers use it to account how many commands a state-transfer reply
+/// actually applied (zero means the reply was stale).
+pub fn delivered_commands<C, M>(steps: &[Step<Batch<C>, M>]) -> u64 {
+    steps
+        .iter()
+        .filter_map(|s| match s {
+            Step::Deliver { command, .. } => Some(command.len() as u64),
+            _ => None,
+        })
+        .sum()
 }
 
 fn wrap<C, M, W>(steps: Vec<Step<Batch<C>, M>>, f: impl Fn(M) -> W) -> Vec<Step<Batch<C>, W>> {

@@ -1,7 +1,7 @@
 //! Protocol configuration knobs.
 
 use saguaro_ledger::AbstractionFn;
-use saguaro_types::{BatchConfig, Duration, LivenessConfig};
+use saguaro_types::{BatchConfig, CheckpointConfig, Duration, LivenessConfig};
 
 /// How cross-domain transactions are processed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -56,6 +56,11 @@ pub struct ProtocolConfig {
     /// block) for post-run agreement checks.  On for fault-injection runs,
     /// off for failure-free performance sweeps.
     pub record_deliveries: bool,
+    /// Checkpointing / state-transfer knobs of the internal consensus.  The
+    /// legacy default reproduces the historical pipeline bit for bit; an
+    /// active interval bounds consensus logs and lets recovered replicas
+    /// catch up via state transfer.
+    pub checkpoint: CheckpointConfig,
 }
 
 impl ProtocolConfig {
@@ -73,6 +78,7 @@ impl ProtocolConfig {
             batch: BatchConfig::unbatched(),
             liveness: LivenessConfig::disabled(),
             record_deliveries: false,
+            checkpoint: CheckpointConfig::legacy(),
         }
     }
 
@@ -99,6 +105,12 @@ impl ProtocolConfig {
     /// Enables delivery-stream recording (builder style).
     pub fn with_delivery_recording(mut self, record: bool) -> Self {
         self.record_deliveries = record;
+        self
+    }
+
+    /// Replaces the checkpoint / state-transfer knobs (builder style).
+    pub fn with_checkpoint(mut self, checkpoint: CheckpointConfig) -> Self {
+        self.checkpoint = checkpoint;
         self
     }
 

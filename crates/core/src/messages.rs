@@ -189,6 +189,14 @@ pub enum SaguaroMsg {
         /// The prepared transaction still missing its commit.
         tx_id: TxId,
     },
+    /// Mobile-consensus retry timer: a primary still waiting for a device's
+    /// state (queued requests in `pending_mobile`) re-issues the
+    /// `StateQuery` — the query or its `StateMsg` answer may have died with
+    /// a crashed primary on either side of the hand-off.
+    MobileRetryTimer {
+        /// The device whose state is still in flight.
+        device: ClientId,
+    },
 }
 
 impl MessageMeta for SaguaroMsg {
@@ -221,7 +229,8 @@ impl MessageMeta for SaguaroMsg {
             | SaguaroMsg::BatchTimer
             | SaguaroMsg::CrossTimeout { .. }
             | SaguaroMsg::ClientTick
-            | SaguaroMsg::CommitQueryTimer { .. } => 0,
+            | SaguaroMsg::CommitQueryTimer { .. }
+            | SaguaroMsg::MobileRetryTimer { .. } => 0,
         }
     }
 
@@ -248,16 +257,41 @@ impl MessageMeta for SaguaroMsg {
             | SaguaroMsg::BatchTimer
             | SaguaroMsg::CrossTimeout { .. }
             | SaguaroMsg::ClientTick
-            | SaguaroMsg::CommitQueryTimer { .. } => 0,
+            | SaguaroMsg::CommitQueryTimer { .. }
+            | SaguaroMsg::MobileRetryTimer { .. } => 0,
         }
     }
 
     fn is_payload(&self) -> bool {
         matches!(self, SaguaroMsg::ClientRequest(_))
     }
+
+    fn is_state_transfer(&self) -> bool {
+        matches!(self, SaguaroMsg::Consensus(m) if m.is_state_transfer())
+    }
+
+    /// A Byzantine-equivocating replica's conflicting twin: a PBFT
+    /// pre-prepare for the same `(view, seq)` carrying a different (empty)
+    /// block, so different backups may accept different digests for one
+    /// slot.  Every other message has no meaningful equivocation.
+    fn tampered(&self) -> Option<Self> {
+        use saguaro_consensus::{Batch, PbftMsg};
+        match self {
+            SaguaroMsg::Consensus(ConsensusMsg::Pbft(PbftMsg::PrePrepare {
+                view, seq, ..
+            })) => Some(SaguaroMsg::Consensus(ConsensusMsg::Pbft(
+                PbftMsg::PrePrepare {
+                    view: *view,
+                    seq: *seq,
+                    cmd: Batch::new(Vec::new()),
+                },
+            ))),
+            _ => None,
+        }
+    }
 }
 
-fn consensus_bytes(m: &ConsensusMsg<Cmd>) -> usize {
+pub(crate) fn consensus_bytes(m: &ConsensusMsg<Cmd>) -> usize {
     use saguaro_consensus::{Batch, PaxosMsg, PbftMsg};
     let cmd_bytes = |c: &Cmd| -> usize {
         match c {
@@ -275,10 +309,18 @@ fn consensus_bytes(m: &ConsensusMsg<Cmd>) -> usize {
     let batch_bytes = |b: &Batch<Cmd>| -> usize {
         b.iter().map(cmd_bytes).sum::<usize>() + 24 * b.len().saturating_sub(1)
     };
+    // A state reply carries `(seq, block)` entries: 16 bytes of framing per
+    // entry plus the block itself.
+    let entry_bytes = |entries: &[(u64, Batch<Cmd>)]| -> usize {
+        entries.iter().map(|(_, b)| 16 + batch_bytes(b)).sum()
+    };
     match m {
         ConsensusMsg::Paxos(p) => match p {
             PaxosMsg::Accept { cmd, .. } => 64 + batch_bytes(cmd),
-            PaxosMsg::Accepted { .. } | PaxosMsg::Learn { .. } => 80,
+            PaxosMsg::Accepted { .. }
+            | PaxosMsg::Learn { .. }
+            | PaxosMsg::Checkpoint { .. }
+            | PaxosMsg::StateRequest { .. } => 80,
             PaxosMsg::ViewChange { accepted, .. } => {
                 96 + accepted
                     .iter()
@@ -288,10 +330,14 @@ fn consensus_bytes(m: &ConsensusMsg<Cmd>) -> usize {
             PaxosMsg::NewView { log, .. } => {
                 96 + log.iter().map(|(_, b)| batch_bytes(b)).sum::<usize>()
             }
+            PaxosMsg::StateReply { entries, .. } => 96 + entry_bytes(entries),
         },
         ConsensusMsg::Pbft(p) => match p {
             PbftMsg::PrePrepare { cmd, .. } => 96 + batch_bytes(cmd),
-            PbftMsg::Prepare { .. } | PbftMsg::Commit { .. } | PbftMsg::Checkpoint { .. } => 112,
+            PbftMsg::Prepare { .. }
+            | PbftMsg::Commit { .. }
+            | PbftMsg::Checkpoint { .. }
+            | PbftMsg::StateRequest { .. } => 112,
             PbftMsg::ViewChange { prepared, .. } => {
                 128 + prepared
                     .iter()
@@ -301,6 +347,7 @@ fn consensus_bytes(m: &ConsensusMsg<Cmd>) -> usize {
             PbftMsg::NewView { log, .. } => {
                 128 + log.iter().map(|(_, b)| batch_bytes(b)).sum::<usize>()
             }
+            PbftMsg::StateReply { entries, .. } => 128 + entry_bytes(entries),
         },
     }
 }

@@ -22,6 +22,81 @@ use saguaro_net::Context;
 use saguaro_types::{ClientId, DomainId, Transaction, TxKind};
 
 impl SaguaroNode {
+    /// True if no request is queued waiting for this device's state.  A key
+    /// whose queue has been drained counts as "no pending": leaving the
+    /// empty entry behind once suppressed the next excursion's `StateQuery`
+    /// entirely, wedging every later pull-back.
+    pub(crate) fn no_pending_mobile(&self, device: saguaro_types::ClientId) -> bool {
+        self.pending_mobile
+            .get(&device)
+            .is_none_or(|queue| queue.is_empty())
+    }
+
+    /// Arms (at most one) retry loop for a device whose state is in flight:
+    /// if the `StateQuery` or its `StateMsg` answer dies with a crashed
+    /// primary on either side of the hand-off, the requests queued in
+    /// `pending_mobile` would otherwise be stranded forever.
+    pub(crate) fn arm_mobile_retry(
+        &mut self,
+        device: saguaro_types::ClientId,
+        ctx: &mut Context<'_, SaguaroMsg>,
+    ) {
+        if !self.mobile_retry_armed.insert(device) {
+            return; // a loop is already live for this device
+        }
+        ctx.set_timer(
+            self.config.commit_query_timeout,
+            SaguaroMsg::MobileRetryTimer { device },
+        );
+    }
+
+    /// The retry timer fired: if the device's state still has not arrived,
+    /// re-issue the query along the route the queued transaction implies and
+    /// re-arm; otherwise let the loop die.
+    pub(crate) fn on_mobile_retry(
+        &mut self,
+        device: saguaro_types::ClientId,
+        ctx: &mut Context<'_, SaguaroMsg>,
+    ) {
+        self.mobile_retry_armed.remove(&device);
+        let Some(tx) = self
+            .pending_mobile
+            .get(&device)
+            .and_then(|queue| queue.first().cloned())
+        else {
+            return; // satisfied (or abandoned) in the meantime
+        };
+        if !self.is_primary() {
+            // A view change moved the primary; the new primary's own query
+            // path takes over when the client retries through it.
+            return;
+        }
+        // Route: a remote domain waiting for a visiting device queries the
+        // device's home; a home domain (pulling state back, or relaying as
+        // intermediary) queries wherever its record says the state went.
+        let target = match &tx.kind {
+            TxKind::Mobile { local, remote } if *remote == self.domain() => Some(*local),
+            _ => self
+                .mobile
+                .get(&device)
+                .and_then(|r| if r.lock { None } else { r.remote }),
+        };
+        if let Some(target) = target {
+            if target != self.domain() {
+                self.send_to_domain(
+                    target,
+                    SaguaroMsg::StateQuery {
+                        device,
+                        tx,
+                        remote: self.domain(),
+                    },
+                    ctx,
+                );
+            }
+        }
+        self.arm_mobile_retry(device, ctx);
+    }
+
     /// A request from a roaming device arrived at this (remote) domain.
     pub(crate) fn handle_remote_mobile_request(
         &mut self,
@@ -44,7 +119,7 @@ impl SaguaroNode {
         }
         // First transaction of the excursion: ask the home domain for the
         // device's state and queue the request until it arrives.
-        let first_query = !self.pending_mobile.contains_key(&device);
+        let first_query = self.no_pending_mobile(device);
         self.pending_mobile
             .entry(device)
             .or_default()
@@ -59,6 +134,7 @@ impl SaguaroNode {
                 },
                 ctx,
             );
+            self.arm_mobile_retry(device, ctx);
         }
     }
 
@@ -80,7 +156,7 @@ impl SaguaroNode {
         let Some(remote) = record.remote else {
             return;
         };
-        let first_query = !self.pending_mobile.contains_key(&device);
+        let first_query = self.no_pending_mobile(device);
         self.pending_mobile
             .entry(device)
             .or_default()
@@ -95,6 +171,7 @@ impl SaguaroNode {
                 },
                 ctx,
             );
+            self.arm_mobile_retry(device, ctx);
         }
     }
 
@@ -151,6 +228,29 @@ impl SaguaroNode {
                 ctx,
             );
         } else if let Some(current_remote) = record.remote {
+            if current_remote == requester {
+                // The records point at the requester itself: the previous
+                // `StateMsg` to it was lost (its primary crashed mid
+                // hand-off before installing).  This domain's copy is still
+                // the freshest — extraction copies, it does not erase — so
+                // re-extract and answer directly instead of bouncing the
+                // query back to the requester forever.
+                let entries = self
+                    .state
+                    .extract_account_state(&device_account(device_home(&tx, device), device));
+                let cert_sigs = self.cert_sigs();
+                self.send_to_domain(
+                    requester,
+                    SaguaroMsg::StateMsg {
+                        device,
+                        entries,
+                        tx,
+                        cert_sigs,
+                    },
+                    ctx,
+                );
+                return;
+            }
             // Lines 10-12: some other remote domain has the freshest records;
             // pull them back here first, then forward to the requester.
             self.pending_mobile
@@ -166,6 +266,7 @@ impl SaguaroNode {
                 },
                 ctx,
             );
+            self.arm_mobile_retry(device, ctx);
         }
     }
 
@@ -193,6 +294,13 @@ impl SaguaroNode {
                 .extract_account_state(&device_account(self.domain(), device));
             let cert_sigs = self.cert_sigs();
             let trigger_tx = self.pending_mobile.get_mut(&device).and_then(|q| q.pop());
+            if self
+                .pending_mobile
+                .get(&device)
+                .is_some_and(|q| q.is_empty())
+            {
+                self.pending_mobile.remove(&device);
+            }
             if let Some(tx) = trigger_tx {
                 self.send_to_domain(
                     remote,
@@ -241,7 +349,6 @@ impl SaguaroNode {
         tx: Transaction,
         ctx: &mut Context<'_, SaguaroMsg>,
     ) {
-        self.state.install_account_state(&entries);
         let home = device_home(&tx, device);
         let my_domain = self.domain();
         let destination = match &tx.kind {
@@ -253,6 +360,21 @@ impl SaguaroNode {
         if destination == my_domain {
             // The state reached the domain that needs it: execute the
             // triggering transaction and everything queued behind it.
+            //
+            // Duplicate-delivery guard: when this domain *already* holds the
+            // authoritative copy (a lost-`StateMsg` retry crossed the copy
+            // that did arrive), installing the stale snapshot again would
+            // roll back every transaction executed since — the "duplicated
+            // balance" failure.  Keep the live copy; only the queued
+            // transactions are (idempotently) executed.
+            let already_authoritative = if home == my_domain {
+                self.mobile.get(&device).is_some_and(|r| r.lock)
+            } else {
+                self.hosted_devices.contains(&device)
+            };
+            if !already_authoritative {
+                self.state.install_account_state(&entries);
+            }
             if home == my_domain {
                 self.mobile.insert(
                     device,
@@ -271,7 +393,9 @@ impl SaguaroNode {
             }
         } else if home == my_domain && self.is_primary() {
             // Intermediary: the home domain pulled the state back from a
-            // previous remote and now forwards it to the new remote.
+            // previous remote and now forwards it to the new remote.  The
+            // pulled-back copy supersedes the home's stale one.
+            self.state.install_account_state(&entries);
             self.mobile.insert(
                 device,
                 MobileRecord {
@@ -294,8 +418,10 @@ impl SaguaroNode {
                 ctx,
             );
         } else if home == my_domain {
-            // Non-primary replicas of the intermediary still record the
-            // pointer so a view change keeps the routing information.
+            // Non-primary replicas of the intermediary install the
+            // pulled-back copy too and record the pointer so a view change
+            // keeps both the state and the routing information.
+            self.state.install_account_state(&entries);
             self.mobile.insert(
                 device,
                 MobileRecord {

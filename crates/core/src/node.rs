@@ -95,6 +95,10 @@ pub struct SaguaroNode {
     pub(crate) hosted_devices: HashSet<ClientId>,
     /// Requests waiting for a device state to arrive, keyed by device.
     pub(crate) pending_mobile: HashMap<ClientId, Vec<Transaction>>,
+    /// Devices with a live state-query retry loop (at most one per device),
+    /// so a crashed primary on either side of a hand-off cannot strand the
+    /// queued requests forever.
+    pub(crate) mobile_retry_armed: HashSet<ClientId>,
 
     // ---------------- timers & misc ----------------
     pub(crate) round: u64,
@@ -118,7 +122,8 @@ impl SaguaroNode {
             .expect("node's domain is in the tree");
         let quorum = cfg.quorum;
         let peers = tree.nodes_of(id.domain).expect("domain has nodes");
-        let consensus = ConsensusReplica::with_batching(id, peers.clone(), quorum, config.batch);
+        let consensus = ConsensusReplica::with_batching(id, peers.clone(), quorum, config.batch)
+            .with_checkpointing(config.checkpoint);
         Self {
             id,
             tree,
@@ -145,6 +150,7 @@ impl SaguaroNode {
             mobile: HashMap::new(),
             hosted_devices: HashSet::new(),
             pending_mobile: HashMap::new(),
+            mobile_retry_armed: HashSet::new(),
             round: 0,
             round_timer: None,
             progress_timer: None,
@@ -192,6 +198,21 @@ impl SaguaroNode {
     /// Measurement counters.
     pub fn stats(&self) -> &NodeStats {
         &self.stats
+    }
+
+    /// The internal consensus delivery frontier of this replica.
+    pub fn consensus_frontier(&self) -> SeqNo {
+        self.consensus.last_delivered()
+    }
+
+    /// The internal consensus stable checkpoint of this replica.
+    pub fn consensus_checkpoint(&self) -> SeqNo {
+        self.consensus.stable_checkpoint()
+    }
+
+    /// Entries a view-change vote from this replica would carry right now.
+    pub fn consensus_vote_entries(&self) -> usize {
+        self.consensus.vote_entries()
     }
 
     /// True if this node is currently the primary of its domain.
@@ -260,6 +281,23 @@ impl SaguaroNode {
         self.batch_timer = None;
         let steps = self.consensus.flush();
         self.drive(steps, ctx);
+    }
+
+    /// Records the application of a state-transfer reply: how many member
+    /// commands it delivered, its wire volume, and when the catch-up landed
+    /// (the recovery experiments read these off the victim replica).
+    fn note_state_transfer(
+        &mut self,
+        steps: &[Step<Batch<Cmd>, ConsensusMsg<Cmd>>],
+        bytes: usize,
+        ctx: &mut Context<'_, SaguaroMsg>,
+    ) {
+        let commands = saguaro_consensus::delivered_commands(steps);
+        if commands > 0 {
+            self.stats.state_transfer_commands += commands;
+            self.stats.state_transfer_bytes += bytes as u64;
+            self.stats.caught_up_at = Some(ctx.now());
+        }
     }
 
     /// Applies consensus output steps: routes messages and executes delivered
@@ -485,6 +523,13 @@ impl SaguaroNode {
         if let Some(id) = self.progress_timer.take() {
             ctx.cancel_timer(id);
         }
+        // Mobile retry loops also died with the crash: devices still waiting
+        // for their state when this replica went down must be re-queried.
+        self.mobile_retry_armed.clear();
+        let waiting: Vec<ClientId> = self.pending_mobile.keys().copied().collect();
+        for device in waiting {
+            self.arm_mobile_retry(device, ctx);
+        }
         self.on_round_timer(ctx);
     }
 }
@@ -495,7 +540,13 @@ impl Actor<SaguaroMsg> for SaguaroNode {
             SaguaroMsg::ClientRequest(tx) => self.handle_client_request(tx, ctx),
             SaguaroMsg::Consensus(m) => {
                 if let Some(node) = from.as_node() {
+                    let transfer_bytes = m
+                        .is_state_reply()
+                        .then(|| crate::messages::consensus_bytes(&m));
                     let steps = self.consensus.on_message(node, m);
+                    if let Some(bytes) = transfer_bytes {
+                        self.note_state_transfer(&steps, bytes, ctx);
+                    }
                     self.drive(steps, ctx);
                 }
             }
@@ -545,6 +596,7 @@ impl Actor<SaguaroMsg> for SaguaroNode {
             SaguaroMsg::BatchTimer => self.on_batch_timer(ctx),
             SaguaroMsg::CrossTimeout { tx_id } => self.on_cross_timeout(tx_id, ctx),
             SaguaroMsg::CommitQueryTimer { tx_id } => self.on_commit_query_timer(tx_id, ctx),
+            SaguaroMsg::MobileRetryTimer { device } => self.on_mobile_retry(device, ctx),
             SaguaroMsg::Reply { .. } | SaguaroMsg::ClientTick => {}
         }
     }
@@ -560,6 +612,7 @@ impl Actor<SaguaroMsg> for SaguaroNode {
             SaguaroMsg::BatchTimer => self.on_batch_timer(ctx),
             SaguaroMsg::CrossTimeout { tx_id } => self.on_cross_timeout(tx_id, ctx),
             SaguaroMsg::CommitQueryTimer { tx_id } => self.on_commit_query_timer(tx_id, ctx),
+            SaguaroMsg::MobileRetryTimer { device } => self.on_mobile_retry(device, ctx),
             other => {
                 // Any other payload used as a timer is treated as a message to
                 // self (not used today, kept for forward compatibility).

@@ -33,6 +33,14 @@ pub struct NodeStats {
     /// domain primary (used to compute end-to-end latency when replies are
     /// lost).
     pub commit_times: HashMap<TxId, SimTime>,
+    /// Member commands this node applied through state-transfer replies
+    /// (recovery catch-up) instead of the normal ordering pipeline.
+    pub state_transfer_commands: u64,
+    /// Wire bytes of the state-transfer replies this node applied.
+    pub state_transfer_bytes: u64,
+    /// The instant the last state-transfer reply was applied — for a
+    /// crashed-and-recovered replica, when its catch-up completed.
+    pub caught_up_at: Option<SimTime>,
 }
 
 impl NodeStats {

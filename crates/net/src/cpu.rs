@@ -30,6 +30,26 @@ pub trait MessageMeta {
     fn is_payload(&self) -> bool {
         false
     }
+
+    /// True if the message carries state-transfer traffic (recovery
+    /// catch-up).  The network statistics account these bytes separately so
+    /// recovery experiments can report transfer volume.
+    fn is_state_transfer(&self) -> bool {
+        false
+    }
+
+    /// An *equivocated* variant of this message, if one exists: a mutated
+    /// copy with the same protocol coordinates but a conflicting payload,
+    /// which a Byzantine sender under [`crate::FaultEvent::Equivocate`]
+    /// emits alongside the original.  `None` (the default) means the
+    /// message type has no meaningful equivocation and only the original is
+    /// sent.
+    fn tampered(&self) -> Option<Self>
+    where
+        Self: Sized,
+    {
+        None
+    }
 }
 
 /// CPU service-time parameters of one node.

@@ -21,6 +21,7 @@ pub struct Envelope<M> {
     payload: Arc<M>,
     wire_bytes: usize,
     signatures: usize,
+    state_transfer: bool,
 }
 
 impl<M: MessageMeta> Envelope<M> {
@@ -28,10 +29,12 @@ impl<M: MessageMeta> Envelope<M> {
     pub fn new(payload: M) -> Self {
         let wire_bytes = payload.wire_bytes();
         let signatures = payload.signatures();
+        let state_transfer = payload.is_state_transfer();
         Self {
             payload: Arc::new(payload),
             wire_bytes,
             signatures,
+            state_transfer,
         }
     }
 }
@@ -45,6 +48,11 @@ impl<M> Envelope<M> {
     /// Memoized [`MessageMeta::signatures`] of the payload.
     pub fn signatures(&self) -> usize {
         self.signatures
+    }
+
+    /// Memoized [`MessageMeta::is_state_transfer`] of the payload.
+    pub fn is_state_transfer(&self) -> bool {
+        self.state_transfer
     }
 
     /// Shared access to the payload.
@@ -72,6 +80,7 @@ impl<M> Clone for Envelope<M> {
             payload: Arc::clone(&self.payload),
             wire_bytes: self.wire_bytes,
             signatures: self.signatures,
+            state_transfer: self.state_transfer,
         }
     }
 }

@@ -40,6 +40,14 @@ pub enum FaultEvent {
         /// Additional one-way latency while the spike is active.
         extra: Duration,
     },
+    /// The actor turns Byzantine-equivocating: every outbound message that
+    /// has a meaningful equivocation (see
+    /// [`crate::MessageMeta::tampered`]) is duplicated with a conflicting
+    /// payload, modelling a malicious primary sending different proposals
+    /// for the same sequence number.
+    Equivocate(Addr),
+    /// The actor stops equivocating.
+    StopEquivocate(Addr),
 }
 
 /// A deterministic script of [`FaultEvent`]s keyed by virtual time.
@@ -112,6 +120,19 @@ impl FaultSchedule {
         self
     }
 
+    /// Builder: make `actor` equivocate from `at` on (duplicate-and-mutate
+    /// its outbound consensus messages).
+    pub fn equivocate_at(mut self, at: SimTime, actor: impl Into<Addr>) -> Self {
+        self.push(at, FaultEvent::Equivocate(actor.into()));
+        self
+    }
+
+    /// Builder: stop `actor` equivocating at `at`.
+    pub fn stop_equivocate_at(mut self, at: SimTime, actor: impl Into<Addr>) -> Self {
+        self.push(at, FaultEvent::StopEquivocate(actor.into()));
+        self
+    }
+
     /// Builder: partition every pair across the two groups at `at` (a clean
     /// two-sided network split — pairs inside a group keep communicating).
     pub fn split_at<A, B>(mut self, at: SimTime, side_a: A, side_b: B) -> Self
@@ -157,6 +178,9 @@ pub struct FaultPlan {
     crashed: HashSet<Addr>,
     /// Unordered pairs of addresses that cannot exchange messages.
     partitions: HashSet<(Addr, Addr)>,
+    /// Actors currently equivocating (duplicating/mutating their outbound
+    /// consensus messages).
+    equivocating: HashSet<Addr>,
     /// Probability in `[0, 1]` that any given message is silently dropped.
     drop_probability: f64,
 }
@@ -197,6 +221,21 @@ impl FaultPlan {
     pub fn heal(&mut self, a: impl Into<Addr>, b: impl Into<Addr>) {
         let (a, b) = Self::ordered(a.into(), b.into());
         self.partitions.remove(&(a, b));
+    }
+
+    /// Starts Byzantine equivocation at `a`.
+    pub fn equivocate(&mut self, a: impl Into<Addr>) {
+        self.equivocating.insert(a.into());
+    }
+
+    /// Stops Byzantine equivocation at `a`.
+    pub fn stop_equivocate(&mut self, a: impl Into<Addr>) {
+        self.equivocating.remove(&a.into());
+    }
+
+    /// True if the actor is currently equivocating.
+    pub fn is_equivocating(&self, a: Addr) -> bool {
+        self.equivocating.contains(&a)
     }
 
     /// Sets the uniform message-drop probability.

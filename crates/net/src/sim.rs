@@ -285,6 +285,8 @@ impl<M: MessageMeta + Clone + 'static> Simulation<M> {
                 FaultEvent::PartitionLink(a, b) => self.faults.partition(a, b),
                 FaultEvent::HealLink(a, b) => self.faults.heal(a, b),
                 FaultEvent::DelaySpike { extra } => self.extra_delay = extra,
+                FaultEvent::Equivocate(a) => self.faults.equivocate(a),
+                FaultEvent::StopEquivocate(a) => self.faults.stop_equivocate(a),
             }
         }
     }
@@ -401,6 +403,20 @@ impl<M: MessageMeta + Clone + 'static> Simulation<M> {
     }
 
     fn schedule_send(&mut self, from: Addr, from_region: Region, to: Addr, env: Envelope<M>) {
+        // A Byzantine-equivocating sender also emits a conflicting twin of
+        // every message that has a meaningful equivocation (e.g. a PBFT
+        // pre-prepare with a mutated block).  The twin goes through the
+        // normal scheduling path, so it draws its own latency and can
+        // overtake the original at some recipients.
+        if self.faults.is_equivocating(from) {
+            if let Some(twin) = env.payload().tampered() {
+                self.schedule_send_inner(from, from_region, to, Envelope::new(twin));
+            }
+        }
+        self.schedule_send_inner(from, from_region, to, env);
+    }
+
+    fn schedule_send_inner(&mut self, from: Addr, from_region: Region, to: Addr, env: Envelope<M>) {
         self.stats.on_send();
         if self.faults.should_drop(from, to, &mut self.rng) {
             self.stats.on_drop();
@@ -448,7 +464,8 @@ impl<M: MessageMeta + Clone + 'static> Simulation<M> {
         };
         let done = start + service;
         slot.busy_until = done;
-        self.stats.on_deliver(idx, env.wire_bytes(), service);
+        self.stats
+            .on_deliver(idx, env.wire_bytes(), service, env.is_state_transfer());
 
         let mut actor = slot.actor.take().expect("actor present outside callback");
         let saved_now = self.now;
@@ -580,6 +597,14 @@ mod tests {
         }
         fn signatures(&self) -> usize {
             1
+        }
+        fn tampered(&self) -> Option<Self> {
+            match self {
+                // Pings have a meaningful equivocation (a conflicting twin);
+                // everything else does not.
+                TestMsg::Ping(n) => Some(TestMsg::Ping(n | 0x8000_0000)),
+                _ => None,
+            }
         }
     }
 
@@ -1085,6 +1110,37 @@ mod tests {
         s.run_to_completion(1000);
         assert_eq!(s.stats().timers_fired, 2, "timers at 2 and 4 ms only");
         assert_eq!(s.live_timers(), 0, "the 6 ms timer was retired, not leaked");
+    }
+
+    #[test]
+    fn equivocating_sender_duplicates_tamperable_messages_only() {
+        let mut s = sim();
+        for i in 0..2 {
+            s.register(
+                addr(i),
+                Region(0),
+                CpuProfile::client(),
+                Box::new(PingPong::default()),
+            );
+        }
+        s.set_fault_schedule(
+            FaultSchedule::none()
+                .equivocate_at(SimTime::ZERO, ClientId(0))
+                .stop_equivocate_at(SimTime::from_millis(50), ClientId(0)),
+        );
+        // Reach t = 0 so the scheduled Equivocate applies before the send.
+        s.run_until(SimTime::ZERO);
+        assert!(s.faults().is_equivocating(addr(0)));
+        // A ping from the equivocator gains a conflicting twin; both are
+        // answered, but the pongs (sent by the honest addr(1)) are not
+        // duplicated, and neither are post-stop pings.
+        s.inject(addr(0), addr(1), TestMsg::Ping(1));
+        s.run_until(SimTime::from_millis(55));
+        assert_eq!(s.stats().messages_delivered, 4, "2 pings + 2 pongs");
+        assert!(!s.faults().is_equivocating(addr(0)));
+        s.inject(addr(0), addr(1), TestMsg::Ping(2));
+        s.run_to_completion(100);
+        assert_eq!(s.stats().messages_delivered, 6, "no twin after stop");
     }
 
     #[test]

@@ -21,6 +21,11 @@ pub struct NetStats {
     pub messages_dropped: u64,
     /// Total payload bytes delivered.
     pub bytes_delivered: u64,
+    /// State-transfer (recovery catch-up) messages delivered.
+    pub state_messages_delivered: u64,
+    /// Bytes delivered by state-transfer messages — the volume a recovery
+    /// experiment reports as "transferred to catch the replica up".
+    pub state_bytes_delivered: u64,
     /// Timer events fired.
     pub timers_fired: u64,
     /// Per-node accumulated CPU busy time, indexed by interned actor index.
@@ -52,10 +57,21 @@ impl NetStats {
     }
 
     /// Records a delivery of `bytes` to the actor at interned index `idx`
-    /// costing `service` CPU time.
-    pub(crate) fn on_deliver(&mut self, idx: u32, bytes: usize, service: Duration) {
+    /// costing `service` CPU time.  `state_transfer` marks recovery
+    /// catch-up traffic, accounted separately.
+    pub(crate) fn on_deliver(
+        &mut self,
+        idx: u32,
+        bytes: usize,
+        service: Duration,
+        state_transfer: bool,
+    ) {
         self.messages_delivered += 1;
         self.bytes_delivered += bytes as u64;
+        if state_transfer {
+            self.state_messages_delivered += 1;
+            self.state_bytes_delivered += bytes as u64;
+        }
         let cell = &mut self.busy[idx as usize];
         *cell = *cell + service;
     }
@@ -134,14 +150,16 @@ mod tests {
         s.on_send();
         s.on_send();
         s.on_drop();
-        s.on_deliver(0, 100, Duration::from_micros(10));
-        s.on_deliver(0, 50, Duration::from_micros(5));
-        s.on_deliver(1, 10, Duration::from_micros(1));
+        s.on_deliver(0, 100, Duration::from_micros(10), false);
+        s.on_deliver(0, 50, Duration::from_micros(5), true);
+        s.on_deliver(1, 10, Duration::from_micros(1), false);
         s.on_timer();
         assert_eq!(s.messages_sent, 2);
         assert_eq!(s.messages_dropped, 1);
         assert_eq!(s.messages_delivered, 3);
         assert_eq!(s.bytes_delivered, 160);
+        assert_eq!(s.state_messages_delivered, 1);
+        assert_eq!(s.state_bytes_delivered, 50);
         assert_eq!(s.timers_fired, 1);
         assert_eq!(s.busy_time(c(0)), Duration::from_micros(15));
         assert_eq!(s.busy_time(c(2)), Duration::ZERO);
@@ -150,8 +168,8 @@ mod tests {
     #[test]
     fn utilisation_and_busiest() {
         let mut s = stats_with(2);
-        s.on_deliver(0, 1, Duration::from_micros(500));
-        s.on_deliver(1, 1, Duration::from_micros(100));
+        s.on_deliver(0, 1, Duration::from_micros(500), false);
+        s.on_deliver(1, 1, Duration::from_micros(100), false);
         assert_eq!(s.utilisation(c(0), Duration::from_millis(1)), 0.5);
         assert_eq!(s.utilisation(c(0), Duration::ZERO), 0.0);
         assert_eq!(s.busiest().map(|(a, _)| a), Some(c(0)));
@@ -167,11 +185,11 @@ mod tests {
             s.register(c(i));
         }
         for idx in 0..4 {
-            s.on_deliver(idx, 1, Duration::from_micros(700));
+            s.on_deliver(idx, 1, Duration::from_micros(700), false);
         }
         assert_eq!(s.busiest(), Some((c(2), Duration::from_micros(700))));
         // A strictly busier node still wins regardless of address.
-        s.on_deliver(2, 1, Duration::from_micros(1));
+        s.on_deliver(2, 1, Duration::from_micros(1), false);
         assert_eq!(s.busiest().map(|(a, _)| a), Some(c(9)));
     }
 
@@ -183,7 +201,7 @@ mod tests {
     #[test]
     fn trim_busy_hands_back_unperformed_work_and_saturates() {
         let mut s = stats_with(1);
-        s.on_deliver(0, 10, Duration::from_micros(100));
+        s.on_deliver(0, 10, Duration::from_micros(100), false);
         s.trim_busy(0, Duration::from_micros(30));
         assert_eq!(s.busy_time(c(0)), Duration::from_micros(70));
         // Trimming more than remains clamps to zero instead of wrapping.

@@ -10,7 +10,7 @@ use saguaro_core::{ProtocolConfig, SaguaroMsg, SaguaroNode};
 use saguaro_hierarchy::{HierarchyTree, Placement, TopologyBuilder};
 use saguaro_ledger::TxStatus;
 use saguaro_net::{Addr, CpuProfile, LatencyMatrix, Simulation};
-use saguaro_types::{ClientId, DomainId, FailureModel, Result, SimTime, StackConfig};
+use saguaro_types::{ClientId, DomainId, FailureModel, NodeId, Result, SimTime, StackConfig};
 use std::sync::Arc;
 
 /// Builds the paper's 4-level perfect binary tree with the given failure
@@ -113,6 +113,7 @@ pub fn deploy_baseline(
         for node in tree.nodes_of(domain).expect("domain nodes") {
             let mut actor =
                 BaselineNode::with_batching(node, role, tree.clone(), committee, stack.batch)
+                    .with_checkpointing(stack.checkpoint)
                     .with_liveness(stack.liveness)
                     .with_delivery_recording(stack.record_deliveries);
             if domain.height == 1 {
@@ -144,24 +145,27 @@ pub fn deploy_baseline(
     committee
 }
 
-/// Extracts post-run evidence from every replica of a Saguaro deployment.
-pub fn harvest_saguaro(sim: &mut Simulation<SaguaroMsg>, tree: &Arc<HierarchyTree>) -> RunHarvest {
+/// Shared harvest loop: walks every registered replica (skipping height-0
+/// domains when `skip_edge_devices`), downcasts to the concrete node type
+/// and extracts one [`NodeHarvest`] via `extract`.  Keeping a single loop
+/// means a new harvest field is threaded once, not once per stack family.
+fn harvest_with<A: 'static, M: saguaro_net::MessageMeta + Clone + 'static>(
+    sim: &mut Simulation<M>,
+    tree: &Arc<HierarchyTree>,
+    skip_edge_devices: bool,
+    extract: impl Fn(NodeId, &mut A) -> NodeHarvest,
+) -> RunHarvest {
     let mut nodes = Vec::new();
     for domain_cfg in tree.domains() {
-        if domain_cfg.id.height == 0 {
+        if skip_edge_devices && domain_cfg.id.height == 0 {
             continue;
         }
         for node in tree.nodes_of(domain_cfg.id).expect("domain nodes") {
             let harvested = sim.with_actor(node, |actor| {
                 actor
                     .as_any()
-                    .and_then(|any| any.downcast_mut::<SaguaroNode>())
-                    .map(|n| NodeHarvest {
-                        node: n.node_id(),
-                        entries: ledger_entries(n.ledger()),
-                        consensus_log: n.stats().consensus_log.clone(),
-                        view_changes: n.stats().view_changes,
-                    })
+                    .and_then(|any| any.downcast_mut::<A>())
+                    .map(|n| extract(node, n))
             });
             if let Some(Some(h)) = harvested {
                 nodes.push(h);
@@ -171,31 +175,39 @@ pub fn harvest_saguaro(sim: &mut Simulation<SaguaroMsg>, tree: &Arc<HierarchyTre
     RunHarvest { nodes }
 }
 
+/// Extracts post-run evidence from every replica of a Saguaro deployment.
+pub fn harvest_saguaro(sim: &mut Simulation<SaguaroMsg>, tree: &Arc<HierarchyTree>) -> RunHarvest {
+    harvest_with(sim, tree, true, |node, n: &mut SaguaroNode| NodeHarvest {
+        node,
+        entries: ledger_entries(n.ledger()),
+        consensus_log: n.stats().consensus_log.clone(),
+        view_changes: n.stats().view_changes,
+        last_delivered: n.consensus_frontier(),
+        stable_checkpoint: n.consensus_checkpoint(),
+        vote_entries: n.consensus_vote_entries(),
+        state_transfer_commands: n.stats().state_transfer_commands,
+        state_transfer_bytes: n.stats().state_transfer_bytes,
+        caught_up_at: n.stats().caught_up_at,
+    })
+}
+
 /// Extracts post-run evidence from every replica of a baseline deployment.
 pub fn harvest_baseline(
     sim: &mut Simulation<BaselineMsg>,
     tree: &Arc<HierarchyTree>,
 ) -> RunHarvest {
-    let mut nodes = Vec::new();
-    for domain_cfg in tree.domains() {
-        for node in tree.nodes_of(domain_cfg.id).expect("domain nodes") {
-            let harvested = sim.with_actor(node, |actor| {
-                actor
-                    .as_any()
-                    .and_then(|any| any.downcast_mut::<BaselineNode>())
-                    .map(|n| NodeHarvest {
-                        node,
-                        entries: ledger_entries(n.ledger()),
-                        consensus_log: n.stats().consensus_log.clone(),
-                        view_changes: n.stats().view_changes,
-                    })
-            });
-            if let Some(Some(h)) = harvested {
-                nodes.push(h);
-            }
-        }
-    }
-    RunHarvest { nodes }
+    harvest_with(sim, tree, false, |node, n: &mut BaselineNode| NodeHarvest {
+        node,
+        entries: ledger_entries(n.ledger()),
+        consensus_log: n.stats().consensus_log.clone(),
+        view_changes: n.stats().view_changes,
+        last_delivered: n.consensus_frontier(),
+        stable_checkpoint: n.consensus_checkpoint(),
+        vote_entries: n.consensus_vote_entries(),
+        state_transfer_commands: n.stats().state_transfer_commands,
+        state_transfer_bytes: n.stats().state_transfer_bytes,
+        caught_up_at: n.stats().caught_up_at,
+    })
 }
 
 /// Ledger entries as `(tx id, finally committed)` pairs in append order.

@@ -43,8 +43,8 @@ use parking_lot::Mutex;
 use saguaro_hierarchy::Placement;
 use saguaro_net::{Addr, CpuProfile, FaultEvent, FaultSchedule, Simulation};
 use saguaro_types::{
-    BatchConfig, ClientId, DomainId, Duration, FailureModel, LivenessConfig, NodeId, SimTime,
-    StackConfig, TxId,
+    BatchConfig, CheckpointConfig, ClientId, DomainId, Duration, FailureModel, LivenessConfig,
+    NodeId, SimTime, StackConfig, TxId,
 };
 use saguaro_workload::{MicropaymentWorkload, RidesharingWorkload, Workload, WorkloadConfig};
 use std::sync::Arc;
@@ -147,6 +147,10 @@ pub struct ExperimentSpec {
     /// `Some` always wins, including `Some(LivenessConfig::disabled())` to
     /// script pure delay/partition scenarios without arming timers.
     pub liveness: Option<LivenessConfig>,
+    /// Checkpointing / state-transfer knobs of every domain's internal
+    /// consensus.  The legacy default reproduces the historical pipeline bit
+    /// for bit; [`ExperimentSpec::checkpointed`] turns the subsystem on.
+    pub checkpoint: CheckpointConfig,
 }
 
 impl ExperimentSpec {
@@ -167,6 +171,7 @@ impl ExperimentSpec {
             batch: BatchConfig::unbatched(),
             fault_plan: FaultSchedule::none(),
             liveness: None,
+            checkpoint: CheckpointConfig::legacy(),
         }
     }
 
@@ -235,6 +240,22 @@ impl ExperimentSpec {
     /// Replaces the full batching configuration.
     pub fn batch_config(mut self, batch: BatchConfig) -> Self {
         self.batch = batch;
+        self
+    }
+
+    /// Turns on checkpointing and state transfer with the given
+    /// announcement interval: consensus logs stay bounded by the stable
+    /// checkpoint and gap-stalled replicas catch up from peers.
+    pub fn checkpointed(mut self, interval: u64) -> Self {
+        self.checkpoint = CheckpointConfig::every(interval);
+        self
+    }
+
+    /// Replaces the full checkpoint configuration (e.g.
+    /// [`CheckpointConfig::unbounded`] for the `∞`-interval determinism
+    /// baseline).
+    pub fn checkpoint_config(mut self, checkpoint: CheckpointConfig) -> Self {
+        self.checkpoint = checkpoint;
         self
     }
 
@@ -389,6 +410,10 @@ pub struct RunArtifacts {
     /// to assert safety (no lost/duplicated/divergent commits) and that
     /// leader crashes really drove view changes.
     pub harvest: RunHarvest,
+    /// State-transfer (recovery catch-up) messages delivered network-wide.
+    pub state_transfer_messages: u64,
+    /// Bytes delivered by state-transfer messages network-wide.
+    pub state_transfer_bytes: u64,
 }
 
 /// Runs one experiment, dispatching `spec.protocol` to the corresponding
@@ -526,6 +551,7 @@ pub fn run_experiment_collecting<P: ProtocolStack>(spec: &ExperimentSpec) -> Run
     let stack = StackConfig {
         batch: spec.batch,
         liveness,
+        checkpoint: spec.checkpoint,
         // Agreement evidence is recorded for every fault run — including
         // plans scripted with liveness timers explicitly off — and skipped
         // by failure-free performance sweeps.
@@ -578,6 +604,8 @@ pub fn run_experiment_collecting<P: ProtocolStack>(spec: &ExperimentSpec) -> Run
 
     let horizon = spec.warmup + spec.measure + Duration::from_millis(300);
     let events_processed = sim.run_until(SimTime::ZERO + horizon);
+    let state_transfer_messages = sim.stats().state_messages_delivered;
+    let state_transfer_bytes = sim.stats().state_bytes_delivered;
     let harvest = P::harvest(&mut sim, &tree);
     let completions = std::mem::take(&mut *collector.lock());
     let metrics = summarise(
@@ -592,6 +620,8 @@ pub fn run_experiment_collecting<P: ProtocolStack>(spec: &ExperimentSpec) -> Run
         schedules,
         events_processed,
         harvest,
+        state_transfer_messages,
+        state_transfer_bytes,
     }
 }
 

@@ -5,7 +5,9 @@
 //! corresponding figure; the `saguaro-bench` binaries print them as tables
 //! and `EXPERIMENTS.md` records the paper-vs-measured comparison.
 
-use crate::experiment::{run, run_collecting, ExperimentSpec, LoadPoint, RidesharingConfig};
+use crate::experiment::{
+    run, run_collecting, ExperimentSpec, LoadPoint, RidesharingConfig, RunMetrics,
+};
 use crate::par::parallel_map;
 use crate::protocol::ProtocolKind;
 use saguaro_hierarchy::Placement;
@@ -340,7 +342,8 @@ pub fn fault_victim() -> NodeId {
 /// of it — and reports committed throughput over time.  Paxos domains are
 /// exercised by the four crash-model stacks; a fifth series reruns the
 /// coordinator stack over Byzantine domains so the PBFT view change is
-/// driven too.
+/// driven too, and a sixth runs an 80 %-mobile workload so the crash lands
+/// on a domain that is mid-`StateQuery`/`StateMsg` hand-offs.
 pub fn faults(options: &FigureOptions) -> Vec<FaultSeries> {
     let load = if options.quick { 1_200.0 } else { 4_000.0 };
     let entries: Vec<(String, ExperimentSpec, Duration, Duration)> = ProtocolKind::ALL
@@ -350,6 +353,12 @@ pub fn faults(options: &FigureOptions) -> Vec<FaultSeries> {
             "Coordinator-BFT".to_string(),
             spec(ProtocolKind::SaguaroCoordinator, options)
                 .byzantine()
+                .load(load),
+        )))
+        .chain(std::iter::once((
+            "Coordinator-Mobile".to_string(),
+            spec(ProtocolKind::SaguaroCoordinator, options)
+                .mobile(0.8)
                 .load(load),
         )))
         .map(|(label, s)| {
@@ -429,6 +438,326 @@ pub fn render_fault_table(title: &str, series: &[FaultSeries]) -> String {
             out.push_str(&format!(
                 "{:>10.0} {:>14.0} {:>12.2}\n",
                 b.t_ms, b.committed_tps, b.avg_latency_ms
+            ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Recovery figure: catch-up time and transfer volume vs outage length
+// ---------------------------------------------------------------------------
+
+/// One outage length of the recovery figure.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct RecoveryPoint {
+    /// How long the victim replica was down (virtual ms).
+    pub outage_ms: f64,
+    /// Catch-up time: from the scripted recovery instant to the victim's
+    /// last applied state-transfer reply (virtual ms).  `-1` when the victim
+    /// never caught up (a regression the binary asserts against).
+    pub recovery_ms: f64,
+    /// Member commands the victim received through state transfer.
+    pub transferred_commands: u64,
+    /// Wire bytes of the state-transfer replies the victim applied.
+    pub transferred_bytes: u64,
+    /// Delivery frontier the victim reached by the end of the run.
+    pub victim_frontier: u64,
+    /// Delivery frontier of a healthy replica of the same domain.
+    pub healthy_frontier: u64,
+    /// Entries a view-change vote from the healthy replica would carry
+    /// (bounded by the stable checkpoint).
+    pub vote_entries: usize,
+    /// Entries the same vote carried before this subsystem existed — the
+    /// full history, i.e. the healthy frontier.
+    pub vote_entries_unbounded: u64,
+    /// The healthy replica's stable checkpoint at run end.
+    pub stable_checkpoint: u64,
+    /// Standard summary metrics of the run.
+    pub metrics: RunMetrics,
+}
+
+impl RecoveryPoint {
+    /// Modelled wire size of a bounded view-change vote (96-byte header plus
+    /// ~264 bytes per carried single-command entry, the Paxos wire model).
+    pub fn vote_bytes(&self) -> u64 {
+        96 + 264 * self.vote_entries as u64
+    }
+
+    /// Modelled wire size the vote would have had without checkpointing.
+    pub fn vote_bytes_unbounded(&self) -> u64 {
+        96 + 264 * self.vote_entries_unbounded
+    }
+}
+
+/// One protocol configuration swept over outage lengths.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct RecoverySeries {
+    /// Series label.
+    pub label: String,
+    /// Checkpoint announcement interval the series ran with.
+    pub checkpoint_interval: u64,
+    /// One point per outage length.
+    pub points: Vec<RecoveryPoint>,
+}
+
+/// The replica whose outage the recovery figure scripts: a *backup* of the
+/// first height-1 domain, so the domain keeps committing under its primary
+/// while the victim falls behind — pure catch-up, no view change needed.
+pub fn recovery_victim() -> NodeId {
+    NodeId::new(DomainId::new(1, 0), 1)
+}
+
+/// Recovery figure: a backup replica of one height-1 domain crashes and
+/// recovers after an increasing outage; with checkpointing active its log
+/// gap cannot be filled by re-accepts (the slots are garbage-collected
+/// domain-wide), so the measured recovery time is the state-transfer
+/// catch-up — and it should scale with the outage length, as should the
+/// transferred volume.  One series over Paxos domains, one over PBFT.
+pub fn recovery(options: &FigureOptions) -> Vec<RecoverySeries> {
+    let outages_ms: Vec<u64> = if options.quick {
+        vec![60, 150]
+    } else {
+        vec![50, 100, 200, 300]
+    };
+    let interval = 16;
+    let load = if options.quick { 1_200.0 } else { 2_400.0 };
+    let entries: Vec<(String, ExperimentSpec, u64)> =
+        [("Coordinator", false), ("Coordinator-BFT", true)]
+            .iter()
+            .flat_map(|(label, byzantine)| {
+                outages_ms.iter().map(move |outage| {
+                    let mut s = spec(ProtocolKind::SaguaroCoordinator, options)
+                        .load(load)
+                        .checkpointed(interval);
+                    if *byzantine {
+                        s = s.byzantine();
+                    }
+                    let crash_at = s.warmup + Duration::from_micros(s.measure.as_micros() / 4);
+                    let recover_at = crash_at + Duration::from_millis(*outage);
+                    let plan = FaultSchedule::none()
+                        .crash_at(SimTime::ZERO + crash_at, recovery_victim())
+                        .recover_at(SimTime::ZERO + recover_at, recovery_victim());
+                    (label.to_string(), s.fault_plan(plan), *outage)
+                })
+            })
+            .collect();
+    let artifacts = parallel_map(&entries, |(_, s, _)| run_collecting(s));
+    let mut series: Vec<RecoverySeries> = Vec::new();
+    for ((label, s, outage), art) in entries.into_iter().zip(artifacts) {
+        let recover_at = s.warmup
+            + Duration::from_micros(s.measure.as_micros() / 4)
+            + Duration::from_millis(outage);
+        let victim = art
+            .harvest
+            .node(recovery_victim())
+            .expect("victim harvested");
+        let healthy = art
+            .harvest
+            .node(NodeId::new(recovery_victim().domain, 2))
+            .expect("healthy peer harvested");
+        let recovery_ms = victim
+            .caught_up_at
+            .map(|t| t.since(SimTime::ZERO + recover_at).as_millis_f64())
+            .unwrap_or(-1.0);
+        let point = RecoveryPoint {
+            outage_ms: outage as f64,
+            recovery_ms,
+            transferred_commands: victim.state_transfer_commands,
+            transferred_bytes: victim.state_transfer_bytes,
+            victim_frontier: victim.last_delivered,
+            healthy_frontier: healthy.last_delivered,
+            vote_entries: healthy.vote_entries,
+            vote_entries_unbounded: healthy.last_delivered,
+            stable_checkpoint: healthy.stable_checkpoint,
+            metrics: art.metrics,
+        };
+        match series.iter_mut().find(|s| s.label == label) {
+            Some(existing) => existing.points.push(point),
+            None => series.push(RecoverySeries {
+                label,
+                checkpoint_interval: interval,
+                points: vec![point],
+            }),
+        }
+    }
+    series
+}
+
+/// Renders recovery series as a plain-text table, including the vote-size
+/// bound the checkpoint buys (before/after bytes).
+pub fn render_recovery_table(title: &str, series: &[RecoverySeries]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {title}\n"));
+    for s in series {
+        out.push_str(&format!(
+            "{} — checkpoint interval {}\n",
+            s.label, s.checkpoint_interval
+        ));
+        out.push_str(&format!(
+            "{:>10} {:>12} {:>14} {:>14} {:>12} {:>14} {:>16}\n",
+            "outage_ms",
+            "recovery_ms",
+            "xfer_commands",
+            "xfer_bytes",
+            "vote_entries",
+            "vote_bytes",
+            "unbounded_bytes"
+        ));
+        for p in &s.points {
+            out.push_str(&format!(
+                "{:>10.0} {:>12.1} {:>14} {:>14} {:>12} {:>14} {:>16}\n",
+                p.outage_ms,
+                p.recovery_ms,
+                p.transferred_commands,
+                p.transferred_bytes,
+                p.vote_entries,
+                p.vote_bytes(),
+                p.vote_bytes_unbounded()
+            ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Liveness-timeout sweep: false suspicions vs recovery time
+// ---------------------------------------------------------------------------
+
+/// One `(progress_timeout, placement)` cell of the timeout sweep.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct TimeoutPoint {
+    /// The swept suspicion window (ms).
+    pub timeout_ms: f64,
+    /// View changes observed in a *failure-free* run with timers armed —
+    /// every one of them is a false suspicion.
+    pub false_suspicions: u64,
+    /// False suspicions per second of measured run time.
+    pub false_suspicion_rate: f64,
+    /// In the companion *leader-crash* run: time from the crash to the
+    /// first commit of a transaction submitted to the *crashed domain*
+    /// after it (ms; `-1` when the domain never recovered within the run).
+    pub recovery_ms: f64,
+    /// Committed throughput of the crash run (the cost of over-suspicion
+    /// shows up here too).
+    pub crash_run_tps: f64,
+}
+
+/// One placement's sweep over suspicion timeouts.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct TimeoutSeries {
+    /// Placement label (single-region / nearby / wide-area).
+    pub label: String,
+    /// One point per swept timeout.
+    pub points: Vec<TimeoutPoint>,
+}
+
+/// Sweeps [`saguaro_types::LivenessConfig::progress_timeout`] against the
+/// three placements' RTTs: too small a window fires false suspicions (view
+/// changes with no fault anywhere, paid as churn); too large a window slows
+/// crash recovery.  Each cell runs twice — failure-free with timers armed
+/// (false-suspicion count) and with a scripted leader crash (recovery time).
+pub fn timeout_sweep(options: &FigureOptions) -> Vec<TimeoutSeries> {
+    use saguaro_types::LivenessConfig;
+    let timeouts_ms: Vec<u64> = if options.quick {
+        vec![10, 60]
+    } else {
+        vec![5, 10, 20, 40, 60, 120]
+    };
+    let placements = [
+        ("single-region", Placement::SingleRegion),
+        ("nearby-regions", Placement::NearbyRegions),
+        ("wide-area", Placement::WideArea),
+    ];
+    let load = if options.quick { 800.0 } else { 2_000.0 };
+    // (placement label, timeout, crash?) grid, flattened for the parallel map.
+    let entries: Vec<(String, ExperimentSpec, u64, bool)> = placements
+        .iter()
+        .flat_map(|(label, placement)| {
+            timeouts_ms.iter().flat_map(move |timeout| {
+                [false, true].into_iter().map(move |crash| {
+                    let mut s = spec(ProtocolKind::SaguaroCoordinator, options)
+                        .placed(*placement)
+                        .load(load)
+                        .with_liveness(LivenessConfig::with_timeout(Duration::from_millis(
+                            *timeout,
+                        )));
+                    if crash {
+                        let crash_at = s.warmup + Duration::from_micros(s.measure.as_micros() / 4);
+                        s = s.fault_plan(
+                            FaultSchedule::none()
+                                .crash_at(SimTime::ZERO + crash_at, fault_victim()),
+                        );
+                    }
+                    (label.to_string(), s, *timeout, crash)
+                })
+            })
+        })
+        .collect();
+    let artifacts = parallel_map(&entries, |(_, s, _, _)| run_collecting(s));
+    let mut series: Vec<TimeoutSeries> = placements
+        .iter()
+        .map(|(label, _)| TimeoutSeries {
+            label: label.to_string(),
+            points: Vec::new(),
+        })
+        .collect();
+    // Entries come in (placement, timeout, [free, crash]) order.
+    for chunk in entries.iter().zip(artifacts).collect::<Vec<_>>().chunks(2) {
+        let ((label, s, timeout, crash_a), free_art) = &chunk[0];
+        let ((_, _, _, crash_b), crash_art) = &chunk[1];
+        debug_assert!(!*crash_a && *crash_b);
+        let crash_at = s.warmup + Duration::from_micros(s.measure.as_micros() / 4);
+        // Only the crashed domain's own clients measure its recovery: the
+        // three healthy domains answer throughout.  Clients are assigned
+        // round-robin over the four edge domains, and the scripted victim is
+        // the domain-0 primary.
+        let victim_domain_client = |c: &crate::client::CompletedTx| c.client.0.is_multiple_of(4);
+        let recovery_ms = crash_art
+            .completions
+            .iter()
+            .filter(|c| {
+                c.committed && victim_domain_client(c) && c.submitted_at >= SimTime::ZERO + crash_at
+            })
+            .map(|c| (c.submitted_at + c.latency).since(SimTime::ZERO + crash_at))
+            .min()
+            .map(|d| d.as_millis_f64())
+            .unwrap_or(-1.0);
+        let point = TimeoutPoint {
+            timeout_ms: *timeout as f64,
+            false_suspicions: free_art.harvest.view_changes(),
+            false_suspicion_rate: free_art.harvest.view_changes() as f64 / s.measure.as_secs_f64(),
+            recovery_ms,
+            crash_run_tps: crash_art.metrics.throughput_tps,
+        };
+        series
+            .iter_mut()
+            .find(|ts| ts.label == *label)
+            .expect("placement series exists")
+            .points
+            .push(point);
+    }
+    series
+}
+
+/// Renders the timeout sweep as a plain-text table.
+pub fn render_timeout_table(title: &str, series: &[TimeoutSeries]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {title}\n"));
+    for s in series {
+        out.push_str(&format!("{}\n", s.label));
+        out.push_str(&format!(
+            "{:>11} {:>17} {:>20} {:>12} {:>14}\n",
+            "timeout_ms", "false_suspicions", "false_susp_per_sec", "recovery_ms", "crash_tps"
+        ));
+        for p in &s.points {
+            out.push_str(&format!(
+                "{:>11.0} {:>17} {:>20.2} {:>12.1} {:>14.0}\n",
+                p.timeout_ms,
+                p.false_suspicions,
+                p.false_suspicion_rate,
+                p.recovery_ms,
+                p.crash_run_tps
             ));
         }
     }

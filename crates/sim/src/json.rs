@@ -10,7 +10,10 @@
 //! type changes.
 
 use crate::experiment::{LoadPoint, RunMetrics};
-use crate::figures::{FaultSeries, FigureSeries, TimelineBin};
+use crate::figures::{
+    FaultSeries, FigureSeries, RecoveryPoint, RecoverySeries, TimelineBin, TimeoutPoint,
+    TimeoutSeries,
+};
 
 /// A JSON value assembled programmatically and rendered with
 /// [`JsonValue::render`].
@@ -337,6 +340,92 @@ impl ToJson for FaultSeries {
                 JsonValue::Array(self.timeline.iter().map(ToJson::to_json).collect()),
             ),
             ("metrics", self.metrics.to_json()),
+        ])
+    }
+}
+
+impl ToJson for RecoveryPoint {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("outage_ms", JsonValue::Num(self.outage_ms)),
+            ("recovery_ms", JsonValue::Num(self.recovery_ms)),
+            (
+                "transferred_commands",
+                JsonValue::Num(self.transferred_commands as f64),
+            ),
+            (
+                "transferred_bytes",
+                JsonValue::Num(self.transferred_bytes as f64),
+            ),
+            (
+                "victim_frontier",
+                JsonValue::Num(self.victim_frontier as f64),
+            ),
+            (
+                "healthy_frontier",
+                JsonValue::Num(self.healthy_frontier as f64),
+            ),
+            ("vote_entries", JsonValue::Num(self.vote_entries as f64)),
+            (
+                "vote_entries_unbounded",
+                JsonValue::Num(self.vote_entries_unbounded as f64),
+            ),
+            ("vote_bytes", JsonValue::Num(self.vote_bytes() as f64)),
+            (
+                "vote_bytes_unbounded",
+                JsonValue::Num(self.vote_bytes_unbounded() as f64),
+            ),
+            (
+                "stable_checkpoint",
+                JsonValue::Num(self.stable_checkpoint as f64),
+            ),
+            ("metrics", self.metrics.to_json()),
+        ])
+    }
+}
+
+impl ToJson for RecoverySeries {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("label", JsonValue::Str(self.label.clone())),
+            (
+                "checkpoint_interval",
+                JsonValue::Num(self.checkpoint_interval as f64),
+            ),
+            (
+                "points",
+                JsonValue::Array(self.points.iter().map(ToJson::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+impl ToJson for TimeoutPoint {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("timeout_ms", JsonValue::Num(self.timeout_ms)),
+            (
+                "false_suspicions",
+                JsonValue::Num(self.false_suspicions as f64),
+            ),
+            (
+                "false_suspicion_rate",
+                JsonValue::Num(self.false_suspicion_rate),
+            ),
+            ("recovery_ms", JsonValue::Num(self.recovery_ms)),
+            ("crash_run_tps", JsonValue::Num(self.crash_run_tps)),
+        ])
+    }
+}
+
+impl ToJson for TimeoutSeries {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("label", JsonValue::Str(self.label.clone())),
+            (
+                "points",
+                JsonValue::Array(self.points.iter().map(ToJson::to_json).collect()),
+            ),
         ])
     }
 }

@@ -78,6 +78,22 @@ pub struct NodeHarvest {
     pub consensus_log: Vec<u64>,
     /// View changes this replica's internal consensus went through.
     pub view_changes: u64,
+    /// The internal consensus delivery frontier at harvest time.
+    pub last_delivered: u64,
+    /// The internal consensus stable checkpoint at harvest time (0 when
+    /// checkpointing is off).
+    pub stable_checkpoint: u64,
+    /// Entries a view-change vote from this replica would carry right now —
+    /// bounded by `history − stable checkpoint` when checkpointing is on.
+    pub vote_entries: usize,
+    /// Member commands this replica applied through state-transfer replies
+    /// (recovery catch-up).
+    pub state_transfer_commands: u64,
+    /// Wire bytes of the state-transfer replies this replica applied.
+    pub state_transfer_bytes: u64,
+    /// When this replica's last state-transfer reply applied (the catch-up
+    /// completion instant of a recovered replica).
+    pub caught_up_at: Option<saguaro_types::SimTime>,
 }
 
 impl NodeHarvest {
@@ -101,6 +117,11 @@ impl RunHarvest {
     /// Total view changes observed across every replica.
     pub fn view_changes(&self) -> u64 {
         self.nodes.iter().map(|n| n.view_changes).sum()
+    }
+
+    /// The harvest of one specific replica, if present.
+    pub fn node(&self, id: NodeId) -> Option<&NodeHarvest> {
+        self.nodes.iter().find(|n| n.node == id)
     }
 
     /// The harvested replicas of one domain.
@@ -228,6 +249,7 @@ impl ProtocolStack for CoordinatorStack {
         let config = ProtocolConfig::coordinator()
             .with_batch(stack.batch)
             .with_liveness(stack.liveness)
+            .with_checkpoint(stack.checkpoint)
             .with_delivery_recording(stack.record_deliveries);
         deploy::deploy_saguaro(sim, tree, &config, seed_accounts);
     }
@@ -272,6 +294,7 @@ impl ProtocolStack for OptimisticStack {
         let config = ProtocolConfig::optimistic()
             .with_batch(stack.batch)
             .with_liveness(stack.liveness)
+            .with_checkpoint(stack.checkpoint)
             .with_delivery_recording(stack.record_deliveries);
         deploy::deploy_saguaro(sim, tree, &config, seed_accounts);
     }

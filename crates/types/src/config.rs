@@ -204,14 +204,93 @@ impl Default for LivenessConfig {
     }
 }
 
+/// Checkpoint / state-transfer knobs of a domain's internal consensus.
+///
+/// Replicas periodically agree on a *stable checkpoint* (an executed-floor
+/// certified by a commit quorum): both consensus engines then garbage-collect
+/// their per-slot voting state below the floor, so view-change votes and slot
+/// maps are bounded by `history − checkpoint` instead of `O(history)`, and a
+/// recovered (or otherwise gap-stalled) replica fetches the committed entries
+/// it missed from any up-to-date peer (VR-style state transfer) instead of
+/// stalling at its log gap forever.
+///
+/// Three regimes:
+///
+/// * [`CheckpointConfig::legacy`] (the default) reproduces the historical
+///   pipeline bit-for-bit: Paxos keeps no checkpoints, PBFT keeps its
+///   built-in interval of 128, and no state transfer runs.
+/// * [`CheckpointConfig::every`] turns the full subsystem on in both engines
+///   with the given announcement interval.
+/// * [`CheckpointConfig::unbounded`] (`interval = ∞`) disables checkpoints
+///   everywhere — the determinism baseline the goldens are pinned against.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct CheckpointConfig {
+    /// Deliveries between checkpoint announcements.  `0` selects the legacy
+    /// behaviour (no Paxos checkpoints, PBFT's built-in 128); `u64::MAX`
+    /// disables checkpointing entirely.
+    pub interval: u64,
+    /// Whether gap-stalled replicas fetch missing committed entries from
+    /// up-to-date peers (`StateRequest` / `StateReply`).
+    pub state_transfer: bool,
+}
+
+impl CheckpointConfig {
+    /// PBFT's historical built-in checkpoint interval, used by
+    /// [`CheckpointConfig::legacy`].
+    pub const LEGACY_PBFT_INTERVAL: u64 = 128;
+
+    /// The historical pipeline: Paxos unbounded, PBFT at its built-in
+    /// interval, no state transfer.  Bit-identical to every pre-subsystem
+    /// golden run.
+    pub const fn legacy() -> Self {
+        Self {
+            interval: 0,
+            state_transfer: false,
+        }
+    }
+
+    /// Full subsystem on: both engines announce every `interval` deliveries
+    /// and serve state transfer.
+    pub const fn every(interval: u64) -> Self {
+        Self {
+            interval: if interval == 0 { 1 } else { interval },
+            state_transfer: true,
+        }
+    }
+
+    /// `interval = ∞`: no checkpoints anywhere, no state transfer — logs
+    /// grow with history exactly as they did before this subsystem existed.
+    pub const fn unbounded() -> Self {
+        Self {
+            interval: u64::MAX,
+            state_transfer: false,
+        }
+    }
+
+    /// True if this configuration runs the new subsystem (explicit finite
+    /// interval, as opposed to the legacy or unbounded regimes).
+    pub const fn is_active(&self) -> bool {
+        self.interval > 0 && self.interval < u64::MAX
+    }
+}
+
+impl Default for CheckpointConfig {
+    fn default() -> Self {
+        Self::legacy()
+    }
+}
+
 /// Per-domain pipeline knobs threaded from an experiment spec into every
-/// protocol stack's deployment: request batching plus liveness timers.
+/// protocol stack's deployment: request batching, liveness timers and
+/// checkpointing / state transfer.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
 pub struct StackConfig {
     /// Request batching of the internal consensus.
     pub batch: BatchConfig,
     /// Progress-timer (primary suspicion) knobs.
     pub liveness: LivenessConfig,
+    /// Checkpointing / state-transfer knobs of the internal consensus.
+    pub checkpoint: CheckpointConfig,
     /// Record each replica's consensus delivery stream (rolling hash) for
     /// post-run agreement checks.  Enabled for every fault-injection run —
     /// including ones that script faults with liveness timers explicitly
@@ -225,6 +304,7 @@ impl StackConfig {
         Self {
             batch,
             liveness: LivenessConfig::disabled(),
+            checkpoint: CheckpointConfig::legacy(),
             record_deliveries: false,
         }
     }
@@ -232,6 +312,12 @@ impl StackConfig {
     /// Replaces the liveness knobs (builder style).
     pub const fn with_liveness(mut self, liveness: LivenessConfig) -> Self {
         self.liveness = liveness;
+        self
+    }
+
+    /// Replaces the checkpoint knobs (builder style).
+    pub const fn with_checkpoint(mut self, checkpoint: CheckpointConfig) -> Self {
+        self.checkpoint = checkpoint;
         self
     }
 
@@ -349,6 +435,23 @@ mod tests {
         let default = StackConfig::default();
         assert_eq!(default.batch, BatchConfig::unbatched());
         assert!(!default.liveness.enabled);
+    }
+
+    #[test]
+    fn checkpoint_regimes_are_distinct() {
+        let legacy = CheckpointConfig::default();
+        assert_eq!(legacy, CheckpointConfig::legacy());
+        assert!(!legacy.is_active());
+        assert!(!legacy.state_transfer);
+        let active = CheckpointConfig::every(32);
+        assert!(active.is_active());
+        assert!(active.state_transfer);
+        assert_eq!(CheckpointConfig::every(0).interval, 1);
+        let unbounded = CheckpointConfig::unbounded();
+        assert!(!unbounded.is_active());
+        assert_eq!(unbounded.interval, u64::MAX);
+        let stack = StackConfig::default().with_checkpoint(active);
+        assert_eq!(stack.checkpoint, active);
     }
 
     #[test]

@@ -29,7 +29,8 @@ pub mod time;
 pub mod transaction;
 
 pub use config::{
-    BatchConfig, DomainConfig, FailureModel, LivenessConfig, QuorumSpec, StackConfig,
+    BatchConfig, CheckpointConfig, DomainConfig, FailureModel, LivenessConfig, QuorumSpec,
+    StackConfig,
 };
 pub use error::SaguaroError;
 pub use ids::{ClientId, DomainId, Height, NodeId, Region};

@@ -86,6 +86,51 @@ proptest! {
         prop_assert!(artifacts.metrics.committed > 0);
     }
 
+    /// Checkpointing + garbage collection + random crash/recover plans:
+    /// bounding the consensus logs must never lose or duplicate a committed
+    /// transaction, whatever the stack, interval or outage.  When the
+    /// victim recovers, state transfer must reconverge it with its domain.
+    #[test]
+    fn checkpointed_crash_recover_plans_never_lose_or_duplicate_commits(
+        (stack, domain, victim, crash_ms, outage_ms, interval_idx) in (
+            0u8..4,         // protocol stack index
+            0u8..4,         // height-1 domain index
+            0u8..3,         // replica index within the domain (CFT: n = 3)
+            120u64..260,    // crash instant (ms)
+            50u64..200,     // outage length (ms)
+            0u8..3,         // checkpoint interval choice
+        ),
+    ) {
+        let protocol = ProtocolKind::ALL[stack as usize];
+        let interval = [4u64, 8, 16][interval_idx as usize];
+        let node = NodeId::new(DomainId::new(1, domain as u16), victim as u16);
+        let plan = FaultSchedule::none()
+            .crash_at(SimTime::from_millis(crash_ms), node)
+            .recover_at(SimTime::from_millis(crash_ms + outage_ms), node);
+        let spec = ExperimentSpec::new(protocol)
+            .quick()
+            .cross_domain(0.2)
+            .load(700.0)
+            .checkpointed(interval)
+            .fault_plan(plan);
+        let artifacts = run_collecting(&spec);
+        check_safety(&artifacts, protocol.label());
+        prop_assert!(
+            artifacts.metrics.committed > 0,
+            "{protocol:?}: nothing committed under checkpointed crash of {node:?}"
+        );
+        // The recovered replica reconverges with its domain: its frontier
+        // matches the most advanced replica of the domain by run end.
+        let replicas = artifacts.harvest.replicas_of(node.domain);
+        let frontier = replicas.iter().map(|n| n.last_delivered).max().unwrap_or(0);
+        let victim_harvest = artifacts.harvest.node(node).expect("victim harvested");
+        prop_assert!(
+            victim_harvest.last_delivered + 5 >= frontier,
+            "{protocol:?}: recovered {node:?} stuck at {} while the domain reached {frontier}",
+            victim_harvest.last_delivered
+        );
+    }
+
     /// Random intra-domain partitions that isolate a single replica (the
     /// quorum side keeps at least 2 of 3) and then heal: safe and live.
     #[test]

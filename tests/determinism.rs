@@ -5,7 +5,7 @@
 
 use saguaro::net::FaultSchedule;
 use saguaro::sim::{ExperimentSpec, ProtocolKind, RidesharingConfig, RunMetrics};
-use saguaro::types::SimTime;
+use saguaro::types::{CheckpointConfig, SimTime};
 
 /// The reference spec the golden metrics below were captured with.
 fn golden_spec(protocol: ProtocolKind) -> ExperimentSpec {
@@ -158,6 +158,38 @@ fn same_seed_and_fault_plan_reproduce_identical_metrics() {
             first,
             golden_metrics(protocol),
             "{protocol:?}: the crash schedule should change the run"
+        );
+    }
+}
+
+#[test]
+fn unbounded_checkpoint_interval_is_bit_identical_to_the_goldens() {
+    // `checkpoint_interval = ∞` disables checkpoints everywhere: no
+    // announcements, no garbage collection, no state transfer.  On these
+    // crash-model goldens (captured long before the subsystem existed) the
+    // run must not change by a single bit — the subsystem is pay-for-play.
+    for protocol in ProtocolKind::ALL {
+        let unbounded = golden_spec(protocol)
+            .checkpoint_config(CheckpointConfig::unbounded())
+            .run();
+        assert_eq!(
+            unbounded,
+            golden_metrics(protocol),
+            "{protocol:?}: an infinite checkpoint interval changed the run"
+        );
+    }
+}
+
+#[test]
+fn checkpointed_runs_are_deterministic_and_differ_from_legacy() {
+    for protocol in ProtocolKind::ALL {
+        let spec = golden_spec(protocol).checkpointed(8);
+        let first = spec.run();
+        assert!(first.committed > 0, "{protocol:?} committed nothing");
+        assert_eq!(
+            first,
+            spec.run(),
+            "{protocol:?}: checkpointed run not deterministic"
         );
     }
 }

@@ -133,6 +133,57 @@ fn byzantine_failure_free_runs_commit_transactions() {
     }
 }
 
+/// Byzantine equivocation driven through the engine: the PBFT primary of one
+/// domain emits a conflicting (empty) pre-prepare twin for every block it
+/// proposes.  Each backup keeps whichever digest reached it first and
+/// ignores the conflicting one (the duplicate-pre-prepare defence), so no
+/// two replicas can ever commit different values for one sequence number —
+/// at worst a slot fails to gather a quorum and a view change deposes the
+/// equivocator.  Safety must hold throughout and the run must keep
+/// committing.
+#[test]
+fn equivocating_pbft_primary_cannot_fork_its_domain() {
+    let plan = FaultSchedule::none().equivocate_at(SimTime::from_millis(120), fault_victim());
+    let spec = ExperimentSpec::new(ProtocolKind::SaguaroCoordinator)
+        .byzantine()
+        .quick()
+        .load(800.0)
+        .fault_plan(plan);
+    let artifacts = run_collecting(&spec);
+    // The defence is a *safety* property: whatever the interleaving of
+    // original and twin pre-prepares, the domain's replicas never diverge.
+    check_safety(&artifacts, "pbft-equivocation");
+    assert!(
+        artifacts.metrics.committed > 30,
+        "equivocation must not wedge the deployment (committed {})",
+        artifacts.metrics.committed
+    );
+    // Work submitted long after the equivocation started still commits:
+    // either honest slots keep flowing or a view change removed the
+    // equivocator — both are acceptable, silence is not.
+    let late = artifacts
+        .completions
+        .iter()
+        .filter(|c| c.committed && c.submitted_at > SimTime::from_millis(300))
+        .count();
+    assert!(late > 10, "only {late} commits after equivocation onset");
+}
+
+/// The same equivocation aimed at a crash-only (Paxos) domain is a no-op:
+/// no message of a CFT domain has a meaningful twin, so the run is simply a
+/// normal chaos run.
+#[test]
+fn equivocation_events_are_harmless_in_cft_domains() {
+    let plan = FaultSchedule::none().equivocate_at(SimTime::from_millis(120), fault_victim());
+    let spec = ExperimentSpec::new(ProtocolKind::SaguaroCoordinator)
+        .quick()
+        .load(800.0)
+        .fault_plan(plan);
+    let artifacts = run_collecting(&spec);
+    check_safety(&artifacts, "cft-equivocation");
+    assert!(artifacts.metrics.committed > 50);
+}
+
 /// A partition that isolates the leader behaves like a crash: the majority
 /// side elects a new leader and keeps committing; healing reunifies.
 #[test]

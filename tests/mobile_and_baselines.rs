@@ -115,6 +115,173 @@ fn mobile_device_transacts_in_remote_domain_after_one_state_transfer() {
     });
 }
 
+/// Drives one roaming transaction through a crash of the *home* (local)
+/// primary landing mid-`StateQuery`: the query (or the extract consensus, or
+/// the `StateMsg` answer — whichever the timing hits) dies with the crash.
+/// The remote primary's retry loop re-queries after the home primary
+/// recovers, and the device's balance is neither lost nor duplicated: the
+/// transfer debits the authoritative copy exactly once, and a later
+/// internal transaction back home executes on the pulled-back (debited)
+/// state, not on the stale pre-excursion copy.
+#[test]
+fn mobile_handoff_survives_a_local_primary_crash_without_losing_balance() {
+    use saguaro::net::FaultSchedule;
+    let t = tree(FailureModel::Crash);
+    let mut sim = saguaro_sim(&t);
+    let home = DomainId::new(1, 0);
+    let remote = DomainId::new(1, 2);
+    let device = ClientId(3); // account a0_3, seeded with 1000
+
+    // The home primary is dark from just after the roaming request reaches
+    // the remote domain until well into the retry window.
+    sim.set_fault_schedule(
+        FaultSchedule::none()
+            .crash_at(SimTime::from_millis(12), primary(home))
+            .recover_at(SimTime::from_millis(150), primary(home)),
+    );
+    // The harness pairs every scripted recovery with a kick that re-arms the
+    // recovered replica's timer loops; mirror it.
+    sim.inject_at(
+        SimTime::from_millis(150),
+        ClientId(999),
+        primary(home),
+        SaguaroMsg::RoundTimer,
+    );
+
+    let roam = Transaction::mobile(
+        TxId(3_000),
+        device,
+        home,
+        remote,
+        Operation::Transfer {
+            from: account_key(home.index, device.0),
+            to: account_key(remote.index, 1),
+            amount: 50,
+        },
+    );
+    sim.inject(device, primary(remote), SaguaroMsg::ClientRequest(roam));
+    // The retry timer is 600 ms; leave room for two rounds.
+    sim.run_until(SimTime::from_millis(1_500));
+
+    // Committed exactly once, at the remote domain, debiting the
+    // authoritative copy.
+    with_saguaro(&mut sim, primary(remote), |n| {
+        assert!(
+            n.ledger().contains(TxId(3_000)),
+            "the roaming tx must commit after the retry"
+        );
+        assert_eq!(
+            n.blockchain_state()
+                .balance(&account_key(home.index, device.0)),
+            950,
+            "remote copy must be debited exactly once"
+        );
+        assert_eq!(
+            n.blockchain_state().balance(&account_key(remote.index, 1)),
+            1_050
+        );
+    });
+    with_saguaro(&mut sim, primary(home), |n| {
+        assert!(
+            !n.ledger().contains(TxId(3_000)),
+            "the roaming tx must not also execute at home"
+        );
+    });
+
+    // The acid test for "neither lost nor duplicated": an internal
+    // transaction back home pulls the state back and executes on the
+    // *debited* balance.  If the crash had resurrected the stale home copy,
+    // the final balance would read 975 (duplicated funds); if the transfer
+    // had been lost in transit, the pull-back would never complete.
+    let back_home = Transaction::internal(
+        TxId(3_001),
+        device,
+        home,
+        Operation::Transfer {
+            from: account_key(home.index, device.0),
+            to: account_key(home.index, 5),
+            amount: 25,
+        },
+    );
+    sim.inject(device, primary(home), SaguaroMsg::ClientRequest(back_home));
+    sim.run_until(SimTime::from_millis(3_000));
+    with_saguaro(&mut sim, primary(home), |n| {
+        assert!(n.ledger().contains(TxId(3_001)));
+        assert_eq!(
+            n.blockchain_state()
+                .balance(&account_key(home.index, device.0)),
+            925,
+            "pull-back must carry the remote debit: 1000 - 50 - 25"
+        );
+        assert_eq!(
+            n.blockchain_state().balance(&account_key(home.index, 5)),
+            1_025
+        );
+    });
+}
+
+/// The mirror scenario: the *remote* primary crashes while the `StateMsg`
+/// is in flight towards it.  On recovery its re-armed retry loop re-queries;
+/// the home domain — whose records already point at the requester — answers
+/// directly instead of bouncing the query, and the transaction commits once.
+#[test]
+fn mobile_handoff_survives_a_remote_primary_crash() {
+    use saguaro::net::FaultSchedule;
+    let t = tree(FailureModel::Crash);
+    let mut sim = saguaro_sim(&t);
+    let home = DomainId::new(1, 0);
+    let remote = DomainId::new(1, 2);
+    let device = ClientId(3);
+
+    // Crash the remote primary right after it forwarded the StateQuery, so
+    // the certified StateMsg arrives while it is dark.
+    sim.set_fault_schedule(
+        FaultSchedule::none()
+            .crash_at(SimTime::from_millis(14), primary(remote))
+            .recover_at(SimTime::from_millis(150), primary(remote)),
+    );
+    sim.inject_at(
+        SimTime::from_millis(150),
+        ClientId(999),
+        primary(remote),
+        SaguaroMsg::RoundTimer,
+    );
+
+    let roam = Transaction::mobile(
+        TxId(3_100),
+        device,
+        home,
+        remote,
+        Operation::Transfer {
+            from: account_key(home.index, device.0),
+            to: account_key(remote.index, 2),
+            amount: 40,
+        },
+    );
+    sim.inject(device, primary(remote), SaguaroMsg::ClientRequest(roam));
+    sim.run_until(SimTime::from_millis(1_500));
+
+    with_saguaro(&mut sim, primary(remote), |n| {
+        assert!(
+            n.ledger().contains(TxId(3_100)),
+            "the roaming tx must commit after the remote primary recovers"
+        );
+        assert_eq!(
+            n.blockchain_state()
+                .balance(&account_key(home.index, device.0)),
+            960,
+            "debited exactly once despite the re-sent state"
+        );
+        assert_eq!(
+            n.blockchain_state().balance(&account_key(remote.index, 2)),
+            1_040
+        );
+    });
+    with_saguaro(&mut sim, primary(home), |n| {
+        assert!(!n.ledger().contains(TxId(3_100)));
+    });
+}
+
 // ---------------------------------------------------------------------
 // Baselines
 // ---------------------------------------------------------------------
