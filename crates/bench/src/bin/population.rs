@@ -1,0 +1,186 @@
+//! Population-scale load generation benchmark.
+//!
+//! Sweeps aggregate client populations of 10³ → 10⁵ modeled users (10⁶ in
+//! full mode) over progressively wider topologies — up to 128 height-1
+//! domains — and reports throughput, streaming-histogram latency quantiles,
+//! engine cost (events per committed transaction, event-queue high-water
+//! mark) and host-side cost (wall clock, resident set) per point.
+//!
+//! Two gates make the run self-checking so CI fails loudly instead of
+//! silently shipping a regression:
+//!
+//! 1. **Scale gate** — the 10⁵-user, 100+-domain point must commit work,
+//!    keep the client-side in-flight high-water mark O(1) in the
+//!    transaction count, and finish under a wall-clock / resident-set
+//!    ceiling.
+//! 2. **Parity gate** — the exact per-actor latencies of a common-topology
+//!    run are replayed into a streaming histogram; every reported quantile
+//!    must agree with the exact nearest-rank value within the histogram's
+//!    documented relative-error bound.
+//!
+//! `--json <path>` merges a `population` section into the shared
+//! `BENCH_results.json` (other sections are preserved).
+
+use saguaro_bench::{emit, json_path_from_args, options_from_args, JsonReport};
+use saguaro_loadgen::LatencyHistogram;
+use saguaro_sim::experiment::{run_collecting, ExperimentSpec};
+use saguaro_sim::figures::{population, render_population_table, FigureOptions, PopulationPoint};
+use saguaro_sim::json::{JsonValue, ToJson};
+use saguaro_sim::protocol::ProtocolKind;
+use saguaro_types::SimTime;
+
+/// Wall-clock ceiling for the 10⁵-user quick point (generous: CI runners
+/// are slow and shared, and the point takes well under a second locally).
+const QUICK_WALL_CEILING_MS: f64 = 60_000.0;
+
+/// Resident-set ceiling after the 10⁵-user quick point, in KiB (2 GiB).
+/// The aggregate model keeps no per-transaction state, so blowing through
+/// this means a completions buffer crept back in somewhere.
+const QUICK_RSS_CEILING_KB: u64 = 2 * 1024 * 1024;
+
+/// The scale gate: the 10⁵-user point exists, committed work, kept
+/// client-side memory O(1) in the transaction count, and stayed under the
+/// wall-clock / resident-set ceilings.  Returns an error string per
+/// violated condition.
+fn scale_gate(points: &[PopulationPoint], quick: bool) -> Vec<String> {
+    let mut errors = Vec::new();
+    let Some(p) = points.iter().find(|p| p.users == 100_000) else {
+        return vec!["no 10^5-user point in the sweep".to_string()];
+    };
+    if p.domains < 100 {
+        errors.push(format!(
+            "10^5-user point ran on {} domains, need >= 100",
+            p.domains
+        ));
+    }
+    if p.metrics.committed == 0 {
+        errors.push("10^5-user point committed nothing".to_string());
+    }
+    // O(1) client-side memory: the in-flight map's high-water mark tracks
+    // concurrency (offered rate x latency), not history.  A per-transaction
+    // buffer would scale with `committed` instead.
+    let inflight_ceiling = p.metrics.committed / 4 + 256;
+    if p.peak_inflight > inflight_ceiling {
+        errors.push(format!(
+            "peak in-flight {} exceeds {} (committed {}): client-side state \
+             is scaling with transaction count",
+            p.peak_inflight, inflight_ceiling, p.metrics.committed
+        ));
+    }
+    if quick {
+        if p.wall_ms > QUICK_WALL_CEILING_MS {
+            errors.push(format!(
+                "10^5-user quick point took {:.0} ms (ceiling {:.0} ms)",
+                p.wall_ms, QUICK_WALL_CEILING_MS
+            ));
+        }
+        if p.resident_kb > QUICK_RSS_CEILING_KB {
+            errors.push(format!(
+                "resident set {} KiB exceeds ceiling {} KiB",
+                p.resident_kb, QUICK_RSS_CEILING_KB
+            ));
+        }
+    }
+    errors
+}
+
+/// The parity gate: replay the exact per-actor latencies of a common
+/// topology into the streaming histogram and compare quantiles.  Returns
+/// the `(p, exact_ms, approx_ms)` rows and any violations.
+fn parity_gate(seed: u64) -> (Vec<(f64, f64, f64)>, Vec<String>) {
+    let mut spec = ExperimentSpec::new(ProtocolKind::SaguaroCoordinator)
+        .quick()
+        .cross_domain(0.3)
+        .load(600.0);
+    spec.seed = seed;
+    let artifacts = run_collecting(&spec);
+    let exact = artifacts.metrics;
+    let window_start = SimTime::ZERO + spec.warmup;
+    let window_end = window_start + spec.measure;
+    let mut hist = LatencyHistogram::new();
+    for c in &artifacts.completions {
+        if c.committed && c.submitted_at >= window_start && c.submitted_at < window_end {
+            hist.record(c.latency.as_micros());
+        }
+    }
+    let mut rows = Vec::new();
+    let mut errors = Vec::new();
+    for (p, exact_ms) in [
+        (0.50, exact.p50_latency_ms),
+        (0.95, exact.p95_latency_ms),
+        (0.99, exact.p99_latency_ms),
+    ] {
+        let approx_ms = hist.quantile(p) as f64 / 1_000.0;
+        rows.push((p, exact_ms, approx_ms));
+        let tolerance = exact_ms * LatencyHistogram::RELATIVE_ERROR_BOUND + 1e-3;
+        if (approx_ms - exact_ms).abs() > tolerance {
+            errors.push(format!(
+                "p{p}: histogram {approx_ms} ms vs exact {exact_ms} ms \
+                 (tolerance {tolerance} ms)"
+            ));
+        }
+    }
+    (rows, errors)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let options: FigureOptions = options_from_args(&args);
+
+    let points = population(&options);
+    emit(
+        "population",
+        render_population_table("Population-scale load generation sweep", &points),
+    );
+
+    let (parity_rows, parity_errors) = parity_gate(options.seed);
+    let mut parity_table = String::new();
+    parity_table.push_str("# Histogram-vs-exact quantile parity (common topology)\n");
+    parity_table.push_str(&format!(
+        "{:>6} {:>10} {:>14}\n",
+        "p", "exact_ms", "histogram_ms"
+    ));
+    for (p, exact_ms, approx_ms) in &parity_rows {
+        parity_table.push_str(&format!("{p:>6.2} {exact_ms:>10.3} {approx_ms:>14.3}\n"));
+    }
+    emit("population_parity", parity_table);
+
+    let mut report = JsonReport::new();
+    report.add_value(
+        "population",
+        JsonValue::object([
+            ("quick", JsonValue::Bool(options.quick)),
+            ("points", points.to_json()),
+            (
+                "parity",
+                JsonValue::Array(
+                    parity_rows
+                        .iter()
+                        .map(|(p, exact_ms, approx_ms)| {
+                            JsonValue::object([
+                                ("p", JsonValue::Num(*p)),
+                                ("exact_ms", JsonValue::Num(*exact_ms)),
+                                ("histogram_ms", JsonValue::Num(*approx_ms)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+    );
+    report.merge_into_if_requested(json_path_from_args(&args).as_ref());
+
+    let mut errors = scale_gate(&points, options.quick);
+    errors.extend(parity_errors);
+    if !errors.is_empty() {
+        for e in &errors {
+            eprintln!("POPULATION REGRESSION: {e}");
+        }
+        std::process::exit(1);
+    }
+    eprintln!(
+        "population gates ok: 10^5-user point within ceilings, quantile \
+         parity within {:.1}% of exact",
+        LatencyHistogram::RELATIVE_ERROR_BOUND * 100.0
+    );
+}

@@ -485,7 +485,7 @@ impl SaguaroNode {
             self.ledger
                 .append_cross_domain(tx.clone(), final_seqs, TxStatus::Committed);
             self.stats.cross_committed += 1;
-            self.stats.commit_times.insert(tx_id, ctx.now());
+            self.stats.commit_times.record(tx_id, ctx.now());
             // Acknowledge to the coordinator and answer the client.
             let involved = tx.involved_domains();
             if let (Ok(lca), true) = (self.tree.lca(&involved), self.is_primary()) {

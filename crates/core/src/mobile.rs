@@ -453,7 +453,7 @@ impl SaguaroNode {
         } else {
             self.stats.mobile_committed += 1;
         }
-        self.stats.commit_times.insert(tx.id, ctx.now());
+        self.stats.commit_times.record(tx.id, ctx.now());
         self.reply(tx.id, true, ctx);
     }
 }

@@ -426,7 +426,7 @@ impl SaguaroNode {
         }
         self.ledger.append_internal(tx.clone(), TxStatus::Committed);
         self.stats.internal_committed += 1;
-        self.stats.commit_times.insert(tx.id, ctx.now());
+        self.stats.commit_times.record(tx.id, ctx.now());
         self.reply(tx.id, true, ctx);
     }
 

@@ -357,7 +357,7 @@ impl SaguaroNode {
         self.opt.track(tx.clone());
         self.opt.record_execution(&tx);
         self.stats.cross_committed += 1;
-        self.stats.commit_times.insert(tx.id, ctx.now());
+        self.stats.commit_times.record(tx.id, ctx.now());
         self.reply(tx.id, true, ctx);
     }
 

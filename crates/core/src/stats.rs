@@ -1,7 +1,54 @@
 //! Per-node measurement counters.
 
 use saguaro_types::{SimTime, TxId};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+
+/// A bounded record of recent commit instants: a FIFO of at most
+/// [`CommitTimes::CAPACITY`] `(transaction, commit time)` pairs with an
+/// id-keyed index.  The unbounded `HashMap` it replaces grew one entry per
+/// committed transaction for the lifetime of the node, which made endurance
+/// (population-scale) runs O(total transactions) in memory for a diagnostic
+/// that only ever needs the recent past.
+#[derive(Clone, Debug, Default)]
+pub struct CommitTimes {
+    order: VecDeque<TxId>,
+    times: HashMap<TxId, SimTime>,
+}
+
+impl CommitTimes {
+    /// Entries retained; the oldest is evicted when a record would exceed it.
+    pub const CAPACITY: usize = 4_096;
+
+    /// Records `tx` committing at `at`, evicting the oldest entry when full.
+    /// Re-recording a transaction refreshes its time without growing the
+    /// window.
+    pub fn record(&mut self, tx: TxId, at: SimTime) {
+        if self.times.insert(tx, at).is_some() {
+            return;
+        }
+        self.order.push_back(tx);
+        if self.order.len() > Self::CAPACITY {
+            if let Some(evicted) = self.order.pop_front() {
+                self.times.remove(&evicted);
+            }
+        }
+    }
+
+    /// The recorded commit time of `tx`, if still within the window.
+    pub fn get(&self, tx: TxId) -> Option<SimTime> {
+        self.times.get(&tx).copied()
+    }
+
+    /// Number of transactions currently remembered (≤ [`Self::CAPACITY`]).
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+}
 
 /// Counters a Saguaro node keeps for the experiment harness.
 #[derive(Clone, Debug, Default)]
@@ -29,10 +76,10 @@ pub struct NodeStats {
     /// log's snapshot at the same index — the fault-injection suites assert
     /// exactly that.
     pub consensus_log: Vec<u64>,
-    /// Commit time of each transaction this node committed as the *receiving*
-    /// domain primary (used to compute end-to-end latency when replies are
-    /// lost).
-    pub commit_times: HashMap<TxId, SimTime>,
+    /// Commit times of the transactions this node committed most recently as
+    /// the *receiving* domain primary (used to compute end-to-end latency
+    /// when replies are lost).  Bounded: see [`CommitTimes`].
+    pub commit_times: CommitTimes,
     /// Member commands this node applied through state-transfer replies
     /// (recovery catch-up) instead of the normal ordering pipeline.
     pub state_transfer_commands: u64,
@@ -72,6 +119,39 @@ impl NodeStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn commit_times_stay_bounded_under_endurance_load() {
+        // Regression: the old HashMap grew one entry per committed tx
+        // forever.  Ten capacities' worth of commits must leave exactly one
+        // capacity remembered — the most recent ones.
+        let mut times = CommitTimes::default();
+        let total = (CommitTimes::CAPACITY * 10) as u64;
+        for i in 0..total {
+            times.record(TxId(i), SimTime::from_micros(i));
+        }
+        assert_eq!(times.len(), CommitTimes::CAPACITY);
+        // The newest entries survive, the oldest are evicted.
+        assert_eq!(
+            times.get(TxId(total - 1)),
+            Some(SimTime::from_micros(total - 1))
+        );
+        assert_eq!(times.get(TxId(0)), None);
+        // The index map is pruned in lockstep with the FIFO (no shadow
+        // growth).
+        assert_eq!(times.times.len(), times.order.len());
+    }
+
+    #[test]
+    fn commit_times_rerecord_refreshes_without_growth() {
+        let mut times = CommitTimes::default();
+        times.record(TxId(7), SimTime::from_micros(1));
+        times.record(TxId(7), SimTime::from_micros(9));
+        assert_eq!(times.len(), 1);
+        assert_eq!(times.get(TxId(7)), Some(SimTime::from_micros(9)));
+        assert!(!times.is_empty());
+        assert!(CommitTimes::default().is_empty());
+    }
 
     #[test]
     fn totals_and_ratios() {

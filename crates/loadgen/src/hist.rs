@@ -1,0 +1,411 @@
+//! Streaming latency histograms.
+//!
+//! An HDR-style log-bucketed histogram over `u64` values (the harness
+//! records virtual microseconds).  Values below 32 get their own bucket;
+//! above that, each power-of-two range is split into 32 sub-buckets, so the
+//! bucket width is always at most 1/32 of the bucket's lower bound.  The
+//! whole `u64` range fits in a fixed table of [`BUCKET_COUNT`] counters
+//! allocated once at construction — recording is a couple of shifts and an
+//! increment, with no allocation and no comparison-based data structure.
+//!
+//! # Percentile convention
+//!
+//! Every quantile in the harness — the exact-vector path in
+//! `saguaro-sim`'s `summarise` and the histogram path here — uses the same
+//! *nearest-rank* convention, defined once as [`nearest_rank_index`]: the
+//! p-quantile of `n` samples is the sample at 0-based index
+//! `round((n − 1) × p)` of the sorted array.  [`LatencyHistogram::quantile`]
+//! finds the bucket containing that rank and returns the bucket midpoint
+//! clamped to the observed `[min, max]`, which keeps the reported value
+//! within [`LatencyHistogram::RELATIVE_ERROR_BOUND`] of the exact one.
+
+/// Sub-bucket resolution: each power-of-two range splits into `2^5 = 32`
+/// sub-buckets, bounding relative error by 1/32.
+const SUB_BUCKET_BITS: u32 = 5;
+/// Sub-buckets per power-of-two range.
+const SUB_BUCKETS: u64 = 1 << SUB_BUCKET_BITS;
+
+/// Number of buckets covering the whole `u64` range: 32 exact unit buckets
+/// plus 32 per remaining power-of-two block.
+pub const BUCKET_COUNT: usize = ((64 - SUB_BUCKET_BITS as usize) + 1) * SUB_BUCKETS as usize;
+
+/// The shared nearest-rank percentile convention of the whole harness.
+///
+/// Returns the 0-based index of the p-quantile sample among `len` sorted
+/// samples: `round((len − 1) × p)`, clamped into range.  Both the exact
+/// per-transaction path and the histogram path report *this* sample (or the
+/// bucket that contains it), so the two paths agree up to bucket width.
+pub fn nearest_rank_index(len: usize, p: f64) -> usize {
+    if len == 0 {
+        return 0;
+    }
+    let idx = ((len - 1) as f64 * p.clamp(0.0, 1.0)).round() as usize;
+    idx.min(len - 1)
+}
+
+/// A mergeable, log-bucketed streaming histogram of `u64` values.
+#[derive(Clone, Debug)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Worst-case relative error of any reported quantile: bucket width is
+    /// at most 1/32 of the bucket's lower bound (3.125 %).
+    pub const RELATIVE_ERROR_BOUND: f64 = 1.0 / SUB_BUCKETS as f64;
+
+    /// An empty histogram with its full bucket table preallocated.
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; BUCKET_COUNT],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The bucket index of a value.
+    fn bucket_index(v: u64) -> usize {
+        if v < SUB_BUCKETS {
+            return v as usize;
+        }
+        let msb = 63 - v.leading_zeros();
+        let block = (msb - SUB_BUCKET_BITS + 1) as usize;
+        let sub = ((v >> (msb - SUB_BUCKET_BITS)) & (SUB_BUCKETS - 1)) as usize;
+        block * SUB_BUCKETS as usize + sub
+    }
+
+    /// The smallest value mapping to bucket `index`.
+    fn bucket_lower(index: usize) -> u64 {
+        if index < SUB_BUCKETS as usize {
+            return index as u64;
+        }
+        let block = (index / SUB_BUCKETS as usize) as u32;
+        let sub = (index % SUB_BUCKETS as usize) as u64;
+        (SUB_BUCKETS + sub) << (block - 1)
+    }
+
+    /// The width of bucket `index` (number of distinct values it covers).
+    fn bucket_width(index: usize) -> u64 {
+        if index < SUB_BUCKETS as usize {
+            1
+        } else {
+            1u64 << ((index / SUB_BUCKETS as usize) as u32 - 1)
+        }
+    }
+
+    /// Records one value.  O(1), allocation-free: the bucket table is fixed
+    /// at construction.
+    pub fn record(&mut self, v: u64) {
+        self.counts[Self::bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.is_empty() {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the recorded values (exact — the sum is kept at full width).
+    pub fn mean(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The p-quantile under the harness's nearest-rank convention: the value
+    /// of the bucket containing sorted index [`nearest_rank_index`]`(count,
+    /// p)`, reported as the bucket midpoint clamped to the observed
+    /// `[min, max]`.  Within [`Self::RELATIVE_ERROR_BOUND`] of the exact
+    /// sample.  Returns 0 when empty.
+    pub fn quantile(&self, p: f64) -> u64 {
+        if self.is_empty() {
+            return 0;
+        }
+        let rank = nearest_rank_index(self.count as usize, p) as u64;
+        let mut seen = 0u64;
+        for (index, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            seen += c;
+            if seen > rank {
+                let lower = Self::bucket_lower(index);
+                let mid = lower + Self::bucket_width(index) / 2;
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds another histogram into this one.  Merging is associative and
+    /// commutative: per-domain histograms can be combined in any order and
+    /// grouping without changing any reported statistic.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            if other.min < self.min {
+                self.min = other.min;
+            }
+            if other.max > self.max {
+                self.max = other.max;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Exact nearest-rank percentile over a sorted slice — the reference the
+    /// histogram is checked against.
+    fn exact_quantile(sorted: &[u64], p: f64) -> u64 {
+        sorted[nearest_rank_index(sorted.len(), p)]
+    }
+
+    fn assert_within_bound(hist: &LatencyHistogram, sorted: &[u64], label: &str) {
+        for p in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0] {
+            let exact = exact_quantile(sorted, p);
+            let approx = hist.quantile(p);
+            let tolerance = (exact as f64 * LatencyHistogram::RELATIVE_ERROR_BOUND).max(1.0);
+            assert!(
+                (approx as f64 - exact as f64).abs() <= tolerance,
+                "{label}: p{p}: histogram {approx} vs exact {exact} \
+                 (tolerance {tolerance})"
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_index_and_lower_bound_are_consistent() {
+        // Every value maps to a bucket whose [lower, lower + width) range
+        // contains it, and bucket indices are monotone in the value.
+        let mut probes: Vec<u64> = (0..200)
+            .chain((0..58).flat_map(|b| {
+                let base = 1u64 << (b + 6);
+                [base - 1, base, base + base / 3]
+            }))
+            .chain([u64::MAX / 2, u64::MAX - 1, u64::MAX])
+            .collect();
+        probes.sort_unstable();
+        probes.dedup();
+        let mut last_index = 0;
+        for &v in &probes {
+            let index = LatencyHistogram::bucket_index(v);
+            assert!(index < BUCKET_COUNT, "index {index} out of table for {v}");
+            let lower = LatencyHistogram::bucket_lower(index);
+            let width = LatencyHistogram::bucket_width(index);
+            assert!(
+                lower <= v && (v - lower) < width,
+                "value {v} outside bucket {index}: lower {lower} width {width}"
+            );
+            assert!(index >= last_index, "bucket order broken at {v}");
+            last_index = index;
+        }
+    }
+
+    #[test]
+    fn quantiles_match_exact_percentiles_on_uniform_input() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut hist = LatencyHistogram::new();
+        let mut values: Vec<u64> = (0..10_000)
+            .map(|_| rng.gen_range(100u64..1_000_000))
+            .collect();
+        for &v in &values {
+            hist.record(v);
+        }
+        values.sort_unstable();
+        assert_within_bound(&hist, &values, "uniform");
+        assert_eq!(hist.count(), 10_000);
+        let exact_mean = values.iter().sum::<u64>() as f64 / values.len() as f64;
+        assert!((hist.mean() - exact_mean).abs() < 1e-6, "mean is exact");
+    }
+
+    #[test]
+    fn quantiles_match_exact_percentiles_on_exponential_input() {
+        // Exponentially distributed latencies (the realistic shape): heavy
+        // mass near the mean, a long tail.
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut hist = LatencyHistogram::new();
+        let mut values: Vec<u64> = (0..10_000)
+            .map(|_| {
+                let u: f64 = rng.gen_range(1e-12..1.0f64);
+                (-u.ln() * 8_000.0) as u64 + 1
+            })
+            .collect();
+        for &v in &values {
+            hist.record(v);
+        }
+        values.sort_unstable();
+        assert_within_bound(&hist, &values, "exponential");
+    }
+
+    #[test]
+    fn quantiles_match_exact_percentiles_on_adversarial_input() {
+        // Adversarial shapes: all-equal, two spikes 6 decades apart, exact
+        // powers of two (bucket boundaries), and a tiny sample.
+        let mut all_equal = LatencyHistogram::new();
+        for _ in 0..1_000 {
+            all_equal.record(1_048);
+        }
+        for p in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(all_equal.quantile(p), 1_048, "all-equal collapses");
+        }
+
+        let mut spikes = LatencyHistogram::new();
+        let mut spike_values = vec![10u64; 900];
+        spike_values.extend(std::iter::repeat_n(10_000_000u64, 100));
+        for v in &spike_values {
+            spikes.record(*v);
+        }
+        spike_values.sort_unstable();
+        assert_within_bound(&spikes, &spike_values, "two spikes");
+
+        let mut powers = LatencyHistogram::new();
+        let mut power_values: Vec<u64> = (0..40).map(|b| 1u64 << b).collect();
+        for &v in &power_values {
+            powers.record(v);
+        }
+        power_values.sort_unstable();
+        assert_within_bound(&powers, &power_values, "powers of two");
+
+        let mut tiny = LatencyHistogram::new();
+        tiny.record(5);
+        assert_eq!(tiny.quantile(0.5), 5);
+        assert_eq!(tiny.min(), 5);
+        assert_eq!(tiny.max(), 5);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let hist = LatencyHistogram::new();
+        assert!(hist.is_empty());
+        assert_eq!(hist.quantile(0.5), 0);
+        assert_eq!(hist.mean(), 0.0);
+        assert_eq!(hist.min(), 0);
+        assert_eq!(hist.max(), 0);
+    }
+
+    #[test]
+    fn merge_is_associative_and_order_independent() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let parts: Vec<LatencyHistogram> = (0..4)
+            .map(|_| {
+                let mut h = LatencyHistogram::new();
+                for _ in 0..2_500 {
+                    h.record(rng.gen_range(1u64..5_000_000));
+                }
+                h
+            })
+            .collect();
+
+        // ((a ⊕ b) ⊕ c) ⊕ d
+        let mut left = parts[0].clone();
+        left.merge(&parts[1]);
+        left.merge(&parts[2]);
+        left.merge(&parts[3]);
+
+        // a ⊕ ((b ⊕ c) ⊕ d), built right-to-left.
+        let mut inner = parts[1].clone();
+        inner.merge(&parts[2]);
+        inner.merge(&parts[3]);
+        let mut right = parts[0].clone();
+        right.merge(&inner);
+
+        // And a shuffled order.
+        let mut shuffled = parts[3].clone();
+        shuffled.merge(&parts[0]);
+        shuffled.merge(&parts[2]);
+        shuffled.merge(&parts[1]);
+
+        for other in [&right, &shuffled] {
+            assert_eq!(left.count(), other.count());
+            assert_eq!(left.min(), other.min());
+            assert_eq!(left.max(), other.max());
+            assert_eq!(left.mean(), other.mean());
+            for p in [0.1, 0.5, 0.95, 0.99] {
+                assert_eq!(left.quantile(p), other.quantile(p));
+            }
+        }
+    }
+
+    #[test]
+    fn recording_never_allocates_after_construction() {
+        // The bucket table is sized for the full u64 range up front, so the
+        // hot path must never grow it: its address and length are stable
+        // across records spanning every magnitude.
+        let mut hist = LatencyHistogram::new();
+        let ptr_before = hist.counts.as_ptr();
+        let cap_before = hist.counts.capacity();
+        for b in 0..64 {
+            let v = 1u64 << b;
+            hist.record(v);
+            hist.record(v.saturating_add(v / 3));
+        }
+        hist.record(0);
+        hist.record(u64::MAX);
+        assert_eq!(hist.counts.as_ptr(), ptr_before, "bucket table moved");
+        assert_eq!(hist.counts.capacity(), cap_before, "bucket table grew");
+        assert_eq!(hist.count(), 130);
+    }
+
+    #[test]
+    fn nearest_rank_convention_handles_edges() {
+        assert_eq!(nearest_rank_index(0, 0.5), 0);
+        assert_eq!(nearest_rank_index(1, 0.99), 0);
+        assert_eq!(nearest_rank_index(4, 0.0), 0);
+        assert_eq!(nearest_rank_index(4, 1.0), 3);
+        // round((4-1) * 0.5) = round(1.5) = 2 (ties round half away from 0).
+        assert_eq!(nearest_rank_index(4, 0.5), 2);
+        assert_eq!(nearest_rank_index(101, 0.95), 95);
+        // Out-of-range p clamps instead of indexing out of bounds.
+        assert_eq!(nearest_rank_index(10, 1.5), 9);
+        assert_eq!(nearest_rank_index(10, -0.5), 0);
+    }
+}

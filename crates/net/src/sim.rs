@@ -339,6 +339,10 @@ impl<M: MessageMeta + Clone + 'static> Simulation<M> {
             if t > deadline {
                 break;
             }
+            let pending = self.queue.len() as u64;
+            if pending > self.stats.peak_pending_events {
+                self.stats.peak_pending_events = pending;
+            }
             self.step();
             processed += 1;
         }

@@ -28,6 +28,10 @@ pub struct NetStats {
     pub state_bytes_delivered: u64,
     /// Timer events fired.
     pub timers_fired: u64,
+    /// High-water mark of the event queue over the run — the simulator-side
+    /// memory proxy population sweeps report (a per-client-actor load model
+    /// keeps O(clients) events in flight; the aggregate model O(domains)).
+    pub peak_pending_events: u64,
     /// Per-node accumulated CPU busy time, indexed by interned actor index.
     busy: Vec<Duration>,
     /// Interned index → address (reporting).

@@ -29,6 +29,26 @@ pub fn build_tree(
     ))
 }
 
+/// Builds a k-ary tree of the given shape (`levels` levels above the edge
+/// devices, `fanout` children per domain) — the paper's binary tree is
+/// `(3, 2)`; population-scale sweeps use flat wide shapes like `(2, 128)`
+/// for hundreds of height-1 domains.
+pub fn build_tree_shaped(
+    levels: u8,
+    fanout: usize,
+    model: FailureModel,
+    faults: usize,
+    placement: Placement,
+) -> Result<Arc<HierarchyTree>> {
+    Ok(Arc::new(
+        TopologyBuilder::new(levels, fanout)
+            .failure_model(model)
+            .faults(faults)
+            .placement(placement)
+            .build()?,
+    ))
+}
+
 /// The latency matrix corresponding to a placement.
 pub fn latency_for(placement: Placement) -> LatencyMatrix {
     match placement {

@@ -40,14 +40,17 @@ use crate::protocol::{
     AhlStack, CoordinatorStack, OptimisticStack, ProtocolKind, ProtocolStack, SharperStack,
 };
 use parking_lot::Mutex;
-use saguaro_hierarchy::Placement;
+use saguaro_hierarchy::{HierarchyTree, Placement};
+use saguaro_loadgen::{nearest_rank_index, AggregateClientActor, PopulationGenerator, Tally};
 use saguaro_net::{Addr, CpuProfile, FaultEvent, FaultSchedule, Simulation};
 use saguaro_types::{
-    BatchConfig, CheckpointConfig, ClientId, DomainId, Duration, FailureModel, LivenessConfig,
-    NodeId, SimTime, StackConfig, TxId,
+    BatchConfig, CheckpointConfig, ClientId, ClientModel, DomainId, Duration, FailureModel,
+    LivenessConfig, NodeId, PopulationConfig, SimTime, StackConfig, TxId,
 };
 use saguaro_workload::{MicropaymentWorkload, RidesharingWorkload, Workload, WorkloadConfig};
 use std::sync::Arc;
+
+pub use saguaro_loadgen::PopulationTally;
 
 /// Which application the experiment's clients run.
 #[derive(Clone, Debug)]
@@ -151,6 +154,20 @@ pub struct ExperimentSpec {
     /// consensus.  The legacy default reproduces the historical pipeline bit
     /// for bit; [`ExperimentSpec::checkpointed`] turns the subsystem on.
     pub checkpoint: CheckpointConfig,
+    /// How the client side is modeled.  The default, `PerActor`, is the
+    /// historical one-simulator-actor-per-client open loop with exact
+    /// per-transaction records (the bit-identical golden path).
+    /// `Aggregate` models each height-1 domain's whole population as one
+    /// arrival-process actor with streaming-histogram accounting; in that
+    /// mode `num_clients` and `offered_load_tps` are ignored — the offered
+    /// load is `users × per_user_tps` from the population config — and the
+    /// spec's `workload` is replaced by the population's micropayment mix.
+    pub client_model: ClientModel,
+    /// Topology shape override as `(levels, fanout)` levels above the edge
+    /// devices — `None` (the default) is the paper's `(3, 2)` binary tree;
+    /// population sweeps use flat wide shapes like `(2, 128)` for hundreds
+    /// of height-1 domains.
+    pub topology: Option<(u8, usize)>,
 }
 
 impl ExperimentSpec {
@@ -172,7 +189,23 @@ impl ExperimentSpec {
             fault_plan: FaultSchedule::none(),
             liveness: None,
             checkpoint: CheckpointConfig::legacy(),
+            client_model: ClientModel::PerActor,
+            topology: None,
         }
+    }
+
+    /// Switches the client side to an aggregate population (one actor per
+    /// height-1 domain, streaming-histogram latency accounting).
+    pub fn aggregate(mut self, population: PopulationConfig) -> Self {
+        self.client_model = ClientModel::Aggregate(population);
+        self
+    }
+
+    /// Overrides the topology shape (`levels` levels above the edge devices,
+    /// `fanout` children per domain).
+    pub fn shaped(mut self, levels: u8, fanout: usize) -> Self {
+        self.topology = Some((levels, fanout));
+        self
     }
 
     /// Switches to Byzantine domains.
@@ -344,12 +377,17 @@ pub struct LoadPoint {
     pub metrics: RunMetrics,
 }
 
+/// Exact-vector percentile under the harness's shared nearest-rank
+/// convention ([`nearest_rank_index`]): the sample at 0-based sorted index
+/// `round((n − 1) × p)`.  The histogram path
+/// ([`saguaro_loadgen::LatencyHistogram::quantile`]) uses the *same* index,
+/// so the two report the same sample up to the histogram's documented bucket
+/// error.
 fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
     if sorted_ms.is_empty() {
         return 0.0;
     }
-    let idx = ((sorted_ms.len() - 1) as f64 * p).round() as usize;
-    sorted_ms[idx.min(sorted_ms.len() - 1)]
+    sorted_ms[nearest_rank_index(sorted_ms.len(), p)]
 }
 
 fn summarise(
@@ -414,6 +452,12 @@ pub struct RunArtifacts {
     pub state_transfer_messages: u64,
     /// Bytes delivered by state-transfer messages network-wide.
     pub state_transfer_bytes: u64,
+    /// High-water mark of the simulator's event queue over the run — the
+    /// event-volume proxy population sweeps report.
+    pub peak_pending_events: u64,
+    /// The streaming tally of an aggregate-population run (`None` for the
+    /// per-actor client model, whose exact records are in `completions`).
+    pub population: Option<PopulationTally>,
 }
 
 /// Runs one experiment, dispatching `spec.protocol` to the corresponding
@@ -526,6 +570,42 @@ pub fn run_experiment<P: ProtocolStack>(spec: &ExperimentSpec) -> RunMetrics {
     run_experiment_collecting::<P>(spec).metrics
 }
 
+/// The spec's hierarchy tree: the paper's binary topology, or the explicit
+/// `(levels, fanout)` shape when one is set.
+fn build_spec_tree(spec: &ExperimentSpec) -> Arc<HierarchyTree> {
+    match spec.topology {
+        None => deploy::build_tree(spec.failure_model, spec.faults, spec.placement)
+            .expect("valid paper topology"),
+        Some((levels, fanout)) => deploy::build_tree_shaped(
+            levels,
+            fanout,
+            spec.failure_model,
+            spec.faults,
+            spec.placement,
+        )
+        .expect("valid shaped topology"),
+    }
+}
+
+/// Installs the spec's scripted fault plan plus the recovery kicks that
+/// re-arm a recovered replica's timer loops.  No-op for an empty plan.
+fn install_fault_plan<P: ProtocolStack>(sim: &mut Simulation<P::Msg>, spec: &ExperimentSpec) {
+    if spec.fault_plan.is_empty() {
+        return;
+    }
+    // A replica's self-perpetuating timer loops die while it is crashed
+    // (timers of crashed actors are silently retired), so every scripted
+    // recovery is paired with a kick message that re-arms them.
+    for (at, event) in spec.fault_plan.events() {
+        if let FaultEvent::RecoverActor(addr) = event {
+            if addr.as_node().is_some() {
+                sim.inject_at(*at, deploy::harness_addr(), *addr, P::recovery_kick());
+            }
+        }
+    }
+    sim.set_fault_schedule(spec.fault_plan.clone());
+}
+
 /// [`run_experiment`] plus the raw per-transaction artifacts.
 pub fn run_experiment_collecting<P: ProtocolStack>(spec: &ExperimentSpec) -> RunArtifacts {
     debug_assert_eq!(
@@ -535,8 +615,10 @@ pub fn run_experiment_collecting<P: ProtocolStack>(spec: &ExperimentSpec) -> Run
         P::label(),
         spec.protocol
     );
-    let tree = deploy::build_tree(spec.failure_model, spec.faults, spec.placement)
-        .expect("valid paper topology");
+    if let ClientModel::Aggregate(population) = spec.client_model {
+        return run_aggregate_collecting::<P>(spec, &population);
+    }
+    let tree = build_spec_tree(spec);
     let mut sim: Simulation<P::Msg> =
         Simulation::new(deploy::latency_for(spec.placement), spec.seed);
 
@@ -558,20 +640,7 @@ pub fn run_experiment_collecting<P: ProtocolStack>(spec: &ExperimentSpec) -> Run
         record_deliveries: liveness.enabled || !spec.fault_plan.is_empty(),
     };
     P::deploy(&mut sim, &tree, &prepared.seeds, &stack);
-
-    if !spec.fault_plan.is_empty() {
-        // A replica's self-perpetuating timer loops die while it is crashed
-        // (timers of crashed actors are silently retired), so every scripted
-        // recovery is paired with a kick message that re-arms them.
-        for (at, event) in spec.fault_plan.events() {
-            if let FaultEvent::RecoverActor(addr) = event {
-                if addr.as_node().is_some() {
-                    sim.inject_at(*at, deploy::harness_addr(), *addr, P::recovery_kick());
-                }
-            }
-        }
-        sim.set_fault_schedule(spec.fault_plan.clone());
-    }
+    install_fault_plan::<P>(&mut sim, spec);
 
     let collector: Collector = Arc::new(Mutex::new(Vec::new()));
     let reply_quorum = P::reply_quorum(spec.failure_model, spec.faults);
@@ -606,6 +675,7 @@ pub fn run_experiment_collecting<P: ProtocolStack>(spec: &ExperimentSpec) -> Run
     let events_processed = sim.run_until(SimTime::ZERO + horizon);
     let state_transfer_messages = sim.stats().state_messages_delivered;
     let state_transfer_bytes = sim.stats().state_bytes_delivered;
+    let peak_pending_events = sim.stats().peak_pending_events;
     let harvest = P::harvest(&mut sim, &tree);
     let completions = std::mem::take(&mut *collector.lock());
     let metrics = summarise(
@@ -622,6 +692,131 @@ pub fn run_experiment_collecting<P: ProtocolStack>(spec: &ExperimentSpec) -> Run
         harvest,
         state_transfer_messages,
         state_transfer_bytes,
+        peak_pending_events,
+        population: None,
+    }
+}
+
+/// The aggregate-population engine: one [`AggregateClientActor`] per
+/// height-1 domain instead of one actor per client, streaming tallies
+/// instead of stored completions.  Client-side memory is O(domains +
+/// in-flight), independent of modeled users and of run length.
+fn run_aggregate_collecting<P: ProtocolStack>(
+    spec: &ExperimentSpec,
+    population: &PopulationConfig,
+) -> RunArtifacts {
+    let tree = build_spec_tree(spec);
+    let mut sim: Simulation<P::Msg> =
+        Simulation::new(deploy::latency_for(spec.placement), spec.seed);
+
+    let liveness = spec.effective_liveness();
+    let edge_domains = tree.edge_server_domains();
+    let spread = if liveness.enabled {
+        tree.config(edge_domains[0])
+            .map(|c| c.quorum.n as u64)
+            .unwrap_or(1)
+    } else {
+        1
+    };
+    let seeds: Vec<(DomainId, Vec<(String, u64)>)> = edge_domains
+        .iter()
+        .map(|d| (*d, population.seed_accounts_for(*d)))
+        .collect();
+    let stack = StackConfig {
+        batch: spec.batch,
+        liveness,
+        checkpoint: spec.checkpoint,
+        record_deliveries: liveness.enabled || !spec.fault_plan.is_empty(),
+    };
+    P::deploy(&mut sim, &tree, &seeds, &stack);
+    install_fault_plan::<P>(&mut sim, spec);
+
+    let tally: Tally = Arc::new(Mutex::new(PopulationTally::new()));
+    let reply_quorum = P::reply_quorum(spec.failure_model, spec.faults);
+    let domain_count = edge_domains.len();
+    for (ordinal, domain) in edge_domains.iter().enumerate() {
+        if population.users_in_domain(ordinal, domain_count) == 0 {
+            continue;
+        }
+        // Each domain's actor draws from its own seeded stream so the run is
+        // reproducible per (spec.seed, ordinal) and domains are independent.
+        let domain_seed = spec
+            .seed
+            .wrapping_add((ordinal as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let generator =
+            PopulationGenerator::new(*population, ordinal, edge_domains.clone(), domain_seed);
+        let client = generator.client_id();
+        let domain_rate = generator.rate_at(Duration::ZERO);
+        let actor = AggregateClientActor::new(
+            generator,
+            P::wrap_request,
+            P::client_tick(),
+            P::parse_reply,
+            reply_quorum,
+            spread,
+            spec.warmup,
+            spec.measure,
+            tally.clone(),
+        );
+        let region = tree.region_of(*domain).expect("edge domain region");
+        sim.register(client, region, CpuProfile::client(), Box::new(actor));
+        // Stagger domain start over one mean inter-arrival (mirroring the
+        // per-actor client stagger) so populations do not begin in phase.
+        let mean_us = if domain_rate > 0.0 {
+            (1_000_000.0 / domain_rate) as u64
+        } else {
+            1_000
+        };
+        let offset = (ordinal as u64 % 97) * (mean_us / 97).max(1);
+        sim.inject_at(
+            SimTime::from_micros(offset),
+            deploy::harness_addr(),
+            client,
+            P::client_tick(),
+        );
+    }
+
+    let horizon = spec.warmup + spec.measure + Duration::from_millis(300);
+    let events_processed = sim.run_until(SimTime::ZERO + horizon);
+    let state_transfer_messages = sim.stats().state_messages_delivered;
+    let state_transfer_bytes = sim.stats().state_bytes_delivered;
+    let peak_pending_events = sim.stats().peak_pending_events;
+    let harvest = P::harvest(&mut sim, &tree);
+    let tally = Arc::try_unwrap(tally)
+        .map(Mutex::into_inner)
+        .unwrap_or_else(|shared| shared.lock().clone());
+    let metrics = summarise_population(&tally, population, spec.measure);
+    RunArtifacts {
+        metrics,
+        completions: Vec::new(),
+        schedules: Vec::new(),
+        events_processed,
+        harvest,
+        state_transfer_messages,
+        state_transfer_bytes,
+        peak_pending_events,
+        population: Some(tally),
+    }
+}
+
+/// Builds [`RunMetrics`] from a streaming tally: counts are exact; the mean
+/// and the quantiles come from the latency histogram (sampled committed
+/// in-window transactions) under the shared nearest-rank convention.
+fn summarise_population(
+    tally: &PopulationTally,
+    population: &PopulationConfig,
+    measure: Duration,
+) -> RunMetrics {
+    let us_to_ms = |us: u64| us as f64 / 1_000.0;
+    RunMetrics {
+        offered_tps: population.offered_tps(),
+        throughput_tps: tally.committed as f64 / measure.as_secs_f64(),
+        avg_latency_ms: tally.hist.mean() / 1_000.0,
+        p50_latency_ms: us_to_ms(tally.hist.quantile(0.50)),
+        p95_latency_ms: us_to_ms(tally.hist.quantile(0.95)),
+        p99_latency_ms: us_to_ms(tally.hist.quantile(0.99)),
+        committed: tally.committed,
+        aborted: tally.aborted,
     }
 }
 

@@ -12,7 +12,7 @@ use crate::par::parallel_map;
 use crate::protocol::ProtocolKind;
 use saguaro_hierarchy::Placement;
 use saguaro_net::FaultSchedule;
-use saguaro_types::{DomainId, Duration, FailureModel, NodeId, SimTime};
+use saguaro_types::{DomainId, Duration, FailureModel, NodeId, PopulationConfig, SimTime};
 
 /// One curve of a figure: a label plus its load sweep.
 #[derive(Clone, Debug, serde::Serialize)]
@@ -764,6 +764,152 @@ pub fn render_timeout_table(title: &str, series: &[TimeoutSeries]) -> String {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Population-scale load generation: aggregate clients over wide topologies
+// ---------------------------------------------------------------------------
+
+/// One modeled-population size of the population-scale sweep.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct PopulationPoint {
+    /// Modeled users across the whole deployment.
+    pub users: u64,
+    /// Height-1 domains of the (2, fanout) topology the point ran on.
+    pub domains: usize,
+    /// Throughput / latency quantiles as reported by the streaming
+    /// histograms (same [`crate::experiment::RunMetrics`] shape as every
+    /// other figure).
+    pub metrics: crate::experiment::RunMetrics,
+    /// Transactions the aggregate clients submitted (open loop, so this can
+    /// exceed `committed` when the system saturates).
+    pub submitted: u64,
+    /// Completed transactions whose latency was recorded in the histograms.
+    pub sampled: u64,
+    /// High-water mark of the client-side in-flight map — the only
+    /// per-transaction state the aggregate model keeps.  O(1) in the
+    /// transaction count by construction; the `population` binary enforces
+    /// it.
+    pub peak_inflight: u64,
+    /// High-water mark of the simulator's event queue.
+    pub peak_pending_events: u64,
+    /// Total events the simulator processed for this point.
+    pub events_processed: u64,
+    /// Events per committed transaction (engine cost per unit of work).
+    pub events_per_tx: f64,
+    /// Wall-clock time of the run (host milliseconds, not virtual time).
+    pub wall_ms: f64,
+    /// Resident set size after the run (`VmRSS`, KiB; 0 where unavailable).
+    pub resident_kb: u64,
+}
+
+/// The `(users, fanout)` grid of the population sweep: modeled users grow
+/// 10³ → 10⁵ (10⁶ in full mode) while the topology widens to 128 height-1
+/// domains, so the largest points stress both the aggregate arrival
+/// processes and wide fan-out deployment.
+pub fn population_grid(quick: bool) -> Vec<(u64, usize)> {
+    let mut grid = vec![(1_000, 16), (10_000, 64), (100_000, 128)];
+    if !quick {
+        grid.push((1_000_000, 128));
+    }
+    grid
+}
+
+/// Population-scale sweep: one aggregate-client run per
+/// [`population_grid`] cell, reporting throughput, streaming-histogram
+/// latency quantiles and engine cost.  Points run sequentially — unlike the
+/// figure sweeps there is no parallel fan-out here, because each point's
+/// wall-clock and resident-set measurements must not include neighbours.
+pub fn population(options: &FigureOptions) -> Vec<PopulationPoint> {
+    population_grid(options.quick)
+        .into_iter()
+        .map(|(users, fanout)| population_point(users, fanout, options))
+        .collect()
+}
+
+fn population_point(users: u64, fanout: usize, options: &FigureOptions) -> PopulationPoint {
+    let s = spec(ProtocolKind::SaguaroCoordinator, options)
+        .shaped(2, fanout)
+        .aggregate(PopulationConfig::with_users(users));
+    let started = std::time::Instant::now();
+    let art = run_collecting(&s);
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let tally = art
+        .population
+        .expect("aggregate runs always carry a population tally");
+    let events_per_tx = if art.metrics.committed > 0 {
+        art.events_processed as f64 / art.metrics.committed as f64
+    } else {
+        0.0
+    };
+    PopulationPoint {
+        users,
+        domains: fanout,
+        metrics: art.metrics,
+        submitted: tally.submitted,
+        sampled: tally.sampled,
+        peak_inflight: tally.peak_inflight as u64,
+        peak_pending_events: art.peak_pending_events,
+        events_processed: art.events_processed,
+        events_per_tx,
+        wall_ms,
+        resident_kb: resident_kb(),
+    }
+}
+
+/// Current resident set size in KiB (`VmRSS` from `/proc/self/status`);
+/// 0 on platforms without procfs.
+pub fn resident_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status.lines().find_map(|line| {
+                line.strip_prefix("VmRSS:")?
+                    .trim()
+                    .strip_suffix("kB")?
+                    .trim()
+                    .parse()
+                    .ok()
+            })
+        })
+        .unwrap_or(0)
+}
+
+/// Renders the population sweep as a plain-text table.
+pub fn render_population_table(title: &str, points: &[PopulationPoint]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {title}\n"));
+    out.push_str(&format!(
+        "{:>9} {:>8} {:>12} {:>14} {:>10} {:>10} {:>10} {:>13} {:>12} {:>10} {:>9}\n",
+        "users",
+        "domains",
+        "offered_tps",
+        "throughput_tps",
+        "p50_ms",
+        "p95_ms",
+        "p99_ms",
+        "events_per_tx",
+        "peak_inflight",
+        "wall_ms",
+        "rss_mb"
+    ));
+    for p in points {
+        out.push_str(&format!(
+            "{:>9} {:>8} {:>12.0} {:>14.0} {:>10.3} {:>10.3} {:>10.3} {:>13.1} {:>12} {:>10.0} {:>9.0}\n",
+            p.users,
+            p.domains,
+            p.metrics.offered_tps,
+            p.metrics.throughput_tps,
+            p.metrics.p50_latency_ms,
+            p.metrics.p95_latency_ms,
+            p.metrics.p99_latency_ms,
+            p.events_per_tx,
+            p.peak_inflight,
+            p.wall_ms,
+            p.resident_kb as f64 / 1024.0
+        ));
+    }
+    out
+}
+
 /// Workload comparison: the micropayment and ridesharing applications under
 /// the same protocol stack and engine.  Not a paper figure — it demonstrates
 /// the `Workload` extension point and sanity-checks that application choice,
@@ -863,6 +1009,34 @@ mod tests {
             assert_eq!(batched, 110.0);
             assert!((pct - 10.0).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn population_grid_reaches_a_hundred_plus_domains() {
+        let quick = population_grid(true);
+        assert!(
+            quick
+                .iter()
+                .any(|(users, domains)| *users == 100_000 && *domains >= 100),
+            "quick mode must still cover the 10^5-user, 100+-domain point"
+        );
+        let full = population_grid(false);
+        assert!(full.iter().any(|(users, _)| *users == 1_000_000));
+        assert!(full.len() > quick.len());
+    }
+
+    #[test]
+    fn population_smoke_point_reports_engine_cost() {
+        let options = FigureOptions::smoke();
+        let point = population_point(2_000, 8, &options);
+        assert_eq!(point.users, 2_000);
+        assert_eq!(point.domains, 8);
+        assert!(point.metrics.committed > 0);
+        assert!(point.events_per_tx > 0.0);
+        assert!(point.peak_pending_events > 0);
+        assert!(point.submitted >= point.metrics.committed);
+        let table = render_population_table("population", &[point]);
+        assert!(table.contains("events_per_tx"));
     }
 
     #[test]

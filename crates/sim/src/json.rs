@@ -11,8 +11,8 @@
 
 use crate::experiment::{LoadPoint, RunMetrics};
 use crate::figures::{
-    FaultSeries, FigureSeries, RecoveryPoint, RecoverySeries, TimelineBin, TimeoutPoint,
-    TimeoutSeries,
+    FaultSeries, FigureSeries, PopulationPoint, RecoveryPoint, RecoverySeries, TimelineBin,
+    TimeoutPoint, TimeoutSeries,
 };
 
 /// A JSON value assembled programmatically and rendered with
@@ -426,6 +426,30 @@ impl ToJson for TimeoutSeries {
                 "points",
                 JsonValue::Array(self.points.iter().map(ToJson::to_json).collect()),
             ),
+        ])
+    }
+}
+
+impl ToJson for PopulationPoint {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("users", JsonValue::Num(self.users as f64)),
+            ("domains", JsonValue::Num(self.domains as f64)),
+            ("metrics", self.metrics.to_json()),
+            ("submitted", JsonValue::Num(self.submitted as f64)),
+            ("sampled", JsonValue::Num(self.sampled as f64)),
+            ("peak_inflight", JsonValue::Num(self.peak_inflight as f64)),
+            (
+                "peak_pending_events",
+                JsonValue::Num(self.peak_pending_events as f64),
+            ),
+            (
+                "events_processed",
+                JsonValue::Num(self.events_processed as f64),
+            ),
+            ("events_per_tx", JsonValue::Num(self.events_per_tx)),
+            ("wall_ms", JsonValue::Num(self.wall_ms)),
+            ("resident_kb", JsonValue::Num(self.resident_kb as f64)),
         ])
     }
 }

@@ -328,6 +328,199 @@ impl StackConfig {
     }
 }
 
+/// Time-varying load envelope of an aggregate client population.
+///
+/// The per-user arrival rate is multiplied by the envelope's level at the
+/// current virtual time, so one knob turns a steady open-loop population into
+/// a diurnal cycle or a flash crowd without changing the generator.
+#[derive(Clone, Copy, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub enum RateEnvelope {
+    /// Constant offered rate (the default).
+    #[default]
+    Constant,
+    /// Sinusoidal day/night cycle: the rate starts at `trough × base`, peaks
+    /// at `base` half a period in, and returns to the trough.
+    Diurnal {
+        /// Length of one full cycle in virtual time.
+        period: Duration,
+        /// Rate multiplier at the bottom of the cycle, in `[0, 1]`.
+        trough: f64,
+    },
+    /// A flash crowd: the rate jumps to `multiplier × base` during
+    /// `[start, start + duration)` and is the base rate elsewhere.
+    FlashCrowd {
+        /// When the crowd arrives.
+        start: Duration,
+        /// How long it stays.
+        duration: Duration,
+        /// Rate multiplier while it is there (≥ 0; > 1 for a spike).
+        multiplier: f64,
+    },
+}
+
+impl RateEnvelope {
+    /// The rate multiplier at `elapsed` virtual time since experiment start.
+    pub fn level(&self, elapsed: Duration) -> f64 {
+        match *self {
+            RateEnvelope::Constant => 1.0,
+            RateEnvelope::Diurnal { period, trough } => {
+                let trough = trough.clamp(0.0, 1.0);
+                let phase = if period.as_micros() == 0 {
+                    0.0
+                } else {
+                    elapsed.as_micros() as f64 / period.as_micros() as f64
+                };
+                let swing = 0.5 * (1.0 - (phase * std::f64::consts::TAU).cos());
+                trough + (1.0 - trough) * swing
+            }
+            RateEnvelope::FlashCrowd {
+                start,
+                duration,
+                multiplier,
+            } => {
+                if elapsed >= start
+                    && elapsed.as_micros() < start.as_micros() + duration.as_micros()
+                {
+                    multiplier.max(0.0)
+                } else {
+                    1.0
+                }
+            }
+        }
+    }
+}
+
+/// An aggregate client population: the load-generation model that replaces
+/// per-client actors with one open-loop arrival process per height-1 domain.
+///
+/// `users` is the *modeled* population size — it scales the aggregate
+/// Poisson arrival rate (`users × per_user_tps`, shaped by `envelope`) and
+/// the identity space Zipf account selection draws from, but costs O(1)
+/// memory per domain regardless of magnitude.  Latency accounting is a
+/// streaming log-bucketed histogram over every `sample_every`-th submission;
+/// commit/abort counts stay exact.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct PopulationConfig {
+    /// Modeled users across the whole deployment (spread evenly over the
+    /// edge domains, remainder to the lowest ordinals).
+    pub users: u64,
+    /// Mean transactions per second each modeled user issues (open loop).
+    pub per_user_tps: f64,
+    /// Zipf skew of account selection within a domain (0 = uniform; the
+    /// classic "80/20" web skew is ≈ 0.99).
+    pub zipf_s: f64,
+    /// Account universe per domain (the keys Zipf selection draws from).
+    pub accounts_per_domain: u64,
+    /// Initial balance of every seeded account.
+    pub initial_balance: u64,
+    /// Fraction of transactions spanning two domains.
+    pub cross_domain_ratio: f64,
+    /// Latency-sample stride: every `sample_every`-th submission is traced
+    /// into the histogram (1 = every transaction).  Counts are always exact.
+    pub sample_every: u64,
+    /// Time-varying load shape applied to the aggregate rate.
+    pub envelope: RateEnvelope,
+    /// Transfer amount.
+    pub amount: u64,
+}
+
+impl PopulationConfig {
+    /// A population of `users` at the default per-user rate with uniform
+    /// account selection.
+    pub fn with_users(users: u64) -> Self {
+        Self {
+            users: users.max(1),
+            ..Self::default()
+        }
+    }
+
+    /// Sets the Zipf skew (builder style).
+    pub fn zipf(mut self, s: f64) -> Self {
+        self.zipf_s = s.max(0.0);
+        self
+    }
+
+    /// Sets the per-user rate (builder style).
+    pub fn per_user(mut self, tps: f64) -> Self {
+        self.per_user_tps = tps.max(0.0);
+        self
+    }
+
+    /// Sets the latency-sample stride (builder style).
+    pub fn sampled_every(mut self, stride: u64) -> Self {
+        self.sample_every = stride.max(1);
+        self
+    }
+
+    /// Sets the load envelope (builder style).
+    pub fn shaped(mut self, envelope: RateEnvelope) -> Self {
+        self.envelope = envelope;
+        self
+    }
+
+    /// Total offered load of the population at envelope level 1.0 (tx/s).
+    pub fn offered_tps(&self) -> f64 {
+        self.users as f64 * self.per_user_tps
+    }
+
+    /// Users modeled in the domain at `ordinal` of `domains` edge domains
+    /// (even split, remainder to the lowest ordinals).
+    pub fn users_in_domain(&self, ordinal: usize, domains: usize) -> u64 {
+        let domains = domains.max(1) as u64;
+        let ordinal = ordinal as u64 % domains;
+        self.users / domains + u64::from(ordinal < self.users % domains)
+    }
+
+    /// `(account key, initial balance)` pairs a domain must be seeded with.
+    pub fn seed_accounts_for(&self, domain: DomainId) -> Vec<(String, u64)> {
+        (0..self.accounts_per_domain)
+            .map(|n| {
+                (
+                    crate::transaction::account_key(domain.index, n),
+                    self.initial_balance,
+                )
+            })
+            .collect()
+    }
+}
+
+impl Default for PopulationConfig {
+    fn default() -> Self {
+        Self {
+            users: 1_000,
+            per_user_tps: 0.1,
+            zipf_s: 0.99,
+            accounts_per_domain: 10_000,
+            initial_balance: 1_000_000,
+            cross_domain_ratio: 0.0,
+            sample_every: 1,
+            envelope: RateEnvelope::Constant,
+            amount: 5,
+        }
+    }
+}
+
+/// How an experiment models its client side.
+#[derive(Clone, Copy, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub enum ClientModel {
+    /// One simulator actor per client with a precomputed schedule and exact
+    /// per-transaction completion records — the historical (and
+    /// bit-identical golden) path.
+    #[default]
+    PerActor,
+    /// One actor per height-1 domain modeling the whole population as an
+    /// aggregate open-loop arrival process with streaming-histogram latency
+    /// accounting: memory is O(1) in both transaction and user count.
+    Aggregate(PopulationConfig),
+}
+
+impl ClientModel {
+    /// True for the aggregate-population model.
+    pub fn is_aggregate(&self) -> bool {
+        matches!(self, ClientModel::Aggregate(_))
+    }
+}
+
 /// Static configuration of one domain in a deployment.
 #[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub struct DomainConfig {
@@ -459,5 +652,73 @@ mod tests {
         let c = DomainConfig::new(DomainId::new(1, 0), FailureModel::Byzantine, 1, Region(2));
         assert_eq!(c.size(), 4);
         assert_eq!(c.region, Region(2));
+    }
+
+    #[test]
+    fn rate_envelopes_shape_the_offered_load() {
+        let constant = RateEnvelope::Constant;
+        assert_eq!(constant.level(Duration::from_millis(5)), 1.0);
+
+        let diurnal = RateEnvelope::Diurnal {
+            period: Duration::from_millis(1_000),
+            trough: 0.25,
+        };
+        // Trough at phase 0 and at a full period; peak half-way through.
+        assert!((diurnal.level(Duration::from_millis(0)) - 0.25).abs() < 1e-9);
+        assert!((diurnal.level(Duration::from_millis(1_000)) - 0.25).abs() < 1e-9);
+        assert!((diurnal.level(Duration::from_millis(500)) - 1.0).abs() < 1e-9);
+
+        let crowd = RateEnvelope::FlashCrowd {
+            start: Duration::from_millis(100),
+            duration: Duration::from_millis(50),
+            multiplier: 4.0,
+        };
+        assert_eq!(crowd.level(Duration::from_millis(99)), 1.0);
+        assert_eq!(crowd.level(Duration::from_millis(100)), 4.0);
+        assert_eq!(crowd.level(Duration::from_millis(149)), 4.0);
+        assert_eq!(crowd.level(Duration::from_millis(150)), 1.0);
+    }
+
+    #[test]
+    fn population_splits_users_evenly_with_remainder_low() {
+        let pop = PopulationConfig::with_users(10);
+        assert_eq!(pop.users_in_domain(0, 4), 3);
+        assert_eq!(pop.users_in_domain(1, 4), 3);
+        assert_eq!(pop.users_in_domain(2, 4), 2);
+        assert_eq!(pop.users_in_domain(3, 4), 2);
+        let total: u64 = (0..4).map(|d| pop.users_in_domain(d, 4)).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn population_builders_clamp_and_compose() {
+        let pop = PopulationConfig::with_users(0)
+            .zipf(-1.0)
+            .per_user(2.0)
+            .sampled_every(0);
+        assert_eq!(pop.users, 1);
+        assert_eq!(pop.zipf_s, 0.0);
+        assert_eq!(pop.sample_every, 1);
+        assert_eq!(pop.offered_tps(), 2.0);
+        assert!(ClientModel::Aggregate(pop).is_aggregate());
+        assert!(!ClientModel::PerActor.is_aggregate());
+        assert_eq!(ClientModel::default(), ClientModel::PerActor);
+    }
+
+    #[test]
+    fn population_seeds_the_domain_account_universe() {
+        let pop = PopulationConfig {
+            accounts_per_domain: 3,
+            ..PopulationConfig::default()
+        };
+        let seeds = pop.seed_accounts_for(DomainId::new(1, 2));
+        assert_eq!(
+            seeds,
+            vec![
+                ("a2_0".to_string(), 1_000_000),
+                ("a2_1".to_string(), 1_000_000),
+                ("a2_2".to_string(), 1_000_000),
+            ]
+        );
     }
 }

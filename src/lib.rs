@@ -14,6 +14,8 @@
 //!   cross-domain consensus, lazy ledger propagation, mobile consensus.
 //! * [`baselines`] — AHL and SharPer comparators.
 //! * [`workload`] — micropayment / ridesharing workload generators.
+//! * [`loadgen`] — population-scale load generation: aggregate client
+//!   populations and streaming latency histograms.
 //! * [`sim`] — the experiment harness regenerating the paper's figures.
 //!
 //! The experiment engine's entry points are additionally re-exported at the
@@ -33,6 +35,7 @@ pub use saguaro_core as core;
 pub use saguaro_crypto as crypto;
 pub use saguaro_hierarchy as hierarchy;
 pub use saguaro_ledger as ledger;
+pub use saguaro_loadgen as loadgen;
 pub use saguaro_net as net;
 pub use saguaro_sim as sim;
 pub use saguaro_types as types;

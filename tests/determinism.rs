@@ -5,7 +5,7 @@
 
 use saguaro::net::FaultSchedule;
 use saguaro::sim::{ExperimentSpec, ProtocolKind, RidesharingConfig, RunMetrics};
-use saguaro::types::{CheckpointConfig, SimTime};
+use saguaro::types::{CheckpointConfig, ClientModel, PopulationConfig, SimTime};
 
 /// The reference spec the golden metrics below were captured with.
 fn golden_spec(protocol: ProtocolKind) -> ExperimentSpec {
@@ -191,6 +191,45 @@ fn checkpointed_runs_are_deterministic_and_differ_from_legacy() {
             spec.run(),
             "{protocol:?}: checkpointed run not deterministic"
         );
+    }
+}
+
+#[test]
+fn explicit_per_actor_client_model_stays_pinned_to_the_goldens() {
+    // The aggregate-population client model must be strictly pay-for-play:
+    // the default spec and an explicitly `PerActor` one are the same
+    // configuration, and both still reproduce the historical goldens.
+    for protocol in ProtocolKind::ALL {
+        let mut spec = golden_spec(protocol);
+        assert_eq!(spec.client_model, ClientModel::PerActor);
+        spec.client_model = ClientModel::PerActor;
+        assert_eq!(
+            spec.run(),
+            golden_metrics(protocol),
+            "{protocol:?}: explicit PerActor diverged from the goldens"
+        );
+    }
+}
+
+#[test]
+fn aggregate_population_runs_reproduce_bit_identically_per_seed() {
+    for protocol in ProtocolKind::ALL {
+        for seed in [7, 9001] {
+            let mut spec = ExperimentSpec::new(protocol)
+                .quick()
+                .aggregate(PopulationConfig::with_users(1_000).per_user(0.5));
+            spec.seed = seed;
+            let first = spec.run();
+            assert!(
+                first.committed > 0,
+                "{protocol:?} seed {seed} committed nothing"
+            );
+            assert_eq!(
+                first,
+                spec.run(),
+                "{protocol:?} seed {seed}: aggregate run not deterministic"
+            );
+        }
     }
 }
 

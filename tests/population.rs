@@ -1,0 +1,184 @@
+//! Population-scale load generation: the aggregate client model commits
+//! real transactions with O(1)-per-transaction client-side accounting,
+//! reproduces bit-identically per seed, and its streaming-histogram
+//! quantiles agree with the exact per-actor path.
+
+use saguaro::hierarchy::Placement;
+use saguaro::loadgen::LatencyHistogram;
+use saguaro::sim::{run_collecting, ExperimentSpec, ProtocolKind};
+use saguaro::types::{ClientModel, PopulationConfig};
+
+fn aggregate_spec(users: u64) -> ExperimentSpec {
+    ExperimentSpec::new(ProtocolKind::SaguaroCoordinator)
+        .quick()
+        .placed(Placement::SingleRegion)
+        .aggregate(PopulationConfig::with_users(users).per_user(0.5))
+}
+
+#[test]
+fn aggregate_runs_commit_without_storing_completions() {
+    let artifacts = run_collecting(&aggregate_spec(2_000));
+    let tally = artifacts.population.as_ref().expect("population tally");
+    assert!(
+        artifacts.metrics.committed > 100,
+        "committed {}",
+        artifacts.metrics.committed
+    );
+    assert_eq!(artifacts.metrics.aborted, 0);
+    assert_eq!(artifacts.metrics.offered_tps, 1_000.0);
+    // The whole point: no per-transaction records on the client side.
+    assert!(artifacts.completions.is_empty());
+    assert!(artifacts.schedules.is_empty());
+    assert_eq!(tally.committed, artifacts.metrics.committed);
+    assert_eq!(tally.hist.count(), tally.sampled);
+    assert!(artifacts.metrics.p50_latency_ms > 0.0);
+    assert!(artifacts.metrics.p99_latency_ms >= artifacts.metrics.p50_latency_ms);
+}
+
+#[test]
+fn aggregate_runs_reproduce_bit_identically_per_seed() {
+    for protocol in [
+        ProtocolKind::SaguaroCoordinator,
+        ProtocolKind::SaguaroOptimistic,
+    ] {
+        let mut spec = aggregate_spec(1_000);
+        spec.protocol = protocol;
+        let a = run_collecting(&spec);
+        let b = run_collecting(&spec);
+        assert_eq!(a.metrics, b.metrics, "{protocol:?} metrics diverged");
+        assert_eq!(a.events_processed, b.events_processed);
+        let (ta, tb) = (a.population.unwrap(), b.population.unwrap());
+        assert_eq!(ta.submitted, tb.submitted);
+        assert_eq!(ta.completed, tb.completed);
+        assert_eq!(ta.hist.count(), tb.hist.count());
+        assert_eq!(ta.hist.mean(), tb.hist.mean());
+        for p in [0.5, 0.95, 0.99] {
+            assert_eq!(ta.hist.quantile(p), tb.hist.quantile(p));
+        }
+    }
+}
+
+#[test]
+fn different_seeds_change_the_aggregate_run() {
+    let spec = aggregate_spec(1_000);
+    let mut reseeded = spec.clone();
+    reseeded.seed = 43;
+    assert_ne!(
+        run_collecting(&spec).metrics,
+        run_collecting(&reseeded).metrics
+    );
+}
+
+#[test]
+fn explicit_per_actor_model_is_the_default_path() {
+    let base = ExperimentSpec::new(ProtocolKind::SaguaroCoordinator)
+        .quick()
+        .cross_domain(0.3)
+        .load(600.0);
+    assert_eq!(base.client_model, ClientModel::PerActor);
+    let mut explicit = base.clone();
+    explicit.client_model = ClientModel::PerActor;
+    assert_eq!(
+        base.run(),
+        explicit.run(),
+        "an explicit PerActor model must be the same configuration"
+    );
+}
+
+#[test]
+fn client_side_memory_stays_flat_as_the_population_grows() {
+    // 8× the modeled users means ~8× the transactions, but the client-side
+    // high-water mark (in-flight map) must stay in the same ballpark: the
+    // aggregate path stores nothing per completed transaction.
+    let small = run_collecting(&aggregate_spec(500));
+    let large = run_collecting(&aggregate_spec(4_000));
+    let (ts, tl) = (small.population.unwrap(), large.population.unwrap());
+    assert!(
+        tl.submitted > ts.submitted * 4,
+        "expected ~8x submissions, got {} vs {}",
+        tl.submitted,
+        ts.submitted
+    );
+    assert!(
+        tl.peak_inflight < ts.peak_inflight * 4 + 64,
+        "peak in-flight {} vs {} suggests per-tx storage",
+        tl.peak_inflight,
+        ts.peak_inflight
+    );
+}
+
+#[test]
+fn wide_topologies_deploy_hundreds_of_domains() {
+    let mut spec = aggregate_spec(6_400).shaped(2, 16);
+    spec.measure = saguaro::types::Duration::from_millis(150);
+    let artifacts = run_collecting(&spec);
+    assert!(
+        artifacts.metrics.committed > 50,
+        "committed {}",
+        artifacts.metrics.committed
+    );
+}
+
+#[test]
+fn histogram_quantiles_match_the_exact_path_within_the_documented_bound() {
+    // Feed the exact per-actor latencies into the streaming histogram: the
+    // two paths share the nearest-rank convention, so every quantile must
+    // agree within the histogram's documented relative-error bound.
+    let spec = ExperimentSpec::new(ProtocolKind::SaguaroCoordinator)
+        .quick()
+        .cross_domain(0.3)
+        .load(600.0);
+    let artifacts = run_collecting(&spec);
+    let exact = artifacts.metrics;
+    let window_start = saguaro::types::SimTime::ZERO + spec.warmup;
+    let window_end = window_start + spec.measure;
+    let mut hist = LatencyHistogram::new();
+    for c in &artifacts.completions {
+        if c.committed && c.submitted_at >= window_start && c.submitted_at < window_end {
+            hist.record(c.latency.as_micros());
+        }
+    }
+    assert_eq!(hist.count(), exact.committed);
+    for (p, exact_ms) in [
+        (0.50, exact.p50_latency_ms),
+        (0.95, exact.p95_latency_ms),
+        (0.99, exact.p99_latency_ms),
+    ] {
+        let approx_ms = hist.quantile(p) as f64 / 1_000.0;
+        let tolerance = exact_ms * LatencyHistogram::RELATIVE_ERROR_BOUND + 1e-3;
+        assert!(
+            (approx_ms - exact_ms).abs() <= tolerance,
+            "p{p}: histogram {approx_ms} ms vs exact {exact_ms} ms (tolerance {tolerance})"
+        );
+    }
+}
+
+#[test]
+fn aggregate_and_per_actor_latencies_agree_on_a_common_topology() {
+    // Same topology, same placement, comparable offered load: the aggregate
+    // model's reported latency quantiles must land where the per-actor
+    // model's do.  On an uncontended single-region deployment the latency
+    // distribution is tight, so agreement is checked within the histogram
+    // bound plus a small statistical allowance.
+    let per_actor = ExperimentSpec::new(ProtocolKind::SaguaroCoordinator)
+        .quick()
+        .placed(Placement::SingleRegion)
+        .load(600.0)
+        .run();
+    let aggregate = ExperimentSpec::new(ProtocolKind::SaguaroCoordinator)
+        .quick()
+        .placed(Placement::SingleRegion)
+        .aggregate(PopulationConfig::with_users(1_200).per_user(0.5))
+        .run();
+    assert!(per_actor.committed > 50 && aggregate.committed > 50);
+    for (p50a, p50b) in [
+        (per_actor.p50_latency_ms, aggregate.p50_latency_ms),
+        (per_actor.p95_latency_ms, aggregate.p95_latency_ms),
+    ] {
+        let tolerance = p50a * (LatencyHistogram::RELATIVE_ERROR_BOUND + 0.05);
+        assert!(
+            (p50a - p50b).abs() <= tolerance,
+            "per-actor {p50a} ms vs aggregate {p50b} ms (tolerance {tolerance})"
+        );
+    }
+}
