@@ -31,6 +31,7 @@ pub mod envelope;
 pub mod event;
 pub mod fault;
 pub mod latency;
+pub mod psim;
 pub mod sim;
 pub mod stats;
 pub mod timer;
@@ -40,6 +41,7 @@ pub use cpu::{CpuProfile, MessageMeta};
 pub use envelope::Envelope;
 pub use fault::{FaultEvent, FaultPlan, FaultSchedule};
 pub use latency::LatencyMatrix;
-pub use sim::{Actor, Context, Simulation};
-pub use stats::NetStats;
+pub use psim::ParallelSimulation;
+pub use sim::{Actor, BoxedActor, Context, SimRuntime, Simulation};
+pub use stats::{NetStats, PdesRunStats};
 pub use timer::TimerId;

@@ -1,0 +1,1014 @@
+//! Conservative parallel discrete-event engine.
+//!
+//! [`ParallelSimulation`] shards the actor population into partitions — the
+//! harness maps each height-1 edge domain to its own partition and everything
+//! else (root/LCA committees, clients) to partition 0 — and advances them on
+//! worker threads under a conservative time-window protocol:
+//!
+//! 1. The coordinator scans every partition's queue for the global minimum
+//!    event time `m` and announces the window `[m, m + lookahead)`, where
+//!    `lookahead = LatencyMatrix::min_one_way()` (no message sent at `t` can
+//!    arrive anywhere before `t + lookahead`, see [`crate::latency`]).
+//! 2. Workers claim partitions and drain each local queue up to the window
+//!    end.  Same-partition sends go straight into the local queue; sends to
+//!    another partition are buffered in the sender's outbox.  Both are safe:
+//!    every send lands at or beyond the window end, and timers are always
+//!    owner-local.
+//! 3. At the barrier the coordinator merges all outboxes in deterministic
+//!    `(destination, time, source partition, sequence)` order, so arrival
+//!    tie-breaks never depend on thread scheduling.
+//!
+//! Each partition owns a private RNG stream (golden-ratio derived from the
+//! run seed, as the aggregate-client harness does per domain), a private
+//! [`TimerSlab`], private [`NetStats`] and a [`CalendarQueue`] whose buckets
+//! are sized to the lookahead window, so the intra-window hot path touches no
+//! shared state at all.  The result is bit-reproducible per seed and
+//! invariant to the worker-thread count — runs differ from the sequential
+//! engine (different RNG consumption order) but never from themselves.
+//!
+//! Divergences from [`Simulation`], by design:
+//!
+//! * [`ParallelSimulation::inject`] draws latency from a dedicated control
+//!   stream and does not consult drop faults (harness injections precede the
+//!   run; the sequential engine's behaviour for in-run injections with a
+//!   lossy fault plan is not reproduced).
+//! * `run_to_completion(max_events)` stops at a window boundary, so it may
+//!   overshoot `max_events` by up to one window's worth of events.
+
+use crate::addr::Addr;
+use crate::cpu::{CpuProfile, MessageMeta};
+use crate::envelope::Envelope;
+use crate::event::{CalendarQueue, EventKind, TimerId};
+use crate::fault::{FaultEvent, FaultPlan, FaultSchedule};
+use crate::latency::LatencyMatrix;
+use crate::sim::{Action, Actor, ActorSlot, BoxedActor, Context, SimRuntime};
+use crate::stats::{NetStats, PdesRunStats};
+use crate::timer::TimerSlab;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use saguaro_types::{Duration, Region, SimTime};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+/// Per-partition RNG streams derive from the run seed with this multiplier
+/// (2^64 / φ), mirroring the per-domain streams of the aggregate-client
+/// harness so streams are decorrelated but fully seed-determined.
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Where an address lives: its partition, its dense index *within* that
+/// partition, and its region (resolved at send time without touching the
+/// destination partition).
+#[derive(Clone, Copy)]
+struct RouteEntry {
+    part: u32,
+    local: u32,
+    region: Region,
+}
+
+/// A cross-partition event buffered in the sender's outbox until the next
+/// window barrier.  `(dest, time, src, seq)` is the deterministic merge key.
+struct Remote<M> {
+    dest: u32,
+    time: SimTime,
+    src: u32,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+/// One event shard: a slice of the actor population plus everything needed
+/// to advance it without synchronization inside a window.
+struct Partition<M> {
+    id: u32,
+    slots: Vec<ActorSlot<M>>,
+    queue: CalendarQueue<M>,
+    rng: StdRng,
+    timers: TimerSlab,
+    faults: FaultPlan,
+    /// Every partition holds the full scripted schedule and applies it
+    /// against its private clock; fault events are pure state flips, so the
+    /// copies stay in agreement without communication.
+    schedule: FaultSchedule,
+    schedule_pos: usize,
+    extra_delay: Duration,
+    stats: NetStats,
+    now: SimTime,
+    outbox: Vec<Remote<M>>,
+    out_seq: u64,
+    /// Events processed by this partition over the engine's lifetime.
+    events: u64,
+    routing: Arc<HashMap<Addr, RouteEntry>>,
+    latency: Arc<LatencyMatrix>,
+}
+
+impl<M: MessageMeta + Clone + 'static> Partition<M> {
+    fn new(id: u32, seed: u64, bucket_us: u64, latency: Arc<LatencyMatrix>) -> Self {
+        Self {
+            id,
+            slots: Vec::new(),
+            queue: CalendarQueue::new(bucket_us),
+            rng: StdRng::seed_from_u64(seed.wrapping_add((id as u64 + 1).wrapping_mul(GOLDEN))),
+            timers: TimerSlab::default(),
+            faults: FaultPlan::none(),
+            schedule: FaultSchedule::none(),
+            schedule_pos: 0,
+            extra_delay: Duration::ZERO,
+            stats: NetStats::default(),
+            now: SimTime::ZERO,
+            outbox: Vec::new(),
+            out_seq: 0,
+            events: 0,
+            routing: Arc::new(HashMap::new()),
+            latency,
+        }
+    }
+
+    /// Drains the local queue while the head event is strictly before
+    /// `window_end` and at or before `deadline`.  Returns events processed.
+    fn run_window(&mut self, window_end: SimTime, deadline: SimTime) -> u64 {
+        let mut n = 0u64;
+        while let Some(t) = self.queue.peek_time() {
+            if t >= window_end || t > deadline {
+                break;
+            }
+            if self.schedule_pos < self.schedule.len() {
+                self.apply_faults_until(t);
+            }
+            let event = self.queue.pop().expect("peeked event present");
+            self.now = event.time;
+            match event.kind {
+                EventKind::Deliver {
+                    from,
+                    to,
+                    to_idx,
+                    env,
+                } => self.deliver(from, to, to_idx, env),
+                EventKind::Timer {
+                    owner,
+                    owner_idx,
+                    id,
+                    msg,
+                } => self.fire_timer(owner, owner_idx, id, msg),
+            }
+            n += 1;
+        }
+        self.events += n;
+        n
+    }
+
+    /// Applies every scheduled fault event with time `≤ t` (the partition
+    /// clone of [`Simulation::set_fault_schedule`]'s semantics).  Busy-time
+    /// trimming on a crash only touches actors this partition owns.
+    fn apply_faults_until(&mut self, t: SimTime) {
+        while let Some((at, event)) = self.schedule.events().get(self.schedule_pos) {
+            if *at > t {
+                break;
+            }
+            let (at, event) = (*at, event.clone());
+            self.schedule_pos += 1;
+            match event {
+                FaultEvent::CrashActor(a) => {
+                    self.faults.crash(a);
+                    if let Some(e) = self.routing.get(&a) {
+                        if e.part == self.id {
+                            let slot = &mut self.slots[e.local as usize];
+                            if slot.busy_until > at {
+                                self.stats.trim_busy(e.local, slot.busy_until - at);
+                                slot.busy_until = at;
+                            }
+                        }
+                    }
+                }
+                FaultEvent::RecoverActor(a) => self.faults.restart(a),
+                FaultEvent::PartitionLink(a, b) => self.faults.partition(a, b),
+                FaultEvent::HealLink(a, b) => self.faults.heal(a, b),
+                FaultEvent::DelaySpike { extra } => self.extra_delay = extra,
+                FaultEvent::Equivocate(a) => self.faults.equivocate(a),
+                FaultEvent::StopEquivocate(a) => self.faults.stop_equivocate(a),
+            }
+        }
+    }
+
+    fn deliver(&mut self, from: Addr, to: Addr, to_idx: Option<u32>, env: Envelope<M>) {
+        if self.faults.is_crashed(to) {
+            self.stats.on_drop();
+            return;
+        }
+        // The local index was resolved at send time; fall back to the routing
+        // table only for recipients registered after the send.
+        let idx = match to_idx.or_else(|| {
+            self.routing
+                .get(&to)
+                .and_then(|e| (e.part == self.id).then_some(e.local))
+        }) {
+            Some(i) => i,
+            None => {
+                self.stats.on_drop();
+                return;
+            }
+        };
+        let slot = &mut self.slots[idx as usize];
+        let service = slot.cpu.service_time(env.wire_bytes(), env.signatures());
+        let start = if slot.busy_until > self.now {
+            slot.busy_until
+        } else {
+            self.now
+        };
+        let done = start + service;
+        slot.busy_until = done;
+        self.stats
+            .on_deliver(idx, env.wire_bytes(), service, env.is_state_transfer());
+
+        let mut actor = slot.actor.take().expect("actor present outside callback");
+        let mut ctx = Context::enter(done, to, &mut self.rng, &mut self.timers);
+        actor.on_message(from, env.into_payload(), &mut ctx);
+        let actions = ctx.into_actions();
+        self.slots[idx as usize].actor = Some(actor);
+        self.apply_actions(to, idx, done, actions);
+    }
+
+    fn fire_timer(&mut self, owner: Addr, owner_idx: u32, id: TimerId, msg: M) {
+        if !self.timers.retire(id) {
+            return;
+        }
+        if self.faults.is_crashed(owner) {
+            return;
+        }
+        let slot = &mut self.slots[owner_idx as usize];
+        if slot.actor.is_none() {
+            return;
+        }
+        self.stats.on_timer();
+        let mut actor = slot.actor.take().expect("actor checked above");
+        let mut ctx = Context::enter(self.now, owner, &mut self.rng, &mut self.timers);
+        actor.on_timer(id, msg, &mut ctx);
+        let actions = ctx.into_actions();
+        self.slots[owner_idx as usize].actor = Some(actor);
+        self.apply_actions(owner, owner_idx, self.now, actions);
+    }
+
+    fn apply_actions(
+        &mut self,
+        origin: Addr,
+        origin_idx: u32,
+        origin_time: SimTime,
+        actions: Vec<Action<M>>,
+    ) {
+        let origin_region = self.slots[origin_idx as usize].region;
+        for action in actions {
+            match action {
+                Action::Send { to, env } => {
+                    let slot = &mut self.slots[origin_idx as usize];
+                    let t = slot.cpu.send_time();
+                    slot.busy_until = slot.busy_until.max(origin_time) + t;
+                    self.schedule_send(origin, origin_region, origin_time, to, env);
+                }
+                Action::SetTimer { id, delay, msg } => {
+                    // Timers are always owner-local, so a zero/short delay
+                    // landing inside the current window is safe.
+                    self.queue.push(
+                        origin_time + delay,
+                        EventKind::Timer {
+                            owner: origin,
+                            owner_idx: origin_idx,
+                            id,
+                            msg,
+                        },
+                    );
+                }
+                Action::CancelTimer { id } => {
+                    self.timers.retire(id);
+                }
+            }
+        }
+    }
+
+    fn schedule_send(
+        &mut self,
+        from: Addr,
+        from_region: Region,
+        at: SimTime,
+        to: Addr,
+        env: Envelope<M>,
+    ) {
+        // Equivocating senders emit a conflicting twin through the normal
+        // path, exactly as the sequential engine does.
+        if self.faults.is_equivocating(from) {
+            if let Some(twin) = env.payload().tampered() {
+                self.schedule_send_inner(from, from_region, at, to, Envelope::new(twin));
+            }
+        }
+        self.schedule_send_inner(from, from_region, at, to, env);
+    }
+
+    fn schedule_send_inner(
+        &mut self,
+        from: Addr,
+        from_region: Region,
+        at: SimTime,
+        to: Addr,
+        env: Envelope<M>,
+    ) {
+        self.stats.on_send();
+        // Drop decisions draw from the *sender* partition's stream, keeping
+        // them independent of what other partitions do concurrently.
+        if self.faults.should_drop(from, to, &mut self.rng) {
+            self.stats.on_drop();
+            return;
+        }
+        // Unknown destinations stay local and count as a drop at delivery,
+        // mirroring the sequential engine.
+        let (dest, to_idx, to_region) = match self.routing.get(&to) {
+            Some(e) => (e.part, Some(e.local), e.region),
+            None => (self.id, None, Region::LOCAL),
+        };
+        let delay = self
+            .latency
+            .one_way(from_region, to_region, env.wire_bytes(), &mut self.rng)
+            + self.extra_delay;
+        let arrival = at + delay;
+        let kind = EventKind::Deliver {
+            from,
+            to,
+            to_idx,
+            env,
+        };
+        if dest == self.id {
+            self.queue.push(arrival, kind);
+        } else {
+            self.outbox.push(Remote {
+                dest,
+                time: arrival,
+                src: self.id,
+                seq: self.out_seq,
+                kind,
+            });
+            self.out_seq += 1;
+        }
+    }
+}
+
+/// The conservative-parallel counterpart of [`Simulation`]; see the module
+/// docs for the protocol.  Construct with a partition-routing function, then
+/// drive through the shared [`SimRuntime`] surface.
+pub struct ParallelSimulation<M> {
+    parts: Vec<Mutex<Partition<M>>>,
+    route: Box<dyn Fn(Addr) -> u32 + Send + Sync>,
+    /// The master routing table; partitions hold a shared snapshot, refreshed
+    /// lazily when registrations dirty it.
+    index: HashMap<Addr, RouteEntry>,
+    /// Registration order, so merged stats intern addresses deterministically.
+    reg_order: Vec<Addr>,
+    routing_dirty: bool,
+    latency: Arc<LatencyMatrix>,
+    lookahead: Duration,
+    workers: usize,
+    now: SimTime,
+    /// Harness injections draw latency from this stream (seeded exactly like
+    /// the sequential engine's global RNG) so injection delays per seed do
+    /// not depend on partitioning.
+    control_rng: StdRng,
+    /// Network-wide view, rebuilt from the per-partition blocks after each
+    /// run call.
+    merged: NetStats,
+    pdes: PdesRunStats,
+    peak_pending: u64,
+}
+
+impl<M: MessageMeta + Clone + Send + Sync + 'static> ParallelSimulation<M> {
+    /// Creates a parallel simulation with `partitions` shards and `workers`
+    /// threads.  `route` maps an address to its partition (out-of-range
+    /// results clamp to the last partition); the mapping must be total and
+    /// stable for the lifetime of the run.  `workers == 0` or `1` runs the
+    /// identical window protocol inline on the calling thread.
+    pub fn new(
+        latency: LatencyMatrix,
+        seed: u64,
+        partitions: usize,
+        workers: usize,
+        route: impl Fn(Addr) -> u32 + Send + Sync + 'static,
+    ) -> Self {
+        let partitions = partitions.max(1);
+        // A zero lookahead would stall the window protocol; clamp to 1µs so
+        // windows always advance (built-in matrices floor at 250µs anyway).
+        let lookahead = Duration::from_micros(latency.min_one_way().as_micros().max(1));
+        let latency = Arc::new(latency);
+        let parts = (0..partitions)
+            .map(|p| {
+                Mutex::new(Partition::new(
+                    p as u32,
+                    seed,
+                    lookahead.as_micros(),
+                    Arc::clone(&latency),
+                ))
+            })
+            .collect();
+        Self {
+            parts,
+            route: Box::new(route),
+            index: HashMap::new(),
+            reg_order: Vec::new(),
+            routing_dirty: false,
+            latency,
+            lookahead,
+            workers: workers.max(1),
+            now: SimTime::ZERO,
+            control_rng: StdRng::seed_from_u64(seed),
+            merged: NetStats::default(),
+            pdes: PdesRunStats {
+                partitions,
+                lookahead_us: lookahead.as_micros(),
+                partition_events: vec![0; partitions],
+                ..PdesRunStats::default()
+            },
+            peak_pending: 0,
+        }
+    }
+
+    /// The lookahead bound windows advance by.
+    pub fn lookahead(&self) -> Duration {
+        self.lookahead
+    }
+
+    /// Number of partitions.
+    pub fn partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Current virtual time (the maximum any partition has reached, or the
+    /// deadline after a bounded run).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The latency matrix in use.
+    pub fn latency(&self) -> &LatencyMatrix {
+        &self.latency
+    }
+
+    /// Registers an actor; see [`Simulation::register`].  The partition is
+    /// chosen by the routing function supplied at construction.
+    pub fn register(
+        &mut self,
+        addr: impl Into<Addr>,
+        region: Region,
+        cpu: CpuProfile,
+        actor: BoxedActor<M>,
+    ) {
+        let addr = addr.into();
+        let slot = ActorSlot {
+            actor: Some(actor),
+            region,
+            cpu,
+            busy_until: SimTime::ZERO,
+        };
+        let part = ((self.route)(addr)).min(self.parts.len() as u32 - 1);
+        match self.index.entry(addr) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                // Replacement keeps the original partition and index so
+                // in-flight events still resolve.
+                let entry = e.get_mut();
+                entry.region = region;
+                let mut p = self.parts[entry.part as usize].lock();
+                p.slots[entry.local as usize] = slot;
+                self.routing_dirty = true;
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let mut p = self.parts[part as usize].lock();
+                let local = p.slots.len() as u32;
+                p.slots.push(slot);
+                p.stats.register(addr);
+                drop(p);
+                e.insert(RouteEntry {
+                    part,
+                    local,
+                    region,
+                });
+                self.reg_order.push(addr);
+                self.routing_dirty = true;
+            }
+        }
+    }
+
+    /// Removes an actor and returns it (post-run result extraction).
+    pub fn take_actor(&mut self, addr: impl Into<Addr>) -> Option<BoxedActor<M>> {
+        let e = *self.index.get(&addr.into())?;
+        self.parts[e.part as usize].lock().slots[e.local as usize]
+            .actor
+            .take()
+    }
+
+    /// Runs until no events remain or a window boundary at or beyond
+    /// `max_events` processed events.  Returns events processed.
+    pub fn run_to_completion(&mut self, max_events: u64) -> u64 {
+        self.run_windows(None, max_events)
+    }
+
+    /// Pushes the freshest routing snapshot into every partition.
+    fn ensure_routing(&mut self) {
+        if !self.routing_dirty {
+            return;
+        }
+        let table = Arc::new(self.index.clone());
+        for p in &mut self.parts {
+            p.lock().routing = Arc::clone(&table);
+        }
+        self.routing_dirty = false;
+    }
+
+    /// Scans all partitions for the global minimum event time and records the
+    /// pending high-water mark.  Returns the next window end, or `None` when
+    /// the run is over.
+    fn plan_window(
+        parts: &[Mutex<Partition<M>>],
+        deadline: SimTime,
+        lookahead: Duration,
+        peak: &mut u64,
+    ) -> Option<SimTime> {
+        let mut min_t: Option<SimTime> = None;
+        let mut pending = 0u64;
+        for p in parts {
+            let mut g = p.lock();
+            if g.queue.is_empty() {
+                continue;
+            }
+            pending += g.queue.len() as u64;
+            if let Some(t) = g.queue.peek_time() {
+                min_t = Some(min_t.map_or(t, |m: SimTime| m.min(t)));
+            }
+        }
+        *peak = (*peak).max(pending);
+        let min_t = min_t?;
+        if min_t > deadline {
+            return None;
+        }
+        Some(min_t + lookahead)
+    }
+
+    /// Drains every outbox and pushes the buffered events into their
+    /// destination queues in `(dest, time, src, seq)` order — the step that
+    /// makes arrival tie-breaks independent of thread scheduling.
+    fn merge_mailboxes(parts: &[Mutex<Partition<M>>], pdes: &mut PdesRunStats) {
+        let mut all: Vec<Remote<M>> = Vec::new();
+        for p in parts {
+            all.append(&mut p.lock().outbox);
+        }
+        if all.is_empty() {
+            return;
+        }
+        pdes.cross_messages += all.len() as u64;
+        all.sort_by_key(|a| (a.dest, a.time, a.src, a.seq));
+        let mut iter = all.into_iter().peekable();
+        while let Some(r) = iter.next() {
+            let dest = r.dest as usize;
+            let mut g = parts[dest].lock();
+            g.queue.push(r.time, r.kind);
+            while iter.peek().is_some_and(|nx| nx.dest as usize == dest) {
+                let nx = iter.next().expect("peeked");
+                g.queue.push(nx.time, nx.kind);
+            }
+        }
+    }
+
+    /// The window loop shared by `run_until` and `run_to_completion`.
+    fn run_windows(&mut self, deadline: Option<SimTime>, max_events: u64) -> u64 {
+        self.ensure_routing();
+        let hard_deadline = deadline.unwrap_or(SimTime::from_micros(u64::MAX));
+        let lookahead = self.lookahead;
+        let nparts = self.parts.len();
+        let workers = self.workers.min(nparts);
+        let mut processed: u64 = 0;
+
+        {
+            let parts = &self.parts;
+            let pdes = &mut self.pdes;
+            let peak = &mut self.peak_pending;
+
+            if workers <= 1 {
+                // Inline path: same windows, same merge order, no threads.
+                // Plan/merge time is still recorded so the x1 configuration
+                // reports the same instrumentation as the threaded one.
+                loop {
+                    let serial_start = Instant::now();
+                    let plan = Self::plan_window(parts, hard_deadline, lookahead, peak);
+                    let Some(window_end) = plan else {
+                        pdes.merge_wall_us += serial_start.elapsed().as_micros() as u64;
+                        break;
+                    };
+                    pdes.merge_wall_us += serial_start.elapsed().as_micros() as u64;
+                    pdes.windows += 1;
+                    for p in parts {
+                        processed += p.lock().run_window(window_end, hard_deadline);
+                    }
+                    let merge_start = Instant::now();
+                    Self::merge_mailboxes(parts, pdes);
+                    pdes.merge_wall_us += merge_start.elapsed().as_micros() as u64;
+                    if processed >= max_events {
+                        break;
+                    }
+                }
+            } else {
+                let barrier = Barrier::new(workers + 1);
+                let window_end_us = AtomicU64::new(0);
+                let next_part = AtomicUsize::new(0);
+                let window_events = AtomicU64::new(0);
+                let finished = AtomicBool::new(false);
+                std::thread::scope(|scope| {
+                    for _ in 0..workers {
+                        scope.spawn(|| loop {
+                            barrier.wait();
+                            if finished.load(Ordering::Acquire) {
+                                break;
+                            }
+                            let window_end =
+                                SimTime::from_micros(window_end_us.load(Ordering::Acquire));
+                            let mut n = 0u64;
+                            loop {
+                                let i = next_part.fetch_add(1, Ordering::Relaxed);
+                                if i >= nparts {
+                                    break;
+                                }
+                                n += parts[i].lock().run_window(window_end, hard_deadline);
+                            }
+                            window_events.fetch_add(n, Ordering::Relaxed);
+                            barrier.wait();
+                        });
+                    }
+                    loop {
+                        let serial_start = Instant::now();
+                        let plan = Self::plan_window(parts, hard_deadline, lookahead, peak);
+                        pdes.merge_wall_us += serial_start.elapsed().as_micros() as u64;
+                        let Some(window_end) = plan else { break };
+                        pdes.windows += 1;
+                        window_end_us.store(window_end.as_micros(), Ordering::Release);
+                        next_part.store(0, Ordering::Release);
+                        let stall_start = Instant::now();
+                        barrier.wait(); // release workers into the window
+                        barrier.wait(); // wait for the slowest worker
+                        pdes.barrier_wall_us += stall_start.elapsed().as_micros() as u64;
+                        processed += window_events.swap(0, Ordering::Relaxed);
+                        let merge_start = Instant::now();
+                        Self::merge_mailboxes(parts, pdes);
+                        pdes.merge_wall_us += merge_start.elapsed().as_micros() as u64;
+                        if processed >= max_events {
+                            break;
+                        }
+                    }
+                    finished.store(true, Ordering::Release);
+                    barrier.wait(); // let workers observe the flag and exit
+                });
+            }
+        }
+
+        // Clock catch-up: a bounded run leaves every partition at the
+        // deadline (trailing scripted faults included, matching the
+        // sequential engine); an unbounded run stops at the last event.
+        match deadline {
+            Some(d) => {
+                for p in &mut self.parts {
+                    let mut part = p.lock();
+                    if part.now < d {
+                        part.now = d;
+                    }
+                    if part.schedule_pos < part.schedule.len() {
+                        part.apply_faults_until(d);
+                    }
+                }
+                self.now = self.now.max(d);
+            }
+            None => {
+                let last = self
+                    .parts
+                    .iter_mut()
+                    .map(|p| p.lock().now)
+                    .max()
+                    .unwrap_or(SimTime::ZERO);
+                self.now = self.now.max(last);
+            }
+        }
+        self.refresh_merged();
+        processed
+    }
+
+    /// Rebuilds the network-wide stats view from the per-partition blocks.
+    fn refresh_merged(&mut self) {
+        let mut merged = NetStats::default();
+        for addr in &self.reg_order {
+            merged.register(*addr);
+        }
+        self.pdes.partition_events.clear();
+        for p in &self.parts {
+            let part = p.lock();
+            merged.absorb(&part.stats);
+            self.pdes.partition_events.push(part.events);
+        }
+        merged.peak_pending_events = merged.peak_pending_events.max(self.peak_pending);
+        merged.pdes = Some(self.pdes.clone());
+        self.merged = merged;
+    }
+}
+
+impl<M: MessageMeta + Clone + Send + Sync + 'static> SimRuntime<M> for ParallelSimulation<M> {
+    fn register(
+        &mut self,
+        addr: impl Into<Addr>,
+        region: Region,
+        cpu: CpuProfile,
+        actor: BoxedActor<M>,
+    ) {
+        ParallelSimulation::register(self, addr, region, cpu, actor);
+    }
+
+    fn inject(&mut self, from: impl Into<Addr>, to: impl Into<Addr>, msg: M) {
+        let from = from.into();
+        let to = to.into();
+        let from_region = self
+            .index
+            .get(&from)
+            .map(|e| e.region)
+            .unwrap_or(Region::LOCAL);
+        let env = Envelope::new(msg);
+        let (dest, to_idx, to_region) = match self.index.get(&to) {
+            Some(e) => (e.part as usize, Some(e.local), e.region),
+            None => (0, None, Region::LOCAL),
+        };
+        let delay = self.latency.one_way(
+            from_region,
+            to_region,
+            env.wire_bytes(),
+            &mut self.control_rng,
+        );
+        let at = self.now + delay;
+        let mut part = self.parts[dest].lock();
+        part.stats.on_send();
+        part.queue.push(
+            at,
+            EventKind::Deliver {
+                from,
+                to,
+                to_idx,
+                env,
+            },
+        );
+    }
+
+    fn inject_at(&mut self, at: SimTime, from: impl Into<Addr>, to: impl Into<Addr>, msg: M) {
+        let from = from.into();
+        let to = to.into();
+        let at = if at < self.now { self.now } else { at };
+        let (dest, to_idx) = match self.index.get(&to) {
+            Some(e) => (e.part as usize, Some(e.local)),
+            None => (0, None),
+        };
+        let mut part = self.parts[dest].lock();
+        part.stats.on_send();
+        part.queue.push(
+            at,
+            EventKind::Deliver {
+                from,
+                to,
+                to_idx,
+                env: Envelope::new(msg),
+            },
+        );
+    }
+
+    fn set_fault_schedule(&mut self, schedule: FaultSchedule) {
+        for p in &mut self.parts {
+            let mut part = p.lock();
+            part.schedule = schedule.clone();
+            part.schedule_pos = 0;
+        }
+    }
+
+    fn run_until(&mut self, deadline: SimTime) -> u64 {
+        self.run_windows(Some(deadline), u64::MAX)
+    }
+
+    fn stats(&self) -> &NetStats {
+        &self.merged
+    }
+
+    fn with_actor<R>(
+        &mut self,
+        addr: impl Into<Addr>,
+        f: impl FnOnce(&mut dyn Actor<M>) -> R,
+    ) -> Option<R> {
+        let e = *self.index.get(&addr.into())?;
+        let mut part = self.parts[e.part as usize].lock();
+        let actor = part.slots[e.local as usize].actor.as_mut()?;
+        Some(f(actor.as_mut()))
+    }
+
+    fn actor_count(&self) -> usize {
+        self.index.len()
+    }
+
+    fn pending_events(&self) -> usize {
+        self.parts.iter().map(|p| p.lock().len_pending()).sum()
+    }
+}
+
+impl<M> Partition<M> {
+    fn len_pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulation;
+    use saguaro_types::ClientId;
+
+    #[derive(Clone, Debug)]
+    enum Msg {
+        Ping(u32),
+        Pong(u32),
+    }
+
+    impl MessageMeta for Msg {
+        fn wire_bytes(&self) -> usize {
+            128
+        }
+        fn signatures(&self) -> usize {
+            1
+        }
+    }
+
+    /// Replies to pings until a hop budget runs out; counts everything.
+    struct Bouncer {
+        peer: Addr,
+        received: u32,
+        times: Vec<SimTime>,
+    }
+
+    impl Actor<Msg> for Bouncer {
+        fn on_message(&mut self, _from: Addr, msg: Msg, ctx: &mut Context<'_, Msg>) {
+            self.received += 1;
+            self.times.push(ctx.now());
+            match msg {
+                Msg::Ping(hops) if hops > 0 => ctx.send(self.peer, Msg::Pong(hops - 1)),
+                Msg::Pong(hops) if hops > 0 => ctx.send(self.peer, Msg::Ping(hops - 1)),
+                _ => {}
+            }
+        }
+        fn on_timer(&mut self, _id: TimerId, _msg: Msg, _ctx: &mut Context<'_, Msg>) {}
+        fn as_any(&mut self) -> Option<&mut dyn std::any::Any> {
+            Some(self)
+        }
+    }
+
+    fn a(i: u64) -> Addr {
+        Addr::Client(ClientId(i))
+    }
+
+    /// Two actors in different partitions bouncing a deterministic rally;
+    /// a jitter-free matrix lets us cross-check against the sequential
+    /// engine exactly.
+    fn deploy(sim: &mut impl SimRuntime<Msg>, hops: u32) {
+        for i in 0..2u64 {
+            sim.register(
+                a(i),
+                Region::LOCAL,
+                CpuProfile::default(),
+                Box::new(Bouncer {
+                    peer: a(1 - i),
+                    received: 0,
+                    times: Vec::new(),
+                }),
+            );
+        }
+        sim.inject_at(SimTime::ZERO, a(1), a(0), Msg::Ping(hops));
+    }
+
+    fn par(workers: usize) -> ParallelSimulation<Msg> {
+        ParallelSimulation::new(
+            LatencyMatrix::nearby_regions().with_jitter(0.0),
+            7,
+            2,
+            workers,
+            |addr| match addr {
+                Addr::Client(c) => (c.0 % 2) as u32,
+                _ => 0,
+            },
+        )
+    }
+
+    fn harvest(sim: &mut impl SimRuntime<Msg>) -> Vec<(u32, Vec<SimTime>)> {
+        (0..2u64)
+            .filter_map(|i| {
+                sim.with_actor(a(i), |actor| {
+                    actor
+                        .as_any()
+                        .and_then(|any| any.downcast_mut::<Bouncer>())
+                        .map(|b| (b.received, b.times.clone()))
+                })
+                .flatten()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cross_partition_rally_matches_sequential_engine() {
+        let mut seq = Simulation::new(LatencyMatrix::nearby_regions().with_jitter(0.0), 7);
+        deploy(&mut seq, 40);
+        let seq_events = seq.run_until(SimTime::from_millis(200));
+
+        let mut par = par(4);
+        deploy(&mut par, 40);
+        let par_events = par.run_until(SimTime::from_millis(200));
+
+        // Jitter-free latency means both engines see identical arrival
+        // times, so the whole history must line up.
+        assert_eq!(seq_events, par_events);
+        assert_eq!(
+            seq.stats().messages_delivered,
+            par.stats().messages_delivered
+        );
+        assert_eq!(seq.stats().bytes_delivered, par.stats().bytes_delivered);
+        let p = par.stats().pdes.as_ref().expect("parallel stats present");
+        assert_eq!(p.partitions, 2);
+        assert!(p.cross_messages > 0, "rally must cross partitions");
+        assert_eq!(p.partition_events.iter().sum::<u64>(), par_events);
+    }
+
+    type RunFingerprint = (u64, Vec<(u32, Vec<SimTime>)>, u64);
+
+    #[test]
+    fn parallel_runs_are_worker_count_invariant() {
+        let mut reference: Option<RunFingerprint> = None;
+        for workers in [1usize, 2, 4, 8] {
+            let mut sim = par(workers);
+            deploy(&mut sim, 64);
+            let events = sim.run_until(SimTime::from_millis(500));
+            let state = harvest(&mut sim);
+            let delivered = sim.stats().messages_delivered;
+            match &reference {
+                None => reference = Some((events, state, delivered)),
+                Some((e, s, d)) => {
+                    assert_eq!((*e, *d), (events, delivered), "workers={workers}");
+                    assert_eq!(*s, state, "workers={workers}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn timers_and_faults_apply_per_partition() {
+        struct Ticker {
+            fired: u32,
+        }
+        impl Actor<Msg> for Ticker {
+            fn on_message(&mut self, _from: Addr, _msg: Msg, ctx: &mut Context<'_, Msg>) {
+                ctx.set_timer(Duration::from_micros(5), Msg::Ping(0));
+            }
+            fn on_timer(&mut self, _id: TimerId, _msg: Msg, _ctx: &mut Context<'_, Msg>) {
+                self.fired += 1;
+            }
+            fn as_any(&mut self) -> Option<&mut dyn std::any::Any> {
+                Some(self)
+            }
+        }
+        let mut sim = par(2);
+        sim.register(
+            a(0),
+            Region::LOCAL,
+            CpuProfile::default(),
+            Box::new(Ticker { fired: 0 }),
+        );
+        sim.register(
+            a(1),
+            Region::LOCAL,
+            CpuProfile::default(),
+            Box::new(Ticker { fired: 0 }),
+        );
+        sim.inject_at(SimTime::ZERO, a(9), a(0), Msg::Ping(0));
+        sim.inject_at(SimTime::ZERO, a(9), a(1), Msg::Ping(0));
+        // Crash a(1) before its timer fires: the timer must be suppressed on
+        // its partition even though a(0)'s partition proceeds normally.
+        sim.set_fault_schedule(FaultSchedule::none().crash_at(SimTime::from_micros(2), a(1)));
+        sim.run_until(SimTime::from_millis(10));
+        let fired0 = sim
+            .with_actor(a(0), |actor| {
+                actor
+                    .as_any()
+                    .and_then(|any| any.downcast_mut::<Ticker>())
+                    .map(|t| t.fired)
+            })
+            .flatten();
+        let fired1 = sim
+            .with_actor(a(1), |actor| {
+                actor
+                    .as_any()
+                    .and_then(|any| any.downcast_mut::<Ticker>())
+                    .map(|t| t.fired)
+            })
+            .flatten();
+        assert_eq!(fired0, Some(1));
+        assert_eq!(fired1, Some(0));
+        assert_eq!(sim.stats().timers_fired, 1);
+    }
+}

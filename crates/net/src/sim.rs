@@ -54,8 +54,14 @@ pub trait Actor<M> {
     }
 }
 
+/// The owned actor handle the runtimes store.  `Send` so a deployment can
+/// be driven by the parallel engine's worker threads; every actor in the
+/// workspace is a plain struct (possibly holding `Arc`s), so the bound is
+/// free.
+pub type BoxedActor<M> = Box<dyn Actor<M> + Send>;
+
 /// What an actor asked the runtime to do during a callback.
-enum Action<M> {
+pub(crate) enum Action<M> {
     Send {
         to: Addr,
         env: Envelope<M>,
@@ -142,14 +148,36 @@ impl<'a, M> Context<'a, M> {
     pub fn cancel_timer(&mut self, id: TimerId) {
         self.actions.push(Action::CancelTimer { id });
     }
+
+    /// Builds a callback context (shared by the sequential and parallel
+    /// engines; not part of the public API).
+    pub(crate) fn enter(
+        now: SimTime,
+        self_addr: Addr,
+        rng: &'a mut StdRng,
+        timers: &'a mut TimerSlab,
+    ) -> Self {
+        Self {
+            now,
+            self_addr,
+            rng,
+            timers,
+            actions: Vec::new(),
+        }
+    }
+
+    /// Consumes the context, yielding the actions the actor queued.
+    pub(crate) fn into_actions(self) -> Vec<Action<M>> {
+        self.actions
+    }
 }
 
-struct ActorSlot<M> {
-    actor: Option<Box<dyn Actor<M>>>,
-    region: Region,
-    cpu: CpuProfile,
+pub(crate) struct ActorSlot<M> {
+    pub(crate) actor: Option<BoxedActor<M>>,
+    pub(crate) region: Region,
+    pub(crate) cpu: CpuProfile,
     /// The node is busy processing earlier messages until this instant.
-    busy_until: SimTime,
+    pub(crate) busy_until: SimTime,
 }
 
 /// The simulation runtime.
@@ -201,7 +229,7 @@ impl<M: MessageMeta + Clone + 'static> Simulation<M> {
         addr: impl Into<Addr>,
         region: Region,
         cpu: CpuProfile,
-        actor: Box<dyn Actor<M>>,
+        actor: BoxedActor<M>,
     ) {
         let addr = addr.into();
         let slot = ActorSlot {
@@ -339,10 +367,6 @@ impl<M: MessageMeta + Clone + 'static> Simulation<M> {
             if t > deadline {
                 break;
             }
-            let pending = self.queue.len() as u64;
-            if pending > self.stats.peak_pending_events {
-                self.stats.peak_pending_events = pending;
-            }
             self.step();
             processed += 1;
         }
@@ -375,6 +399,12 @@ impl<M: MessageMeta + Clone + 'static> Simulation<M> {
             if let Some(t) = self.queue.peek_time() {
                 self.apply_faults_until(t);
             }
+        }
+        // High-water mark of the queue, tracked here so every driver
+        // (`run_until`, `run_to_completion`, manual stepping) reports it.
+        let pending = self.queue.len() as u64;
+        if pending > self.stats.peak_pending_events {
+            self.stats.peak_pending_events = pending;
         }
         let Some(event) = self.queue.pop() else {
             return false;
@@ -570,7 +600,7 @@ impl<M: MessageMeta + Clone + 'static> Simulation<M> {
 
     /// Removes an actor and returns it (used by harnesses that downcast to a
     /// concrete type to extract results).
-    pub fn take_actor(&mut self, addr: impl Into<Addr>) -> Option<Box<dyn Actor<M>>> {
+    pub fn take_actor(&mut self, addr: impl Into<Addr>) -> Option<BoxedActor<M>> {
         let addr = addr.into();
         let idx = *self.index.get(&addr)?;
         self.slots[idx as usize].actor.take()
@@ -579,6 +609,101 @@ impl<M: MessageMeta + Clone + 'static> Simulation<M> {
     /// Number of events still pending.
     pub fn pending_events(&self) -> usize {
         self.queue.len()
+    }
+}
+
+/// The runtime surface shared by the sequential [`Simulation`] and the
+/// conservative-parallel [`crate::psim::ParallelSimulation`].
+///
+/// Deployment and harness code written against this trait (statically
+/// dispatched — the trait is deliberately not object-safe) runs unchanged on
+/// either engine; an `EngineMode` switch picks the concrete type.
+pub trait SimRuntime<M: MessageMeta + Clone + 'static> {
+    /// Registers an actor at `addr`, placed in `region`, with CPU profile
+    /// `cpu`.  Re-registering an address replaces the previous actor.
+    fn register(
+        &mut self,
+        addr: impl Into<Addr>,
+        region: Region,
+        cpu: CpuProfile,
+        actor: BoxedActor<M>,
+    );
+
+    /// Injects a message from the outside world as if `from` had sent it.
+    fn inject(&mut self, from: impl Into<Addr>, to: impl Into<Addr>, msg: M);
+
+    /// Injects a message delivered at an absolute virtual time.
+    fn inject_at(&mut self, at: SimTime, from: impl Into<Addr>, to: impl Into<Addr>, msg: M);
+
+    /// Installs a scripted fault schedule.
+    fn set_fault_schedule(&mut self, schedule: FaultSchedule);
+
+    /// Runs until the queue drains or `deadline` is reached; returns the
+    /// number of events processed.
+    fn run_until(&mut self, deadline: SimTime) -> u64;
+
+    /// The collected network-wide statistics.
+    fn stats(&self) -> &NetStats;
+
+    /// Temporary access to a registered actor (post-run harvesting).
+    fn with_actor<R>(
+        &mut self,
+        addr: impl Into<Addr>,
+        f: impl FnOnce(&mut dyn Actor<M>) -> R,
+    ) -> Option<R>;
+
+    /// Number of registered actors.
+    fn actor_count(&self) -> usize;
+
+    /// Number of events still pending.
+    fn pending_events(&self) -> usize;
+}
+
+impl<M: MessageMeta + Clone + 'static> SimRuntime<M> for Simulation<M> {
+    fn register(
+        &mut self,
+        addr: impl Into<Addr>,
+        region: Region,
+        cpu: CpuProfile,
+        actor: BoxedActor<M>,
+    ) {
+        Simulation::register(self, addr, region, cpu, actor);
+    }
+
+    fn inject(&mut self, from: impl Into<Addr>, to: impl Into<Addr>, msg: M) {
+        Simulation::inject(self, from, to, msg);
+    }
+
+    fn inject_at(&mut self, at: SimTime, from: impl Into<Addr>, to: impl Into<Addr>, msg: M) {
+        Simulation::inject_at(self, at, from, to, msg);
+    }
+
+    fn set_fault_schedule(&mut self, schedule: FaultSchedule) {
+        Simulation::set_fault_schedule(self, schedule);
+    }
+
+    fn run_until(&mut self, deadline: SimTime) -> u64 {
+        Simulation::run_until(self, deadline)
+    }
+
+    fn stats(&self) -> &NetStats {
+        Simulation::stats(self)
+    }
+
+    fn with_actor<R>(
+        &mut self,
+        addr: impl Into<Addr>,
+        f: impl FnOnce(&mut dyn Actor<M>) -> R,
+    ) -> Option<R> {
+        Simulation::with_actor(self, addr, f)
+    }
+
+    fn actor_count(&self) -> usize {
+        Simulation::actor_count(self)
+    }
+
+    fn pending_events(&self) -> usize {
+        Simulation::pending_events(self)
     }
 }
 
@@ -901,6 +1026,38 @@ mod tests {
         assert_eq!(s.actor_count(), 1);
         assert!(s.take_actor(addr(0)).is_some());
         assert!(s.take_actor(addr(0)).is_none());
+    }
+
+    #[test]
+    fn run_to_completion_tracks_peak_pending_events() {
+        // Regression: the high-water mark used to be tracked only by
+        // `run_until`, so completion-driven runs reported 0.  Ten messages
+        // queued at the same instant must surface as a peak of 10 through
+        // either driver.
+        let queue_ten = |s: &mut Simulation<TestMsg>| {
+            s.register(
+                addr(0),
+                Region(0),
+                CpuProfile::client(),
+                Box::new(PingPong::default()),
+            );
+            for i in 0..10 {
+                s.inject_at(SimTime::ZERO, addr(1), addr(0), TestMsg::Pong(i));
+            }
+        };
+        let mut completion = sim();
+        queue_ten(&mut completion);
+        completion.run_to_completion(100);
+        assert_eq!(completion.stats().peak_pending_events, 10);
+
+        let mut until = sim();
+        queue_ten(&mut until);
+        until.run_until(SimTime::from_millis(100));
+        assert_eq!(
+            until.stats().peak_pending_events,
+            10,
+            "both drivers report the same high-water mark"
+        );
     }
 
     #[test]

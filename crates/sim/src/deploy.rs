@@ -9,7 +9,7 @@ use saguaro_baselines::{BaselineMsg, BaselineNode, BaselineRole};
 use saguaro_core::{ProtocolConfig, SaguaroMsg, SaguaroNode};
 use saguaro_hierarchy::{HierarchyTree, Placement, TopologyBuilder};
 use saguaro_ledger::TxStatus;
-use saguaro_net::{Addr, CpuProfile, LatencyMatrix, Simulation};
+use saguaro_net::{Addr, CpuProfile, LatencyMatrix, SimRuntime};
 use saguaro_types::{ClientId, DomainId, FailureModel, NodeId, Result, SimTime, StackConfig};
 use std::sync::Arc;
 
@@ -66,8 +66,8 @@ pub fn harness_addr() -> Addr {
 /// Registers a full Saguaro deployment (every replica of every height ≥ 1
 /// domain) and starts its round timers.  `seed_accounts` gives the initial
 /// balances installed on every replica of each height-1 domain.
-pub fn deploy_saguaro(
-    sim: &mut Simulation<SaguaroMsg>,
+pub fn deploy_saguaro<S: SimRuntime<SaguaroMsg>>(
+    sim: &mut S,
     tree: &Arc<HierarchyTree>,
     config: &ProtocolConfig,
     seed_accounts: &[(DomainId, Vec<(String, u64)>)],
@@ -107,8 +107,8 @@ pub fn deploy_saguaro(
 /// same tree, configuring each shard's internal consensus per `stack`.  For
 /// AHL the tree's root domain doubles as the reference committee.  Returns
 /// the committee domain used.
-pub fn deploy_baseline(
-    sim: &mut Simulation<BaselineMsg>,
+pub fn deploy_baseline<S: SimRuntime<BaselineMsg>>(
+    sim: &mut S,
     tree: &Arc<HierarchyTree>,
     sharper: bool,
     seed_accounts: &[(DomainId, Vec<(String, u64)>)],
@@ -169,8 +169,8 @@ pub fn deploy_baseline(
 /// domains when `skip_edge_devices`), downcasts to the concrete node type
 /// and extracts one [`NodeHarvest`] via `extract`.  Keeping a single loop
 /// means a new harvest field is threaded once, not once per stack family.
-fn harvest_with<A: 'static, M: saguaro_net::MessageMeta + Clone + 'static>(
-    sim: &mut Simulation<M>,
+fn harvest_with<A: 'static, M: saguaro_net::MessageMeta + Clone + 'static, S: SimRuntime<M>>(
+    sim: &mut S,
     tree: &Arc<HierarchyTree>,
     skip_edge_devices: bool,
     extract: impl Fn(NodeId, &mut A) -> NodeHarvest,
@@ -196,7 +196,10 @@ fn harvest_with<A: 'static, M: saguaro_net::MessageMeta + Clone + 'static>(
 }
 
 /// Extracts post-run evidence from every replica of a Saguaro deployment.
-pub fn harvest_saguaro(sim: &mut Simulation<SaguaroMsg>, tree: &Arc<HierarchyTree>) -> RunHarvest {
+pub fn harvest_saguaro<S: SimRuntime<SaguaroMsg>>(
+    sim: &mut S,
+    tree: &Arc<HierarchyTree>,
+) -> RunHarvest {
     harvest_with(sim, tree, true, |node, n: &mut SaguaroNode| NodeHarvest {
         node,
         entries: ledger_entries(n.ledger()),
@@ -212,8 +215,8 @@ pub fn harvest_saguaro(sim: &mut Simulation<SaguaroMsg>, tree: &Arc<HierarchyTre
 }
 
 /// Extracts post-run evidence from every replica of a baseline deployment.
-pub fn harvest_baseline(
-    sim: &mut Simulation<BaselineMsg>,
+pub fn harvest_baseline<S: SimRuntime<BaselineMsg>>(
+    sim: &mut S,
     tree: &Arc<HierarchyTree>,
 ) -> RunHarvest {
     harvest_with(sim, tree, false, |node, n: &mut BaselineNode| NodeHarvest {
@@ -242,6 +245,7 @@ fn ledger_entries(ledger: &saguaro_ledger::LinearLedger) -> Vec<(saguaro_types::
 #[cfg(test)]
 mod tests {
     use super::*;
+    use saguaro_net::Simulation;
 
     #[test]
     fn tree_and_latency_builders_cover_all_placements() {

@@ -42,10 +42,13 @@ use crate::protocol::{
 use parking_lot::Mutex;
 use saguaro_hierarchy::{HierarchyTree, Placement};
 use saguaro_loadgen::{nearest_rank_index, AggregateClientActor, PopulationGenerator, Tally};
-use saguaro_net::{Addr, CpuProfile, FaultEvent, FaultSchedule, Simulation};
+use saguaro_net::{
+    Addr, CpuProfile, FaultEvent, FaultSchedule, ParallelSimulation, PdesRunStats, SimRuntime,
+    Simulation,
+};
 use saguaro_types::{
-    BatchConfig, CheckpointConfig, ClientId, ClientModel, DomainId, Duration, FailureModel,
-    LivenessConfig, NodeId, PopulationConfig, SimTime, StackConfig, TxId,
+    BatchConfig, CheckpointConfig, ClientId, ClientModel, DomainId, Duration, EngineMode,
+    FailureModel, LivenessConfig, NodeId, PopulationConfig, SimTime, StackConfig, TxId,
 };
 use saguaro_workload::{MicropaymentWorkload, RidesharingWorkload, Workload, WorkloadConfig};
 use std::sync::Arc;
@@ -168,6 +171,13 @@ pub struct ExperimentSpec {
     /// population sweeps use flat wide shapes like `(2, 128)` for hundreds
     /// of height-1 domains.
     pub topology: Option<(u8, usize)>,
+    /// Which simulation engine drives the run.  The default, `Sequential`,
+    /// is the historical single-threaded loop (the bit-identical golden
+    /// path); `Parallel(workers)` shards events per height-1 domain and runs
+    /// conservative lookahead windows on worker threads — deterministic per
+    /// seed and invariant to the worker count, but a *different*
+    /// deterministic mode than sequential (per-partition RNG streams).
+    pub engine: EngineMode,
 }
 
 impl ExperimentSpec {
@@ -191,7 +201,15 @@ impl ExperimentSpec {
             checkpoint: CheckpointConfig::legacy(),
             client_model: ClientModel::PerActor,
             topology: None,
+            engine: EngineMode::Sequential,
         }
+    }
+
+    /// Switches the run to the conservative-parallel engine with the given
+    /// worker-thread count (`0` sizes the pool to the host).
+    pub fn parallel(mut self, workers: usize) -> Self {
+        self.engine = EngineMode::Parallel(workers);
+        self
     }
 
     /// Switches the client side to an aggregate population (one actor per
@@ -458,6 +476,10 @@ pub struct RunArtifacts {
     /// The streaming tally of an aggregate-population run (`None` for the
     /// per-actor client model, whose exact records are in `completions`).
     pub population: Option<PopulationTally>,
+    /// Parallel-engine instrumentation (`None` for sequential runs):
+    /// windows, per-partition event counts, cross-partition traffic and
+    /// barrier/merge wall time.
+    pub pdes: Option<PdesRunStats>,
 }
 
 /// Runs one experiment, dispatching `spec.protocol` to the corresponding
@@ -589,7 +611,7 @@ fn build_spec_tree(spec: &ExperimentSpec) -> Arc<HierarchyTree> {
 
 /// Installs the spec's scripted fault plan plus the recovery kicks that
 /// re-arm a recovered replica's timer loops.  No-op for an empty plan.
-fn install_fault_plan<P: ProtocolStack>(sim: &mut Simulation<P::Msg>, spec: &ExperimentSpec) {
+fn install_fault_plan<P: ProtocolStack, S: SimRuntime<P::Msg>>(sim: &mut S, spec: &ExperimentSpec) {
     if spec.fault_plan.is_empty() {
         return;
     }
@@ -615,13 +637,57 @@ pub fn run_experiment_collecting<P: ProtocolStack>(spec: &ExperimentSpec) -> Run
         P::label(),
         spec.protocol
     );
-    if let ClientModel::Aggregate(population) = spec.client_model {
-        return run_aggregate_collecting::<P>(spec, &population);
-    }
     let tree = build_spec_tree(spec);
-    let mut sim: Simulation<P::Msg> =
-        Simulation::new(deploy::latency_for(spec.placement), spec.seed);
+    match spec.engine {
+        EngineMode::Sequential => {
+            let mut sim: Simulation<P::Msg> =
+                Simulation::new(deploy::latency_for(spec.placement), spec.seed);
+            run_collecting_on::<P, _>(spec, &tree, &mut sim)
+        }
+        EngineMode::Parallel(_) => {
+            let mut sim = parallel_sim_for::<P>(spec, &tree);
+            run_collecting_on::<P, _>(spec, &tree, &mut sim)
+        }
+    }
+}
 
+/// Builds the parallel engine for a spec: one partition per height-1 edge
+/// domain (their replicas dominate the event volume and interact with the
+/// rest of the tree only through LCA/committee links), partition 0 for
+/// everything else — root/internal committees and all clients, so shared
+/// collector state is mutated in one deterministic shard.
+fn parallel_sim_for<P: ProtocolStack>(
+    spec: &ExperimentSpec,
+    tree: &Arc<HierarchyTree>,
+) -> ParallelSimulation<P::Msg> {
+    let part_of: std::collections::HashMap<DomainId, u32> = tree
+        .edge_server_domains()
+        .iter()
+        .enumerate()
+        .map(|(i, d)| (*d, i as u32 + 1))
+        .collect();
+    let partitions = part_of.len() + 1;
+    ParallelSimulation::new(
+        deploy::latency_for(spec.placement),
+        spec.seed,
+        partitions,
+        spec.engine.worker_threads(),
+        move |addr| match addr {
+            Addr::Node(n) => part_of.get(&n.domain).copied().unwrap_or(0),
+            _ => 0,
+        },
+    )
+}
+
+/// Engine-generic run body: branches on the client model.
+fn run_collecting_on<P: ProtocolStack, S: SimRuntime<P::Msg>>(
+    spec: &ExperimentSpec,
+    tree: &Arc<HierarchyTree>,
+    sim: &mut S,
+) -> RunArtifacts {
+    if let ClientModel::Aggregate(population) = spec.client_model {
+        return run_aggregate_on::<P, S>(spec, &population, tree, sim);
+    }
     let liveness = spec.effective_liveness();
     let spread = if liveness.enabled {
         let edge = tree.edge_server_domains();
@@ -639,8 +705,8 @@ pub fn run_experiment_collecting<P: ProtocolStack>(spec: &ExperimentSpec) -> Run
         // by failure-free performance sweeps.
         record_deliveries: liveness.enabled || !spec.fault_plan.is_empty(),
     };
-    P::deploy(&mut sim, &tree, &prepared.seeds, &stack);
-    install_fault_plan::<P>(&mut sim, spec);
+    P::deploy(sim, tree, &prepared.seeds, &stack);
+    install_fault_plan::<P, S>(sim, spec);
 
     let collector: Collector = Arc::new(Mutex::new(Vec::new()));
     let reply_quorum = P::reply_quorum(spec.failure_model, spec.faults);
@@ -676,7 +742,8 @@ pub fn run_experiment_collecting<P: ProtocolStack>(spec: &ExperimentSpec) -> Run
     let state_transfer_messages = sim.stats().state_messages_delivered;
     let state_transfer_bytes = sim.stats().state_bytes_delivered;
     let peak_pending_events = sim.stats().peak_pending_events;
-    let harvest = P::harvest(&mut sim, &tree);
+    let pdes = sim.stats().pdes.clone();
+    let harvest = P::harvest(sim, tree);
     let completions = std::mem::take(&mut *collector.lock());
     let metrics = summarise(
         &completions,
@@ -694,6 +761,7 @@ pub fn run_experiment_collecting<P: ProtocolStack>(spec: &ExperimentSpec) -> Run
         state_transfer_bytes,
         peak_pending_events,
         population: None,
+        pdes,
     }
 }
 
@@ -701,14 +769,12 @@ pub fn run_experiment_collecting<P: ProtocolStack>(spec: &ExperimentSpec) -> Run
 /// height-1 domain instead of one actor per client, streaming tallies
 /// instead of stored completions.  Client-side memory is O(domains +
 /// in-flight), independent of modeled users and of run length.
-fn run_aggregate_collecting<P: ProtocolStack>(
+fn run_aggregate_on<P: ProtocolStack, S: SimRuntime<P::Msg>>(
     spec: &ExperimentSpec,
     population: &PopulationConfig,
+    tree: &Arc<HierarchyTree>,
+    sim: &mut S,
 ) -> RunArtifacts {
-    let tree = build_spec_tree(spec);
-    let mut sim: Simulation<P::Msg> =
-        Simulation::new(deploy::latency_for(spec.placement), spec.seed);
-
     let liveness = spec.effective_liveness();
     let edge_domains = tree.edge_server_domains();
     let spread = if liveness.enabled {
@@ -728,8 +794,8 @@ fn run_aggregate_collecting<P: ProtocolStack>(
         checkpoint: spec.checkpoint,
         record_deliveries: liveness.enabled || !spec.fault_plan.is_empty(),
     };
-    P::deploy(&mut sim, &tree, &seeds, &stack);
-    install_fault_plan::<P>(&mut sim, spec);
+    P::deploy(sim, tree, &seeds, &stack);
+    install_fault_plan::<P, S>(sim, spec);
 
     let tally: Tally = Arc::new(Mutex::new(PopulationTally::new()));
     let reply_quorum = P::reply_quorum(spec.failure_model, spec.faults);
@@ -781,7 +847,8 @@ fn run_aggregate_collecting<P: ProtocolStack>(
     let state_transfer_messages = sim.stats().state_messages_delivered;
     let state_transfer_bytes = sim.stats().state_bytes_delivered;
     let peak_pending_events = sim.stats().peak_pending_events;
-    let harvest = P::harvest(&mut sim, &tree);
+    let pdes = sim.stats().pdes.clone();
+    let harvest = P::harvest(sim, tree);
     let tally = Arc::try_unwrap(tally)
         .map(Mutex::into_inner)
         .unwrap_or_else(|shared| shared.lock().clone());
@@ -796,6 +863,7 @@ fn run_aggregate_collecting<P: ProtocolStack>(
         state_transfer_bytes,
         peak_pending_events,
         population: Some(tally),
+        pdes,
     }
 }
 

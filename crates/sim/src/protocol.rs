@@ -14,7 +14,7 @@ use crate::deploy;
 use saguaro_baselines::BaselineMsg;
 use saguaro_core::{ProtocolConfig, SaguaroMsg};
 use saguaro_hierarchy::HierarchyTree;
-use saguaro_net::{MessageMeta, Simulation};
+use saguaro_net::{MessageMeta, SimRuntime};
 use saguaro_types::{DomainId, FailureModel, NodeId, StackConfig, Transaction, TxId};
 use std::sync::Arc;
 
@@ -160,8 +160,11 @@ impl RunHarvest {
 /// function, so the engine is monomorphised per stack and the message type
 /// never crosses a trait-object boundary (the simulator is generic over it).
 pub trait ProtocolStack {
-    /// The wire message type of the deployment.
-    type Msg: MessageMeta + Clone + 'static;
+    /// The wire message type of the deployment.  `Send + Sync` so every
+    /// stack can run on the parallel engine's worker threads (payloads are
+    /// plain data behind `Arc`s throughout the workspace, so the bounds are
+    /// free).
+    type Msg: MessageMeta + Clone + Send + Sync + 'static;
 
     /// The dynamic tag for this stack.
     fn kind() -> ProtocolKind;
@@ -197,8 +200,8 @@ pub trait ProtocolStack {
     /// internal consensus per `stack` (request batching and liveness
     /// timers), and schedules whatever kick-off events the stack needs
     /// (round timers etc.).
-    fn deploy(
-        sim: &mut Simulation<Self::Msg>,
+    fn deploy<S: SimRuntime<Self::Msg>>(
+        sim: &mut S,
         tree: &Arc<HierarchyTree>,
         seed_accounts: &SeedAccounts,
         stack: &StackConfig,
@@ -212,7 +215,7 @@ pub trait ProtocolStack {
     /// Extracts post-run evidence (ledgers, view-change counts) from every
     /// replica of the deployment.  Purely observational: called after the
     /// run, it does not influence the simulation.
-    fn harvest(sim: &mut Simulation<Self::Msg>, tree: &Arc<HierarchyTree>) -> RunHarvest;
+    fn harvest<S: SimRuntime<Self::Msg>>(sim: &mut S, tree: &Arc<HierarchyTree>) -> RunHarvest;
 }
 
 /// Saguaro with the coordinator-based cross-domain protocol.
@@ -240,8 +243,8 @@ impl ProtocolStack for CoordinatorStack {
         }
     }
 
-    fn deploy(
-        sim: &mut Simulation<SaguaroMsg>,
+    fn deploy<S: SimRuntime<SaguaroMsg>>(
+        sim: &mut S,
         tree: &Arc<HierarchyTree>,
         seed_accounts: &SeedAccounts,
         stack: &StackConfig,
@@ -258,7 +261,7 @@ impl ProtocolStack for CoordinatorStack {
         SaguaroMsg::RoundTimer
     }
 
-    fn harvest(sim: &mut Simulation<SaguaroMsg>, tree: &Arc<HierarchyTree>) -> RunHarvest {
+    fn harvest<S: SimRuntime<SaguaroMsg>>(sim: &mut S, tree: &Arc<HierarchyTree>) -> RunHarvest {
         deploy::harvest_saguaro(sim, tree)
     }
 }
@@ -285,8 +288,8 @@ impl ProtocolStack for OptimisticStack {
         CoordinatorStack::parse_reply(msg)
     }
 
-    fn deploy(
-        sim: &mut Simulation<SaguaroMsg>,
+    fn deploy<S: SimRuntime<SaguaroMsg>>(
+        sim: &mut S,
         tree: &Arc<HierarchyTree>,
         seed_accounts: &SeedAccounts,
         stack: &StackConfig,
@@ -303,7 +306,7 @@ impl ProtocolStack for OptimisticStack {
         SaguaroMsg::RoundTimer
     }
 
-    fn harvest(sim: &mut Simulation<SaguaroMsg>, tree: &Arc<HierarchyTree>) -> RunHarvest {
+    fn harvest<S: SimRuntime<SaguaroMsg>>(sim: &mut S, tree: &Arc<HierarchyTree>) -> RunHarvest {
         deploy::harvest_saguaro(sim, tree)
     }
 }
@@ -334,8 +337,8 @@ impl ProtocolStack for AhlStack {
         }
     }
 
-    fn deploy(
-        sim: &mut Simulation<BaselineMsg>,
+    fn deploy<S: SimRuntime<BaselineMsg>>(
+        sim: &mut S,
         tree: &Arc<HierarchyTree>,
         seed_accounts: &SeedAccounts,
         stack: &StackConfig,
@@ -347,7 +350,7 @@ impl ProtocolStack for AhlStack {
         BaselineMsg::ProgressTimer
     }
 
-    fn harvest(sim: &mut Simulation<BaselineMsg>, tree: &Arc<HierarchyTree>) -> RunHarvest {
+    fn harvest<S: SimRuntime<BaselineMsg>>(sim: &mut S, tree: &Arc<HierarchyTree>) -> RunHarvest {
         deploy::harvest_baseline(sim, tree)
     }
 }
@@ -374,8 +377,8 @@ impl ProtocolStack for SharperStack {
         AhlStack::parse_reply(msg)
     }
 
-    fn deploy(
-        sim: &mut Simulation<BaselineMsg>,
+    fn deploy<S: SimRuntime<BaselineMsg>>(
+        sim: &mut S,
         tree: &Arc<HierarchyTree>,
         seed_accounts: &SeedAccounts,
         stack: &StackConfig,
@@ -387,7 +390,7 @@ impl ProtocolStack for SharperStack {
         BaselineMsg::ProgressTimer
     }
 
-    fn harvest(sim: &mut Simulation<BaselineMsg>, tree: &Arc<HierarchyTree>) -> RunHarvest {
+    fn harvest<S: SimRuntime<BaselineMsg>>(sim: &mut S, tree: &Arc<HierarchyTree>) -> RunHarvest {
         deploy::harvest_baseline(sim, tree)
     }
 }

@@ -521,6 +521,45 @@ impl ClientModel {
     }
 }
 
+/// Which simulation engine an experiment runs on.
+///
+/// Both engines are deterministic per seed; they are *distinct* deterministic
+/// modes (per-partition RNG streams consume randomness in a different order
+/// than the sequential engine's single stream), so goldens are engine-mode
+/// specific.  Sequential stays the default — and bit-identical to the
+/// historical goldens.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub enum EngineMode {
+    /// The single-threaded event loop (the historical, golden path).
+    #[default]
+    Sequential,
+    /// The conservative-parallel engine: one event shard per height-1 edge
+    /// domain plus a root/client shard, advanced in lookahead windows by the
+    /// given number of worker threads.  `Parallel(0)` sizes the pool to the
+    /// host's available parallelism.  Results are invariant to the worker
+    /// count.
+    Parallel(usize),
+}
+
+impl EngineMode {
+    /// True for the parallel engine.
+    pub fn is_parallel(&self) -> bool {
+        matches!(self, EngineMode::Parallel(_))
+    }
+
+    /// Worker threads to use, resolving `Parallel(0)` against the host's
+    /// available parallelism.  Returns 1 in sequential mode.
+    pub fn worker_threads(&self) -> usize {
+        match self {
+            EngineMode::Sequential => 1,
+            EngineMode::Parallel(0) => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            EngineMode::Parallel(n) => *n,
+        }
+    }
+}
+
 /// Static configuration of one domain in a deployment.
 #[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub struct DomainConfig {
