@@ -1,7 +1,7 @@
 //! The baseline replica node (AHL shard / AHL committee / SharPer shard).
 
 use crate::messages::{BCmd, BaselineMsg, BaselineRole};
-use saguaro_consensus::{Batch, ConsensusMsg, ConsensusReplica, Step};
+use saguaro_consensus::{Batch, ConsensusMsg, ConsensusReplica, Step, SuspicionTimer};
 use saguaro_core::exec::execute_in_domain;
 use saguaro_hierarchy::HierarchyTree;
 use saguaro_ledger::{BlockchainState, LinearLedger, TxStatus};
@@ -110,6 +110,8 @@ pub struct BaselineNode {
     progress_timer: Option<TimerId>,
     /// Last delivered sequence number seen by the progress check.
     last_progress_check: SeqNo,
+    /// Adaptive suspicion-window state (fixed under non-adaptive knobs).
+    suspicion: SuspicionTimer,
     /// Statistics for the harness.
     pub stats: BaselineStats,
 }
@@ -161,6 +163,7 @@ impl BaselineNode {
             record_deliveries: false,
             progress_timer: None,
             last_progress_check: 0,
+            suspicion: SuspicionTimer::new(LivenessConfig::disabled()),
             stats: BaselineStats::default(),
         }
     }
@@ -195,12 +198,19 @@ impl BaselineNode {
         self.consensus.vote_entries()
     }
 
+    /// Conflicting view-change / new-view certificates this replica's
+    /// consensus detected and discarded.
+    pub fn consensus_certificate_conflicts(&self) -> u64 {
+        self.consensus.certificate_conflicts()
+    }
+
     /// Enables (or replaces) the liveness-timer knobs.  The timer loop is
     /// armed by the first `ProgressTimer` *message* the node receives — the
     /// deployment injects one at start-up, and again when a crashed replica
     /// recovers.
     pub fn with_liveness(mut self, liveness: LivenessConfig) -> Self {
         self.liveness = liveness;
+        self.suspicion = SuspicionTimer::new(liveness);
         self
     }
 
@@ -320,15 +330,18 @@ impl BaselineNode {
     /// while client work is pending, then re-arm.
     fn on_progress_timer(&mut self, ctx: &mut Context<'_, BaselineMsg>) {
         let delivered = self.consensus.last_delivered();
-        let stuck = delivered == self.last_progress_check
-            && (!self.reply_to.is_empty() || !self.coordinating.is_empty());
+        let progressed = delivered != self.last_progress_check;
+        let stuck = !progressed && (!self.reply_to.is_empty() || !self.coordinating.is_empty());
         self.last_progress_check = delivered;
         if stuck {
+            self.suspicion.on_suspect();
             let steps = self.consensus.on_progress_timeout();
             self.drive(steps, ctx);
+        } else if progressed {
+            self.suspicion.on_progress();
         }
         self.progress_timer =
-            Some(ctx.set_timer(self.liveness.progress_timeout, BaselineMsg::ProgressTimer));
+            Some(ctx.set_timer(self.suspicion.window(), BaselineMsg::ProgressTimer));
     }
 
     /// A `ProgressTimer` *message* (deployment kick-off or post-recovery
@@ -342,7 +355,7 @@ impl BaselineNode {
             ctx.cancel_timer(id);
         }
         self.progress_timer =
-            Some(ctx.set_timer(self.liveness.progress_timeout, BaselineMsg::ProgressTimer));
+            Some(ctx.set_timer(self.suspicion.window(), BaselineMsg::ProgressTimer));
     }
 
     fn reply(&mut self, tx_id: TxId, committed: bool, ctx: &mut Context<'_, BaselineMsg>) {

@@ -1,0 +1,70 @@
+//! Production-shaped adversarial scenario matrix with adaptive suspicion
+//! timeouts.
+//!
+//! Runs every composite scenario (whole-domain outage, correlated
+//! multi-domain outage, scoped WAN delay spike, primary crash with an
+//! equivocating view-change co-conspirator, flash crowd during an outage)
+//! against all four stacks under both timeout policies, asserting **zero
+//! safety violations** in every cell.  Then replays the `timeout_sweep`
+//! crashed-primary scenario to check that the adaptive policy recovers
+//! within 2× the best fixed window while firing no more false suspicions
+//! than it.
+//!
+//! `--json <path>` merges a `scenarios` section into the shared
+//! `BENCH_results.json`.
+
+use saguaro_bench::{emit, json_path_from_args, options_from_args, JsonReport};
+use saguaro_sim::json::{JsonValue, ToJson};
+use saguaro_sim::scenarios::{
+    adaptive_comparison, render_adaptive_table, render_scenario_table, scenario_matrix,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let options = options_from_args(&args);
+
+    let cells = scenario_matrix(&options);
+    emit(
+        "scenarios",
+        render_scenario_table("Adversarial scenario matrix", &cells),
+    );
+    for c in &cells {
+        assert!(
+            c.safety_violations.is_empty(),
+            "{} / {} / {}: safety violated: {:?}",
+            c.scenario,
+            c.stack,
+            c.policy,
+            c.safety_violations
+        );
+    }
+
+    let cmp = adaptive_comparison(&options);
+    emit(
+        "scenarios",
+        render_adaptive_table(
+            "Adaptive vs fixed suspicion windows (crashed primary)",
+            &cmp,
+        ),
+    );
+    assert!(
+        cmp.adaptive_within(2.0),
+        "adaptive policy out of bounds: recovered in {:.1} ms with {} false suspicions \
+         vs best fixed {} ({:.1} ms, {} false suspicions)",
+        cmp.adaptive.recovery_ms,
+        cmp.adaptive.false_suspicions,
+        cmp.best_fixed.label,
+        cmp.best_fixed.recovery_ms,
+        cmp.best_fixed.false_suspicions
+    );
+
+    let mut report = JsonReport::new();
+    report.add_value(
+        "scenarios",
+        JsonValue::object([
+            ("matrix", cells.to_json()),
+            ("adaptive_comparison", cmp.to_json()),
+        ]),
+    );
+    report.merge_into_if_requested(json_path_from_args(&args).as_ref());
+}

@@ -35,6 +35,7 @@ pub mod interface;
 pub mod paxos;
 pub mod pbft;
 pub mod replica;
+pub mod suspicion;
 
 pub use batch::{Batch, BatchConfig, Batcher};
 pub use checkpoint::CheckpointKeeper;
@@ -43,3 +44,4 @@ pub use paxos::{PaxosMsg, PaxosReplica};
 pub use pbft::{PbftMsg, PbftReplica};
 pub use replica::{delivered_commands, ConsensusMsg, ConsensusReplica};
 pub use saguaro_types::CheckpointConfig;
+pub use suspicion::SuspicionTimer;

@@ -125,6 +125,14 @@ pub struct PaxosReplica<C> {
     pending_learns: BTreeMap<SeqNo, u64>,
     /// View-change votes collected per proposed view.
     view_change_votes: BTreeMap<u64, BTreeMap<NodeId, ViewChangeVote<C>>>,
+    /// Replicas caught sending two *conflicting* view-change votes for the
+    /// same view.  Paxos assumes crash faults, but the defence is shared
+    /// with PBFT so a misbehaving (or misconfigured) replica cannot poison
+    /// the new leader's merge: both votes are discarded and the sender is
+    /// ignored for that view.
+    vc_tainted: BTreeMap<u64, BTreeSet<NodeId>>,
+    /// Conflicting view-change certificates detected and discarded.
+    certificate_conflicts: u64,
     /// True while a view change is in progress (stop accepting in old view).
     in_view_change: bool,
     /// Highest view this replica has voted a view change towards.  Repeated
@@ -156,6 +164,8 @@ impl<C: Command> PaxosReplica<C> {
             slots: BTreeMap::new(),
             pending_learns: BTreeMap::new(),
             view_change_votes: BTreeMap::new(),
+            vc_tainted: BTreeMap::new(),
+            certificate_conflicts: 0,
             in_view_change: false,
             highest_vc: 0,
             checkpoint: CheckpointKeeper::new(CheckpointConfig::legacy(), None),
@@ -612,6 +622,26 @@ impl<C: Command> PaxosReplica<C> {
         steps
     }
 
+    /// True if two view-change votes carry different certificates (compared
+    /// by digest, so only genuine payload conflicts count).
+    fn votes_conflict(a: &ViewChangeVote<C>, b: &ViewChangeVote<C>) -> bool {
+        a.1 != b.1
+            || a.2 != b.2
+            || a.0.len() != b.0.len()
+            || a.0
+                .iter()
+                .zip(b.0.iter())
+                .any(|((s1, v1, c1), (s2, v2, c2))| {
+                    s1 != s2 || v1 != v2 || c1.digest() != c2.digest()
+                })
+    }
+
+    /// Conflicting view-change certificates this replica has detected and
+    /// discarded.
+    pub fn certificate_conflicts(&self) -> u64 {
+        self.certificate_conflicts
+    }
+
     fn record_view_change_vote(
         &mut self,
         from: NodeId,
@@ -620,10 +650,29 @@ impl<C: Command> PaxosReplica<C> {
         last_committed: SeqNo,
         checkpoint: SeqNo,
     ) -> Vec<Step<C, PaxosMsg<C>>> {
-        self.view_change_votes
-            .entry(new_view)
-            .or_default()
-            .insert(from, (accepted, last_committed, checkpoint));
+        // Defence against conflicting view-change certificates — see
+        // `vc_tainted`.  Identical re-deliveries are harmless overwrites,
+        // and a replica always trusts its own vote.
+        if self
+            .vc_tainted
+            .get(&new_view)
+            .is_some_and(|t| t.contains(&from))
+        {
+            return Vec::new();
+        }
+        let vote = (accepted, last_committed, checkpoint);
+        let votes = self.view_change_votes.entry(new_view).or_default();
+        if from != self.me {
+            if let Some(existing) = votes.get(&from) {
+                if Self::votes_conflict(existing, &vote) {
+                    votes.remove(&from);
+                    self.vc_tainted.entry(new_view).or_default().insert(from);
+                    self.certificate_conflicts += 1;
+                    return Vec::new();
+                }
+            }
+        }
+        votes.insert(from, vote);
         let votes = &self.view_change_votes[&new_view];
         let i_am_new_primary = primary_for_view(new_view, &self.replicas) == self.me;
         if !i_am_new_primary || votes.len() < self.majority() {
@@ -663,6 +712,8 @@ impl<C: Command> PaxosReplica<C> {
         self.view = new_view;
         self.in_view_change = false;
         self.view_change_votes.remove(&new_view);
+        // Taint records for completed views are no longer consulted.
+        self.vc_tainted.retain(|v, _| *v > new_view);
 
         // Re-install the merged log locally and recompute next_seq.  The log
         // starts at the *lowest* voter frontier, not the highest: a voter
@@ -1282,6 +1333,34 @@ mod tests {
                 msg: PaxosMsg::Learn { seq: 1, .. }
             }
         )));
+    }
+
+    #[test]
+    fn twin_view_change_votes_are_discarded_and_sender_ignored() {
+        // n = 5, majority 3, view-5 leader is r0.  A voter that sends two
+        // conflicting votes for the same view is a provable equivocator:
+        // both its votes are discarded and it is ignored for that view,
+        // but the remaining honest majority still elects the leader.
+        let (nodes, mut reps) = make_domain(5);
+        let vote = |accepted: Vec<(SeqNo, u64, Cmd)>| PaxosMsg::ViewChange {
+            new_view: 5,
+            accepted,
+            last_committed: 0,
+            checkpoint: 0,
+        };
+        let _ = reps[0].on_message(nodes[1], vote(vec![(1, 3, b"X".to_vec())]));
+        let _ = reps[0].on_message(nodes[1], vote(vec![(1, 3, b"Y".to_vec())]));
+        assert_eq!(reps[0].certificate_conflicts(), 1);
+        // Re-deliveries from the tainted voter no longer count.
+        let _ = reps[0].on_message(nodes[1], vote(vec![(1, 3, b"X".to_vec())]));
+        assert_eq!(reps[0].view(), 0, "own + tainted vote must not elect");
+        // Two honest votes plus r0's own echoed vote reach the majority.
+        let _ = reps[0].on_message(nodes[2], vote(Vec::new()));
+        let steps = reps[0].on_message(nodes[3], vote(Vec::new()));
+        assert!(steps
+            .iter()
+            .any(|s| matches!(s, Step::ViewChanged { view: 5, .. })));
+        assert_eq!(reps[0].view(), 5);
     }
 
     #[test]

@@ -137,6 +137,18 @@ pub struct PbftReplica<C> {
     last_delivered: SeqNo,
     slots: BTreeMap<SeqNo, SlotState<C>>,
     view_change_votes: BTreeMap<u64, BTreeMap<NodeId, ViewChangeVote<C>>>,
+    /// Replicas caught sending two *conflicting* view-change votes for the
+    /// same view (a Byzantine twin certificate).  Both votes are discarded
+    /// and further votes from the pair's sender are ignored for that view;
+    /// the next view change starts from a clean slate.
+    vc_tainted: BTreeMap<u64, BTreeSet<NodeId>>,
+    /// Conflicting certificates detected so far (twin view-change votes and
+    /// rejected twin new-view messages).
+    certificate_conflicts: u64,
+    /// Highest view whose `NewView` certificate this replica has accepted;
+    /// a second (possibly conflicting) certificate for the same view is
+    /// never applied.
+    last_new_view: u64,
     in_view_change: bool,
     /// Highest view this replica has voted a view change towards; repeated
     /// timeouts escalate past it so a crashed candidate primary cannot wedge
@@ -165,6 +177,9 @@ impl<C: Command> PbftReplica<C> {
             last_delivered: 0,
             slots: BTreeMap::new(),
             view_change_votes: BTreeMap::new(),
+            vc_tainted: BTreeMap::new(),
+            certificate_conflicts: 0,
+            last_new_view: 0,
             in_view_change: false,
             highest_vc: 0,
             checkpoint: CheckpointKeeper::new(
@@ -622,6 +637,25 @@ impl<C: Command> PbftReplica<C> {
         steps
     }
 
+    /// True if two view-change votes carry different certificates (compared
+    /// by digest, so only genuine payload conflicts count).
+    fn votes_conflict(a: &ViewChangeVote<C>, b: &ViewChangeVote<C>) -> bool {
+        a.1 != b.1
+            || a.0.len() != b.0.len()
+            || a.0
+                .iter()
+                .zip(b.0.iter())
+                .any(|((s1, v1, c1), (s2, v2, c2))| {
+                    s1 != s2 || v1 != v2 || c1.digest() != c2.digest()
+                })
+    }
+
+    /// Conflicting certificates (twin view-change votes, rejected twin
+    /// new-view messages) this replica has detected and discarded.
+    pub fn certificate_conflicts(&self) -> u64 {
+        self.certificate_conflicts
+    }
+
     fn record_view_change_vote(
         &mut self,
         from: NodeId,
@@ -629,10 +663,31 @@ impl<C: Command> PbftReplica<C> {
         prepared: Vec<(SeqNo, u64, C)>,
         checkpoint: SeqNo,
     ) -> Vec<Step<C, PbftMsg<C>>> {
-        self.view_change_votes
-            .entry(new_view)
-            .or_default()
-            .insert(from, (prepared, checkpoint));
+        // Defence against equivocating view-change certificates: a sender
+        // whose earlier vote for this view conflicts with the new one is a
+        // provable equivocator — discard both votes and ignore the sender
+        // for this view.  Identical re-deliveries are harmless overwrites,
+        // and a replica always trusts its own vote.
+        if self
+            .vc_tainted
+            .get(&new_view)
+            .is_some_and(|t| t.contains(&from))
+        {
+            return Vec::new();
+        }
+        let vote = (prepared, checkpoint);
+        let votes = self.view_change_votes.entry(new_view).or_default();
+        if from != self.me {
+            if let Some(existing) = votes.get(&from) {
+                if Self::votes_conflict(existing, &vote) {
+                    votes.remove(&from);
+                    self.vc_tainted.entry(new_view).or_default().insert(from);
+                    self.certificate_conflicts += 1;
+                    return Vec::new();
+                }
+            }
+        }
+        votes.insert(from, vote);
         let votes = &self.view_change_votes[&new_view];
         let i_am_new_primary = primary_for_view(new_view, &self.replicas) == self.me;
         if !i_am_new_primary || votes.len() < self.quorum_2f_plus_1() {
@@ -668,6 +723,8 @@ impl<C: Command> PbftReplica<C> {
         self.view = new_view;
         self.in_view_change = false;
         self.view_change_votes.remove(&new_view);
+        // Taint records for completed views are no longer consulted.
+        self.vc_tainted.retain(|v, _| *v > new_view);
 
         // The re-proposed log starts at the *lowest* voter checkpoint (not
         // the highest): a straggling voter above the low checkpoint but
@@ -728,9 +785,27 @@ impl<C: Command> PbftReplica<C> {
         log: Vec<(SeqNo, C)>,
         checkpoint: SeqNo,
     ) -> Vec<Step<C, PbftMsg<C>>> {
-        if view < self.view || from != primary_for_view(view, &self.replicas) {
+        if view < self.view
+            || view <= self.last_new_view
+            || from != primary_for_view(view, &self.replicas)
+        {
             return Vec::new();
         }
+        // Defence against an equivocating new primary: reject a `NewView`
+        // that re-proposes a *different* command for a sequence number this
+        // replica holds a prepared certificate for — a twin certificate
+        // cannot overwrite prepared state.  (Only one `NewView` per view is
+        // ever applied; see the `last_new_view` guard above.)
+        let conflicts = log.iter().any(|(seq, cmd)| {
+            self.slots
+                .get(seq)
+                .is_some_and(|slot| slot.prepared && slot.digest.is_some_and(|d| d != cmd.digest()))
+        });
+        if conflicts {
+            self.certificate_conflicts += 1;
+            return Vec::new();
+        }
+        self.last_new_view = view;
         self.view = view;
         self.in_view_change = false;
         // The new primary certified this floor with 2f + 1 view-change
@@ -900,6 +975,86 @@ mod tests {
             },
         );
         assert!(steps.is_empty());
+    }
+
+    #[test]
+    fn twin_view_change_votes_taint_the_sender_for_that_view_only() {
+        let (nodes, mut reps) = make_domain(4);
+        // Node 1 is the new primary for view 1.  The first vote joins
+        // replica 1 into the view change (its own vote is recorded too).
+        let vote = |prepared: Vec<(SeqNo, u64, Cmd)>| PbftMsg::ViewChange {
+            new_view: 1,
+            prepared,
+            checkpoint: 0,
+        };
+        let _ = reps[1].on_message(nodes[3], vote(vec![(1, 0, b"a".to_vec())]));
+        // A conflicting twin from the same sender: both votes are discarded
+        // and the sender is ignored for this view.
+        let _ = reps[1].on_message(nodes[3], vote(vec![(1, 0, b"b".to_vec())]));
+        assert_eq!(reps[1].certificate_conflicts(), 1);
+        // Further deliveries from the tainted sender are dropped outright —
+        // they must not count towards the quorum.
+        let _ = reps[1].on_message(nodes[3], vote(vec![(1, 0, b"a".to_vec())]));
+        assert_eq!(reps[1].view(), 0, "own + tainted vote must not elect");
+        // Honest votes from the remaining replicas still complete the view
+        // change: the defence does not cost liveness.
+        let _ = reps[1].on_message(nodes[0], vote(Vec::new()));
+        let steps = reps[1].on_message(nodes[2], vote(Vec::new()));
+        assert!(steps
+            .iter()
+            .any(|s| matches!(s, Step::ViewChanged { view: 1, .. })));
+        assert!(reps[1].is_primary());
+        assert_eq!(reps[1].view(), 1);
+    }
+
+    #[test]
+    fn equivocating_new_view_cannot_overwrite_prepared_state() {
+        let (nodes, mut reps) = make_domain(4);
+        // Prepare (view 0, seq 1, "good") at replica 2: the pre-prepare from
+        // the primary plus prepares from two peers form the certificate.
+        let _ = reps[2].on_message(
+            nodes[0],
+            PbftMsg::PrePrepare {
+                view: 0,
+                seq: 1,
+                cmd: b"good".to_vec(),
+            },
+        );
+        let digest = b"good".to_vec().digest();
+        for j in [1usize, 3] {
+            let _ = reps[2].on_message(
+                nodes[j],
+                PbftMsg::Prepare {
+                    view: 0,
+                    seq: 1,
+                    digest,
+                },
+            );
+        }
+        // The view-1 primary equivocates: its NewView re-proposes a
+        // different command for the prepared slot.  The twin is rejected.
+        let steps = reps[2].on_message(
+            nodes[1],
+            PbftMsg::NewView {
+                view: 1,
+                log: vec![(1, b"evil".to_vec())],
+                checkpoint: 0,
+            },
+        );
+        assert!(steps.is_empty());
+        assert_eq!(reps[2].certificate_conflicts(), 1);
+        assert_eq!(reps[2].view(), 0);
+        // A NewView consistent with the prepared state is still accepted:
+        // rejecting the twin does not burn the view.
+        let _ = reps[2].on_message(
+            nodes[1],
+            PbftMsg::NewView {
+                view: 1,
+                log: vec![(1, b"good".to_vec())],
+                checkpoint: 0,
+            },
+        );
+        assert_eq!(reps[2].view(), 1);
     }
 
     #[test]

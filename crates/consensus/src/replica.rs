@@ -209,6 +209,15 @@ impl<C: Command> ConsensusReplica<C> {
         matches!(self.engine, Engine::Pbft(_))
     }
 
+    /// Conflicting view-change / new-view certificates this replica has
+    /// detected and discarded (twin certificates from an equivocating peer).
+    pub fn certificate_conflicts(&self) -> u64 {
+        match &self.engine {
+            Engine::Paxos(r) => r.certificate_conflicts(),
+            Engine::Pbft(r) => r.certificate_conflicts(),
+        }
+    }
+
     /// The batching knobs this replica runs with.
     pub fn batch_config(&self) -> &BatchConfig {
         self.batcher.config()

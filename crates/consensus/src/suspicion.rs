@@ -1,0 +1,111 @@
+//! Adaptive suspicion-timeout state machine shared by both engines'
+//! adapters.
+//!
+//! Modelled on sawtooth-pbft's idle/commit timers: the suspicion window that
+//! decides "the primary is dead" starts at a configured initial value,
+//! **backs off** exponentially every time a suspicion fires while the
+//! replica is still stuck (each firing is a *failed* view change — the
+//! candidate primary elected by the previous one did not restore progress
+//! within the window), and **decays** back toward a per-placement floor each
+//! time delivery progress is observed.  Under a fixed [`LivenessConfig`]
+//! (no [`AdaptiveTimeout`]) the window never moves, which keeps
+//! fixed-timeout runs bit-identical to the historical pipeline.
+//!
+//! The state machine is deliberately tiny and engine-agnostic: the node
+//! adapters own the actual timers and feed `on_suspect` / `on_progress`
+//! observations in; the machine only answers "how long should the next
+//! window be".
+
+use saguaro_types::{AdaptiveTimeout, Duration, LivenessConfig};
+
+/// The per-replica suspicion-window state machine.
+#[derive(Clone, Copy, Debug)]
+pub struct SuspicionTimer {
+    liveness: LivenessConfig,
+    current: Duration,
+    suspicions: u64,
+}
+
+impl SuspicionTimer {
+    /// A timer for the given liveness knobs, armed at the initial window.
+    pub fn new(liveness: LivenessConfig) -> Self {
+        Self {
+            liveness,
+            current: liveness.initial_timeout(),
+            suspicions: 0,
+        }
+    }
+
+    /// The window the adapter should arm for the next progress check.
+    pub fn window(&self) -> Duration {
+        self.current
+    }
+
+    /// The adaptive knobs, if adaptivity is on.
+    pub fn adaptive(&self) -> Option<AdaptiveTimeout> {
+        self.liveness.adaptive
+    }
+
+    /// Total suspicions fired since start (adaptive and fixed alike).
+    pub fn suspicions(&self) -> u64 {
+        self.suspicions
+    }
+
+    /// A suspicion fired while work was pending and no progress had been
+    /// made: the view change driven by the *previous* firing (if any)
+    /// failed, so the window backs off before the next one.
+    pub fn on_suspect(&mut self) {
+        self.suspicions += 1;
+        if let Some(knobs) = self.liveness.adaptive {
+            self.current = knobs.backoff(self.current);
+        }
+    }
+
+    /// Delivery progress was observed at a progress check: the pipeline is
+    /// healthy, so the window decays back toward the floor.
+    pub fn on_progress(&mut self) {
+        if let Some(knobs) = self.liveness.adaptive {
+            self.current = knobs.decay(self.current);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_config_never_moves_the_window() {
+        let mut t = SuspicionTimer::new(LivenessConfig::standard());
+        let w = t.window();
+        t.on_suspect();
+        t.on_suspect();
+        assert_eq!(t.window(), w);
+        t.on_progress();
+        assert_eq!(t.window(), w);
+        assert_eq!(t.suspicions(), 2);
+        assert!(t.adaptive().is_none());
+    }
+
+    #[test]
+    fn adaptive_config_backs_off_and_decays() {
+        let knobs = AdaptiveTimeout::with_floor(Duration::from_millis(10));
+        let mut t = SuspicionTimer::new(LivenessConfig::adaptive(knobs));
+        assert_eq!(t.window(), Duration::from_millis(10));
+        t.on_suspect();
+        assert_eq!(t.window(), Duration::from_millis(20));
+        t.on_suspect();
+        assert_eq!(t.window(), Duration::from_millis(40));
+        // Repeated failures saturate at the cap.
+        for _ in 0..8 {
+            t.on_suspect();
+        }
+        assert_eq!(t.window(), knobs.max);
+        // Progress walks the window back down to the floor.
+        for _ in 0..8 {
+            t.on_progress();
+        }
+        assert_eq!(t.window(), knobs.floor);
+        assert_eq!(t.suspicions(), 10);
+    }
+}

@@ -21,7 +21,7 @@ use crate::coordinator::{CoordEntry, ParticipantEntry};
 use crate::messages::SaguaroMsg;
 use crate::optimistic::{OptTracker, OptimisticValidator};
 use crate::stats::NodeStats;
-use saguaro_consensus::{Batch, ConsensusMsg, ConsensusReplica, Step};
+use saguaro_consensus::{Batch, ConsensusMsg, ConsensusReplica, Step, SuspicionTimer};
 use saguaro_hierarchy::HierarchyTree;
 use saguaro_ledger::{
     AggregateView, Block, BlockchainState, DagLedger, LinearLedger, TxStatus, UndoRecord,
@@ -107,6 +107,9 @@ pub struct SaguaroNode {
     pub(crate) round_timer: Option<TimerId>,
     pub(crate) progress_timer: Option<TimerId>,
     pub(crate) last_progress_check: SeqNo,
+    /// Adaptive suspicion-window state: how long the next progress window
+    /// should be (fixed under a non-adaptive [`saguaro_types::LivenessConfig`]).
+    pub(crate) suspicion: SuspicionTimer,
     /// Pending flush timer for an under-full consensus batch (leader only;
     /// never scheduled when `config.batch.max_batch == 1`).
     pub(crate) batch_timer: Option<TimerId>,
@@ -124,6 +127,7 @@ impl SaguaroNode {
         let peers = tree.nodes_of(id.domain).expect("domain has nodes");
         let consensus = ConsensusReplica::with_batching(id, peers.clone(), quorum, config.batch)
             .with_checkpointing(config.checkpoint);
+        let suspicion = SuspicionTimer::new(config.liveness);
         Self {
             id,
             tree,
@@ -155,6 +159,7 @@ impl SaguaroNode {
             round_timer: None,
             progress_timer: None,
             last_progress_check: 0,
+            suspicion,
             batch_timer: None,
             stats: NodeStats::default(),
         }
@@ -213,6 +218,12 @@ impl SaguaroNode {
     /// Entries a view-change vote from this replica would carry right now.
     pub fn consensus_vote_entries(&self) -> usize {
         self.consensus.vote_entries()
+    }
+
+    /// Conflicting view-change / new-view certificates this replica's
+    /// consensus detected and discarded.
+    pub fn consensus_certificate_conflicts(&self) -> u64 {
+        self.consensus.certificate_conflicts()
     }
 
     /// True if this node is currently the primary of its domain.
@@ -486,10 +497,7 @@ impl SaguaroNode {
     // ------------------------------------------------------------------
 
     pub(crate) fn schedule_progress_timer(&mut self, ctx: &mut Context<'_, SaguaroMsg>) {
-        let id = ctx.set_timer(
-            self.config.liveness.progress_timeout,
-            SaguaroMsg::ProgressTimer,
-        );
+        let id = ctx.set_timer(self.suspicion.window(), SaguaroMsg::ProgressTimer);
         self.progress_timer = Some(id);
     }
 
@@ -499,14 +507,21 @@ impl SaguaroNode {
         // request this replica received or relayed (`reply_to`), or an
         // in-flight cross-domain transaction.
         let delivered = self.consensus.last_delivered();
-        let stuck = delivered == self.last_progress_check
+        let progressed = delivered != self.last_progress_check;
+        let stuck = !progressed
             && (!self.participating.is_empty()
                 || !self.coordinated.is_empty()
                 || !self.reply_to.is_empty());
         self.last_progress_check = delivered;
         if stuck {
+            // The window backs off before the next check: if the suspicion
+            // is wrong (or the elected primary is also dead) the next view
+            // change gets proportionally more room.
+            self.suspicion.on_suspect();
             let steps = self.consensus.on_progress_timeout();
             self.drive(steps, ctx);
+        } else if progressed {
+            self.suspicion.on_progress();
         }
         self.schedule_progress_timer(ctx);
     }

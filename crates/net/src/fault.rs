@@ -18,8 +18,25 @@
 
 use crate::addr::Addr;
 use rand::Rng;
-use saguaro_types::{Duration, SimTime};
-use std::collections::HashSet;
+use saguaro_types::{DomainId, Duration, SimTime};
+use std::collections::{HashMap, HashSet};
+
+/// Which traffic a [`FaultEvent::DelaySpike`] slows down.
+///
+/// Scoped spikes are *pure state flips* like every other fault event: the
+/// interpreter keeps a per-scope table of active extra delays and consults it
+/// on each send, so sequential and per-partition parallel interpreters stay
+/// in agreement without communication.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SpikeScope {
+    /// Every message in the deployment (the historical single-knob form).
+    Global,
+    /// Only messages travelling one of these (bidirectional) links.
+    Links(Vec<(Addr, Addr)>),
+    /// Only messages with at least one endpoint inside one of these domains
+    /// (a congested or brown-out region; intra-domain traffic included).
+    Domains(Vec<DomainId>),
+}
 
 /// One scripted failure (or repair) applied at a scheduled virtual time.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -34,9 +51,21 @@ pub enum FaultEvent {
     PartitionLink(Addr, Addr),
     /// The link between two actors is repaired.
     HealLink(Addr, Addr),
-    /// Every message scheduled from this instant on suffers `extra` added
-    /// one-way delay.  `Duration::ZERO` ends the spike.
+    /// The whole domain is severed from the rest of the deployment: every
+    /// message with exactly one endpoint among the domain's replicas — its
+    /// LCA, its committee peers, its clients — is dropped, while intra-domain
+    /// traffic keeps flowing.  Two concurrently severed domains cannot talk
+    /// to each other either.
+    PartitionDomain(DomainId),
+    /// The domain rejoins the network (undoes
+    /// [`FaultEvent::PartitionDomain`]).
+    HealDomain(DomainId),
+    /// Messages matching `scope` scheduled from this instant on suffer
+    /// `extra` added one-way delay.  `Duration::ZERO` ends the spike for
+    /// that scope.
     DelaySpike {
+        /// Which traffic is slowed.
+        scope: SpikeScope,
         /// Additional one-way latency while the spike is active.
         extra: Duration,
     },
@@ -48,6 +77,84 @@ pub enum FaultEvent {
     Equivocate(Addr),
     /// The actor stops equivocating.
     StopEquivocate(Addr),
+}
+
+/// The live extra-delay state a [`FaultSchedule`]'s `DelaySpike` events flip.
+///
+/// Consulted by the interpreters on every send.  With no spikes active every
+/// lookup table is empty and [`SpikeState::extra_for`] returns the global
+/// knob untouched, so the scoped machinery is bit-identical to the historical
+/// single `extra_delay` field for global (and absent) spikes.
+#[derive(Clone, Debug, Default)]
+pub struct SpikeState {
+    global: Duration,
+    links: HashMap<(Addr, Addr), Duration>,
+    domains: HashMap<DomainId, Duration>,
+}
+
+impl SpikeState {
+    /// No spikes active.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Applies a `DelaySpike` event: sets (or, at `Duration::ZERO`, clears)
+    /// the extra delay for the scope.
+    pub fn apply(&mut self, scope: &SpikeScope, extra: Duration) {
+        match scope {
+            SpikeScope::Global => self.global = extra,
+            SpikeScope::Links(links) => {
+                for (a, b) in links {
+                    let key = ordered(*a, *b);
+                    if extra == Duration::ZERO {
+                        self.links.remove(&key);
+                    } else {
+                        self.links.insert(key, extra);
+                    }
+                }
+            }
+            SpikeScope::Domains(domains) => {
+                for d in domains {
+                    if extra == Duration::ZERO {
+                        self.domains.remove(d);
+                    } else {
+                        self.domains.insert(*d, extra);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The extra one-way delay a message from `from` to `to` pays right now:
+    /// the global spike, plus any per-link spike, plus the largest per-domain
+    /// spike covering either endpoint (crossing two slowed domains does not
+    /// pay twice).
+    pub fn extra_for(&self, from: Addr, to: Addr) -> Duration {
+        let mut extra = self.global;
+        if !self.links.is_empty() {
+            if let Some(d) = self.links.get(&ordered(from, to)) {
+                extra = extra + *d;
+            }
+        }
+        if !self.domains.is_empty() {
+            let of = |a: Addr| {
+                a.as_node()
+                    .and_then(|n| self.domains.get(&n.domain))
+                    .copied()
+                    .unwrap_or(Duration::ZERO)
+            };
+            extra = extra + of(from).max(of(to));
+        }
+        extra
+    }
+}
+
+fn ordered(a: Addr, b: Addr) -> (Addr, Addr) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
 }
 
 /// A deterministic script of [`FaultEvent`]s keyed by virtual time.
@@ -114,9 +221,92 @@ impl FaultSchedule {
     }
 
     /// Builder: add `extra` one-way delay to every message from `at` on
-    /// (`Duration::ZERO` ends a previous spike).
+    /// (`Duration::ZERO` ends a previous spike).  The global convenience
+    /// form of the scoped [`FaultEvent::DelaySpike`].
     pub fn delay_spike_at(mut self, at: SimTime, extra: Duration) -> Self {
-        self.push(at, FaultEvent::DelaySpike { extra });
+        self.push(
+            at,
+            FaultEvent::DelaySpike {
+                scope: SpikeScope::Global,
+                extra,
+            },
+        );
+        self
+    }
+
+    /// Builder: add `extra` one-way delay to messages on the given
+    /// (bidirectional) links from `at` on (`Duration::ZERO` ends the spike
+    /// on those links).
+    pub fn link_spike_at<I, A, B>(mut self, at: SimTime, links: I, extra: Duration) -> Self
+    where
+        I: IntoIterator<Item = (A, B)>,
+        A: Into<Addr>,
+        B: Into<Addr>,
+    {
+        let links: Vec<(Addr, Addr)> = links
+            .into_iter()
+            .map(|(a, b)| (a.into(), b.into()))
+            .collect();
+        self.push(
+            at,
+            FaultEvent::DelaySpike {
+                scope: SpikeScope::Links(links),
+                extra,
+            },
+        );
+        self
+    }
+
+    /// Builder: add `extra` one-way delay to every message touching a
+    /// replica of one of `domains` from `at` on (`Duration::ZERO` ends it).
+    pub fn domain_spike_at<I>(mut self, at: SimTime, domains: I, extra: Duration) -> Self
+    where
+        I: IntoIterator<Item = DomainId>,
+    {
+        self.push(
+            at,
+            FaultEvent::DelaySpike {
+                scope: SpikeScope::Domains(domains.into_iter().collect()),
+                extra,
+            },
+        );
+        self
+    }
+
+    /// Builder: sever the whole domain from the rest of the deployment at
+    /// `at` (intra-domain traffic keeps flowing).
+    pub fn partition_domain_at(mut self, at: SimTime, domain: DomainId) -> Self {
+        self.push(at, FaultEvent::PartitionDomain(domain));
+        self
+    }
+
+    /// Builder: rejoin the domain at `at`.
+    pub fn heal_domain_at(mut self, at: SimTime, domain: DomainId) -> Self {
+        self.push(at, FaultEvent::HealDomain(domain));
+        self
+    }
+
+    /// Builder: sever several domains at once at `at` (a correlated
+    /// multi-domain outage; the severed domains cannot talk to each other
+    /// either).
+    pub fn partition_domains_at<I>(mut self, at: SimTime, domains: I) -> Self
+    where
+        I: IntoIterator<Item = DomainId>,
+    {
+        for d in domains {
+            self.push(at, FaultEvent::PartitionDomain(d));
+        }
+        self
+    }
+
+    /// Builder: rejoin several domains at once at `at`.
+    pub fn heal_domains_at<I>(mut self, at: SimTime, domains: I) -> Self
+    where
+        I: IntoIterator<Item = DomainId>,
+    {
+        for d in domains {
+            self.push(at, FaultEvent::HealDomain(d));
+        }
         self
     }
 
@@ -178,6 +368,9 @@ pub struct FaultPlan {
     crashed: HashSet<Addr>,
     /// Unordered pairs of addresses that cannot exchange messages.
     partitions: HashSet<(Addr, Addr)>,
+    /// Domains currently severed from the rest of the deployment: only
+    /// intra-domain traffic flows for their replicas.
+    severed: HashSet<DomainId>,
     /// Actors currently equivocating (duplicating/mutating their outbound
     /// consensus messages).
     equivocating: HashSet<Addr>,
@@ -223,6 +416,38 @@ impl FaultPlan {
         self.partitions.remove(&(a, b));
     }
 
+    /// Severs the whole domain from the rest of the deployment.
+    pub fn sever_domain(&mut self, d: DomainId) {
+        self.severed.insert(d);
+    }
+
+    /// Rejoins a previously severed domain.
+    pub fn rejoin_domain(&mut self, d: DomainId) {
+        self.severed.remove(&d);
+    }
+
+    /// True if the domain is currently severed.
+    pub fn is_severed(&self, d: DomainId) -> bool {
+        self.severed.contains(&d)
+    }
+
+    /// True if a message between `a` and `b` crosses the boundary of a
+    /// severed domain: exactly one endpoint inside one, or the endpoints
+    /// inside two *different* severed domains.  Intra-domain traffic of a
+    /// severed domain keeps flowing.
+    fn crosses_severed_boundary(&self, a: Addr, b: Addr) -> bool {
+        let inside = |x: Addr| {
+            x.as_node()
+                .map(|n| n.domain)
+                .filter(|d| self.severed.contains(d))
+        };
+        match (inside(a), inside(b)) {
+            (None, None) => false,
+            (Some(da), Some(db)) => da != db,
+            _ => true,
+        }
+    }
+
     /// Starts Byzantine equivocation at `a`.
     pub fn equivocate(&mut self, a: impl Into<Addr>) {
         self.equivocating.insert(a.into());
@@ -255,6 +480,9 @@ impl FaultPlan {
         }
         let key = Self::ordered(from, to);
         if self.partitions.contains(&key) {
+            return true;
+        }
+        if !self.severed.is_empty() && self.crosses_severed_boundary(from, to) {
             return true;
         }
         self.drop_probability > 0.0 && rng.gen_bool(self.drop_probability)
@@ -343,9 +571,91 @@ mod tests {
         assert_eq!(
             s.events()[1].1,
             FaultEvent::DelaySpike {
+                scope: SpikeScope::Global,
                 extra: Duration::from_millis(5)
             }
         );
+    }
+
+    #[test]
+    fn severed_domains_block_only_boundary_traffic() {
+        use saguaro_types::{DomainId, NodeId};
+        let d0 = DomainId::new(1, 0);
+        let d1 = DomainId::new(1, 1);
+        let n = |d: DomainId, i: u16| Addr::Node(NodeId::new(d, i));
+        let mut plan = FaultPlan::none();
+        let mut rng = StdRng::seed_from_u64(0);
+        plan.sever_domain(d0);
+        assert!(plan.is_severed(d0));
+        // Intra-domain traffic keeps flowing.
+        assert!(!plan.should_drop(n(d0, 0), n(d0, 1), &mut rng));
+        // Boundary traffic is cut in both directions: peers and clients.
+        assert!(plan.should_drop(n(d0, 0), n(d1, 0), &mut rng));
+        assert!(plan.should_drop(n(d1, 0), n(d0, 0), &mut rng));
+        assert!(plan.should_drop(c(3), n(d0, 2), &mut rng));
+        // Unrelated traffic is untouched.
+        assert!(!plan.should_drop(c(3), n(d1, 0), &mut rng));
+        // Two severed domains cannot talk to each other.
+        plan.sever_domain(d1);
+        assert!(plan.should_drop(n(d0, 0), n(d1, 0), &mut rng));
+        assert!(!plan.should_drop(n(d1, 0), n(d1, 2), &mut rng));
+        plan.rejoin_domain(d0);
+        assert!(!plan.should_drop(c(3), n(d0, 2), &mut rng));
+        assert!(plan.should_drop(c(3), n(d1, 2), &mut rng));
+    }
+
+    #[test]
+    fn spike_state_scopes_compose_and_clear() {
+        use saguaro_types::{DomainId, NodeId};
+        let d0 = DomainId::new(1, 0);
+        let d1 = DomainId::new(1, 1);
+        let n = |d: DomainId, i: u16| Addr::Node(NodeId::new(d, i));
+        let ms = Duration::from_millis;
+        let mut spikes = SpikeState::none();
+        // Empty state adds nothing (the bit-identical failure-free path).
+        assert_eq!(spikes.extra_for(n(d0, 0), n(d1, 0)), Duration::ZERO);
+        // A global spike hits everything; link and domain scopes stack.
+        spikes.apply(&SpikeScope::Global, ms(1));
+        spikes.apply(&SpikeScope::Links(vec![(n(d0, 0), n(d1, 0))]), ms(2));
+        spikes.apply(&SpikeScope::Domains(vec![d1]), ms(4));
+        assert_eq!(spikes.extra_for(n(d1, 0), n(d0, 0)), ms(1) + ms(2) + ms(4));
+        assert_eq!(spikes.extra_for(n(d0, 1), n(d0, 2)), ms(1));
+        // Crossing a slowed domain pays its spike once, not per endpoint.
+        assert_eq!(spikes.extra_for(n(d1, 0), n(d1, 1)), ms(1) + ms(4));
+        // ZERO clears each scope independently.
+        spikes.apply(&SpikeScope::Global, Duration::ZERO);
+        spikes.apply(
+            &SpikeScope::Links(vec![(n(d1, 0), n(d0, 0))]),
+            Duration::ZERO,
+        );
+        assert_eq!(spikes.extra_for(n(d0, 0), n(d1, 0)), ms(4));
+        spikes.apply(&SpikeScope::Domains(vec![d1]), Duration::ZERO);
+        assert_eq!(spikes.extra_for(n(d0, 0), n(d1, 0)), Duration::ZERO);
+    }
+
+    #[test]
+    fn domain_partition_builders_script_sever_and_heal() {
+        let t = SimTime::from_millis;
+        use saguaro_types::DomainId;
+        let d0 = DomainId::new(1, 0);
+        let d1 = DomainId::new(1, 1);
+        let s = FaultSchedule::none()
+            .partition_domains_at(t(10), [d0, d1])
+            .heal_domain_at(t(30), d0)
+            .heal_domain_at(t(40), d1)
+            .domain_spike_at(t(10), [d1], Duration::from_millis(3));
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.events()[0].1, FaultEvent::PartitionDomain(d0));
+        assert_eq!(s.events()[1].1, FaultEvent::PartitionDomain(d1));
+        assert_eq!(
+            s.events()[2].1,
+            FaultEvent::DelaySpike {
+                scope: SpikeScope::Domains(vec![d1]),
+                extra: Duration::from_millis(3)
+            }
+        );
+        assert_eq!(s.events()[3].1, FaultEvent::HealDomain(d0));
+        assert_eq!(s.events()[4].1, FaultEvent::HealDomain(d1));
     }
 
     #[test]

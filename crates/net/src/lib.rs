@@ -39,7 +39,7 @@ pub mod timer;
 pub use addr::Addr;
 pub use cpu::{CpuProfile, MessageMeta};
 pub use envelope::Envelope;
-pub use fault::{FaultEvent, FaultPlan, FaultSchedule};
+pub use fault::{FaultEvent, FaultPlan, FaultSchedule, SpikeScope, SpikeState};
 pub use latency::LatencyMatrix;
 pub use psim::ParallelSimulation;
 pub use sim::{Actor, BoxedActor, Context, SimRuntime, Simulation};

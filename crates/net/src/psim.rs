@@ -39,7 +39,7 @@ use crate::addr::Addr;
 use crate::cpu::{CpuProfile, MessageMeta};
 use crate::envelope::Envelope;
 use crate::event::{CalendarQueue, EventKind, TimerId};
-use crate::fault::{FaultEvent, FaultPlan, FaultSchedule};
+use crate::fault::{FaultEvent, FaultPlan, FaultSchedule, SpikeState};
 use crate::latency::LatencyMatrix;
 use crate::sim::{Action, Actor, ActorSlot, BoxedActor, Context, SimRuntime};
 use crate::stats::{NetStats, PdesRunStats};
@@ -92,7 +92,7 @@ struct Partition<M> {
     /// copies stay in agreement without communication.
     schedule: FaultSchedule,
     schedule_pos: usize,
-    extra_delay: Duration,
+    spikes: SpikeState,
     stats: NetStats,
     now: SimTime,
     outbox: Vec<Remote<M>>,
@@ -114,7 +114,7 @@ impl<M: MessageMeta + Clone + 'static> Partition<M> {
             faults: FaultPlan::none(),
             schedule: FaultSchedule::none(),
             schedule_pos: 0,
-            extra_delay: Duration::ZERO,
+            spikes: SpikeState::none(),
             stats: NetStats::default(),
             now: SimTime::ZERO,
             outbox: Vec::new(),
@@ -184,7 +184,9 @@ impl<M: MessageMeta + Clone + 'static> Partition<M> {
                 FaultEvent::RecoverActor(a) => self.faults.restart(a),
                 FaultEvent::PartitionLink(a, b) => self.faults.partition(a, b),
                 FaultEvent::HealLink(a, b) => self.faults.heal(a, b),
-                FaultEvent::DelaySpike { extra } => self.extra_delay = extra,
+                FaultEvent::PartitionDomain(d) => self.faults.sever_domain(d),
+                FaultEvent::HealDomain(d) => self.faults.rejoin_domain(d),
+                FaultEvent::DelaySpike { scope, extra } => self.spikes.apply(&scope, extra),
                 FaultEvent::Equivocate(a) => self.faults.equivocate(a),
                 FaultEvent::StopEquivocate(a) => self.faults.stop_equivocate(a),
             }
@@ -327,7 +329,7 @@ impl<M: MessageMeta + Clone + 'static> Partition<M> {
         let delay = self
             .latency
             .one_way(from_region, to_region, env.wire_bytes(), &mut self.rng)
-            + self.extra_delay;
+            + self.spikes.extra_for(from, to);
         let arrival = at + delay;
         let kind = EventKind::Deliver {
             from,

@@ -24,7 +24,7 @@ use crate::addr::Addr;
 use crate::cpu::{CpuProfile, MessageMeta};
 use crate::envelope::Envelope;
 use crate::event::{EventKind, EventQueue, TimerId};
-use crate::fault::{FaultEvent, FaultPlan, FaultSchedule};
+use crate::fault::{FaultEvent, FaultPlan, FaultSchedule, SpikeState};
 use crate::latency::LatencyMatrix;
 use crate::stats::NetStats;
 use crate::timer::TimerSlab;
@@ -194,8 +194,9 @@ pub struct Simulation<M> {
     schedule: FaultSchedule,
     /// Index of the next unapplied schedule entry.
     schedule_pos: usize,
-    /// Extra one-way delay while a [`FaultEvent::DelaySpike`] is active.
-    extra_delay: Duration,
+    /// Live extra-delay state while [`FaultEvent::DelaySpike`]s are active
+    /// (global, per-link and per-domain scopes).
+    spikes: SpikeState,
     stats: NetStats,
     rng: StdRng,
     now: SimTime,
@@ -213,7 +214,7 @@ impl<M: MessageMeta + Clone + 'static> Simulation<M> {
             faults: FaultPlan::none(),
             schedule: FaultSchedule::none(),
             schedule_pos: 0,
-            extra_delay: Duration::ZERO,
+            spikes: SpikeState::none(),
             stats: NetStats::default(),
             rng: StdRng::seed_from_u64(seed),
             now: SimTime::ZERO,
@@ -312,7 +313,9 @@ impl<M: MessageMeta + Clone + 'static> Simulation<M> {
                 FaultEvent::RecoverActor(a) => self.faults.restart(a),
                 FaultEvent::PartitionLink(a, b) => self.faults.partition(a, b),
                 FaultEvent::HealLink(a, b) => self.faults.heal(a, b),
-                FaultEvent::DelaySpike { extra } => self.extra_delay = extra,
+                FaultEvent::PartitionDomain(d) => self.faults.sever_domain(d),
+                FaultEvent::HealDomain(d) => self.faults.rejoin_domain(d),
+                FaultEvent::DelaySpike { scope, extra } => self.spikes.apply(&scope, extra),
                 FaultEvent::Equivocate(a) => self.faults.equivocate(a),
                 FaultEvent::StopEquivocate(a) => self.faults.stop_equivocate(a),
             }
@@ -463,7 +466,7 @@ impl<M: MessageMeta + Clone + 'static> Simulation<M> {
         let delay = self
             .latency
             .one_way(from_region, to_region, env.wire_bytes(), &mut self.rng)
-            + self.extra_delay;
+            + self.spikes.extra_for(from, to);
         self.queue.push(
             self.now + delay,
             EventKind::Deliver {

@@ -208,6 +208,7 @@ pub fn harvest_saguaro<S: SimRuntime<SaguaroMsg>>(
         last_delivered: n.consensus_frontier(),
         stable_checkpoint: n.consensus_checkpoint(),
         vote_entries: n.consensus_vote_entries(),
+        certificate_conflicts: n.consensus_certificate_conflicts(),
         state_transfer_commands: n.stats().state_transfer_commands,
         state_transfer_bytes: n.stats().state_transfer_bytes,
         caught_up_at: n.stats().caught_up_at,
@@ -227,18 +228,19 @@ pub fn harvest_baseline<S: SimRuntime<BaselineMsg>>(
         last_delivered: n.consensus_frontier(),
         stable_checkpoint: n.consensus_checkpoint(),
         vote_entries: n.consensus_vote_entries(),
+        certificate_conflicts: n.consensus_certificate_conflicts(),
         state_transfer_commands: n.stats().state_transfer_commands,
         state_transfer_bytes: n.stats().state_transfer_bytes,
         caught_up_at: n.stats().caught_up_at,
     })
 }
 
-/// Ledger entries as `(tx id, finally committed)` pairs in append order.
-fn ledger_entries(ledger: &saguaro_ledger::LinearLedger) -> Vec<(saguaro_types::TxId, bool)> {
+/// Ledger entries as `(tx id, final status)` pairs in append order.
+fn ledger_entries(ledger: &saguaro_ledger::LinearLedger) -> Vec<(saguaro_types::TxId, TxStatus)> {
     ledger
         .entries()
         .iter()
-        .map(|e| (e.tx.id, e.status == TxStatus::Committed))
+        .map(|e| (e.tx.id, e.status))
         .collect()
 }
 

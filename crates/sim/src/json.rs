@@ -14,6 +14,7 @@ use crate::figures::{
     FaultSeries, FigureSeries, PopulationPoint, RecoveryPoint, RecoverySeries, TimelineBin,
     TimeoutPoint, TimeoutSeries,
 };
+use crate::scenarios::{AdaptiveComparison, PolicyOutcome, ScenarioCell};
 
 /// A JSON value assembled programmatically and rendered with
 /// [`JsonValue::render`].
@@ -426,6 +427,58 @@ impl ToJson for TimeoutSeries {
                 "points",
                 JsonValue::Array(self.points.iter().map(ToJson::to_json).collect()),
             ),
+        ])
+    }
+}
+
+impl ToJson for ScenarioCell {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("scenario", JsonValue::Str(self.scenario.clone())),
+            ("stack", JsonValue::Str(self.stack.clone())),
+            ("policy", JsonValue::Str(self.policy.clone())),
+            ("metrics", self.metrics.to_json()),
+            ("view_changes", JsonValue::Num(self.view_changes as f64)),
+            (
+                "certificate_conflicts",
+                JsonValue::Num(self.certificate_conflicts as f64),
+            ),
+            (
+                "safety_violations",
+                JsonValue::Array(
+                    self.safety_violations
+                        .iter()
+                        .map(|v| JsonValue::Str(v.clone()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl ToJson for PolicyOutcome {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("label", JsonValue::Str(self.label.clone())),
+            ("recovery_ms", JsonValue::Num(self.recovery_ms)),
+            (
+                "false_suspicions",
+                JsonValue::Num(self.false_suspicions as f64),
+            ),
+            ("crash_run_tps", JsonValue::Num(self.crash_run_tps)),
+        ])
+    }
+}
+
+impl ToJson for AdaptiveComparison {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            (
+                "fixed",
+                JsonValue::Array(self.fixed.iter().map(ToJson::to_json).collect()),
+            ),
+            ("adaptive", self.adaptive.to_json()),
+            ("best_fixed", self.best_fixed.to_json()),
         ])
     }
 }

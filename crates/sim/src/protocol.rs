@@ -14,6 +14,7 @@ use crate::deploy;
 use saguaro_baselines::BaselineMsg;
 use saguaro_core::{ProtocolConfig, SaguaroMsg};
 use saguaro_hierarchy::HierarchyTree;
+use saguaro_ledger::TxStatus;
 use saguaro_net::{MessageMeta, SimRuntime};
 use saguaro_types::{DomainId, FailureModel, NodeId, StackConfig, Transaction, TxId};
 use std::sync::Arc;
@@ -65,12 +66,11 @@ pub type SeedAccounts = [(DomainId, Vec<(String, u64)>)];
 pub struct NodeHarvest {
     /// The replica.
     pub node: NodeId,
-    /// Ledger entries in append order: `(transaction id, finally committed)`
-    /// (`false` = aborted or still speculative).  Append order interleaves
-    /// consensus deliveries with directly-applied cross-domain commits, so
-    /// it is replica-local; cross-replica agreement is checked on
-    /// [`NodeHarvest::consensus_log`] instead.
-    pub entries: Vec<(TxId, bool)>,
+    /// Ledger entries in append order: `(transaction id, final status)`.
+    /// Append order interleaves consensus deliveries with directly-applied
+    /// cross-domain commits, so it is replica-local; cross-replica agreement
+    /// is checked on [`NodeHarvest::consensus_log`] instead.
+    pub entries: Vec<(TxId, TxStatus)>,
     /// Rolling-hash snapshots of the internal consensus delivery stream,
     /// one per delivered block: replicas of a domain agree on their common
     /// delivery prefix iff the shorter log's last snapshot equals the longer
@@ -86,6 +86,10 @@ pub struct NodeHarvest {
     /// Entries a view-change vote from this replica would carry right now —
     /// bounded by `history − stable checkpoint` when checkpointing is on.
     pub vote_entries: usize,
+    /// Conflicting view-change / new-view certificates this replica's
+    /// consensus detected and discarded (twin certificates from an
+    /// equivocating peer).
+    pub certificate_conflicts: u64,
     /// Member commands this replica applied through state-transfer replies
     /// (recovery catch-up).
     pub state_transfer_commands: u64,
@@ -117,6 +121,11 @@ impl RunHarvest {
     /// Total view changes observed across every replica.
     pub fn view_changes(&self) -> u64 {
         self.nodes.iter().map(|n| n.view_changes).sum()
+    }
+
+    /// Total twin certificates detected and discarded across every replica.
+    pub fn certificate_conflicts(&self) -> u64 {
+        self.nodes.iter().map(|n| n.certificate_conflicts).sum()
     }
 
     /// The harvest of one specific replica, if present.

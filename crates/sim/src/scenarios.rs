@@ -1,0 +1,543 @@
+//! Production-shaped adversarial scenarios and the scenario × stack ×
+//! timeout-policy matrix.
+//!
+//! A [`Scenario`] is a first-class *composite* fault story compiled down to
+//! the primitive [`FaultSchedule`] events the network interpreters
+//! understand: whole-domain partitions ([`Scenario::DomainOutage`]),
+//! correlated multi-domain outages, scoped WAN delay spikes, a primary crash
+//! with an equivocating co-conspirator tampering view-change certificates,
+//! and a flash crowd arriving exactly while a domain is dark.  Timings are
+//! derived from the spec's own `warmup`/`measure` horizon so the same
+//! scenario scales from quick CI runs to full experiments.
+//!
+//! [`scenario_matrix`] runs every scenario against all four stacks under
+//! both timeout policies (fixed [`LivenessConfig::standard`] vs adaptive
+//! backoff/decay windows) and reports per-cell metrics plus any safety
+//! violations found by [`safety_violations`] — the non-panicking mirror of
+//! the fault-injection suites' invariants.  [`adaptive_comparison`] replays
+//! the `timeout_sweep` crashed-primary experiment to check the adaptive
+//! policy against the best fixed window on both recovery time and
+//! false-suspicion count.
+
+use crate::client::CompletedTx;
+use crate::experiment::{run_collecting, ExperimentSpec, RunArtifacts, RunMetrics};
+use crate::figures::{fault_victim, FigureOptions};
+use crate::par::parallel_map;
+use crate::protocol::ProtocolKind;
+use saguaro_net::FaultSchedule;
+use saguaro_types::{
+    AdaptiveTimeout, DomainId, Duration, LivenessConfig, NodeId, PopulationConfig, RateEnvelope,
+    SimTime,
+};
+
+/// A composite adversarial scenario, compiled to primitive fault events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scenario {
+    /// One height-1 domain is severed from the rest of the hierarchy for a
+    /// quarter of the measurement window, then healed: cross-domain
+    /// transactions through it must block and resolve consistently.
+    DomainOutage,
+    /// Two height-1 domains go dark *together* (a shared-uplink failure),
+    /// then heal together.
+    CorrelatedOutage,
+    /// A scoped WAN delay spike: every message into or out of one height-2
+    /// domain gains 20 ms for half the window — no losses, just lag.
+    WanSpike,
+    /// The victim domain's primary crashes while the replica next in line
+    /// for the primariship equivocates, sending twin view-change and
+    /// new-view certificates during the resulting view change.
+    ViewChangeStorm,
+    /// [`Scenario::DomainOutage`] with a flash crowd layered on top: the
+    /// aggregate population's offered rate triples exactly while the domain
+    /// is dark, so the backlog lands on the healed domain all at once.
+    FlashCrowdOutage,
+}
+
+/// The domain severed by the single-outage scenarios.
+pub fn outage_domain() -> DomainId {
+    DomainId::new(1, 1)
+}
+
+impl Scenario {
+    /// Every scenario, in matrix order.
+    pub fn all() -> Vec<Scenario> {
+        vec![
+            Scenario::DomainOutage,
+            Scenario::CorrelatedOutage,
+            Scenario::WanSpike,
+            Scenario::ViewChangeStorm,
+            Scenario::FlashCrowdOutage,
+        ]
+    }
+
+    /// Short name used in tables and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scenario::DomainOutage => "domain-outage",
+            Scenario::CorrelatedOutage => "correlated-outage",
+            Scenario::WanSpike => "wan-spike",
+            Scenario::ViewChangeStorm => "view-change-storm",
+            Scenario::FlashCrowdOutage => "flash-crowd-outage",
+        }
+    }
+
+    /// When the scenario's disruption starts, given the spec's horizon.
+    fn onset(spec: &ExperimentSpec) -> SimTime {
+        SimTime::ZERO + spec.warmup + Duration::from_micros(spec.measure.as_micros() / 4)
+    }
+
+    /// When the disruption ends (outages heal, spikes clear).
+    fn relief(spec: &ExperimentSpec) -> SimTime {
+        SimTime::ZERO + spec.warmup + Duration::from_micros(spec.measure.as_micros() / 2)
+    }
+
+    /// The primitive fault events this scenario compiles to for `spec`.
+    pub fn schedule(&self, spec: &ExperimentSpec) -> FaultSchedule {
+        let onset = Self::onset(spec);
+        let relief = Self::relief(spec);
+        match self {
+            Scenario::DomainOutage | Scenario::FlashCrowdOutage => FaultSchedule::none()
+                .partition_domain_at(onset, outage_domain())
+                .heal_domain_at(relief, outage_domain()),
+            Scenario::CorrelatedOutage => {
+                let pair = [DomainId::new(1, 1), DomainId::new(1, 2)];
+                FaultSchedule::none()
+                    .partition_domains_at(onset, pair)
+                    .heal_domains_at(relief, pair)
+            }
+            Scenario::WanSpike => FaultSchedule::none()
+                .domain_spike_at(onset, [DomainId::new(2, 0)], Duration::from_millis(20))
+                .domain_spike_at(relief, [DomainId::new(2, 0)], Duration::ZERO),
+            Scenario::ViewChangeStorm => {
+                // The equivocator is the replica the view change elects next,
+                // so its twin view-change votes *and* twin new-view
+                // certificates are both in play.
+                let accomplice = NodeId::new(fault_victim().domain, 1);
+                FaultSchedule::none()
+                    .crash_at(onset, fault_victim())
+                    .equivocate_at(onset, accomplice)
+                    .stop_equivocate_at(relief, accomplice)
+                    .recover_at(relief, fault_victim())
+            }
+        }
+    }
+
+    /// Installs this scenario on `spec`: the compiled fault plan, plus the
+    /// flash-crowd population for [`Scenario::FlashCrowdOutage`].
+    pub fn apply(&self, mut spec: ExperimentSpec) -> ExperimentSpec {
+        let plan = self.schedule(&spec);
+        if let Scenario::FlashCrowdOutage = self {
+            let start = spec.warmup + Duration::from_micros(spec.measure.as_micros() / 4);
+            let duration = Duration::from_micros(spec.measure.as_micros() / 4);
+            let users = if spec.warmup < Duration::from_millis(200) {
+                2_000
+            } else {
+                8_000
+            };
+            let population = PopulationConfig::with_users(users).per_user(0.4).shaped(
+                RateEnvelope::FlashCrowd {
+                    start,
+                    duration,
+                    multiplier: 3.0,
+                },
+            );
+            spec = spec.aggregate(population);
+        }
+        spec.fault_plan(plan)
+    }
+}
+
+/// The adaptive suspicion-window knobs the scenario matrix (and the
+/// `scenarios` binary) deploy: a 30 ms floor — half the conservative 60 ms
+/// default, low enough to roughly halve crash recovery but high enough to
+/// stay false-suspicion-free — backing off ×2 on failed view changes up to
+/// 240 ms and decaying ×½ on progress.
+pub fn default_adaptive() -> AdaptiveTimeout {
+    AdaptiveTimeout::with_floor(Duration::from_millis(30))
+}
+
+/// A timeout policy column of the matrix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TimeoutPolicy {
+    /// The fixed [`LivenessConfig::standard`] window.
+    Fixed,
+    /// Backoff/decay windows from [`default_adaptive`].
+    Adaptive,
+}
+
+impl TimeoutPolicy {
+    /// Both policies, in column order.
+    pub fn both() -> [TimeoutPolicy; 2] {
+        [TimeoutPolicy::Fixed, TimeoutPolicy::Adaptive]
+    }
+
+    /// Column label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TimeoutPolicy::Fixed => "fixed",
+            TimeoutPolicy::Adaptive => "adaptive",
+        }
+    }
+
+    /// The liveness knobs this policy deploys.
+    pub fn liveness(&self) -> LivenessConfig {
+        match self {
+            TimeoutPolicy::Fixed => LivenessConfig::standard(),
+            TimeoutPolicy::Adaptive => LivenessConfig::adaptive(default_adaptive()),
+        }
+    }
+}
+
+/// Checks the fault-injection suites' four safety invariants without
+/// panicking, returning one description per violation: no duplicate client
+/// completion, no duplicate ledger commit, prefix-compatible consensus
+/// delivery streams within each domain, and every client-committed
+/// transaction present in some ledger.
+pub fn safety_violations(artifacts: &RunArtifacts) -> Vec<String> {
+    let mut violations = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for c in &artifacts.completions {
+        if !seen.insert(c.tx_id) {
+            violations.push(format!("tx {:?} completed twice at a client", c.tx_id));
+        }
+    }
+    for node in &artifacts.harvest.nodes {
+        let mut ids = std::collections::HashSet::new();
+        for (id, _) in &node.entries {
+            if !ids.insert(*id) {
+                violations.push(format!("replica {:?} committed {id:?} twice", node.node));
+            }
+        }
+    }
+    for domain in artifacts.harvest.domains() {
+        let replicas = artifacts.harvest.replicas_of(domain);
+        for (i, a) in replicas.iter().enumerate() {
+            for b in &replicas[i + 1..] {
+                if !a.agrees_with(b) {
+                    violations.push(format!(
+                        "divergent consensus delivery streams in {domain:?} between {:?} and {:?}",
+                        a.node, b.node
+                    ));
+                }
+            }
+        }
+    }
+    for c in artifacts.completions.iter().filter(|c| c.committed) {
+        if !artifacts.harvest.seen_somewhere(c.tx_id) {
+            violations.push(format!(
+                "client-committed tx {:?} missing from every ledger",
+                c.tx_id
+            ));
+        }
+    }
+    violations
+}
+
+/// One `(scenario, stack, policy)` cell of the adversarial matrix.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct ScenarioCell {
+    /// Scenario label.
+    pub scenario: String,
+    /// Protocol stack label.
+    pub stack: String,
+    /// Timeout policy label.
+    pub policy: String,
+    /// Summary metrics of the run.
+    pub metrics: RunMetrics,
+    /// View changes observed across every replica.
+    pub view_changes: u64,
+    /// Twin certificates detected and discarded across every replica.
+    pub certificate_conflicts: u64,
+    /// Safety violations found post-run (must be empty).
+    pub safety_violations: Vec<String>,
+}
+
+/// The four paper stacks, labelled as in the figures.
+fn stacks() -> [(ProtocolKind, &'static str); 4] {
+    [
+        (ProtocolKind::SaguaroCoordinator, "Coordinator"),
+        (ProtocolKind::SaguaroOptimistic, "Optimistic"),
+        (ProtocolKind::Ahl, "AHL"),
+        (ProtocolKind::Sharper, "SharPer"),
+    ]
+}
+
+fn matrix_spec(protocol: ProtocolKind, options: &FigureOptions) -> ExperimentSpec {
+    let mut s = ExperimentSpec::new(protocol).byzantine();
+    s.seed = options.seed;
+    s.offered_load_tps = if options.quick { 800.0 } else { 2_000.0 };
+    if options.quick {
+        s = s.quick();
+    }
+    s
+}
+
+/// Runs the full scenario × stack × timeout-policy matrix.  Byzantine
+/// domains throughout, so the equivocation scenarios exercise PBFT's twin
+/// defences on every stack.
+pub fn scenario_matrix(options: &FigureOptions) -> Vec<ScenarioCell> {
+    let cells: Vec<(Scenario, ProtocolKind, &'static str, TimeoutPolicy)> = Scenario::all()
+        .into_iter()
+        .flat_map(|scenario| {
+            stacks().into_iter().flat_map(move |(kind, stack)| {
+                TimeoutPolicy::both()
+                    .into_iter()
+                    .map(move |policy| (scenario, kind, stack, policy))
+            })
+        })
+        .collect();
+    let artifacts = parallel_map(&cells, |(scenario, kind, _, policy)| {
+        let spec = scenario
+            .apply(matrix_spec(*kind, options))
+            .with_liveness(policy.liveness());
+        run_collecting(&spec)
+    });
+    cells
+        .into_iter()
+        .zip(artifacts)
+        .map(|((scenario, _, stack, policy), art)| ScenarioCell {
+            scenario: scenario.label().to_string(),
+            stack: stack.to_string(),
+            policy: policy.label().to_string(),
+            view_changes: art.harvest.view_changes(),
+            certificate_conflicts: art.harvest.certificate_conflicts(),
+            safety_violations: safety_violations(&art),
+            metrics: art.metrics,
+        })
+        .collect()
+}
+
+/// Renders the matrix as a plain-text table.
+pub fn render_scenario_table(title: &str, cells: &[ScenarioCell]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {title}\n"));
+    out.push_str(&format!(
+        "{:<20} {:<12} {:<9} {:>10} {:>10} {:>12} {:>10} {:>8}\n",
+        "scenario", "stack", "policy", "tps", "p95_ms", "view_changes", "conflicts", "safety"
+    ));
+    for c in cells {
+        out.push_str(&format!(
+            "{:<20} {:<12} {:<9} {:>10.0} {:>10.1} {:>12} {:>10} {:>8}\n",
+            c.scenario,
+            c.stack,
+            c.policy,
+            c.metrics.throughput_tps,
+            c.metrics.p95_latency_ms,
+            c.view_changes,
+            c.certificate_conflicts,
+            if c.safety_violations.is_empty() {
+                "ok"
+            } else {
+                "VIOLATED"
+            }
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive vs best-fixed suspicion windows on the crashed-primary scenario
+// ---------------------------------------------------------------------------
+
+/// One timeout policy's showing on the crashed-primary scenario.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct PolicyOutcome {
+    /// Policy label (`"fixed-<ms>ms"` or `"adaptive"`).
+    pub label: String,
+    /// Crash-to-first-commit recovery of the victim domain's clients (ms;
+    /// `-1` when the domain never recovered within the run).
+    pub recovery_ms: f64,
+    /// View changes of the companion *failure-free* run with the same
+    /// timers armed — each one a false suspicion.
+    pub false_suspicions: u64,
+    /// Committed throughput of the crash run.
+    pub crash_run_tps: f64,
+}
+
+/// The adaptive policy measured against every fixed window of the
+/// `timeout_sweep` grid on the same crashed-primary scenario.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct AdaptiveComparison {
+    /// One outcome per fixed window, in sweep order.
+    pub fixed: Vec<PolicyOutcome>,
+    /// The adaptive policy's outcome.
+    pub adaptive: PolicyOutcome,
+    /// The best *usable* fixed window — fastest recovery among the windows
+    /// with the fewest false suspicions (the bar the adaptive policy is
+    /// judged against).  An aggressive window that "recovers" instantly by
+    /// churning through hundreds of needless view changes is not an
+    /// operating point anyone deploys, so it does not set the bar.
+    pub best_fixed: PolicyOutcome,
+}
+
+impl AdaptiveComparison {
+    /// True if the adaptive policy recovered within `factor ×` the best
+    /// fixed window's recovery while firing no more false suspicions than
+    /// that window did.
+    pub fn adaptive_within(&self, factor: f64) -> bool {
+        self.adaptive.recovery_ms >= 0.0
+            && self.best_fixed.recovery_ms >= 0.0
+            && self.adaptive.recovery_ms <= self.best_fixed.recovery_ms * factor
+            && self.adaptive.false_suspicions <= self.best_fixed.false_suspicions
+    }
+}
+
+/// Crash-to-recovery of the victim domain's clients, as `timeout_sweep`
+/// measures it: the earliest post-crash commit observed by a client of the
+/// crashed domain (clients are assigned round-robin over four edge domains;
+/// the scripted victim is the domain-0 primary).
+fn recovery_ms(completions: &[CompletedTx], crash_at: SimTime) -> f64 {
+    completions
+        .iter()
+        .filter(|c| c.committed && c.client.0.is_multiple_of(4) && c.submitted_at >= crash_at)
+        .map(|c| (c.submitted_at + c.latency).since(crash_at))
+        .min()
+        .map(|d| d.as_millis_f64())
+        .unwrap_or(-1.0)
+}
+
+/// Measures the adaptive policy against the fixed-window sweep: each policy
+/// runs the `timeout_sweep` leader-crash scenario (recovery time) and a
+/// failure-free run with the same timers armed (false suspicions).
+pub fn adaptive_comparison(options: &FigureOptions) -> AdaptiveComparison {
+    let fixed_ms: Vec<u64> = if options.quick {
+        vec![10, 60]
+    } else {
+        vec![5, 10, 20, 40, 60, 120]
+    };
+    let mut policies: Vec<(String, LivenessConfig)> = fixed_ms
+        .iter()
+        .map(|ms| {
+            (
+                format!("fixed-{ms}ms"),
+                LivenessConfig::with_timeout(Duration::from_millis(*ms)),
+            )
+        })
+        .collect();
+    policies.push(("adaptive".to_string(), TimeoutPolicy::Adaptive.liveness()));
+
+    let load = if options.quick { 800.0 } else { 2_000.0 };
+    let base = {
+        let mut s = ExperimentSpec::new(ProtocolKind::SaguaroCoordinator);
+        s.seed = options.seed;
+        if options.quick {
+            s = s.quick();
+        }
+        s.load(load)
+    };
+    let crash_at =
+        SimTime::ZERO + base.warmup + Duration::from_micros(base.measure.as_micros() / 4);
+    // (policy, crash?) grid, flattened for the parallel map.
+    let entries: Vec<(usize, ExperimentSpec, bool)> = policies
+        .iter()
+        .enumerate()
+        .flat_map(|(i, (_, liveness))| {
+            let base = &base;
+            [false, true].into_iter().map(move |crash| {
+                let mut s = base.clone().with_liveness(*liveness);
+                if crash {
+                    s = s.fault_plan(FaultSchedule::none().crash_at(crash_at, fault_victim()));
+                }
+                (i, s, crash)
+            })
+        })
+        .collect();
+    let artifacts = parallel_map(&entries, |(_, s, _)| run_collecting(s));
+    let mut outcomes: Vec<PolicyOutcome> = Vec::new();
+    for chunk in entries.iter().zip(artifacts).collect::<Vec<_>>().chunks(2) {
+        let ((i, _, crash_a), free_art) = &chunk[0];
+        let ((_, _, crash_b), crash_art) = &chunk[1];
+        debug_assert!(!*crash_a && *crash_b);
+        outcomes.push(PolicyOutcome {
+            label: policies[*i].0.clone(),
+            recovery_ms: recovery_ms(&crash_art.completions, crash_at),
+            false_suspicions: free_art.harvest.view_changes(),
+            crash_run_tps: crash_art.metrics.throughput_tps,
+        });
+    }
+    let adaptive = outcomes.pop().expect("adaptive outcome present");
+    let recovered: Vec<&PolicyOutcome> = outcomes.iter().filter(|o| o.recovery_ms >= 0.0).collect();
+    let quietest = recovered
+        .iter()
+        .map(|o| o.false_suspicions)
+        .min()
+        .unwrap_or(0);
+    let best_fixed = recovered
+        .iter()
+        .filter(|o| o.false_suspicions == quietest)
+        .min_by(|a, b| {
+            a.recovery_ms
+                .partial_cmp(&b.recovery_ms)
+                .expect("finite recovery")
+        })
+        .map(|o| (*o).clone())
+        .unwrap_or_else(|| outcomes[0].clone());
+    AdaptiveComparison {
+        fixed: outcomes,
+        adaptive,
+        best_fixed,
+    }
+}
+
+/// Renders the comparison as a plain-text table.
+pub fn render_adaptive_table(title: &str, cmp: &AdaptiveComparison) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {title}\n"));
+    out.push_str(&format!(
+        "{:<14} {:>12} {:>17} {:>14}\n",
+        "policy", "recovery_ms", "false_suspicions", "crash_tps"
+    ));
+    for o in cmp.fixed.iter().chain(std::iter::once(&cmp.adaptive)) {
+        out.push_str(&format!(
+            "{:<14} {:>12.1} {:>17} {:>14.0}\n",
+            o.label, o.recovery_ms, o.false_suspicions, o.crash_run_tps
+        ));
+    }
+    out.push_str(&format!(
+        "best fixed: {} ({:.1} ms, {} false suspicions)\n",
+        cmp.best_fixed.label, cmp.best_fixed.recovery_ms, cmp.best_fixed.false_suspicions
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_scenario_compiles_to_a_nonempty_schedule() {
+        let spec = ExperimentSpec::new(ProtocolKind::SaguaroCoordinator).quick();
+        for scenario in Scenario::all() {
+            let plan = scenario.schedule(&spec);
+            assert!(!plan.is_empty(), "{} compiled to nothing", scenario.label());
+            // Events are scripted inside the run horizon.
+            let horizon = SimTime::ZERO + spec.warmup + spec.measure;
+            for (at, _) in plan.events() {
+                assert!(*at < horizon, "{} event after horizon", scenario.label());
+            }
+        }
+    }
+
+    #[test]
+    fn flash_crowd_outage_layers_population_on_the_fault_plan() {
+        let spec = Scenario::FlashCrowdOutage
+            .apply(ExperimentSpec::new(ProtocolKind::SaguaroCoordinator).quick());
+        assert!(!spec.fault_plan.is_empty());
+        match spec.client_model {
+            saguaro_types::ClientModel::Aggregate(p) => {
+                assert!(matches!(p.envelope, RateEnvelope::FlashCrowd { .. }));
+            }
+            _ => panic!("flash crowd scenario must use the aggregate population"),
+        }
+    }
+
+    #[test]
+    fn safety_checker_flags_duplicate_completions() {
+        let spec = ExperimentSpec::new(ProtocolKind::SaguaroCoordinator).quick();
+        let mut art = run_collecting(&spec);
+        assert!(safety_violations(&art).is_empty());
+        let dup = art.completions[0].clone();
+        art.completions.push(dup);
+        assert_eq!(safety_violations(&art).len(), 1);
+    }
+}

@@ -153,6 +153,81 @@ impl Default for BatchConfig {
     }
 }
 
+/// Adaptive suspicion-timeout knobs (sawtooth-pbft-style idle/commit
+/// timers).
+///
+/// Instead of one fixed `progress_timeout`, the suspicion window starts at
+/// `initial`, **backs off** multiplicatively every time a suspicion fires
+/// while the replica is still stuck (a failed view change — the next
+/// candidate primary did not restore progress within the window), and
+/// **decays** back toward the per-placement `floor` each time delivery
+/// progress is observed.  The window is clamped to `[floor, max]` throughout.
+///
+/// All arithmetic is integer (percent of microseconds), so runs stay
+/// deterministic across platforms.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct AdaptiveTimeout {
+    /// Lower clamp of the suspicion window.  Placement-dependent: it should
+    /// sit comfortably above the placement's failure-free commit latency,
+    /// or every slow commit is misread as a dead primary.
+    pub floor: Duration,
+    /// The window armed before any backoff/decay has happened.
+    pub initial: Duration,
+    /// Upper clamp of the suspicion window under repeated failed view
+    /// changes.
+    pub max: Duration,
+    /// Multiplier (percent, ≥ 100) applied on every suspicion that fires
+    /// while still stuck: 200 doubles the window.
+    pub backoff_percent: u64,
+    /// Multiplier (percent, ≤ 100) applied on every observed delivery
+    /// progress: 50 halves the window back toward the floor.
+    pub decay_percent: u64,
+}
+
+impl AdaptiveTimeout {
+    /// Default backoff: double on every failed view change.
+    pub const DEFAULT_BACKOFF_PERCENT: u64 = 200;
+    /// Default decay: halve back toward the floor on progress.
+    pub const DEFAULT_DECAY_PERCENT: u64 = 50;
+
+    /// Standard knobs for a placement whose safe suspicion floor is
+    /// `floor`: start at the floor (progress observations cannot lower it
+    /// further), double per failed view change, cap at `8 × floor`.
+    pub const fn with_floor(floor: Duration) -> Self {
+        Self {
+            floor,
+            initial: floor,
+            max: Duration::from_micros(floor.as_micros() * 8),
+            backoff_percent: Self::DEFAULT_BACKOFF_PERCENT,
+            decay_percent: Self::DEFAULT_DECAY_PERCENT,
+        }
+    }
+
+    /// Replaces the initial window (builder style).
+    pub const fn starting_at(mut self, initial: Duration) -> Self {
+        self.initial = initial;
+        self
+    }
+
+    /// Replaces the upper clamp (builder style).
+    pub const fn capped_at(mut self, max: Duration) -> Self {
+        self.max = max;
+        self
+    }
+
+    /// One backoff step: `current × backoff_percent`, clamped to `max`.
+    pub fn backoff(&self, current: Duration) -> Duration {
+        let scaled = current.as_micros().saturating_mul(self.backoff_percent) / 100;
+        Duration::from_micros(scaled.min(self.max.as_micros()))
+    }
+
+    /// One decay step: `current × decay_percent`, clamped to `floor`.
+    pub fn decay(&self, current: Duration) -> Duration {
+        let scaled = current.as_micros().saturating_mul(self.decay_percent) / 100;
+        Duration::from_micros(scaled.max(self.floor.as_micros()))
+    }
+}
+
 /// Liveness-timer knobs of a domain's ordering pipeline.
 ///
 /// When enabled, every replica runs a progress timer: if no new sequence
@@ -161,6 +236,11 @@ impl Default for BatchConfig {
 /// view change.  Disabled (the default), no progress timers are ever
 /// scheduled and the event stream is bit-identical to the historical
 /// failure-free pipeline.
+///
+/// With `adaptive` set, the suspicion window is no longer the fixed
+/// `progress_timeout` but the [`AdaptiveTimeout`] state machine's current
+/// value; `None` (the default) keeps the fixed window and the historical
+/// event stream bit-identical.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub struct LivenessConfig {
     /// Whether progress timers run at all.
@@ -168,6 +248,8 @@ pub struct LivenessConfig {
     /// Window with no delivery progress (while work is pending) after which
     /// the primary is suspected.
     pub progress_timeout: Duration,
+    /// Adaptive suspicion-window knobs; `None` keeps the fixed window.
+    pub adaptive: Option<AdaptiveTimeout>,
 }
 
 impl LivenessConfig {
@@ -176,6 +258,7 @@ impl LivenessConfig {
         Self {
             enabled: false,
             progress_timeout: Self::DEFAULT_TIMEOUT,
+            adaptive: None,
         }
     }
 
@@ -194,6 +277,26 @@ impl LivenessConfig {
         Self {
             enabled: true,
             progress_timeout,
+            adaptive: None,
+        }
+    }
+
+    /// Progress timers on, with an adaptive suspicion window.  The fixed
+    /// `progress_timeout` is kept as the adaptive machine's initial value so
+    /// code that ignores adaptivity still arms a sensible first window.
+    pub const fn adaptive(knobs: AdaptiveTimeout) -> Self {
+        Self {
+            enabled: true,
+            progress_timeout: knobs.initial,
+            adaptive: Some(knobs),
+        }
+    }
+
+    /// The window a freshly started replica arms first.
+    pub fn initial_timeout(&self) -> Duration {
+        match self.adaptive {
+            Some(knobs) => knobs.initial,
+            None => self.progress_timeout,
         }
     }
 }
@@ -653,6 +756,35 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn adaptive_timeout_backs_off_and_decays_within_clamps() {
+        let knobs = AdaptiveTimeout::with_floor(Duration::from_millis(20));
+        assert_eq!(knobs.initial, Duration::from_millis(20));
+        assert_eq!(knobs.max, Duration::from_millis(160));
+        // Backoff doubles until the cap.
+        let mut w = knobs.initial;
+        w = knobs.backoff(w);
+        assert_eq!(w, Duration::from_millis(40));
+        for _ in 0..10 {
+            w = knobs.backoff(w);
+        }
+        assert_eq!(w, knobs.max);
+        // Decay halves back down to the floor.
+        for _ in 0..10 {
+            w = knobs.decay(w);
+        }
+        assert_eq!(w, knobs.floor);
+        // The adaptive LivenessConfig arms the initial window.
+        let live = LivenessConfig::adaptive(knobs.starting_at(Duration::from_millis(30)));
+        assert!(live.enabled);
+        assert_eq!(live.initial_timeout(), Duration::from_millis(30));
+        // A fixed config's initial window is its fixed window.
+        assert_eq!(
+            LivenessConfig::standard().initial_timeout(),
+            LivenessConfig::DEFAULT_TIMEOUT
+        );
     }
 
     #[test]

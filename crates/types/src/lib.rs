@@ -29,8 +29,8 @@ pub mod time;
 pub mod transaction;
 
 pub use config::{
-    BatchConfig, CheckpointConfig, ClientModel, DomainConfig, EngineMode, FailureModel,
-    LivenessConfig, PopulationConfig, QuorumSpec, RateEnvelope, StackConfig,
+    AdaptiveTimeout, BatchConfig, CheckpointConfig, ClientModel, DomainConfig, EngineMode,
+    FailureModel, LivenessConfig, PopulationConfig, QuorumSpec, RateEnvelope, StackConfig,
 };
 pub use error::SaguaroError;
 pub use ids::{ClientId, DomainId, Height, NodeId, Region};
