@@ -223,9 +223,13 @@ impl MessageMeta for BaselineMsg {
 /// to account state-transfer volume without re-wrapping the message).
 pub(crate) fn consensus_wire_bytes(m: &ConsensusMsg<BCmd>) -> usize {
     let extra = 200 * (m.extra_commands() + m.state_reply_commands());
+    let snapshot = m
+        .snapshot_payload()
+        .map(|s| s.wire_bytes() as usize)
+        .unwrap_or(0);
     match m {
-        ConsensusMsg::Paxos(_) => 240 + extra,
-        ConsensusMsg::Pbft(_) => 280 + extra,
+        ConsensusMsg::Paxos(_) => 240 + extra + snapshot,
+        ConsensusMsg::Pbft(_) => 280 + extra + snapshot,
     }
 }
 

@@ -7,8 +7,8 @@ use saguaro_hierarchy::HierarchyTree;
 use saguaro_ledger::{BlockchainState, LinearLedger, TxStatus};
 use saguaro_net::{Actor, Addr, Context, TimerId};
 use saguaro_types::{
-    BatchConfig, CheckpointConfig, DomainId, FailureModel, LivenessConfig, MultiSeq, NodeId,
-    QuorumSpec, SeqNo, SimTime, Transaction, TxId,
+    BatchConfig, CheckpointConfig, DeliveryLog, DomainId, FailureModel, LivenessConfig, MultiSeq,
+    NodeId, QuorumSpec, SeqNo, SimTime, StateSnapshot, Transaction, TxId,
 };
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
@@ -25,10 +25,15 @@ pub struct BaselineStats {
     /// View changes observed by this node's internal consensus.
     pub view_changes: u64,
     /// Rolling hash of the internal consensus delivery stream, one snapshot
-    /// per delivered block (same scheme as `saguaro_core::NodeStats`): the
-    /// fault suites check that replicas of a shard agree on their common
-    /// delivery prefix.
-    pub consensus_log: Vec<u64>,
+    /// per delivered block (same bounded-window scheme as
+    /// `saguaro_core::NodeStats`): the fault suites check that replicas of a
+    /// shard agree on their common delivery prefix.
+    pub consensus_log: DeliveryLog,
+    /// Application snapshots this node materialized at checkpoint points.
+    pub snapshots_taken: u64,
+    /// Application snapshots this node installed through snapshot-based
+    /// catch-up.
+    pub snapshots_installed: u64,
     /// Member commands applied through state-transfer replies (recovery
     /// catch-up) instead of the normal ordering pipeline.
     pub state_transfer_commands: u64,
@@ -42,7 +47,7 @@ impl BaselineStats {
     /// Folds one delivered block into the rolling delivery-stream hash —
     /// see [`saguaro_types::delivery_hash`].
     fn note_delivery(&mut self, seq: SeqNo, members: impl Iterator<Item = u64>) {
-        let prev = self.consensus_log.last().copied();
+        let prev = self.consensus_log.last();
         self.consensus_log
             .push(saguaro_types::delivery_hash(prev, seq, members));
     }
@@ -198,6 +203,21 @@ impl BaselineNode {
         self.consensus.vote_entries()
     }
 
+    /// Delivered-command chain entries the internal consensus still retains.
+    pub fn consensus_chain_len(&self) -> u64 {
+        self.consensus.chain_len()
+    }
+
+    /// First sequence number still retained in the consensus chain.
+    pub fn consensus_chain_start(&self) -> SeqNo {
+        self.consensus.chain_start()
+    }
+
+    /// Sequence number of the application snapshot the consensus holds.
+    pub fn consensus_snapshot_seq(&self) -> Option<SeqNo> {
+        self.consensus.snapshot_seq()
+    }
+
     /// Conflicting view-change / new-view certificates this replica's
     /// consensus detected and discarded.
     pub fn consensus_certificate_conflicts(&self) -> u64 {
@@ -313,8 +333,49 @@ impl BaselineNode {
                 Step::ViewChanged { .. } => {
                     self.stats.view_changes += 1;
                 }
+                Step::TakeSnapshot { seq } => self.take_snapshot(seq),
+                Step::InstallSnapshot { snapshot } => self.install_snapshot(&snapshot),
             }
         }
+    }
+
+    /// Materializes an application snapshot as of the checkpoint `seq`
+    /// (emitted in-stream, right after the delivery of `seq` executed) and
+    /// hands it to the engine.  Only fires under a finite retention window,
+    /// where it also bounds the ledger and the cross-shard caches.
+    fn take_snapshot(&mut self, seq: SeqNo) {
+        let snapshot = StateSnapshot {
+            seq,
+            delivery_hash: self.stats.consensus_log.last(),
+            accounts: self.state.iter().map(|(k, v)| (k.to_string(), v)).collect(),
+            mobile: Vec::new(),
+            hosted: Vec::new(),
+        };
+        self.consensus.store_snapshot(Arc::new(snapshot));
+        self.stats.snapshots_taken += 1;
+        // Baseline deployments never cut propagation blocks, so the
+        // pending-round cursor would pin the whole ledger as unprunable.
+        self.ledger.note_round_boundary();
+        for id in self.ledger.prune_front(DeliveryLog::CAPACITY) {
+            self.prepared_cache.remove(&id);
+            self.flattened.remove(&id);
+            self.coordinating.remove(&id);
+        }
+    }
+
+    /// Replaces the executed state with a catch-up snapshot's; the retained
+    /// command tail follows as ordinary deliveries.
+    fn install_snapshot(&mut self, snapshot: &StateSnapshot) {
+        self.state = BlockchainState::new();
+        for (k, v) in &snapshot.accounts {
+            self.state.put(k.clone(), *v);
+        }
+        if self.record_deliveries {
+            self.stats
+                .consensus_log
+                .splice(snapshot.seq, snapshot.delivery_hash);
+        }
+        self.stats.snapshots_installed += 1;
     }
 
     /// BFT shards reply from every replica; a backup that never saw the
@@ -726,7 +787,10 @@ impl Actor<BaselineMsg> for BaselineNode {
                     let steps = self.consensus.on_message(node, m);
                     if let Some(bytes) = transfer_bytes {
                         let commands = saguaro_consensus::delivered_commands(&steps);
-                        if commands > 0 {
+                        let installed = steps
+                            .iter()
+                            .any(|s| matches!(s, Step::InstallSnapshot { .. }));
+                        if commands > 0 || installed {
                             self.stats.state_transfer_commands += commands;
                             self.stats.state_transfer_bytes += bytes as u64;
                             self.stats.caught_up_at = Some(ctx.now());

@@ -81,7 +81,8 @@ fn route<C: Command, M: Clone>(
                 }
             }
             Step::Deliver { .. } => *delivered += 1,
-            Step::ViewChanged { .. } => {}
+            Step::ViewChanged { .. } | Step::TakeSnapshot { .. } | Step::InstallSnapshot { .. } => {
+            }
         }
     }
 }

@@ -1,0 +1,388 @@
+//! Endurance figure: snapshot catch-up and log pruning over a long run
+//! with a mid-run replica outage.
+//!
+//! Three aggregate-population runs drive one Saguaro deployment with a
+//! finite checkpoint-retention window:
+//!
+//! 1. **half** — half-length, failure-free: the memory-footprint baseline.
+//! 2. **short-outage** — full-length with a brief mid-run backup crash.
+//! 3. **long-outage** — full-length with an outage several times longer
+//!    (the headline run: ≥ 10⁶ committed transactions in full mode).
+//!
+//! Four gates make the run self-checking so CI fails loudly instead of
+//! silently shipping a regression:
+//!
+//! * **Flat RSS** — doubling the committed-transaction count (half → full
+//!   length) and stretching the outage must not grow the resident set
+//!   beyond a fixed ceiling: with pruning on, every per-replica structure
+//!   is bounded by the retention window, not by run length.
+//! * **Bounded chains** — no replica may retain more consensus-log entries
+//!   than the retention window plus checkpoint slack.
+//! * **Snapshot catch-up** — the recovered victim must have installed a
+//!   snapshot, and its catch-up time must be flat in the outage length
+//!   (a replay-based catch-up scales with the outage instead).
+//! * **Volume** — the long-outage run must commit the target transaction
+//!   count (10⁶ full, scaled down under `--quick`).
+//!
+//! `--json <path>` merges an `endurance` section into the shared
+//! `BENCH_results.json` (other sections are preserved).
+
+use saguaro_bench::{emit, json_path_from_args, options_from_args, JsonReport};
+use saguaro_sim::experiment::ExperimentSpec;
+use saguaro_sim::figures::resident_kb;
+use saguaro_sim::json::JsonValue;
+use saguaro_sim::protocol::ProtocolKind;
+use saguaro_sim::FaultSchedule;
+use saguaro_types::{DomainId, Duration, NodeId, PopulationConfig, SimTime};
+
+/// Consensus block size: amortises per-message cost so the full-mode run
+/// reaches 10⁶ commits in reasonable wall time.
+const BATCH: usize = 32;
+/// Checkpoint announcement interval (sequence numbers).
+const INTERVAL: u64 = 16;
+/// Retention window (sequence numbers kept below the stable checkpoint).
+/// Deliberately much shorter than either outage, so the recovered victim's
+/// frontier is below every responder's retained tail and catch-up MUST go
+/// through the snapshot path rather than full command replay.
+const RETENTION: u64 = 64;
+/// Height-1 domains of the shaped topology.
+const FANOUT: usize = 8;
+
+/// Upper bound on retained consensus-log entries per replica: the retention
+/// window plus a few checkpoint intervals of not-yet-pruned slack.
+const CHAIN_CEILING: u64 = RETENTION + 4 * INTERVAL + 256;
+
+/// Resident-set growth ceiling between runs, in KiB (256 MiB).  Pruned
+/// state is bounded by the retention window, so doubling the committed
+/// count or stretching the outage must not move RSS by more than
+/// allocator noise.
+const RSS_GROWTH_CEILING_KB: u64 = 256 * 1024;
+
+/// Absolute resident-set ceiling after the long-outage run, in KiB (3 GiB).
+const RSS_ABS_CEILING_KB: u64 = 3 * 1024 * 1024;
+
+/// Catch-up flatness: the long outage may cost at most this factor over the
+/// short one (plus a small absolute slack for timer quantisation).
+const CATCH_UP_FACTOR: f64 = 3.0;
+const CATCH_UP_SLACK_MS: f64 = 100.0;
+
+/// Shape of one endurance scenario.
+struct Scenario {
+    users: u64,
+    warmup: Duration,
+    measure: Duration,
+    outage_short: Duration,
+    outage_long: Duration,
+    committed_target: u64,
+}
+
+impl Scenario {
+    fn for_mode(quick: bool) -> Self {
+        if quick {
+            Self {
+                users: 20_000,
+                warmup: Duration::from_millis(200),
+                measure: Duration::from_millis(2_400),
+                outage_short: Duration::from_millis(600),
+                outage_long: Duration::from_millis(1_500),
+                committed_target: 30_000,
+            }
+        } else {
+            Self {
+                users: 250_000,
+                warmup: Duration::from_millis(300),
+                measure: Duration::from_millis(5_500),
+                outage_short: Duration::from_millis(500),
+                outage_long: Duration::from_millis(2_500),
+                committed_target: 1_000_000,
+            }
+        }
+    }
+}
+
+/// The backup replica crashed mid-run (domain 0 at height 1, replica 1 —
+/// never the view-0 primary, so no view change is needed to keep
+/// committing while it is down).
+fn victim() -> NodeId {
+    NodeId::new(DomainId::new(1, 0), 1)
+}
+
+/// Measured outcome of one endurance run.
+struct RunOutcome {
+    label: &'static str,
+    outage_ms: f64,
+    committed: u64,
+    throughput_tps: f64,
+    wall_ms: f64,
+    rss_kb: u64,
+    catch_up_ms: Option<f64>,
+    max_chain_len: u64,
+    snapshots_taken: u64,
+    victim_installs: u64,
+    peak_events: u64,
+}
+
+/// Builds the endurance spec: aggregate population, finite retention,
+/// wide two-level topology, batched consensus.
+fn endurance_spec(scenario: &Scenario, seed: u64) -> ExperimentSpec {
+    let population = PopulationConfig::with_users(scenario.users).per_user(1.0);
+    let mut spec = ExperimentSpec::new(ProtocolKind::SaguaroCoordinator)
+        .shaped(2, FANOUT)
+        .aggregate(population)
+        .tune(|t| {
+            t.batch_size(BATCH)
+                .checkpoint_every(INTERVAL)
+                .retained(RETENTION)
+        });
+    spec.seed = seed;
+    spec.warmup = scenario.warmup;
+    spec.measure = scenario.measure;
+    spec
+}
+
+/// Runs one endurance point; `outage = None` is the failure-free baseline.
+fn run_point(
+    label: &'static str,
+    scenario: &Scenario,
+    seed: u64,
+    measure: Duration,
+    outage: Option<Duration>,
+) -> RunOutcome {
+    let mut spec = endurance_spec(scenario, seed);
+    spec.measure = measure;
+    let mut recover_at = None;
+    if let Some(outage) = outage {
+        let crash_at = spec.warmup + Duration::from_micros(measure.as_micros() / 4);
+        let back_at = crash_at + outage;
+        recover_at = Some(back_at);
+        spec = spec.fault_plan(
+            FaultSchedule::none()
+                .crash_at(SimTime::ZERO + crash_at, victim())
+                .recover_at(SimTime::ZERO + back_at, victim()),
+        );
+    }
+    let started = std::time::Instant::now();
+    let art = spec.run_collecting();
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    let catch_up_ms = recover_at.and_then(|back_at| {
+        let caught = art.harvest.node(victim())?.caught_up_at?;
+        Some((caught - (SimTime::ZERO + back_at)).as_millis_f64())
+    });
+    RunOutcome {
+        label,
+        outage_ms: outage.map_or(0.0, |o| o.as_millis_f64()),
+        committed: art.metrics.committed,
+        throughput_tps: art.metrics.throughput_tps,
+        wall_ms,
+        rss_kb: resident_kb(),
+        catch_up_ms,
+        max_chain_len: art
+            .harvest
+            .nodes
+            .iter()
+            .map(|n| n.chain_len)
+            .max()
+            .unwrap_or(0),
+        snapshots_taken: art.harvest.nodes.iter().map(|n| n.snapshots_taken).sum(),
+        victim_installs: art
+            .harvest
+            .node(victim())
+            .map_or(0, |n| n.snapshots_installed),
+        peak_events: art.peak_pending_events,
+    }
+}
+
+/// The endurance gates; returns one error string per violated condition.
+fn gates(
+    scenario: &Scenario,
+    half: &RunOutcome,
+    short: &RunOutcome,
+    long: &RunOutcome,
+) -> Vec<String> {
+    let mut errors = Vec::new();
+    if long.committed < scenario.committed_target {
+        errors.push(format!(
+            "long-outage run committed {} < target {}",
+            long.committed, scenario.committed_target
+        ));
+    }
+    for run in [half, short, long] {
+        if run.snapshots_taken == 0 {
+            errors.push(format!("{}: no replica materialised a snapshot", run.label));
+        }
+        if run.max_chain_len > CHAIN_CEILING {
+            errors.push(format!(
+                "{}: max retained chain {} exceeds ceiling {} — pruning is not \
+                 holding the retention window",
+                run.label, run.max_chain_len, CHAIN_CEILING
+            ));
+        }
+    }
+    for run in [short, long] {
+        if run.victim_installs == 0 {
+            errors.push(format!(
+                "{}: recovered victim installed no snapshot (caught up by \
+                 replay or not at all)",
+                run.label
+            ));
+        }
+    }
+    match (short.catch_up_ms, long.catch_up_ms) {
+        (Some(s), Some(l)) => {
+            let ceiling = CATCH_UP_FACTOR * s + CATCH_UP_SLACK_MS;
+            if l > ceiling {
+                errors.push(format!(
+                    "catch-up scales with outage: {l:.1} ms after the long outage \
+                     vs {s:.1} ms after the short one (ceiling {ceiling:.1} ms)"
+                ));
+            }
+        }
+        _ => errors.push("victim never caught up after recovery".to_string()),
+    }
+    // Flat RSS: doubling the committed count (half -> short) and stretching
+    // the outage (short -> long) must stay within allocator noise.
+    let growth = |a: u64, b: u64| b.saturating_sub(a);
+    if growth(half.rss_kb, short.rss_kb) > RSS_GROWTH_CEILING_KB {
+        errors.push(format!(
+            "RSS grew {} KiB when the run length doubled (ceiling {} KiB): \
+             per-replica state is scaling with committed transactions",
+            growth(half.rss_kb, short.rss_kb),
+            RSS_GROWTH_CEILING_KB
+        ));
+    }
+    if growth(short.rss_kb, long.rss_kb) > RSS_GROWTH_CEILING_KB {
+        errors.push(format!(
+            "RSS grew {} KiB when the outage stretched (ceiling {} KiB)",
+            growth(short.rss_kb, long.rss_kb),
+            RSS_GROWTH_CEILING_KB
+        ));
+    }
+    if long.rss_kb > RSS_ABS_CEILING_KB {
+        errors.push(format!(
+            "resident set {} KiB exceeds absolute ceiling {} KiB",
+            long.rss_kb, RSS_ABS_CEILING_KB
+        ));
+    }
+    errors
+}
+
+fn render_table(runs: &[&RunOutcome]) -> String {
+    let mut out = String::new();
+    out.push_str("# Endurance: snapshot catch-up + log pruning (Saguaro coordinator)\n");
+    out.push_str(&format!(
+        "{:<14} {:>9} {:>10} {:>10} {:>9} {:>10} {:>9} {:>8} {:>9} {:>8} {:>11}\n",
+        "run",
+        "outage_ms",
+        "committed",
+        "tput_tps",
+        "wall_ms",
+        "rss_mb",
+        "catchup",
+        "chain",
+        "snaps",
+        "installs",
+        "peak_events"
+    ));
+    for r in runs {
+        out.push_str(&format!(
+            "{:<14} {:>9.0} {:>10} {:>10.0} {:>9.0} {:>10.1} {:>9} {:>8} {:>9} {:>8} {:>11}\n",
+            r.label,
+            r.outage_ms,
+            r.committed,
+            r.throughput_tps,
+            r.wall_ms,
+            r.rss_kb as f64 / 1024.0,
+            r.catch_up_ms.map_or("-".to_string(), |c| format!("{c:.1}")),
+            r.max_chain_len,
+            r.snapshots_taken,
+            r.victim_installs,
+            r.peak_events
+        ));
+    }
+    out
+}
+
+fn outcome_json(r: &RunOutcome) -> JsonValue {
+    JsonValue::object([
+        ("label", JsonValue::Str(r.label.to_string())),
+        ("outage_ms", JsonValue::Num(r.outage_ms)),
+        ("committed", JsonValue::Num(r.committed as f64)),
+        ("throughput_tps", JsonValue::Num(r.throughput_tps)),
+        ("wall_ms", JsonValue::Num(r.wall_ms)),
+        ("rss_kb", JsonValue::Num(r.rss_kb as f64)),
+        (
+            "catch_up_ms",
+            r.catch_up_ms.map_or(JsonValue::Null, JsonValue::Num),
+        ),
+        ("max_chain_len", JsonValue::Num(r.max_chain_len as f64)),
+        ("snapshots_taken", JsonValue::Num(r.snapshots_taken as f64)),
+        (
+            "victim_snapshot_installs",
+            JsonValue::Num(r.victim_installs as f64),
+        ),
+        ("peak_pending_events", JsonValue::Num(r.peak_events as f64)),
+    ])
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let options = options_from_args(&args);
+    let scenario = Scenario::for_mode(options.quick);
+
+    let half_measure = Duration::from_micros(scenario.measure.as_micros() / 2);
+    let half = run_point("half", &scenario, options.seed, half_measure, None);
+    let short = run_point(
+        "short-outage",
+        &scenario,
+        options.seed,
+        scenario.measure,
+        Some(scenario.outage_short),
+    );
+    let long = run_point(
+        "long-outage",
+        &scenario,
+        options.seed,
+        scenario.measure,
+        Some(scenario.outage_long),
+    );
+
+    emit("endurance", render_table(&[&half, &short, &long]));
+
+    let mut report = JsonReport::new();
+    report.add_value(
+        "endurance",
+        JsonValue::object([
+            ("quick", JsonValue::Bool(options.quick)),
+            ("batch", JsonValue::Num(BATCH as f64)),
+            ("checkpoint_interval", JsonValue::Num(INTERVAL as f64)),
+            ("retention", JsonValue::Num(RETENTION as f64)),
+            (
+                "runs",
+                JsonValue::Array(vec![
+                    outcome_json(&half),
+                    outcome_json(&short),
+                    outcome_json(&long),
+                ]),
+            ),
+        ]),
+    );
+    report.merge_into_if_requested(json_path_from_args(&args).as_ref());
+
+    let errors = gates(&scenario, &half, &short, &long);
+    if !errors.is_empty() {
+        for e in &errors {
+            eprintln!("ENDURANCE REGRESSION: {e}");
+        }
+        std::process::exit(1);
+    }
+    eprintln!(
+        "endurance gates ok: {} committed, chains <= {}, catch-up flat \
+         ({:.1} ms / {:.1} ms), RSS flat ({:.1} MiB)",
+        long.committed,
+        CHAIN_CEILING,
+        short.catch_up_ms.unwrap_or(0.0),
+        long.catch_up_ms.unwrap_or(0.0),
+        long.rss_kb as f64 / 1024.0
+    );
+}

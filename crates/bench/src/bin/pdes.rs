@@ -26,7 +26,7 @@
 //! still run the measurement without flaking.
 
 use saguaro_bench::{emit, json_path_from_args, options_from_args, JsonReport};
-use saguaro_sim::experiment::{run_collecting, ExperimentSpec};
+use saguaro_sim::experiment::ExperimentSpec;
 use saguaro_sim::json::JsonValue;
 use saguaro_sim::protocol::ProtocolKind;
 use saguaro_types::PopulationConfig;
@@ -60,9 +60,9 @@ struct Timed {
 fn timed_run(label: &str, workers: Option<usize>, spec: &ExperimentSpec) -> Timed {
     // Untimed warm-up so allocator and page-cache effects stay out of the
     // measured rate; the timed run repeats the identical event history.
-    let _ = run_collecting(spec);
+    let _ = spec.run_collecting();
     let started = Instant::now();
-    let artifacts = run_collecting(spec);
+    let artifacts = spec.run_collecting();
     let wall = started.elapsed().as_secs_f64().max(1e-9);
     let (windows, cross_messages) = artifacts
         .pdes

@@ -23,7 +23,7 @@
 
 use saguaro_bench::{emit, json_path_from_args, options_from_args, JsonReport};
 use saguaro_loadgen::LatencyHistogram;
-use saguaro_sim::experiment::{run_collecting, ExperimentSpec};
+use saguaro_sim::experiment::ExperimentSpec;
 use saguaro_sim::figures::{population, render_population_table, FigureOptions, PopulationPoint};
 use saguaro_sim::json::{JsonValue, ToJson};
 use saguaro_sim::protocol::ProtocolKind;
@@ -93,7 +93,7 @@ fn parity_gate(seed: u64) -> (Vec<(f64, f64, f64)>, Vec<String>) {
         .cross_domain(0.3)
         .load(600.0);
     spec.seed = seed;
-    let artifacts = run_collecting(&spec);
+    let artifacts = spec.run_collecting();
     let exact = artifacts.metrics;
     let window_start = SimTime::ZERO + spec.warmup;
     let window_end = window_start + spec.measure;

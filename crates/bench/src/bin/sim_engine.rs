@@ -16,7 +16,7 @@
 //! regressions without flaking on runner-speed variance.
 
 use saguaro_bench::{emit, json_path_from_args, options_from_args, JsonReport};
-use saguaro_sim::experiment::{run_collecting, ExperimentSpec};
+use saguaro_sim::experiment::ExperimentSpec;
 use saguaro_sim::figures::{figure7, render_table, FigureOptions};
 use saguaro_sim::json::JsonValue;
 use saguaro_sim::protocol::ProtocolKind;
@@ -58,9 +58,9 @@ fn main() {
     // Untimed warm-up run so allocator/page-cache effects do not pollute
     // the measured rate (the workload is deterministic, so the timed run
     // processes exactly the same events).
-    let _ = run_collecting(&spec);
+    let _ = spec.run_collecting();
     let started = Instant::now();
-    let artifacts = run_collecting(&spec);
+    let artifacts = spec.run_collecting();
     let run_wall = started.elapsed();
     let events_per_sec = artifacts.events_processed as f64 / run_wall.as_secs_f64().max(1e-9);
 

@@ -49,6 +49,12 @@ pub struct CheckpointKeeper {
     /// to pace re-requests: a new request goes out only when the frontier
     /// moved (previous transfer applied) or the hint grew (new evidence).
     requested: Option<(SeqNo, SeqNo)>,
+    /// Retention window below the stable checkpoint; `None` keeps full
+    /// history (no snapshots, no pruning — the historical pipeline).
+    retention: Option<u64>,
+    /// Highest executed floor each member (including this replica) has ever
+    /// announced — the evidence base for the prune floor.
+    peer_floors: BTreeMap<NodeId, SeqNo>,
 }
 
 impl CheckpointKeeper {
@@ -71,6 +77,8 @@ impl CheckpointKeeper {
             hint: 0,
             hint_from: None,
             requested: None,
+            retention: config.prunes().then_some(config.retention),
+            peer_floors: BTreeMap::new(),
         }
     }
 
@@ -82,6 +90,46 @@ impl CheckpointKeeper {
     /// Whether state transfer is enabled.
     pub fn state_transfer_enabled(&self) -> bool {
         self.state_transfer
+    }
+
+    /// True if this configuration materializes snapshots and prunes
+    /// entry-grained state (finite retention on an active, transfer-serving
+    /// configuration).
+    pub fn prunes(&self) -> bool {
+        self.retention.is_some()
+    }
+
+    /// The highest floor every member is known to have executed: the minimum
+    /// over all announced floors once each of the domain's `members` has
+    /// announced at least once, `0` before that (no evidence about the
+    /// silent members).
+    pub fn lowest_peer_floor(&self, members: usize) -> SeqNo {
+        if self.peer_floors.len() >= members {
+            self.peer_floors.values().copied().min().unwrap_or(0)
+        } else {
+            0
+        }
+    }
+
+    /// The sequence number at or below which entry-grained state (delivered
+    /// logs, chains, learn slots) may be discarded, for a domain of
+    /// `members` replicas.
+    ///
+    /// Everything below the lowest announced peer floor is fetchable by no
+    /// correct future `StateRequest` (a replica never requests below its own
+    /// announced floor), and everything below `stable − retention` is
+    /// covered by the snapshot taken at the stable checkpoint — so the floor
+    /// is the *higher* of the two, clamped to the stable checkpoint.  The
+    /// retention term keeps memory flat when a crashed peer's floor freezes;
+    /// its eventual catch-up is served from the snapshot.  Always `0` when
+    /// pruning is off.
+    pub fn prune_floor(&self, members: usize) -> SeqNo {
+        let Some(retention) = self.retention else {
+            return 0;
+        };
+        self.lowest_peer_floor(members)
+            .max(self.stable.saturating_sub(retention))
+            .min(self.stable)
     }
 
     /// True if a checkpoint announcement is due after delivering `seq`.
@@ -104,6 +152,10 @@ impl CheckpointKeeper {
         quorum: usize,
         last_delivered: SeqNo,
     ) -> bool {
+        // Every announcement — even a stale one — evidences the announcer's
+        // executed floor for prune-floor purposes.
+        let floor = self.peer_floors.entry(from).or_insert(0);
+        *floor = (*floor).max(seq);
         if seq <= self.stable {
             return false;
         }
@@ -236,6 +288,57 @@ mod tests {
         assert_eq!(k.should_request(12, false), None);
         k.note_hint(20, node(3));
         assert_eq!(k.should_request(12, true), None);
+    }
+
+    #[test]
+    fn prune_floor_tracks_lowest_announced_peer() {
+        let mut k = CheckpointKeeper::new(CheckpointConfig::every(4).with_retention(100), None);
+        assert!(k.prunes());
+        // Nothing prunable before every member has announced once.
+        k.record_vote(node(0), 4, 2, 4);
+        k.record_vote(node(1), 4, 2, 4);
+        assert_eq!(k.stable(), 4);
+        assert_eq!(k.prune_floor(3), 0, "node 2 has never announced");
+        // Once all three announced, the floor is the lowest of them.
+        k.record_vote(node(2), 4, 2, 4);
+        k.record_vote(node(0), 8, 2, 8);
+        k.record_vote(node(1), 8, 2, 8);
+        assert_eq!(k.stable(), 8);
+        assert_eq!(k.lowest_peer_floor(3), 4);
+        assert_eq!(k.prune_floor(3), 4);
+        // Even a stale re-announcement updates the announcer's floor.
+        assert!(!k.record_vote(node(2), 8, 2, 8), "already stable");
+        assert_eq!(k.prune_floor(3), 8);
+    }
+
+    #[test]
+    fn prune_floor_is_bounded_by_retention_when_a_peer_freezes() {
+        let mut k = CheckpointKeeper::new(CheckpointConfig::every(4).with_retention(8), None);
+        for seq in [4u64, 8, 12] {
+            for n in 0..3 {
+                k.record_vote(node(n), seq, 2, seq);
+            }
+        }
+        // Node 2 crashes at floor 12; the others advance to 32.
+        for seq in [16u64, 20, 24, 28, 32] {
+            k.record_vote(node(0), seq, 2, seq);
+            k.record_vote(node(1), seq, 2, seq);
+        }
+        assert_eq!(k.stable(), 32);
+        assert_eq!(k.lowest_peer_floor(3), 12);
+        // The retention term overrides the frozen floor: memory stays flat
+        // and the crashed peer recovers from the snapshot instead.
+        assert_eq!(k.prune_floor(3), 24);
+    }
+
+    #[test]
+    fn infinite_retention_never_prunes() {
+        let mut k = CheckpointKeeper::new(CheckpointConfig::every(4), None);
+        for n in 0..3 {
+            k.record_vote(node(n), 4, 2, 4);
+        }
+        assert!(!k.prunes());
+        assert_eq!(k.prune_floor(3), 0);
     }
 
     #[test]

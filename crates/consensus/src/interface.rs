@@ -1,7 +1,8 @@
 //! Common vocabulary shared by the consensus state machines.
 
 use saguaro_crypto::Digest;
-use saguaro_types::{NodeId, SeqNo};
+use saguaro_types::{NodeId, SeqNo, StateSnapshot};
+use std::sync::Arc;
 
 /// A command (client request, cross-domain prepare, block message, ...) that a
 /// domain orders through its internal consensus.
@@ -58,6 +59,22 @@ pub enum Step<C, M> {
         view: u64,
         /// Primary of the new view.
         primary: NodeId,
+    },
+    /// The engine reached a snapshot point (a checkpoint announcement under
+    /// a finite retention window): the adapter must materialize its
+    /// application state *as of this step in the stream* — i.e. right after
+    /// executing the delivery of `seq` and before executing any later one —
+    /// and hand the snapshot back via the engine's `store_snapshot`.
+    TakeSnapshot {
+        /// The checkpoint sequence number the snapshot captures.
+        seq: SeqNo,
+    },
+    /// A snapshot-based catch-up applied: the adapter must replace its
+    /// executed application state with the snapshot's before executing the
+    /// deliveries that follow this step (the retained command tail).
+    InstallSnapshot {
+        /// The snapshot to install.
+        snapshot: Arc<StateSnapshot>,
     },
 }
 

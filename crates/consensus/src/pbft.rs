@@ -22,8 +22,9 @@
 use crate::checkpoint::CheckpointKeeper;
 use crate::interface::{primary_for_view, Command, Step};
 use saguaro_crypto::Digest;
-use saguaro_types::{CheckpointConfig, NodeId, QuorumSpec, SeqNo};
+use saguaro_types::{CheckpointConfig, NodeId, QuorumSpec, SeqNo, StateSnapshot};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// Messages exchanged by PBFT replicas within one domain.
 #[derive(Clone, Debug, PartialEq)]
@@ -95,6 +96,19 @@ pub enum PbftMsg<C> {
         /// The sender's delivery frontier.
         committed_to: SeqNo,
     },
+    /// Up-to-date peer → deeply stalled replica whose requested frontier
+    /// was pruned away: a checkpoint-certified application snapshot plus
+    /// the short retained command tail above it (the catch-up commit of
+    /// production PBFT implementations).
+    SnapshotReply {
+        /// The responder's snapshot at its snapshot point.
+        snapshot: Arc<StateSnapshot>,
+        /// Committed `(seq, command)` entries retained above the snapshot,
+        /// contiguous from `snapshot.seq + 1`.
+        tail: Vec<(SeqNo, C)>,
+        /// The sender's delivery frontier.
+        committed_to: SeqNo,
+    },
 }
 
 #[derive(Clone, Debug)]
@@ -159,8 +173,13 @@ pub struct PbftReplica<C> {
     /// interval of 128 with no state transfer.
     checkpoint: CheckpointKeeper,
     /// Every delivered entry, retained for serving state transfer (the
-    /// durable chain; only populated when state transfer is enabled).
+    /// durable chain; only populated when state transfer is enabled, and
+    /// pruned below the keeper's prune floor under a finite retention
+    /// window).
     delivered_log: BTreeMap<SeqNo, C>,
+    /// The latest materialized (or catch-up-installed) application
+    /// snapshot, used to answer requests below the retained tail.
+    snapshot: Option<Arc<StateSnapshot>>,
 }
 
 impl<C: Command> PbftReplica<C> {
@@ -187,6 +206,7 @@ impl<C: Command> PbftReplica<C> {
                 Some(CheckpointConfig::LEGACY_PBFT_INTERVAL),
             ),
             delivered_log: BTreeMap::new(),
+            snapshot: None,
         }
     }
 
@@ -197,6 +217,7 @@ impl<C: Command> PbftReplica<C> {
             CheckpointConfig {
                 interval: interval.max(1),
                 state_transfer: false,
+                retention: u64::MAX,
             },
             None,
         );
@@ -245,6 +266,62 @@ impl<C: Command> PbftReplica<C> {
     /// would carry — bounded by the stable checkpoint.
     pub fn vote_entries(&self) -> usize {
         self.prepared_certificates().len()
+    }
+
+    /// Number of delivered entries retained in the durable chain.
+    pub fn chain_len(&self) -> u64 {
+        self.delivered_log.len() as u64
+    }
+
+    /// First sequence number still retained in the durable chain
+    /// (`last_delivered + 1` when nothing is retained).
+    pub fn chain_start(&self) -> SeqNo {
+        self.delivered_log
+            .keys()
+            .next()
+            .copied()
+            .unwrap_or(self.last_delivered + 1)
+    }
+
+    /// The snapshot point currently held, if any.
+    pub fn snapshot_seq(&self) -> Option<SeqNo> {
+        self.snapshot.as_ref().map(|s| s.seq)
+    }
+
+    /// Stores the application snapshot the adapter materialized in response
+    /// to a [`Step::TakeSnapshot`] (or obtained out of band), then prunes
+    /// the entry-grained state the snapshot makes redundant.  Stale
+    /// snapshots (at or below the held one) are ignored.
+    pub fn store_snapshot(&mut self, snapshot: Arc<StateSnapshot>) {
+        if self
+            .snapshot
+            .as_ref()
+            .is_some_and(|s| s.seq >= snapshot.seq)
+        {
+            return;
+        }
+        self.snapshot = Some(snapshot);
+        self.prune_entry_state();
+    }
+
+    /// Discards durable-chain entries no future correct request can need:
+    /// everything at or below the keeper's prune floor, capped at the held
+    /// snapshot point so the tail above the snapshot stays servable.  A
+    /// no-op unless a finite retention window is configured.
+    fn prune_entry_state(&mut self) {
+        let Some(snapshot_seq) = self.snapshot_seq() else {
+            return;
+        };
+        if !self.checkpoint.prunes() {
+            return;
+        }
+        let floor = self
+            .checkpoint
+            .prune_floor(self.replicas.len())
+            .min(snapshot_seq);
+        if floor > 0 {
+            self.delivered_log = self.delivered_log.split_off(&(floor + 1));
+        }
     }
 
     fn quorum_2f_plus_1(&self) -> usize {
@@ -306,6 +383,11 @@ impl<C: Command> PbftReplica<C> {
                 entries,
                 committed_to,
             } => self.on_state_reply(from, entries, committed_to),
+            PbftMsg::SnapshotReply {
+                snapshot,
+                tail,
+                committed_to,
+            } => self.on_snapshot_reply(from, snapshot, tail, committed_to),
         }
     }
 
@@ -457,6 +539,11 @@ impl<C: Command> PbftReplica<C> {
             steps.push(Step::Broadcast {
                 msg: PbftMsg::Checkpoint { seq, digest },
             });
+            if self.checkpoint.prunes() {
+                // The adapter materializes its state as of this point in
+                // the stream and hands it back via `store_snapshot`.
+                steps.push(Step::TakeSnapshot { seq });
+            }
             steps.extend(self.on_checkpoint(self.me, seq, digest));
         }
         steps
@@ -466,6 +553,7 @@ impl<C: Command> PbftReplica<C> {
     fn gc_below_stable(&mut self) {
         let stable = self.checkpoint.stable();
         self.slots.retain(|s, _| *s > stable);
+        self.prune_entry_state();
     }
 
     fn on_checkpoint(
@@ -485,6 +573,9 @@ impl<C: Command> PbftReplica<C> {
         {
             self.gc_below_stable();
         }
+        // Even a non-stabilising announcement can raise the prune floor
+        // (the announcer's executed floor is new evidence).
+        self.prune_entry_state();
         self.maybe_request_state()
     }
 
@@ -514,21 +605,45 @@ impl<C: Command> PbftReplica<C> {
         if !self.checkpoint.state_transfer_enabled() {
             return Vec::new();
         }
-        let entries: Vec<(SeqNo, C)> = self
-            .delivered_log
-            .range(above + 1..)
-            .map(|(seq, cmd)| (*seq, cmd.clone()))
-            .collect();
-        if entries.is_empty() {
-            return Vec::new();
+        if above >= self.last_delivered {
+            return Vec::new(); // nothing the requester is missing
         }
-        vec![Step::Send {
-            to: from,
-            msg: PbftMsg::StateReply {
-                entries,
-                committed_to: self.last_delivered,
-            },
-        }]
+        if self.delivered_log.contains_key(&(above + 1)) {
+            // The full tail above the requester's frontier is retained:
+            // the historical full-replay reply.
+            let entries: Vec<(SeqNo, C)> = self
+                .delivered_log
+                .range(above + 1..)
+                .map(|(seq, cmd)| (*seq, cmd.clone()))
+                .collect();
+            return vec![Step::Send {
+                to: from,
+                msg: PbftMsg::StateReply {
+                    entries,
+                    committed_to: self.last_delivered,
+                },
+            }];
+        }
+        // The requested frontier was pruned away: serve the snapshot plus
+        // the retained tail above it instead of a full replay.
+        match &self.snapshot {
+            Some(snapshot) if snapshot.seq > above => {
+                let tail: Vec<(SeqNo, C)> = self
+                    .delivered_log
+                    .range(snapshot.seq + 1..)
+                    .map(|(seq, cmd)| (*seq, cmd.clone()))
+                    .collect();
+                vec![Step::Send {
+                    to: from,
+                    msg: PbftMsg::SnapshotReply {
+                        snapshot: snapshot.clone(),
+                        tail,
+                        committed_to: self.last_delivered,
+                    },
+                }]
+            }
+            _ => Vec::new(),
+        }
     }
 
     fn on_state_reply(
@@ -544,6 +659,56 @@ impl<C: Command> PbftReplica<C> {
         let mut steps = Vec::new();
         let mut applied = false;
         for (seq, command) in entries {
+            if seq != self.last_delivered + 1 {
+                continue; // already executed, or non-contiguous garbage
+            }
+            self.slots.remove(&seq);
+            let digest = command.digest();
+            steps.push(Step::Deliver {
+                seq,
+                command: command.clone(),
+            });
+            self.last_delivered = seq;
+            applied = true;
+            steps.extend(self.note_executed(seq, command, digest));
+        }
+        if applied {
+            self.checkpoint.transfer_applied();
+            steps.extend(self.drain_deliveries());
+        }
+        steps.extend(self.maybe_request_state());
+        steps
+    }
+
+    fn on_snapshot_reply(
+        &mut self,
+        from: NodeId,
+        snapshot: Arc<StateSnapshot>,
+        tail: Vec<(SeqNo, C)>,
+        committed_to: SeqNo,
+    ) -> Vec<Step<C, PbftMsg<C>>> {
+        if !self.checkpoint.state_transfer_enabled() {
+            return Vec::new();
+        }
+        self.checkpoint.note_hint(committed_to, from);
+        let mut steps = Vec::new();
+        let mut applied = false;
+        if snapshot.seq > self.last_delivered {
+            // Jump the execution frontier to the snapshot point: everything
+            // at or below it is superseded by the snapshot's state.  The
+            // snapshot was materialized at a checkpoint certified by a
+            // `2f + 1` quorum, so adopting it as our stable floor is sound.
+            self.last_delivered = snapshot.seq;
+            self.next_seq = self.next_seq.max(snapshot.seq + 1);
+            self.slots.retain(|seq, _| *seq > snapshot.seq);
+            self.delivered_log = self.delivered_log.split_off(&(snapshot.seq + 1));
+            self.checkpoint.adopt_stable(snapshot.seq);
+            self.snapshot = Some(snapshot.clone());
+            steps.push(Step::InstallSnapshot { snapshot });
+            applied = true;
+        }
+        // The retained tail replays through the normal delivery path.
+        for (seq, command) in tail {
             if seq != self.last_delivered + 1 {
                 continue; // already executed, or non-contiguous garbage
             }
@@ -887,11 +1052,25 @@ mod tests {
                         }
                     }
                     Step::Deliver { seq, command } => delivered[origin].push((seq, command)),
-                    Step::ViewChanged { .. } => {}
+                    Step::ViewChanged { .. } | Step::InstallSnapshot { .. } => {}
+                    Step::TakeSnapshot { .. } => {} // materialized by the driver below
+                }
+            }
+        };
+        // Stand-in for the adapter layer: materialize a (contents-free)
+        // snapshot whenever the engine asks for one.
+        let absorb_snapshots = |rep: &mut PbftReplica<Cmd>, steps: &[Step<Cmd, PbftMsg<Cmd>>]| {
+            for step in steps {
+                if let Step::TakeSnapshot { seq } = step {
+                    rep.store_snapshot(Arc::new(StateSnapshot {
+                        seq: *seq,
+                        ..StateSnapshot::default()
+                    }));
                 }
             }
         };
         for (origin, steps) in initial {
+            absorb_snapshots(&mut reps[origin], &steps);
             handle(origin, steps, &mut queue, &mut delivered);
         }
         let mut budget = 200_000;
@@ -902,6 +1081,7 @@ mod tests {
                 continue;
             }
             let steps = reps[to].on_message(from, msg);
+            absorb_snapshots(&mut reps[to], &steps);
             handle(to, steps, &mut queue, &mut delivered);
         }
         delivered
@@ -1233,6 +1413,82 @@ mod tests {
         assert!(delivered[3]
             .iter()
             .any(|(seq, c)| *seq == 7 && c == b"after"));
+    }
+
+    #[test]
+    fn pruned_responder_serves_snapshot_catch_up() {
+        let (nodes, mut reps) = make_domain(4);
+        let mut reps: Vec<PbftReplica<Cmd>> = reps
+            .drain(..)
+            .map(|r| {
+                r.with_checkpointing(saguaro_types::CheckpointConfig::every(2).with_retention(2))
+            })
+            .collect();
+        // Replica 3 misses twelve commits; the survivors stabilise
+        // checkpoints, snapshot, and prune the chain prefix — the missed
+        // prefix can no longer be replayed entry by entry.
+        let initial: InitialSteps = (0..12u8).map(|i| (0, reps[0].propose(vec![i]))).collect();
+        run_network(&nodes, &mut reps, initial, &[3]);
+        assert_eq!(reps[0].last_delivered(), 12);
+        assert!(reps[0].chain_start() > 1, "responder's log must be pruned");
+        assert!(reps[0].snapshot_seq().is_some());
+        assert_eq!(reps[3].last_delivered(), 0);
+
+        // A checkpoint announcement reaches the laggard: the pruned
+        // responder answers with a snapshot plus the retained tail.
+        let steps = reps[3].on_message(
+            nodes[0],
+            PbftMsg::Checkpoint {
+                seq: 12,
+                digest: saguaro_crypto::sha256(b"modelled"),
+            },
+        );
+        assert!(
+            steps.iter().any(|s| matches!(
+                s,
+                Step::Send {
+                    msg: PbftMsg::StateRequest { above: 0 },
+                    ..
+                }
+            )),
+            "gap-stalled replica must fetch state: {steps:?}"
+        );
+        let delivered = run_network(&nodes, &mut reps, vec![(3, steps)], &[]);
+        assert_eq!(reps[3].last_delivered(), 12);
+        assert_eq!(
+            reps[3].snapshot_seq().unwrap_or(0) + delivered[3].len() as u64,
+            12,
+            "snapshot + replayed tail must cover the whole gap"
+        );
+
+        // Execution resumes on all four replicas.
+        let steps = reps[0].propose(b"after".to_vec());
+        let delivered = run_network(&nodes, &mut reps, vec![(0, steps)], &[]);
+        assert!(delivered[3]
+            .iter()
+            .any(|(seq, c)| *seq == 13 && c == b"after"));
+    }
+
+    #[test]
+    fn finite_retention_bounds_the_delivered_chain() {
+        let (nodes, mut reps) = make_domain(4);
+        let mut reps: Vec<PbftReplica<Cmd>> = reps
+            .drain(..)
+            .map(|r| {
+                r.with_checkpointing(saguaro_types::CheckpointConfig::every(2).with_retention(2))
+            })
+            .collect();
+        let initial: InitialSteps = (0..20u8).map(|i| (0, reps[0].propose(vec![i]))).collect();
+        run_network(&nodes, &mut reps, initial, &[]);
+        for r in &reps {
+            assert_eq!(r.last_delivered(), 20);
+            assert!(
+                r.chain_len() <= 4,
+                "retention 2 (interval 2) must bound the chain, got {}",
+                r.chain_len()
+            );
+            assert!(r.chain_start() > 1, "the chain prefix must be pruned");
+        }
     }
 
     #[test]

@@ -18,7 +18,8 @@ use crate::batch::{Batch, BatchConfig, Batcher};
 use crate::interface::{Command, Step};
 use crate::paxos::{PaxosMsg, PaxosReplica};
 use crate::pbft::{PbftMsg, PbftReplica};
-use saguaro_types::{CheckpointConfig, FailureModel, NodeId, QuorumSpec, SeqNo};
+use saguaro_types::{CheckpointConfig, FailureModel, NodeId, QuorumSpec, SeqNo, StateSnapshot};
+use std::sync::Arc;
 
 /// Wire message of either protocol, carrying batches of commands.
 #[derive(Clone, Debug, PartialEq)]
@@ -46,6 +47,9 @@ impl<C> ConsensusMsg<C> {
                 // A state reply ships one checkpoint-style certificate per
                 // transferred entry.
                 PbftMsg::StateReply { entries, .. } => 1 + entries.len(),
+                // A snapshot reply ships the snapshot's checkpoint
+                // certificate plus one certificate per tail entry.
+                PbftMsg::SnapshotReply { tail, .. } => 1 + tail.len(),
                 _ => 1,
             },
         }
@@ -58,8 +62,10 @@ impl<C> ConsensusMsg<C> {
             self,
             ConsensusMsg::Paxos(PaxosMsg::StateRequest { .. })
                 | ConsensusMsg::Paxos(PaxosMsg::StateReply { .. })
+                | ConsensusMsg::Paxos(PaxosMsg::SnapshotReply { .. })
                 | ConsensusMsg::Pbft(PbftMsg::StateRequest { .. })
                 | ConsensusMsg::Pbft(PbftMsg::StateReply { .. })
+                | ConsensusMsg::Pbft(PbftMsg::SnapshotReply { .. })
         )
     }
 
@@ -70,8 +76,21 @@ impl<C> ConsensusMsg<C> {
         matches!(
             self,
             ConsensusMsg::Paxos(PaxosMsg::StateReply { .. })
+                | ConsensusMsg::Paxos(PaxosMsg::SnapshotReply { .. })
                 | ConsensusMsg::Pbft(PbftMsg::StateReply { .. })
+                | ConsensusMsg::Pbft(PbftMsg::SnapshotReply { .. })
         )
+    }
+
+    /// The application snapshot carried by a snapshot-based catch-up reply
+    /// (`None` for every other message) — wire-size models charge its
+    /// modeled size on top of the per-command terms.
+    pub fn snapshot_payload(&self) -> Option<&StateSnapshot> {
+        match self {
+            ConsensusMsg::Paxos(PaxosMsg::SnapshotReply { snapshot, .. }) => Some(snapshot),
+            ConsensusMsg::Pbft(PbftMsg::SnapshotReply { snapshot, .. }) => Some(snapshot),
+            _ => None,
+        }
     }
 
     /// Total member commands carried by a state reply (0 for any other
@@ -83,6 +102,12 @@ impl<C> ConsensusMsg<C> {
             }
             ConsensusMsg::Pbft(PbftMsg::StateReply { entries, .. }) => {
                 entries.iter().map(|(_, b)| b.len()).sum()
+            }
+            ConsensusMsg::Paxos(PaxosMsg::SnapshotReply { tail, .. }) => {
+                tail.iter().map(|(_, b)| b.len()).sum()
+            }
+            ConsensusMsg::Pbft(PbftMsg::SnapshotReply { tail, .. }) => {
+                tail.iter().map(|(_, b)| b.len()).sum()
             }
             _ => 0,
         }
@@ -106,6 +131,9 @@ impl<C> ConsensusMsg<C> {
                 PaxosMsg::StateReply { entries, .. } => {
                     entries.iter().map(|(_, b)| batch_extra(b)).sum()
                 }
+                PaxosMsg::SnapshotReply { tail, .. } => {
+                    tail.iter().map(|(_, b)| batch_extra(b)).sum()
+                }
                 PaxosMsg::Accepted { .. }
                 | PaxosMsg::Learn { .. }
                 | PaxosMsg::Checkpoint { .. }
@@ -119,6 +147,9 @@ impl<C> ConsensusMsg<C> {
                 PbftMsg::NewView { log, .. } => log.iter().map(|(_, b)| batch_extra(b)).sum(),
                 PbftMsg::StateReply { entries, .. } => {
                     entries.iter().map(|(_, b)| batch_extra(b)).sum()
+                }
+                PbftMsg::SnapshotReply { tail, .. } => {
+                    tail.iter().map(|(_, b)| batch_extra(b)).sum()
                 }
                 PbftMsg::Prepare { .. }
                 | PbftMsg::Commit { .. }
@@ -263,6 +294,42 @@ impl<C: Command> ConsensusReplica<C> {
         }
     }
 
+    /// Hands the engine the application snapshot the adapter materialized in
+    /// response to a [`Step::TakeSnapshot`].  Stale snapshots (at or below
+    /// the one already held) are ignored.
+    pub fn store_snapshot(&mut self, snapshot: Arc<StateSnapshot>) {
+        match &mut self.engine {
+            Engine::Paxos(r) => r.store_snapshot(snapshot),
+            Engine::Pbft(r) => r.store_snapshot(snapshot),
+        }
+    }
+
+    /// Number of delivered-command chain entries the engine still retains
+    /// (the whole history under `retention = ∞`, a bounded suffix otherwise).
+    pub fn chain_len(&self) -> u64 {
+        match &self.engine {
+            Engine::Paxos(r) => r.chain_len(),
+            Engine::Pbft(r) => r.chain_len(),
+        }
+    }
+
+    /// First sequence number still retained in the delivered-command chain.
+    pub fn chain_start(&self) -> SeqNo {
+        match &self.engine {
+            Engine::Paxos(r) => r.chain_start(),
+            Engine::Pbft(r) => r.chain_start(),
+        }
+    }
+
+    /// Sequence number of the application snapshot the engine currently
+    /// holds, if any.
+    pub fn snapshot_seq(&self) -> Option<SeqNo> {
+        match &self.engine {
+            Engine::Paxos(r) => r.snapshot_seq(),
+            Engine::Pbft(r) => r.snapshot_seq(),
+        }
+    }
+
     /// Hands a command to the leader-side batcher (no-op on non-primaries)
     /// and drives consensus on the cut block, if the push completed one.
     ///
@@ -358,6 +425,8 @@ fn wrap<C, M, W>(steps: Vec<Step<Batch<C>, M>>, f: impl Fn(M) -> W) -> Vec<Step<
             Step::Broadcast { msg } => Step::Broadcast { msg: f(msg) },
             Step::Deliver { seq, command } => Step::Deliver { seq, command },
             Step::ViewChanged { view, primary } => Step::ViewChanged { view, primary },
+            Step::TakeSnapshot { seq } => Step::TakeSnapshot { seq },
+            Step::InstallSnapshot { snapshot } => Step::InstallSnapshot { snapshot },
         })
         .collect()
 }
@@ -415,7 +484,9 @@ mod tests {
                         }
                     }
                     Step::Deliver { command, .. } => del[o].extend(command.into_commands()),
-                    Step::ViewChanged { .. } => {}
+                    Step::ViewChanged { .. }
+                    | Step::TakeSnapshot { .. }
+                    | Step::InstallSnapshot { .. } => {}
                 }
             }
         };

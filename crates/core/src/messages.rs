@@ -360,6 +360,9 @@ pub(crate) fn consensus_bytes(m: &ConsensusMsg<Cmd>) -> usize {
                 96 + log.iter().map(|(_, b)| batch_bytes(b)).sum::<usize>()
             }
             PaxosMsg::StateReply { entries, .. } => 96 + entry_bytes(entries),
+            PaxosMsg::SnapshotReply { snapshot, tail, .. } => {
+                96 + snapshot.wire_bytes() as usize + entry_bytes(tail)
+            }
         },
         ConsensusMsg::Pbft(p) => match p {
             PbftMsg::PrePrepare { cmd, .. } => 96 + batch_bytes(cmd),
@@ -377,6 +380,9 @@ pub(crate) fn consensus_bytes(m: &ConsensusMsg<Cmd>) -> usize {
                 128 + log.iter().map(|(_, b)| batch_bytes(b)).sum::<usize>()
             }
             PbftMsg::StateReply { entries, .. } => 128 + entry_bytes(entries),
+            PbftMsg::SnapshotReply { snapshot, tail, .. } => {
+                128 + snapshot.wire_bytes() as usize + entry_bytes(tail)
+            }
         },
     }
 }

@@ -28,7 +28,8 @@ use saguaro_ledger::{
 };
 use saguaro_net::{Actor, Addr, Context, TimerId};
 use saguaro_types::{
-    ClientId, DomainId, FailureModel, NodeId, Operation, QuorumSpec, SeqNo, Transaction, TxId,
+    ClientId, DomainId, FailureModel, MobileOwnership, NodeId, Operation, QuorumSpec, SeqNo,
+    StateSnapshot, Transaction, TxId,
 };
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
@@ -220,6 +221,21 @@ impl SaguaroNode {
         self.consensus.vote_entries()
     }
 
+    /// Delivered-command chain entries the internal consensus still retains.
+    pub fn consensus_chain_len(&self) -> u64 {
+        self.consensus.chain_len()
+    }
+
+    /// First sequence number still retained in the consensus chain.
+    pub fn consensus_chain_start(&self) -> SeqNo {
+        self.consensus.chain_start()
+    }
+
+    /// Sequence number of the application snapshot the consensus holds.
+    pub fn consensus_snapshot_seq(&self) -> Option<SeqNo> {
+        self.consensus.snapshot_seq()
+    }
+
     /// Conflicting view-change / new-view certificates this replica's
     /// consensus detected and discarded.
     pub fn consensus_certificate_conflicts(&self) -> u64 {
@@ -304,7 +320,10 @@ impl SaguaroNode {
         ctx: &mut Context<'_, SaguaroMsg>,
     ) {
         let commands = saguaro_consensus::delivered_commands(steps);
-        if commands > 0 {
+        let installed = steps
+            .iter()
+            .any(|s| matches!(s, Step::InstallSnapshot { .. }));
+        if commands > 0 || installed {
             self.stats.state_transfer_commands += commands;
             self.stats.state_transfer_bytes += bytes as u64;
             self.stats.caught_up_at = Some(ctx.now());
@@ -339,8 +358,89 @@ impl SaguaroNode {
                 Step::ViewChanged { .. } => {
                     self.stats.view_changes += 1;
                 }
+                Step::TakeSnapshot { seq } => self.take_snapshot(seq),
+                Step::InstallSnapshot { snapshot } => self.install_snapshot(&snapshot),
             }
         }
+    }
+
+    /// Materializes an application snapshot as of the checkpoint `seq` the
+    /// engine just announced (the step arrives in-stream, immediately after
+    /// the delivery of `seq` executed) and hands it back to the engine.
+    /// Only emitted under a finite retention window, where it also bounds
+    /// the per-transaction side state the snapshot makes redundant.
+    fn take_snapshot(&mut self, seq: SeqNo) {
+        let mut mobile: Vec<MobileOwnership> = self
+            .mobile
+            .iter()
+            .map(|(device, rec)| MobileOwnership {
+                device: *device,
+                locked: rec.lock,
+                remote: rec.remote,
+            })
+            .collect();
+        mobile.sort_by_key(|m| m.device.0);
+        let mut hosted: Vec<ClientId> = self.hosted_devices.iter().copied().collect();
+        hosted.sort_by_key(|c| c.0);
+        let snapshot = StateSnapshot {
+            seq,
+            delivery_hash: self.stats.consensus_log.last(),
+            accounts: self.state.iter().map(|(k, v)| (k.to_string(), v)).collect(),
+            mobile,
+            hosted,
+        };
+        self.consensus.store_snapshot(Arc::new(snapshot));
+        self.stats.snapshots_taken += 1;
+        // Replicas that never cut blocks — backups, and nodes of the root
+        // domain, which has no parent to send blocks to — accumulate round
+        // state nobody will ever read: the pending-round cursor pins the
+        // whole ledger as unprunable and `round_updates` grows per write.
+        // End their round here so the prune below actually bounds memory.
+        let cuts_blocks = self.is_primary() && self.tree.parent(self.domain()).is_some();
+        if !cuts_blocks {
+            self.round_updates.clear();
+            self.ledger.note_round_boundary();
+        }
+        let pruned = self.ledger.prune_front(crate::stats::CommitTimes::CAPACITY);
+        for id in pruned {
+            self.undo_log.remove(&id);
+        }
+        // Parent domains also bound the DAG of incorporated child blocks:
+        // its history below the window is superseded by the snapshot.
+        self.dag.prune_front(crate::stats::CommitTimes::CAPACITY);
+    }
+
+    /// Replaces the executed application state with a catch-up snapshot's
+    /// (the retained command tail follows as ordinary deliveries).  Undo
+    /// records and reply targets of the superseded history are dropped: the
+    /// transactions they belong to are quorum-executed behind a stable
+    /// checkpoint and can no longer abort.
+    fn install_snapshot(&mut self, snapshot: &StateSnapshot) {
+        self.state = BlockchainState::new();
+        for (k, v) in &snapshot.accounts {
+            self.state.put(k.clone(), *v);
+        }
+        self.mobile = snapshot
+            .mobile
+            .iter()
+            .map(|m| {
+                (
+                    m.device,
+                    MobileRecord {
+                        lock: m.locked,
+                        remote: m.remote,
+                    },
+                )
+            })
+            .collect();
+        self.hosted_devices = snapshot.hosted.iter().copied().collect();
+        self.undo_log.clear();
+        if self.config.record_deliveries {
+            self.stats
+                .consensus_log
+                .splice(snapshot.seq, snapshot.delivery_hash);
+        }
+        self.stats.snapshots_installed += 1;
     }
 
     /// Executes a command the domain's internal consensus has committed.

@@ -1,6 +1,6 @@
 //! Per-node measurement counters.
 
-use saguaro_types::{SimTime, TxId};
+use saguaro_types::{DeliveryLog, SimTime, TxId};
 use std::collections::{HashMap, VecDeque};
 
 /// A bounded record of recent commit instants: a FIFO of at most
@@ -71,11 +71,16 @@ pub struct NodeStats {
     /// View changes observed by this node.
     pub view_changes: u64,
     /// Rolling hash of the internal consensus delivery stream, one snapshot
-    /// per delivered block.  Two replicas of a domain agree on their common
-    /// delivery prefix iff the shorter log's last snapshot equals the longer
-    /// log's snapshot at the same index — the fault-injection suites assert
-    /// exactly that.
-    pub consensus_log: Vec<u64>,
+    /// per delivered block, kept as a bounded window ([`DeliveryLog`]) so
+    /// endurance runs do not grow it per delivery.  Two replicas of a domain
+    /// agree on their common delivery prefix iff their windows agree at the
+    /// deepest shared index — the fault-injection suites assert exactly that.
+    pub consensus_log: DeliveryLog,
+    /// Application snapshots this node materialized at checkpoint points.
+    pub snapshots_taken: u64,
+    /// Application snapshots this node installed through snapshot-based
+    /// catch-up (each replaces a full missed-prefix replay).
+    pub snapshots_installed: u64,
     /// Commit times of the transactions this node committed most recently as
     /// the *receiving* domain primary (used to compute end-to-end latency
     /// when replies are lost).  Bounded: see [`CommitTimes`].
@@ -95,7 +100,7 @@ impl NodeStats {
     /// fingerprint per member command) into the rolling delivery-stream
     /// hash — see [`saguaro_types::delivery_hash`].
     pub fn note_delivery(&mut self, seq: u64, members: impl Iterator<Item = u64>) {
-        let prev = self.consensus_log.last().copied();
+        let prev = self.consensus_log.last();
         self.consensus_log
             .push(saguaro_types::delivery_hash(prev, seq, members));
     }

@@ -37,6 +37,8 @@ pub struct DagLedger {
     blocks_applied: BTreeMap<DomainId, Vec<BlockId>>,
     /// Highest round incorporated per child domain.
     last_round: BTreeMap<DomainId, u64>,
+    /// Entries discarded by [`DagLedger::prune_front`].
+    pruned: u64,
 }
 
 impl DagLedger {
@@ -155,6 +157,41 @@ impl DagLedger {
             .or_default()
             .push(block.header.id);
         Ok(appended)
+    }
+
+    /// Discards the oldest entries beyond `keep_last` and bounds the
+    /// per-child block audit lists to the same window.  Round bookkeeping
+    /// (`last_round`, `child_tails`) survives, so in-order incorporation
+    /// continues unaffected; edges into pruned vertices are dropped.  Only
+    /// runs with a finite checkpoint retention window call this — they
+    /// accept window-local cross-domain dedup in exchange for a resident
+    /// set bounded by the window rather than the run length.
+    pub fn prune_front(&mut self, keep_last: usize) -> usize {
+        for ids in self.blocks_applied.values_mut() {
+            if ids.len() > keep_last {
+                let excess = ids.len() - keep_last;
+                ids.drain(..excess);
+            }
+        }
+        let excess = self.order.len().saturating_sub(keep_last);
+        if excess == 0 {
+            return 0;
+        }
+        let removed: BTreeSet<TxId> = self.order.drain(..excess).collect();
+        for id in &removed {
+            self.entries.remove(id);
+        }
+        for e in self.entries.values_mut() {
+            e.parents.retain(|p| !removed.contains(p));
+        }
+        self.child_tails.retain(|_, id| !removed.contains(id));
+        self.pruned += excess as u64;
+        excess
+    }
+
+    /// Entries discarded so far by [`DagLedger::prune_front`].
+    pub fn pruned_entries(&self) -> u64 {
+        self.pruned
     }
 
     /// Marks a transaction aborted (e.g. after the LCA detected an ordering

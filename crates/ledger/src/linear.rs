@@ -30,6 +30,8 @@ pub struct LinearLedger {
     last_block_digest: Digest,
     /// Headers of all cut blocks, for audit.
     block_ids: Vec<BlockId>,
+    /// Entries discarded from the front by [`LinearLedger::prune_front`].
+    pruned: u64,
 }
 
 impl LinearLedger {
@@ -44,6 +46,7 @@ impl LinearLedger {
             rounds_cut: 0,
             last_block_digest: Digest::ZERO,
             block_ids: Vec::new(),
+            pruned: 0,
         }
     }
 
@@ -179,6 +182,50 @@ impl LinearLedger {
         block
     }
 
+    /// Marks a round boundary without building a block: everything appended
+    /// so far becomes prunable.  Replicas that never cut blocks — backups,
+    /// and root-domain nodes with no parent to send blocks to — call this
+    /// before [`LinearLedger::prune_front`]; without it `round_start` never
+    /// advances on them and pruning would be a permanent no-op.
+    pub fn note_round_boundary(&mut self) {
+        self.round_start = self.entries.len();
+    }
+
+    /// Discards the oldest entries beyond `keep_last`, never cutting into
+    /// the current (uncut) round, and returns the ids of the discarded
+    /// entries so the caller can drop any per-transaction side state (undo
+    /// records).  Pruned ids no longer resolve through `get` / `contains`;
+    /// only runs with a finite checkpoint retention window call this, and
+    /// those accept window-local duplicate detection in exchange for flat
+    /// memory.  Cut-block audit headers are bounded to the same window.
+    pub fn prune_front(&mut self, keep_last: usize) -> Vec<TxId> {
+        let removable = self
+            .round_start
+            .min(self.entries.len().saturating_sub(keep_last));
+        if self.block_ids.len() > keep_last {
+            let excess = self.block_ids.len() - keep_last;
+            self.block_ids.drain(..excess);
+        }
+        if removable == 0 {
+            return Vec::new();
+        }
+        let ids: Vec<TxId> = self.entries.drain(..removable).map(|e| e.tx.id).collect();
+        for id in &ids {
+            self.index.remove(id);
+        }
+        for pos in self.index.values_mut() {
+            *pos -= removable;
+        }
+        self.round_start -= removable;
+        self.pruned += removable as u64;
+        ids
+    }
+
+    /// Entries discarded so far by [`LinearLedger::prune_front`].
+    pub fn pruned_entries(&self) -> u64 {
+        self.pruned
+    }
+
     /// Commit-order positions of two transactions, if both are present
     /// (used to check ordering consistency in tests).
     pub fn relative_order(&self, a: TxId, b: TxId) -> Option<std::cmp::Ordering> {
@@ -294,6 +341,43 @@ mod tests {
             Some(std::cmp::Ordering::Greater)
         );
         assert_eq!(l.relative_order(TxId(3), TxId(9)), None);
+    }
+
+    #[test]
+    fn prune_front_bounds_retained_entries_and_preserves_lookups() {
+        let mut l = LinearLedger::new(domain());
+        for i in 0..20 {
+            l.append_internal(tx(i), TxStatus::Committed);
+        }
+        l.cut_block(StateDelta::new()); // round boundary: all 20 prunable
+        let pruned = l.prune_front(5);
+        assert_eq!(pruned.len(), 15);
+        assert_eq!(l.len(), 5);
+        assert_eq!(l.pruned_entries(), 15);
+        // Retained entries still resolve at their shifted positions.
+        assert!(!l.contains(TxId(0)));
+        assert!(l.contains(TxId(19)));
+        assert_eq!(
+            l.get(TxId(19)).unwrap().seq.get(domain()),
+            Some(20),
+            "sequence numbers survive pruning"
+        );
+        // Sequence assignment continues unbroken.
+        assert_eq!(l.append_internal(tx(99), TxStatus::Committed), 21);
+    }
+
+    #[test]
+    fn prune_front_never_cuts_into_the_current_round() {
+        let mut l = LinearLedger::new(domain());
+        l.append_internal(tx(1), TxStatus::Committed);
+        l.cut_block(StateDelta::new());
+        l.append_internal(tx(2), TxStatus::Committed);
+        // Entry 2 belongs to the uncut round: only entry 1 is removable.
+        let pruned = l.prune_front(0);
+        assert_eq!(pruned, vec![TxId(1)]);
+        assert_eq!(l.pending_round_entries().len(), 1);
+        let b = l.cut_block(StateDelta::new());
+        assert_eq!(b.txs.len(), 1, "pruning must not eat the pending round");
     }
 
     #[test]

@@ -203,6 +203,7 @@ pub fn harvest_saguaro<S: SimRuntime<SaguaroMsg>>(
     harvest_with(sim, tree, true, |node, n: &mut SaguaroNode| NodeHarvest {
         node,
         entries: ledger_entries(n.ledger()),
+        total_entries: n.ledger().len() as u64 + n.ledger().pruned_entries(),
         consensus_log: n.stats().consensus_log.clone(),
         view_changes: n.stats().view_changes,
         last_delivered: n.consensus_frontier(),
@@ -212,6 +213,11 @@ pub fn harvest_saguaro<S: SimRuntime<SaguaroMsg>>(
         state_transfer_commands: n.stats().state_transfer_commands,
         state_transfer_bytes: n.stats().state_transfer_bytes,
         caught_up_at: n.stats().caught_up_at,
+        chain_len: n.consensus_chain_len(),
+        chain_start: n.consensus_chain_start(),
+        snapshot_seq: n.consensus_snapshot_seq(),
+        snapshots_taken: n.stats().snapshots_taken,
+        snapshots_installed: n.stats().snapshots_installed,
     })
 }
 
@@ -223,6 +229,7 @@ pub fn harvest_baseline<S: SimRuntime<BaselineMsg>>(
     harvest_with(sim, tree, false, |node, n: &mut BaselineNode| NodeHarvest {
         node,
         entries: ledger_entries(n.ledger()),
+        total_entries: n.ledger().len() as u64 + n.ledger().pruned_entries(),
         consensus_log: n.stats().consensus_log.clone(),
         view_changes: n.stats().view_changes,
         last_delivered: n.consensus_frontier(),
@@ -232,13 +239,24 @@ pub fn harvest_baseline<S: SimRuntime<BaselineMsg>>(
         state_transfer_commands: n.stats().state_transfer_commands,
         state_transfer_bytes: n.stats().state_transfer_bytes,
         caught_up_at: n.stats().caught_up_at,
+        chain_len: n.consensus_chain_len(),
+        chain_start: n.consensus_chain_start(),
+        snapshot_seq: n.consensus_snapshot_seq(),
+        snapshots_taken: n.stats().snapshots_taken,
+        snapshots_installed: n.stats().snapshots_installed,
     })
 }
 
-/// Ledger entries as `(tx id, final status)` pairs in append order.
+/// Ledger entries as `(tx id, final status)` pairs in append order, bounded
+/// to the most recent [`saguaro_types::DeliveryLog::CAPACITY`] entries (older
+/// ones may already have been pruned under finite checkpoint retention; the
+/// bound keeps harvests from growing with run length either way).
 fn ledger_entries(ledger: &saguaro_ledger::LinearLedger) -> Vec<(saguaro_types::TxId, TxStatus)> {
-    ledger
-        .entries()
+    let entries = ledger.entries();
+    let skip = entries
+        .len()
+        .saturating_sub(saguaro_types::DeliveryLog::CAPACITY);
+    entries[skip..]
         .iter()
         .map(|e| (e.tx.id, e.status))
         .collect()

@@ -47,8 +47,8 @@ use saguaro_net::{
     Simulation,
 };
 use saguaro_types::{
-    BatchConfig, CheckpointConfig, ClientId, ClientModel, DomainId, Duration, EngineMode,
-    FailureModel, LivenessConfig, NodeId, PopulationConfig, SimTime, StackConfig, TxId,
+    BatchConfig, CheckpointConfig, ClientId, ClientModel, ConsensusTuning, DomainId, Duration,
+    EngineMode, FailureModel, LivenessConfig, NodeId, PopulationConfig, SimTime, StackConfig, TxId,
 };
 use saguaro_workload::{MicropaymentWorkload, RidesharingWorkload, Workload, WorkloadConfig};
 use std::sync::Arc;
@@ -139,24 +139,28 @@ pub struct ExperimentSpec {
     pub measure: Duration,
     /// RNG seed (workload + network jitter).
     pub seed: u64,
-    /// Request batching of every domain's internal consensus.  The default
-    /// (`max_batch = 1`) is the unbatched per-request pipeline.
-    pub batch: BatchConfig,
+    /// The consensus-pipeline knobs of every domain's internal consensus,
+    /// grouped: request batching, liveness timers, and checkpointing /
+    /// state transfer / log retention.  The default reproduces the
+    /// historical pipeline bit for bit (unbatched, timers decided by the
+    /// fault plan, legacy checkpointing, infinite retention).  Tune it with
+    /// [`ExperimentSpec::tune`]:
+    ///
+    /// ```ignore
+    /// spec.tune(|t| t.batch_size(8).checkpoint_every(16).retained(64))
+    /// ```
+    ///
+    /// `consensus.liveness = None` (the default) means "implied": a
+    /// non-empty `fault_plan` deploys [`LivenessConfig::standard`] — faults
+    /// without suspicion timers would just wedge — and an empty one deploys
+    /// with timers off.  An explicit `Some` always wins, including
+    /// `Some(LivenessConfig::disabled())` to script pure delay/partition
+    /// scenarios without arming timers.
+    pub consensus: ConsensusTuning,
     /// Scripted fault events (crashes, recoveries, partitions, delay
     /// spikes) applied as virtual time advances.  Empty by default: the run
     /// is bit-identical to the historical failure-free pipeline.
     pub fault_plan: FaultSchedule,
-    /// Progress-timer (primary suspicion) knobs.  `None` (the default)
-    /// means "implied": a non-empty `fault_plan` deploys
-    /// [`LivenessConfig::standard`] — faults without suspicion timers would
-    /// just wedge — and an empty one deploys with timers off.  An explicit
-    /// `Some` always wins, including `Some(LivenessConfig::disabled())` to
-    /// script pure delay/partition scenarios without arming timers.
-    pub liveness: Option<LivenessConfig>,
-    /// Checkpointing / state-transfer knobs of every domain's internal
-    /// consensus.  The legacy default reproduces the historical pipeline bit
-    /// for bit; [`ExperimentSpec::checkpointed`] turns the subsystem on.
-    pub checkpoint: CheckpointConfig,
     /// How the client side is modeled.  The default, `PerActor`, is the
     /// historical one-simulator-actor-per-client open loop with exact
     /// per-transaction records (the bit-identical golden path).
@@ -195,10 +199,8 @@ impl ExperimentSpec {
             warmup: Duration::from_millis(300),
             measure: Duration::from_millis(900),
             seed: 42,
-            batch: BatchConfig::unbatched(),
+            consensus: ConsensusTuning::new(),
             fault_plan: FaultSchedule::none(),
-            liveness: None,
-            checkpoint: CheckpointConfig::legacy(),
             client_model: ClientModel::PerActor,
             topology: None,
             engine: EngineMode::Sequential,
@@ -281,39 +283,57 @@ impl ExperimentSpec {
         self
     }
 
-    /// Sets the consensus block size (batching), keeping the default cut
-    /// delay.  `batched(1)` is the unbatched pipeline.
-    pub fn batched(mut self, max_batch: usize) -> Self {
-        self.batch = BatchConfig::with_max_batch(max_batch);
+    /// Replaces the grouped consensus-pipeline knobs wholesale.  For
+    /// incremental tweaks prefer [`ExperimentSpec::tune`].
+    pub fn consensus(mut self, consensus: ConsensusTuning) -> Self {
+        self.consensus = consensus;
         self
     }
 
-    /// Replaces the full batching configuration.
-    pub fn batch_config(mut self, batch: BatchConfig) -> Self {
-        self.batch = batch;
+    /// Tunes the grouped consensus-pipeline knobs in place — the single
+    /// entry point for batching, liveness and checkpoint/retention setters:
+    ///
+    /// ```ignore
+    /// spec.tune(|t| t.batch_size(8).checkpoint_every(16).retained(64))
+    /// ```
+    pub fn tune(mut self, f: impl FnOnce(ConsensusTuning) -> ConsensusTuning) -> Self {
+        self.consensus = f(self.consensus);
         self
+    }
+
+    /// Sets the consensus block size (batching), keeping the default cut
+    /// delay.  `batched(1)` is the unbatched pipeline.
+    #[deprecated(note = "use `spec.tune(|t| t.batch_size(n))`")]
+    pub fn batched(self, max_batch: usize) -> Self {
+        self.tune(|t| t.batch_size(max_batch))
+    }
+
+    /// Replaces the full batching configuration.
+    #[deprecated(note = "use `spec.tune(|t| t.batch(config))`")]
+    pub fn batch_config(self, batch: BatchConfig) -> Self {
+        self.tune(|t| t.batch(batch))
     }
 
     /// Turns on checkpointing and state transfer with the given
     /// announcement interval: consensus logs stay bounded by the stable
     /// checkpoint and gap-stalled replicas catch up from peers.
-    pub fn checkpointed(mut self, interval: u64) -> Self {
-        self.checkpoint = CheckpointConfig::every(interval);
-        self
+    #[deprecated(note = "use `spec.tune(|t| t.checkpoint_every(interval))`")]
+    pub fn checkpointed(self, interval: u64) -> Self {
+        self.tune(|t| t.checkpoint_every(interval))
     }
 
     /// Replaces the full checkpoint configuration (e.g.
     /// [`CheckpointConfig::unbounded`] for the `∞`-interval determinism
     /// baseline).
-    pub fn checkpoint_config(mut self, checkpoint: CheckpointConfig) -> Self {
-        self.checkpoint = checkpoint;
-        self
+    #[deprecated(note = "use `spec.tune(|t| t.checkpoint(config))`")]
+    pub fn checkpoint_config(self, checkpoint: CheckpointConfig) -> Self {
+        self.tune(|t| t.checkpoint(checkpoint))
     }
 
     /// Installs a scripted fault plan (crash/recover/partition/heal/delay
     /// events keyed by virtual time).  A non-empty plan implies the standard
-    /// liveness configuration — see [`ExperimentSpec::with_liveness`] to
-    /// tune the suspicion timeout.
+    /// liveness configuration — pin `tune(|t| t.liveness(...))` to tune the
+    /// suspicion timeout.
     pub fn fault_plan(mut self, plan: FaultSchedule) -> Self {
         self.fault_plan = plan;
         self
@@ -322,20 +342,17 @@ impl ExperimentSpec {
     /// Sets the liveness-timer knobs explicitly (overriding what the fault
     /// plan would imply — `LivenessConfig::disabled()` here really does
     /// disable the timers).
-    pub fn with_liveness(mut self, liveness: LivenessConfig) -> Self {
-        self.liveness = Some(liveness);
-        self
+    #[deprecated(note = "use `spec.tune(|t| t.liveness(config))`")]
+    pub fn with_liveness(self, liveness: LivenessConfig) -> Self {
+        self.tune(|t| t.liveness(liveness))
     }
 
     /// The liveness configuration the run actually deploys with: an
     /// explicitly set one wins; otherwise a non-empty fault plan implies
     /// [`LivenessConfig::standard`].
     pub fn effective_liveness(&self) -> LivenessConfig {
-        match self.liveness {
-            Some(liveness) => liveness,
-            None if !self.fault_plan.is_empty() => LivenessConfig::standard(),
-            None => LivenessConfig::disabled(),
-        }
+        self.consensus
+            .effective_liveness(!self.fault_plan.is_empty())
     }
 
     /// True if this run exercises the fault machinery (and therefore spreads
@@ -356,12 +373,59 @@ impl ExperimentSpec {
     /// Runs the experiment (dispatching to the stack named by
     /// `self.protocol`).
     pub fn run(&self) -> RunMetrics {
-        run(self)
+        self.run_collecting().metrics
     }
 
-    /// Sweeps offered load over this spec.
+    /// Like [`ExperimentSpec::run`], but also returns the raw
+    /// per-transaction and per-replica artifacts.
+    pub fn run_collecting(&self) -> RunArtifacts {
+        match self.protocol {
+            ProtocolKind::SaguaroCoordinator => run_experiment_collecting::<CoordinatorStack>(self),
+            ProtocolKind::SaguaroOptimistic => run_experiment_collecting::<OptimisticStack>(self),
+            ProtocolKind::Ahl => run_experiment_collecting::<AhlStack>(self),
+            ProtocolKind::Sharper => run_experiment_collecting::<SharperStack>(self),
+        }
+    }
+
+    /// Sweeps offered load over this spec, returning one point per load
+    /// value.
+    ///
+    /// Sweep points are independent single-seeded runs, so they execute in
+    /// parallel across all cores (see [`crate::par`]); results are merged
+    /// in load order, making the parallel sweep bit-identical to a
+    /// sequential one.
     pub fn sweep(&self, loads: &[f64]) -> Vec<LoadPoint> {
-        sweep(self, loads)
+        let specs: Vec<ExperimentSpec> = loads
+            .iter()
+            .map(|l| {
+                let mut s = self.clone();
+                s.offered_load_tps = *l;
+                s
+            })
+            .collect();
+        crate::par::parallel_map(&specs, |s| s.run())
+            .into_iter()
+            .zip(loads)
+            .map(|(metrics, l)| LoadPoint {
+                offered_tps: *l,
+                metrics,
+            })
+            .collect()
+    }
+
+    /// The [`StackConfig`] this spec deploys every domain with: the grouped
+    /// consensus knobs with liveness resolved per context, recording
+    /// agreement evidence for every fault run — including plans scripted
+    /// with liveness timers explicitly off — and skipping it in
+    /// failure-free performance sweeps.
+    pub fn stack_config(&self) -> StackConfig {
+        let liveness = self.effective_liveness();
+        StackConfig {
+            batch: self.consensus.batch,
+            liveness,
+            checkpoint: self.consensus.checkpoint,
+            record_deliveries: liveness.enabled || !self.fault_plan.is_empty(),
+        }
     }
 }
 
@@ -484,42 +548,22 @@ pub struct RunArtifacts {
 
 /// Runs one experiment, dispatching `spec.protocol` to the corresponding
 /// [`ProtocolStack`] implementation.
+#[deprecated(note = "use `spec.run()`")]
 pub fn run(spec: &ExperimentSpec) -> RunMetrics {
-    run_collecting(spec).metrics
+    spec.run()
 }
 
-/// Like [`run`], but also returns the raw per-transaction artifacts.
+/// Like [`ExperimentSpec::run`], but also returns the raw per-transaction
+/// artifacts.
+#[deprecated(note = "use `spec.run_collecting()`")]
 pub fn run_collecting(spec: &ExperimentSpec) -> RunArtifacts {
-    match spec.protocol {
-        ProtocolKind::SaguaroCoordinator => run_experiment_collecting::<CoordinatorStack>(spec),
-        ProtocolKind::SaguaroOptimistic => run_experiment_collecting::<OptimisticStack>(spec),
-        ProtocolKind::Ahl => run_experiment_collecting::<AhlStack>(spec),
-        ProtocolKind::Sharper => run_experiment_collecting::<SharperStack>(spec),
-    }
+    spec.run_collecting()
 }
 
 /// Sweeps offered load, returning one point per load value.
-///
-/// Sweep points are independent single-seeded runs, so they execute in
-/// parallel across all cores (see [`crate::par`]); results are merged in
-/// load order, making the parallel sweep bit-identical to a sequential one.
+#[deprecated(note = "use `spec.sweep(loads)`")]
 pub fn sweep(spec: &ExperimentSpec, loads: &[f64]) -> Vec<LoadPoint> {
-    let specs: Vec<ExperimentSpec> = loads
-        .iter()
-        .map(|l| {
-            let mut s = spec.clone();
-            s.offered_load_tps = *l;
-            s
-        })
-        .collect();
-    crate::par::parallel_map(&specs, run)
-        .into_iter()
-        .zip(loads)
-        .map(|(metrics, l)| LoadPoint {
-            offered_tps: *l,
-            metrics,
-        })
-        .collect()
+    spec.sweep(loads)
 }
 
 /// One client's open-loop schedule: `(tx id, framed request, destination)`
@@ -696,15 +740,7 @@ fn run_collecting_on<P: ProtocolStack, S: SimRuntime<P::Msg>>(
         1
     };
     let prepared = prepare::<P>(spec, tree.edge_server_domains(), spread);
-    let stack = StackConfig {
-        batch: spec.batch,
-        liveness,
-        checkpoint: spec.checkpoint,
-        // Agreement evidence is recorded for every fault run — including
-        // plans scripted with liveness timers explicitly off — and skipped
-        // by failure-free performance sweeps.
-        record_deliveries: liveness.enabled || !spec.fault_plan.is_empty(),
-    };
+    let stack = spec.stack_config();
     P::deploy(sim, tree, &prepared.seeds, &stack);
     install_fault_plan::<P, S>(sim, spec);
 
@@ -788,12 +824,7 @@ fn run_aggregate_on<P: ProtocolStack, S: SimRuntime<P::Msg>>(
         .iter()
         .map(|d| (*d, population.seed_accounts_for(*d)))
         .collect();
-    let stack = StackConfig {
-        batch: spec.batch,
-        liveness,
-        checkpoint: spec.checkpoint,
-        record_deliveries: liveness.enabled || !spec.fault_plan.is_empty(),
-    };
+    let stack = spec.stack_config();
     P::deploy(sim, tree, &seeds, &stack);
     install_fault_plan::<P, S>(sim, spec);
 
@@ -905,7 +936,7 @@ mod tests {
         let spec = ExperimentSpec::new(ProtocolKind::SaguaroCoordinator)
             .quick()
             .load(800.0);
-        let metrics = run(&spec);
+        let metrics = spec.run();
         assert!(metrics.committed > 50, "committed {}", metrics.committed);
         assert!(metrics.throughput_tps > 100.0);
         assert!(metrics.avg_latency_ms > 0.0 && metrics.avg_latency_ms < 200.0);
@@ -921,7 +952,7 @@ mod tests {
                 .quick()
                 .cross_domain(0.5)
                 .load(600.0);
-            let metrics = run(&spec);
+            let metrics = spec.run();
             assert!(
                 metrics.committed > 30,
                 "{protocol:?} committed {}",
@@ -937,7 +968,7 @@ mod tests {
                 .quick()
                 .cross_domain(0.5)
                 .load(600.0);
-            let metrics = run(&spec);
+            let metrics = spec.run();
             assert!(
                 metrics.committed > 30,
                 "{protocol:?} committed {}",
@@ -952,7 +983,7 @@ mod tests {
             .quick()
             .mobile(0.5)
             .load(500.0);
-        let metrics = run(&spec);
+        let metrics = spec.run();
         assert!(metrics.committed > 20, "committed {}", metrics.committed);
     }
 
@@ -969,7 +1000,7 @@ mod tests {
     #[test]
     fn sweep_produces_one_point_per_load() {
         let spec = ExperimentSpec::new(ProtocolKind::SaguaroCoordinator).quick();
-        let points = sweep(&spec, &[300.0, 600.0]);
+        let points = spec.sweep(&[300.0, 600.0]);
         assert_eq!(points.len(), 2);
         assert!(points[1].metrics.throughput_tps >= points[0].metrics.throughput_tps * 0.5);
     }
@@ -979,7 +1010,7 @@ mod tests {
         let spec = ExperimentSpec::new(ProtocolKind::Sharper)
             .quick()
             .load(400.0);
-        assert_eq!(run_experiment::<SharperStack>(&spec), run(&spec));
+        assert_eq!(run_experiment::<SharperStack>(&spec), spec.run());
     }
 
     #[test]
@@ -997,7 +1028,7 @@ mod tests {
 
         let tuned = faulty
             .clone()
-            .with_liveness(LivenessConfig::with_timeout(Duration::from_millis(25)));
+            .tune(|t| t.liveness(LivenessConfig::with_timeout(Duration::from_millis(25))));
         assert_eq!(
             tuned.effective_liveness().progress_timeout,
             Duration::from_millis(25)
@@ -1005,14 +1036,33 @@ mod tests {
 
         // An explicitly *disabled* config beats the fault-plan implication:
         // pure delay/partition scripts can run without arming timers.
-        let timers_off = faulty.with_liveness(LivenessConfig::disabled());
+        let timers_off = faulty.tune(|t| t.liveness(LivenessConfig::disabled()));
         assert!(!timers_off.is_chaos());
         assert!(!timers_off.effective_liveness().enabled);
 
         // Liveness alone (no plan) also counts as a chaos run: timers are
         // armed and client targets spread.
-        let timers_only = plain.with_liveness(LivenessConfig::standard());
+        let timers_only = plain.tune(|t| t.liveness(LivenessConfig::standard()));
         assert!(timers_only.is_chaos());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_builder_shims_still_reach_the_grouped_tuning() {
+        let spec = ExperimentSpec::new(ProtocolKind::SaguaroCoordinator)
+            .batched(8)
+            .checkpointed(16)
+            .with_liveness(LivenessConfig::standard());
+        assert_eq!(spec.consensus.batch.max_batch, 8);
+        assert_eq!(spec.consensus.checkpoint.interval, 16);
+        assert_eq!(spec.consensus.liveness, Some(LivenessConfig::standard()));
+        let grouped = ExperimentSpec::new(ProtocolKind::SaguaroCoordinator).tune(|t| {
+            t.batch_size(8)
+                .checkpoint_every(16)
+                .liveness(LivenessConfig::standard())
+        });
+        assert_eq!(spec.consensus, grouped.consensus);
+        assert_eq!(spec.stack_config(), grouped.stack_config());
     }
 
     #[test]

@@ -5,9 +5,7 @@
 //! corresponding figure; the `saguaro-bench` binaries print them as tables
 //! and `EXPERIMENTS.md` records the paper-vs-measured comparison.
 
-use crate::experiment::{
-    run, run_collecting, ExperimentSpec, LoadPoint, RidesharingConfig, RunMetrics,
-};
+use crate::experiment::{ExperimentSpec, LoadPoint, RidesharingConfig, RunMetrics};
 use crate::par::parallel_map;
 use crate::protocol::ProtocolKind;
 use saguaro_hierarchy::Placement;
@@ -82,7 +80,7 @@ fn sweep_series(entries: Vec<(String, ExperimentSpec)>, loads: &[f64]) -> Vec<Fi
             })
         })
         .collect();
-    let mut metrics = parallel_map(&jobs, run).into_iter();
+    let mut metrics = parallel_map(&jobs, |s| s.run()).into_iter();
     entries
         .into_iter()
         .map(|(label, _)| FigureSeries {
@@ -254,7 +252,7 @@ pub fn ablation_batch(options: &FigureOptions) -> Vec<FigureSeries> {
         for &b in &sizes {
             entries.push((
                 format!("{} b={b}", proto.label()),
-                spec(proto, options).batched(b),
+                spec(proto, options).tune(|t| t.batch_size(b)),
             ));
         }
     }
@@ -373,7 +371,7 @@ pub fn faults(options: &FigureOptions) -> Vec<FaultSeries> {
             (label, s.fault_plan(plan), crash_at, recover_at)
         })
         .collect();
-    let artifacts = parallel_map(&entries, |(_, s, _, _)| run_collecting(s));
+    let artifacts = parallel_map(&entries, |(_, s, _, _)| s.run_collecting());
     entries
         .into_iter()
         .zip(artifacts)
@@ -529,7 +527,7 @@ pub fn recovery(options: &FigureOptions) -> Vec<RecoverySeries> {
                 outages_ms.iter().map(move |outage| {
                     let mut s = spec(ProtocolKind::SaguaroCoordinator, options)
                         .load(load)
-                        .checkpointed(interval);
+                        .tune(|t| t.checkpoint_every(interval));
                     if *byzantine {
                         s = s.byzantine();
                     }
@@ -542,7 +540,7 @@ pub fn recovery(options: &FigureOptions) -> Vec<RecoverySeries> {
                 })
             })
             .collect();
-    let artifacts = parallel_map(&entries, |(_, s, _)| run_collecting(s));
+    let artifacts = parallel_map(&entries, |(_, s, _)| s.run_collecting());
     let mut series: Vec<RecoverySeries> = Vec::new();
     for ((label, s, outage), art) in entries.into_iter().zip(artifacts) {
         let recover_at = s.warmup
@@ -679,9 +677,11 @@ pub fn timeout_sweep(options: &FigureOptions) -> Vec<TimeoutSeries> {
                     let mut s = spec(ProtocolKind::SaguaroCoordinator, options)
                         .placed(*placement)
                         .load(load)
-                        .with_liveness(LivenessConfig::with_timeout(Duration::from_millis(
-                            *timeout,
-                        )));
+                        .tune(|t| {
+                            t.liveness(LivenessConfig::with_timeout(Duration::from_millis(
+                                *timeout,
+                            )))
+                        });
                     if crash {
                         let crash_at = s.warmup + Duration::from_micros(s.measure.as_micros() / 4);
                         s = s.fault_plan(
@@ -694,7 +694,7 @@ pub fn timeout_sweep(options: &FigureOptions) -> Vec<TimeoutSeries> {
             })
         })
         .collect();
-    let artifacts = parallel_map(&entries, |(_, s, _, _)| run_collecting(s));
+    let artifacts = parallel_map(&entries, |(_, s, _, _)| s.run_collecting());
     let mut series: Vec<TimeoutSeries> = placements
         .iter()
         .map(|(label, _)| TimeoutSeries {
@@ -830,7 +830,7 @@ fn population_point(users: u64, fanout: usize, options: &FigureOptions) -> Popul
         .shaped(2, fanout)
         .aggregate(PopulationConfig::with_users(users));
     let started = std::time::Instant::now();
-    let art = run_collecting(&s);
+    let art = s.run_collecting();
     let wall_ms = started.elapsed().as_secs_f64() * 1e3;
     let tally = art
         .population

@@ -16,7 +16,7 @@ use saguaro_core::{ProtocolConfig, SaguaroMsg};
 use saguaro_hierarchy::HierarchyTree;
 use saguaro_ledger::TxStatus;
 use saguaro_net::{MessageMeta, SimRuntime};
-use saguaro_types::{DomainId, FailureModel, NodeId, StackConfig, Transaction, TxId};
+use saguaro_types::{DeliveryLog, DomainId, FailureModel, NodeId, StackConfig, Transaction, TxId};
 use std::sync::Arc;
 
 /// Which protocol stack an experiment runs (the dynamic counterpart of the
@@ -69,13 +69,31 @@ pub struct NodeHarvest {
     /// Ledger entries in append order: `(transaction id, final status)`.
     /// Append order interleaves consensus deliveries with directly-applied
     /// cross-domain commits, so it is replica-local; cross-replica agreement
-    /// is checked on [`NodeHarvest::consensus_log`] instead.
+    /// is checked on [`NodeHarvest::consensus_log`] instead.  Bounded to the
+    /// most recent [`DeliveryLog::CAPACITY`] entries (the same window
+    /// `commit_times` uses) so harvesting an endurance run stays O(window);
+    /// [`NodeHarvest::total_entries`] keeps the full count.
     pub entries: Vec<(TxId, TxStatus)>,
+    /// Total ledger entries this replica ever appended, including any that
+    /// fell out of the bounded [`NodeHarvest::entries`] window or were
+    /// pruned node-side under a finite retention configuration.
+    pub total_entries: u64,
     /// Rolling-hash snapshots of the internal consensus delivery stream,
-    /// one per delivered block: replicas of a domain agree on their common
-    /// delivery prefix iff the shorter log's last snapshot equals the longer
-    /// log's snapshot at the same index.
-    pub consensus_log: Vec<u64>,
+    /// one per delivered block, as a bounded window: replicas of a domain
+    /// agree on their common delivery prefix iff their windows agree at the
+    /// deepest shared index.
+    pub consensus_log: DeliveryLog,
+    /// Delivered-command chain entries the internal consensus still retains
+    /// (the whole history with pruning off, a bounded suffix otherwise).
+    pub chain_len: u64,
+    /// First sequence number still retained in the engine's chain.
+    pub chain_start: u64,
+    /// Sequence number of the application snapshot the engine holds, if any.
+    pub snapshot_seq: Option<u64>,
+    /// Application snapshots this replica materialized at checkpoints.
+    pub snapshots_taken: u64,
+    /// Application snapshots this replica installed via snapshot catch-up.
+    pub snapshots_installed: u64,
     /// View changes this replica's internal consensus went through.
     pub view_changes: u64,
     /// The internal consensus delivery frontier at harvest time.
@@ -105,8 +123,7 @@ impl NodeHarvest {
     /// other's (or vice versa) — the agreement property internal consensus
     /// guarantees even across crashes and view changes.
     pub fn agrees_with(&self, other: &NodeHarvest) -> bool {
-        let n = self.consensus_log.len().min(other.consensus_log.len());
-        n == 0 || self.consensus_log[n - 1] == other.consensus_log[n - 1]
+        self.consensus_log.agrees_with(&other.consensus_log)
     }
 }
 

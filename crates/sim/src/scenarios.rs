@@ -20,7 +20,7 @@
 //! false-suspicion count.
 
 use crate::client::CompletedTx;
-use crate::experiment::{run_collecting, ExperimentSpec, RunArtifacts, RunMetrics};
+use crate::experiment::{ExperimentSpec, RunArtifacts, RunMetrics};
 use crate::figures::{fault_victim, FigureOptions};
 use crate::par::parallel_map;
 use crate::protocol::ProtocolKind;
@@ -289,8 +289,8 @@ pub fn scenario_matrix(options: &FigureOptions) -> Vec<ScenarioCell> {
     let artifacts = parallel_map(&cells, |(scenario, kind, _, policy)| {
         let spec = scenario
             .apply(matrix_spec(*kind, options))
-            .with_liveness(policy.liveness());
-        run_collecting(&spec)
+            .tune(|t| t.liveness(policy.liveness()));
+        spec.run_collecting()
     });
     cells
         .into_iter()
@@ -434,7 +434,7 @@ pub fn adaptive_comparison(options: &FigureOptions) -> AdaptiveComparison {
         .flat_map(|(i, (_, liveness))| {
             let base = &base;
             [false, true].into_iter().map(move |crash| {
-                let mut s = base.clone().with_liveness(*liveness);
+                let mut s = base.clone().tune(|t| t.liveness(*liveness));
                 if crash {
                     s = s.fault_plan(FaultSchedule::none().crash_at(crash_at, fault_victim()));
                 }
@@ -442,7 +442,7 @@ pub fn adaptive_comparison(options: &FigureOptions) -> AdaptiveComparison {
             })
         })
         .collect();
-    let artifacts = parallel_map(&entries, |(_, s, _)| run_collecting(s));
+    let artifacts = parallel_map(&entries, |(_, s, _)| s.run_collecting());
     let mut outcomes: Vec<PolicyOutcome> = Vec::new();
     for chunk in entries.iter().zip(artifacts).collect::<Vec<_>>().chunks(2) {
         let ((i, _, crash_a), free_art) = &chunk[0];
@@ -534,7 +534,7 @@ mod tests {
     #[test]
     fn safety_checker_flags_duplicate_completions() {
         let spec = ExperimentSpec::new(ProtocolKind::SaguaroCoordinator).quick();
-        let mut art = run_collecting(&spec);
+        let mut art = spec.run_collecting();
         assert!(safety_violations(&art).is_empty());
         let dup = art.completions[0].clone();
         art.completions.push(dup);

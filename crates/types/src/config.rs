@@ -335,6 +335,15 @@ pub struct CheckpointConfig {
     /// Whether gap-stalled replicas fetch missing committed entries from
     /// up-to-date peers (`StateRequest` / `StateReply`).
     pub state_transfer: bool,
+    /// Retention window for durable per-entry state (delivered logs, chains,
+    /// ledger entries) counted in deliveries below the stable checkpoint.
+    /// `u64::MAX` (the default, and the value every constructor sets) keeps
+    /// full history — bit-identical to the pre-pruning pipeline.  A finite
+    /// window turns on snapshot materialization at every stable checkpoint
+    /// and prunes entry-grained state below
+    /// `min(lowest peer frontier, stable − retention)`, so endurance runs
+    /// hold O(retention) memory instead of O(history).
+    pub retention: u64,
 }
 
 impl CheckpointConfig {
@@ -349,15 +358,17 @@ impl CheckpointConfig {
         Self {
             interval: 0,
             state_transfer: false,
+            retention: u64::MAX,
         }
     }
 
     /// Full subsystem on: both engines announce every `interval` deliveries
-    /// and serve state transfer.
+    /// and serve state transfer.  Retention stays infinite (no pruning).
     pub const fn every(interval: u64) -> Self {
         Self {
             interval: if interval == 0 { 1 } else { interval },
             state_transfer: true,
+            retention: u64::MAX,
         }
     }
 
@@ -367,13 +378,30 @@ impl CheckpointConfig {
         Self {
             interval: u64::MAX,
             state_transfer: false,
+            retention: u64::MAX,
         }
+    }
+
+    /// Replaces the retention window (builder style).  `u64::MAX` keeps full
+    /// history; any finite value enables snapshotting + pruning (clamped to
+    /// at least one delivery so a snapshot responder always retains a
+    /// non-empty servable tail).
+    pub const fn with_retention(mut self, retention: u64) -> Self {
+        self.retention = if retention == 0 { 1 } else { retention };
+        self
     }
 
     /// True if this configuration runs the new subsystem (explicit finite
     /// interval, as opposed to the legacy or unbounded regimes).
     pub const fn is_active(&self) -> bool {
         self.interval > 0 && self.interval < u64::MAX
+    }
+
+    /// True if entry-grained state is pruned (and snapshots materialized):
+    /// a finite retention window on an active, transfer-serving
+    /// configuration.
+    pub const fn prunes(&self) -> bool {
+        self.is_active() && self.state_transfer && self.retention < u64::MAX
     }
 }
 
@@ -428,6 +456,92 @@ impl StackConfig {
     pub const fn with_delivery_recording(mut self, record: bool) -> Self {
         self.record_deliveries = record;
         self
+    }
+}
+
+/// The consensus-pipeline knobs of an experiment, grouped: request batching,
+/// liveness timers and checkpointing / state transfer / retention.
+///
+/// This is the single sub-config an [`crate::config::StackConfig`] consumer
+/// tunes — experiment specs hold one `ConsensusTuning` instead of three loose
+/// fields, and every knob has exactly one setter here rather than a
+/// value/struct setter pair per field on the spec itself.
+///
+/// `liveness = None` (the default) means "decide from context": harnesses
+/// resolve it to [`LivenessConfig::standard`] for fault-injection runs and
+/// [`LivenessConfig::disabled`] for failure-free ones.  An explicit
+/// `Some(...)` always wins.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct ConsensusTuning {
+    /// Request batching of the internal consensus.
+    pub batch: BatchConfig,
+    /// Progress-timer knobs; `None` lets the harness pick per context.
+    pub liveness: Option<LivenessConfig>,
+    /// Checkpointing / state-transfer / retention knobs.
+    pub checkpoint: CheckpointConfig,
+}
+
+impl ConsensusTuning {
+    /// The historical defaults: unbatched, context-resolved liveness, legacy
+    /// checkpointing, infinite retention.
+    pub const fn new() -> Self {
+        Self {
+            batch: BatchConfig::unbatched(),
+            liveness: None,
+            checkpoint: CheckpointConfig::legacy(),
+        }
+    }
+
+    /// Replaces the batching knobs wholesale (builder style).
+    pub const fn batch(mut self, batch: BatchConfig) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Blocks of up to `max_batch` commands with the default cut delay —
+    /// the common case of [`ConsensusTuning::batch`].
+    pub fn batch_size(self, max_batch: usize) -> Self {
+        self.batch(BatchConfig::with_max_batch(max_batch))
+    }
+
+    /// Pins the liveness knobs (builder style); overrides the harness's
+    /// contextual default.
+    pub const fn liveness(mut self, liveness: LivenessConfig) -> Self {
+        self.liveness = Some(liveness);
+        self
+    }
+
+    /// Replaces the checkpoint knobs wholesale (builder style).
+    pub const fn checkpoint(mut self, checkpoint: CheckpointConfig) -> Self {
+        self.checkpoint = checkpoint;
+        self
+    }
+
+    /// Full checkpoint subsystem on at the given announcement interval —
+    /// the common case of [`ConsensusTuning::checkpoint`].  Preserves a
+    /// previously set retention window.
+    pub const fn checkpoint_every(mut self, interval: u64) -> Self {
+        let retention = self.checkpoint.retention;
+        self.checkpoint = CheckpointConfig::every(interval).with_retention(retention);
+        self
+    }
+
+    /// Sets the retention window on the current checkpoint knobs (builder
+    /// style); see [`CheckpointConfig::with_retention`].
+    pub const fn retained(mut self, retention: u64) -> Self {
+        self.checkpoint = self.checkpoint.with_retention(retention);
+        self
+    }
+
+    /// The liveness knobs actually deployed: the explicit override if one
+    /// was set, otherwise standard timers for fault-injection runs
+    /// (`chaos = true`) and disabled timers for failure-free ones.
+    pub fn effective_liveness(&self, chaos: bool) -> LivenessConfig {
+        self.liveness.unwrap_or(if chaos {
+            LivenessConfig::standard()
+        } else {
+            LivenessConfig::disabled()
+        })
     }
 }
 
@@ -816,6 +930,51 @@ mod tests {
         assert_eq!(unbounded.interval, u64::MAX);
         let stack = StackConfig::default().with_checkpoint(active);
         assert_eq!(stack.checkpoint, active);
+    }
+
+    #[test]
+    fn retention_gates_pruning() {
+        // Every historical constructor keeps full history and never prunes.
+        for c in [
+            CheckpointConfig::legacy(),
+            CheckpointConfig::every(8),
+            CheckpointConfig::unbounded(),
+        ] {
+            assert_eq!(c.retention, u64::MAX);
+            assert!(!c.prunes());
+        }
+        let pruned = CheckpointConfig::every(8).with_retention(64);
+        assert!(pruned.prunes());
+        // A zero window is clamped so responders always retain a tail.
+        assert_eq!(CheckpointConfig::every(8).with_retention(0).retention, 1);
+        // Retention without checkpoints (or without transfer) cannot prune:
+        // there would be no snapshot to serve.
+        assert!(!CheckpointConfig::unbounded().with_retention(64).prunes());
+        assert!(!CheckpointConfig::legacy().with_retention(64).prunes());
+    }
+
+    #[test]
+    fn consensus_tuning_groups_the_pipeline_knobs() {
+        let t = ConsensusTuning::new();
+        assert_eq!(t, ConsensusTuning::default());
+        assert_eq!(t.batch, BatchConfig::unbatched());
+        assert_eq!(t.liveness, None);
+        assert_eq!(t.checkpoint, CheckpointConfig::legacy());
+        // None resolves per context; an explicit override always wins.
+        assert!(!t.effective_liveness(false).enabled);
+        assert!(t.effective_liveness(true).enabled);
+        let pinned = t.liveness(LivenessConfig::disabled());
+        assert!(!pinned.effective_liveness(true).enabled);
+
+        let tuned = ConsensusTuning::new()
+            .batch_size(8)
+            .retained(64)
+            .checkpoint_every(16);
+        assert_eq!(tuned.batch.max_batch, 8);
+        // checkpoint_every preserves a retention window set earlier.
+        assert_eq!(tuned.checkpoint.interval, 16);
+        assert_eq!(tuned.checkpoint.retention, 64);
+        assert!(tuned.checkpoint.prunes());
     }
 
     #[test]

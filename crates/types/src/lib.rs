@@ -25,16 +25,19 @@ pub mod config;
 pub mod error;
 pub mod ids;
 pub mod sequence;
+pub mod snapshot;
 pub mod time;
 pub mod transaction;
 
 pub use config::{
-    AdaptiveTimeout, BatchConfig, CheckpointConfig, ClientModel, DomainConfig, EngineMode,
-    FailureModel, LivenessConfig, PopulationConfig, QuorumSpec, RateEnvelope, StackConfig,
+    AdaptiveTimeout, BatchConfig, CheckpointConfig, ClientModel, ConsensusTuning, DomainConfig,
+    EngineMode, FailureModel, LivenessConfig, PopulationConfig, QuorumSpec, RateEnvelope,
+    StackConfig,
 };
 pub use error::SaguaroError;
 pub use ids::{ClientId, DomainId, Height, NodeId, Region};
-pub use sequence::{delivery_hash, MultiSeq, SeqNo};
+pub use sequence::{delivery_hash, DeliveryLog, MultiSeq, SeqNo};
+pub use snapshot::{MobileOwnership, StateSnapshot};
 pub use time::{Duration, SimTime};
 pub use transaction::{Operation, Transaction, TxId, TxKind};
 

@@ -8,6 +8,7 @@
 
 use crate::ids::DomainId;
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 use std::fmt;
 
 /// A single-domain sequence number (position in one domain's ledger).
@@ -32,6 +33,104 @@ pub fn delivery_hash(prev: Option<u64>, seq: SeqNo, members: impl Iterator<Item 
         fold(m);
     }
     h
+}
+
+/// A bounded window over a replica's delivery-stream hash chain.
+///
+/// Each delivered block appends one [`delivery_hash`] snapshot; because the
+/// hash chains, equality of two replicas' snapshots at *any* shared index
+/// implies their whole delivery prefixes up to that index agree.  That lets
+/// the window drop old snapshots without losing the agreement check: only
+/// the last [`DeliveryLog::CAPACITY`] snapshots are retained (plus the
+/// absolute offset of the first one), so endurance runs hold O(1) memory
+/// per replica where the historical `Vec<u64>` grew with history.
+///
+/// Installing an application snapshot *splices* the chain: the log restarts
+/// at the snapshot's length and hash, and subsequent deliveries chain from
+/// there exactly as the responder's did.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeliveryLog {
+    start: u64,
+    window: VecDeque<u64>,
+}
+
+impl DeliveryLog {
+    /// Retained hash snapshots per replica — matches the commit-time ring
+    /// used by the node statistics, and is far longer than any retention
+    /// window the agreement checks need to overlap.
+    pub const CAPACITY: usize = 4096;
+
+    /// An empty chain.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total deliveries recorded over the life of the chain (including
+    /// evicted and spliced-over ones).
+    pub fn len(&self) -> u64 {
+        self.start + self.window.len() as u64
+    }
+
+    /// True if nothing was ever recorded (or a zero-length splice reset it).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Absolute index of the oldest retained snapshot.
+    pub fn first_retained(&self) -> u64 {
+        self.start
+    }
+
+    /// The newest hash snapshot — the `prev` input of the next
+    /// [`delivery_hash`] fold.
+    pub fn last(&self) -> Option<u64> {
+        self.window.back().copied()
+    }
+
+    /// The snapshot at absolute index `idx`, if still retained.
+    pub fn get(&self, idx: u64) -> Option<u64> {
+        idx.checked_sub(self.start)
+            .and_then(|off| self.window.get(off as usize))
+            .copied()
+    }
+
+    /// Appends the hash snapshot of the next delivery, evicting the oldest
+    /// retained one beyond [`DeliveryLog::CAPACITY`].
+    pub fn push(&mut self, hash: u64) {
+        if self.window.len() == Self::CAPACITY {
+            self.window.pop_front();
+            self.start += 1;
+        }
+        self.window.push_back(hash);
+    }
+
+    /// Resets the chain to an installed snapshot: `len` deliveries long,
+    /// ending in `hash` (none retained below it).  `hash = None` (snapshot
+    /// taken with recording off) leaves an empty window at offset `len`.
+    pub fn splice(&mut self, len: u64, hash: Option<u64>) {
+        self.window.clear();
+        match hash {
+            Some(h) if len > 0 => {
+                self.start = len - 1;
+                self.window.push_back(h);
+            }
+            _ => self.start = len,
+        }
+    }
+
+    /// True if the two chains agree at their newest shared index (vacuously
+    /// true when their retained windows do not overlap — chaining makes any
+    /// shared-index equality a whole-prefix statement).
+    pub fn agrees_with(&self, other: &Self) -> bool {
+        let shared = self.len().min(other.len());
+        let Some(idx) = shared.checked_sub(1) else {
+            return true;
+        };
+        match (self.get(idx), other.get(idx)) {
+            (Some(a), Some(b)) => a == b,
+            _ => true,
+        }
+    }
 }
 
 /// A multi-part sequence number for a cross-domain transaction.
@@ -182,6 +281,62 @@ mod tests {
         // Chained snapshots depend on the whole prefix.
         let h2 = delivery_hash(Some(h1), 2, [9u64].into_iter());
         assert_ne!(h2, delivery_hash(None, 2, [9u64].into_iter()));
+    }
+
+    #[test]
+    fn delivery_log_windows_evict_and_still_agree() {
+        let mut a = DeliveryLog::new();
+        let mut b = DeliveryLog::new();
+        let mut h = None;
+        for seq in 1..=(DeliveryLog::CAPACITY as u64 + 10) {
+            h = Some(delivery_hash(h, seq, [seq].into_iter()));
+            a.push(h.unwrap());
+            b.push(h.unwrap());
+        }
+        assert_eq!(a.len(), DeliveryLog::CAPACITY as u64 + 10);
+        assert_eq!(a.first_retained(), 10);
+        assert_eq!(a.get(9), None, "evicted below the window");
+        assert_eq!(a.get(10), b.get(10));
+        assert!(a.agrees_with(&b) && b.agrees_with(&a));
+        // A diverging tail is caught at the newest shared index.
+        b.push(1);
+        a.push(2);
+        assert!(!a.agrees_with(&b));
+        // Disjoint windows are vacuously in agreement.
+        let stale = DeliveryLog::new();
+        assert!(a.agrees_with(&stale));
+        let mut short = DeliveryLog::new();
+        short.push(7);
+        assert!(a.agrees_with(&short), "index 0 left a's window long ago");
+    }
+
+    #[test]
+    fn delivery_log_splice_resumes_the_chain() {
+        // The responder records 5 deliveries and snapshots at seq 4.
+        let mut responder = DeliveryLog::new();
+        let mut h = None;
+        let mut at4 = None;
+        for seq in 1..=5 {
+            h = Some(delivery_hash(h, seq, [seq * 11].into_iter()));
+            responder.push(h.unwrap());
+            if seq == 4 {
+                at4 = h;
+            }
+        }
+        // The receiver splices in the snapshot and replays the tail.
+        let mut receiver = DeliveryLog::new();
+        receiver.splice(4, at4);
+        assert_eq!(receiver.len(), 4);
+        assert_eq!(receiver.first_retained(), 3);
+        assert_eq!(receiver.last(), at4);
+        receiver.push(delivery_hash(receiver.last(), 5, [55].into_iter()));
+        assert_eq!(receiver.last(), responder.last());
+        assert!(receiver.agrees_with(&responder));
+        // A hash-less splice (recording off) just advances the offset.
+        let mut blind = DeliveryLog::new();
+        blind.splice(4, None);
+        assert_eq!(blind.len(), 4);
+        assert_eq!(blind.last(), None);
     }
 
     #[test]

@@ -28,7 +28,7 @@
 //! duplicate/abort/identity checks only.
 
 use proptest::prelude::*;
-use saguaro::sim::{run_collecting, ExperimentSpec, ProtocolKind, RunArtifacts};
+use saguaro::sim::{ExperimentSpec, ProtocolKind, RunArtifacts};
 use saguaro::types::{ClientId, Duration, TxId};
 use std::collections::{BTreeMap, HashSet};
 
@@ -37,7 +37,7 @@ fn spec(protocol: ProtocolKind, seed: u64, cross: f64, max_batch: usize) -> Expe
         .quick()
         .cross_domain(cross)
         .load(500.0)
-        .batched(max_batch);
+        .tune(|t| t.batch_size(max_batch));
     s.seed = seed;
     s
 }
@@ -62,14 +62,14 @@ proptest! {
         // parking (see module docs).
         for (cross, strict) in [(0.0, true), (0.2, false)] {
             for protocol in ProtocolKind::ALL {
-                let reference = run_collecting(&spec(protocol, seed, cross, 1));
+                let reference = spec(protocol, seed, cross, 1).run_collecting();
                 prop_assert!(
                     reference.metrics.committed > 50,
                     "{protocol:?} seed {seed}: unbatched run committed almost nothing"
                 );
 
                 for max_batch in [1usize, 4, 16] {
-                    let batched = run_collecting(&spec(protocol, seed, cross, max_batch));
+                    let batched = spec(protocol, seed, cross, max_batch).run_collecting();
 
                     // No transaction may ever complete twice, whatever the
                     // batch size (client-side reply dedup).

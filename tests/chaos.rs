@@ -11,11 +11,11 @@
 
 use proptest::prelude::*;
 use saguaro::net::FaultSchedule;
-use saguaro::sim::{run_collecting, ExperimentSpec, ProtocolKind};
+use saguaro::sim::{ExperimentSpec, ProtocolKind};
 use saguaro::types::{DomainId, Duration, NodeId, SimTime};
 
 mod common;
-use common::check_safety;
+use common::{check_safety, check_safety_pruned};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(3))]
@@ -55,7 +55,7 @@ proptest! {
             .cross_domain(0.2)
             .load(700.0)
             .fault_plan(plan);
-        let artifacts = run_collecting(&spec);
+        let artifacts = spec.run_collecting();
         check_safety(&artifacts, protocol.label());
         prop_assert!(
             artifacts.metrics.committed > 0,
@@ -81,7 +81,7 @@ proptest! {
             .quick()
             .load(700.0)
             .fault_plan(plan);
-        let artifacts = run_collecting(&spec);
+        let artifacts = spec.run_collecting();
         check_safety(&artifacts, "bft-chaos");
         prop_assert!(artifacts.metrics.committed > 0);
     }
@@ -111,9 +111,9 @@ proptest! {
             .quick()
             .cross_domain(0.2)
             .load(700.0)
-            .checkpointed(interval)
+            .tune(move |t| t.checkpoint_every(interval))
             .fault_plan(plan);
-        let artifacts = run_collecting(&spec);
+        let artifacts = spec.run_collecting();
         check_safety(&artifacts, protocol.label());
         prop_assert!(
             artifacts.metrics.committed > 0,
@@ -127,6 +127,69 @@ proptest! {
         prop_assert!(
             victim_harvest.last_delivered + 5 >= frontier,
             "{protocol:?}: recovered {node:?} stuck at {} while the domain reached {frontier}",
+            victim_harvest.last_delivered
+        );
+    }
+
+    /// Random crash/recover plans composed with *small* retention windows:
+    /// checkpoint-driven log pruning under fire must keep every domain's
+    /// retained delivery streams prefix-compatible, keep every consensus
+    /// chain inside the retention window, and still reconverge the
+    /// recovered victim — by snapshot catch-up when its frontier has been
+    /// pruned out of every peer's tail.
+    #[test]
+    fn pruned_crash_recover_plans_stay_safe_and_bounded(
+        (stack, domain, victim, crash_ms, outage_ms, retention_idx) in (
+            0u8..4,         // protocol stack index
+            0u8..4,         // height-1 domain index
+            0u8..3,         // replica index within the domain (CFT: n = 3)
+            120u64..260,    // crash instant (ms)
+            50u64..200,     // outage length (ms)
+            0u8..3,         // retention window choice
+        ),
+    ) {
+        let protocol = ProtocolKind::ALL[stack as usize];
+        let interval = 4u64;
+        let retention = [8u64, 16, 32][retention_idx as usize];
+        let node = NodeId::new(DomainId::new(1, domain as u16), victim as u16);
+        let plan = FaultSchedule::none()
+            .crash_at(SimTime::from_millis(crash_ms), node)
+            .recover_at(SimTime::from_millis(crash_ms + outage_ms), node);
+        let spec = ExperimentSpec::new(protocol)
+            .quick()
+            .cross_domain(0.2)
+            .load(700.0)
+            .tune(move |t| t.checkpoint_every(interval).retained(retention))
+            .fault_plan(plan);
+        let artifacts = spec.run_collecting();
+        check_safety_pruned(&artifacts, protocol.label());
+        prop_assert!(
+            artifacts.metrics.committed > 0,
+            "{protocol:?}: nothing committed under pruned crash of {node:?}"
+        );
+        // Pruning keeps every consensus chain inside the retention window:
+        // at most `retention` retained below the stable checkpoint, plus the
+        // unstable tail that accrues between checkpoints and slack for the
+        // victim's own catch-up backlog.
+        let ceiling = retention + 4 * interval + 64;
+        for n in &artifacts.harvest.nodes {
+            prop_assert!(
+                n.chain_len <= ceiling,
+                "{protocol:?}: {:?} retains {} chain entries under a \
+                 retention window of {retention} (ceiling {ceiling})",
+                n.node,
+                n.chain_len
+            );
+        }
+        // The recovered replica reconverges despite peers having pruned the
+        // log entries it missed: the snapshot path covers the gap.
+        let replicas = artifacts.harvest.replicas_of(node.domain);
+        let frontier = replicas.iter().map(|n| n.last_delivered).max().unwrap_or(0);
+        let victim_harvest = artifacts.harvest.node(node).expect("victim harvested");
+        prop_assert!(
+            victim_harvest.last_delivered + 5 >= frontier,
+            "{protocol:?}: recovered {node:?} stuck at {} while the domain \
+             reached {frontier} (retention {retention})",
             victim_harvest.last_delivered
         );
     }
@@ -155,7 +218,7 @@ proptest! {
             .cross_domain(0.2)
             .load(700.0)
             .fault_plan(plan);
-        let artifacts = run_collecting(&spec);
+        let artifacts = spec.run_collecting();
         check_safety(&artifacts, "partition-chaos");
         prop_assert!(artifacts.metrics.committed > 0);
     }
@@ -190,7 +253,7 @@ proptest! {
             .load(700.0)
             .fault_plan(plan)
             .parallel(2);
-        let artifacts = run_collecting(&spec);
+        let artifacts = spec.run_collecting();
         check_safety(&artifacts, protocol.label());
         prop_assert!(
             artifacts.metrics.committed > 0,
@@ -198,7 +261,7 @@ proptest! {
              {crash_ms}ms crash of {node:?}"
         );
         // Worker-count invariance holds under faults too.
-        let four = run_collecting(&ExperimentSpec { engine: saguaro::types::EngineMode::Parallel(4), ..spec });
+        let four = ExperimentSpec { engine: saguaro::types::EngineMode::Parallel(4), ..spec }.run_collecting();
         prop_assert_eq!(&artifacts.metrics, &four.metrics);
         prop_assert_eq!(artifacts.events_processed, four.events_processed);
     }

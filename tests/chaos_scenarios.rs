@@ -12,7 +12,7 @@
 
 use proptest::prelude::*;
 use saguaro::sim::scenarios::{Scenario, TimeoutPolicy};
-use saguaro::sim::{run_collecting, ExperimentSpec, ProtocolKind};
+use saguaro::sim::{ExperimentSpec, ProtocolKind};
 use saguaro::types::{DomainId, Duration, NodeId, SimTime};
 
 mod common;
@@ -44,7 +44,7 @@ proptest! {
             .quick()
             .cross_domain(0.3)
             .load(800.0)
-            .with_liveness(policy.liveness());
+            .tune(|t| t.liveness(policy.liveness()));
         let spec = if parallel { spec.parallel(2) } else { spec };
         // Install the scenario (fault plan plus, for the flash crowd, its
         // shaped population), then layer the extra faults on a recompiled
@@ -67,7 +67,7 @@ proptest! {
         }
         let spec = spec.fault_plan(plan);
 
-        let artifacts = run_collecting(&spec);
+        let artifacts = spec.run_collecting();
         let label = format!(
             "{}+{}+{}{}",
             scenario.label(),
@@ -100,7 +100,7 @@ proptest! {
             .quick()
             .cross_domain(0.3)
             .load(800.0)
-            .with_liveness(policy.liveness());
+            .tune(|t| t.liveness(policy.liveness()));
         // Compose by chaining WanSpike's primitives onto the outage plan.
         let plan = outage
             .schedule(&spec)
@@ -112,7 +112,7 @@ proptest! {
             .domain_spike_at(SimTime::from_millis(230), [DomainId::new(2, 0)], Duration::ZERO);
         let spec = spec.fault_plan(plan);
 
-        let artifacts = run_collecting(&spec);
+        let artifacts = spec.run_collecting();
         let label = format!("{}+wan-spike+{}", outage.label(), protocol.label());
         check_safety(&artifacts, &label);
         prop_assert!(

@@ -14,6 +14,39 @@ use saguaro::sim::RunArtifacts;
 ///    the consensus delivery hash);
 /// 4. every transaction a client saw commit appears in some replica ledger.
 pub fn check_safety(artifacts: &RunArtifacts, label: &str) {
+    check_core_safety(artifacts, label);
+    for c in artifacts.completions.iter().filter(|c| c.committed) {
+        assert!(
+            artifacts.harvest.seen_somewhere(c.tx_id),
+            "{label}: client-committed tx {:?} missing from every ledger",
+            c.tx_id
+        );
+    }
+}
+
+/// Safety invariants 1–3 for runs with a finite checkpoint-retention
+/// window: log pruning legitimately drops old ledger entries below the
+/// prune floor, so invariant 4 ("every client-committed transaction appears
+/// in some harvested ledger") no longer holds verbatim — the retained-tail
+/// and agreement invariants still must.  Unpruned suites keep the full
+/// [`check_safety`].
+#[allow(dead_code)]
+pub fn check_safety_pruned(artifacts: &RunArtifacts, label: &str) {
+    check_core_safety(artifacts, label);
+    for node in &artifacts.harvest.nodes {
+        assert!(
+            node.total_entries >= node.entries.len() as u64,
+            "{label}: replica {:?} reports {} lifetime entries but retains {}",
+            node.node,
+            node.total_entries,
+            node.entries.len()
+        );
+    }
+}
+
+/// Invariants 1–3: unique client completions, unique ledger entries per
+/// replica, and per-domain prefix-compatible consensus delivery streams.
+fn check_core_safety(artifacts: &RunArtifacts, label: &str) {
     let mut seen = std::collections::HashSet::new();
     for c in &artifacts.completions {
         assert!(
@@ -47,12 +80,5 @@ pub fn check_safety(artifacts: &RunArtifacts, label: &str) {
                 );
             }
         }
-    }
-    for c in artifacts.completions.iter().filter(|c| c.committed) {
-        assert!(
-            artifacts.harvest.seen_somewhere(c.tx_id),
-            "{label}: client-committed tx {:?} missing from every ledger",
-            c.tx_id
-        );
     }
 }

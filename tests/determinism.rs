@@ -58,7 +58,7 @@ fn unbatched_pipeline_reproduces_the_pre_batching_goldens_exactly() {
         );
         // An explicit max_batch = 1 must be the same configuration, not just
         // a similar one.
-        let explicit = golden_spec(protocol).batched(1).run();
+        let explicit = golden_spec(protocol).tune(|t| t.batch_size(1)).run();
         assert_eq!(
             explicit, default_run,
             "{protocol:?}: explicit batched(1) differs from the default"
@@ -69,7 +69,7 @@ fn unbatched_pipeline_reproduces_the_pre_batching_goldens_exactly() {
 #[test]
 fn batched_runs_are_deterministic_and_differ_from_unbatched() {
     for protocol in ProtocolKind::ALL {
-        let spec = golden_spec(protocol).batched(8);
+        let spec = golden_spec(protocol).tune(|t| t.batch_size(8));
         let first = spec.run();
         assert!(first.committed > 0, "{protocol:?} committed nothing");
         assert_eq!(
@@ -170,7 +170,7 @@ fn unbounded_checkpoint_interval_is_bit_identical_to_the_goldens() {
     // run must not change by a single bit — the subsystem is pay-for-play.
     for protocol in ProtocolKind::ALL {
         let unbounded = golden_spec(protocol)
-            .checkpoint_config(CheckpointConfig::unbounded())
+            .tune(|t| t.checkpoint(CheckpointConfig::unbounded()))
             .run();
         assert_eq!(
             unbounded,
@@ -183,7 +183,7 @@ fn unbounded_checkpoint_interval_is_bit_identical_to_the_goldens() {
 #[test]
 fn checkpointed_runs_are_deterministic_and_differ_from_legacy() {
     for protocol in ProtocolKind::ALL {
-        let spec = golden_spec(protocol).checkpointed(8);
+        let spec = golden_spec(protocol).tune(|t| t.checkpoint_every(8));
         let first = spec.run();
         assert!(first.committed > 0, "{protocol:?} committed nothing");
         assert_eq!(

@@ -6,7 +6,7 @@
 //! after recovery).
 
 use saguaro::net::FaultSchedule;
-use saguaro::sim::{run_collecting, ExperimentSpec, ProtocolKind};
+use saguaro::sim::{ExperimentSpec, ProtocolKind};
 use saguaro::types::{LivenessConfig, SimTime};
 use saguaro_sim::figures::fault_victim;
 
@@ -28,7 +28,7 @@ fn crash_spec(protocol: ProtocolKind, byzantine: bool, recover: bool) -> Experim
 
 #[test]
 fn paxos_leader_crash_triggers_view_change_and_preserves_safety() {
-    let artifacts = run_collecting(&crash_spec(ProtocolKind::SaguaroCoordinator, false, false));
+    let artifacts = crash_spec(ProtocolKind::SaguaroCoordinator, false, false).run_collecting();
     assert!(
         artifacts.harvest.view_changes() > 0,
         "a crashed Paxos leader must be voted out"
@@ -51,7 +51,7 @@ fn paxos_leader_crash_triggers_view_change_and_preserves_safety() {
 
 #[test]
 fn pbft_leader_crash_triggers_view_change_and_preserves_safety() {
-    let artifacts = run_collecting(&crash_spec(ProtocolKind::SaguaroCoordinator, true, false));
+    let artifacts = crash_spec(ProtocolKind::SaguaroCoordinator, true, false).run_collecting();
     assert!(
         artifacts.harvest.view_changes() > 0,
         "a crashed PBFT primary must be voted out"
@@ -72,7 +72,7 @@ fn pbft_leader_crash_triggers_view_change_and_preserves_safety() {
 
 #[test]
 fn recovered_leader_rejoins_without_breaking_safety() {
-    let artifacts = run_collecting(&crash_spec(ProtocolKind::SaguaroCoordinator, false, true));
+    let artifacts = crash_spec(ProtocolKind::SaguaroCoordinator, false, true).run_collecting();
     assert!(artifacts.harvest.view_changes() > 0);
     // Work submitted after the recovery instant commits too.
     let post_recovery = artifacts
@@ -90,7 +90,7 @@ fn recovered_leader_rejoins_without_breaking_safety() {
 #[test]
 fn baseline_stacks_survive_a_shard_leader_crash() {
     for protocol in [ProtocolKind::Ahl, ProtocolKind::Sharper] {
-        let artifacts = run_collecting(&crash_spec(protocol, false, true));
+        let artifacts = crash_spec(protocol, false, true).run_collecting();
         assert!(
             artifacts.harvest.view_changes() > 0,
             "{protocol:?}: shard leader crash must drive a view change"
@@ -106,7 +106,7 @@ fn baseline_stacks_survive_a_shard_leader_crash() {
 
 #[test]
 fn optimistic_stack_survives_a_leader_crash() {
-    let artifacts = run_collecting(&crash_spec(ProtocolKind::SaguaroOptimistic, false, true));
+    let artifacts = crash_spec(ProtocolKind::SaguaroOptimistic, false, true).run_collecting();
     assert!(artifacts.harvest.view_changes() > 0);
     assert!(artifacts.metrics.committed > 50);
     check_safety(&artifacts, "optimistic-crash-recover");
@@ -149,7 +149,7 @@ fn equivocating_pbft_primary_cannot_fork_its_domain() {
         .quick()
         .load(800.0)
         .fault_plan(plan);
-    let artifacts = run_collecting(&spec);
+    let artifacts = spec.run_collecting();
     // The defence is a *safety* property: whatever the interleaving of
     // original and twin pre-prepares, the domain's replicas never diverge.
     check_safety(&artifacts, "pbft-equivocation");
@@ -179,7 +179,7 @@ fn equivocation_events_are_harmless_in_cft_domains() {
         .quick()
         .load(800.0)
         .fault_plan(plan);
-    let artifacts = run_collecting(&spec);
+    let artifacts = spec.run_collecting();
     check_safety(&artifacts, "cft-equivocation");
     assert!(artifacts.metrics.committed > 50);
 }
@@ -199,8 +199,8 @@ fn leader_partition_heals_cleanly() {
         .quick()
         .load(800.0)
         .fault_plan(plan)
-        .with_liveness(LivenessConfig::standard());
-    let artifacts = run_collecting(&spec);
+        .tune(|t| t.liveness(LivenessConfig::standard()));
+    let artifacts = spec.run_collecting();
     assert!(
         artifacts.harvest.view_changes() > 0,
         "an isolated leader must be voted out"

@@ -8,7 +8,7 @@
 //! engine's single stream), so these tests compare parallel against
 //! parallel; the sequential goldens live in `determinism.rs`.
 
-use saguaro::sim::{run_collecting, ExperimentSpec, ProtocolKind, RunArtifacts};
+use saguaro::sim::{ExperimentSpec, ProtocolKind, RunArtifacts};
 use saguaro::types::{EngineMode, PopulationConfig};
 
 /// Everything deterministic about a run, flattened for equality checks:
@@ -66,7 +66,7 @@ fn parallel_runs_are_invariant_to_worker_count_for_every_stack() {
     for protocol in ProtocolKind::ALL {
         let mut reference = None;
         for workers in [1usize, 2, 4, 8] {
-            let artifacts = run_collecting(&quick_spec(protocol).parallel(workers));
+            let artifacts = quick_spec(protocol).parallel(workers).run_collecting();
             assert!(
                 artifacts.metrics.committed > 0,
                 "{protocol:?} committed nothing on the parallel engine"
@@ -86,15 +86,15 @@ fn parallel_runs_are_invariant_to_worker_count_for_every_stack() {
 #[test]
 fn parallel_runs_are_bit_reproducible_per_seed() {
     let spec = quick_spec(ProtocolKind::SaguaroCoordinator).parallel(4);
-    let a = fingerprint(&run_collecting(&spec));
-    let b = fingerprint(&run_collecting(&spec));
+    let a = fingerprint(&spec.run_collecting());
+    let b = fingerprint(&spec.run_collecting());
     assert_eq!(a, b, "same seed, same worker count, different history");
 
     // A different seed must actually change the history (the streams are
     // seed-derived, not fixed).
     let mut reseeded = spec;
     reseeded.seed = spec_seed_plus_one(&reseeded);
-    let c = fingerprint(&run_collecting(&reseeded));
+    let c = fingerprint(&reseeded.run_collecting());
     assert_ne!(
         a.1, c.1,
         "reseeding changed nothing — streams ignore the seed"
@@ -107,7 +107,9 @@ fn spec_seed_plus_one(spec: &ExperimentSpec) -> u64 {
 
 #[test]
 fn parallel_engine_reports_partition_instrumentation() {
-    let artifacts = run_collecting(&quick_spec(ProtocolKind::SaguaroOptimistic).parallel(2));
+    let artifacts = quick_spec(ProtocolKind::SaguaroOptimistic)
+        .parallel(2)
+        .run_collecting();
     let pdes = artifacts.pdes.expect("parallel run must report pdes stats");
     // The paper topology has 4 height-1 domains: 1 hub + 4 edge partitions.
     assert_eq!(pdes.partitions, 5);
@@ -130,7 +132,7 @@ fn parallel_engine_reports_partition_instrumentation() {
 
 #[test]
 fn sequential_runs_report_no_pdes_stats() {
-    let artifacts = run_collecting(&quick_spec(ProtocolKind::Ahl));
+    let artifacts = quick_spec(ProtocolKind::Ahl).run_collecting();
     assert!(artifacts.pdes.is_none());
 }
 
@@ -154,7 +156,7 @@ fn aggregate_population_runs_are_worker_count_invariant_too() {
             .quick()
             .aggregate(population)
             .parallel(workers);
-        let artifacts = run_collecting(&spec);
+        let artifacts = spec.run_collecting();
         let tally = artifacts.population.as_ref().expect("aggregate tally");
         assert!(tally.committed > 0, "population committed nothing");
         let fp = (

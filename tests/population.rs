@@ -5,7 +5,7 @@
 
 use saguaro::hierarchy::Placement;
 use saguaro::loadgen::LatencyHistogram;
-use saguaro::sim::{run_collecting, ExperimentSpec, ProtocolKind};
+use saguaro::sim::{ExperimentSpec, ProtocolKind};
 use saguaro::types::{ClientModel, PopulationConfig};
 
 fn aggregate_spec(users: u64) -> ExperimentSpec {
@@ -17,7 +17,7 @@ fn aggregate_spec(users: u64) -> ExperimentSpec {
 
 #[test]
 fn aggregate_runs_commit_without_storing_completions() {
-    let artifacts = run_collecting(&aggregate_spec(2_000));
+    let artifacts = aggregate_spec(2_000).run_collecting();
     let tally = artifacts.population.as_ref().expect("population tally");
     assert!(
         artifacts.metrics.committed > 100,
@@ -43,8 +43,8 @@ fn aggregate_runs_reproduce_bit_identically_per_seed() {
     ] {
         let mut spec = aggregate_spec(1_000);
         spec.protocol = protocol;
-        let a = run_collecting(&spec);
-        let b = run_collecting(&spec);
+        let a = spec.run_collecting();
+        let b = spec.run_collecting();
         assert_eq!(a.metrics, b.metrics, "{protocol:?} metrics diverged");
         assert_eq!(a.events_processed, b.events_processed);
         let (ta, tb) = (a.population.unwrap(), b.population.unwrap());
@@ -64,8 +64,8 @@ fn different_seeds_change_the_aggregate_run() {
     let mut reseeded = spec.clone();
     reseeded.seed = 43;
     assert_ne!(
-        run_collecting(&spec).metrics,
-        run_collecting(&reseeded).metrics
+        spec.run_collecting().metrics,
+        reseeded.run_collecting().metrics
     );
 }
 
@@ -90,8 +90,8 @@ fn client_side_memory_stays_flat_as_the_population_grows() {
     // 8× the modeled users means ~8× the transactions, but the client-side
     // high-water mark (in-flight map) must stay in the same ballpark: the
     // aggregate path stores nothing per completed transaction.
-    let small = run_collecting(&aggregate_spec(500));
-    let large = run_collecting(&aggregate_spec(4_000));
+    let small = aggregate_spec(500).run_collecting();
+    let large = aggregate_spec(4_000).run_collecting();
     let (ts, tl) = (small.population.unwrap(), large.population.unwrap());
     assert!(
         tl.submitted > ts.submitted * 4,
@@ -111,7 +111,7 @@ fn client_side_memory_stays_flat_as_the_population_grows() {
 fn wide_topologies_deploy_hundreds_of_domains() {
     let mut spec = aggregate_spec(6_400).shaped(2, 16);
     spec.measure = saguaro::types::Duration::from_millis(150);
-    let artifacts = run_collecting(&spec);
+    let artifacts = spec.run_collecting();
     assert!(
         artifacts.metrics.committed > 50,
         "committed {}",
@@ -128,7 +128,7 @@ fn histogram_quantiles_match_the_exact_path_within_the_documented_bound() {
         .quick()
         .cross_domain(0.3)
         .load(600.0);
-    let artifacts = run_collecting(&spec);
+    let artifacts = spec.run_collecting();
     let exact = artifacts.metrics;
     let window_start = saguaro::types::SimTime::ZERO + spec.warmup;
     let window_end = window_start + spec.measure;

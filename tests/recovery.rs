@@ -5,7 +5,7 @@
 //! `StateReply`) and then resume normal execution.
 
 use saguaro::net::FaultSchedule;
-use saguaro::sim::{run_collecting, ExperimentSpec, ProtocolKind};
+use saguaro::sim::{ExperimentSpec, ProtocolKind};
 use saguaro::types::{DomainId, NodeId, SimTime};
 
 mod common;
@@ -31,7 +31,7 @@ fn recovery_spec(protocol: ProtocolKind, byzantine: bool) -> ExperimentSpec {
     let spec = ExperimentSpec::new(protocol)
         .quick()
         .load(1_200.0)
-        .checkpointed(8)
+        .tune(|t| t.checkpoint_every(8))
         .fault_plan(plan);
     if byzantine {
         spec.byzantine()
@@ -42,7 +42,7 @@ fn recovery_spec(protocol: ProtocolKind, byzantine: bool) -> ExperimentSpec {
 
 #[test]
 fn recovered_paxos_backup_catches_up_via_state_transfer_and_commits_new_work() {
-    let artifacts = run_collecting(&recovery_spec(ProtocolKind::SaguaroCoordinator, false));
+    let artifacts = recovery_spec(ProtocolKind::SaguaroCoordinator, false).run_collecting();
     check_safety(&artifacts, "paxos-state-transfer");
 
     let v = artifacts.harvest.node(victim()).expect("victim harvested");
@@ -119,7 +119,7 @@ fn recovered_paxos_backup_catches_up_via_state_transfer_and_commits_new_work() {
 
 #[test]
 fn recovered_pbft_backup_catches_up_via_state_transfer() {
-    let artifacts = run_collecting(&recovery_spec(ProtocolKind::SaguaroCoordinator, true));
+    let artifacts = recovery_spec(ProtocolKind::SaguaroCoordinator, true).run_collecting();
     check_safety(&artifacts, "pbft-state-transfer");
     let v = artifacts.harvest.node(victim()).expect("victim harvested");
     let healthy = artifacts
@@ -137,7 +137,7 @@ fn recovered_pbft_backup_catches_up_via_state_transfer() {
 #[test]
 fn baseline_shards_recover_via_state_transfer_too() {
     for protocol in [ProtocolKind::Ahl, ProtocolKind::Sharper] {
-        let artifacts = run_collecting(&recovery_spec(protocol, false));
+        let artifacts = recovery_spec(protocol, false).run_collecting();
         check_safety(&artifacts, protocol.label());
         let v = artifacts.harvest.node(victim()).expect("victim harvested");
         assert!(
@@ -167,7 +167,7 @@ fn legacy_configuration_still_survives_the_same_outage() {
         .quick()
         .load(1_200.0)
         .fault_plan(plan);
-    let artifacts = run_collecting(&spec);
+    let artifacts = spec.run_collecting();
     check_safety(&artifacts, "legacy-crash-recover");
     assert!(artifacts.metrics.committed > 50);
     // No checkpoints means no transfer traffic at all.

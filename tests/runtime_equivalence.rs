@@ -11,7 +11,7 @@
 //! exactly: identical event schedules, identical RNG draws, identical
 //! floating-point accumulation order.
 
-use saguaro::sim::{sweep, ExperimentSpec, ProtocolKind, RidesharingConfig, RunMetrics};
+use saguaro::sim::{ExperimentSpec, ProtocolKind, RidesharingConfig, RunMetrics};
 
 fn golden_spec(protocol: ProtocolKind, seed: u64) -> ExperimentSpec {
     let mut spec = ExperimentSpec::new(protocol)
@@ -185,7 +185,7 @@ fn batched_pipeline_reproduces_pre_refactor_golden() {
     // Batching exercises the envelope path hardest: whole blocks multicast
     // to every replica of a domain.
     let measured = golden_spec(ProtocolKind::SaguaroCoordinator, 7)
-        .batched(8)
+        .tune(|t| t.batch_size(8))
         .run();
     let expected = metrics(
         600.0,
@@ -217,7 +217,7 @@ fn parallel_sweep_is_bit_identical_to_sequential_runs() {
     // running each load by hand, point for point.
     let spec = golden_spec(ProtocolKind::SaguaroCoordinator, 7);
     let loads = [300.0, 600.0, 900.0];
-    let swept = sweep(&spec, &loads);
+    let swept = spec.sweep(&loads);
     assert_eq!(swept.len(), loads.len());
     for (point, load) in swept.iter().zip(loads) {
         let mut sequential = spec.clone();

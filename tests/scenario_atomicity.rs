@@ -8,7 +8,7 @@
 
 use saguaro::ledger::TxStatus;
 use saguaro::sim::scenarios::Scenario;
-use saguaro::sim::{run_collecting, ExperimentSpec, ProtocolKind, RunArtifacts};
+use saguaro::sim::{ExperimentSpec, ProtocolKind, RunArtifacts};
 use saguaro::types::{Duration, SimTime, TxId};
 use std::collections::{HashMap, HashSet};
 
@@ -79,7 +79,7 @@ fn check_cross_domain_atomicity(artifacts: &RunArtifacts, spec: &ExperimentSpec,
 
 fn assert_outage_run_atomic(protocol: ProtocolKind, parallel: bool) {
     let spec = outage_spec(protocol, parallel);
-    let artifacts = run_collecting(&spec);
+    let artifacts = spec.run_collecting();
     let label = format!(
         "{:?}-{}",
         protocol,
@@ -151,7 +151,7 @@ fn correlated_outage_stays_safe_on_both_engines() {
             .load(800.0);
         let spec = if parallel { spec.parallel(2) } else { spec };
         let spec = Scenario::CorrelatedOutage.apply(spec);
-        let artifacts = run_collecting(&spec);
+        let artifacts = spec.run_collecting();
         let label = format!("correlated-{}", if parallel { "par" } else { "seq" });
         check_safety(&artifacts, &label);
         check_cross_domain_atomicity(&artifacts, &spec, &label);
