@@ -6,6 +6,7 @@ use saguaro_core::exec::execute_in_domain;
 use saguaro_hierarchy::HierarchyTree;
 use saguaro_ledger::{BlockchainState, LinearLedger, TxStatus};
 use saguaro_net::{Actor, Addr, Context, TimerId};
+use saguaro_trace::{TraceActor, TraceConfig, TraceEvent, TraceEventKind, Tracer};
 use saguaro_types::{
     BatchConfig, CheckpointConfig, DeliveryLog, DomainId, FailureModel, LivenessConfig, MultiSeq,
     NodeId, QuorumSpec, SeqNo, SimTime, StateSnapshot, Transaction, TxId,
@@ -66,6 +67,16 @@ fn bcmd_fingerprint(cmd: &BCmd) -> u64 {
     tx.id.0 ^ (tag << 60)
 }
 
+/// The transaction a baseline command carries (every variant carries one).
+fn bcmd_tx(cmd: &BCmd) -> &Transaction {
+    match cmd {
+        BCmd::Internal(tx)
+        | BCmd::CommitteeOrder(tx)
+        | BCmd::ShardPrepare(tx)
+        | BCmd::ShardCommit(tx) => tx,
+    }
+}
+
 #[derive(Debug)]
 struct AhlCoordEntry {
     tx: Transaction,
@@ -119,6 +130,9 @@ pub struct BaselineNode {
     suspicion: SuspicionTimer,
     /// Statistics for the harness.
     pub stats: BaselineStats,
+    /// Structured-event recorder (disabled unless the experiment opts in
+    /// via [`BaselineNode::with_trace`]).
+    tracer: Tracer,
 }
 
 impl BaselineNode {
@@ -170,7 +184,20 @@ impl BaselineNode {
             last_progress_check: 0,
             suspicion: SuspicionTimer::new(LivenessConfig::disabled()),
             stats: BaselineStats::default(),
+            tracer: Tracer::new(TraceConfig::off(), TraceActor::Node(id)),
         }
+    }
+
+    /// Replaces the structured-tracing knobs (builder style).
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.tracer = Tracer::new(trace, TraceActor::Node(self.id));
+        self
+    }
+
+    /// Drains the node's trace ring buffer (harvest): the buffered events
+    /// plus the count of events dropped under buffer pressure.
+    pub fn take_trace(&mut self) -> (Vec<TraceEvent>, u64) {
+        self.tracer.take()
     }
 
     /// Enables delivery-stream recording for post-run agreement checks.
@@ -284,7 +311,18 @@ impl BaselineNode {
     }
 
     fn propose(&mut self, cmd: BCmd, ctx: &mut Context<'_, BaselineMsg>) {
+        let pooled = self.tracer.enabled().then(|| {
+            let tx = bcmd_tx(&cmd);
+            if self.tracer.samples(tx.id.0) {
+                self.tracer
+                    .record(ctx.now(), TraceEventKind::TxBatched { tx: tx.id });
+            }
+            self.consensus.pending_commands()
+        });
         let steps = self.consensus.propose(cmd);
+        if let Some(before) = pooled {
+            self.note_batch_cut(before + 1, ctx);
+        }
         self.drive(steps, ctx);
         self.sync_batch_timer(ctx);
     }
@@ -303,8 +341,29 @@ impl BaselineNode {
 
     fn on_batch_timer(&mut self, ctx: &mut Context<'_, BaselineMsg>) {
         self.batch_timer = None;
+        let pooled = self
+            .tracer
+            .enabled()
+            .then(|| self.consensus.pending_commands());
         let steps = self.consensus.flush();
+        if let Some(before) = pooled {
+            self.note_batch_cut(before, ctx);
+        }
         self.drive(steps, ctx);
+    }
+
+    /// Traces a batch cut: `before` commands were pooled going in; whatever
+    /// no longer pools after the propose/flush was cut into a proposal.
+    fn note_batch_cut(&mut self, before: usize, ctx: &mut Context<'_, BaselineMsg>) {
+        let after = self.consensus.pending_commands();
+        if before > after {
+            self.tracer.record(
+                ctx.now(),
+                TraceEventKind::BatchCut {
+                    commands: (before - after) as u64,
+                },
+            );
+        }
     }
 
     fn drive(
@@ -316,6 +375,12 @@ impl BaselineNode {
             match step {
                 Step::Send { to, msg } => ctx.send(to, BaselineMsg::Consensus(msg)),
                 Step::Broadcast { msg } => {
+                    if self.tracer.enabled() {
+                        if let Some(view) = msg.view_change_view() {
+                            self.tracer
+                                .record(ctx.now(), TraceEventKind::ViewChangeStart { view });
+                        }
+                    }
                     ctx.multicast(self.other_peers(), BaselineMsg::Consensus(msg));
                 }
                 Step::Deliver { seq, command } => {
@@ -327,14 +392,37 @@ impl BaselineNode {
                             .note_delivery(seq, command.iter().map(bcmd_fingerprint));
                     }
                     for cmd in command {
+                        if self.tracer.enabled() {
+                            let tx = bcmd_tx(&cmd);
+                            if self.tracer.samples(tx.id.0) {
+                                self.tracer.record(
+                                    ctx.now(),
+                                    TraceEventKind::TxOrdered { tx: tx.id, seq },
+                                );
+                            }
+                        }
                         self.apply(cmd, ctx);
                     }
                 }
-                Step::ViewChanged { .. } => {
+                Step::ViewChanged { view, primary } => {
                     self.stats.view_changes += 1;
+                    self.tracer.record(
+                        ctx.now(),
+                        TraceEventKind::ViewChangeComplete { view, primary },
+                    );
                 }
-                Step::TakeSnapshot { seq } => self.take_snapshot(seq),
-                Step::InstallSnapshot { snapshot } => self.install_snapshot(&snapshot),
+                Step::TakeSnapshot { seq } => {
+                    self.tracer
+                        .record(ctx.now(), TraceEventKind::SnapshotTaken { seq });
+                    self.take_snapshot(seq)
+                }
+                Step::InstallSnapshot { snapshot } => {
+                    self.tracer.record(
+                        ctx.now(),
+                        TraceEventKind::SnapshotInstalled { seq: snapshot.seq },
+                    );
+                    self.install_snapshot(&snapshot)
+                }
             }
         }
     }
@@ -396,6 +484,12 @@ impl BaselineNode {
         self.last_progress_check = delivered;
         if stuck {
             self.suspicion.on_suspect();
+            self.tracer.record(
+                ctx.now(),
+                TraceEventKind::SuspicionFired {
+                    view: self.consensus.view(),
+                },
+            );
             let steps = self.consensus.on_progress_timeout();
             self.drive(steps, ctx);
         } else if progressed {
@@ -432,6 +526,15 @@ impl BaselineNode {
                 Addr::Client(client),
                 BaselineMsg::Reply { tx_id, committed },
             );
+            if self.tracer.samples(tx_id.0) {
+                self.tracer.record(
+                    ctx.now(),
+                    TraceEventKind::TxReplied {
+                        tx: tx_id,
+                        committed,
+                    },
+                );
+            }
         }
     }
 
@@ -456,6 +559,10 @@ impl BaselineNode {
         } else {
             self.ledger.append_internal(tx.clone(), TxStatus::Committed);
             self.stats.internal_committed += 1;
+        }
+        if self.tracer.samples(tx.id.0) {
+            self.tracer
+                .record(ctx.now(), TraceEventKind::TxExecuted { tx: tx.id });
         }
         self.reply(tx.id, true, ctx);
     }
@@ -784,7 +891,38 @@ impl Actor<BaselineMsg> for BaselineNode {
                     let transfer_bytes = m
                         .is_state_reply()
                         .then(|| crate::messages::consensus_wire_bytes(&m));
+                    // Delta probes around the consensus call: checkpoint
+                    // advancement and fresh certificate conflicts surface as
+                    // trace events without touching the engine itself.
+                    let probe = self.tracer.enabled().then(|| {
+                        if m.is_state_transfer() && !m.is_state_reply() {
+                            self.tracer
+                                .record(ctx.now(), TraceEventKind::StateTransferRequest);
+                        }
+                        (
+                            self.consensus.stable_checkpoint(),
+                            self.consensus.certificate_conflicts(),
+                        )
+                    });
                     let steps = self.consensus.on_message(node, m);
+                    if let Some((checkpoint, conflicts)) = probe {
+                        if self.consensus.stable_checkpoint() > checkpoint {
+                            self.tracer.record(
+                                ctx.now(),
+                                TraceEventKind::CheckpointStable {
+                                    seq: self.consensus.stable_checkpoint(),
+                                },
+                            );
+                        }
+                        if self.consensus.certificate_conflicts() > conflicts {
+                            self.tracer.record(
+                                ctx.now(),
+                                TraceEventKind::EquivocationDetected {
+                                    conflicts: self.consensus.certificate_conflicts(),
+                                },
+                            );
+                        }
+                    }
                     if let Some(bytes) = transfer_bytes {
                         let commands = saguaro_consensus::delivered_commands(&steps);
                         let installed = steps
@@ -794,6 +932,13 @@ impl Actor<BaselineMsg> for BaselineNode {
                             self.stats.state_transfer_commands += commands;
                             self.stats.state_transfer_bytes += bytes as u64;
                             self.stats.caught_up_at = Some(ctx.now());
+                            self.tracer.record(
+                                ctx.now(),
+                                TraceEventKind::StateTransferReply {
+                                    commands,
+                                    bytes: bytes as u64,
+                                },
+                            );
                         }
                     }
                     self.drive(steps, ctx);

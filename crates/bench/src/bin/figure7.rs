@@ -1,9 +1,20 @@
 //! Regenerates Figure 7: cross-domain transactions over crash-only domains in
 //! nearby regions — 20 %, 80 % and 100 % cross-domain sub-figures, six curves
 //! each (AHL, SharPer, Coordinator, Opt-10/50/90 %C).
+//!
+//! `--trace <path>` additionally replays the 20 % coordinator point with
+//! structured tracing on and writes the run's Chrome trace-event export to
+//! `<path>` (load it at <https://ui.perfetto.dev>); with `--json` the traced
+//! run's bucketed `timeline` section is included in the report.
 
-use saguaro_bench::{emit, json_path_from_args, options_from_args, JsonReport};
+use saguaro_bench::{
+    emit, json_path_from_args, options_from_args, trace_path_from_args, JsonReport,
+};
+use saguaro_sim::experiment::ExperimentSpec;
 use saguaro_sim::figures::{figure7, render_table};
+use saguaro_sim::json::ToJson;
+use saguaro_sim::protocol::ProtocolKind;
+use saguaro_types::TraceConfig;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -23,6 +34,33 @@ fn main() {
             ),
         );
         report.add_series(tag, &series);
+    }
+
+    if let Some(trace_path) = trace_path_from_args(&args) {
+        // One traced replay of the sub-figure (a) coordinator point.  The
+        // sweep above stays untraced, so its numbers are unaffected.
+        let mut spec = ExperimentSpec::new(ProtocolKind::SaguaroCoordinator)
+            .cross_domain(0.2)
+            .trace(TraceConfig::on());
+        spec.seed = options.seed;
+        if options.quick {
+            spec = spec.quick().load(1_200.0);
+        }
+        let artifacts = spec.run_collecting();
+        if let Some(trace) = &artifacts.trace {
+            match std::fs::write(&trace_path, trace.chrome_json()) {
+                Ok(()) => eprintln!(
+                    "wrote {} trace events ({} dropped) to {}",
+                    trace.len(),
+                    trace.dropped,
+                    trace_path.display()
+                ),
+                Err(e) => eprintln!("failed to write {}: {e}", trace_path.display()),
+            }
+        }
+        if let Some(timeline) = &artifacts.timeline {
+            report.add_value("timeline", timeline.to_json());
+        }
     }
     report.write_if_requested(json_path_from_args(&args).as_ref());
 }

@@ -30,7 +30,6 @@ use saguaro_sim::experiment::ExperimentSpec;
 use saguaro_sim::json::JsonValue;
 use saguaro_sim::protocol::ProtocolKind;
 use saguaro_types::PopulationConfig;
-use std::time::Instant;
 
 /// Worker-thread counts swept per topology (sequential baseline aside).
 const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
@@ -45,48 +44,28 @@ fn min_speedup_from_args(args: &[String]) -> Option<f64> {
         .and_then(|s| s.parse().ok())
 }
 
-/// One timed configuration: a warmed-up run and its wall-clock rate.
+/// One timed configuration: the shared warmed-up measurement plus this
+/// binary's sweep bookkeeping (label, worker count).
 struct Timed {
     label: String,
     workers: Option<usize>,
-    events: u64,
-    committed: u64,
-    wall_ms: f64,
-    events_per_sec: f64,
-    windows: u64,
-    cross_messages: u64,
+    run: saguaro_bench::TimedRun,
 }
 
-fn timed_run(label: &str, workers: Option<usize>, spec: &ExperimentSpec) -> Timed {
-    // Untimed warm-up so allocator and page-cache effects stay out of the
-    // measured rate; the timed run repeats the identical event history.
-    let _ = spec.run_collecting();
-    let started = Instant::now();
-    let artifacts = spec.run_collecting();
-    let wall = started.elapsed().as_secs_f64().max(1e-9);
-    let (windows, cross_messages) = artifacts
-        .pdes
-        .as_ref()
-        .map(|p| (p.windows, p.cross_messages))
-        .unwrap_or((0, 0));
+fn timed(label: &str, workers: Option<usize>, spec: &ExperimentSpec) -> Timed {
     Timed {
         label: label.to_string(),
         workers,
-        events: artifacts.events_processed,
-        committed: artifacts.metrics.committed,
-        wall_ms: wall * 1e3,
-        events_per_sec: artifacts.events_processed as f64 / wall,
-        windows,
-        cross_messages,
+        run: saguaro_bench::timed_run(spec),
     }
 }
 
 /// Times the sequential baseline plus every swept worker count on one
 /// topology; returns the rows in measurement order (sequential first).
 fn sweep_topology(base: &ExperimentSpec) -> Vec<Timed> {
-    let mut rows = vec![timed_run("sequential", None, base)];
+    let mut rows = vec![timed("sequential", None, base)];
     for workers in WORKER_COUNTS {
-        rows.push(timed_run(
+        rows.push(timed(
             &format!("parallel x{workers}"),
             Some(workers),
             &base.clone().parallel(workers),
@@ -96,40 +75,48 @@ fn sweep_topology(base: &ExperimentSpec) -> Vec<Timed> {
 }
 
 fn render_rows(title: &str, rows: &[Timed]) -> String {
-    let baseline = rows[0].events_per_sec;
+    let baseline = rows[0].run.events_per_sec();
     let mut table = format!("# {title}\n");
     for row in rows {
         table.push_str(&format!(
             "{:<12} {:>9} events in {:>8.1} ms -> {:>9.0} events/sec  ({:.2}x, committed {})\n",
             row.label,
-            row.events,
-            row.wall_ms,
-            row.events_per_sec,
-            row.events_per_sec / baseline.max(1e-9),
-            row.committed,
+            row.run.artifacts.events_processed,
+            row.run.wall_ms,
+            row.run.events_per_sec(),
+            row.run.events_per_sec() / baseline.max(1e-9),
+            row.run.artifacts.metrics.committed,
         ));
     }
     table
 }
 
 fn rows_to_json(rows: &[Timed]) -> JsonValue {
-    let baseline = rows[0].events_per_sec;
+    let baseline = rows[0].run.events_per_sec();
     JsonValue::Array(
         rows.iter()
             .map(|row| {
-                JsonValue::object([
+                let (windows, cross_messages) = row
+                    .run
+                    .artifacts
+                    .pdes
+                    .as_ref()
+                    .map(|p| (p.windows, p.cross_messages))
+                    .unwrap_or((0, 0));
+                let mut fields = vec![
                     ("label", JsonValue::Str(row.label.clone())),
                     ("workers", JsonValue::Num(row.workers.unwrap_or(0) as f64)),
-                    ("events", JsonValue::Num(row.events as f64)),
-                    ("wall_ms", JsonValue::Num(row.wall_ms)),
-                    ("events_per_sec", JsonValue::Num(row.events_per_sec)),
+                ];
+                fields.extend(row.run.rate_fields());
+                fields.extend([
                     (
                         "speedup",
-                        JsonValue::Num(row.events_per_sec / baseline.max(1e-9)),
+                        JsonValue::Num(row.run.events_per_sec() / baseline.max(1e-9)),
                     ),
-                    ("windows", JsonValue::Num(row.windows as f64)),
-                    ("cross_messages", JsonValue::Num(row.cross_messages as f64)),
-                ])
+                    ("windows", JsonValue::Num(windows as f64)),
+                    ("cross_messages", JsonValue::Num(cross_messages as f64)),
+                ]);
+                JsonValue::object(fields)
             })
             .collect(),
     )
@@ -191,9 +178,9 @@ fn main() {
 
     let best_wide = wide_rows[1..]
         .iter()
-        .max_by(|a, b| a.events_per_sec.total_cmp(&b.events_per_sec))
+        .max_by(|a, b| a.run.events_per_sec().total_cmp(&b.run.events_per_sec()))
         .expect("worker sweep is non-empty");
-    let wide_speedup = best_wide.events_per_sec / wide_rows[0].events_per_sec.max(1e-9);
+    let wide_speedup = best_wide.run.events_per_sec() / wide_rows[0].run.events_per_sec().max(1e-9);
 
     let mut report = JsonReport::new();
     report.add_value(

@@ -15,7 +15,9 @@
 //! the measured rate fell more than 30 % below it, so CI catches engine
 //! regressions without flaking on runner-speed variance.
 
-use saguaro_bench::{emit, json_path_from_args, options_from_args, JsonReport};
+use saguaro_bench::{
+    emit, json_path_from_args, options_from_args, runtime_json, timed_run, JsonReport,
+};
 use saguaro_sim::experiment::ExperimentSpec;
 use saguaro_sim::figures::{figure7, render_table, FigureOptions};
 use saguaro_sim::json::JsonValue;
@@ -55,14 +57,8 @@ fn main() {
     if options.quick {
         spec = spec.quick().load(1_200.0);
     }
-    // Untimed warm-up run so allocator/page-cache effects do not pollute
-    // the measured rate (the workload is deterministic, so the timed run
-    // processes exactly the same events).
-    let _ = spec.run_collecting();
-    let started = Instant::now();
-    let artifacts = spec.run_collecting();
-    let run_wall = started.elapsed();
-    let events_per_sec = artifacts.events_processed as f64 / run_wall.as_secs_f64().max(1e-9);
+    let run = timed_run(&spec);
+    let events_per_sec = run.events_per_sec();
 
     // 2. Sweep: the six-curve figure-7(a) grid (parallel across cores).
     let sweep_options = FigureOptions {
@@ -82,10 +78,10 @@ fn main() {
     table.push_str("# Engine wall-clock benchmark (figure-7 topology)\n");
     table.push_str(&format!(
         "single run : {} events in {:.1} ms -> {:.0} events/sec (committed {})\n",
-        artifacts.events_processed,
-        run_wall.as_secs_f64() * 1e3,
+        run.artifacts.events_processed,
+        run.wall_ms,
         events_per_sec,
-        artifacts.metrics.committed,
+        run.artifacts.metrics.committed,
     ));
     table.push_str(&format!(
         "fig7a sweep: {} runs in {:.1} ms on {} thread(s)\n",
@@ -100,27 +96,18 @@ fn main() {
     );
 
     let mut report = JsonReport::new();
-    report.add_value(
-        "engine",
-        JsonValue::object([
-            ("quick", JsonValue::Bool(options.quick)),
-            (
-                "events_processed",
-                JsonValue::Num(artifacts.events_processed as f64),
-            ),
-            (
-                "single_run_wall_ms",
-                JsonValue::Num(run_wall.as_secs_f64() * 1e3),
-            ),
-            ("events_per_sec", JsonValue::Num(events_per_sec)),
-            ("sweep_jobs", JsonValue::Num(sweep_jobs as f64)),
-            (
-                "sweep_wall_ms",
-                JsonValue::Num(sweep_wall.as_secs_f64() * 1e3),
-            ),
-            ("threads", JsonValue::Num(threads as f64)),
-        ]),
-    );
+    let mut engine_fields = vec![("quick", JsonValue::Bool(options.quick))];
+    engine_fields.extend(run.rate_fields());
+    engine_fields.extend([
+        ("sweep_jobs", JsonValue::Num(sweep_jobs as f64)),
+        (
+            "sweep_wall_ms",
+            JsonValue::Num(sweep_wall.as_secs_f64() * 1e3),
+        ),
+        ("threads", JsonValue::Num(threads as f64)),
+        ("runtime", runtime_json(&run.artifacts)),
+    ]);
+    report.add_value("engine", JsonValue::object(engine_fields));
     report.merge_into_if_requested(json_path_from_args(&args).as_ref());
 
     if let Some(floor_path) = floor_path_from_args(&args) {

@@ -19,6 +19,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use saguaro_sim::experiment::{ExperimentSpec, RunArtifacts};
 use saguaro_sim::figures::{FigureOptions, FigureSeries};
 use saguaro_sim::json::{JsonValue, ToJson};
 use std::path::PathBuf;
@@ -50,6 +51,104 @@ pub fn json_path_from_args(args: &[String]) -> Option<PathBuf> {
         .position(|a| a == "--json")
         .and_then(|i| args.get(i + 1))
         .map(PathBuf::from)
+}
+
+/// Parses the `--trace <path>` flag: where to write the run's Chrome
+/// trace-event export (load it at <https://ui.perfetto.dev> or
+/// `chrome://tracing`).
+pub fn trace_path_from_args(args: &[String]) -> Option<PathBuf> {
+    args.iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+}
+
+/// One wall-clock-timed experiment run: the artifacts plus how long the
+/// simulator took to produce them.  Every binary that reports an engine
+/// rate goes through this so the `events_per_sec` / `wall_ms` JSON fields
+/// mean the same thing in every `BENCH_results.json` section.
+pub struct TimedRun {
+    /// The run's artifacts (metrics, completions, harvest, instrumentation).
+    pub artifacts: RunArtifacts,
+    /// Wall-clock time of the timed run, in milliseconds.
+    pub wall_ms: f64,
+}
+
+impl TimedRun {
+    /// Simulator events processed per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        self.artifacts.events_processed as f64 / (self.wall_ms / 1e3).max(1e-9)
+    }
+
+    /// The shared rate fields (`events_processed`, `wall_ms`,
+    /// `events_per_sec`) every engine-speed JSON section starts from;
+    /// binaries append their own extras before rendering.
+    pub fn rate_fields(&self) -> Vec<(&'static str, JsonValue)> {
+        vec![
+            (
+                "events_processed",
+                JsonValue::Num(self.artifacts.events_processed as f64),
+            ),
+            ("wall_ms", JsonValue::Num(self.wall_ms)),
+            ("events_per_sec", JsonValue::Num(self.events_per_sec())),
+        ]
+    }
+}
+
+/// Runs `spec` once untimed (so allocator and page-cache effects stay out
+/// of the measured rate — the workloads are deterministic, so the timed run
+/// repeats the identical event history) and once timed.
+pub fn timed_run(spec: &ExperimentSpec) -> TimedRun {
+    let _ = spec.run_collecting();
+    timed_run_cold(spec)
+}
+
+/// Times a single run without the warm-up pass (for long runs where the
+/// doubled wall time would dominate and cache effects do not).
+pub fn timed_run_cold(spec: &ExperimentSpec) -> TimedRun {
+    let started = std::time::Instant::now();
+    let artifacts = spec.run_collecting();
+    TimedRun {
+        artifacts,
+        wall_ms: started.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+/// The `runtime` subsection of a benchmark report: simulator-side
+/// instrumentation of one run — event-queue high-water mark plus the
+/// parallel engine's window/partition counters when the run used it
+/// (`"pdes": null` for sequential runs).
+pub fn runtime_json(artifacts: &RunArtifacts) -> JsonValue {
+    let pdes = artifacts.pdes.as_ref().map_or(JsonValue::Null, |p| {
+        JsonValue::object([
+            ("partitions", JsonValue::Num(p.partitions as f64)),
+            ("windows", JsonValue::Num(p.windows as f64)),
+            ("lookahead_us", JsonValue::Num(p.lookahead_us as f64)),
+            (
+                "partition_events",
+                JsonValue::Array(
+                    p.partition_events
+                        .iter()
+                        .map(|e| JsonValue::Num(*e as f64))
+                        .collect(),
+                ),
+            ),
+            ("cross_messages", JsonValue::Num(p.cross_messages as f64)),
+            ("merge_wall_us", JsonValue::Num(p.merge_wall_us as f64)),
+            ("barrier_wall_us", JsonValue::Num(p.barrier_wall_us as f64)),
+        ])
+    });
+    JsonValue::object([
+        (
+            "events_processed",
+            JsonValue::Num(artifacts.events_processed as f64),
+        ),
+        (
+            "peak_pending_events",
+            JsonValue::Num(artifacts.peak_pending_events as f64),
+        ),
+        ("pdes", pdes),
+    ])
 }
 
 /// Accumulates the sections of a machine-readable benchmark report and
@@ -154,6 +253,50 @@ mod tests {
         );
         // A trailing --json without a path is ignored.
         assert_eq!(json_path_from_args(&["--json".into()]), None);
+    }
+
+    #[test]
+    fn trace_flag_is_parsed() {
+        assert_eq!(trace_path_from_args(&[]), None);
+        assert_eq!(
+            trace_path_from_args(&["--trace".into(), "t.json".into()]),
+            Some(PathBuf::from("t.json"))
+        );
+    }
+
+    #[test]
+    fn rate_fields_and_runtime_section_share_one_shape() {
+        let artifacts = RunArtifacts {
+            metrics: Default::default(),
+            completions: Vec::new(),
+            schedules: Vec::new(),
+            events_processed: 5_000,
+            harvest: Default::default(),
+            state_transfer_messages: 0,
+            state_transfer_bytes: 0,
+            peak_pending_events: 7,
+            population: None,
+            pdes: None,
+            trace: None,
+            timeline: None,
+        };
+        let run = TimedRun {
+            artifacts,
+            wall_ms: 500.0,
+        };
+        assert!((run.events_per_sec() - 10_000.0).abs() < 1e-6);
+        let json = JsonValue::Object(
+            run.rate_fields()
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+        .render();
+        assert!(json.contains("\"events_processed\":5000"));
+        assert!(json.contains("\"events_per_sec\":10000"));
+        let runtime = runtime_json(&run.artifacts).render();
+        assert!(runtime.contains("\"peak_pending_events\":7"));
+        assert!(runtime.contains("\"pdes\":null"));
     }
 
     #[test]

@@ -82,6 +82,17 @@ impl<C> ConsensusMsg<C> {
         )
     }
 
+    /// The view campaigned for by a view-change vote (`None` for every other
+    /// message) — node layers watch outgoing broadcasts for it to trace the
+    /// start of a view change.
+    pub fn view_change_view(&self) -> Option<u64> {
+        match self {
+            ConsensusMsg::Paxos(PaxosMsg::ViewChange { new_view, .. })
+            | ConsensusMsg::Pbft(PbftMsg::ViewChange { new_view, .. }) => Some(*new_view),
+            _ => None,
+        }
+    }
+
     /// The application snapshot carried by a snapshot-based catch-up reply
     /// (`None` for every other message) — wire-size models charge its
     /// modeled size on top of the per-command terms.

@@ -1,7 +1,7 @@
 //! Protocol configuration knobs.
 
 use saguaro_ledger::AbstractionFn;
-use saguaro_types::{BatchConfig, CheckpointConfig, Duration, LivenessConfig};
+use saguaro_types::{BatchConfig, CheckpointConfig, Duration, LivenessConfig, TraceConfig};
 
 /// How cross-domain transactions are processed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -61,6 +61,9 @@ pub struct ProtocolConfig {
     /// active interval bounds consensus logs and lets recovered replicas
     /// catch up via state transfer.
     pub checkpoint: CheckpointConfig,
+    /// Structured-tracing knobs.  Off by default: no buffers are allocated
+    /// and the event stream is bit-identical to an untraced run.
+    pub trace: TraceConfig,
 }
 
 impl ProtocolConfig {
@@ -79,6 +82,7 @@ impl ProtocolConfig {
             liveness: LivenessConfig::disabled(),
             record_deliveries: false,
             checkpoint: CheckpointConfig::legacy(),
+            trace: TraceConfig::off(),
         }
     }
 
@@ -111,6 +115,12 @@ impl ProtocolConfig {
     /// Replaces the checkpoint / state-transfer knobs (builder style).
     pub fn with_checkpoint(mut self, checkpoint: CheckpointConfig) -> Self {
         self.checkpoint = checkpoint;
+        self
+    }
+
+    /// Replaces the structured-tracing knobs (builder style).
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
         self
     }
 

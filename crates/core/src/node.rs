@@ -27,6 +27,7 @@ use saguaro_ledger::{
     AggregateView, Block, BlockchainState, DagLedger, LinearLedger, TxStatus, UndoRecord,
 };
 use saguaro_net::{Actor, Addr, Context, TimerId};
+use saguaro_trace::{TraceActor, TraceEvent, TraceEventKind, Tracer};
 use saguaro_types::{
     ClientId, DomainId, FailureModel, MobileOwnership, NodeId, Operation, QuorumSpec, SeqNo,
     StateSnapshot, Transaction, TxId,
@@ -116,6 +117,9 @@ pub struct SaguaroNode {
     pub(crate) batch_timer: Option<TimerId>,
     /// Measurement counters read by the experiment harness.
     pub stats: NodeStats,
+    /// Structured-event recorder (a disabled no-op unless the experiment
+    /// opts in via [`ProtocolConfig::trace`]).
+    pub(crate) tracer: Tracer,
 }
 
 impl SaguaroNode {
@@ -129,6 +133,7 @@ impl SaguaroNode {
         let consensus = ConsensusReplica::with_batching(id, peers.clone(), quorum, config.batch)
             .with_checkpointing(config.checkpoint);
         let suspicion = SuspicionTimer::new(config.liveness);
+        let tracer = Tracer::new(config.trace, TraceActor::Node(id));
         Self {
             id,
             tree,
@@ -163,7 +168,14 @@ impl SaguaroNode {
             suspicion,
             batch_timer: None,
             stats: NodeStats::default(),
+            tracer,
         }
+    }
+
+    /// Drains the node's trace ring buffer (harvest): the buffered events
+    /// plus the count of events dropped under buffer pressure.
+    pub fn take_trace(&mut self) -> (Vec<TraceEvent>, u64) {
+        self.tracer.take()
     }
 
     /// Seeds an account balance directly (experiment setup, before the run).
@@ -286,7 +298,17 @@ impl SaguaroNode {
     /// leader-side batcher until the block fills; a flush timer guarantees an
     /// under-full block is still cut within `config.batch.max_delay`.
     pub(crate) fn propose(&mut self, cmd: Cmd, ctx: &mut Context<'_, SaguaroMsg>) {
+        let pooled = self.tracer.enabled().then(|| {
+            if let Some(tx) = cmd.transaction().filter(|t| self.tracer.samples(t.id.0)) {
+                self.tracer
+                    .record(ctx.now(), TraceEventKind::TxBatched { tx: tx.id });
+            }
+            self.consensus.pending_commands()
+        });
         let steps = self.consensus.propose(cmd);
+        if let Some(before) = pooled {
+            self.note_batch_cut(before + 1, ctx);
+        }
         self.drive(steps, ctx);
         self.sync_batch_timer(ctx);
     }
@@ -306,8 +328,29 @@ impl SaguaroNode {
     /// The batch flush timer fired: cut and propose whatever is pending.
     fn on_batch_timer(&mut self, ctx: &mut Context<'_, SaguaroMsg>) {
         self.batch_timer = None;
+        let pooled = self
+            .tracer
+            .enabled()
+            .then(|| self.consensus.pending_commands());
         let steps = self.consensus.flush();
+        if let Some(before) = pooled {
+            self.note_batch_cut(before, ctx);
+        }
         self.drive(steps, ctx);
+    }
+
+    /// Traces a batch cut: `before` commands were pooled going in; whatever
+    /// no longer pools after the propose/flush was cut into a proposal.
+    fn note_batch_cut(&mut self, before: usize, ctx: &mut Context<'_, SaguaroMsg>) {
+        let after = self.consensus.pending_commands();
+        if before > after {
+            self.tracer.record(
+                ctx.now(),
+                TraceEventKind::BatchCut {
+                    commands: (before - after) as u64,
+                },
+            );
+        }
     }
 
     /// Records the application of a state-transfer reply: how many member
@@ -327,6 +370,13 @@ impl SaguaroNode {
             self.stats.state_transfer_commands += commands;
             self.stats.state_transfer_bytes += bytes as u64;
             self.stats.caught_up_at = Some(ctx.now());
+            self.tracer.record(
+                ctx.now(),
+                TraceEventKind::StateTransferReply {
+                    commands,
+                    bytes: bytes as u64,
+                },
+            );
         }
     }
 
@@ -341,6 +391,12 @@ impl SaguaroNode {
             match step {
                 Step::Send { to, msg } => ctx.send(to, SaguaroMsg::Consensus(msg)),
                 Step::Broadcast { msg } => {
+                    if self.tracer.enabled() {
+                        if let Some(view) = msg.view_change_view() {
+                            self.tracer
+                                .record(ctx.now(), TraceEventKind::ViewChangeStart { view });
+                        }
+                    }
                     ctx.multicast(self.other_peers(), SaguaroMsg::Consensus(msg));
                 }
                 Step::Deliver { seq, command } => {
@@ -352,14 +408,38 @@ impl SaguaroNode {
                             .note_delivery(seq, command.iter().map(cmd_fingerprint));
                     }
                     for cmd in command {
+                        if self.tracer.enabled() {
+                            if let Some(tx) =
+                                cmd.transaction().filter(|t| self.tracer.samples(t.id.0))
+                            {
+                                self.tracer.record(
+                                    ctx.now(),
+                                    TraceEventKind::TxOrdered { tx: tx.id, seq },
+                                );
+                            }
+                        }
                         self.apply_command(seq, cmd, ctx);
                     }
                 }
-                Step::ViewChanged { .. } => {
+                Step::ViewChanged { view, primary } => {
                     self.stats.view_changes += 1;
+                    self.tracer.record(
+                        ctx.now(),
+                        TraceEventKind::ViewChangeComplete { view, primary },
+                    );
                 }
-                Step::TakeSnapshot { seq } => self.take_snapshot(seq),
-                Step::InstallSnapshot { snapshot } => self.install_snapshot(&snapshot),
+                Step::TakeSnapshot { seq } => {
+                    self.tracer
+                        .record(ctx.now(), TraceEventKind::SnapshotTaken { seq });
+                    self.take_snapshot(seq)
+                }
+                Step::InstallSnapshot { snapshot } => {
+                    self.tracer.record(
+                        ctx.now(),
+                        TraceEventKind::SnapshotInstalled { seq: snapshot.seq },
+                    );
+                    self.install_snapshot(&snapshot)
+                }
             }
         }
     }
@@ -538,6 +618,10 @@ impl SaguaroNode {
         self.ledger.append_internal(tx.clone(), TxStatus::Committed);
         self.stats.internal_committed += 1;
         self.stats.commit_times.record(tx.id, ctx.now());
+        if self.tracer.samples(tx.id.0) {
+            self.tracer
+                .record(ctx.now(), TraceEventKind::TxExecuted { tx: tx.id });
+        }
         self.reply(tx.id, true, ctx);
     }
 
@@ -589,6 +673,15 @@ impl SaguaroNode {
         };
         if should_send {
             ctx.send(Addr::Client(client), SaguaroMsg::Reply { tx_id, committed });
+            if self.tracer.samples(tx_id.0) {
+                self.tracer.record(
+                    ctx.now(),
+                    TraceEventKind::TxReplied {
+                        tx: tx_id,
+                        committed,
+                    },
+                );
+            }
         }
     }
 
@@ -618,6 +711,12 @@ impl SaguaroNode {
             // is wrong (or the elected primary is also dead) the next view
             // change gets proportionally more room.
             self.suspicion.on_suspect();
+            self.tracer.record(
+                ctx.now(),
+                TraceEventKind::SuspicionFired {
+                    view: self.consensus.view(),
+                },
+            );
             let steps = self.consensus.on_progress_timeout();
             self.drive(steps, ctx);
         } else if progressed {
@@ -658,7 +757,38 @@ impl Actor<SaguaroMsg> for SaguaroNode {
                     let transfer_bytes = m
                         .is_state_reply()
                         .then(|| crate::messages::consensus_bytes(&m));
+                    // Delta probes around the consensus call: checkpoint
+                    // advancement and fresh certificate conflicts surface as
+                    // trace events without touching the engine itself.
+                    let probe = self.tracer.enabled().then(|| {
+                        if m.is_state_transfer() && !m.is_state_reply() {
+                            self.tracer
+                                .record(ctx.now(), TraceEventKind::StateTransferRequest);
+                        }
+                        (
+                            self.consensus.stable_checkpoint(),
+                            self.consensus.certificate_conflicts(),
+                        )
+                    });
                     let steps = self.consensus.on_message(node, m);
+                    if let Some((checkpoint, conflicts)) = probe {
+                        if self.consensus.stable_checkpoint() > checkpoint {
+                            self.tracer.record(
+                                ctx.now(),
+                                TraceEventKind::CheckpointStable {
+                                    seq: self.consensus.stable_checkpoint(),
+                                },
+                            );
+                        }
+                        if self.consensus.certificate_conflicts() > conflicts {
+                            self.tracer.record(
+                                ctx.now(),
+                                TraceEventKind::EquivocationDetected {
+                                    conflicts: self.consensus.certificate_conflicts(),
+                                },
+                            );
+                        }
+                    }
                     if let Some(bytes) = transfer_bytes {
                         self.note_state_transfer(&steps, bytes, ctx);
                     }

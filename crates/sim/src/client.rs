@@ -9,6 +9,7 @@
 use parking_lot::Mutex;
 use rand::Rng;
 use saguaro_net::{Actor, Addr, Context, MessageMeta, TimerId};
+use saguaro_trace::{TraceEvent, TraceEventKind, Tracer};
 use saguaro_types::{ClientId, Duration, SimTime, TxId};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -53,6 +54,8 @@ pub struct ClientActor<M> {
     reply_counts: HashMap<TxId, (usize, usize)>,
     collector: Collector,
     started: bool,
+    /// Structured tracing for sampled transaction lifecycle spans.
+    tracer: Tracer,
 }
 
 impl<M: MessageMeta + Clone + 'static> ClientActor<M> {
@@ -66,6 +69,7 @@ impl<M: MessageMeta + Clone + 'static> ClientActor<M> {
         parse_reply: fn(&M) -> Option<(TxId, bool)>,
         reply_quorum: usize,
         collector: Collector,
+        tracer: Tracer,
     ) -> Self {
         Self {
             id,
@@ -78,6 +82,7 @@ impl<M: MessageMeta + Clone + 'static> ClientActor<M> {
             reply_counts: HashMap::new(),
             collector,
             started: false,
+            tracer,
         }
     }
 
@@ -86,9 +91,18 @@ impl<M: MessageMeta + Clone + 'static> ClientActor<M> {
         self.id
     }
 
+    /// Drains the trace buffer: `(events, dropped count)`.
+    pub fn take_trace(&mut self) -> (Vec<TraceEvent>, u64) {
+        self.tracer.take()
+    }
+
     fn submit_next(&mut self, ctx: &mut Context<'_, M>) {
         if let Some((tx_id, msg, target)) = self.schedule.pop_front() {
             self.pending.insert(tx_id, ctx.now());
+            if self.tracer.samples(tx_id.0) {
+                self.tracer
+                    .record(ctx.now(), TraceEventKind::TxSubmitted { tx: tx_id });
+            }
             ctx.send(target, msg);
         }
         if !self.schedule.is_empty() {
@@ -120,6 +134,15 @@ impl<M: MessageMeta + Clone + 'static> ClientActor<M> {
         let committed = *commits >= self.reply_quorum;
         self.pending.remove(&tx_id);
         self.reply_counts.remove(&tx_id);
+        if self.tracer.samples(tx_id.0) {
+            self.tracer.record(
+                ctx.now(),
+                TraceEventKind::TxCompleted {
+                    tx: tx_id,
+                    committed,
+                },
+            );
+        }
         self.collector.lock().push(CompletedTx {
             tx_id,
             client: self.id,
@@ -144,6 +167,10 @@ impl<M: MessageMeta + Clone + 'static> Actor<M> for ClientActor<M> {
 
     fn on_timer(&mut self, _id: TimerId, _msg: M, ctx: &mut Context<'_, M>) {
         self.submit_next(ctx);
+    }
+
+    fn as_any(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
     }
 }
 
@@ -202,6 +229,7 @@ mod tests {
             parse,
             1,
             collector.clone(),
+            Tracer::disabled(),
         );
         sim.register(client_id, Region(0), CpuProfile::client(), Box::new(client));
         // Kick off.
@@ -237,6 +265,7 @@ mod tests {
             parse,
             2,
             collector.clone(),
+            Tracer::disabled(),
         );
         sim.register(
             ClientId(1),
@@ -278,6 +307,7 @@ mod tests {
             parse,
             2,
             collector.clone(),
+            Tracer::disabled(),
         );
         sim.register(
             ClientId(1),

@@ -135,7 +135,8 @@ pub fn deploy_baseline<S: SimRuntime<BaselineMsg>>(
                 BaselineNode::with_batching(node, role, tree.clone(), committee, stack.batch)
                     .with_checkpointing(stack.checkpoint)
                     .with_liveness(stack.liveness)
-                    .with_delivery_recording(stack.record_deliveries);
+                    .with_delivery_recording(stack.record_deliveries)
+                    .with_trace(stack.trace);
             if domain.height == 1 {
                 for (d, accounts) in seed_accounts {
                     if *d == domain {
@@ -200,24 +201,29 @@ pub fn harvest_saguaro<S: SimRuntime<SaguaroMsg>>(
     sim: &mut S,
     tree: &Arc<HierarchyTree>,
 ) -> RunHarvest {
-    harvest_with(sim, tree, true, |node, n: &mut SaguaroNode| NodeHarvest {
-        node,
-        entries: ledger_entries(n.ledger()),
-        total_entries: n.ledger().len() as u64 + n.ledger().pruned_entries(),
-        consensus_log: n.stats().consensus_log.clone(),
-        view_changes: n.stats().view_changes,
-        last_delivered: n.consensus_frontier(),
-        stable_checkpoint: n.consensus_checkpoint(),
-        vote_entries: n.consensus_vote_entries(),
-        certificate_conflicts: n.consensus_certificate_conflicts(),
-        state_transfer_commands: n.stats().state_transfer_commands,
-        state_transfer_bytes: n.stats().state_transfer_bytes,
-        caught_up_at: n.stats().caught_up_at,
-        chain_len: n.consensus_chain_len(),
-        chain_start: n.consensus_chain_start(),
-        snapshot_seq: n.consensus_snapshot_seq(),
-        snapshots_taken: n.stats().snapshots_taken,
-        snapshots_installed: n.stats().snapshots_installed,
+    harvest_with(sim, tree, true, |node, n: &mut SaguaroNode| {
+        let (trace, trace_dropped) = n.take_trace();
+        NodeHarvest {
+            node,
+            trace,
+            trace_dropped,
+            entries: ledger_entries(n.ledger()),
+            total_entries: n.ledger().len() as u64 + n.ledger().pruned_entries(),
+            consensus_log: n.stats().consensus_log.clone(),
+            view_changes: n.stats().view_changes,
+            last_delivered: n.consensus_frontier(),
+            stable_checkpoint: n.consensus_checkpoint(),
+            vote_entries: n.consensus_vote_entries(),
+            certificate_conflicts: n.consensus_certificate_conflicts(),
+            state_transfer_commands: n.stats().state_transfer_commands,
+            state_transfer_bytes: n.stats().state_transfer_bytes,
+            caught_up_at: n.stats().caught_up_at,
+            chain_len: n.consensus_chain_len(),
+            chain_start: n.consensus_chain_start(),
+            snapshot_seq: n.consensus_snapshot_seq(),
+            snapshots_taken: n.stats().snapshots_taken,
+            snapshots_installed: n.stats().snapshots_installed,
+        }
     })
 }
 
@@ -226,24 +232,29 @@ pub fn harvest_baseline<S: SimRuntime<BaselineMsg>>(
     sim: &mut S,
     tree: &Arc<HierarchyTree>,
 ) -> RunHarvest {
-    harvest_with(sim, tree, false, |node, n: &mut BaselineNode| NodeHarvest {
-        node,
-        entries: ledger_entries(n.ledger()),
-        total_entries: n.ledger().len() as u64 + n.ledger().pruned_entries(),
-        consensus_log: n.stats().consensus_log.clone(),
-        view_changes: n.stats().view_changes,
-        last_delivered: n.consensus_frontier(),
-        stable_checkpoint: n.consensus_checkpoint(),
-        vote_entries: n.consensus_vote_entries(),
-        certificate_conflicts: n.consensus_certificate_conflicts(),
-        state_transfer_commands: n.stats().state_transfer_commands,
-        state_transfer_bytes: n.stats().state_transfer_bytes,
-        caught_up_at: n.stats().caught_up_at,
-        chain_len: n.consensus_chain_len(),
-        chain_start: n.consensus_chain_start(),
-        snapshot_seq: n.consensus_snapshot_seq(),
-        snapshots_taken: n.stats().snapshots_taken,
-        snapshots_installed: n.stats().snapshots_installed,
+    harvest_with(sim, tree, false, |node, n: &mut BaselineNode| {
+        let (trace, trace_dropped) = n.take_trace();
+        NodeHarvest {
+            node,
+            trace,
+            trace_dropped,
+            entries: ledger_entries(n.ledger()),
+            total_entries: n.ledger().len() as u64 + n.ledger().pruned_entries(),
+            consensus_log: n.stats().consensus_log.clone(),
+            view_changes: n.stats().view_changes,
+            last_delivered: n.consensus_frontier(),
+            stable_checkpoint: n.consensus_checkpoint(),
+            vote_entries: n.consensus_vote_entries(),
+            certificate_conflicts: n.consensus_certificate_conflicts(),
+            state_transfer_commands: n.stats().state_transfer_commands,
+            state_transfer_bytes: n.stats().state_transfer_bytes,
+            caught_up_at: n.stats().caught_up_at,
+            chain_len: n.consensus_chain_len(),
+            chain_start: n.consensus_chain_start(),
+            snapshot_seq: n.consensus_snapshot_seq(),
+            snapshots_taken: n.stats().snapshots_taken,
+            snapshots_installed: n.stats().snapshots_installed,
+        }
     })
 }
 

@@ -46,9 +46,11 @@ use saguaro_net::{
     Addr, CpuProfile, FaultEvent, FaultSchedule, ParallelSimulation, PdesRunStats, SimRuntime,
     Simulation,
 };
+use saguaro_trace::{RunTrace, TraceActor, TraceEvent, TraceEventKind, Tracer};
 use saguaro_types::{
     BatchConfig, CheckpointConfig, ClientId, ClientModel, ConsensusTuning, DomainId, Duration,
-    EngineMode, FailureModel, LivenessConfig, NodeId, PopulationConfig, SimTime, StackConfig, TxId,
+    EngineMode, FailureModel, LivenessConfig, NodeId, PopulationConfig, SimTime, StackConfig,
+    TraceConfig, TxId,
 };
 use saguaro_workload::{MicropaymentWorkload, RidesharingWorkload, Workload, WorkloadConfig};
 use std::sync::Arc;
@@ -182,6 +184,12 @@ pub struct ExperimentSpec {
     /// seed and invariant to the worker count, but a *different*
     /// deterministic mode than sequential (per-partition RNG streams).
     pub engine: EngineMode,
+    /// Structured-tracing knobs.  Off by default — the pinned golden path:
+    /// no buffers, no events, bit-identical to a build without the
+    /// subsystem.  When enabled, protocol events and sampled transaction
+    /// lifecycle spans are harvested into [`RunArtifacts::trace`] and the
+    /// bucketed time series of [`RunArtifacts::timeline`].
+    pub trace: TraceConfig,
 }
 
 impl ExperimentSpec {
@@ -204,7 +212,16 @@ impl ExperimentSpec {
             client_model: ClientModel::PerActor,
             topology: None,
             engine: EngineMode::Sequential,
+            trace: TraceConfig::off(),
         }
+    }
+
+    /// Replaces the structured-tracing knobs (`TraceConfig::on()` turns the
+    /// observability layer on with the default sampling stride and buffer
+    /// bounds).
+    pub fn trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Switches the run to the conservative-parallel engine with the given
@@ -425,6 +442,7 @@ impl ExperimentSpec {
             liveness,
             checkpoint: self.consensus.checkpoint,
             record_deliveries: liveness.enabled || !self.fault_plan.is_empty(),
+            trace: self.trace,
         }
     }
 }
@@ -544,6 +562,14 @@ pub struct RunArtifacts {
     /// windows, per-partition event counts, cross-partition traffic and
     /// barrier/merge wall time.
     pub pdes: Option<PdesRunStats>,
+    /// The merged structured trace (`None` with tracing off): every
+    /// replica's and client's protocol events and sampled transaction
+    /// lifecycle spans in deterministic `(time, actor, seq)` order, plus
+    /// the fault plan synthesized as harness events.
+    pub trace: Option<RunTrace>,
+    /// Bucketed time-series metrics over `warmup + measure` (`None` with
+    /// tracing off).
+    pub timeline: Option<crate::timeline::RunTimeline>,
 }
 
 /// Runs one experiment, dispatching `spec.protocol` to the corresponding
@@ -672,6 +698,63 @@ fn install_fault_plan<P: ProtocolStack, S: SimRuntime<P::Msg>>(sim: &mut S, spec
     sim.set_fault_schedule(spec.fault_plan.clone());
 }
 
+/// Synthesizes the spec's fault plan as harness-actor trace events (one per
+/// scripted event at or before `horizon`).  The plan is rendered from the
+/// spec rather than hooked in the engine because every parallel-engine
+/// partition applies the full schedule locally — engine-side hooks would
+/// record each event once per partition and break worker-count invariance.
+fn fault_trace_events(spec: &ExperimentSpec, horizon: Duration) -> Vec<TraceEvent> {
+    let end = SimTime::ZERO + horizon;
+    spec.fault_plan
+        .events()
+        .iter()
+        .filter(|(at, _)| *at <= end)
+        .enumerate()
+        .map(|(seq, (at, event))| TraceEvent {
+            time: *at,
+            actor: TraceActor::Harness,
+            seq: seq as u64,
+            kind: TraceEventKind::Fault {
+                label: format!("{event:?}"),
+            },
+        })
+        .collect()
+}
+
+/// Merges the per-actor trace buffers of a finished run into one
+/// deterministic [`RunTrace`]: every replica's harvested buffer, every
+/// per-actor client's buffer (drained via downcast, like the replica
+/// harvest), and the synthesized fault-plan events.  Aggregate-population
+/// runs pass no client ids — their domain actors record no tx spans.
+fn collect_trace<P: ProtocolStack, S: SimRuntime<P::Msg>>(
+    spec: &ExperimentSpec,
+    sim: &mut S,
+    harvest: &mut RunHarvest,
+    clients: &[ClientId],
+    horizon: Duration,
+) -> RunTrace {
+    let mut parts: Vec<Vec<TraceEvent>> = Vec::with_capacity(harvest.nodes.len() + clients.len());
+    let mut dropped = 0u64;
+    for node in &mut harvest.nodes {
+        dropped += node.trace_dropped;
+        parts.push(std::mem::take(&mut node.trace));
+    }
+    for client in clients {
+        let drained = sim.with_actor(*client, |actor| {
+            actor
+                .as_any()
+                .and_then(|any| any.downcast_mut::<ClientActor<P::Msg>>())
+                .map(|c| c.take_trace())
+        });
+        if let Some(Some((events, d))) = drained {
+            dropped += d;
+            parts.push(events);
+        }
+    }
+    parts.push(fault_trace_events(spec, horizon));
+    RunTrace::merge(parts, dropped)
+}
+
 /// [`run_experiment`] plus the raw per-transaction artifacts.
 pub fn run_experiment_collecting<P: ProtocolStack>(spec: &ExperimentSpec) -> RunArtifacts {
     debug_assert_eq!(
@@ -761,6 +844,7 @@ fn run_collecting_on<P: ProtocolStack, S: SimRuntime<P::Msg>>(
             P::parse_reply,
             reply_quorum,
             collector.clone(),
+            Tracer::new(spec.trace, TraceActor::Client(client_id)),
         );
         sim.register(client_id, region, CpuProfile::client(), Box::new(actor));
         // Stagger client start over one mean inter-arrival.
@@ -779,8 +863,22 @@ fn run_collecting_on<P: ProtocolStack, S: SimRuntime<P::Msg>>(
     let state_transfer_bytes = sim.stats().state_bytes_delivered;
     let peak_pending_events = sim.stats().peak_pending_events;
     let pdes = sim.stats().pdes.clone();
-    let harvest = P::harvest(sim, tree);
+    let mut harvest = P::harvest(sim, tree);
     let completions = std::mem::take(&mut *collector.lock());
+    let (trace, timeline) = if spec.trace.enabled {
+        let clients: Vec<ClientId> = schedules.iter().map(|(c, _)| *c).collect();
+        let trace = collect_trace::<P, S>(spec, sim, &mut harvest, &clients, horizon);
+        let timeline = crate::timeline::RunTimeline::build(
+            spec.warmup,
+            spec.measure,
+            spec.trace.timeline_buckets,
+            &completions,
+            &trace,
+        );
+        (Some(trace), Some(timeline))
+    } else {
+        (None, None)
+    };
     let metrics = summarise(
         &completions,
         spec.warmup,
@@ -798,6 +896,8 @@ fn run_collecting_on<P: ProtocolStack, S: SimRuntime<P::Msg>>(
         peak_pending_events,
         population: None,
         pdes,
+        trace,
+        timeline,
     }
 }
 
@@ -879,7 +979,14 @@ fn run_aggregate_on<P: ProtocolStack, S: SimRuntime<P::Msg>>(
     let state_transfer_bytes = sim.stats().state_bytes_delivered;
     let peak_pending_events = sim.stats().peak_pending_events;
     let pdes = sim.stats().pdes.clone();
-    let harvest = P::harvest(sim, tree);
+    let mut harvest = P::harvest(sim, tree);
+    // Aggregate domain actors keep no per-transaction records, so the trace
+    // carries replica protocol events and fault-plan events only (no tx
+    // lifecycle spans) and the timeline is skipped.
+    let trace = spec
+        .trace
+        .enabled
+        .then(|| collect_trace::<P, S>(spec, sim, &mut harvest, &[], horizon));
     let tally = Arc::try_unwrap(tally)
         .map(Mutex::into_inner)
         .unwrap_or_else(|shared| shared.lock().clone());
@@ -895,6 +1002,8 @@ fn run_aggregate_on<P: ProtocolStack, S: SimRuntime<P::Msg>>(
         peak_pending_events,
         population: Some(tally),
         pdes,
+        trace,
+        timeline: None,
     }
 }
 

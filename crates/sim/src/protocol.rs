@@ -116,6 +116,12 @@ pub struct NodeHarvest {
     /// When this replica's last state-transfer reply applied (the catch-up
     /// completion instant of a recovered replica).
     pub caught_up_at: Option<saguaro_types::SimTime>,
+    /// Structured trace events this replica recorded (empty with tracing
+    /// off).  Drained at harvest; the experiment engine merges every
+    /// replica's buffer into one deterministic [`saguaro_trace::RunTrace`].
+    pub trace: Vec<saguaro_trace::TraceEvent>,
+    /// Trace events this replica dropped because its ring buffer was full.
+    pub trace_dropped: u64,
 }
 
 impl NodeHarvest {
@@ -279,7 +285,8 @@ impl ProtocolStack for CoordinatorStack {
             .with_batch(stack.batch)
             .with_liveness(stack.liveness)
             .with_checkpoint(stack.checkpoint)
-            .with_delivery_recording(stack.record_deliveries);
+            .with_delivery_recording(stack.record_deliveries)
+            .with_trace(stack.trace);
         deploy::deploy_saguaro(sim, tree, &config, seed_accounts);
     }
 
@@ -324,7 +331,8 @@ impl ProtocolStack for OptimisticStack {
             .with_batch(stack.batch)
             .with_liveness(stack.liveness)
             .with_checkpoint(stack.checkpoint)
-            .with_delivery_recording(stack.record_deliveries);
+            .with_delivery_recording(stack.record_deliveries)
+            .with_trace(stack.trace);
         deploy::deploy_saguaro(sim, tree, &config, seed_accounts);
     }
 

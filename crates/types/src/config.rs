@@ -411,6 +411,83 @@ impl Default for CheckpointConfig {
     }
 }
 
+/// Structured-tracing knobs threaded from an experiment spec down to every
+/// node, client and harvest pass.
+///
+/// Default is **off**: no buffers are allocated, every record call is a
+/// single branch, and runs are bit-identical to a build without the
+/// subsystem.  When enabled, protocol events and sampled transaction
+/// lifecycle spans are recorded into bounded per-actor ring buffers and
+/// merged deterministically at harvest, so the same seed yields the same
+/// trace regardless of engine or worker count.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Master switch; `false` makes every other knob inert.
+    pub enabled: bool,
+    /// Transaction-span sampling stride: spans are recorded for transactions
+    /// whose id is divisible by this value (1 = every transaction, 0 = no
+    /// spans).  Protocol events are never sampled.
+    pub span_sample_every: u32,
+    /// Per-actor ring-buffer capacity in events; the oldest events are
+    /// dropped (and counted) once an actor exceeds it.
+    pub buffer_capacity: u32,
+    /// Number of buckets the run horizon is divided into for the time-series
+    /// metrics (`timeline`) export.
+    pub timeline_buckets: u32,
+}
+
+impl TraceConfig {
+    /// Tracing disabled — the pinned default, bit-identical to goldens.
+    pub const fn off() -> Self {
+        Self {
+            enabled: false,
+            span_sample_every: 8,
+            buffer_capacity: 4096,
+            timeline_buckets: 40,
+        }
+    }
+
+    /// Tracing enabled with the default knobs: every 8th transaction
+    /// spanned, 4096-event ring buffers, 40 timeline buckets.
+    pub const fn on() -> Self {
+        Self {
+            enabled: true,
+            ..Self::off()
+        }
+    }
+
+    /// Replaces the transaction-span sampling stride (builder style).
+    pub const fn with_span_sampling(mut self, every: u32) -> Self {
+        self.span_sample_every = every;
+        self
+    }
+
+    /// Replaces the per-actor ring-buffer capacity (builder style).
+    pub const fn with_buffer_capacity(mut self, capacity: u32) -> Self {
+        self.buffer_capacity = if capacity == 0 { 1 } else { capacity };
+        self
+    }
+
+    /// Replaces the timeline bucket count (builder style).
+    pub const fn with_timeline_buckets(mut self, buckets: u32) -> Self {
+        self.timeline_buckets = if buckets == 0 { 1 } else { buckets };
+        self
+    }
+
+    /// True if a lifecycle span should be recorded for transaction `id`.
+    pub const fn samples(&self, id: u64) -> bool {
+        self.enabled
+            && self.span_sample_every > 0
+            && id.is_multiple_of(self.span_sample_every as u64)
+    }
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self::off()
+    }
+}
+
 /// Per-domain pipeline knobs threaded from an experiment spec into every
 /// protocol stack's deployment: request batching, liveness timers and
 /// checkpointing / state transfer.
@@ -427,6 +504,8 @@ pub struct StackConfig {
     /// including ones that script faults with liveness timers explicitly
     /// off — and skipped by failure-free performance sweeps.
     pub record_deliveries: bool,
+    /// Structured-tracing knobs (off by default).
+    pub trace: TraceConfig,
 }
 
 impl StackConfig {
@@ -437,6 +516,7 @@ impl StackConfig {
             liveness: LivenessConfig::disabled(),
             checkpoint: CheckpointConfig::legacy(),
             record_deliveries: false,
+            trace: TraceConfig::off(),
         }
     }
 
@@ -455,6 +535,12 @@ impl StackConfig {
     /// Enables delivery-stream recording (builder style).
     pub const fn with_delivery_recording(mut self, record: bool) -> Self {
         self.record_deliveries = record;
+        self
+    }
+
+    /// Replaces the tracing knobs (builder style).
+    pub const fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
         self
     }
 }

@@ -32,7 +32,7 @@ pub mod transaction;
 pub use config::{
     AdaptiveTimeout, BatchConfig, CheckpointConfig, ClientModel, ConsensusTuning, DomainConfig,
     EngineMode, FailureModel, LivenessConfig, PopulationConfig, QuorumSpec, RateEnvelope,
-    StackConfig,
+    StackConfig, TraceConfig,
 };
 pub use error::SaguaroError;
 pub use ids::{ClientId, DomainId, Height, NodeId, Region};

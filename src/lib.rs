@@ -38,6 +38,7 @@ pub use saguaro_ledger as ledger;
 pub use saguaro_loadgen as loadgen;
 pub use saguaro_net as net;
 pub use saguaro_sim as sim;
+pub use saguaro_trace as trace;
 pub use saguaro_types as types;
 pub use saguaro_workload as workload;
 

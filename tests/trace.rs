@@ -1,0 +1,245 @@
+//! Structured-tracing suite: the observability layer must be strictly
+//! pay-for-play (tracing off is bit-identical to the pre-tracing goldens),
+//! observation-only (tracing on does not change a run's metrics), and
+//! deterministic (the Chrome export is byte-identical across parallel
+//! worker counts).
+
+use saguaro::sim::{
+    ExperimentSpec, ProtocolKind, RunMetrics, Scenario, TraceActor, TraceEventKind,
+};
+use saguaro::types::TraceConfig;
+
+/// The reference spec the golden metrics below were captured with (the same
+/// spec `tests/determinism.rs` pins).
+fn golden_spec(protocol: ProtocolKind) -> ExperimentSpec {
+    ExperimentSpec::new(protocol)
+        .quick()
+        .cross_domain(0.3)
+        .load(600.0)
+}
+
+/// `RunMetrics` of [`golden_spec`] captured before the tracing subsystem
+/// existed (identical to the pre-batching goldens in
+/// `tests/determinism.rs`).
+fn golden_metrics(protocol: ProtocolKind) -> RunMetrics {
+    let (throughput_tps, avg, p50, p95, p99, committed) = match protocol {
+        ProtocolKind::SaguaroCoordinator => (590.0, 8.03422598870057, 1.052, 37.18, 46.219, 177),
+        ProtocolKind::SaguaroOptimistic => (620.0, 1.0484623655913978, 1.048, 1.058, 1.061, 186),
+        ProtocolKind::Ahl => (
+            553.3333333333334,
+            5.943861445783132,
+            1.05,
+            29.047,
+            36.833,
+            166,
+        ),
+        ProtocolKind::Sharper => (570.0, 5.116730994152048, 1.05, 26.595, 27.129, 171),
+    };
+    RunMetrics {
+        offered_tps: 600.0,
+        throughput_tps,
+        avg_latency_ms: avg,
+        p50_latency_ms: p50,
+        p95_latency_ms: p95,
+        p99_latency_ms: p99,
+        committed,
+        aborted: 0,
+    }
+}
+
+#[test]
+fn tracing_off_is_bit_identical_to_the_pre_tracing_goldens() {
+    for protocol in ProtocolKind::ALL {
+        // Sequential engine: an explicit `off` config must reproduce the
+        // goldens captured before the subsystem existed.
+        let explicit_off = golden_spec(protocol).trace(TraceConfig::off()).run();
+        assert_eq!(
+            explicit_off,
+            golden_metrics(protocol),
+            "{protocol:?}: explicit TraceConfig::off() diverged from the goldens"
+        );
+        // Parallel engine: its RNG streams differ from the sequential
+        // engine's by design, so compare against its own untraced run.
+        let parallel_default = golden_spec(protocol).parallel(2).run();
+        let parallel_off = golden_spec(protocol)
+            .parallel(2)
+            .trace(TraceConfig::off())
+            .run();
+        assert_eq!(
+            parallel_off, parallel_default,
+            "{protocol:?}: TraceConfig::off() changed the parallel engine's run"
+        );
+    }
+}
+
+#[test]
+fn tracing_on_is_observation_only() {
+    // Recording events must not perturb the simulation: metrics with
+    // tracing on equal metrics with tracing off, on both engines.
+    for protocol in ProtocolKind::ALL {
+        let untraced = golden_spec(protocol).run();
+        let traced = golden_spec(protocol).trace(TraceConfig::on()).run();
+        assert_eq!(
+            traced, untraced,
+            "{protocol:?}: tracing changed the sequential run's metrics"
+        );
+        let par_untraced = golden_spec(protocol).parallel(2).run();
+        let par_traced = golden_spec(protocol)
+            .parallel(2)
+            .trace(TraceConfig::on())
+            .run();
+        assert_eq!(
+            par_traced, par_untraced,
+            "{protocol:?}: tracing changed the parallel run's metrics"
+        );
+    }
+}
+
+#[test]
+fn chrome_export_is_byte_identical_across_worker_counts() {
+    let spec = golden_spec(ProtocolKind::SaguaroCoordinator).trace(TraceConfig::on());
+    let exports: Vec<String> = [1, 2, 4]
+        .into_iter()
+        .map(|workers| {
+            let artifacts = spec.clone().parallel(workers).run_collecting();
+            let trace = artifacts.trace.expect("tracing was enabled");
+            assert!(
+                !trace.is_empty(),
+                "{workers} workers: traced run recorded nothing"
+            );
+            trace.chrome_json()
+        })
+        .collect();
+    assert_eq!(
+        exports[0], exports[1],
+        "Chrome export differs between 1 and 2 workers"
+    );
+    assert_eq!(
+        exports[1], exports[2],
+        "Chrome export differs between 2 and 4 workers"
+    );
+    // And re-running the same config reproduces the same bytes.
+    let again = spec
+        .clone()
+        .parallel(2)
+        .run_collecting()
+        .trace
+        .expect("tracing was enabled")
+        .chrome_json();
+    assert_eq!(exports[1], again, "traced run is not reproducible");
+}
+
+#[test]
+fn view_change_storm_trace_contains_the_suspicion_chain_in_order() {
+    // The storm crashes the view-0 primary: replicas must first record the
+    // scripted fault, then suspicion firings, then view-change votes, then
+    // the new view's installation — in that virtual-time order.
+    let spec = Scenario::ViewChangeStorm.apply(
+        ExperimentSpec::new(ProtocolKind::SaguaroCoordinator)
+            .byzantine()
+            .quick()
+            .load(800.0),
+    );
+    let artifacts = spec.trace(TraceConfig::on()).run_collecting();
+    let trace = artifacts.trace.expect("tracing was enabled");
+
+    let first = |pred: &dyn Fn(&TraceEventKind) -> bool, what: &str| -> usize {
+        trace
+            .events
+            .iter()
+            .position(|e| pred(&e.kind))
+            .unwrap_or_else(|| panic!("storm trace has no {what} event"))
+    };
+    let crash = first(
+        &|k| matches!(k, TraceEventKind::Fault { label } if label.contains("Crash")),
+        "scripted-crash fault",
+    );
+    let suspicion = first(
+        &|k| matches!(k, TraceEventKind::SuspicionFired { .. }),
+        "suspicion",
+    );
+    let start = first(
+        &|k| matches!(k, TraceEventKind::ViewChangeStart { .. }),
+        "view-change start",
+    );
+    let complete = first(
+        &|k| matches!(k, TraceEventKind::ViewChangeComplete { .. }),
+        "view-change complete",
+    );
+    assert!(
+        crash < suspicion && suspicion < start && start < complete,
+        "suspicion chain out of order: crash@{crash}, suspicion@{suspicion}, \
+         start@{start}, complete@{complete}"
+    );
+    // The merged order is the canonical (time, actor, seq) order.
+    let mut sorted = trace.events.clone();
+    sorted.sort_by_key(|e| (e.time, e.actor, e.seq));
+    assert_eq!(sorted, trace.events, "merged trace is not in sort order");
+    // The timeline rode along and saw the storm's view changes.
+    let timeline = artifacts.timeline.expect("tracing builds the timeline");
+    assert!(
+        timeline.view_changes() > 0,
+        "timeline shows no view changes during the storm"
+    );
+}
+
+#[test]
+fn tx_spans_are_complete_chains() {
+    let artifacts = golden_spec(ProtocolKind::SaguaroCoordinator)
+        .trace(TraceConfig::on().with_span_sampling(1))
+        .run_collecting();
+    let trace = artifacts.trace.expect("tracing was enabled");
+    let completed: Vec<_> = trace
+        .events
+        .iter()
+        .filter(|e| matches!(e.kind, TraceEventKind::TxCompleted { .. }))
+        .collect();
+    assert!(!completed.is_empty(), "no sampled transaction completed");
+    for done in completed {
+        let tx = done.kind.span_tx().expect("completion carries a tx id");
+        let submitted = trace
+            .events
+            .iter()
+            .position(|e| matches!(e.kind, TraceEventKind::TxSubmitted { tx: t } if t == tx))
+            .unwrap_or_else(|| panic!("{tx:?} completed without a submission event"));
+        let done_at = trace
+            .events
+            .iter()
+            .position(|e| std::ptr::eq(e, done))
+            .expect("event is in the trace");
+        assert!(
+            submitted < done_at,
+            "{tx:?}: completion precedes submission in the merged order"
+        );
+    }
+}
+
+#[test]
+fn ring_buffers_bound_memory_and_count_drops() {
+    // A deliberately tiny per-actor capacity under full span sampling: the
+    // run must stay bounded (each actor retains at most `capacity` events)
+    // and account for everything it threw away.
+    let capacity = 4u32;
+    let artifacts = golden_spec(ProtocolKind::SaguaroCoordinator)
+        .trace(
+            TraceConfig::on()
+                .with_span_sampling(1)
+                .with_buffer_capacity(capacity),
+        )
+        .run_collecting();
+    let trace = artifacts.trace.expect("tracing was enabled");
+    assert!(
+        trace.dropped > 0,
+        "a 4-event ring buffer should have overflowed under full sampling"
+    );
+    let actors: std::collections::BTreeSet<TraceActor> =
+        trace.events.iter().map(|e| e.actor).collect();
+    let ceiling = actors.len() as u64 * capacity as u64;
+    assert!(
+        trace.len() as u64 <= ceiling,
+        "{} retained events exceed {} actors x capacity {}",
+        trace.len(),
+        actors.len(),
+        capacity
+    );
+}
